@@ -1,0 +1,32 @@
+//! Baseline storage-virtualization stacks (§V-B comparators).
+//!
+//! Every solution the paper benchmarks against NVMetro, rebuilt over the
+//! same guest-queue / device substrates so the workload driver is
+//! solution-agnostic:
+//!
+//! * [`passthrough`] — direct PCIe passthrough: the guest's queues *are*
+//!   device queues; completions arrive by forwarded interrupt.
+//! * [`mdev`] — MDev-NVMe (Levitsky's mediated device): shadow queues with
+//!   active polling and in-module LBA translation — the system NVMetro
+//!   extends. Implemented as an NVMetro router with a native translating
+//!   classifier and MDev's cost profile (no vbpf interpretation).
+//! * [`vhost`] — in-kernel `vhost-scsi`: virtio kick, vhost worker kthread,
+//!   SCSI translation, host block layer (optionally under a device-mapper
+//!   target for dm-crypt / dm-mirror), interrupt completion.
+//! * [`qemu`] — QEMU `virtio-blk` with the io_uring backend: trap + thread
+//!   handoff latencies, per-batch amortization, multiple iothreads, and
+//!   sequential request merging (why it wins at 16K/QD128, §V-B).
+//! * [`spdk`] — SPDK vhost-user: a busy-polling userspace reactor with an
+//!   exclusively-owned device.
+
+pub mod mdev;
+pub mod passthrough;
+pub mod qemu;
+pub mod spdk;
+pub mod vhost;
+
+pub use mdev::build_mdev_router;
+pub use passthrough::bind_passthrough;
+pub use qemu::QemuVirtioBlk;
+pub use spdk::SpdkVhost;
+pub use vhost::VhostScsi;

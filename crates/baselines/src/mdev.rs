@@ -1,0 +1,106 @@
+//! MDev-NVMe (mediated pass-through with active polling).
+//!
+//! "NVMetro adds routing on top of the MDev-NVMe storage virtualization
+//! system" (§III-B) — so the most faithful model of MDev is NVMetro's own
+//! router with (a) MDev's per-command mediation cost instead of
+//! router+classifier costs, and (b) a *native* classifier that performs
+//! the LBA translation MDev does inside its kernel module, then always
+//! takes the fast path. This is also the ablation point for measuring
+//! what NVMetro's flexibility costs over raw mediation.
+
+use nvmetro_core::classify::{verdict_bits, NativeClassifier, RequestCtx, Verdict};
+use nvmetro_core::router::Router;
+use nvmetro_sim::cost::CostModel;
+
+/// The in-module LBA translation MDev performs.
+pub struct MdevTranslate {
+    /// Partition offset added to every LBA.
+    pub lba_offset: u64,
+}
+
+impl NativeClassifier for MdevTranslate {
+    fn classify(&mut self, ctx: &mut RequestCtx) -> Verdict {
+        ctx.set_slba(ctx.slba() + self.lba_offset);
+        Verdict(verdict_bits::SEND_HQ | verdict_bits::WILL_COMPLETE_HQ)
+    }
+}
+
+/// Builds a router configured as MDev-NVMe: per-command cost `mdev_cmd`,
+/// zero classifier-interpretation cost. Bind VMs with
+/// [`nvmetro_core::router::VmBinding`] using a [`MdevTranslate`] classifier.
+pub fn build_mdev_router(cost: &CostModel, table_capacity: usize) -> Router {
+    let mut mdev_cost = cost.clone();
+    mdev_cost.router_cmd = cost.mdev_cmd;
+    mdev_cost.classifier_run = 0;
+    Router::new("mdev", mdev_cost, 1, table_capacity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmetro_core::classify::{Classifier, HOOK_VSQ};
+    use nvmetro_core::router::VmBinding;
+    use nvmetro_core::{Partition, VirtualController, VmConfig};
+    use nvmetro_device::{CompletionMode, SimSsd, SsdConfig};
+    use nvmetro_nvme::{CqPair, SqPair, Status, SubmissionEntry};
+    use nvmetro_sim::Executor;
+
+    #[test]
+    fn translate_classifier_offsets_lbas() {
+        let mut t = MdevTranslate { lba_offset: 500 };
+        let cmd = SubmissionEntry::read(1, 7, 1, 0, 0);
+        let mut ctx = RequestCtx::new(HOOK_VSQ, 0, 0, &cmd, Status::SUCCESS, 0);
+        let v = t.classify(&mut ctx);
+        assert_eq!(ctx.slba(), 507);
+        assert_eq!(v.send_mask(), 1);
+    }
+
+    #[test]
+    fn mdev_serves_partitioned_vm() {
+        let cost = CostModel::default();
+        let mut ssd = SimSsd::new("ssd", SsdConfig {
+            capacity_lbas: 1 << 16,
+            ..Default::default()
+        });
+        let store = ssd.store();
+        let partition = Partition {
+            lba_offset: 2048,
+            lba_count: 1024,
+        };
+        let mut vc = VirtualController::new(VmConfig {
+            mem_bytes: 1 << 24,
+            partition,
+            ..Default::default()
+        });
+        let mem = vc.memory();
+        let (gsq, gcq) = vc.take_guest_queue(0);
+        let (vsqs, vcqs) = vc.take_router_queues();
+        let (hsq_p, hsq_c) = SqPair::new(64);
+        let (hcq_p, hcq_c) = CqPair::new(64);
+        ssd.add_queue(hsq_c, hcq_p, mem.clone(), CompletionMode::Polled);
+        let mut router = build_mdev_router(&cost, 256);
+        router.bind_vm(VmBinding {
+            vm_id: 0,
+            mem: mem.clone(),
+            partition,
+            vsqs,
+            vcqs,
+            hsq: hsq_p,
+            hcq: hcq_c,
+            kernel: None,
+            notify: None,
+            classifier: Classifier::Native(Box::new(MdevTranslate { lba_offset: 2048 })),
+        });
+        let data = vec![0xCDu8; 512];
+        let gpa = mem.alloc(512);
+        mem.write(gpa, &data);
+        let (p1, p2) = nvmetro_mem::build_prps(&mem, gpa, 512);
+        gsq.push(SubmissionEntry::write(1, 10, 1, p1, p2)).unwrap();
+        let mut ex = Executor::new();
+        ex.add(Box::new(router));
+        ex.add(Box::new(ssd));
+        ex.run(u64::MAX);
+        assert_eq!(gcq.pop().unwrap().status(), Status::SUCCESS);
+        assert_eq!(store.read_vec(2058, 1), data, "LBA translated in-module");
+    }
+}

@@ -1,0 +1,176 @@
+//! In-kernel `vhost-scsi`.
+//!
+//! The guest's virtio kick traps to KVM and wakes the vhost worker
+//! kthread, which translates the SCSI request and submits it through the
+//! host block layer (optionally under a device-mapper target — this is how
+//! `dm-crypt+vhost-scsi` and `dm-mirror+vhost-scsi` are built in §V-C/D).
+//! Completions are injected back as virtual interrupts. No polling
+//! anywhere: cheap on CPU (second only to passthrough in Fig. 11), but
+//! every request pays wakeup latencies (+73.6%/+97.6% median latency in
+//! Fig. 4).
+
+use nvmetro_kernel::{DmRequest, KernelDm};
+use nvmetro_nvme::{
+    CompletionEntry, CqProducer, NvmOpcode, SqConsumer, Status, SubmissionEntry,
+};
+use nvmetro_sim::cost::CostModel;
+use nvmetro_sim::{Actor, CpuMode, Ns, Progress, Station};
+
+enum WorkerItem {
+    Submit { vsq: u16, cmd: SubmissionEntry },
+    Complete { vsq: u16, cid: u16, status: Status },
+}
+
+/// The vhost-scsi stack for one VM.
+pub struct VhostScsi {
+    name: String,
+    cost: CostModel,
+    vsqs: Vec<SqConsumer>,
+    vcqs: Vec<CqProducer>,
+    worker: Station<WorkerItem>,
+    dm: KernelDm,
+    dm_out: Vec<(u64, Status)>,
+    served: u64,
+}
+
+impl VhostScsi {
+    /// Builds the stack over the VM's virtio queues and a kernel DM stack
+    /// (use `DmConfig::Linear` for a plain partition, `Crypt`/`Mirror` for
+    /// the storage-function baselines).
+    pub fn new(
+        name: &str,
+        cost: CostModel,
+        vsqs: Vec<SqConsumer>,
+        vcqs: Vec<CqProducer>,
+        dm: KernelDm,
+    ) -> Self {
+        VhostScsi {
+            name: name.to_string(),
+            cost,
+            vsqs,
+            vcqs,
+            worker: Station::new(1), // one vhost kthread per device
+            dm,
+            dm_out: Vec::new(),
+            served: 0,
+        }
+    }
+
+    /// Requests fully served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+}
+
+impl Actor for VhostScsi {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn poll(&mut self, now: Ns) -> Progress {
+        let mut progressed = false;
+        // Guest kicks: wake the worker (latency), then per-request work.
+        for vsq in 0..self.vsqs.len() {
+            while let Some((cmd, _)) = self.vsqs[vsq].pop() {
+                let arrival = now + self.cost.virtio_kick + self.cost.vhost_wakeup;
+                self.worker.push(
+                    WorkerItem::Submit {
+                        vsq: vsq as u16,
+                        cmd,
+                    },
+                    self.cost.vhost_request,
+                    arrival,
+                );
+                progressed = true;
+            }
+        }
+        // DM stack progress: its completions re-enter the SAME worker
+        // kthread (response ring update + interrupt), which is what caps
+        // the vhost pipeline under load.
+        self.dm.poll(now);
+        self.dm_out.clear();
+        self.dm.take_done(&mut self.dm_out);
+        let done: Vec<(u64, Status)> = self.dm_out.drain(..).collect();
+        for (user, status) in done {
+            progressed = true;
+            // The guest observes the completion only after the virtual
+            // interrupt is injected; fold that latency into the arrival.
+            self.worker.push(
+                WorkerItem::Complete {
+                    vsq: (user >> 16) as u16,
+                    cid: (user & 0xFFFF) as u16,
+                    status,
+                },
+                self.cost.vhost_complete,
+                now + self.cost.guest_irq_inject,
+            );
+        }
+        // Worker output: submissions feed the block/DM stack; completions
+        // are injected into the guest after interrupt-delivery latency
+        // (the guest job models the delivery delay via the device path,
+        // so here the status lands in the VCQ directly).
+        while let Some((item, t)) = self.worker.pop_done_timed(now) {
+            progressed = true;
+            match item {
+                WorkerItem::Submit { vsq, cmd } => match cmd.nvm_opcode() {
+                    Some(NvmOpcode::Read) | Some(NvmOpcode::Write) => {
+                        let user = ((vsq as u64) << 16) | cmd.cid as u64;
+                        self.dm.submit(
+                            DmRequest {
+                                user,
+                                write: cmd.nvm_opcode() == Some(NvmOpcode::Write),
+                                slba: cmd.slba(),
+                                nlb: cmd.nlb(),
+                                prp1: cmd.prp1,
+                                prp2: cmd.prp2,
+                            },
+                            t,
+                        );
+                    }
+                    Some(NvmOpcode::Flush) => {
+                        // SYNCHRONIZE CACHE: acknowledge directly.
+                        self.served += 1;
+                        let _ = self.vcqs[vsq as usize]
+                            .push(CompletionEntry::new(cmd.cid, Status::SUCCESS));
+                    }
+                    _ => {
+                        // The SCSI translation layer cannot express it
+                        // ("the large software stack complexifies the
+                        // implementation of certain I/O commands", §III-B).
+                        self.served += 1;
+                        let _ = self.vcqs[vsq as usize].push(CompletionEntry::new(
+                            cmd.cid,
+                            Status::INVALID_OPCODE,
+                        ));
+                    }
+                },
+                WorkerItem::Complete { vsq, cid, status } => {
+                    self.served += 1;
+                    let _ =
+                        self.vcqs[vsq as usize].push(CompletionEntry::new(cid, status));
+                }
+            }
+        }
+        if progressed {
+            Progress::Busy
+        } else {
+            Progress::Idle
+        }
+    }
+
+    fn next_event(&self) -> Option<Ns> {
+        [self.worker.next_event(), self.dm.next_event()]
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
+    fn charged(&self) -> Ns {
+        self.worker.charged() + self.dm.charged()
+    }
+
+    fn cpu_mode(&self) -> CpuMode {
+        // The vhost kthread sleeps between kicks.
+        CpuMode::EventDriven
+    }
+}

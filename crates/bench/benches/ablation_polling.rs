@@ -1,0 +1,71 @@
+//! Ablation — adaptive polling and router worker provisioning.
+//!
+//! Two design choices called out in §III: router workers poll adaptively
+//! (spin for a bounded window, then park on OS-assisted waiting), and one
+//! worker thread is shared by all VMs. This harness sweeps both:
+//!
+//! * the idle-timeout window: 0 (park immediately) → paper default
+//!   (120 us) → effectively-infinite (pure busy polling), showing the
+//!   CPU-vs-none tradeoff the adaptive scheme navigates;
+//! * router worker count at saturating load, showing one worker suffices
+//!   far beyond the device's throughput.
+
+use nvmetro_bench::{bench_duration, default_opts};
+use nvmetro_sim::US;
+use nvmetro_stats::Table;
+use nvmetro_workloads::fio::{FioConfig, FioMode};
+use nvmetro_workloads::rig::SolutionKind;
+use nvmetro_workloads::runner::run_fio;
+
+fn main() {
+    // --- idle timeout sweep (QD1: gaps between I/Os dominate) ---
+    let mut table = Table::new(
+        "Ablation: adaptive-polling idle timeout (NVMetro, 512B RR QD1)",
+        &["idle timeout", "kIOPS", "avg busy cores"],
+    );
+    for (label, timeout) in [
+        ("0 (event driven)", 0u64),
+        ("5 us", 5 * US),
+        ("120 us (paper)", 120 * US),
+        ("10 ms (~busy poll)", 10_000 * US),
+    ] {
+        let mut opts = default_opts();
+        opts.cost.adaptive_idle_timeout = timeout;
+        let mut cfg = FioConfig::new(512, FioMode::RandRead, 1, 1);
+        cfg.duration = bench_duration();
+        let r = run_fio(SolutionKind::Nvmetro, &cfg, &opts);
+        table.row(&[
+            label.to_string(),
+            format!("{:.1}", r.kiops()),
+            format!("{:.2}", r.cpu_cores),
+        ]);
+    }
+    table.print();
+    println!();
+
+    // --- shared worker sufficiency: load the single worker with VMs ---
+    let mut table = Table::new(
+        "Ablation: one shared router worker under increasing VM count (512B RR QD32)",
+        &["VMs", "total kIOPS", "router-limited?"],
+    );
+    let mut prev = 0.0;
+    for vms in [1usize, 2, 4, 8] {
+        let mut opts = default_opts();
+        opts.vms = vms;
+        let mut cfg = FioConfig::new(512, FioMode::RandRead, 32, 1);
+        cfg.duration = bench_duration();
+        let r = run_fio(SolutionKind::Nvmetro, &cfg, &opts);
+        let limited = if vms > 1 && r.kiops() < prev * 1.05 {
+            "approaching limit"
+        } else {
+            "no"
+        };
+        table.row(&[
+            vms.to_string(),
+            format!("{:.1}", r.kiops()),
+            limited.to_string(),
+        ]);
+        prev = r.kiops();
+    }
+    table.print();
+}

@@ -1,0 +1,39 @@
+//! Figure 10 — disk replication under YCSB.
+//!
+//! Paper anchors: NVMetro beats dm-mirror in every workload/job count;
+//! e.g. workload D: +2% at 1 job growing to +17% at 4 jobs.
+
+use nvmetro_bench::{bench_duration, default_opts};
+use nvmetro_stats::Table;
+use nvmetro_workloads::rig::SolutionKind;
+use nvmetro_workloads::ycsb::{run_ycsb, YcsbWorkload};
+
+fn main() {
+    let solutions = [SolutionKind::NvmetroReplicate, SolutionKind::DmMirror];
+    for jobs in [1usize, 4] {
+        let mut header = vec!["workload"];
+        for s in solutions {
+            header.push(s.label());
+        }
+        header.push("ratio");
+        let mut table = Table::new(
+            &format!(
+                "Fig. 10: YCSB throughput under replication (Kilo ops/sec), jobs={jobs}"
+            ),
+            &header,
+        );
+        let opts = default_opts();
+        for w in YcsbWorkload::all() {
+            let a = run_ycsb(solutions[0], w, jobs, bench_duration() * 2, &opts);
+            let b = run_ycsb(solutions[1], w, jobs, bench_duration() * 2, &opts);
+            table.row(&[
+                w.label().to_string(),
+                format!("{:.1}", a.kops_per_sec),
+                format!("{:.1}", b.kops_per_sec),
+                nvmetro_bench::ratio(a.kops_per_sec, b.kops_per_sec),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+}

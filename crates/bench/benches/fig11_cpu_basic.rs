@@ -1,0 +1,45 @@
+//! Figure 11 — CPU consumption of fio for the basic evaluation.
+//!
+//! Total system CPU (VM + host agents) per solution. Paper anchors:
+//! passthrough lowest everywhere; vhost-scsi second lowest; MDev, NVMetro
+//! and QEMU ≈ +85% over passthrough at 512B/QD1/1job and ≈ +26% at
+//! 512B/QD128/4jobs (except 128K/QD1 where QEMU is cheaper); SPDK the most
+//! expensive under load (≈ +56% at 512B/QD128/4jobs) from reactor polling.
+
+use nvmetro_bench::{default_opts, function_grid, ratio};
+use nvmetro_stats::Table;
+use nvmetro_workloads::rig::SolutionKind;
+use nvmetro_workloads::runner::run_fio;
+
+fn main() {
+    let solutions = SolutionKind::basic_six();
+    let mut header = vec!["config".to_string()];
+    for s in solutions {
+        header.push(format!("{} (cores)", s.label()));
+    }
+    header.push("NVMetro/Passthrough".into());
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(
+        "Fig. 11: CPU consumption of fio (average busy cores over the run)",
+        &header_refs,
+    );
+    let opts = default_opts();
+    for cfg in function_grid() {
+        let mut row = vec![cfg.label()];
+        let mut nvmetro = 0.0;
+        let mut passthrough = 0.0;
+        for kind in solutions {
+            let r = run_fio(kind, &cfg, &opts);
+            row.push(format!("{:.2}", r.cpu_cores));
+            if kind == SolutionKind::Nvmetro {
+                nvmetro = r.cpu_cores;
+            }
+            if kind == SolutionKind::Passthrough {
+                passthrough = r.cpu_cores;
+            }
+        }
+        row.push(ratio(nvmetro, passthrough));
+        table.row(&row);
+    }
+    table.print();
+}

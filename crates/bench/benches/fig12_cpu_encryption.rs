@@ -1,0 +1,42 @@
+//! Figure 12 — CPU consumption of fio under disk encryption.
+//!
+//! Paper anchors: at QD1/1job the NVMetro UIF uses ~2.7x/2.4x/2.1x the
+//! CPU of dm-crypt (512B/16K/128K) but at 4 jobs it reaches parity and
+//! even dips below dm-crypt for 16K/128K reads; the SGX variant costs
+//! ~10-12% more CPU than non-SGX at QD1 for the same performance.
+
+use nvmetro_bench::{default_opts, function_grid, ratio};
+use nvmetro_stats::Table;
+use nvmetro_workloads::rig::SolutionKind;
+use nvmetro_workloads::runner::run_fio;
+
+fn main() {
+    let solutions = [
+        SolutionKind::NvmetroEncrypt { sgx: false },
+        SolutionKind::NvmetroEncrypt { sgx: true },
+        SolutionKind::DmCrypt,
+    ];
+    let mut header = vec!["config".to_string()];
+    for s in solutions {
+        header.push(format!("{} (cores)", s.label()));
+    }
+    header.push("Encr/dm-crypt".into());
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(
+        "Fig. 12: CPU consumption of fio with disk encryption (avg busy cores)",
+        &header_refs,
+    );
+    let opts = default_opts();
+    for cfg in function_grid() {
+        let mut row = vec![cfg.label()];
+        let mut cores = Vec::new();
+        for kind in solutions {
+            let r = run_fio(kind, &cfg, &opts);
+            row.push(format!("{:.2}", r.cpu_cores));
+            cores.push(r.cpu_cores);
+        }
+        row.push(ratio(cores[0], cores[2]));
+        table.row(&row);
+    }
+    table.print();
+}

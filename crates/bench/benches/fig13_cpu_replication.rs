@@ -1,0 +1,39 @@
+//! Figure 13 — CPU consumption of fio under disk replication.
+//!
+//! Paper anchors: NVMetro pays up to +178%/+36%/+76% CPU over dm-mirror
+//! at (512B QD1/1job, 512B QD128/4jobs, 128K QD128/4jobs) — buying far
+//! higher throughput (poll-based I/O + efficient routing; at 128K
+//! reads/QD128/4jobs, +35% CPU for +291% throughput).
+
+use nvmetro_bench::{default_opts, function_grid, ratio};
+use nvmetro_stats::Table;
+use nvmetro_workloads::rig::SolutionKind;
+use nvmetro_workloads::runner::run_fio;
+
+fn main() {
+    let solutions = [SolutionKind::NvmetroReplicate, SolutionKind::DmMirror];
+    let mut header = vec!["config".to_string()];
+    for s in solutions {
+        header.push(format!("{} (cores)", s.label()));
+    }
+    header.push("cpu ratio".into());
+    header.push("throughput ratio".into());
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(
+        "Fig. 13: CPU consumption of fio with disk replication (avg busy cores)",
+        &header_refs,
+    );
+    let opts = default_opts();
+    for cfg in function_grid() {
+        let a = run_fio(solutions[0], &cfg, &opts);
+        let b = run_fio(solutions[1], &cfg, &opts);
+        table.row(&[
+            cfg.label(),
+            format!("{:.2}", a.cpu_cores),
+            format!("{:.2}", b.cpu_cores),
+            ratio(a.cpu_cores, b.cpu_cores),
+            ratio(a.iops, b.iops),
+        ]);
+    }
+    table.print();
+}

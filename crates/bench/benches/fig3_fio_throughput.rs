@@ -1,0 +1,36 @@
+//! Figure 3 — basic fio throughput for every Table II configuration and
+//! every storage virtualization method.
+//!
+//! Paper anchors: NVMetro ≈ MDev ≈ SPDK ≈ passthrough everywhere; QEMU
+//! 2.7x slower at 512B RR QD1/1job but the fastest at 16K/QD128/1job
+//! (+19..32% over NVMetro); vhost-scsi trails throughout.
+
+use nvmetro_bench::{default_opts, with_duration};
+use nvmetro_stats::Table;
+use nvmetro_workloads::fio::table2_configs;
+use nvmetro_workloads::rig::SolutionKind;
+use nvmetro_workloads::runner::run_fio;
+
+fn main() {
+    let solutions = SolutionKind::basic_six();
+    let mut header = vec!["config"];
+    for s in solutions {
+        header.push(s.label());
+    }
+    let mut table = Table::new(
+        "Fig. 3: fio throughput (Kilo IOPS) per configuration and solution",
+        &header,
+    );
+    let opts = default_opts();
+    for cfg in table2_configs() {
+        let cfg = with_duration(cfg);
+        let mut row = vec![cfg.label()];
+        for kind in solutions {
+            let r = run_fio(kind, &cfg, &opts);
+            assert_eq!(r.errors, 0, "{} errored on {}", kind.label(), cfg.label());
+            row.push(format!("{:.1}", r.kiops()));
+        }
+        table.row(&row);
+    }
+    table.print();
+}

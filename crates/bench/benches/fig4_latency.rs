@@ -1,0 +1,52 @@
+//! Figure 4 — request latency at a fixed rate of 10,000 IOPS.
+//!
+//! Columns are median latency, whiskers p99 in the paper; we print both.
+//! Paper anchors: NVMetro ≈ MDev ≈ SPDK (polling); passthrough +18.2%
+//! median at 512B RR / +9.1% at RW (interrupt forwarding); vhost
+//! +73.6%/+97.6%; QEMU 3.4x/4.1x; SPDK's p99 writes 5.9-18% below
+//! NVMetro's.
+
+use nvmetro_bench::{bench_duration, bs_label, default_opts};
+use nvmetro_stats::Table;
+use nvmetro_workloads::fio::{FioConfig, FioMode};
+use nvmetro_workloads::rig::SolutionKind;
+use nvmetro_workloads::runner::run_fio;
+
+fn main() {
+    let solutions = SolutionKind::basic_six();
+    let mut header = vec!["config".to_string()];
+    for s in solutions {
+        header.push(format!("{} p50/p99 (us)", s.label()));
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(
+        "Fig. 4: latency at 10k IOPS (median / 99th percentile, microseconds)",
+        &header_refs,
+    );
+    let opts = default_opts();
+    for bs in [512usize, 16 * 1024, 128 * 1024] {
+        for qd in [1u32, 4, 32, 128] {
+            for mode in [FioMode::RandRead, FioMode::RandWrite] {
+                let mut cfg = FioConfig::new(bs, mode, qd, 1);
+                cfg.rate_iops = Some(10_000);
+                cfg.duration = bench_duration() * 8; // need tail samples
+                let mut row = vec![format!(
+                    "{} qd={} {}",
+                    bs_label(bs),
+                    qd,
+                    mode.abbrev()
+                )];
+                for kind in solutions {
+                    let r = run_fio(kind, &cfg, &opts);
+                    row.push(format!(
+                        "{:.1}/{:.1}",
+                        r.median_ns as f64 / 1000.0,
+                        r.p99_ns as f64 / 1000.0
+                    ));
+                }
+                table.row(&row);
+            }
+        }
+    }
+    table.print();
+}

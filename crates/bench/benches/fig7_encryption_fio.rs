@@ -1,0 +1,42 @@
+//! Figure 7 — disk encryption throughput with fio.
+//!
+//! Paper anchors: the non-SGX UIF beats dm-crypt+vhost-scsi everywhere —
+//! 1.6x/1.5x/1.4x at (512B,16K,128K)/QD1/1job, up to 3.2x at 16K reads
+//! and 3.7x at 128K under QD128/4jobs. The SGX variant matches non-SGX at
+//! low load but loses up to 50%/75% at 16K/128K QD128/4jobs (one crypto
+//! worker + EPC pressure).
+
+use nvmetro_bench::{default_opts, function_grid};
+use nvmetro_bench::ratio;
+use nvmetro_stats::Table;
+use nvmetro_workloads::rig::SolutionKind;
+use nvmetro_workloads::runner::run_fio;
+
+fn main() {
+    let solutions = [
+        SolutionKind::NvmetroEncrypt { sgx: false },
+        SolutionKind::NvmetroEncrypt { sgx: true },
+        SolutionKind::DmCrypt,
+    ];
+    let mut header = vec!["config".to_string()];
+    for s in solutions {
+        header.push(format!("{} (kIOPS)", s.label()));
+    }
+    header.push("Encr/dm-crypt".into());
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new("Fig. 7: disk encryption, fio throughput", &header_refs);
+    let opts = default_opts();
+    for cfg in function_grid() {
+        let mut row = vec![cfg.label()];
+        let mut results = Vec::new();
+        for kind in solutions {
+            let r = run_fio(kind, &cfg, &opts);
+            assert_eq!(r.errors, 0, "{} errored on {}", kind.label(), cfg.label());
+            row.push(format!("{:.1}", r.kiops()));
+            results.push(r.kiops());
+        }
+        row.push(ratio(results[0], results[2]));
+        table.row(&row);
+    }
+    table.print();
+}

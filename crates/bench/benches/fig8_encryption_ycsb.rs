@@ -1,0 +1,41 @@
+//! Figure 8 — disk encryption under YCSB.
+//!
+//! Paper anchors: non-SGX UIF ≈ dm-crypt under YCSB; the SGX variant is
+//! up to 35% slower than non-SGX on workload D at 1 job, recovering to
+//! ~-21% at 4 jobs with other workloads roughly at parity.
+
+use nvmetro_bench::{bench_duration, default_opts};
+use nvmetro_stats::Table;
+use nvmetro_workloads::rig::SolutionKind;
+use nvmetro_workloads::ycsb::{run_ycsb, YcsbWorkload};
+
+fn main() {
+    let solutions = [
+        SolutionKind::NvmetroEncrypt { sgx: false },
+        SolutionKind::NvmetroEncrypt { sgx: true },
+        SolutionKind::DmCrypt,
+    ];
+    for jobs in [1usize, 4] {
+        let mut header = vec!["workload"];
+        for s in solutions {
+            header.push(s.label());
+        }
+        let mut table = Table::new(
+            &format!(
+                "Fig. 8: YCSB throughput under encryption (Kilo ops/sec), jobs={jobs}"
+            ),
+            &header,
+        );
+        let opts = default_opts();
+        for w in YcsbWorkload::all() {
+            let mut row = vec![w.label().to_string()];
+            for kind in solutions {
+                let r = run_ycsb(kind, w, jobs, bench_duration() * 2, &opts);
+                row.push(format!("{:.1}", r.kops_per_sec));
+            }
+            table.row(&row);
+        }
+        table.print();
+        println!();
+    }
+}

@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks of the crypto substrate: AES block
+//! operations and XTS sector throughput (plain and via the simulated SGX
+//! enclave interface).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nvmetro_crypto::{Aes, SgxEnclave, Xts};
+
+fn bench_aes(c: &mut Criterion) {
+    let aes = Aes::new(&[7u8; 32]);
+    c.bench_function("aes256/encrypt_block", |b| {
+        let mut block = [0u8; 16];
+        b.iter(|| {
+            aes.encrypt_block(&mut block);
+            std::hint::black_box(&block);
+        })
+    });
+}
+
+fn bench_xts(c: &mut Criterion) {
+    let xts = Xts::new(&[9u8; 64]);
+    let mut g = c.benchmark_group("xts");
+    for size in [4096usize, 131072] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("encrypt_{size}"), |b| {
+            let mut buf = vec![0u8; size];
+            b.iter(|| {
+                xts.encrypt_sectors(0, &mut buf);
+                std::hint::black_box(&buf);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sgx(c: &mut Criterion) {
+    let mut enclave = SgxEnclave::create(&[3u8; 64], true);
+    c.bench_function("sgx/ecall_encrypt_4k", |b| {
+        let mut buf = vec![0u8; 4096];
+        b.iter(|| {
+            enclave.ecall_encrypt(0, &mut buf);
+            std::hint::black_box(&buf);
+        })
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_aes, bench_xts, bench_sgx
+}
+criterion_main!(benches);

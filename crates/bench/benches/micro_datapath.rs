@@ -1,0 +1,145 @@
+//! Criterion micro-benchmarks of the data-path primitives: queue-pair
+//! operations, classifier interpretation, verification, PRP walking, and
+//! a full router round trip.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nvmetro_core::classify::{
+    classifier_verifier_config, Classifier, RequestCtx, HOOK_VSQ,
+};
+use nvmetro_core::passthrough_program;
+use nvmetro_functions::build_encryptor_classifier;
+use nvmetro_mem::{build_prps, prp_segments, GuestMemory};
+use nvmetro_nvme::{CompletionEntry, CqPair, SqPair, Status, SubmissionEntry};
+
+fn bench_queues(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queues");
+    g.throughput(Throughput::Elements(1));
+    let (sq_p, sq_c) = SqPair::new(1024);
+    let cmd = SubmissionEntry::read(1, 0, 1, 0, 0);
+    g.bench_function("sq_push_pop", |b| {
+        b.iter(|| {
+            sq_p.push(cmd).unwrap();
+            std::hint::black_box(sq_c.pop().unwrap());
+        })
+    });
+    let (cq_p, cq_c) = CqPair::new(1024);
+    let cqe = CompletionEntry::new(1, Status::SUCCESS);
+    g.bench_function("cq_push_pop", |b| {
+        b.iter(|| {
+            cq_p.push(cqe).unwrap();
+            std::hint::black_box(cq_c.pop().unwrap());
+        })
+    });
+    g.finish();
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("classifier");
+    g.throughput(Throughput::Elements(1));
+    let cmd = SubmissionEntry::read(1, 1000, 8, 0, 0);
+
+    let mut dummy = Classifier::Bpf(passthrough_program());
+    g.bench_function("interpret_passthrough", |b| {
+        b.iter(|| {
+            let mut ctx = RequestCtx::new(HOOK_VSQ, 0, 0, &cmd, Status::SUCCESS, 0);
+            std::hint::black_box(dummy.run(&mut ctx, 0))
+        })
+    });
+
+    let mut encryptor = Classifier::Bpf(build_encryptor_classifier(4096));
+    g.bench_function("interpret_encryptor", |b| {
+        b.iter(|| {
+            let mut ctx = RequestCtx::new(HOOK_VSQ, 0, 0, &cmd, Status::SUCCESS, 0);
+            std::hint::black_box(encryptor.run(&mut ctx, 0))
+        })
+    });
+    g.finish();
+}
+
+fn bench_verifier(c: &mut Criterion) {
+    c.bench_function("verifier/encryptor_classifier", |b| {
+        b.iter(|| {
+            // Building includes assembly + full verification.
+            std::hint::black_box(build_encryptor_classifier(0));
+        })
+    });
+    let _ = classifier_verifier_config();
+}
+
+fn bench_prp(c: &mut Criterion) {
+    let mem = GuestMemory::new(1 << 26);
+    let gpa = mem.alloc(128 * 1024);
+    let (p1, p2) = build_prps(&mem, gpa, 128 * 1024);
+    c.bench_function("prp/walk_128k", |b| {
+        b.iter(|| std::hint::black_box(prp_segments(&mem, p1, p2, 128 * 1024).unwrap()))
+    });
+}
+
+fn bench_router_round_trip(c: &mut Criterion) {
+    use nvmetro_core::router::{Router, VmBinding};
+    use nvmetro_core::{Partition, VirtualController, VmConfig};
+    use nvmetro_device::{CompletionMode, SimSsd, SsdConfig};
+    use nvmetro_sim::cost::CostModel;
+    use nvmetro_sim::Executor;
+
+    c.bench_function("router/1000_ios_virtual_time", |b| {
+        b.iter(|| {
+            let mut ssd = SimSsd::new("ssd", SsdConfig {
+                capacity_lbas: 1 << 20,
+                move_data: false,
+                ..Default::default()
+            });
+            let mut vc = VirtualController::new(VmConfig {
+                mem_bytes: 1 << 20,
+                queue_depth: 2048,
+                ..Default::default()
+            });
+            let mem = vc.memory();
+            let (gsq, gcq) = vc.take_guest_queue(0);
+            let (vsqs, vcqs) = vc.take_router_queues();
+            let (hsq_p, hsq_c) = SqPair::new(2048);
+            let (hcq_p, hcq_c) = CqPair::new(2048);
+            ssd.add_queue(hsq_c, hcq_p, mem.clone(), CompletionMode::Polled);
+            let mut router = Router::new("router", CostModel::default(), 1, 2048);
+            router.bind_vm(VmBinding {
+                vm_id: 0,
+                mem,
+                partition: Partition::whole(1 << 20),
+                vsqs,
+                vcqs,
+                hsq: hsq_p,
+                hcq: hcq_c,
+                kernel: None,
+                notify: None,
+                classifier: Classifier::Bpf(passthrough_program()),
+            });
+            for i in 0..1000u64 {
+                let mut cmd = SubmissionEntry::read(1, i * 8, 8, 0x1000, 0);
+                cmd.cid = (i % 2048) as u16;
+                gsq.push(cmd).unwrap();
+            }
+            let mut ex = Executor::new();
+            ex.add(Box::new(router));
+            ex.add(Box::new(ssd));
+            ex.run(u64::MAX);
+            let mut n = 0;
+            while gcq.pop().is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 1000);
+        })
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets =
+    bench_queues,
+    bench_classifier,
+    bench_verifier,
+    bench_prp,
+    bench_router_round_trip
+
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks of the LSM key-value substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lsmkv::{DbConfig, LsmKv, MemStorage};
+
+fn db_with(records: u64) -> LsmKv<MemStorage> {
+    let mut db = LsmKv::create(
+        MemStorage::new(768 << 20),
+        DbConfig {
+            memtable_bytes: 256 << 10,
+            l0_limit: 4,
+            wal_bytes: 8 << 20,
+        },
+    );
+    for i in 0..records {
+        db.put(format!("user{:012}", i).as_bytes(), &[7u8; 100]);
+    }
+    db.flush();
+    db
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lsmkv");
+    g.throughput(Throughput::Elements(1));
+
+    let mut db = db_with(50_000);
+    // Preload the put bench's full key space so the store runs at a
+    // steady-state size and compaction recycles heap regions.
+    for i in 0..100_000u64 {
+        db.put(format!("bench{:012}", i).as_bytes(), &[1u8; 100]);
+    }
+    db.flush();
+    let mut i = 0u64;
+    g.bench_function("get_hit", |b| {
+        b.iter(|| {
+            let key = format!("user{:012}", i % 50_000);
+            i = i.wrapping_add(7919);
+            std::hint::black_box(db.get(key.as_bytes()))
+        })
+    });
+    g.bench_function("get_miss_bloom_filtered", |b| {
+        b.iter(|| {
+            let key = format!("ghost{:012}", i);
+            i = i.wrapping_add(7919);
+            std::hint::black_box(db.get(key.as_bytes()))
+        })
+    });
+    g.bench_function("put", |b| {
+        b.iter(|| {
+            // Bounded key space: steady-state overwrites, so compaction
+            // recycles space instead of growing the store unboundedly.
+            let key = format!("bench{:012}", i % 100_000);
+            i = i.wrapping_add(1);
+            db.put(key.as_bytes(), &[1u8; 100]);
+        })
+    });
+    g.bench_function("scan_20", |b| {
+        b.iter(|| {
+            let key = format!("user{:012}", i % 40_000);
+            i = i.wrapping_add(7919);
+            std::hint::black_box(db.scan(key.as_bytes(), 20))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_ops
+}
+criterion_main!(benches);

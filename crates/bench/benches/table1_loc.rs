@@ -1,0 +1,84 @@
+//! Table I — source code sizes of classifier and UIF implementations.
+//!
+//! The paper reports LoC for each storage-function component (encryptor
+//! classifier 32, encryptor UIF 520, SGX UIF 501, replicator classifier
+//! 16, replicator UIF 307, framework 1116). We count the reproduction's
+//! equivalents the same way: non-blank, non-comment lines of the
+//! implementation (tests excluded).
+
+use nvmetro_stats::Table;
+
+/// Counts implementation lines: skips blanks, comments, and everything
+/// from the `#[cfg(test)]` module on.
+fn loc(src: &str) -> usize {
+    let mut n = 0;
+    for line in src.lines() {
+        let t = line.trim();
+        if t.starts_with("#[cfg(test)") {
+            break;
+        }
+        if t.is_empty() || t.starts_with("//") || t.starts_with("//!") || t.starts_with("///") {
+            continue;
+        }
+        n += 1;
+    }
+    n
+}
+
+fn main() {
+    let rows: [(&str, &str, usize, &str); 6] = [
+        (
+            "Encryptor",
+            "Classifier",
+            loc(include_str!(
+                "../../functions/src/encryptor/classifier.rs"
+            )),
+            "32",
+        ),
+        (
+            "Encryptor",
+            "Normal UIF",
+            loc(include_str!("../../functions/src/encryptor/uif.rs")),
+            "520",
+        ),
+        (
+            "Encryptor",
+            "SGX UIF + enclave",
+            loc(include_str!("../../crypto/src/sgx.rs")),
+            "501",
+        ),
+        (
+            "Replicator",
+            "Classifier",
+            loc(include_str!(
+                "../../functions/src/replicator/classifier.rs"
+            )),
+            "16",
+        ),
+        (
+            "Replicator",
+            "UIF",
+            loc(include_str!("../../functions/src/replicator/uif.rs")),
+            "307",
+        ),
+        (
+            "Framework",
+            "-",
+            loc(include_str!("../../core/src/uif.rs")),
+            "1116",
+        ),
+    ];
+    let mut table = Table::new(
+        "Table I: source code sizes of NVMetro classifier and UIF implementations",
+        &["Function", "Component", "Lines (ours)", "Lines (paper)"],
+    );
+    for (f, c, ours, paper) in rows {
+        table.row(&[f.into(), c.into(), ours.to_string(), paper.into()]);
+    }
+    table.print();
+    println!(
+        "\nNote: the paper's framework is C++ (1116 lines); ours spans the\n\
+         UIF framework module above plus queue plumbing shared with the\n\
+         router. Classifiers are assembled vbpf rather than C-to-eBPF."
+    );
+}

@@ -1,0 +1,29 @@
+//! Table II — the list of fio benchmark configurations.
+//!
+//! Enumerated straight from the workload engine so every other figure
+//! harness provably runs the same grid the paper defines.
+
+use nvmetro_stats::Table;
+use nvmetro_workloads::fio::table2_configs;
+
+fn main() {
+    let mut table = Table::new(
+        "Table II: fio benchmark configurations",
+        &["Block size", "Mode", "QD", "Nr. jobs"],
+    );
+    for cfg in table2_configs() {
+        let bs = if cfg.bs < 1024 {
+            format!("{}", cfg.bs)
+        } else {
+            format!("{}K", cfg.bs / 1024)
+        };
+        table.row(&[
+            bs,
+            cfg.mode.abbrev().to_string(),
+            cfg.qd.to_string(),
+            cfg.jobs.to_string(),
+        ]);
+    }
+    table.print();
+    println!("\n{} configurations total", table2_configs().len());
+}

@@ -1,0 +1,66 @@
+//! Shared support for the figure/table harnesses.
+//!
+//! Every table and figure of the paper's evaluation (§V) has a bench
+//! target in `benches/` (plain binaries, `harness = false`) that
+//! regenerates its rows. `cargo bench` runs them all; the run length is
+//! tunable with `NVMETRO_BENCH_MS` (virtual milliseconds per data point,
+//! default 60).
+
+use nvmetro_sim::{Ns, MS};
+use nvmetro_workloads::fio::{FioConfig, FioMode};
+use nvmetro_workloads::rig::RigOptions;
+
+/// Virtual duration of each data point.
+pub fn bench_duration() -> Ns {
+    std::env::var("NVMETRO_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(60)
+        * MS
+}
+
+/// Standard rig options for the figure harnesses.
+pub fn default_opts() -> RigOptions {
+    RigOptions::default()
+}
+
+/// Formats a block size the way the paper labels panels.
+pub fn bs_label(bs: usize) -> String {
+    if bs < 1024 {
+        format!("{}B", bs)
+    } else {
+        format!("{}KB", bs / 1024)
+    }
+}
+
+/// The storage-function grid of Figs. 7/9/12/13: three block sizes at
+/// (QD1, 1 job) and (QD128, 4 jobs), random modes for 512 B and
+/// sequential for the larger sizes.
+pub fn function_grid() -> Vec<FioConfig> {
+    let mut v = Vec::new();
+    for &(qd, jobs) in &[(1u32, 1usize), (128, 4)] {
+        for mode in [FioMode::RandRead, FioMode::RandWrite, FioMode::RandRw] {
+            v.push(with_duration(FioConfig::new(512, mode, qd, jobs)));
+        }
+        for bs in [16 * 1024, 128 * 1024] {
+            for mode in [FioMode::SeqRead, FioMode::SeqWrite, FioMode::SeqRw] {
+                v.push(with_duration(FioConfig::new(bs, mode, qd, jobs)));
+            }
+        }
+    }
+    v
+}
+
+/// Applies the bench duration to a config.
+pub fn with_duration(mut cfg: FioConfig) -> FioConfig {
+    cfg.duration = bench_duration();
+    cfg
+}
+
+/// Pretty ratio column ("1.00x" baseline-relative).
+pub fn ratio(v: f64, baseline: f64) -> String {
+    if baseline <= 0.0 {
+        return "-".into();
+    }
+    format!("{:.2}x", v / baseline)
+}

@@ -1,0 +1,47 @@
+//! NVMetro core — the paper's primary contribution.
+//!
+//! NVMetro presents itself to each VM as a virtual NVMe controller and
+//! routes every guest I/O request over one of three paths (§III):
+//!
+//! * the **fast path** straight to the physical device's host queues
+//!   (HSQ/HCQ),
+//! * the **kernel path** through the host's block/device-mapper stack, and
+//! * the **notify path** to a userspace I/O function (UIF) over notify
+//!   queues (NSQ/NCQ).
+//!
+//! Path selection is made per request — possibly several times during the
+//! request's lifetime — by a sandboxed [classifier](classify) (eBPF in the
+//! paper, [`nvmetro-vbpf`](nvmetro_vbpf) here) invoked by the
+//! [I/O router](router) at hook points. The router tracks each in-flight
+//! request in a [routing table](routing), supports multicast to several
+//! targets, and performs direct mediation (classifier-driven command
+//! rewriting such as LBA translation) with partition bounds enforced by the
+//! router itself.
+//!
+//! The [`uif`] module is the userspace-I/O-function framework of §III-D:
+//! notify-queue polling with adaptive backoff, NVMe command parsing, guest
+//! data-page access, and an io_uring-style asynchronous backend for UIFs
+//! that issue their own disk I/O.
+//!
+//! Components are poll-driven [`nvmetro_sim::Actor`]s: the same router and
+//! UIF run under the virtual-time executor (benchmarks) and on real OS
+//! threads ([`threading`], used by the examples).
+
+pub mod classify;
+pub mod controller;
+pub mod guest;
+pub mod router;
+pub mod routing;
+pub mod threading;
+pub mod uif;
+
+pub use classify::{
+    offset_program,
+    passthrough_program, Classifier, NativeClassifier, RequestCtx, Verdict, CTX_SIZE,
+    HOOK_HCQ, HOOK_KCQ, HOOK_NCQ, HOOK_VSQ,
+};
+pub use controller::{Partition, VirtualController, VmConfig};
+pub use guest::{GuestDriver, GuestError, GuestInfo};
+pub use router::{KernelPath, Router, RouterStats, VmBinding};
+pub use routing::RoutingTable;
+pub use uif::{Uif, UifDisposition, UifIoHandle, UifRequest, UifRunner};

@@ -1,0 +1,519 @@
+//! The NVMetro I/O router.
+//!
+//! The router shadows each VM's virtual queues (VSQ/VCQ), invokes the VM's
+//! classifier at every decision point, and forwards commands over the fast
+//! path (device HSQ/HCQ), the kernel path, or the notify path (UIF
+//! NSQ/NCQ). It implements the paper's §III-C mechanics:
+//!
+//! * **iterative routing** — hooks re-invoke the classifier when a chosen
+//!   path completes, forming a per-request state machine;
+//! * **multicast** — a verdict may name several paths; the request then
+//!   completes only when all of them have finished (used by mirroring);
+//! * **direct mediation** — classifier writes to the context's writable
+//!   window are copied back into the forwarded command (LBA translation);
+//! * **isolation** — the router re-checks the VM's partition bounds on
+//!   every fast-path send, whatever the classifier did;
+//! * **shared worker** — one router serves many VMs round-robin and tracks
+//!   per-VM activity (its CPU mode is adaptive polling).
+//!
+//! Only the 64-byte command block moves between queues; data pages stay in
+//! guest memory.
+
+use crate::classify::{
+    path_bits, Classifier, RequestCtx, Verdict, HOOK_HCQ, HOOK_KCQ, HOOK_NCQ, HOOK_VSQ,
+};
+use crate::controller::Partition;
+use crate::routing::{RequestState, RoutingTable};
+use nvmetro_mem::GuestMemory;
+use nvmetro_nvme::{
+    CompletionEntry, CqConsumer, CqProducer, SqConsumer, SqProducer, Status, SubmissionEntry,
+};
+use nvmetro_sim::cost::CostModel;
+use nvmetro_sim::{Actor, CpuMode, Ns, Progress, Station, US};
+use std::sync::Arc;
+
+/// The kernel path a VM's requests may be routed through (implemented by
+/// `nvmetro-kernel` as a block-layer + device-mapper stack).
+pub trait KernelPath: Send {
+    /// Submits a translated request tagged `tag` at virtual time `now`.
+    fn submit(&mut self, tag: u16, cmd: SubmissionEntry, now: Ns);
+    /// Drains finished requests into `out` as `(tag, status)` pairs.
+    fn poll(&mut self, now: Ns, out: &mut Vec<(u16, Status)>);
+    /// Earliest future completion, if any work is in flight.
+    fn next_event(&self) -> Option<Ns>;
+    /// Host CPU consumed by this path so far.
+    fn charged(&self) -> Ns;
+}
+
+/// The notify path's router-side queue ends.
+pub struct NotifyBinding {
+    /// Notify submission queue toward the UIF.
+    pub nsq: SqProducer,
+    /// Notify completion queue back from the UIF.
+    pub ncq: CqConsumer,
+}
+
+/// Everything the router needs to serve one VM.
+pub struct VmBinding {
+    /// VM identifier (classifier context field).
+    pub vm_id: u32,
+    /// The VM's guest memory (not touched by the router itself; recorded
+    /// for diagnostics and symmetry with real IOMMU bindings).
+    pub mem: Arc<GuestMemory>,
+    /// Partition bounds enforced on every fast-path send.
+    pub partition: Partition,
+    /// Router-side ends of the VM's virtual queues.
+    pub vsqs: Vec<SqConsumer>,
+    /// Router-side ends of the VM's virtual completion queues.
+    pub vcqs: Vec<CqProducer>,
+    /// Fast path: producer end of this VM's host submission queue.
+    pub hsq: SqProducer,
+    /// Fast path: consumer end of this VM's host completion queue.
+    pub hcq: CqConsumer,
+    /// Optional kernel path.
+    pub kernel: Option<Box<dyn KernelPath>>,
+    /// Optional notify path (UIF).
+    pub notify: Option<NotifyBinding>,
+    /// The VM's installed I/O classifier.
+    pub classifier: Classifier,
+}
+
+/// Router counters exposed for tests and reports.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RouterStats {
+    /// Commands accepted from VSQs.
+    pub accepted: u64,
+    /// Classifier invocations (all hooks).
+    pub classifier_runs: u64,
+    /// Commands forwarded to the fast path.
+    pub sent_hq: u64,
+    /// Commands forwarded to the kernel path.
+    pub sent_kq: u64,
+    /// Commands forwarded to the notify path.
+    pub sent_nq: u64,
+    /// Requests sent to more than one target at once.
+    pub multicasts: u64,
+    /// Completions delivered to VCQs.
+    pub completed: u64,
+    /// Requests finished with an error status.
+    pub errors: u64,
+    /// Completions that no longer matched a tracked request.
+    pub spurious: u64,
+}
+
+enum Work {
+    Ingress {
+        vm: usize,
+        vsq: u16,
+        cmd: SubmissionEntry,
+    },
+    PathDone {
+        vm: usize,
+        path: u8,
+        tag: u16,
+        status: Status,
+    },
+}
+
+/// The I/O router actor. One router instance is one worker thread in the
+/// paper's deployment; several VMs share it round-robin.
+pub struct Router {
+    name: String,
+    cost: CostModel,
+    vms: Vec<VmBinding>,
+    table: RoutingTable,
+    station: Station<Work>,
+    kernel_out: Vec<(u16, Status)>,
+    vcq_retry: Vec<(usize, u16, CompletionEntry)>,
+    last_poll: Ns,
+    stats: RouterStats,
+}
+
+impl Router {
+    /// Creates an empty router. `workers` models the number of worker
+    /// threads sharing the routing work (the paper's scalability evaluation
+    /// uses one); `table_capacity` bounds concurrent in-flight requests.
+    pub fn new(name: &str, cost: CostModel, workers: usize, table_capacity: usize) -> Self {
+        Router {
+            name: name.to_string(),
+            cost,
+            vms: Vec::new(),
+            table: RoutingTable::new(table_capacity),
+            station: Station::new(workers.max(1)),
+            kernel_out: Vec::new(),
+            vcq_retry: Vec::new(),
+            last_poll: 0,
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// Binds a VM; returns its index.
+    pub fn bind_vm(&mut self, binding: VmBinding) -> usize {
+        self.vms.push(binding);
+        self.vms.len() - 1
+    }
+
+    /// Router counters.
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    /// Peak concurrent in-flight requests.
+    pub fn high_water(&self) -> usize {
+        self.table.high_water()
+    }
+
+    /// Access to a bound VM's classifier (host-side configuration of
+    /// classifier maps, on-the-fly classifier replacement).
+    pub fn classifier_mut(&mut self, vm: usize) -> &mut Classifier {
+        &mut self.vms[vm].classifier
+    }
+
+    /// Replaces a VM's classifier at runtime ("storage administrators can
+    /// install, migrate and remove storage functions on the fly", §III-B).
+    pub fn install_classifier(&mut self, vm: usize, classifier: Classifier) -> Classifier {
+        std::mem::replace(&mut self.vms[vm].classifier, classifier)
+    }
+
+    fn ingest(&mut self, now: Ns) -> bool {
+        let mut any = false;
+        for vm in 0..self.vms.len() {
+            // Fast-path completions.
+            while let Some(cqe) = self.vms[vm].hcq.pop() {
+                let tag = cqe.cid;
+                let cost = self.completion_cost(tag, path_bits::HQ);
+                self.station.push(
+                    Work::PathDone {
+                        vm,
+                        path: path_bits::HQ,
+                        tag,
+                        status: cqe.status(),
+                    },
+                    cost,
+                    now,
+                );
+                any = true;
+            }
+            // Kernel-path completions.
+            if let Some(kernel) = self.vms[vm].kernel.as_mut() {
+                self.kernel_out.clear();
+                kernel.poll(now, &mut self.kernel_out);
+                let done: Vec<(u16, Status)> = self.kernel_out.drain(..).collect();
+                for (tag, status) in done {
+                    let cost = self.completion_cost(tag, path_bits::KQ);
+                    self.station.push(
+                        Work::PathDone {
+                            vm,
+                            path: path_bits::KQ,
+                            tag,
+                            status,
+                        },
+                        cost,
+                        now,
+                    );
+                    any = true;
+                }
+            }
+            // Notify-path completions.
+            while let Some(cqe) = self
+                .vms[vm]
+                .notify
+                .as_ref()
+                .and_then(|n| n.ncq.pop())
+            {
+                let tag = cqe.cid;
+                let cost = self.completion_cost(tag, path_bits::NQ);
+                self.station.push(
+                    Work::PathDone {
+                        vm,
+                        path: path_bits::NQ,
+                        tag,
+                        status: cqe.status(),
+                    },
+                    cost,
+                    now,
+                );
+                any = true;
+            }
+            // New guest commands (after completions: frees table slots).
+            for vsq in 0..self.vms[vm].vsqs.len() {
+                while let Some((cmd, _)) = self.vms[vm].vsqs[vsq].pop() {
+                    self.station.push(
+                        Work::Ingress {
+                            vm,
+                            vsq: vsq as u16,
+                            cmd,
+                        },
+                        self.cost.router_cmd + self.cost.classifier_run,
+                        now,
+                    );
+                    any = true;
+                }
+            }
+        }
+        any
+    }
+
+    fn completion_cost(&self, tag: u16, path: u8) -> Ns {
+        let classify = self
+            .table
+            .get(tag)
+            .map(|s| s.hooks & path != 0)
+            .unwrap_or(false);
+        self.cost.router_cmd + if classify { self.cost.classifier_run } else { 0 }
+    }
+
+    fn apply(&mut self, work: Work, t: Ns) {
+        match work {
+            Work::Ingress { vm, vsq, cmd } => self.apply_ingress(vm, vsq, cmd, t),
+            Work::PathDone {
+                vm,
+                path,
+                tag,
+                status,
+            } => self.apply_path_done(vm, path, tag, status, t),
+        }
+    }
+
+    fn apply_ingress(&mut self, vm: usize, vsq: u16, cmd: SubmissionEntry, t: Ns) {
+        self.stats.accepted += 1;
+        let state = RequestState {
+            vm: self.vms[vm].vm_id,
+            vsq,
+            guest_cid: cmd.cid,
+            cmd,
+            pending: 0,
+            hooks: 0,
+            will_complete: 0,
+            status: Status::SUCCESS,
+            user_tag: 0,
+            accepted_at: t,
+        };
+        let tag = match self.table.insert(state) {
+            Some(tag) => tag,
+            None => {
+                // Routing table exhausted: fail the request (the guest sees
+                // a transient internal error, like a controller under
+                // resource pressure).
+                let cqe = CompletionEntry::new(cmd.cid, Status::INTERNAL);
+                self.post_vcq(vm, vsq, cqe, t);
+                self.stats.errors += 1;
+                return;
+            }
+        };
+        let verdict = self.run_classifier(vm, tag, HOOK_VSQ, Status::SUCCESS, t);
+        self.route(vm, tag, verdict, t);
+    }
+
+    fn apply_path_done(&mut self, vm: usize, path: u8, tag: u16, status: Status, t: Ns) {
+        let Some(state) = self.table.get_mut(tag) else {
+            self.stats.spurious += 1;
+            return;
+        };
+        state.pending &= !path;
+        if status.is_error() && !state.status.is_error() {
+            state.status = status;
+        }
+        let hooked = state.hooks & path != 0;
+        if hooked {
+            // One-shot hook: consume it, then let the classifier decide the
+            // next leg of the state machine.
+            state.hooks &= !path;
+            let hook_id = match path {
+                path_bits::HQ => HOOK_HCQ,
+                path_bits::KQ => HOOK_KCQ,
+                _ => HOOK_NCQ,
+            };
+            let verdict = self.run_classifier(vm, tag, hook_id, status, t);
+            self.route(vm, tag, verdict, t);
+            return;
+        }
+        let state = self.table.get_mut(tag).expect("still present");
+        let wc = state.will_complete & path != 0;
+        if state.pending == 0 && (wc || state.will_complete == 0) {
+            let final_status = state.status;
+            self.finish(vm, tag, final_status, t);
+        }
+        // Otherwise: a multicast leg finished but others are outstanding —
+        // wait for them.
+    }
+
+    fn run_classifier(&mut self, vm: usize, tag: u16, hook: u32, error: Status, t: Ns) -> Verdict {
+        self.stats.classifier_runs += 1;
+        let state = self.table.get(tag).expect("request tracked");
+        let mut ctx = RequestCtx::new(
+            hook,
+            self.vms[vm].vm_id,
+            state.vsq,
+            &state.cmd,
+            error,
+            state.user_tag,
+        );
+        let verdict = self.vms[vm].classifier.run(&mut ctx, t);
+        // Direct mediation: copy the writable window back into the command.
+        let state = self.table.get_mut(tag).expect("request tracked");
+        state.cmd.set_slba(ctx.slba());
+        let nlb = ctx.nlb().clamp(1, 0x1_0000);
+        state.cmd.cdw12 = (state.cmd.cdw12 & !0xFFFF) | (nlb - 1);
+        state.user_tag = ctx.user_tag();
+        verdict
+    }
+
+    fn route(&mut self, vm: usize, tag: u16, verdict: Verdict, t: Ns) {
+        if verdict.complete() {
+            self.finish(vm, tag, verdict.status(), t);
+            return;
+        }
+        let send = verdict.send_mask();
+        if send == 0 {
+            // A verdict that neither completes nor routes is a classifier
+            // bug; fail closed.
+            self.finish(vm, tag, Status::PATH_ERROR, t);
+            return;
+        }
+        if send.count_ones() > 1 {
+            self.stats.multicasts += 1;
+        }
+        // Isolation: the fast path reaches real hardware, so partition
+        // bounds are enforced here, not trusted to the classifier.
+        if send & path_bits::HQ != 0 {
+            let state = self.table.get(tag).expect("tracked");
+            let (slba, nlb) = (state.cmd.slba(), state.cmd.nlb());
+            let has_lba = state.cmd.has_data()
+                || matches!(state.cmd.opcode, 0x08 | 0x09);
+            if has_lba && !self.vms[vm].partition.contains(slba, nlb) {
+                self.finish(vm, tag, Status::LBA_OUT_OF_RANGE, t);
+                return;
+            }
+        }
+        let state = self.table.get_mut(tag).expect("tracked");
+        state.hooks |= verdict.hook_mask();
+        state.will_complete |= verdict.will_complete_mask();
+        let mut fwd = state.cmd;
+        fwd.cid = tag;
+        if send & path_bits::HQ != 0 {
+            state.pending |= path_bits::HQ;
+            self.stats.sent_hq += 1;
+            if self.vms[vm].hsq.push(fwd).is_err() {
+                self.path_unavailable(vm, tag, path_bits::HQ, t);
+                return;
+            }
+        }
+        if send & path_bits::KQ != 0 {
+            let state = self.table.get_mut(tag).expect("tracked");
+            state.pending |= path_bits::KQ;
+            self.stats.sent_kq += 1;
+            match self.vms[vm].kernel.as_mut() {
+                Some(k) => k.submit(tag, fwd, t),
+                None => {
+                    self.path_unavailable(vm, tag, path_bits::KQ, t);
+                    return;
+                }
+            }
+        }
+        if send & path_bits::NQ != 0 {
+            let state = self.table.get_mut(tag).expect("tracked");
+            state.pending |= path_bits::NQ;
+            self.stats.sent_nq += 1;
+            let pushed = match self.vms[vm].notify.as_mut() {
+                Some(n) => n.nsq.push(fwd).is_ok(),
+                None => false,
+            };
+            if !pushed {
+                self.path_unavailable(vm, tag, path_bits::NQ, t);
+            }
+        }
+    }
+
+    /// A target queue was missing or full: fail the request. Outstanding
+    /// legs on other paths will be dropped as spurious when they return.
+    fn path_unavailable(&mut self, vm: usize, tag: u16, path: u8, t: Ns) {
+        let state = self.table.get_mut(tag).expect("tracked");
+        state.pending &= !path;
+        self.finish(vm, tag, Status::PATH_ERROR, t);
+    }
+
+    fn finish(&mut self, vm: usize, tag: u16, status: Status, t: Ns) {
+        let state = match self.table.remove(tag) {
+            Some(s) => s,
+            None => {
+                self.stats.spurious += 1;
+                return;
+            }
+        };
+        let cqe = CompletionEntry::new(state.guest_cid, status);
+        self.post_vcq(vm, state.vsq, cqe, t);
+    }
+
+    fn post_vcq(&mut self, vm: usize, vsq: u16, cqe: CompletionEntry, _t: Ns) {
+        self.stats.completed += 1;
+        if cqe.status().is_error() {
+            self.stats.errors += 1;
+        }
+        if let Err(cqe) = self.vms[vm].vcqs[vsq as usize].push(cqe) {
+            // VCQ full: retry on a later poll (the guest is reaping).
+            self.vcq_retry.push((vm, vsq, cqe));
+        }
+    }
+}
+
+impl Actor for Router {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn poll(&mut self, now: Ns) -> Progress {
+        self.last_poll = now;
+        let mut progressed = false;
+        // Retry any VCQ posts that found the queue full.
+        if !self.vcq_retry.is_empty() {
+            let retries: Vec<_> = self.vcq_retry.drain(..).collect();
+            for (vm, vsq, cqe) in retries {
+                if let Err(cqe) = self.vms[vm].vcqs[vsq as usize].push(cqe) {
+                    self.vcq_retry.push((vm, vsq, cqe));
+                } else {
+                    progressed = true;
+                }
+            }
+        }
+        progressed |= self.ingest(now);
+        while let Some((work, t)) = self.station.pop_done_timed(now) {
+            self.apply(work, t);
+            progressed = true;
+        }
+        if progressed {
+            Progress::Busy
+        } else {
+            Progress::Idle
+        }
+    }
+
+    fn next_event(&self) -> Option<Ns> {
+        let mut next = self.station.next_event();
+        for vm in &self.vms {
+            if let Some(k) = vm.kernel.as_ref().and_then(|k| k.next_event()) {
+                next = Some(next.map_or(k, |n| n.min(k)));
+            }
+        }
+        if !self.vcq_retry.is_empty() {
+            let retry = self.last_poll + US;
+            next = Some(next.map_or(retry, |n| n.min(retry)));
+        }
+        next
+    }
+
+    fn charged(&self) -> Ns {
+        let kernel: Ns = self
+            .vms
+            .iter()
+            .filter_map(|v| v.kernel.as_ref().map(|k| k.charged()))
+            .sum();
+        self.station.charged() + kernel
+    }
+
+    fn cpu_mode(&self) -> CpuMode {
+        CpuMode::Adaptive {
+            idle_timeout: self.cost.adaptive_idle_timeout,
+        }
+    }
+}

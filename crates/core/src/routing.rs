@@ -1,0 +1,234 @@
+//! The routing table: per-request state for iterative routing.
+//!
+//! Every in-flight guest request owns a slot recording where it came from,
+//! the (possibly mediated) command, which paths it is outstanding on, which
+//! completions re-invoke the classifier, and which completions finish it —
+//! "a routing table that tracks each request's state during classification"
+//! (§III-C). Slot indices double as the command identifiers NVMetro stamps
+//! on forwarded commands, so path completions map back to their request in
+//! O(1).
+
+use nvmetro_nvme::{Status, SubmissionEntry};
+
+/// One in-flight request.
+#[derive(Clone, Debug)]
+pub struct RequestState {
+    /// Originating VM.
+    pub vm: u32,
+    /// VSQ index within the VM.
+    pub vsq: u16,
+    /// Guest-assigned command identifier (restored on completion).
+    pub guest_cid: u16,
+    /// Current (mediated) command forwarded to paths.
+    pub cmd: SubmissionEntry,
+    /// Paths the request is outstanding on (see `classify::path_bits`).
+    pub pending: u8,
+    /// Paths whose completion re-invokes the classifier.
+    pub hooks: u8,
+    /// Paths whose completion finishes the request.
+    pub will_complete: u8,
+    /// Latest path status observed.
+    pub status: Status,
+    /// Classifier scratch state carried across hooks.
+    pub user_tag: u64,
+    /// Virtual time the request entered the router (latency accounting).
+    pub accepted_at: u64,
+}
+
+enum Slot {
+    Free { next_free: Option<u16> },
+    Busy(Box<RequestState>),
+}
+
+/// A fixed-capacity slab of request states with O(1) alloc/free.
+pub struct RoutingTable {
+    slots: Vec<Slot>,
+    free_head: Option<u16>,
+    in_flight: usize,
+    high_water: usize,
+}
+
+impl RoutingTable {
+    /// Creates a table able to track `capacity` concurrent requests
+    /// (at most 65 535, since slot indices ride in 16-bit CID fields).
+    pub fn new(capacity: usize) -> Self {
+        assert!(
+            capacity >= 1 && capacity < u16::MAX as usize,
+            "capacity must be in [1, 65534]"
+        );
+        let slots = (0..capacity)
+            .map(|i| Slot::Free {
+                next_free: if i + 1 < capacity {
+                    Some((i + 1) as u16)
+                } else {
+                    None
+                },
+            })
+            .collect();
+        RoutingTable {
+            slots,
+            free_head: Some(0),
+            in_flight: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Allocates a slot for a new request; `None` when the table is full
+    /// (the router then backpressures the VSQ).
+    pub fn insert(&mut self, state: RequestState) -> Option<u16> {
+        let idx = self.free_head?;
+        match self.slots[idx as usize] {
+            Slot::Free { next_free } => {
+                self.free_head = next_free;
+                self.slots[idx as usize] = Slot::Busy(Box::new(state));
+                self.in_flight += 1;
+                self.high_water = self.high_water.max(self.in_flight);
+                Some(idx)
+            }
+            Slot::Busy(_) => unreachable!("free list points at busy slot"),
+        }
+    }
+
+    /// Accesses a request by tag.
+    pub fn get(&self, tag: u16) -> Option<&RequestState> {
+        match self.slots.get(tag as usize) {
+            Some(Slot::Busy(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to a request by tag.
+    pub fn get_mut(&mut self, tag: u16) -> Option<&mut RequestState> {
+        match self.slots.get_mut(tag as usize) {
+            Some(Slot::Busy(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Frees a slot, returning its state.
+    pub fn remove(&mut self, tag: u16) -> Option<RequestState> {
+        let slot = self.slots.get_mut(tag as usize)?;
+        if matches!(slot, Slot::Free { .. }) {
+            return None;
+        }
+        let old = std::mem::replace(
+            slot,
+            Slot::Free {
+                next_free: self.free_head,
+            },
+        );
+        self.free_head = Some(tag);
+        self.in_flight -= 1;
+        match old {
+            Slot::Busy(s) => Some(*s),
+            Slot::Free { .. } => unreachable!(),
+        }
+    }
+
+    /// Requests currently tracked.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Maximum concurrent requests ever tracked.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> RequestState {
+        RequestState {
+            vm: 0,
+            vsq: 0,
+            guest_cid: 7,
+            cmd: SubmissionEntry::flush(1),
+            pending: 0,
+            hooks: 0,
+            will_complete: 0,
+            status: Status::SUCCESS,
+            user_tag: 0,
+            accepted_at: 0,
+        }
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut t = RoutingTable::new(4);
+        let tag = t.insert(state()).unwrap();
+        assert_eq!(t.get(tag).unwrap().guest_cid, 7);
+        assert_eq!(t.in_flight(), 1);
+        let removed = t.remove(tag).unwrap();
+        assert_eq!(removed.guest_cid, 7);
+        assert_eq!(t.in_flight(), 0);
+        assert!(t.get(tag).is_none());
+    }
+
+    #[test]
+    fn fills_to_capacity_then_rejects() {
+        let mut t = RoutingTable::new(3);
+        let tags: Vec<u16> = (0..3).map(|_| t.insert(state()).unwrap()).collect();
+        assert!(t.insert(state()).is_none(), "table must be full");
+        t.remove(tags[1]).unwrap();
+        assert!(t.insert(state()).is_some(), "slot must be reusable");
+    }
+
+    #[test]
+    fn tags_are_distinct_while_live() {
+        let mut t = RoutingTable::new(16);
+        let tags: Vec<u16> = (0..16).map(|_| t.insert(state()).unwrap()).collect();
+        let mut sorted = tags.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 16);
+    }
+
+    #[test]
+    fn double_remove_is_none() {
+        let mut t = RoutingTable::new(2);
+        let tag = t.insert(state()).unwrap();
+        assert!(t.remove(tag).is_some());
+        assert!(t.remove(tag).is_none());
+    }
+
+    #[test]
+    fn mutation_persists() {
+        let mut t = RoutingTable::new(2);
+        let tag = t.insert(state()).unwrap();
+        t.get_mut(tag).unwrap().pending = 0b101;
+        assert_eq!(t.get(tag).unwrap().pending, 0b101);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut t = RoutingTable::new(8);
+        let a = t.insert(state()).unwrap();
+        let b = t.insert(state()).unwrap();
+        t.remove(a).unwrap();
+        t.remove(b).unwrap();
+        assert_eq!(t.in_flight(), 0);
+        assert_eq!(t.high_water(), 2);
+        assert_eq!(t.capacity(), 8);
+    }
+
+    #[test]
+    fn churn_reuses_slots_without_leak() {
+        let mut t = RoutingTable::new(4);
+        for _ in 0..1000 {
+            let tag = t.insert(state()).unwrap();
+            t.remove(tag).unwrap();
+        }
+        assert_eq!(t.in_flight(), 0);
+        // All capacity still available.
+        let tags: Vec<_> = (0..4).map(|_| t.insert(state()).unwrap()).collect();
+        assert_eq!(tags.len(), 4);
+    }
+}

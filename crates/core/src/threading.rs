@@ -1,0 +1,87 @@
+//! Real-thread execution of poll-driven components.
+//!
+//! The same router / UIF / device objects that the virtual-time executor
+//! steps for benchmarks run here on OS threads against the wall clock —
+//! this is the configuration the functional examples and end-to-end tests
+//! use, mirroring the paper's deployment (router worker threads in the
+//! host kernel, UIF threads in a userspace process).
+
+use nvmetro_sim::{Actor, Ns, Progress};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// An [`Actor`] being driven by a dedicated OS thread.
+///
+/// The loop implements the adaptive-polling discipline in real time: after
+/// a run of idle polls it yields to the OS (the paper's `epoll` fallback),
+/// resuming hard polling as soon as work reappears.
+pub struct ActorThread<A: Actor + Send + 'static> {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<A>>,
+}
+
+impl<A: Actor + Send + 'static> ActorThread<A> {
+    /// Moves `actor` onto a new thread. `time_scale` compresses virtual
+    /// costs exactly as in `DeviceThread` (1.0 = modeled nanoseconds are
+    /// wall nanoseconds; 100.0 = 100x faster than modeled).
+    pub fn spawn(mut actor: A, time_scale: f64) -> Self {
+        assert!(time_scale > 0.0);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let name = actor.name().to_string();
+        let handle = std::thread::Builder::new()
+            .name(format!("{name}-thread"))
+            .spawn(move || {
+                let start = Instant::now();
+                let mut idle_streak = 0u32;
+                while !stop2.load(Ordering::Relaxed) {
+                    let now: Ns =
+                        (start.elapsed().as_nanos() as f64 * time_scale) as Ns;
+                    match actor.poll(now) {
+                        Progress::Busy => idle_streak = 0,
+                        Progress::Idle => {
+                            idle_streak = idle_streak.saturating_add(1);
+                            if idle_streak > 32 {
+                                // Park briefly: the OS-assisted wait of the
+                                // paper's adaptive polling.
+                                std::thread::yield_now();
+                            } else {
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                }
+                // Drain remaining scheduled work before handing back.
+                while let Some(t) = actor.next_event() {
+                    actor.poll(t);
+                }
+                actor
+            })
+            .expect("spawn actor thread");
+        ActorThread {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the thread and returns the actor.
+    pub fn stop(mut self) -> A {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle
+            .take()
+            .expect("still running")
+            .join()
+            .expect("actor thread panicked")
+    }
+}
+
+impl<A: Actor + Send + 'static> Drop for ActorThread<A> {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Cryptography substrate for NVMetro's encryption storage function.
+//!
+//! The paper's encryption UIFs use "the standard XTS-AES algorithm and are
+//! compatible with Linux's dm-crypt" (§IV-A). This crate implements that
+//! stack from scratch:
+//!
+//! * [`aes`] — AES-128/256 block cipher (FIPS-197), software implementation;
+//! * [`xts`] — XTS mode (IEEE 1619) with dm-crypt's `plain64` sector tweak,
+//!   so NVMetro's encryptor and the simulated `dm-crypt` baseline produce
+//!   byte-identical ciphertext;
+//! * [`sgx`] — an Intel SGX enclave *simulation*: the data key is sealed
+//!   inside an opaque enclave object that only exposes ECALLs, with call
+//!   accounting for the switchless-call cost model (see `DESIGN.md`).
+//!
+//! The paper's UIFs use AES-NI; we model AES-NI's *throughput* in
+//! `nvmetro-sim::cost` while this software implementation provides the
+//! *functional* data transformation for tests and examples.
+
+pub mod aes;
+pub mod sgx;
+pub mod xts;
+
+pub use aes::Aes;
+pub use sgx::{SgxEnclave, SgxStats};
+pub use xts::{Xts, SECTOR_SIZE};

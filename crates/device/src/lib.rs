@@ -1,0 +1,26 @@
+//! Simulated NVMe SSD and NVMe-oF remote target.
+//!
+//! Replaces the paper's Samsung 970 EVO Plus 1 TB (and the Infiniband-
+//! attached secondary drive of the replication experiments) with a
+//! multi-queue device model:
+//!
+//! * [`BlockStore`] — sparse 512 B-block content storage, so data written
+//!   through any path can be read back and verified;
+//! * [`SimSsd`] — the device proper: consumes commands from any number of
+//!   registered submission queues, moves data to/from the owning VM's
+//!   guest memory via PRP walks, and schedules completions using a
+//!   two-stage service model (parallel NAND channels + shared internal
+//!   bandwidth) calibrated in `nvmetro-sim::cost`;
+//! * transport overlay — an optional NVMe-over-Fabrics hop (RTT plus
+//!   per-byte wire cost) turning the same model into the remote mirror
+//!   target;
+//! * [`DeviceThread`] — drives a [`SimSsd`] on a real OS thread for the
+//!   functional (non-virtual-time) examples and tests.
+
+mod ssd;
+mod store;
+mod thread;
+
+pub use ssd::{CompletionMode, QueueHandle, SimSsd, SsdConfig, Transport};
+pub use store::BlockStore;
+pub use thread::DeviceThread;

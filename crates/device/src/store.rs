@@ -1,0 +1,150 @@
+//! Sparse block content storage.
+
+use nvmetro_nvme::LBA_SIZE;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+const SHARDS: usize = 64;
+
+/// The bytes on the (virtual) flash: a sparse map from LBA to 512-byte
+/// blocks. Unwritten blocks read as zeroes, like a fresh/trimmed SSD.
+///
+/// Shared between the device model and tests (to verify what actually
+/// landed on "disk", e.g. that ciphertext — not plaintext — was written).
+pub struct BlockStore {
+    shards: Vec<Mutex<HashMap<u64, Box<[u8; LBA_SIZE]>>>>,
+    capacity_lbas: u64,
+}
+
+impl BlockStore {
+    /// Creates a store with the given capacity in logical blocks.
+    pub fn new(capacity_lbas: u64) -> Self {
+        BlockStore {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            capacity_lbas,
+        }
+    }
+
+    /// Device capacity in logical blocks.
+    pub fn capacity_lbas(&self) -> u64 {
+        self.capacity_lbas
+    }
+
+    /// True if `slba..slba+nlb` lies within the device.
+    pub fn in_range(&self, slba: u64, nlb: u32) -> bool {
+        slba.checked_add(nlb as u64)
+            .is_some_and(|end| end <= self.capacity_lbas)
+    }
+
+    fn shard(&self, lba: u64) -> &Mutex<HashMap<u64, Box<[u8; LBA_SIZE]>>> {
+        &self.shards[(lba as usize) % SHARDS]
+    }
+
+    /// Writes whole blocks starting at `slba`; `data` length must be a
+    /// multiple of the LBA size.
+    pub fn write_blocks(&self, slba: u64, data: &[u8]) {
+        assert_eq!(data.len() % LBA_SIZE, 0, "partial block write");
+        assert!(
+            self.in_range(slba, (data.len() / LBA_SIZE) as u32),
+            "write beyond capacity"
+        );
+        for (i, chunk) in data.chunks_exact(LBA_SIZE).enumerate() {
+            let lba = slba + i as u64;
+            let mut shard = self.shard(lba).lock();
+            let block = shard
+                .entry(lba)
+                .or_insert_with(|| Box::new([0u8; LBA_SIZE]));
+            block.copy_from_slice(chunk);
+        }
+    }
+
+    /// Reads whole blocks starting at `slba` into `out`.
+    pub fn read_blocks(&self, slba: u64, out: &mut [u8]) {
+        assert_eq!(out.len() % LBA_SIZE, 0, "partial block read");
+        assert!(
+            self.in_range(slba, (out.len() / LBA_SIZE) as u32),
+            "read beyond capacity"
+        );
+        for (i, chunk) in out.chunks_exact_mut(LBA_SIZE).enumerate() {
+            let lba = slba + i as u64;
+            let shard = self.shard(lba).lock();
+            match shard.get(&lba) {
+                Some(block) => chunk.copy_from_slice(&block[..]),
+                None => chunk.fill(0),
+            }
+        }
+    }
+
+    /// Reads `nlb` blocks into a fresh vector.
+    pub fn read_vec(&self, slba: u64, nlb: u32) -> Vec<u8> {
+        let mut v = vec![0u8; nlb as usize * LBA_SIZE];
+        self.read_blocks(slba, &mut v);
+        v
+    }
+
+    /// Deallocates (TRIMs) a block range: subsequent reads return zeroes.
+    pub fn deallocate(&self, slba: u64, nlb: u32) {
+        for lba in slba..slba + nlb as u64 {
+            self.shard(lba).lock().remove(&lba);
+        }
+    }
+
+    /// Number of blocks holding data (diagnostics).
+    pub fn resident_blocks(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_blocks_read_zero() {
+        let s = BlockStore::new(1000);
+        assert!(s.read_vec(5, 2).iter().all(|&b| b == 0));
+        assert_eq!(s.resident_blocks(), 0);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let s = BlockStore::new(1000);
+        let data: Vec<u8> = (0..2 * LBA_SIZE).map(|i| (i % 250) as u8).collect();
+        s.write_blocks(10, &data);
+        assert_eq!(s.read_vec(10, 2), data);
+        assert_eq!(s.resident_blocks(), 2);
+    }
+
+    #[test]
+    fn deallocate_zeroes_blocks() {
+        let s = BlockStore::new(100);
+        s.write_blocks(0, &vec![0xFF; LBA_SIZE * 3]);
+        s.deallocate(1, 1);
+        assert!(s.read_vec(1, 1).iter().all(|&b| b == 0));
+        assert!(s.read_vec(0, 1).iter().all(|&b| b == 0xFF));
+        assert_eq!(s.resident_blocks(), 2);
+    }
+
+    #[test]
+    fn in_range_boundaries() {
+        let s = BlockStore::new(100);
+        assert!(s.in_range(0, 100));
+        assert!(!s.in_range(0, 101));
+        assert!(!s.in_range(100, 1));
+        assert!(!s.in_range(u64::MAX, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn overflow_write_panics() {
+        let s = BlockStore::new(10);
+        s.write_blocks(9, &vec![0u8; 2 * LBA_SIZE]);
+    }
+
+    #[test]
+    #[should_panic(expected = "partial block")]
+    fn partial_block_write_panics() {
+        let s = BlockStore::new(10);
+        s.write_blocks(0, &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Real-thread driver for the device model.
+//!
+//! In virtual-time runs the executor steps the SSD; functional examples and
+//! integration tests instead run it on an OS thread against the wall clock,
+//! like real hardware operating asynchronously from the host CPU.
+
+use crate::ssd::SimSsd;
+use nvmetro_sim::{Actor, Ns, Progress};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A device running on its own OS thread until dropped or stopped.
+pub struct DeviceThread {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<SimSsd>>,
+}
+
+impl DeviceThread {
+    /// Moves the device onto a new thread. `time_scale` compresses modeled
+    /// latencies (e.g. `100.0` makes a 60 µs read complete in 0.6 µs of
+    /// wall time) so functional tests stay fast while preserving ordering.
+    pub fn spawn(mut ssd: SimSsd, time_scale: f64) -> Self {
+        assert!(time_scale > 0.0, "time scale must be positive");
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("{}-thread", Actor::name(&ssd)))
+            .spawn(move || {
+                let start = Instant::now();
+                let mut idle_streak = 0u32;
+                while !stop2.load(Ordering::Relaxed) {
+                    let now: Ns = (start.elapsed().as_nanos() as f64 * time_scale) as Ns;
+                    match ssd.poll(now) {
+                        Progress::Busy => idle_streak = 0,
+                        Progress::Idle => {
+                            idle_streak = idle_streak.saturating_add(1);
+                            // Yield quickly so co-runners get the core on
+                            // small machines (single-core CI included).
+                            if idle_streak > 32 {
+                                std::thread::yield_now();
+                            } else {
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                }
+                // Drain whatever is still pending so shutdown is clean.
+                while let Some(t) = ssd.next_event() {
+                    ssd.poll(t);
+                }
+                ssd
+            })
+            .expect("spawn device thread");
+        DeviceThread {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the device thread and returns the device (with its store).
+    pub fn stop(mut self) -> SimSsd {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle
+            .take()
+            .expect("thread still running")
+            .join()
+            .expect("device thread panicked")
+    }
+}
+
+impl Drop for DeviceThread {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ssd::{CompletionMode, SsdConfig};
+    use nvmetro_mem::GuestMemory;
+    use nvmetro_nvme::{CqPair, SqPair, Status, SubmissionEntry};
+    use std::time::Duration;
+
+    #[test]
+    fn device_thread_serves_io_asynchronously() {
+        let mut ssd = SimSsd::new("ssd", SsdConfig {
+            capacity_lbas: 10_000,
+            ..Default::default()
+        });
+        let (sqp, sqc) = SqPair::new(64);
+        let (cqp, cqc) = CqPair::new(64);
+        let mem = std::sync::Arc::new(GuestMemory::new(1 << 24));
+        ssd.add_queue(sqc, cqp, mem.clone(), CompletionMode::Polled);
+        let dev = DeviceThread::spawn(ssd, 100.0); // 100x faster than modeled
+
+        let data = vec![0x77u8; 512];
+        let gpa = mem.alloc(512);
+        mem.write(gpa, &data);
+        let (p1, p2) = nvmetro_mem::build_prps(&mem, gpa, 512);
+        sqp.push(SubmissionEntry::write(1, 11, 1, p1, p2)).unwrap();
+
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let cqe = loop {
+            if let Some(c) = cqc.pop() {
+                break c;
+            }
+            assert!(Instant::now() < deadline, "completion timed out");
+            std::thread::yield_now();
+        };
+        assert_eq!(cqe.status(), Status::SUCCESS);
+        let ssd = dev.stop();
+        assert_eq!(ssd.store().read_vec(11, 1), data);
+    }
+}

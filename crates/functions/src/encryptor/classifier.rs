@@ -1,0 +1,179 @@
+//! The encryption I/O classifier — vbpf translation of Listing 1.
+//!
+//! Rules (Fig. 2): reads go to the device first and hook its completion,
+//! then continue in the UIF for decryption; writes go to the UIF for
+//! encryption, which finishes them after its own disk write; everything
+//! else passes straight to the device. The classifier also performs the
+//! direct-mediation LBA translation: the VM's partition offset is read
+//! from map 0, key 0 — configured by the host, never trusted from the
+//! guest.
+
+use nvmetro_core::classify::{classifier_verifier_config, ctx_offsets, verdict_bits};
+use nvmetro_nvme::Status;
+use nvmetro_vbpf::interp::helpers;
+use nvmetro_vbpf::isa::*;
+use nvmetro_vbpf::{MapDef, ProgramBuilder, Vm};
+
+/// Builds and verifies the encryptor classifier; `lba_offset` is installed
+/// into its configuration map. Returns the ready-to-install VM.
+pub fn build_encryptor_classifier(lba_offset: u64) -> Vm {
+    let mut b = ProgramBuilder::new();
+    let cfg_map = b.declare_map(MapDef {
+        value_size: 8,
+        max_entries: 1,
+    });
+    let hook_hcq = b.new_label();
+    let no_cfg = b.new_label();
+    let is_write = b.new_label();
+    let other_op = b.new_label();
+    let fwd_error = b.new_label();
+    let to_uif = b.new_label();
+
+    // if (ctx->current_hook != HOOK_VSQ) goto hook_hcq;
+    b.ldx(SIZE_W, R6, R1, ctx_offsets::HOOK)
+        .jmp_imm(JMP_JNE, R6, 0, hook_hcq);
+    // --- encryptor_begin: new request ---
+    // LBA translation: slba += cfg[0] (the VM's partition offset).
+    b.mov64(R7, R1) // keep ctx
+        .st_imm(SIZE_W, R10, -4, 0)
+        .mov64_imm(R1, cfg_map as i32)
+        .mov64(R2, R10)
+        .add64_imm(R2, -4)
+        .call(helpers::MAP_LOOKUP)
+        .jmp_imm(JMP_JEQ, R0, 0, no_cfg)
+        .ldx(SIZE_DW, R3, R0, 0)
+        .ldx(SIZE_DW, R4, R7, ctx_offsets::SLBA)
+        .alu64(ALU_ADD, R4, R3)
+        .stx(SIZE_DW, R7, ctx_offsets::SLBA, R4);
+    // switch (ctx->cmd.common.opcode)
+    b.ldx(SIZE_B, R5, R7, ctx_offsets::OPCODE)
+        .jmp_imm(JMP_JEQ, R5, 0x01, is_write)
+        .jmp_imm(JMP_JNE, R5, 0x02, other_op);
+    // case nvme_cmd_read: read ciphertext from the device, hook its
+    // completion: return SEND_HQ | HOOK_HCQ;
+    b.lddw(R0, verdict_bits::SEND_HQ | verdict_bits::HOOK_HCQ)
+        .exit();
+    // case nvme_cmd_write: UIF encrypts and will finish the command:
+    // return SEND_NQ | WILL_COMPLETE_NQ;
+    b.bind(is_write);
+    b.lddw(R0, verdict_bits::SEND_NQ | verdict_bits::WILL_COMPLETE_NQ)
+        .exit();
+    // default: send to device: return SEND_HQ | WILL_COMPLETE_HQ;
+    b.bind(other_op);
+    b.lddw(
+        R0,
+        verdict_bits::SEND_HQ | verdict_bits::WILL_COMPLETE_HQ,
+    )
+    .exit();
+    // --- HOOK_HCQ: device read done, check for error ---
+    b.bind(hook_hcq);
+    b.ldx(SIZE_H, R3, R1, ctx_offsets::ERROR)
+        .jmp_imm(JMP_JNE, R3, 0, fwd_error)
+        .ja(to_uif);
+    // if (ctx->error) return ctx->error | COMPLETE;
+    b.bind(fwd_error);
+    b.mov64(R0, R3)
+        .or64_imm(R0, verdict_bits::COMPLETE as i32)
+        .exit();
+    // else return SEND_NQ | WILL_COMPLETE_NQ;
+    b.bind(to_uif);
+    b.lddw(R0, verdict_bits::SEND_NQ | verdict_bits::WILL_COMPLETE_NQ)
+        .exit();
+    // Unconfigured map: fail closed.
+    b.bind(no_cfg);
+    b.mov64_imm(R0, Status::INTERNAL.0 as i32)
+        .or64_imm(R0, verdict_bits::COMPLETE as i32)
+        .exit();
+
+    let (insns, maps) = b.build();
+    let mut vm = Vm::new(
+        nvmetro_vbpf::verify(insns, maps, &classifier_verifier_config())
+            .expect("encryptor classifier must verify"),
+    );
+    vm.map_mut(cfg_map as usize)
+        .set_u64(0, lba_offset)
+        .expect("configure partition offset");
+    vm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmetro_core::classify::{Classifier, RequestCtx, Verdict, HOOK_HCQ, HOOK_VSQ};
+    use nvmetro_core::classify::path_bits;
+    use nvmetro_nvme::SubmissionEntry;
+
+    fn run(vm: &mut Vm, hook: u32, cmd: &SubmissionEntry, error: Status) -> (Verdict, RequestCtx) {
+        let mut cls = Classifier::Bpf(std::mem::replace(vm, build_encryptor_classifier(0)));
+        let mut ctx = RequestCtx::new(hook, 0, 0, cmd, error, 0);
+        let v = cls.run(&mut ctx, 0);
+        if let Classifier::Bpf(inner) = cls {
+            *vm = inner;
+        }
+        (v, ctx)
+    }
+
+    #[test]
+    fn reads_hook_the_device_completion() {
+        let mut vm = build_encryptor_classifier(0);
+        let cmd = SubmissionEntry::read(1, 10, 1, 0, 0);
+        let (v, _) = run(&mut vm, HOOK_VSQ, &cmd, Status::SUCCESS);
+        assert_eq!(v.send_mask(), path_bits::HQ);
+        assert_eq!(v.hook_mask(), path_bits::HQ);
+        assert_eq!(v.will_complete_mask(), 0);
+    }
+
+    #[test]
+    fn writes_go_to_the_uif() {
+        let mut vm = build_encryptor_classifier(0);
+        let cmd = SubmissionEntry::write(1, 10, 1, 0, 0);
+        let (v, _) = run(&mut vm, HOOK_VSQ, &cmd, Status::SUCCESS);
+        assert_eq!(v.send_mask(), path_bits::NQ);
+        assert_eq!(v.will_complete_mask(), path_bits::NQ);
+    }
+
+    #[test]
+    fn other_commands_pass_through() {
+        let mut vm = build_encryptor_classifier(0);
+        let cmd = SubmissionEntry::flush(1);
+        let (v, _) = run(&mut vm, HOOK_VSQ, &cmd, Status::SUCCESS);
+        assert_eq!(v.send_mask(), path_bits::HQ);
+        assert_eq!(v.will_complete_mask(), path_bits::HQ);
+    }
+
+    #[test]
+    fn lba_translation_uses_the_config_map() {
+        let mut vm = build_encryptor_classifier(4096);
+        let cmd = SubmissionEntry::read(1, 10, 1, 0, 0);
+        let (_, ctx) = run(&mut vm, HOOK_VSQ, &cmd, Status::SUCCESS);
+        assert_eq!(ctx.slba(), 4106);
+    }
+
+    #[test]
+    fn device_read_success_continues_in_uif() {
+        let mut vm = build_encryptor_classifier(0);
+        let cmd = SubmissionEntry::read(1, 10, 1, 0, 0);
+        let (v, _) = run(&mut vm, HOOK_HCQ, &cmd, Status::SUCCESS);
+        assert_eq!(v.send_mask(), path_bits::NQ);
+        assert_eq!(v.will_complete_mask(), path_bits::NQ);
+        assert!(!v.complete());
+    }
+
+    #[test]
+    fn device_read_error_is_forwarded_to_the_vm() {
+        let mut vm = build_encryptor_classifier(0);
+        let cmd = SubmissionEntry::read(1, 10, 1, 0, 0);
+        let (v, _) = run(&mut vm, HOOK_HCQ, &cmd, Status::UNRECOVERED_READ);
+        assert!(v.complete());
+        assert_eq!(v.status(), Status::UNRECOVERED_READ);
+    }
+
+    #[test]
+    fn hook_invocations_do_not_retranslate() {
+        let mut vm = build_encryptor_classifier(1000);
+        let cmd = SubmissionEntry::read(1, 50, 1, 0, 0);
+        // At HOOK_HCQ the slba is already physical; it must be untouched.
+        let (_, ctx) = run(&mut vm, HOOK_HCQ, &cmd, Status::SUCCESS);
+        assert_eq!(ctx.slba(), 50);
+    }
+}

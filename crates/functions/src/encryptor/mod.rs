@@ -1,0 +1,7 @@
+//! Transparent data encryption (§IV-A).
+
+mod classifier;
+mod uif;
+
+pub use classifier::build_encryptor_classifier;
+pub use uif::{CryptoBackend, EncryptorUif};

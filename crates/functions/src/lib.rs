@@ -1,0 +1,30 @@
+//! NVMetro storage functions (§IV).
+//!
+//! The two storage functions the paper builds and evaluates:
+//!
+//! * [`encryptor`] — transparent XTS-AES disk encryption. Reads go
+//!   device-first then to the UIF for in-place decryption; writes go to the
+//!   UIF, which encrypts into a temporary buffer and writes ciphertext to
+//!   disk through its io_uring backend (Fig. 2 / Listings 1-2). A variant
+//!   keeps the key inside a (simulated) Intel SGX enclave.
+//! * [`replicator`] — live disk mirroring. Reads go straight to the local
+//!   primary; writes are multicast to the primary *and* the UIF, which
+//!   forwards them to a remote NVMe-oF secondary; the request completes
+//!   only when both replicas are durable (synchronous mirroring, §IV-B).
+//!
+//! A third function, [`qos`], implements token-bucket rate limiting with
+//! *no userspace component at all* — persistent classifier maps and the
+//! `ktime_ns` helper are enough, demonstrating the in-kernel end of the
+//! flexibility spectrum.
+//!
+//! All classifiers are genuine vbpf bytecode assembled with
+//! `nvmetro-vbpf`'s builder and accepted by its verifier; partition LBA
+//! translation is configured through a classifier map, not hard-coded.
+
+pub mod encryptor;
+pub mod qos;
+pub mod replicator;
+
+pub use encryptor::{build_encryptor_classifier, CryptoBackend, EncryptorUif};
+pub use qos::build_qos_classifier;
+pub use replicator::{build_replicator_classifier, ReplicatorUif};

@@ -1,0 +1,113 @@
+//! The replication I/O classifier.
+//!
+//! "Our classifier passes read requests directly from the guest to the
+//! primary disk, while write requests are sent to both the primary disk
+//! and UIF" (§IV-B). Mirroring is synchronous: the write completes only
+//! when both the local and remote legs finish, which the router's
+//! multicast `WILL_COMPLETE_HQ | WILL_COMPLETE_NQ` expresses directly —
+//! the UIF never even sees reads, they are "filtered out by our classifier
+//! and directly passed to disk" (§V-F).
+
+use nvmetro_core::classify::{classifier_verifier_config, ctx_offsets, verdict_bits};
+use nvmetro_vbpf::interp::helpers;
+use nvmetro_vbpf::isa::*;
+use nvmetro_vbpf::{MapDef, ProgramBuilder, Vm};
+
+/// Builds and verifies the replicator classifier with the VM's partition
+/// offset installed in its configuration map.
+pub fn build_replicator_classifier(lba_offset: u64) -> Vm {
+    let mut b = ProgramBuilder::new();
+    let cfg_map = b.declare_map(MapDef {
+        value_size: 8,
+        max_entries: 1,
+    });
+    let skip_cfg = b.new_label();
+    let is_write = b.new_label();
+
+    // slba += cfg[0] (partition translation).
+    b.mov64(R7, R1)
+        .st_imm(SIZE_W, R10, -4, 0)
+        .mov64_imm(R1, cfg_map as i32)
+        .mov64(R2, R10)
+        .add64_imm(R2, -4)
+        .call(helpers::MAP_LOOKUP)
+        .jmp_imm(JMP_JEQ, R0, 0, skip_cfg)
+        .ldx(SIZE_DW, R3, R0, 0)
+        .ldx(SIZE_DW, R4, R7, ctx_offsets::SLBA)
+        .alu64(ALU_ADD, R4, R3)
+        .stx(SIZE_DW, R7, ctx_offsets::SLBA, R4);
+    b.bind(skip_cfg);
+    // Writes: multicast to the primary disk and the UIF; complete when
+    // both are durable.
+    b.ldx(SIZE_B, R5, R7, ctx_offsets::OPCODE)
+        .jmp_imm(JMP_JEQ, R5, 0x01, is_write);
+    // Reads and everything else: primary disk only.
+    b.lddw(
+        R0,
+        verdict_bits::SEND_HQ | verdict_bits::WILL_COMPLETE_HQ,
+    )
+    .exit();
+    b.bind(is_write);
+    b.lddw(
+        R0,
+        verdict_bits::SEND_HQ
+            | verdict_bits::SEND_NQ
+            | verdict_bits::WILL_COMPLETE_HQ
+            | verdict_bits::WILL_COMPLETE_NQ,
+    )
+    .exit();
+
+    let (insns, maps) = b.build();
+    let mut vm = Vm::new(
+        nvmetro_vbpf::verify(insns, maps, &classifier_verifier_config())
+            .expect("replicator classifier must verify"),
+    );
+    vm.map_mut(cfg_map as usize)
+        .set_u64(0, lba_offset)
+        .expect("configure partition offset");
+    vm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmetro_core::classify::{path_bits, Classifier, RequestCtx, Verdict, HOOK_VSQ};
+    use nvmetro_nvme::{Status, SubmissionEntry};
+
+    fn classify(offset: u64, cmd: &SubmissionEntry) -> (Verdict, RequestCtx) {
+        let mut cls = Classifier::Bpf(build_replicator_classifier(offset));
+        let mut ctx = RequestCtx::new(HOOK_VSQ, 0, 0, cmd, Status::SUCCESS, 0);
+        let v = cls.run(&mut ctx, 0);
+        (v, ctx)
+    }
+
+    #[test]
+    fn reads_go_to_primary_only() {
+        let (v, _) = classify(0, &SubmissionEntry::read(1, 0, 1, 0, 0));
+        assert_eq!(v.send_mask(), path_bits::HQ);
+        assert_eq!(v.will_complete_mask(), path_bits::HQ);
+    }
+
+    #[test]
+    fn writes_multicast_to_disk_and_uif() {
+        let (v, _) = classify(0, &SubmissionEntry::write(1, 0, 1, 0, 0));
+        assert_eq!(v.send_mask(), path_bits::HQ | path_bits::NQ);
+        assert_eq!(
+            v.will_complete_mask(),
+            path_bits::HQ | path_bits::NQ,
+            "synchronous mirroring: both legs must finish"
+        );
+    }
+
+    #[test]
+    fn translation_applies_before_routing() {
+        let (_, ctx) = classify(2048, &SubmissionEntry::write(1, 5, 1, 0, 0));
+        assert_eq!(ctx.slba(), 2053);
+    }
+
+    #[test]
+    fn flush_goes_to_primary() {
+        let (v, _) = classify(0, &SubmissionEntry::flush(1));
+        assert_eq!(v.send_mask(), path_bits::HQ);
+    }
+}

@@ -1,0 +1,7 @@
+//! Live disk replication (§IV-B).
+
+mod classifier;
+mod uif;
+
+pub use classifier::build_replicator_classifier;
+pub use uif::ReplicatorUif;

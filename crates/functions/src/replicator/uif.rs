@@ -1,0 +1,82 @@
+//! The mirroring UIF.
+//!
+//! "The UIF then forwards the write request to the secondary disk using
+//! io_uring. The mirroring process is synchronous" (§IV-B). The UIF's
+//! backend queue pair is registered on the *remote* NVMe-oF device, so a
+//! forwarded write pays the fabric round trip; the router completes the
+//! guest request only when this leg and the local fast-path leg both
+//! report success.
+
+use nvmetro_core::uif::{Uif, UifDisposition, UifRequest};
+use nvmetro_nvme::{NvmOpcode, Status, SubmissionEntry};
+use nvmetro_sim::cost::CostModel;
+use nvmetro_sim::Ns;
+
+/// The replication UIF: forwards writes to the secondary.
+pub struct ReplicatorUif {
+    forwarded: u64,
+}
+
+impl Default for ReplicatorUif {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReplicatorUif {
+    /// Creates the UIF.
+    pub fn new() -> Self {
+        ReplicatorUif { forwarded: 0 }
+    }
+
+    /// Writes forwarded to the secondary so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+}
+
+impl Uif for ReplicatorUif {
+    fn work(&mut self, req: &mut UifRequest<'_>) -> UifDisposition {
+        match req.opcode() {
+            Some(NvmOpcode::Write) => {
+                self.forwarded += 1;
+                let data = req.read_guest();
+                let slba = req.cmd.slba();
+                let nlb = req.cmd.nlb();
+                let tag = req.tag;
+                let payload = if data.is_empty() { None } else { Some(&data[..]) };
+                req.io().write(slba, nlb, payload, tag as u64);
+                UifDisposition::Async
+            }
+            // The classifier filters reads out before they reach us; answer
+            // defensively if one slips through.
+            _ => UifDisposition::Respond(Status::INVALID_OPCODE),
+        }
+    }
+
+    fn work_cost(&self, _cmd: &SubmissionEntry, _cost: &CostModel) -> Ns {
+        // Pure forwarding: only the framework's per-request overhead and
+        // the io_uring submission cost (both charged by the runner).
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_forwarded_writes() {
+        // Counter behavior is observable without a full rig; routing
+        // integration is covered by the crate-level tests.
+        let uif = ReplicatorUif::new();
+        assert_eq!(uif.forwarded(), 0);
+    }
+
+    #[test]
+    fn work_cost_is_negligible() {
+        let uif = ReplicatorUif::new();
+        let cmd = SubmissionEntry::write(1, 0, 256, 0, 0);
+        assert_eq!(uif.work_cost(&cmd, &CostModel::default()), 0);
+    }
+}

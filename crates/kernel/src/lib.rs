@@ -1,0 +1,24 @@
+//! Host-kernel storage substrate.
+//!
+//! The paper's baselines and NVMetro's *kernel path* both traverse Linux's
+//! in-kernel storage stack: the block layer (bio allocation, merging,
+//! submission) and, for the storage-function experiments, device-mapper
+//! targets stacked on top of it (`dm-crypt` for encryption, `dm-mirror`
+//! for replication — §V-C, §V-D). This crate rebuilds that stack as a
+//! virtual-time pipeline:
+//!
+//! * [`KernelDm`] — a block-layer station feeding an optional DM target
+//!   ([`DmConfig`]): `dm-linear` LBA remapping, `dm-crypt` with a kcryptd
+//!   worker pool, real XTS-AES bounce-buffer encryption (ciphertext is
+//!   byte-compatible with NVMetro's encryption UIF) and the single
+//!   `dmcrypt_write` serialization thread, or `dm-mirror` duplicating
+//!   writes to a secondary (remote) device;
+//! * [`RouterKernelPath`] — adapts [`KernelDm`] to the router's
+//!   [`nvmetro_core::router::KernelPath`] trait, i.e. NVMetro's blue
+//!   kernel path.
+
+mod dm;
+mod path;
+
+pub use dm::{DmConfig, DmRequest, KernelDm};
+pub use path::RouterKernelPath;

@@ -1,0 +1,66 @@
+//! Adapter: [`KernelDm`] as NVMetro's kernel path.
+
+use crate::dm::{DmRequest, KernelDm};
+use nvmetro_core::router::KernelPath;
+use nvmetro_nvme::{NvmOpcode, Status, SubmissionEntry};
+use nvmetro_sim::Ns;
+
+/// Exposes a [`KernelDm`] stack as the router's kernel path ("compatible
+/// with Linux's block layer features (e.g. device mapper), as well as
+/// non-NVMe backends", §III-A).
+pub struct RouterKernelPath {
+    dm: KernelDm,
+    out: Vec<(u64, Status)>,
+}
+
+impl RouterKernelPath {
+    /// Wraps a DM stack.
+    pub fn new(dm: KernelDm) -> Self {
+        RouterKernelPath {
+            dm,
+            out: Vec::new(),
+        }
+    }
+}
+
+impl KernelPath for RouterKernelPath {
+    fn submit(&mut self, tag: u16, cmd: SubmissionEntry, now: Ns) {
+        let write = match cmd.nvm_opcode() {
+            Some(NvmOpcode::Write) => true,
+            Some(NvmOpcode::Read) => false,
+            _ => {
+                // Only the Linux storage semantics traverse the kernel path
+                // (§III-A); anything else is completed with an error.
+                self.out.push((tag as u64, Status::INVALID_OPCODE));
+                return;
+            }
+        };
+        self.dm.submit(
+            DmRequest {
+                user: tag as u64,
+                write,
+                slba: cmd.slba(),
+                nlb: cmd.nlb(),
+                prp1: cmd.prp1,
+                prp2: cmd.prp2,
+            },
+            now,
+        );
+    }
+
+    fn poll(&mut self, now: Ns, out: &mut Vec<(u16, Status)>) {
+        self.dm.poll(now);
+        self.dm.take_done(&mut self.out);
+        for (user, status) in self.out.drain(..) {
+            out.push((user as u16, status));
+        }
+    }
+
+    fn next_event(&self) -> Option<Ns> {
+        self.dm.next_event()
+    }
+
+    fn charged(&self) -> Ns {
+        self.dm.charged()
+    }
+}

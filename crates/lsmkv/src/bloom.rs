@@ -1,0 +1,127 @@
+//! Bloom filters for SSTable point-lookup short-circuiting.
+
+/// A classic Bloom filter with double hashing (Kirsch-Mitzenmacher).
+#[derive(Clone, Debug)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: u64,
+    hashes: u32,
+}
+
+fn fnv1a(data: &[u8], seed: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+impl BloomFilter {
+    /// Sizes the filter for `expected` keys at ~1% false-positive rate
+    /// (10 bits/key, 7 hash functions — RocksDB's default profile).
+    pub fn new(expected: usize) -> Self {
+        let num_bits = (expected.max(1) * 10).next_power_of_two() as u64;
+        BloomFilter {
+            bits: vec![0; (num_bits as usize).div_ceil(64)],
+            num_bits,
+            hashes: 7,
+        }
+    }
+
+    fn index_pair(&self, key: &[u8]) -> (u64, u64) {
+        (fnv1a(key, 0), fnv1a(key, 0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: &[u8]) {
+        let (h1, h2) = self.index_pair(key);
+        for i in 0..self.hashes {
+            let bit = h1.wrapping_add(h2.wrapping_mul(i as u64)) % self.num_bits;
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+    }
+
+    /// True if the key *may* be present (never false-negative).
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let (h1, h2) = self.index_pair(key);
+        (0..self.hashes).all(|i| {
+            let bit = h1.wrapping_add(h2.wrapping_mul(i as u64)) % self.num_bits;
+            self.bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    /// Serializes to bytes (u64 little-endian words after a small header).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.bits.len() * 8);
+        out.extend(self.num_bits.to_le_bytes());
+        out.extend((self.hashes as u64).to_le_bytes());
+        for w in &self.bits {
+            out.extend(w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes from [`BloomFilter::to_bytes`] output.
+    pub fn from_bytes(data: &[u8]) -> Self {
+        let num_bits = u64::from_le_bytes(data[0..8].try_into().unwrap());
+        let hashes = u64::from_le_bytes(data[8..16].try_into().unwrap()) as u32;
+        let bits = data[16..]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        BloomFilter {
+            bits,
+            num_bits,
+            hashes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new(1000);
+        for i in 0..1000u32 {
+            f.insert(&i.to_le_bytes());
+        }
+        for i in 0..1000u32 {
+            assert!(f.may_contain(&i.to_le_bytes()));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let mut f = BloomFilter::new(1000);
+        for i in 0..1000u32 {
+            f.insert(&i.to_le_bytes());
+        }
+        let fp = (10_000..60_000u32)
+            .filter(|i| f.may_contain(&i.to_le_bytes()))
+            .count();
+        let rate = fp as f64 / 50_000.0;
+        assert!(rate < 0.03, "false positive rate {rate}");
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let mut f = BloomFilter::new(100);
+        for i in 0..100u32 {
+            f.insert(&i.to_le_bytes());
+        }
+        let g = BloomFilter::from_bytes(&f.to_bytes());
+        for i in 0..100u32 {
+            assert!(g.may_contain(&i.to_le_bytes()));
+        }
+        assert!(!g.may_contain(b"definitely-not-inserted-key-xyz"));
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing_inserted() {
+        let f = BloomFilter::new(10);
+        assert!(!f.may_contain(b"anything"));
+    }
+}

@@ -1,0 +1,496 @@
+//! The LSM tree proper: memtable + WAL + L0/L1 tables + compaction.
+
+use crate::memtable::Memtable;
+use crate::sstable::SsTable;
+use crate::storage::Storage;
+use crate::wal::Wal;
+use std::collections::{BTreeMap, HashMap};
+
+/// Manifest block: persists table locations so the store can reopen.
+/// Fixed 4 KiB at offset 0: magic, heap cursor, L1 base (0 = none),
+/// L0 count + bases (newest last).
+const MANIFEST_LEN: u64 = 4096;
+const MANIFEST_MAGIC: u32 = 0x4C53_4D4B; // "LSMK"
+
+/// Tuning knobs.
+#[derive(Clone, Debug)]
+pub struct DbConfig {
+    /// Memtable flush threshold in bytes.
+    pub memtable_bytes: usize,
+    /// L0 tables that trigger an L0+L1 merge compaction.
+    pub l0_limit: usize,
+    /// WAL region size in bytes.
+    pub wal_bytes: u64,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            memtable_bytes: 1 << 20,
+            l0_limit: 4,
+            wal_bytes: 8 << 20,
+        }
+    }
+}
+
+/// Operation counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DbStats {
+    /// Point lookups served.
+    pub gets: u64,
+    /// Updates (puts + deletes).
+    pub puts: u64,
+    /// Memtable flushes.
+    pub flushes: u64,
+    /// Compactions run.
+    pub compactions: u64,
+    /// Bytes written by flushes.
+    pub bytes_flushed: u64,
+    /// Bytes written by compactions.
+    pub bytes_compacted: u64,
+    /// SSTable probes skipped by bloom filters.
+    pub bloom_skips: u64,
+}
+
+/// The key-value store.
+pub struct LsmKv<S: Storage> {
+    storage: S,
+    cfg: DbConfig,
+    wal: Wal,
+    memtable: Memtable,
+    /// Newest-last overlapping runs.
+    l0: Vec<SsTable>,
+    /// The single bottom-level sorted run.
+    l1: Option<SsTable>,
+    heap_next: u64,
+    /// Reserved size of each live heap region, by base offset.
+    heap_regions: HashMap<u64, u64>,
+    /// Freed regions available for reuse: (reserved bytes, base).
+    free_list: Vec<(u64, u64)>,
+    stats: DbStats,
+}
+
+impl<S: Storage> LsmKv<S> {
+    /// Creates a fresh store on `storage` (overwrites any prior state).
+    pub fn create(storage: S, cfg: DbConfig) -> Self {
+        let wal = Wal::new(MANIFEST_LEN, cfg.wal_bytes);
+        let heap_next = MANIFEST_LEN + cfg.wal_bytes;
+        let mut db = LsmKv {
+            storage,
+            cfg,
+            wal,
+            memtable: Memtable::new(),
+            l0: Vec::new(),
+            l1: None,
+            heap_next,
+            heap_regions: HashMap::new(),
+            free_list: Vec::new(),
+            stats: DbStats::default(),
+        };
+        db.write_manifest();
+        db
+    }
+
+    /// Reopens a store: reads the manifest, opens tables, replays the WAL
+    /// into a fresh memtable (crash recovery).
+    pub fn open(storage: S, cfg: DbConfig) -> Self {
+        let mut hdr = [0u8; 4096];
+        storage.read_at(0, &mut hdr[..64]);
+        let magic = u32::from_le_bytes(hdr[0..4].try_into().unwrap());
+        assert_eq!(magic, MANIFEST_MAGIC, "no lsmkv store on this storage");
+        let heap_next = u64::from_le_bytes(hdr[4..12].try_into().unwrap());
+        let l1_base = u64::from_le_bytes(hdr[12..20].try_into().unwrap());
+        let l0_count = u32::from_le_bytes(hdr[20..24].try_into().unwrap()) as usize;
+        let mut l0_bases = Vec::with_capacity(l0_count);
+        let mut full = vec![0u8; 24 + l0_count * 8];
+        storage.read_at(0, &mut full);
+        for i in 0..l0_count {
+            l0_bases.push(u64::from_le_bytes(
+                full[24 + i * 8..32 + i * 8].try_into().unwrap(),
+            ));
+        }
+        let l1 = (l1_base != 0).then(|| SsTable::open(&storage, l1_base));
+        let l0 = l0_bases
+            .iter()
+            .map(|&b| SsTable::open(&storage, b))
+            .collect();
+        let mut wal = Wal::new(MANIFEST_LEN, cfg.wal_bytes);
+        let mut memtable = Memtable::new();
+        // Recover committed-but-unflushed updates.
+        wal.recover(&storage);
+        for rec in wal.replay(&storage) {
+            match rec.value {
+                Some(v) => memtable.put(&rec.key, &v),
+                None => memtable.delete(&rec.key),
+            }
+        }
+        LsmKv {
+            storage,
+            cfg,
+            wal,
+            memtable,
+            l0,
+            l1,
+            heap_next,
+            heap_regions: HashMap::new(),
+            free_list: Vec::new(),
+            stats: DbStats::default(),
+        }
+    }
+
+    fn write_manifest(&mut self) {
+        let mut m = Vec::with_capacity(64);
+        m.extend(MANIFEST_MAGIC.to_le_bytes());
+        m.extend(self.heap_next.to_le_bytes());
+        m.extend(self.l1.as_ref().map_or(0u64, |t| t.base()).to_le_bytes());
+        m.extend((self.l0.len() as u32).to_le_bytes());
+        for t in &self.l0 {
+            m.extend(t.base().to_le_bytes());
+        }
+        self.storage.write_at(0, &m);
+        self.storage.sync();
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> DbStats {
+        self.stats
+    }
+
+    /// Inserts or replaces a key.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        self.stats.puts += 1;
+        self.wal.append(&mut self.storage, key, Some(value));
+        self.memtable.put(key, value);
+        self.maybe_flush();
+    }
+
+    /// Deletes a key.
+    pub fn delete(&mut self, key: &[u8]) {
+        self.stats.puts += 1;
+        self.wal.append(&mut self.storage, key, None);
+        self.memtable.delete(key);
+        self.maybe_flush();
+    }
+
+    /// Point lookup.
+    pub fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        self.stats.gets += 1;
+        if let Some(v) = self.memtable.get(key) {
+            return v.map(|v| v.to_vec());
+        }
+        for t in self.l0.iter().rev() {
+            if let Some(v) = t.get(&self.storage, key, &mut self.stats.bloom_skips) {
+                return v;
+            }
+        }
+        if let Some(t) = &self.l1 {
+            if let Some(v) = t.get(&self.storage, key, &mut self.stats.bloom_skips) {
+                return v;
+            }
+        }
+        None
+    }
+
+    /// Range scan: up to `limit` live entries with key >= `start`
+    /// (YCSB workload E).
+    pub fn scan(&mut self, start: &[u8], limit: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+        // Merge all sources with newest-first precedence.
+        let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        let fetch = limit * 2 + 16; // headroom for tombstone masking
+        for (k, v) in self.memtable.range_from(start).take(fetch) {
+            merged.entry(k.to_vec()).or_insert_with(|| v.map(|v| v.to_vec()));
+        }
+        for t in self.l0.iter().rev() {
+            for (k, v) in t.iter_from(&self.storage, start).take(fetch) {
+                merged.entry(k).or_insert(v);
+            }
+        }
+        if let Some(t) = &self.l1 {
+            for (k, v) in t.iter_from(&self.storage, start).take(fetch) {
+                merged.entry(k).or_insert(v);
+            }
+        }
+        merged
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .take(limit)
+            .collect()
+    }
+
+    /// Forces a memtable flush (and compaction if L0 is over limit).
+    pub fn flush(&mut self) {
+        if !self.memtable.is_empty() {
+            self.flush_memtable();
+        }
+    }
+
+    fn maybe_flush(&mut self) {
+        if self.memtable.bytes() >= self.cfg.memtable_bytes {
+            self.flush_memtable();
+        }
+    }
+
+    fn alloc_heap(&mut self, bytes: u64) -> u64 {
+        let reserved = bytes.div_ceil(4096) * 4096;
+        // Best-fit reuse of freed table space before growing the heap.
+        if let Some(i) = self
+            .free_list
+            .iter()
+            .enumerate()
+            .filter(|(_, (sz, _))| *sz >= reserved)
+            .min_by_key(|(_, (sz, _))| *sz)
+            .map(|(i, _)| i)
+        {
+            let (sz, base) = self.free_list.swap_remove(i);
+            self.heap_regions.insert(base, sz);
+            return base;
+        }
+        let base = self.heap_next;
+        assert!(
+            base + reserved <= self.storage.capacity(),
+            "storage heap exhausted"
+        );
+        self.heap_next += reserved;
+        self.heap_regions.insert(base, reserved);
+        base
+    }
+
+    /// Returns a dropped table's reserved region to the free list,
+    /// coalescing adjacent regions (so successive generations of a growing
+    /// L1 can be recycled into one larger slot).
+    fn free_heap(&mut self, base: u64) {
+        if let Some(sz) = self.heap_regions.remove(&base) {
+            self.free_list.push((sz, base));
+            self.free_list.sort_unstable_by_key(|&(_, b)| b);
+            let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.free_list.len());
+            for &(sz, b) in self.free_list.iter() {
+                match merged.last_mut() {
+                    Some((psz, pb)) if *pb + *psz == b => *psz += sz,
+                    _ => merged.push((sz, b)),
+                }
+            }
+            // A top-of-heap free region shrinks the heap itself.
+            if let Some(&(sz, b)) = merged.last() {
+                if b + sz == self.heap_next {
+                    self.heap_next = b;
+                    merged.pop();
+                }
+            }
+            self.free_list = merged;
+        }
+    }
+
+    fn flush_memtable(&mut self) {
+        let entries = self.memtable.drain_sorted();
+        if entries.is_empty() {
+            return;
+        }
+        let approx: u64 = entries
+            .iter()
+            .map(|(k, v)| 16 + k.len() as u64 + v.as_ref().map_or(0, |v| v.len() as u64))
+            .sum::<u64>()
+            * 2
+            + (1 << 16);
+        let base = self.alloc_heap(approx);
+        let table = SsTable::write(&mut self.storage, base, &entries);
+        self.stats.bytes_flushed += table.size_bytes();
+        self.stats.flushes += 1;
+        self.l0.push(table);
+        self.wal.reset(&mut self.storage);
+        if self.l0.len() > self.cfg.l0_limit {
+            self.compact();
+        }
+        self.write_manifest();
+    }
+
+    /// Merges every L0 run with L1 into a fresh L1 (dropping tombstones,
+    /// which is safe at the bottom level). The replaced tables' space is
+    /// recycled for future flushes.
+    fn compact(&mut self) {
+        self.stats.compactions += 1;
+        let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        // Newest first: L0 back-to-front, then L1.
+        for t in self.l0.iter().rev() {
+            for (k, v) in t.iter(&self.storage) {
+                merged.entry(k).or_insert(v);
+            }
+        }
+        if let Some(t) = &self.l1 {
+            for (k, v) in t.iter(&self.storage) {
+                merged.entry(k).or_insert(v);
+            }
+        }
+        let entries: Vec<(Vec<u8>, Option<Vec<u8>>)> = merged
+            .into_iter()
+            .filter(|(_, v)| v.is_some())
+            .collect();
+        let old_bases: Vec<u64> = self
+            .l0
+            .iter()
+            .map(|t| t.base())
+            .chain(self.l1.as_ref().map(|t| t.base()))
+            .collect();
+        self.l0.clear();
+        for b in old_bases {
+            self.free_heap(b);
+        }
+        if entries.is_empty() {
+            self.l1 = None;
+            return;
+        }
+        let approx: u64 = entries
+            .iter()
+            .map(|(k, v)| 16 + k.len() as u64 + v.as_ref().map_or(0, |v| v.len() as u64))
+            .sum::<u64>()
+            * 2
+            + (1 << 16);
+        let base = self.alloc_heap(approx);
+        let table = SsTable::write(&mut self.storage, base, &entries);
+        self.stats.bytes_compacted += table.size_bytes();
+        self.l1 = Some(table);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+
+    fn small_db() -> LsmKv<MemStorage> {
+        LsmKv::create(
+            MemStorage::new(64 << 20),
+            DbConfig {
+                memtable_bytes: 1 << 12, // tiny: force flushes
+                l0_limit: 3,
+                wal_bytes: 1 << 20,
+            },
+        )
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let mut db = small_db();
+        db.put(b"hello", b"world");
+        assert_eq!(db.get(b"hello"), Some(b"world".to_vec()));
+        db.delete(b"hello");
+        assert_eq!(db.get(b"hello"), None);
+        assert_eq!(db.get(b"never"), None);
+    }
+
+    #[test]
+    fn survives_flushes_and_compactions() {
+        let mut db = small_db();
+        for i in 0..2_000u32 {
+            db.put(
+                format!("user{:08}", i).as_bytes(),
+                format!("record-{i}").as_bytes(),
+            );
+        }
+        assert!(db.stats().flushes > 0, "flushes must have happened");
+        assert!(db.stats().compactions > 0, "compactions must have happened");
+        for i in (0..2_000u32).step_by(97) {
+            assert_eq!(
+                db.get(format!("user{:08}", i).as_bytes()),
+                Some(format!("record-{i}").into_bytes()),
+                "key {i} lost"
+            );
+        }
+    }
+
+    #[test]
+    fn overwrites_keep_newest_value() {
+        let mut db = small_db();
+        for round in 0..5u32 {
+            for i in 0..300u32 {
+                db.put(
+                    format!("k{:06}", i).as_bytes(),
+                    format!("v{round}-{i}").as_bytes(),
+                );
+            }
+        }
+        for i in (0..300u32).step_by(13) {
+            assert_eq!(
+                db.get(format!("k{:06}", i).as_bytes()),
+                Some(format!("v4-{i}").into_bytes())
+            );
+        }
+    }
+
+    #[test]
+    fn deletes_mask_older_levels() {
+        let mut db = small_db();
+        for i in 0..500u32 {
+            db.put(format!("k{:06}", i).as_bytes(), b"v");
+        }
+        db.flush();
+        db.delete(b"k000123");
+        db.flush(); // tombstone now in an L0 table above the data
+        assert_eq!(db.get(b"k000123"), None);
+        assert_eq!(db.get(b"k000124"), Some(b"v".to_vec()));
+    }
+
+    #[test]
+    fn scan_returns_sorted_live_entries() {
+        let mut db = small_db();
+        for i in 0..200u32 {
+            db.put(format!("k{:06}", i).as_bytes(), format!("{i}").as_bytes());
+        }
+        db.delete(b"k000011");
+        let got = db.scan(b"k000010", 5);
+        let keys: Vec<String> = got
+            .iter()
+            .map(|(k, _)| String::from_utf8(k.clone()).unwrap())
+            .collect();
+        assert_eq!(
+            keys,
+            vec!["k000010", "k000012", "k000013", "k000014", "k000015"],
+            "tombstoned k000011 must be masked"
+        );
+    }
+
+    #[test]
+    fn reopen_recovers_tables_and_wal() {
+        let cfg = DbConfig {
+            memtable_bytes: 1 << 12,
+            l0_limit: 3,
+            wal_bytes: 1 << 20,
+        };
+        let mut db = LsmKv::create(MemStorage::new(64 << 20), cfg.clone());
+        for i in 0..1_000u32 {
+            db.put(format!("k{:06}", i).as_bytes(), format!("{i}").as_bytes());
+        }
+        // These last writes live only in WAL + memtable.
+        db.put(b"unflushed-1", b"alpha");
+        db.put(b"unflushed-2", b"beta");
+        let LsmKv { storage, .. } = db; // "crash": drop in-memory state
+        let mut db2 = LsmKv::open(storage, cfg);
+        assert_eq!(db2.get(b"unflushed-1"), Some(b"alpha".to_vec()));
+        assert_eq!(db2.get(b"unflushed-2"), Some(b"beta".to_vec()));
+        assert_eq!(db2.get(b"k000500"), Some(b"500".to_vec()));
+    }
+
+    #[test]
+    fn bloom_filters_skip_absent_probes() {
+        let mut db = small_db();
+        for i in 0..1_000u32 {
+            db.put(format!("k{:06}", i).as_bytes(), b"v");
+        }
+        db.flush();
+        for i in 0..200u32 {
+            db.get(format!("absent{:06}", i).as_bytes());
+        }
+        assert!(db.stats().bloom_skips > 0);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut db = small_db();
+        db.put(b"a", b"1");
+        db.get(b"a");
+        db.get(b"b");
+        db.delete(b"a");
+        let s = db.stats();
+        assert_eq!(s.puts, 2);
+        assert_eq!(s.gets, 2);
+    }
+}

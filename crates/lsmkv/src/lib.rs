@@ -1,0 +1,27 @@
+//! lsmkv — a log-structured merge key-value store.
+//!
+//! The paper's YCSB evaluation runs on RocksDB over ext4 (§V-A). This
+//! crate is the reproduction's RocksDB stand-in: a real (small) LSM tree
+//! with the structures that generate RocksDB's I/O pattern —
+//!
+//! * a write-ahead log ([`wal`]) appended before every update,
+//! * an in-memory [`memtable`] flushed to sorted runs,
+//! * immutable [`sstable`]s with sparse indexes and [`bloom`] filters,
+//! * L0→L1 merge [compaction](db) producing background I/O bursts.
+//!
+//! Storage is abstracted behind [`Storage`], so the store runs over plain
+//! memory, a file, or an NVMetro virtual disk (see the `kv_store` example).
+
+mod bloom;
+mod db;
+mod memtable;
+mod sstable;
+mod storage;
+mod wal;
+
+pub use bloom::BloomFilter;
+pub use db::{DbConfig, DbStats, LsmKv};
+pub use memtable::Memtable;
+pub use sstable::SsTable;
+pub use storage::{MemStorage, Storage};
+pub use wal::Wal;

@@ -1,0 +1,121 @@
+//! The in-memory write buffer.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A sorted in-memory table of the newest updates. `None` values are
+/// tombstones (deletions that must mask older SSTable entries).
+#[derive(Default)]
+pub struct Memtable {
+    map: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    bytes: usize,
+}
+
+impl Memtable {
+    /// Creates an empty memtable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or replaces a key.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        self.bytes += key.len() + value.len();
+        self.map.insert(key.to_vec(), Some(value.to_vec()));
+    }
+
+    /// Records a deletion tombstone.
+    pub fn delete(&mut self, key: &[u8]) {
+        self.bytes += key.len();
+        self.map.insert(key.to_vec(), None);
+    }
+
+    /// Looks a key up: `None` = not present here; `Some(None)` = deleted.
+    pub fn get(&self, key: &[u8]) -> Option<Option<&[u8]>> {
+        self.map.get(key).map(|v| v.as_deref())
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Number of entries (including tombstones).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates entries in key order starting at `from`.
+    pub fn range_from<'a>(
+        &'a self,
+        from: &[u8],
+    ) -> impl Iterator<Item = (&'a [u8], Option<&'a [u8]>)> + 'a {
+        self.map
+            .range::<[u8], _>((Bound::Included(from), Bound::Unbounded))
+            .map(|(k, v)| (k.as_slice(), v.as_deref()))
+    }
+
+    /// Drains all entries in key order (for flushing to an SSTable).
+    pub fn drain_sorted(&mut self) -> Vec<(Vec<u8>, Option<Vec<u8>>)> {
+        self.bytes = 0;
+        std::mem::take(&mut self.map).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_overwrite() {
+        let mut m = Memtable::new();
+        m.put(b"a", b"1");
+        m.put(b"a", b"2");
+        assert_eq!(m.get(b"a"), Some(Some(b"2".as_slice())));
+        assert_eq!(m.get(b"b"), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn tombstones_are_visible() {
+        let mut m = Memtable::new();
+        m.put(b"k", b"v");
+        m.delete(b"k");
+        assert_eq!(m.get(b"k"), Some(None));
+    }
+
+    #[test]
+    fn drain_yields_sorted_entries() {
+        let mut m = Memtable::new();
+        m.put(b"c", b"3");
+        m.put(b"a", b"1");
+        m.put(b"b", b"2");
+        let drained = m.drain_sorted();
+        let keys: Vec<&[u8]> = drained.iter().map(|(k, _)| k.as_slice()).collect();
+        assert_eq!(keys, vec![b"a".as_slice(), b"b", b"c"]);
+        assert!(m.is_empty());
+        assert_eq!(m.bytes(), 0);
+    }
+
+    #[test]
+    fn range_from_starts_at_bound() {
+        let mut m = Memtable::new();
+        for k in ["a", "b", "c", "d"] {
+            m.put(k.as_bytes(), b"v");
+        }
+        let got: Vec<&[u8]> = m.range_from(b"b").map(|(k, _)| k).collect();
+        assert_eq!(got, vec![b"b".as_slice(), b"c", b"d"]);
+    }
+
+    #[test]
+    fn byte_accounting_grows() {
+        let mut m = Memtable::new();
+        assert_eq!(m.bytes(), 0);
+        m.put(b"key", b"value");
+        assert_eq!(m.bytes(), 8);
+    }
+}

@@ -1,0 +1,390 @@
+//! Immutable sorted string tables.
+//!
+//! Layout at a fixed storage offset (all little-endian):
+//!
+//! ```text
+//! header:  magic u32 | count u32 | data_off u32 | index_off u32 |
+//!          bloom_off u32 | total_len u32
+//! data:    count x ( flag u8 | klen u32 | vlen u32 | key | value )
+//! index:   n u32, then n x ( entry_off u32 | klen u32 | key )   (sparse)
+//! bloom:   len u32 | serialized BloomFilter
+//! ```
+//!
+//! The sparse index holds every 16th key; lookups binary-search it, then
+//! scan at most 16 entries from storage — the same shape as RocksDB's
+//! block index.
+
+use crate::bloom::BloomFilter;
+use crate::storage::Storage;
+
+const MAGIC: u32 = 0x5354_424C; // "STBL"
+const INDEX_EVERY: usize = 16;
+const HEADER_LEN: usize = 24;
+
+/// An opened SSTable: metadata in memory, entries read from storage.
+pub struct SsTable {
+    base: u64,
+    count: u32,
+    data_off: u32,
+    index: Vec<(Vec<u8>, u32)>,
+    bloom: BloomFilter,
+    first_key: Vec<u8>,
+    last_key: Vec<u8>,
+    total_len: u32,
+}
+
+impl SsTable {
+    /// Serializes sorted `entries` (key → value-or-tombstone) and writes
+    /// the table at `base`; returns the opened table.
+    pub fn write<S: Storage>(
+        storage: &mut S,
+        base: u64,
+        entries: &[(Vec<u8>, Option<Vec<u8>>)],
+    ) -> SsTable {
+        assert!(!entries.is_empty(), "empty SSTable");
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "entries must be strictly sorted"
+        );
+        let mut bloom = BloomFilter::new(entries.len());
+        let mut data = Vec::new();
+        let mut index: Vec<(Vec<u8>, u32)> = Vec::new();
+        for (i, (k, v)) in entries.iter().enumerate() {
+            if i % INDEX_EVERY == 0 {
+                index.push((k.clone(), data.len() as u32));
+            }
+            bloom.insert(k);
+            data.push(v.is_some() as u8);
+            data.extend((k.len() as u32).to_le_bytes());
+            data.extend((v.as_ref().map_or(0, |v| v.len()) as u32).to_le_bytes());
+            data.extend(k.iter());
+            if let Some(v) = v {
+                data.extend(v.iter());
+            }
+        }
+        let mut index_bytes = Vec::new();
+        index_bytes.extend((index.len() as u32).to_le_bytes());
+        for (k, off) in &index {
+            index_bytes.extend(off.to_le_bytes());
+            index_bytes.extend((k.len() as u32).to_le_bytes());
+            index_bytes.extend(k.iter());
+        }
+        let bloom_bytes = bloom.to_bytes();
+        let data_off = HEADER_LEN as u32;
+        let index_off = data_off + data.len() as u32;
+        let bloom_off = index_off + index_bytes.len() as u32;
+        let total_len = bloom_off + 4 + bloom_bytes.len() as u32;
+        let mut out = Vec::with_capacity(total_len as usize);
+        out.extend(MAGIC.to_le_bytes());
+        out.extend((entries.len() as u32).to_le_bytes());
+        out.extend(data_off.to_le_bytes());
+        out.extend(index_off.to_le_bytes());
+        out.extend(bloom_off.to_le_bytes());
+        out.extend(total_len.to_le_bytes());
+        out.extend(data);
+        out.extend(index_bytes);
+        out.extend((bloom_bytes.len() as u32).to_le_bytes());
+        out.extend(bloom_bytes);
+        storage.write_at(base, &out);
+        storage.sync();
+        SsTable {
+            base,
+            count: entries.len() as u32,
+            data_off,
+            index,
+            bloom,
+            first_key: entries[0].0.clone(),
+            last_key: entries[entries.len() - 1].0.clone(),
+            total_len,
+        }
+    }
+
+    /// Opens a table previously written at `base`.
+    pub fn open<S: Storage>(storage: &S, base: u64) -> SsTable {
+        let mut hdr = [0u8; HEADER_LEN];
+        storage.read_at(base, &mut hdr);
+        let magic = u32::from_le_bytes(hdr[0..4].try_into().unwrap());
+        assert_eq!(magic, MAGIC, "not an SSTable at {base:#x}");
+        let count = u32::from_le_bytes(hdr[4..8].try_into().unwrap());
+        let data_off = u32::from_le_bytes(hdr[8..12].try_into().unwrap());
+        let index_off = u32::from_le_bytes(hdr[12..16].try_into().unwrap());
+        let bloom_off = u32::from_le_bytes(hdr[16..20].try_into().unwrap());
+        let total_len = u32::from_le_bytes(hdr[20..24].try_into().unwrap());
+        // Index.
+        let mut ilen = [0u8; 4];
+        storage.read_at(base + index_off as u64, &mut ilen);
+        let n = u32::from_le_bytes(ilen) as usize;
+        let mut raw = vec![0u8; (bloom_off - index_off - 4) as usize];
+        storage.read_at(base + index_off as u64 + 4, &mut raw);
+        let mut index = Vec::with_capacity(n);
+        let mut p = 0usize;
+        for _ in 0..n {
+            let off = u32::from_le_bytes(raw[p..p + 4].try_into().unwrap());
+            let klen = u32::from_le_bytes(raw[p + 4..p + 8].try_into().unwrap()) as usize;
+            let key = raw[p + 8..p + 8 + klen].to_vec();
+            index.push((key, off));
+            p += 8 + klen;
+        }
+        // Bloom.
+        let mut blen = [0u8; 4];
+        storage.read_at(base + bloom_off as u64, &mut blen);
+        let blen = u32::from_le_bytes(blen) as usize;
+        let mut braw = vec![0u8; blen];
+        storage.read_at(base + bloom_off as u64 + 4, &mut braw);
+        let bloom = BloomFilter::from_bytes(&braw);
+        let mut t = SsTable {
+            base,
+            count,
+            data_off,
+            index,
+            bloom,
+            first_key: Vec::new(),
+            last_key: Vec::new(),
+            total_len,
+        };
+        // First/last keys from the data (first entry + full scan of the
+        // final index block).
+        let all: Vec<_> = t.iter(storage).collect();
+        t.first_key = all.first().map(|(k, _)| k.clone()).unwrap_or_default();
+        t.last_key = all.last().map(|(k, _)| k.clone()).unwrap_or_default();
+        t
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// True when the table holds no entries (never, post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// On-storage footprint in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.total_len as u64
+    }
+
+    /// Storage offset of the table.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Smallest key.
+    pub fn first_key(&self) -> &[u8] {
+        &self.first_key
+    }
+
+    /// Largest key.
+    pub fn last_key(&self) -> &[u8] {
+        &self.last_key
+    }
+
+    fn read_entry<S: Storage>(
+        &self,
+        storage: &S,
+        off: u32,
+    ) -> ((Vec<u8>, Option<Vec<u8>>), u32) {
+        let abs = self.base + self.data_off as u64 + off as u64;
+        let mut hdr = [0u8; 9];
+        storage.read_at(abs, &mut hdr);
+        let flag = hdr[0];
+        let klen = u32::from_le_bytes(hdr[1..5].try_into().unwrap()) as usize;
+        let vlen = u32::from_le_bytes(hdr[5..9].try_into().unwrap()) as usize;
+        let mut kv = vec![0u8; klen + vlen];
+        storage.read_at(abs + 9, &mut kv);
+        let key = kv[..klen].to_vec();
+        let value = (flag == 1).then(|| kv[klen..].to_vec());
+        ((key, value), off + 9 + (klen + vlen) as u32)
+    }
+
+    /// Point lookup. `None` = key not in this table; `Some(None)` =
+    /// tombstone. `bloom_skipped` is incremented when the filter rejects
+    /// the probe without any storage reads.
+    pub fn get<S: Storage>(
+        &self,
+        storage: &S,
+        key: &[u8],
+        bloom_skipped: &mut u64,
+    ) -> Option<Option<Vec<u8>>> {
+        if !self.bloom.may_contain(key) {
+            *bloom_skipped += 1;
+            return None;
+        }
+        // Find the index block that could hold the key.
+        let block = match self.index.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+            Ok(i) => i,
+            Err(0) => return None, // before the first key
+            Err(i) => i - 1,
+        };
+        let mut off = self.index[block].1;
+        let mut remaining = INDEX_EVERY
+            .min(self.count as usize - block * INDEX_EVERY);
+        while remaining > 0 {
+            let ((k, v), next) = self.read_entry(storage, off);
+            match k.as_slice().cmp(key) {
+                std::cmp::Ordering::Equal => return Some(v),
+                std::cmp::Ordering::Greater => return None,
+                std::cmp::Ordering::Less => {
+                    off = next;
+                    remaining -= 1;
+                }
+            }
+        }
+        None
+    }
+
+    /// Sequential iterator over all entries.
+    pub fn iter<'a, S: Storage>(
+        &'a self,
+        storage: &'a S,
+    ) -> impl Iterator<Item = (Vec<u8>, Option<Vec<u8>>)> + 'a {
+        let mut off = 0u32;
+        let mut remaining = self.count;
+        std::iter::from_fn(move || {
+            if remaining == 0 {
+                return None;
+            }
+            let (entry, next) = self.read_entry(storage, off);
+            off = next;
+            remaining -= 1;
+            Some(entry)
+        })
+    }
+
+    /// Entries with key >= `from`, in order. Seeks through the sparse
+    /// index, so a scan reads only the blocks it returns (not the whole
+    /// table).
+    pub fn iter_from<'a, S: Storage>(
+        &'a self,
+        storage: &'a S,
+        from: &'a [u8],
+    ) -> impl Iterator<Item = (Vec<u8>, Option<Vec<u8>>)> + 'a {
+        // Find the index block whose first key is <= from.
+        let block = match self
+            .index
+            .binary_search_by(|(k, _)| k.as_slice().cmp(from))
+        {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        let mut off = self.index.get(block).map(|&(_, o)| o).unwrap_or(0);
+        let mut remaining = self
+            .count
+            .saturating_sub((block * INDEX_EVERY) as u32);
+        std::iter::from_fn(move || {
+            while remaining > 0 {
+                let (entry, next) = self.read_entry(storage, off);
+                off = next;
+                remaining -= 1;
+                if entry.0.as_slice() >= from {
+                    return Some(entry);
+                }
+            }
+            None
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+
+    fn entries(n: usize) -> Vec<(Vec<u8>, Option<Vec<u8>>)> {
+        (0..n)
+            .map(|i| {
+                let k = format!("key{:05}", i).into_bytes();
+                let v = (i % 7 != 3).then(|| format!("value{i}").into_bytes());
+                (k, v)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn write_then_get_every_key() {
+        let mut s = MemStorage::new(1 << 20);
+        let es = entries(100);
+        let t = SsTable::write(&mut s, 0, &es);
+        let mut skipped = 0;
+        for (k, v) in &es {
+            assert_eq!(t.get(&s, k, &mut skipped), Some(v.clone()), "key {k:?}");
+        }
+        assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn missing_keys_return_none() {
+        let mut s = MemStorage::new(1 << 20);
+        let t = SsTable::write(&mut s, 0, &entries(50));
+        let mut skipped = 0;
+        assert_eq!(t.get(&s, b"zzz-not-there", &mut skipped), None);
+        assert_eq!(t.get(&s, b"aaa-before-all", &mut skipped), None);
+        assert_eq!(t.get(&s, b"key00010x", &mut skipped), None);
+    }
+
+    #[test]
+    fn bloom_filter_short_circuits_probes() {
+        let mut s = MemStorage::new(1 << 20);
+        let t = SsTable::write(&mut s, 0, &entries(200));
+        let mut skipped = 0;
+        for i in 0..1000 {
+            let k = format!("absent{i:06}").into_bytes();
+            t.get(&s, &k, &mut skipped);
+        }
+        assert!(skipped > 900, "bloom skipped only {skipped}/1000");
+    }
+
+    #[test]
+    fn open_reconstructs_index_and_bloom() {
+        let mut s = MemStorage::new(1 << 20);
+        let es = entries(64);
+        let written = SsTable::write(&mut s, 4096, &es);
+        let opened = SsTable::open(&s, 4096);
+        assert_eq!(opened.len(), written.len());
+        assert_eq!(opened.first_key(), b"key00000");
+        assert_eq!(opened.last_key(), b"key00063");
+        let mut skipped = 0;
+        for (k, v) in &es {
+            assert_eq!(opened.get(&s, k, &mut skipped), Some(v.clone()));
+        }
+    }
+
+    #[test]
+    fn iter_is_ordered_and_complete() {
+        let mut s = MemStorage::new(1 << 20);
+        let es = entries(77);
+        let t = SsTable::write(&mut s, 0, &es);
+        let got: Vec<_> = t.iter(&s).collect();
+        assert_eq!(got, es);
+    }
+
+    #[test]
+    fn iter_from_starts_mid_table() {
+        let mut s = MemStorage::new(1 << 20);
+        let t = SsTable::write(&mut s, 0, &entries(30));
+        let got: Vec<_> = t.iter_from(&s, b"key00025").collect();
+        assert_eq!(got.len(), 5);
+        assert_eq!(got[0].0, b"key00025");
+    }
+
+    #[test]
+    fn tombstones_round_trip() {
+        let mut s = MemStorage::new(1 << 20);
+        let es = vec![
+            (b"a".to_vec(), Some(b"1".to_vec())),
+            (b"b".to_vec(), None),
+        ];
+        let t = SsTable::write(&mut s, 0, &es);
+        let mut skipped = 0;
+        assert_eq!(t.get(&s, b"b", &mut skipped), Some(None));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an SSTable")]
+    fn open_garbage_panics() {
+        let s = MemStorage::new(4096);
+        let _ = SsTable::open(&s, 0);
+    }
+}

@@ -1,0 +1,14 @@
+//! Guest-physical memory substrate.
+//!
+//! NVMetro never copies I/O data between components: commands carry PRP
+//! pointers into the VM's memory, and whichever component services a request
+//! (the physical device via DMA, a UIF via its mapping of guest pages)
+//! reads or writes the guest pages directly (§III-C). This crate provides
+//! that memory object: a sparse, page-granular guest-physical address space
+//! with PRP-list construction and walking per the NVMe specification.
+
+mod guest;
+mod prp;
+
+pub use guest::{GuestMemory, PAGE_SIZE};
+pub use prp::{build_prps, prp_segments, PrpError};

@@ -1,0 +1,271 @@
+//! PRP (Physical Region Page) construction and walking, per the NVMe base
+//! specification §4.1.1.
+//!
+//! * `PRP1` points at the first data page and may carry a page offset.
+//! * If the transfer needs at most one more page, `PRP2` points directly at
+//!   it (offset must be zero).
+//! * Otherwise `PRP2` points at a *PRP list*: little-endian 8-byte page
+//!   pointers. When a list fills a whole page and more entries remain, its
+//!   last slot chains to the next list page.
+
+use crate::guest::{GuestMemory, PAGE_SIZE};
+
+/// Errors from walking a malformed PRP chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrpError {
+    /// PRP1 was zero for a data-carrying command.
+    NullPrp1,
+    /// PRP2 was zero but the transfer needs it.
+    NullPrp2,
+    /// A list entry or PRP2 direct pointer had a nonzero page offset.
+    MisalignedEntry,
+}
+
+impl std::fmt::Display for PrpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrpError::NullPrp1 => write!(f, "PRP1 is null"),
+            PrpError::NullPrp2 => write!(f, "PRP2 is null but required"),
+            PrpError::MisalignedEntry => write!(f, "PRP entry not page aligned"),
+        }
+    }
+}
+
+impl std::error::Error for PrpError {}
+
+const ENTRIES_PER_LIST_PAGE: usize = PAGE_SIZE / 8;
+
+/// Builds PRP pointers describing `len` bytes at contiguous guest address
+/// `gpa`, allocating PRP list pages from `mem` when needed. Returns
+/// `(prp1, prp2)` exactly as a guest NVMe driver would place them in a
+/// submission entry.
+pub fn build_prps(mem: &GuestMemory, gpa: u64, len: usize) -> (u64, u64) {
+    assert!(len > 0, "cannot describe an empty transfer");
+    let prp1 = gpa;
+    let first_off = (gpa % PAGE_SIZE as u64) as usize;
+    let first_chunk = (PAGE_SIZE - first_off).min(len);
+    let remaining = len - first_chunk;
+    if remaining == 0 {
+        return (prp1, 0);
+    }
+    let first_page_after = gpa - first_off as u64 + PAGE_SIZE as u64;
+    let extra_pages = remaining.div_ceil(PAGE_SIZE);
+    if extra_pages == 1 {
+        return (prp1, first_page_after);
+    }
+    // Build a (possibly chained) PRP list.
+    let mut entries: Vec<u64> = (0..extra_pages)
+        .map(|i| first_page_after + (i * PAGE_SIZE) as u64)
+        .collect();
+    let first_list = mem.alloc(PAGE_SIZE);
+    let mut list_page = first_list;
+    while !entries.is_empty() {
+        let fits_whole = entries.len() <= ENTRIES_PER_LIST_PAGE;
+        let take = if fits_whole {
+            entries.len()
+        } else {
+            ENTRIES_PER_LIST_PAGE - 1 // last slot chains
+        };
+        for (i, e) in entries.drain(..take).enumerate() {
+            mem.write_u64(list_page + (i * 8) as u64, e);
+        }
+        if !fits_whole || !entries.is_empty() {
+            let next = mem.alloc(PAGE_SIZE);
+            mem.write_u64(
+                list_page + ((ENTRIES_PER_LIST_PAGE - 1) * 8) as u64,
+                next,
+            );
+            list_page = next;
+        }
+    }
+    (prp1, first_list)
+}
+
+/// Walks PRP pointers into `(gpa, len)` segments covering `len` bytes.
+/// This is what the device model's DMA engine and the UIF framework's
+/// guest-page mapper both call.
+pub fn prp_segments(
+    mem: &GuestMemory,
+    prp1: u64,
+    prp2: u64,
+    len: usize,
+) -> Result<Vec<(u64, usize)>, PrpError> {
+    if len == 0 {
+        return Ok(Vec::new());
+    }
+    if prp1 == 0 {
+        return Err(PrpError::NullPrp1);
+    }
+    let mut segs = Vec::new();
+    let first_off = (prp1 % PAGE_SIZE as u64) as usize;
+    let first_chunk = (PAGE_SIZE - first_off).min(len);
+    segs.push((prp1, first_chunk));
+    let mut remaining = len - first_chunk;
+    if remaining == 0 {
+        return Ok(segs);
+    }
+    if prp2 == 0 {
+        return Err(PrpError::NullPrp2);
+    }
+    if remaining <= PAGE_SIZE {
+        if prp2 % PAGE_SIZE as u64 != 0 {
+            return Err(PrpError::MisalignedEntry);
+        }
+        segs.push((prp2, remaining));
+        return Ok(segs);
+    }
+    // PRP list walk with chaining.
+    let mut list_page = prp2;
+    if list_page % 8 != 0 {
+        return Err(PrpError::MisalignedEntry);
+    }
+    let mut idx = 0usize;
+    while remaining > 0 {
+        let entries_left = remaining.div_ceil(PAGE_SIZE);
+        let at_chain_slot = idx == ENTRIES_PER_LIST_PAGE - 1 && entries_left > 1;
+        let entry = mem.read_u64(list_page + (idx * 8) as u64);
+        if at_chain_slot {
+            // Last slot of a full page chains to the next list page.
+            if entry % PAGE_SIZE as u64 != 0 || entry == 0 {
+                return Err(PrpError::MisalignedEntry);
+            }
+            list_page = entry;
+            idx = 0;
+            continue;
+        }
+        if entry % PAGE_SIZE as u64 != 0 || entry == 0 {
+            return Err(PrpError::MisalignedEntry);
+        }
+        let chunk = remaining.min(PAGE_SIZE);
+        segs.push((entry, chunk));
+        remaining -= chunk;
+        idx += 1;
+    }
+    Ok(segs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> GuestMemory {
+        GuestMemory::new(1 << 26)
+    }
+
+    fn total(segs: &[(u64, usize)]) -> usize {
+        segs.iter().map(|(_, l)| l).sum()
+    }
+
+    #[test]
+    fn single_page_uses_prp1_only() {
+        let m = mem();
+        let gpa = m.alloc(512);
+        let (p1, p2) = build_prps(&m, gpa, 512);
+        assert_eq!(p1, gpa);
+        assert_eq!(p2, 0);
+        let segs = prp_segments(&m, p1, p2, 512).unwrap();
+        assert_eq!(segs, vec![(gpa, 512)]);
+    }
+
+    #[test]
+    fn two_pages_use_direct_prp2() {
+        let m = mem();
+        let gpa = m.alloc(2 * PAGE_SIZE);
+        let (p1, p2) = build_prps(&m, gpa, 2 * PAGE_SIZE);
+        assert_eq!(p2, gpa + PAGE_SIZE as u64);
+        let segs = prp_segments(&m, p1, p2, 2 * PAGE_SIZE).unwrap();
+        assert_eq!(total(&segs), 2 * PAGE_SIZE);
+        assert_eq!(segs.len(), 2);
+    }
+
+    #[test]
+    fn offset_first_page_shortens_first_segment() {
+        let m = mem();
+        let base = m.alloc(2 * PAGE_SIZE);
+        let gpa = base + 512;
+        let len = PAGE_SIZE; // spills 512 bytes into the next page
+        let (p1, p2) = build_prps(&m, gpa, len);
+        assert_eq!(p1, gpa);
+        assert_eq!(p2, base + PAGE_SIZE as u64);
+        let segs = prp_segments(&m, p1, p2, len).unwrap();
+        assert_eq!(segs[0], (gpa, PAGE_SIZE - 512));
+        assert_eq!(segs[1], (base + PAGE_SIZE as u64, 512));
+    }
+
+    #[test]
+    fn large_transfer_builds_walkable_list() {
+        let m = mem();
+        let len = 128 * 1024; // the paper's largest block size: 32 pages
+        let gpa = m.alloc(len);
+        let (p1, p2) = build_prps(&m, gpa, len);
+        assert_ne!(p2, 0);
+        let segs = prp_segments(&m, p1, p2, len).unwrap();
+        assert_eq!(total(&segs), len);
+        assert_eq!(segs.len(), 32);
+        // Segments must tile the buffer contiguously.
+        let mut expect = gpa;
+        for (a, l) in segs {
+            assert_eq!(a, expect);
+            expect = a + l as u64;
+        }
+    }
+
+    #[test]
+    fn chained_list_pages_walk_correctly() {
+        let m = GuestMemory::new(1 << 30);
+        // > 512 pages forces the PRP list to chain across list pages.
+        let len = 600 * PAGE_SIZE;
+        let gpa = m.alloc(len);
+        let (p1, p2) = build_prps(&m, gpa, len);
+        let segs = prp_segments(&m, p1, p2, len).unwrap();
+        assert_eq!(total(&segs), len);
+        assert_eq!(segs.len(), 600);
+        let mut expect = gpa;
+        for (a, l) in segs {
+            assert_eq!(a, expect);
+            expect = a + l as u64;
+        }
+    }
+
+    #[test]
+    fn null_prp1_is_rejected() {
+        let m = mem();
+        assert_eq!(prp_segments(&m, 0, 0, 512), Err(PrpError::NullPrp1));
+    }
+
+    #[test]
+    fn missing_prp2_is_rejected() {
+        let m = mem();
+        let gpa = m.alloc(2 * PAGE_SIZE);
+        assert_eq!(
+            prp_segments(&m, gpa, 0, 2 * PAGE_SIZE),
+            Err(PrpError::NullPrp2)
+        );
+    }
+
+    #[test]
+    fn misaligned_prp2_is_rejected() {
+        let m = mem();
+        let gpa = m.alloc(2 * PAGE_SIZE);
+        assert_eq!(
+            prp_segments(&m, gpa, gpa + PAGE_SIZE as u64 + 8, 2 * PAGE_SIZE),
+            Err(PrpError::MisalignedEntry)
+        );
+    }
+
+    #[test]
+    fn data_round_trips_through_segments() {
+        let m = mem();
+        let len = 5 * PAGE_SIZE + 100;
+        let gpa = m.alloc(len);
+        let data: Vec<u8> = (0..len).map(|i| (i % 253) as u8).collect();
+        m.write(gpa, &data);
+        let (p1, p2) = build_prps(&m, gpa, len);
+        let segs = prp_segments(&m, p1, p2, len).unwrap();
+        let mut out = Vec::new();
+        for (a, l) in segs {
+            out.extend(m.read_vec(a, l));
+        }
+        assert_eq!(out, data);
+    }
+}

@@ -1,0 +1,298 @@
+//! NVMe command (submission queue entry) layout and builders.
+
+/// NVM command set opcodes (NVMe base spec §3.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum NvmOpcode {
+    /// Flush volatile write cache.
+    Flush = 0x00,
+    /// Write logical blocks.
+    Write = 0x01,
+    /// Read logical blocks.
+    Read = 0x02,
+    /// Write uncorrectable.
+    WriteUncorrectable = 0x04,
+    /// Compare logical blocks against host data.
+    Compare = 0x05,
+    /// Write zeroes without transferring data.
+    WriteZeroes = 0x08,
+    /// Dataset management (deallocate / TRIM).
+    DatasetManagement = 0x09,
+}
+
+impl NvmOpcode {
+    /// Decodes a wire opcode, if it is a known NVM command.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            0x00 => NvmOpcode::Flush,
+            0x01 => NvmOpcode::Write,
+            0x02 => NvmOpcode::Read,
+            0x04 => NvmOpcode::WriteUncorrectable,
+            0x05 => NvmOpcode::Compare,
+            0x08 => NvmOpcode::WriteZeroes,
+            0x09 => NvmOpcode::DatasetManagement,
+            _ => return None,
+        })
+    }
+
+    /// True if this opcode transfers data from host to device.
+    pub fn is_write(self) -> bool {
+        matches!(self, NvmOpcode::Write | NvmOpcode::WriteUncorrectable)
+    }
+
+    /// True if this opcode transfers data from device to host.
+    pub fn is_read(self) -> bool {
+        matches!(self, NvmOpcode::Read | NvmOpcode::Compare)
+    }
+}
+
+/// Admin command set opcodes (the subset the virtual controller serves).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum AdminOpcode {
+    /// Delete an I/O submission queue.
+    DeleteSq = 0x00,
+    /// Create an I/O submission queue.
+    CreateSq = 0x01,
+    /// Get log page.
+    GetLogPage = 0x02,
+    /// Delete an I/O completion queue.
+    DeleteCq = 0x04,
+    /// Create an I/O completion queue.
+    CreateCq = 0x05,
+    /// Identify controller / namespace.
+    Identify = 0x06,
+    /// Set features.
+    SetFeatures = 0x09,
+    /// Get features.
+    GetFeatures = 0x0A,
+}
+
+impl AdminOpcode {
+    /// Decodes a wire opcode, if it is a known admin command.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            0x00 => AdminOpcode::DeleteSq,
+            0x01 => AdminOpcode::CreateSq,
+            0x02 => AdminOpcode::GetLogPage,
+            0x04 => AdminOpcode::DeleteCq,
+            0x05 => AdminOpcode::CreateCq,
+            0x06 => AdminOpcode::Identify,
+            0x09 => AdminOpcode::SetFeatures,
+            0x0A => AdminOpcode::GetFeatures,
+            _ => return None,
+        })
+    }
+}
+
+/// A 64-byte NVMe submission queue entry, laid out per the base spec.
+///
+/// This is the *only* object NVMetro moves between queues; scatter-gather
+/// data stays in guest memory behind `prp1`/`prp2`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(C)]
+pub struct SubmissionEntry {
+    /// Command opcode (CDW0 bits 7:0).
+    pub opcode: u8,
+    /// Fused-operation and PRP/SGL selection flags (CDW0 bits 15:8).
+    pub flags: u8,
+    /// Command identifier, unique within its submission queue.
+    pub cid: u16,
+    /// Namespace identifier.
+    pub nsid: u32,
+    /// Command dword 2 (command-set specific).
+    pub cdw2: u32,
+    /// Command dword 3 (command-set specific).
+    pub cdw3: u32,
+    /// Metadata pointer.
+    pub mptr: u64,
+    /// PRP entry 1: guest-physical address of the first data page.
+    pub prp1: u64,
+    /// PRP entry 2: second page or PRP-list pointer.
+    pub prp2: u64,
+    /// Command dword 10 (e.g. starting LBA low half).
+    pub cdw10: u32,
+    /// Command dword 11 (e.g. starting LBA high half).
+    pub cdw11: u32,
+    /// Command dword 12 (e.g. number of logical blocks, 0-based).
+    pub cdw12: u32,
+    /// Command dword 13.
+    pub cdw13: u32,
+    /// Command dword 14.
+    pub cdw14: u32,
+    /// Command dword 15.
+    pub cdw15: u32,
+}
+
+const _: () = assert!(std::mem::size_of::<SubmissionEntry>() == 64);
+
+impl Default for SubmissionEntry {
+    fn default() -> Self {
+        SubmissionEntry {
+            opcode: 0,
+            flags: 0,
+            cid: 0,
+            nsid: 0,
+            cdw2: 0,
+            cdw3: 0,
+            mptr: 0,
+            prp1: 0,
+            prp2: 0,
+            cdw10: 0,
+            cdw11: 0,
+            cdw12: 0,
+            cdw13: 0,
+            cdw14: 0,
+            cdw15: 0,
+        }
+    }
+}
+
+impl SubmissionEntry {
+    /// Builds a READ command for `nlb` logical blocks starting at `slba`.
+    pub fn read(nsid: u32, slba: u64, nlb: u32, prp1: u64, prp2: u64) -> Self {
+        Self::rw(NvmOpcode::Read, nsid, slba, nlb, prp1, prp2)
+    }
+
+    /// Builds a WRITE command for `nlb` logical blocks starting at `slba`.
+    pub fn write(nsid: u32, slba: u64, nlb: u32, prp1: u64, prp2: u64) -> Self {
+        Self::rw(NvmOpcode::Write, nsid, slba, nlb, prp1, prp2)
+    }
+
+    /// Builds a FLUSH command.
+    pub fn flush(nsid: u32) -> Self {
+        SubmissionEntry {
+            opcode: NvmOpcode::Flush as u8,
+            nsid,
+            ..Default::default()
+        }
+    }
+
+    fn rw(op: NvmOpcode, nsid: u32, slba: u64, nlb: u32, prp1: u64, prp2: u64) -> Self {
+        assert!(nlb >= 1 && nlb <= 0x1_0000, "NLB must be 1..=65536");
+        SubmissionEntry {
+            opcode: op as u8,
+            nsid,
+            prp1,
+            prp2,
+            cdw10: slba as u32,
+            cdw11: (slba >> 32) as u32,
+            cdw12: nlb - 1, // NLB is 0-based on the wire
+            ..Default::default()
+        }
+    }
+
+    /// Starting LBA (CDW10/11).
+    pub fn slba(&self) -> u64 {
+        self.cdw10 as u64 | ((self.cdw11 as u64) << 32)
+    }
+
+    /// Rewrites the starting LBA — the direct-mediation operation
+    /// classifiers use for LBA translation (§III-C).
+    pub fn set_slba(&mut self, slba: u64) {
+        self.cdw10 = slba as u32;
+        self.cdw11 = (slba >> 32) as u32;
+    }
+
+    /// Number of logical blocks (1-based; CDW12 is 0-based on the wire).
+    pub fn nlb(&self) -> u32 {
+        (self.cdw12 & 0xFFFF) + 1
+    }
+
+    /// Data length in bytes at the standard LBA size.
+    pub fn data_len(&self) -> usize {
+        self.nlb() as usize * crate::LBA_SIZE
+    }
+
+    /// Decoded NVM opcode, if recognized.
+    pub fn nvm_opcode(&self) -> Option<NvmOpcode> {
+        NvmOpcode::from_u8(self.opcode)
+    }
+
+    /// True if this command transfers data (in either direction).
+    pub fn has_data(&self) -> bool {
+        self.nvm_opcode()
+            .map(|o| o.is_read() || o.is_write())
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_is_exactly_64_bytes() {
+        assert_eq!(std::mem::size_of::<SubmissionEntry>(), 64);
+    }
+
+    #[test]
+    fn read_builder_round_trips_fields() {
+        let e = SubmissionEntry::read(1, 0x1_2345_6789, 8, 0x1000, 0);
+        assert_eq!(e.opcode, 0x02);
+        assert_eq!(e.nsid, 1);
+        assert_eq!(e.slba(), 0x1_2345_6789);
+        assert_eq!(e.nlb(), 8);
+        assert_eq!(e.data_len(), 8 * 512);
+        assert_eq!(e.nvm_opcode(), Some(NvmOpcode::Read));
+        assert!(e.has_data());
+    }
+
+    #[test]
+    fn nlb_is_zero_based_on_the_wire() {
+        let e = SubmissionEntry::write(1, 0, 1, 0, 0);
+        assert_eq!(e.cdw12, 0);
+        assert_eq!(e.nlb(), 1);
+    }
+
+    #[test]
+    fn set_slba_rewrites_both_dwords() {
+        let mut e = SubmissionEntry::read(1, 0, 1, 0, 0);
+        e.set_slba(0xDEAD_BEEF_CAFE);
+        assert_eq!(e.slba(), 0xDEAD_BEEF_CAFE);
+    }
+
+    #[test]
+    fn flush_has_no_data() {
+        let e = SubmissionEntry::flush(3);
+        assert_eq!(e.nvm_opcode(), Some(NvmOpcode::Flush));
+        assert!(!e.has_data());
+    }
+
+    #[test]
+    #[should_panic(expected = "NLB")]
+    fn zero_block_command_is_rejected() {
+        let _ = SubmissionEntry::read(1, 0, 0, 0, 0);
+    }
+
+    #[test]
+    fn opcode_decode_rejects_unknown() {
+        assert_eq!(NvmOpcode::from_u8(0x7f), None);
+        assert_eq!(AdminOpcode::from_u8(0x7f), None);
+    }
+
+    #[test]
+    fn direction_predicates() {
+        assert!(NvmOpcode::Write.is_write());
+        assert!(!NvmOpcode::Write.is_read());
+        assert!(NvmOpcode::Read.is_read());
+        assert!(NvmOpcode::Compare.is_read());
+        assert!(!NvmOpcode::Flush.is_read());
+    }
+
+    #[test]
+    fn admin_opcodes_round_trip() {
+        for op in [
+            AdminOpcode::DeleteSq,
+            AdminOpcode::CreateSq,
+            AdminOpcode::GetLogPage,
+            AdminOpcode::DeleteCq,
+            AdminOpcode::CreateCq,
+            AdminOpcode::Identify,
+            AdminOpcode::SetFeatures,
+            AdminOpcode::GetFeatures,
+        ] {
+            assert_eq!(AdminOpcode::from_u8(op as u8), Some(op));
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Completion entries and status codes.
+
+/// Status code type (CQE DW3 bits 27:25 in the spec; bits 11:9 here).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum StatusCodeType {
+    /// Generic command status.
+    Generic = 0,
+    /// Command-specific status.
+    CommandSpecific = 1,
+    /// Media and data integrity errors.
+    MediaError = 2,
+    /// Path-related status (used by our router for routing failures).
+    Path = 3,
+}
+
+/// An NVMe status value: status code type + status code, packed the way it
+/// travels in the completion entry's status field (phase bit excluded).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Status(pub u16);
+
+impl Status {
+    /// Successful completion.
+    pub const SUCCESS: Status = Status(0);
+    /// Generic: invalid opcode.
+    pub const INVALID_OPCODE: Status = Status::new(StatusCodeType::Generic, 0x01);
+    /// Generic: invalid field in command.
+    pub const INVALID_FIELD: Status = Status::new(StatusCodeType::Generic, 0x02);
+    /// Generic: internal device error.
+    pub const INTERNAL: Status = Status::new(StatusCodeType::Generic, 0x06);
+    /// Generic: command abort requested.
+    pub const ABORTED: Status = Status::new(StatusCodeType::Generic, 0x07);
+    /// Generic: LBA out of range.
+    pub const LBA_OUT_OF_RANGE: Status = Status::new(StatusCodeType::Generic, 0x80);
+    /// Generic: capacity exceeded.
+    pub const CAPACITY_EXCEEDED: Status = Status::new(StatusCodeType::Generic, 0x81);
+    /// Media: unrecovered read error.
+    pub const UNRECOVERED_READ: Status = Status::new(StatusCodeType::MediaError, 0x81);
+    /// Media: write fault.
+    pub const WRITE_FAULT: Status = Status::new(StatusCodeType::MediaError, 0x80);
+    /// Path: internal path error (router could not reach a target).
+    pub const PATH_ERROR: Status = Status::new(StatusCodeType::Path, 0x00);
+
+    /// Packs a status from its type and code.
+    pub const fn new(sct: StatusCodeType, sc: u8) -> Status {
+        Status(((sct as u16) << 9) | ((sc as u16) << 1))
+    }
+
+    /// Status code type.
+    pub fn sct(self) -> StatusCodeType {
+        match (self.0 >> 9) & 0x7 {
+            0 => StatusCodeType::Generic,
+            1 => StatusCodeType::CommandSpecific,
+            2 => StatusCodeType::MediaError,
+            _ => StatusCodeType::Path,
+        }
+    }
+
+    /// Status code within the type.
+    pub fn sc(self) -> u8 {
+        ((self.0 >> 1) & 0xFF) as u8
+    }
+
+    /// True when the command failed.
+    pub fn is_error(self) -> bool {
+        self.0 != 0
+    }
+}
+
+/// A 16-byte NVMe completion queue entry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[repr(C)]
+pub struct CompletionEntry {
+    /// Command-specific result (DW0).
+    pub result: u32,
+    /// Reserved (DW1).
+    pub rsvd: u32,
+    /// Submission queue head pointer at completion time.
+    pub sq_head: u16,
+    /// Submission queue the command came from.
+    pub sq_id: u16,
+    /// Command identifier being completed.
+    pub cid: u16,
+    /// Phase bit (bit 0) + status field (bits 15:1).
+    pub status_phase: u16,
+}
+
+const _: () = assert!(std::mem::size_of::<CompletionEntry>() == 16);
+
+impl CompletionEntry {
+    /// Builds a completion for `cid` with the given status (phase set later
+    /// by the queue when the entry is posted).
+    pub fn new(cid: u16, status: Status) -> Self {
+        CompletionEntry {
+            cid,
+            status_phase: status.0,
+            ..Default::default()
+        }
+    }
+
+    /// The status, with the phase bit stripped.
+    pub fn status(&self) -> Status {
+        Status(self.status_phase & !1)
+    }
+
+    /// The phase bit as posted.
+    pub fn phase(&self) -> bool {
+        self.status_phase & 1 != 0
+    }
+
+    /// Sets the phase bit (used by the completion queue producer).
+    pub fn set_phase(&mut self, phase: bool) {
+        if phase {
+            self.status_phase |= 1;
+        } else {
+            self.status_phase &= !1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_entry_is_16_bytes() {
+        assert_eq!(std::mem::size_of::<CompletionEntry>(), 16);
+    }
+
+    #[test]
+    fn success_is_not_error() {
+        assert!(!Status::SUCCESS.is_error());
+        assert!(Status::INVALID_OPCODE.is_error());
+        assert!(Status::LBA_OUT_OF_RANGE.is_error());
+    }
+
+    #[test]
+    fn status_packing_round_trips() {
+        for (sct, sc) in [
+            (StatusCodeType::Generic, 0x80u8),
+            (StatusCodeType::MediaError, 0x81),
+            (StatusCodeType::Path, 0x00),
+            (StatusCodeType::CommandSpecific, 0x10),
+        ] {
+            let s = Status::new(sct, sc);
+            assert_eq!(s.sct(), sct);
+            assert_eq!(s.sc(), sc);
+        }
+    }
+
+    #[test]
+    fn phase_bit_does_not_disturb_status() {
+        let mut e = CompletionEntry::new(7, Status::LBA_OUT_OF_RANGE);
+        e.set_phase(true);
+        assert!(e.phase());
+        assert_eq!(e.status(), Status::LBA_OUT_OF_RANGE);
+        e.set_phase(false);
+        assert!(!e.phase());
+        assert_eq!(e.status(), Status::LBA_OUT_OF_RANGE);
+    }
+
+    #[test]
+    fn status_never_collides_with_phase_bit() {
+        // Status values occupy bits 15:1 only, so posting can own bit 0.
+        for s in [
+            Status::SUCCESS,
+            Status::INVALID_OPCODE,
+            Status::INTERNAL,
+            Status::UNRECOVERED_READ,
+            Status::PATH_ERROR,
+        ] {
+            assert_eq!(s.0 & 1, 0);
+        }
+    }
+}

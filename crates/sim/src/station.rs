@@ -1,0 +1,198 @@
+//! Multi-server queueing stations.
+//!
+//! A [`Station`] models a component with `k` parallel servers and a FIFO
+//! backlog: jobs pushed at time `t` begin service on the earliest-free
+//! server and finish `cost` later. The SSD (internal NAND parallelism), the
+//! kernel block layer (one server), dm-crypt's kcryptd pool, and the UIF
+//! crypto workers are all stations with different `k` and cost functions.
+
+use crate::time::Ns;
+use std::collections::VecDeque;
+
+struct InFlight<T> {
+    finish: Ns,
+    job: T,
+}
+
+/// A FIFO multi-server queueing station over jobs of type `T`.
+pub struct Station<T> {
+    servers: Vec<Ns>,
+    backlog: VecDeque<(T, Ns)>,
+    in_flight: Vec<InFlight<T>>,
+    charged: Ns,
+    completed: u64,
+}
+
+impl<T> Station<T> {
+    /// Creates a station with `servers` parallel servers (≥ 1).
+    pub fn new(servers: usize) -> Self {
+        assert!(servers >= 1, "a station needs at least one server");
+        Station {
+            servers: vec![0; servers],
+            backlog: VecDeque::new(),
+            in_flight: Vec::new(),
+            charged: 0,
+            completed: 0,
+        }
+    }
+
+    /// Enqueues a job with the given service cost; it starts on the
+    /// earliest-free server at or after `now`.
+    pub fn push(&mut self, job: T, cost: Ns, now: Ns) {
+        self.backlog.push_back((job, cost));
+        self.dispatch(now);
+    }
+
+    /// Moves backlog jobs onto free servers.
+    fn dispatch(&mut self, now: Ns) {
+        while !self.backlog.is_empty() {
+            // Earliest-free server.
+            let (idx, free_at) = self
+                .servers
+                .iter()
+                .copied()
+                .enumerate()
+                .min_by_key(|&(_, t)| t)
+                .expect("at least one server");
+            // All servers saturated far in the future is fine: the job still
+            // queues on the earliest one (FIFO order is preserved because we
+            // always take from the backlog front).
+            let (job, cost) = self.backlog.pop_front().expect("checked");
+            let start = free_at.max(now);
+            let finish = start + cost;
+            self.servers[idx] = finish;
+            self.charged += cost;
+            self.in_flight.push(InFlight { finish, job });
+        }
+    }
+
+    /// Pops one job whose service has finished by `now`, earliest first,
+    /// returning the job and its exact finish time (useful for forwarding
+    /// the job downstream stamped with the time it really became ready).
+    pub fn pop_done_timed(&mut self, now: Ns) -> Option<(T, Ns)> {
+        let mut best: Option<(usize, Ns)> = None;
+        for (i, f) in self.in_flight.iter().enumerate() {
+            if f.finish <= now && best.map_or(true, |(_, bf)| f.finish < bf) {
+                best = Some((i, f.finish));
+            }
+        }
+        let (idx, finish) = best?;
+        self.completed += 1;
+        Some((self.in_flight.swap_remove(idx).job, finish))
+    }
+
+    /// Pops one job whose service has finished by `now`, earliest first.
+    pub fn pop_done(&mut self, now: Ns) -> Option<T> {
+        let mut best: Option<(usize, Ns)> = None;
+        for (i, f) in self.in_flight.iter().enumerate() {
+            if f.finish <= now && best.map_or(true, |(_, bf)| f.finish < bf) {
+                best = Some((i, f.finish));
+            }
+        }
+        let (idx, _) = best?;
+        self.completed += 1;
+        Some(self.in_flight.swap_remove(idx).job)
+    }
+
+    /// Earliest in-flight finish time, if any work is pending.
+    pub fn next_event(&self) -> Option<Ns> {
+        self.in_flight.iter().map(|f| f.finish).min()
+    }
+
+    /// Total service time charged across all jobs so far.
+    pub fn charged(&self) -> Ns {
+        self.charged
+    }
+
+    /// Number of jobs fully served.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Jobs currently queued or in service.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len() + self.backlog.len()
+    }
+
+    /// True when no work is queued or in service.
+    pub fn is_empty(&self) -> bool {
+        self.in_flight.is_empty() && self.backlog.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_server_serializes_jobs() {
+        let mut s: Station<u32> = Station::new(1);
+        s.push(1, 100, 0);
+        s.push(2, 100, 0);
+        assert_eq!(s.next_event(), Some(100));
+        assert!(s.pop_done(99).is_none());
+        assert_eq!(s.pop_done(100), Some(1));
+        assert_eq!(s.next_event(), Some(200));
+        assert_eq!(s.pop_done(200), Some(2));
+        assert!(s.is_empty());
+        assert_eq!(s.charged(), 200);
+        assert_eq!(s.completed(), 2);
+    }
+
+    #[test]
+    fn parallel_servers_overlap() {
+        let mut s: Station<u32> = Station::new(2);
+        s.push(1, 100, 0);
+        s.push(2, 100, 0);
+        s.push(3, 100, 0);
+        // Two jobs run concurrently; the third queues behind the first free.
+        assert_eq!(s.pop_done(100), Some(1));
+        assert_eq!(s.pop_done(100), Some(2));
+        assert!(s.pop_done(100).is_none());
+        assert_eq!(s.pop_done(200), Some(3));
+    }
+
+    #[test]
+    fn push_after_idle_starts_at_now() {
+        let mut s: Station<u32> = Station::new(1);
+        s.push(1, 50, 0);
+        assert_eq!(s.pop_done(50), Some(1));
+        // Server was free at 50; pushing at 1000 must not start earlier.
+        s.push(2, 50, 1_000);
+        assert_eq!(s.next_event(), Some(1_050));
+    }
+
+    #[test]
+    fn fifo_order_is_preserved_under_load() {
+        let mut s: Station<u32> = Station::new(1);
+        for i in 0..10 {
+            s.push(i, 10, 0);
+        }
+        let mut got = Vec::new();
+        let mut t = 0;
+        while let Some(e) = s.next_event() {
+            t = e;
+            while let Some(j) = s.pop_done(t) {
+                got.push(j);
+            }
+        }
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert_eq!(t, 100);
+    }
+
+    #[test]
+    fn in_flight_counts_backlog() {
+        let mut s: Station<u32> = Station::new(1);
+        s.push(1, 10, 0);
+        s.push(2, 10, 0);
+        assert_eq!(s.in_flight(), 2);
+        s.pop_done(10);
+        assert_eq!(s.in_flight(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_panics() {
+        let _ = Station::<u32>::new(0);
+    }
+}

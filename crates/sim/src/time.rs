@@ -1,0 +1,11 @@
+//! Virtual time units.
+
+/// Virtual nanoseconds — the simulation's base time unit.
+pub type Ns = u64;
+
+/// One microsecond in [`Ns`].
+pub const US: Ns = 1_000;
+/// One millisecond in [`Ns`].
+pub const MS: Ns = 1_000_000;
+/// One second in [`Ns`].
+pub const SEC: Ns = 1_000_000_000;

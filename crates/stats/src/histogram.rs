@@ -1,0 +1,277 @@
+//! Log-bucketed histogram in the spirit of HdrHistogram.
+//!
+//! Values are bucketed with a fixed number of significant bits, giving a
+//! bounded relative error (~1/64 with the default 6 sub-bucket bits) over an
+//! arbitrary value range while using a few KiB of memory. This is the same
+//! trade-off `fio` makes when recording completion latencies.
+
+/// Number of sub-bucket bits: each power-of-two range is split into
+/// `2^SUB_BITS` linear sub-buckets, bounding relative error to `2^-SUB_BITS`.
+const SUB_BITS: u32 = 6;
+const SUB_COUNT: usize = 1 << SUB_BITS;
+/// Enough top-level buckets to cover the full `u64` range.
+const BUCKETS: usize = (64 - SUB_BITS as usize) + 1;
+
+/// A histogram of `u64` samples (typically nanoseconds) with logarithmic
+/// bucketing and ~1.6% worst-case relative error on reported quantiles.
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS * SUB_COUNT],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn index_of(value: u64) -> usize {
+        // Values below SUB_COUNT land in bucket 0 linearly (exact).
+        if value < SUB_COUNT as u64 {
+            return value as usize;
+        }
+        // Keep the top SUB_BITS bits (including the leading one): `top` is in
+        // [SUB_COUNT/2, SUB_COUNT), so each power-of-two range past the first
+        // contributes SUB_COUNT/2 distinct indices.
+        let msb = 63 - value.leading_zeros();
+        let bucket = (msb - (SUB_BITS - 1)) as usize; // >= 1
+        let top = (value >> bucket) as usize; // in [SUB_COUNT/2, SUB_COUNT)
+        SUB_COUNT + (bucket - 1) * (SUB_COUNT / 2) + (top - SUB_COUNT / 2)
+    }
+
+    /// Representative value for a bucket index: the highest value that maps
+    /// to this index, so quantiles never under-report.
+    fn value_of(index: usize) -> u64 {
+        if index < SUB_COUNT {
+            return index as u64;
+        }
+        let bucket = (index - SUB_COUNT) / (SUB_COUNT / 2) + 1;
+        let top = (index - SUB_COUNT) % (SUB_COUNT / 2) + SUB_COUNT / 2;
+        (((top as u64) + 1) << bucket) - 1
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::index_of(value);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records `n` samples of the same value.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = Self::index_of(value);
+        self.counts[idx] += n;
+        self.count += n;
+        self.sum += value as u128 * n as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of recorded samples (exact, not bucketed).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, e.g. `0.5` for the median and
+    /// `0.99` for the paper's tail latency. Reported with the histogram's
+    /// bucket resolution; clamped to the recorded min/max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::value_of(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// 99th percentile, as reported in Fig. 4 whiskers.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Resets the histogram to empty.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.median(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_value_is_exactly_reported() {
+        let mut h = Histogram::new();
+        h.record(42);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 42);
+        assert_eq!(h.max(), 42);
+        assert_eq!(h.median(), 42);
+        assert_eq!(h.quantile(0.99), 42);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        // Bucket 0 is linear: values < 64 must be exact.
+        let mut h = Histogram::new();
+        for v in 0..SUB_COUNT as u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.max(), SUB_COUNT as u64 - 1);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut h = Histogram::new();
+        for v in [10u64, 100, 1_000, 10_000, 100_000, 1_000_000] {
+            h.record_n(v, 100);
+        }
+        let mut last = 0;
+        for i in 0..=100 {
+            let q = h.quantile(i as f64 / 100.0);
+            assert!(q >= last, "quantile must not decrease");
+            last = q;
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut h = Histogram::new();
+        let value = 123_456_789u64;
+        h.record(value);
+        let m = h.median();
+        let err = (m as f64 - value as f64).abs() / value as f64;
+        assert!(err < 0.04, "relative error {err} too large (median {m})");
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        h.record(30);
+        assert_eq!(h.mean(), 20.0);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extrema() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(500_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 500_000);
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let mut h = Histogram::new();
+        h.record(99);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        h.record(7);
+        assert_eq!(h.median(), 7);
+    }
+
+    #[test]
+    fn p99_exceeds_median_for_skewed_data() {
+        let mut h = Histogram::new();
+        h.record_n(100, 980);
+        h.record_n(10_000, 20);
+        assert!(h.p99() >= h.median());
+        assert!(h.p99() >= 9_000, "p99 {} should capture tail", h.p99());
+    }
+
+    #[test]
+    fn record_n_zero_is_noop() {
+        let mut h = Histogram::new();
+        h.record_n(123, 0);
+        assert_eq!(h.count(), 0);
+    }
+}

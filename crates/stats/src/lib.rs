@@ -1,0 +1,14 @@
+//! Statistics utilities for NVMetro experiments.
+//!
+//! Provides an HDR-style log-bucketed [`Histogram`] for latency recording,
+//! simple [`Summary`] statistics for repeated runs, and a plain-text
+//! [`Table`] builder used by every figure/table harness to print results in
+//! the layout the paper reports.
+
+mod histogram;
+mod summary;
+mod table;
+
+pub use histogram::Histogram;
+pub use summary::Summary;
+pub use table::Table;

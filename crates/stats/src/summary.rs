@@ -1,0 +1,112 @@
+//! Summary statistics over repeated experiment runs.
+
+/// Mean/stddev/min/max accumulator for a small set of scalar results,
+/// e.g. the three repetitions of each fio configuration in the paper.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    samples: Vec<f64>,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one run's result.
+    pub fn add(&mut self, value: f64) {
+        self.samples.push(value);
+    }
+
+    /// Number of runs recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Sample standard deviation (n-1 denominator), or 0 with <2 samples.
+    pub fn stddev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self
+            .samples
+            .iter()
+            .map(|s| (s - m) * (s - m))
+            .sum::<f64>()
+            / (self.samples.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Smallest recorded result, or 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Largest recorded result, or 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn mean_and_extrema() {
+        let mut s = Summary::new();
+        for v in [1.0, 2.0, 3.0] {
+            s.add(v);
+        }
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 3.0);
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn stddev_of_constant_is_zero() {
+        let mut s = Summary::new();
+        s.add(5.0);
+        s.add(5.0);
+        s.add(5.0);
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn stddev_known_value() {
+        let mut s = Summary::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.add(v);
+        }
+        // Sample stddev of this classic data set is ~2.138.
+        assert!((s.stddev() - 2.138).abs() < 0.01);
+    }
+}

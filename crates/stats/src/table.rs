@@ -1,0 +1,158 @@
+//! Plain-text result tables.
+//!
+//! Every figure/table harness prints its results through [`Table`] so that
+//! `cargo bench` output lines up with the rows/series the paper reports.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table with an optional title, also
+/// exportable as CSV for plotting.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; panics if the column count mismatches the header.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience for rows built from `Display` values.
+    pub fn row_display<D: std::fmt::Display>(&mut self, cells: &[D]) {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> =
+            self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let _ = write!(line, "{:<width$}", cell, width = widths[i]);
+            }
+            line
+        };
+        let header_line = fmt_row(&self.header, &widths);
+        let _ = writeln!(out, "{}", header_line.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(header_line.trim_end().len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths).trim_end());
+        }
+        out
+    }
+
+    /// Renders the table as CSV (header + rows, comma-separated).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "iops"]);
+        t.row(&["short".into(), "1".into()]);
+        t.row(&["a-much-longer-name".into(), "123456".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("a-much-longer-name"));
+        // Header and rows share column starts.
+        let lines: Vec<&str> = s.lines().collect();
+        let col = lines[1].find("iops").unwrap();
+        assert_eq!(&lines[3][col..col + 1], "1");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.row(&["x,y".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn row_display_converts_values() {
+        let mut t = Table::new("", &["v", "w"]);
+        t.row_display(&[1.5, 2.25]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        assert!(t.to_csv().contains("1.5,2.25"));
+    }
+}

@@ -1,0 +1,320 @@
+//! Label-based program assembler.
+//!
+//! The storage functions in `nvmetro-functions` write their classifiers
+//! against this builder the way the paper's Listing 1 writes C that compiles
+//! to eBPF: structured control flow lowered onto forward jumps.
+
+use crate::isa::*;
+use crate::maps::MapDef;
+use std::collections::HashMap;
+
+/// A forward-referenceable jump target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Assembles vbpf instructions with symbolic labels and declared maps.
+#[derive(Default)]
+pub struct ProgramBuilder {
+    insns: Vec<Insn>,
+    bound: HashMap<Label, usize>,
+    fixups: Vec<(usize, Label)>,
+    next_label: usize,
+    maps: Vec<MapDef>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a map usable by this program; returns its map index
+    /// (passed to helpers as a scalar).
+    pub fn declare_map(&mut self, def: MapDef) -> u32 {
+        self.maps.push(def);
+        (self.maps.len() - 1) as u32
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.next_label += 1;
+        Label(self.next_label - 1)
+    }
+
+    /// Binds `label` to the next emitted instruction.
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        let prev = self.bound.insert(label, self.insns.len());
+        assert!(prev.is_none(), "label bound twice");
+        self
+    }
+
+    fn emit(&mut self, insn: Insn) -> &mut Self {
+        self.insns.push(insn);
+        self
+    }
+
+    fn emit_jump(&mut self, op: u8, dst: Reg, src: Reg, imm: i64, target: Label) -> &mut Self {
+        self.fixups.push((self.insns.len(), target));
+        self.emit(Insn {
+            op,
+            dst,
+            src,
+            off: 0,
+            imm,
+        })
+    }
+
+    // ----- ALU -----
+
+    /// `dst = imm` (64-bit).
+    pub fn mov64_imm(&mut self, dst: Reg, imm: i32) -> &mut Self {
+        self.emit(Insn {
+            op: CLASS_ALU64 | SRC_K | ALU_MOV,
+            dst,
+            src: 0,
+            off: 0,
+            imm: imm as i64,
+        })
+    }
+
+    /// `dst = src` (64-bit).
+    pub fn mov64(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.emit(Insn {
+            op: CLASS_ALU64 | SRC_X | ALU_MOV,
+            dst,
+            src,
+            off: 0,
+            imm: 0,
+        })
+    }
+
+    /// Generic 64-bit ALU op with immediate (`ALU_ADD`, `ALU_AND`, ...).
+    pub fn alu64_imm(&mut self, aluop: u8, dst: Reg, imm: i32) -> &mut Self {
+        self.emit(Insn {
+            op: CLASS_ALU64 | SRC_K | aluop,
+            dst,
+            src: 0,
+            off: 0,
+            imm: imm as i64,
+        })
+    }
+
+    /// Generic 64-bit ALU op with register operand.
+    pub fn alu64(&mut self, aluop: u8, dst: Reg, src: Reg) -> &mut Self {
+        self.emit(Insn {
+            op: CLASS_ALU64 | SRC_X | aluop,
+            dst,
+            src,
+            off: 0,
+            imm: 0,
+        })
+    }
+
+    /// Generic 32-bit ALU op with immediate (upper half zeroed, as in eBPF).
+    pub fn alu32_imm(&mut self, aluop: u8, dst: Reg, imm: i32) -> &mut Self {
+        self.emit(Insn {
+            op: CLASS_ALU | SRC_K | aluop,
+            dst,
+            src: 0,
+            off: 0,
+            imm: imm as i64,
+        })
+    }
+
+    /// `dst |= imm`.
+    pub fn or64_imm(&mut self, dst: Reg, imm: i32) -> &mut Self {
+        self.alu64_imm(ALU_OR, dst, imm)
+    }
+
+    /// `dst += imm`.
+    pub fn add64_imm(&mut self, dst: Reg, imm: i32) -> &mut Self {
+        self.alu64_imm(ALU_ADD, dst, imm)
+    }
+
+    /// `dst &= imm`.
+    pub fn and64_imm(&mut self, dst: Reg, imm: i32) -> &mut Self {
+        self.alu64_imm(ALU_AND, dst, imm)
+    }
+
+    /// Loads a 64-bit immediate (`lddw`).
+    pub fn lddw(&mut self, dst: Reg, imm: u64) -> &mut Self {
+        self.emit(Insn {
+            op: CLASS_LD | MODE_IMM | SIZE_DW,
+            dst,
+            src: 0,
+            off: 0,
+            imm: imm as i64,
+        })
+    }
+
+    // ----- memory -----
+
+    /// `dst = *(size*)(src + off)`.
+    pub fn ldx(&mut self, size: u8, dst: Reg, src: Reg, off: i16) -> &mut Self {
+        self.emit(Insn {
+            op: CLASS_LDX | MODE_MEM | size,
+            dst,
+            src,
+            off,
+            imm: 0,
+        })
+    }
+
+    /// `*(size*)(dst + off) = src`.
+    pub fn stx(&mut self, size: u8, dst: Reg, off: i16, src: Reg) -> &mut Self {
+        self.emit(Insn {
+            op: CLASS_STX | MODE_MEM | size,
+            dst,
+            src,
+            off,
+            imm: 0,
+        })
+    }
+
+    /// `*(size*)(dst + off) = imm`.
+    pub fn st_imm(&mut self, size: u8, dst: Reg, off: i16, imm: i32) -> &mut Self {
+        self.emit(Insn {
+            op: CLASS_ST | MODE_MEM | size,
+            dst,
+            src: 0,
+            off,
+            imm: imm as i64,
+        })
+    }
+
+    // ----- control flow -----
+
+    /// Unconditional jump to `target`.
+    pub fn ja(&mut self, target: Label) -> &mut Self {
+        self.emit_jump(CLASS_JMP | JMP_JA, 0, 0, 0, target)
+    }
+
+    /// Conditional jump comparing `dst` with an immediate
+    /// (`JMP_JEQ`, `JMP_JGT`, ...).
+    pub fn jmp_imm(&mut self, jmpop: u8, dst: Reg, imm: i32, target: Label) -> &mut Self {
+        self.emit_jump(CLASS_JMP | SRC_K | jmpop, dst, 0, imm as i64, target)
+    }
+
+    /// Conditional jump comparing `dst` with `src`.
+    pub fn jmp_reg(&mut self, jmpop: u8, dst: Reg, src: Reg, target: Label) -> &mut Self {
+        self.emit_jump(CLASS_JMP | SRC_X | jmpop, dst, src, 0, target)
+    }
+
+    /// Calls helper `helper_id` (see [`crate::interp::helpers`]).
+    pub fn call(&mut self, helper_id: u32) -> &mut Self {
+        self.emit(Insn {
+            op: CLASS_JMP | JMP_CALL,
+            dst: 0,
+            src: 0,
+            off: 0,
+            imm: helper_id as i64,
+        })
+    }
+
+    /// Returns from the program with R0 as the verdict.
+    pub fn exit(&mut self) -> &mut Self {
+        self.emit(Insn {
+            op: CLASS_JMP | JMP_EXIT,
+            dst: 0,
+            src: 0,
+            off: 0,
+            imm: 0,
+        })
+    }
+
+    /// Resolves labels and returns the instruction stream plus declared
+    /// maps. Panics on unbound labels or backward jumps (which the verifier
+    /// would reject anyway).
+    pub fn build(self) -> (Vec<Insn>, Vec<MapDef>) {
+        let mut insns = self.insns;
+        for (at, label) in self.fixups {
+            let target = *self
+                .bound
+                .get(&label)
+                .unwrap_or_else(|| panic!("unbound label {label:?}"));
+            let delta = target as i64 - at as i64 - 1;
+            assert!(
+                delta >= 0,
+                "backward jump at insn {at} (vbpf requires forward control flow)"
+            );
+            assert!(delta <= i16::MAX as i64, "jump out of range");
+            insns[at].off = delta as i16;
+        }
+        (insns, self.maps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_straight_line_code() {
+        let mut b = ProgramBuilder::new();
+        b.mov64_imm(R0, 3).exit();
+        let (insns, maps) = b.build();
+        assert_eq!(insns.len(), 2);
+        assert!(maps.is_empty());
+        assert_eq!(insns[0].imm, 3);
+    }
+
+    #[test]
+    fn forward_jump_offsets_resolve() {
+        let mut b = ProgramBuilder::new();
+        let done = b.new_label();
+        b.mov64_imm(R0, 1)
+            .jmp_imm(JMP_JEQ, R0, 1, done)
+            .mov64_imm(R0, 99);
+        b.bind(done);
+        b.exit();
+        let (insns, _) = b.build();
+        // jeq at index 1, target at index 3: off = 1.
+        assert_eq!(insns[1].off, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward jump")]
+    fn backward_jump_panics() {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        b.bind(top);
+        b.mov64_imm(R0, 1).ja(top);
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut b = ProgramBuilder::new();
+        let nowhere = b.new_label();
+        b.ja(nowhere).exit();
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.bind(l);
+        b.exit();
+        b.bind(l);
+    }
+
+    #[test]
+    fn declare_map_returns_sequential_indices() {
+        let mut b = ProgramBuilder::new();
+        let m0 = b.declare_map(MapDef {
+            value_size: 8,
+            max_entries: 4,
+        });
+        let m1 = b.declare_map(MapDef {
+            value_size: 16,
+            max_entries: 2,
+        });
+        assert_eq!((m0, m1), (0, 1));
+        b.exit();
+        let (_, maps) = b.build();
+        assert_eq!(maps.len(), 2);
+    }
+}

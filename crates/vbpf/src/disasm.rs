@@ -1,0 +1,203 @@
+//! Disassembler: renders vbpf programs in the classic BPF text form used
+//! by `bpftool` / `llvm-objdump`, for debugging classifiers and for the
+//! `custom_classifier` example's output.
+
+use crate::isa::*;
+
+fn alu_name(op: u8) -> &'static str {
+    match op & 0xF0 {
+        ALU_ADD => "add",
+        ALU_SUB => "sub",
+        ALU_MUL => "mul",
+        ALU_DIV => "div",
+        ALU_OR => "or",
+        ALU_AND => "and",
+        ALU_LSH => "lsh",
+        ALU_RSH => "rsh",
+        ALU_NEG => "neg",
+        ALU_MOD => "mod",
+        ALU_XOR => "xor",
+        ALU_MOV => "mov",
+        ALU_ARSH => "arsh",
+        _ => "alu?",
+    }
+}
+
+fn jmp_name(op: u8) -> &'static str {
+    match op & 0xF0 {
+        JMP_JA => "ja",
+        JMP_JEQ => "jeq",
+        JMP_JGT => "jgt",
+        JMP_JGE => "jge",
+        JMP_JSET => "jset",
+        JMP_JNE => "jne",
+        JMP_JSGT => "jsgt",
+        JMP_JSGE => "jsge",
+        JMP_JLT => "jlt",
+        JMP_JLE => "jle",
+        JMP_JSLT => "jslt",
+        JMP_JSLE => "jsle",
+        _ => "jmp?",
+    }
+}
+
+fn size_suffix(op: u8) -> &'static str {
+    match op & 0x18 {
+        SIZE_B => "b",
+        SIZE_H => "h",
+        SIZE_W => "w",
+        _ => "dw",
+    }
+}
+
+/// Renders one instruction at `pc` (used for jump target arithmetic).
+pub fn disasm_insn(insn: &Insn, pc: usize) -> String {
+    let class = insn.class();
+    match class {
+        CLASS_ALU | CLASS_ALU64 => {
+            let w = if class == CLASS_ALU64 { "64" } else { "32" };
+            let name = alu_name(insn.op);
+            if insn.op & 0xF0 == ALU_NEG {
+                return format!("{name}{w} r{}", insn.dst);
+            }
+            if insn.op & 0x08 == SRC_X {
+                format!("{name}{w} r{}, r{}", insn.dst, insn.src)
+            } else {
+                format!("{name}{w} r{}, {}", insn.dst, insn.imm)
+            }
+        }
+        CLASS_LD => {
+            if insn.is_lddw() {
+                format!("lddw r{}, {:#x}", insn.dst, insn.imm as u64)
+            } else {
+                format!("ld? (op={:#04x})", insn.op)
+            }
+        }
+        CLASS_LDX => format!(
+            "ldx{} r{}, [r{}{:+}]",
+            size_suffix(insn.op),
+            insn.dst,
+            insn.src,
+            insn.off
+        ),
+        CLASS_ST => format!(
+            "st{} [r{}{:+}], {}",
+            size_suffix(insn.op),
+            insn.dst,
+            insn.off,
+            insn.imm
+        ),
+        CLASS_STX => format!(
+            "stx{} [r{}{:+}], r{}",
+            size_suffix(insn.op),
+            insn.dst,
+            insn.off,
+            insn.src
+        ),
+        CLASS_JMP => {
+            let jop = insn.op & 0xF0;
+            match jop {
+                JMP_EXIT => "exit".to_string(),
+                JMP_CALL => format!("call {}", insn.imm),
+                JMP_JA => format!("ja +{} -> {}", insn.off, pc as i64 + 1 + insn.off as i64),
+                _ => {
+                    let target = pc as i64 + 1 + insn.off as i64;
+                    if insn.op & 0x08 == SRC_X {
+                        format!(
+                            "{} r{}, r{}, -> {}",
+                            jmp_name(insn.op),
+                            insn.dst,
+                            insn.src,
+                            target
+                        )
+                    } else {
+                        format!(
+                            "{} r{}, {}, -> {}",
+                            jmp_name(insn.op),
+                            insn.dst,
+                            insn.imm,
+                            target
+                        )
+                    }
+                }
+            }
+        }
+        _ => format!("?? (op={:#04x})", insn.op),
+    }
+}
+
+/// Renders a whole program, one numbered instruction per line.
+pub fn disasm(insns: &[Insn]) -> String {
+    insns
+        .iter()
+        .enumerate()
+        .map(|(pc, i)| format!("{pc:4}: {}", disasm_insn(i, pc)))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn renders_common_forms() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.mov64_imm(R0, 7)
+            .lddw(R2, 0xDEAD_BEEF)
+            .ldx(SIZE_W, R3, R1, 8)
+            .stx(SIZE_DW, R10, -8, R3)
+            .jmp_imm(JMP_JEQ, R0, 7, l)
+            .call(3);
+        b.bind(l);
+        b.exit();
+        let (insns, _) = b.build();
+        let text = disasm(&insns);
+        assert!(text.contains("mov64 r0, 7"));
+        assert!(text.contains("lddw r2, 0xdeadbeef"));
+        assert!(text.contains("ldxw r3, [r1+8]"));
+        assert!(text.contains("stxdw [r10-8], r3"));
+        assert!(text.contains("jeq r0, 7, -> 6"));
+        assert!(text.contains("call 3"));
+        assert!(text.contains("exit"));
+    }
+
+    #[test]
+    fn every_line_is_numbered() {
+        let mut b = ProgramBuilder::new();
+        b.mov64_imm(R0, 0).exit();
+        let (insns, _) = b.build();
+        let text = disasm(&insns);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].trim_start().starts_with("0:"));
+        assert!(lines[1].trim_start().starts_with("1:"));
+    }
+
+    #[test]
+    fn real_classifier_disassembles_cleanly() {
+        // The encryptor classifier from nvmetro-functions round-trips
+        // through encode/decode and disassembles without unknown opcodes.
+        use crate::isa::Insn;
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.ldx(SIZE_B, R2, R1, 8)
+            .jmp_imm(JMP_JNE, R2, 2, l)
+            .mov64_imm(R0, 1)
+            .exit();
+        b.bind(l);
+        b.mov64_imm(R0, 0).exit();
+        let (insns, _) = b.build();
+        let mut bytes = Vec::new();
+        for i in &insns {
+            i.encode(&mut bytes);
+        }
+        let decoded = Insn::decode_program(&bytes).unwrap();
+        let text = disasm(&decoded);
+        assert!(!text.contains("??"), "unknown opcode in:\n{text}");
+        assert!(!text.contains("alu?"));
+        assert!(!text.contains("jmp?"));
+    }
+}

@@ -1,0 +1,337 @@
+//! The vbpf instruction set — a faithful subset of eBPF.
+//!
+//! Instructions follow the classic 8-byte eBPF encoding:
+//! `op:8 | dst:4 src:4 | off:16 | imm:32` (little-endian fields), with
+//! `lddw` occupying two slots. Internally we decode into [`Insn`] with a
+//! 64-bit immediate so `lddw` is one logical instruction.
+
+/// Register identifiers. R0 is the return value, R1–R5 are helper/entry
+/// arguments, R6–R9 are callee-saved, R10 is the read-only frame pointer.
+pub type Reg = u8;
+
+/// Return value / scratch register.
+pub const R0: Reg = 0;
+/// First argument register (the classifier's context pointer).
+pub const R1: Reg = 1;
+/// Second argument register.
+pub const R2: Reg = 2;
+/// Third argument register.
+pub const R3: Reg = 3;
+/// Fourth argument register.
+pub const R4: Reg = 4;
+/// Fifth argument register.
+pub const R5: Reg = 5;
+/// Callee-saved register 6.
+pub const R6: Reg = 6;
+/// Callee-saved register 7.
+pub const R7: Reg = 7;
+/// Callee-saved register 8.
+pub const R8: Reg = 8;
+/// Callee-saved register 9.
+pub const R9: Reg = 9;
+/// Frame pointer (read-only, points one past the top of the 512-byte stack).
+pub const R10: Reg = 10;
+
+/// Total number of registers.
+pub const NUM_REGS: usize = 11;
+/// Stack size available below R10, as in Linux eBPF.
+pub const STACK_SIZE: usize = 512;
+
+// Instruction classes (op bits 2:0).
+/// Immediate 64-bit load class (`lddw`).
+pub const CLASS_LD: u8 = 0x00;
+/// Register-indirect load class.
+pub const CLASS_LDX: u8 = 0x01;
+/// Store-immediate class.
+pub const CLASS_ST: u8 = 0x02;
+/// Store-register class.
+pub const CLASS_STX: u8 = 0x03;
+/// 32-bit ALU class.
+pub const CLASS_ALU: u8 = 0x04;
+/// Jump class.
+pub const CLASS_JMP: u8 = 0x05;
+/// 64-bit ALU class.
+pub const CLASS_ALU64: u8 = 0x07;
+
+// Source modifier (op bit 3).
+/// Operand comes from the immediate.
+pub const SRC_K: u8 = 0x00;
+/// Operand comes from a register.
+pub const SRC_X: u8 = 0x08;
+
+// ALU operations (op bits 7:4).
+/// Addition.
+pub const ALU_ADD: u8 = 0x00;
+/// Subtraction.
+pub const ALU_SUB: u8 = 0x10;
+/// Multiplication.
+pub const ALU_MUL: u8 = 0x20;
+/// Unsigned division (division by zero yields zero).
+pub const ALU_DIV: u8 = 0x30;
+/// Bitwise or.
+pub const ALU_OR: u8 = 0x40;
+/// Bitwise and.
+pub const ALU_AND: u8 = 0x50;
+/// Logical shift left.
+pub const ALU_LSH: u8 = 0x60;
+/// Logical shift right.
+pub const ALU_RSH: u8 = 0x70;
+/// Arithmetic negation.
+pub const ALU_NEG: u8 = 0x80;
+/// Unsigned modulo (modulo zero yields the dividend, as in Linux).
+pub const ALU_MOD: u8 = 0x90;
+/// Bitwise xor.
+pub const ALU_XOR: u8 = 0xa0;
+/// Register/immediate move.
+pub const ALU_MOV: u8 = 0xb0;
+/// Arithmetic shift right.
+pub const ALU_ARSH: u8 = 0xc0;
+
+// Jump operations (op bits 7:4).
+/// Unconditional jump.
+pub const JMP_JA: u8 = 0x00;
+/// Jump if equal.
+pub const JMP_JEQ: u8 = 0x10;
+/// Jump if unsigned greater.
+pub const JMP_JGT: u8 = 0x20;
+/// Jump if unsigned greater-or-equal.
+pub const JMP_JGE: u8 = 0x30;
+/// Jump if `dst & src` nonzero.
+pub const JMP_JSET: u8 = 0x40;
+/// Jump if not equal.
+pub const JMP_JNE: u8 = 0x50;
+/// Jump if signed greater.
+pub const JMP_JSGT: u8 = 0x60;
+/// Jump if signed greater-or-equal.
+pub const JMP_JSGE: u8 = 0x70;
+/// Helper function call.
+pub const JMP_CALL: u8 = 0x80;
+/// Program exit; R0 is the return value.
+pub const JMP_EXIT: u8 = 0x90;
+/// Jump if unsigned less.
+pub const JMP_JLT: u8 = 0xa0;
+/// Jump if unsigned less-or-equal.
+pub const JMP_JLE: u8 = 0xb0;
+/// Jump if signed less.
+pub const JMP_JSLT: u8 = 0xc0;
+/// Jump if signed less-or-equal.
+pub const JMP_JSLE: u8 = 0xd0;
+
+// Memory access sizes (op bits 4:3 for LD*/ST*).
+/// 32-bit word access.
+pub const SIZE_W: u8 = 0x00;
+/// 16-bit half-word access.
+pub const SIZE_H: u8 = 0x08;
+/// 8-bit byte access.
+pub const SIZE_B: u8 = 0x10;
+/// 64-bit double-word access.
+pub const SIZE_DW: u8 = 0x18;
+
+// Memory access modes (op bits 7:5).
+/// Immediate mode (only for `lddw`).
+pub const MODE_IMM: u8 = 0x00;
+/// Register-indirect with offset.
+pub const MODE_MEM: u8 = 0x60;
+
+/// A decoded vbpf instruction. `imm` is widened to 64 bits so `lddw`
+/// (which spans two encoding slots) is a single logical instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Insn {
+    /// Opcode byte.
+    pub op: u8,
+    /// Destination register.
+    pub dst: Reg,
+    /// Source register.
+    pub src: Reg,
+    /// Signed 16-bit offset (jump target delta or memory displacement).
+    pub off: i16,
+    /// Immediate operand (sign-extended for 32-bit forms).
+    pub imm: i64,
+}
+
+impl Insn {
+    /// The instruction class (op bits 2:0).
+    pub fn class(&self) -> u8 {
+        self.op & 0x07
+    }
+
+    /// True for the two-slot `lddw` instruction.
+    pub fn is_lddw(&self) -> bool {
+        self.op == CLASS_LD | MODE_IMM | SIZE_DW
+    }
+
+    /// Memory access width in bytes for LD*/ST* instructions.
+    pub fn access_size(&self) -> usize {
+        match self.op & 0x18 {
+            SIZE_W => 4,
+            SIZE_H => 2,
+            SIZE_B => 1,
+            _ => 8,
+        }
+    }
+
+    /// Encodes to the on-wire 8-byte format; `lddw` yields two slots.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let regs = (self.src << 4) | (self.dst & 0x0F);
+        out.push(self.op);
+        out.push(regs);
+        out.extend_from_slice(&self.off.to_le_bytes());
+        out.extend_from_slice(&(self.imm as i32).to_le_bytes());
+        if self.is_lddw() {
+            // Second slot: zero op/regs/off, imm = high 32 bits.
+            out.push(0);
+            out.push(0);
+            out.extend_from_slice(&0i16.to_le_bytes());
+            out.extend_from_slice(&(((self.imm as u64) >> 32) as u32).to_le_bytes());
+        }
+    }
+
+    /// Decodes a full program from wire bytes, pairing `lddw` slots.
+    pub fn decode_program(bytes: &[u8]) -> Result<Vec<Insn>, String> {
+        if bytes.len() % 8 != 0 {
+            return Err("program length must be a multiple of 8".into());
+        }
+        let mut insns = Vec::with_capacity(bytes.len() / 8);
+        let mut i = 0;
+        while i < bytes.len() {
+            let s = &bytes[i..i + 8];
+            let op = s[0];
+            let dst = s[1] & 0x0F;
+            let src = s[1] >> 4;
+            let off = i16::from_le_bytes([s[2], s[3]]);
+            let imm32 = i32::from_le_bytes([s[4], s[5], s[6], s[7]]);
+            let mut insn = Insn {
+                op,
+                dst,
+                src,
+                off,
+                imm: imm32 as i64,
+            };
+            i += 8;
+            if insn.is_lddw() {
+                if i >= bytes.len() {
+                    return Err("truncated lddw".into());
+                }
+                let hi = u32::from_le_bytes([
+                    bytes[i + 4],
+                    bytes[i + 5],
+                    bytes[i + 6],
+                    bytes[i + 7],
+                ]);
+                insn.imm = ((insn.imm as u64 & 0xFFFF_FFFF) | ((hi as u64) << 32)) as i64;
+                i += 8;
+            }
+            insns.push(insn);
+        }
+        Ok(insns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_decode() {
+        let mov = Insn {
+            op: CLASS_ALU64 | SRC_K | ALU_MOV,
+            dst: R0,
+            src: 0,
+            off: 0,
+            imm: 7,
+        };
+        assert_eq!(mov.class(), CLASS_ALU64);
+        assert!(!mov.is_lddw());
+    }
+
+    #[test]
+    fn access_sizes() {
+        for (size_bits, bytes) in [(SIZE_B, 1), (SIZE_H, 2), (SIZE_W, 4), (SIZE_DW, 8)] {
+            let i = Insn {
+                op: CLASS_LDX | MODE_MEM | size_bits,
+                dst: R0,
+                src: R1,
+                off: 0,
+                imm: 0,
+            };
+            assert_eq!(i.access_size(), bytes);
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let insns = vec![
+            Insn {
+                op: CLASS_ALU64 | SRC_K | ALU_MOV,
+                dst: R6,
+                src: 0,
+                off: 0,
+                imm: -5,
+            },
+            Insn {
+                op: CLASS_LDX | MODE_MEM | SIZE_W,
+                dst: R0,
+                src: R1,
+                off: 16,
+                imm: 0,
+            },
+            Insn {
+                op: CLASS_JMP | SRC_K | JMP_JEQ,
+                dst: R0,
+                src: 0,
+                off: 2,
+                imm: 1,
+            },
+            Insn {
+                op: CLASS_JMP | JMP_EXIT,
+                dst: 0,
+                src: 0,
+                off: 0,
+                imm: 0,
+            },
+        ];
+        let mut bytes = Vec::new();
+        for i in &insns {
+            i.encode(&mut bytes);
+        }
+        assert_eq!(bytes.len(), insns.len() * 8);
+        assert_eq!(Insn::decode_program(&bytes).unwrap(), insns);
+    }
+
+    #[test]
+    fn lddw_spans_two_slots_and_round_trips() {
+        let lddw = Insn {
+            op: CLASS_LD | MODE_IMM | SIZE_DW,
+            dst: R2,
+            src: 0,
+            off: 0,
+            imm: 0x1234_5678_9ABC_DEF0u64 as i64,
+        };
+        let mut bytes = Vec::new();
+        lddw.encode(&mut bytes);
+        assert_eq!(bytes.len(), 16);
+        let decoded = Insn::decode_program(&bytes).unwrap();
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(decoded[0], lddw);
+    }
+
+    #[test]
+    fn truncated_lddw_is_an_error() {
+        let lddw = Insn {
+            op: CLASS_LD | MODE_IMM | SIZE_DW,
+            dst: R2,
+            src: 0,
+            off: 0,
+            imm: 42,
+        };
+        let mut bytes = Vec::new();
+        lddw.encode(&mut bytes);
+        bytes.truncate(8);
+        assert!(Insn::decode_program(&bytes).is_err());
+    }
+
+    #[test]
+    fn misaligned_program_is_an_error() {
+        assert!(Insn::decode_program(&[0u8; 7]).is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! vbpf maps — persistent state shared between classifier invocations.
+//!
+//! Like Linux BPF array maps: fixed-size values indexed by a `u32` key.
+//! NVMetro classifiers use maps for configuration (e.g. the LBA offset of a
+//! VM's partition) and for per-request routing state.
+
+/// Static description of a map, declared at build time and checked by the
+/// verifier (value bounds for pointers returned from `map_lookup`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MapDef {
+    /// Size of each value in bytes (1..=4096).
+    pub value_size: usize,
+    /// Number of slots (keys are `0..max_entries`).
+    pub max_entries: u32,
+}
+
+/// An array map instance.
+#[derive(Clone, Debug)]
+pub struct ArrayMap {
+    def: MapDef,
+    data: Vec<u8>,
+}
+
+impl ArrayMap {
+    /// Creates a zero-filled map from its definition.
+    pub fn new(def: MapDef) -> Self {
+        assert!(
+            (1..=4096).contains(&def.value_size),
+            "value size out of range"
+        );
+        assert!(def.max_entries >= 1, "map needs at least one entry");
+        ArrayMap {
+            def,
+            data: vec![0; def.value_size * def.max_entries as usize],
+        }
+    }
+
+    /// The map's definition.
+    pub fn def(&self) -> MapDef {
+        self.def
+    }
+
+    /// Immutable view of a slot, if the key is in range.
+    pub fn get(&self, key: u32) -> Option<&[u8]> {
+        (key < self.def.max_entries).then(|| {
+            let s = key as usize * self.def.value_size;
+            &self.data[s..s + self.def.value_size]
+        })
+    }
+
+    /// Mutable view of a slot, if the key is in range.
+    pub fn get_mut(&mut self, key: u32) -> Option<&mut [u8]> {
+        (key < self.def.max_entries).then(|| {
+            let s = key as usize * self.def.value_size;
+            &mut self.data[s..s + self.def.value_size]
+        })
+    }
+
+    /// Overwrites a slot from `value` (must match `value_size`).
+    pub fn update(&mut self, key: u32, value: &[u8]) -> Result<(), ()> {
+        if value.len() != self.def.value_size {
+            return Err(());
+        }
+        let slot = self.get_mut(key).ok_or(())?;
+        slot.copy_from_slice(value);
+        Ok(())
+    }
+
+    /// Convenience: reads a little-endian u64 from the start of a slot.
+    pub fn get_u64(&self, key: u32) -> Option<u64> {
+        let v = self.get(key)?;
+        if v.len() < 8 {
+            return None;
+        }
+        Some(u64::from_le_bytes(v[..8].try_into().unwrap()))
+    }
+
+    /// Convenience: writes a little-endian u64 at the start of a slot.
+    pub fn set_u64(&mut self, key: u32, value: u64) -> Result<(), ()> {
+        let slot = self.get_mut(key).ok_or(())?;
+        if slot.len() < 8 {
+            return Err(());
+        }
+        slot[..8].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> ArrayMap {
+        ArrayMap::new(MapDef {
+            value_size: 8,
+            max_entries: 4,
+        })
+    }
+
+    #[test]
+    fn new_map_is_zeroed() {
+        let m = map();
+        assert_eq!(m.get(0).unwrap(), &[0u8; 8]);
+        assert_eq!(m.get_u64(3), Some(0));
+    }
+
+    #[test]
+    fn out_of_range_key_is_none() {
+        let m = map();
+        assert!(m.get(4).is_none());
+        assert!(m.get_u64(100).is_none());
+    }
+
+    #[test]
+    fn update_round_trips() {
+        let mut m = map();
+        m.update(1, &7u64.to_le_bytes()).unwrap();
+        assert_eq!(m.get_u64(1), Some(7));
+        assert_eq!(m.get_u64(0), Some(0), "other slots untouched");
+    }
+
+    #[test]
+    fn update_wrong_size_fails() {
+        let mut m = map();
+        assert!(m.update(0, &[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn set_u64_out_of_range_fails() {
+        let mut m = map();
+        assert!(m.set_u64(9, 1).is_err());
+        m.set_u64(2, 0xFFFF_0000_1111_2222).unwrap();
+        assert_eq!(m.get_u64(2), Some(0xFFFF_0000_1111_2222));
+    }
+
+    #[test]
+    #[should_panic(expected = "value size")]
+    fn oversized_value_panics() {
+        let _ = ArrayMap::new(MapDef {
+            value_size: 8192,
+            max_entries: 1,
+        });
+    }
+}

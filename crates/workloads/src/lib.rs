@@ -1,0 +1,24 @@
+//! Workload engines and solution assembly for the NVMetro evaluation.
+//!
+//! * [`fio`] — an fio-style I/O engine: block sizes, random/sequential
+//!   read/write/mixed modes, queue depths, parallel jobs, open-loop
+//!   fixed-rate submission for latency runs, HDR-style latency recording
+//!   (the paper's §V-A fio methodology, Table II).
+//! * [`rig`] — builds a complete virtual-time rig for any solution (the
+//!   six basic stacks plus the encryption/replication variants): device,
+//!   stack actors, and per-job guest queue endpoints.
+//! * [`runner`] — one-call experiment execution: `run_fio(kind, cfg)`
+//!   returns IOPS, median/p99 latency and CPU consumption.
+//! * [`ycsb`] — the YCSB workload suite: Zipfian/latest generators,
+//!   workloads A–F, a *functional* driver over `lsmkv`, and a calibrated
+//!   LSM I/O model for virtual-time database runs (Figs. 6, 8, 10).
+
+pub mod fio;
+pub mod rig;
+pub mod runner;
+pub mod ycsb;
+
+pub use fio::{FioConfig, FioJob, FioMode, JobStats};
+pub use rig::{RigOptions, SolutionKind};
+pub use runner::{run_fio, FioResult};
+pub use ycsb::{YcsbSpec, YcsbWorkload, ZipfianGenerator};

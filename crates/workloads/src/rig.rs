@@ -1,0 +1,475 @@
+//! Solution assembly: builds a complete virtual-time rig for any stack.
+
+use crate::fio::{FioConfig, FioJob, JobStats};
+use nvmetro_baselines::mdev::MdevTranslate;
+use nvmetro_baselines::{bind_passthrough, build_mdev_router, QemuVirtioBlk, SpdkVhost, VhostScsi};
+use nvmetro_core::classify::Classifier;
+use nvmetro_core::router::{NotifyBinding, Router, VmBinding};
+use nvmetro_core::uif::UifRunner;
+use nvmetro_core::{offset_program, Partition, VirtualController, VmConfig};
+use nvmetro_device::{CompletionMode, SimSsd, SsdConfig, Transport};
+use nvmetro_functions::{
+    build_encryptor_classifier, build_replicator_classifier, CryptoBackend, EncryptorUif,
+    ReplicatorUif,
+};
+use nvmetro_kernel::{DmConfig, KernelDm};
+use nvmetro_mem::GuestMemory;
+use nvmetro_nvme::{CqPair, SqPair};
+use nvmetro_sim::cost::CostModel;
+use nvmetro_sim::{Actor, CpuMode, Executor, Ns, Progress};
+use std::sync::Arc;
+
+/// Which storage-virtualization solution to build (§V-B/C/D comparators).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolutionKind {
+    /// NVMetro with the dummy (passthrough) vbpf classifier.
+    Nvmetro,
+    /// MDev-NVMe mediated pass-through.
+    Mdev,
+    /// Direct PCIe passthrough.
+    Passthrough,
+    /// In-kernel vhost-scsi.
+    Vhost,
+    /// QEMU virtio-blk with io_uring.
+    Qemu,
+    /// SPDK vhost-user.
+    Spdk,
+    /// NVMetro encryption function (optionally the SGX variant).
+    NvmetroEncrypt {
+        /// Keep the key in the (simulated) SGX enclave.
+        sgx: bool,
+    },
+    /// dm-crypt under vhost-scsi.
+    DmCrypt,
+    /// NVMetro replication to a remote NVMe-oF secondary.
+    NvmetroReplicate,
+    /// dm-mirror under vhost-scsi (remote secondary leg).
+    DmMirror,
+}
+
+impl SolutionKind {
+    /// Display name used in tables (matches the paper's legends).
+    pub fn label(self) -> &'static str {
+        match self {
+            SolutionKind::Nvmetro => "NVMetro",
+            SolutionKind::Mdev => "MDev",
+            SolutionKind::Passthrough => "Passthrough",
+            SolutionKind::Vhost => "Vhost",
+            SolutionKind::Qemu => "QEMU",
+            SolutionKind::Spdk => "SPDK",
+            SolutionKind::NvmetroEncrypt { sgx: false } => "NVMetro Encr.",
+            SolutionKind::NvmetroEncrypt { sgx: true } => "NVMetro SGX",
+            SolutionKind::DmCrypt => "dm-crypt",
+            SolutionKind::NvmetroReplicate => "NVMetro Repl.",
+            SolutionKind::DmMirror => "dm-mirror",
+        }
+    }
+
+    /// The six basic-evaluation solutions (Figs. 3, 4, 6, 11).
+    pub fn basic_six() -> [SolutionKind; 6] {
+        [
+            SolutionKind::Nvmetro,
+            SolutionKind::Mdev,
+            SolutionKind::Passthrough,
+            SolutionKind::Vhost,
+            SolutionKind::Qemu,
+            SolutionKind::Spdk,
+        ]
+    }
+}
+
+/// Rig-wide options.
+#[derive(Clone, Debug)]
+pub struct RigOptions {
+    /// Calibrated cost model.
+    pub cost: CostModel,
+    /// Number of VMs (Fig. 5 scalability uses several; everything else 1).
+    pub vms: usize,
+    /// Device capacity in LBAs (partitioned across VMs).
+    pub capacity_lbas: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RigOptions {
+    fn default() -> Self {
+        RigOptions {
+            cost: CostModel::default(),
+            vms: 1,
+            capacity_lbas: 1 << 24, // 8 GiB span: enough spread, fast sim
+            seed: 42,
+        }
+    }
+}
+
+/// A fully-wired virtual-time rig ready to run.
+pub struct BuiltRig {
+    /// The executor owning every actor.
+    pub ex: Executor,
+    /// Per-job result handles (jobs x VMs).
+    pub jobs: Vec<Arc<JobStats>>,
+}
+
+/// An actor representing a dedicated thread that spins without doing work
+/// accounted elsewhere (SGX switchless worker, extra SPDK reactors).
+pub struct IdleBurner {
+    name: String,
+}
+
+impl IdleBurner {
+    /// Creates a burner with a display name.
+    pub fn new(name: &str) -> Self {
+        IdleBurner {
+            name: name.to_string(),
+        }
+    }
+}
+
+impl Actor for IdleBurner {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn poll(&mut self, _now: Ns) -> Progress {
+        Progress::Idle
+    }
+    fn next_event(&self) -> Option<Ns> {
+        None
+    }
+    fn cpu_mode(&self) -> CpuMode {
+        CpuMode::BusyPoll
+    }
+}
+
+fn ring_depth(qd: u32) -> usize {
+    ((qd as usize * 2).next_power_of_two()).max(64)
+}
+
+/// Builds the complete rig for `kind` under the given fio config.
+pub fn build_fio_rig(kind: SolutionKind, cfg: &FioConfig, opts: &RigOptions) -> BuiltRig {
+    let mut jobs: Vec<Arc<JobStats>> = Vec::new();
+    let cfg2 = cfg.clone();
+    let cost2 = opts.cost.clone();
+    let seed = opts.seed;
+    let ex = build_rig(
+        kind,
+        opts,
+        cfg.jobs,
+        cfg.qd,
+        |vm, j, gsq, gcq, partition| {
+            let job_lbas = (partition.lba_count / cfg2.jobs as u64).max(1);
+            let (job, stats) = FioJob::new(
+                &format!("fio-vm{vm}-j{j}"),
+                cfg2.clone(),
+                cost2.clone(),
+                gsq,
+                gcq,
+                j as u64 * job_lbas,
+                job_lbas,
+                seed ^ ((vm as u64) << 32) ^ j as u64,
+            );
+            jobs.push(stats);
+            Box::new(job)
+        },
+    );
+    BuiltRig { ex, jobs }
+}
+
+/// Builds the rig for `kind` with caller-supplied job actors: one job per
+/// queue pair per VM, created by `make_job(vm, job, guest_sq, guest_cq,
+/// partition)`. Used by both the fio and YCSB harnesses.
+pub fn build_rig<F>(
+    kind: SolutionKind,
+    opts: &RigOptions,
+    queue_pairs: usize,
+    qd: u32,
+    mut make_job: F,
+) -> Executor
+where
+    F: FnMut(
+        usize,
+        usize,
+        nvmetro_nvme::SqProducer,
+        nvmetro_nvme::CqConsumer,
+        Partition,
+    ) -> Box<dyn Actor>,
+{
+    let cost = opts.cost.clone();
+    let mut ex = Executor::new();
+
+    // The physical device (data movement off: perf runs model costs only).
+    let mut ssd = SimSsd::new("ssd", SsdConfig {
+        capacity_lbas: opts.capacity_lbas,
+        cost: cost.clone(),
+        move_data: false,
+        seed: opts.seed,
+        transport: None,
+        fail_rate: 0.0,
+    });
+
+    // Remote secondary for the replication solutions.
+    let needs_remote = matches!(
+        kind,
+        SolutionKind::NvmetroReplicate | SolutionKind::DmMirror
+    );
+    let mut remote = needs_remote.then(|| {
+        SimSsd::new("remote-ssd", SsdConfig {
+            capacity_lbas: opts.capacity_lbas,
+            cost: cost.clone(),
+            move_data: false,
+            seed: opts.seed ^ 0xABCD,
+            transport: Some(Transport {
+                one_way: cost.nvmeof_one_way,
+                per_byte: cost.nvmeof_per_byte,
+            }),
+            fail_rate: 0.0,
+        })
+    });
+
+    let part_lbas = opts.capacity_lbas / opts.vms as u64;
+    let depth = ring_depth(qd);
+
+    // Router-based solutions share ONE router worker across all VMs.
+    let table_capacity = (opts.vms * queue_pairs * qd as usize * 2 + 64).min(60_000);
+    let mut router: Option<Router> = match kind {
+        SolutionKind::Nvmetro
+        | SolutionKind::NvmetroEncrypt { .. }
+        | SolutionKind::NvmetroReplicate => {
+            Some(Router::new("router", cost.clone(), 1, table_capacity))
+        }
+        SolutionKind::Mdev => Some(build_mdev_router(&cost, table_capacity)),
+        _ => None,
+    };
+
+    for vm in 0..opts.vms {
+        let partition = Partition {
+            lba_offset: vm as u64 * part_lbas,
+            lba_count: part_lbas,
+        };
+        let mut vc = VirtualController::new(VmConfig {
+            id: vm as u32,
+            mem_bytes: 1 << 24,
+            queue_pairs,
+            queue_depth: depth,
+            partition,
+        });
+        let mem = vc.memory();
+
+        // Jobs: one per queue pair.
+        for j in 0..queue_pairs {
+            let (gsq, gcq) = vc.take_guest_queue(j);
+            ex.add(make_job(vm, j, gsq, gcq, partition));
+        }
+
+        match kind {
+            SolutionKind::Passthrough => {
+                // No partition translation: passthrough owns the device
+                // (give each VM its own namespace slice by mapping queue
+                // regions; with one VM this is the whole disk).
+                bind_passthrough(&mut ssd, &mut vc);
+            }
+            SolutionKind::Nvmetro | SolutionKind::Mdev => {
+                let (vsqs, vcqs) = vc.take_router_queues();
+                let (hsq_p, hsq_c) = SqPair::new(4096);
+                let (hcq_p, hcq_c) = CqPair::new(4096);
+                ssd.add_queue(hsq_c, hcq_p, mem.clone(), CompletionMode::Polled);
+                let classifier = if kind == SolutionKind::Mdev {
+                    Classifier::Native(Box::new(MdevTranslate {
+                        lba_offset: partition.lba_offset,
+                    }))
+                } else {
+                    Classifier::Bpf(offset_program(partition.lba_offset))
+                };
+                router.as_mut().unwrap().bind_vm(VmBinding {
+                    vm_id: vm as u32,
+                    mem: mem.clone(),
+                    partition,
+                    vsqs,
+                    vcqs,
+                    hsq: hsq_p,
+                    hcq: hcq_c,
+                    kernel: None,
+                    notify: None,
+                    classifier,
+                });
+            }
+            SolutionKind::NvmetroEncrypt { sgx } => {
+                let (vsqs, vcqs) = vc.take_router_queues();
+                let (hsq_p, hsq_c) = SqPair::new(4096);
+                let (hcq_p, hcq_c) = CqPair::new(4096);
+                ssd.add_queue(hsq_c, hcq_p, mem.clone(), CompletionMode::Polled);
+                let (nsq_p, nsq_c) = SqPair::new(4096);
+                let (ncq_p, ncq_c) = CqPair::new(4096);
+                let (bsq_p, bsq_c) = SqPair::new(4096);
+                let (bcq_p, bcq_c) = CqPair::new(4096);
+                let host_mem = Arc::new(GuestMemory::new(1 << 24));
+                ssd.add_queue(bsq_c, bcq_p, host_mem.clone(), CompletionMode::Polled);
+                let workers = if sgx { 1 } else { cost.uif_crypto_threads };
+                let runner = UifRunner::new(
+                    &format!("uif-encrypt-vm{vm}"),
+                    cost.clone(),
+                    nsq_c,
+                    ncq_p,
+                    mem.clone(),
+                    (bsq_p, bcq_c),
+                    host_mem,
+                    Box::new(EncryptorUif::new(
+                        CryptoBackend::ModelOnly { sgx },
+                        partition.lba_offset,
+                    )),
+                    workers,
+                    false,
+                );
+                ex.add(Box::new(runner));
+                // The SGX switchless thread parks when no calls are
+                // pending; its steady-state CPU is inside the runner's
+                // adaptive accounting.
+                router.as_mut().unwrap().bind_vm(VmBinding {
+                    vm_id: vm as u32,
+                    mem: mem.clone(),
+                    partition,
+                    vsqs,
+                    vcqs,
+                    hsq: hsq_p,
+                    hcq: hcq_c,
+                    kernel: None,
+                    notify: Some(NotifyBinding {
+                        nsq: nsq_p,
+                        ncq: ncq_c,
+                    }),
+                    classifier: Classifier::Bpf(build_encryptor_classifier(
+                        partition.lba_offset,
+                    )),
+                });
+            }
+            SolutionKind::NvmetroReplicate => {
+                let (vsqs, vcqs) = vc.take_router_queues();
+                let (hsq_p, hsq_c) = SqPair::new(4096);
+                let (hcq_p, hcq_c) = CqPair::new(4096);
+                ssd.add_queue(hsq_c, hcq_p, mem.clone(), CompletionMode::Polled);
+                let (nsq_p, nsq_c) = SqPair::new(4096);
+                let (ncq_p, ncq_c) = CqPair::new(4096);
+                let (bsq_p, bsq_c) = SqPair::new(4096);
+                let (bcq_p, bcq_c) = CqPair::new(4096);
+                let host_mem = Arc::new(GuestMemory::new(1 << 24));
+                remote.as_mut().unwrap().add_queue(
+                    bsq_c,
+                    bcq_p,
+                    host_mem.clone(),
+                    CompletionMode::Polled,
+                );
+                let runner = UifRunner::new(
+                    &format!("uif-replicate-vm{vm}"),
+                    cost.clone(),
+                    nsq_c,
+                    ncq_p,
+                    mem.clone(),
+                    (bsq_p, bcq_c),
+                    host_mem,
+                    Box::new(ReplicatorUif::new()),
+                    1,
+                    false,
+                );
+                ex.add(Box::new(runner));
+                router.as_mut().unwrap().bind_vm(VmBinding {
+                    vm_id: vm as u32,
+                    mem: mem.clone(),
+                    partition,
+                    vsqs,
+                    vcqs,
+                    hsq: hsq_p,
+                    hcq: hcq_c,
+                    kernel: None,
+                    notify: Some(NotifyBinding {
+                        nsq: nsq_p,
+                        ncq: ncq_c,
+                    }),
+                    classifier: Classifier::Bpf(build_replicator_classifier(
+                        partition.lba_offset,
+                    )),
+                });
+            }
+            SolutionKind::Vhost | SolutionKind::DmCrypt | SolutionKind::DmMirror => {
+                let (vsqs, vcqs) = vc.take_router_queues();
+                let (dsq_p, dsq_c) = SqPair::new(4096);
+                let (dcq_p, dcq_c) = CqPair::new(4096);
+                ssd.add_queue(dsq_c, dcq_p, mem.clone(), CompletionMode::Interrupt);
+                let mut ports = vec![(dsq_p, dcq_c)];
+                let dm_config = match kind {
+                    SolutionKind::DmCrypt => DmConfig::Crypt {
+                        offset: partition.lba_offset,
+                        key: None,
+                    },
+                    SolutionKind::DmMirror => {
+                        let (rsq_p, rsq_c) = SqPair::new(4096);
+                        let (rcq_p, rcq_c) = CqPair::new(4096);
+                        remote.as_mut().unwrap().add_queue(
+                            rsq_c,
+                            rcq_p,
+                            mem.clone(),
+                            CompletionMode::Interrupt,
+                        );
+                        ports.push((rsq_p, rcq_c));
+                        DmConfig::Mirror {
+                            offset: partition.lba_offset,
+                        }
+                    }
+                    _ => DmConfig::Linear {
+                        offset: partition.lba_offset,
+                    },
+                };
+                let dm = KernelDm::new(cost.clone(), dm_config, ports, mem.clone());
+                ex.add(Box::new(VhostScsi::new(
+                    &format!("vhost-vm{vm}"),
+                    cost.clone(),
+                    vsqs,
+                    vcqs,
+                    dm,
+                )));
+            }
+            SolutionKind::Qemu => {
+                let (vsqs, vcqs) = vc.take_router_queues();
+                let (dsq_p, dsq_c) = SqPair::new(4096);
+                let (dcq_p, dcq_c) = CqPair::new(4096);
+                ssd.add_queue(dsq_c, dcq_p, mem.clone(), CompletionMode::Polled);
+                ex.add(Box::new(QemuVirtioBlk::new(
+                    &format!("qemu-vm{vm}"),
+                    cost.clone(),
+                    vsqs,
+                    vcqs,
+                    dsq_p,
+                    dcq_c,
+                    partition.lba_offset,
+                    true,
+                )));
+            }
+            SolutionKind::Spdk => {
+                let (vsqs, vcqs) = vc.take_router_queues();
+                let (dsq_p, dsq_c) = SqPair::new(4096);
+                let (dcq_p, dcq_c) = CqPair::new(4096);
+                ssd.add_queue(dsq_c, dcq_p, mem.clone(), CompletionMode::Polled);
+                ex.add(Box::new(SpdkVhost::new(
+                    &format!("spdk-vm{vm}"),
+                    cost.clone(),
+                    vsqs,
+                    vcqs,
+                    dsq_p,
+                    dcq_c,
+                    partition.lba_offset,
+                )));
+                for r in 1..cost.spdk_reactors {
+                    ex.add(Box::new(IdleBurner::new(&format!("spdk-reactor-{r}"))));
+                }
+            }
+        }
+    }
+
+    if let Some(router) = router {
+        ex.add(Box::new(router));
+    }
+    ex.add(Box::new(ssd));
+    if let Some(remote) = remote {
+        ex.add(Box::new(remote));
+    }
+
+    ex
+}

@@ -1,0 +1,191 @@
+//! One-call experiment execution.
+
+use crate::fio::FioConfig;
+use crate::rig::{build_fio_rig, RigOptions, SolutionKind};
+use nvmetro_sim::{Ns, SEC};
+use nvmetro_stats::Histogram;
+
+/// Results of one fio run.
+#[derive(Clone, Debug)]
+pub struct FioResult {
+    /// Aggregate I/O per second across jobs.
+    pub iops: f64,
+    /// Median completion latency (ns).
+    pub median_ns: u64,
+    /// 99th-percentile completion latency (ns).
+    pub p99_ns: u64,
+    /// Total CPU consumed (ns summed over all actors).
+    pub cpu_ns: Ns,
+    /// Average busy cores over the run.
+    pub cpu_cores: f64,
+    /// Virtual run duration (ns).
+    pub duration: Ns,
+    /// Completions with error status (must be 0 in healthy runs).
+    pub errors: u64,
+    /// Total I/Os completed.
+    pub completed: u64,
+}
+
+impl FioResult {
+    /// Kilo-IOPS, as plotted in Figs. 3, 5, 7, 9.
+    pub fn kiops(&self) -> f64 {
+        self.iops / 1_000.0
+    }
+
+    /// Throughput in MB/s for the given block size.
+    pub fn mbps(&self, bs: usize) -> f64 {
+        self.iops * bs as f64 / 1e6
+    }
+
+    /// CPU seconds consumed per second of runtime (Figs. 11-13 unit,
+    /// normalized by duration).
+    pub fn cpu_secs_per_sec(&self) -> f64 {
+        self.cpu_cores
+    }
+}
+
+/// Builds the rig for `kind`, runs the configured workload to completion,
+/// and aggregates job statistics.
+pub fn run_fio(kind: SolutionKind, cfg: &FioConfig, opts: &RigOptions) -> FioResult {
+    let mut rig = build_fio_rig(kind, cfg, opts);
+    // Jobs stop submitting at cfg.duration; let in-flight I/O drain.
+    let report = rig.ex.run(u64::MAX);
+    let mut hist = Histogram::new();
+    let mut completed = 0u64;
+    let mut errors = 0u64;
+    for job in &rig.jobs {
+        hist.merge(&job.latency.lock());
+        completed += job.completed.load(std::sync::atomic::Ordering::Relaxed);
+        errors += job.errors.load(std::sync::atomic::Ordering::Relaxed);
+    }
+    let duration = report.duration.max(1);
+    // Rate over the FULL run including the drain tail — otherwise deeply
+    // backlogged stacks (e.g. dm-crypt's serialized pipeline at QD128)
+    // would be credited their queued-up completions against the short
+    // submission window, inflating their throughput.
+    let window = duration;
+    FioResult {
+        iops: completed as f64 * SEC as f64 / window as f64,
+        median_ns: hist.median(),
+        p99_ns: hist.p99(),
+        cpu_ns: report.total_cpu(),
+        cpu_cores: report.cpu_cores(),
+        duration,
+        errors,
+        completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fio::FioMode;
+    use nvmetro_sim::MS;
+
+    fn quick(bs: usize, mode: FioMode, qd: u32, jobs: usize) -> FioConfig {
+        let mut cfg = FioConfig::new(bs, mode, qd, jobs);
+        cfg.duration = 30 * MS;
+        cfg
+    }
+
+    #[test]
+    fn all_solutions_complete_io_without_errors() {
+        for kind in SolutionKind::basic_six() {
+            let r = run_fio(
+                kind,
+                &quick(4096, FioMode::RandRead, 8, 1),
+                &RigOptions::default(),
+            );
+            assert_eq!(r.errors, 0, "{:?} produced errors", kind);
+            assert!(r.completed > 50, "{:?} completed only {}", kind, r.completed);
+            assert!(r.median_ns > 0);
+        }
+    }
+
+    #[test]
+    fn storage_functions_complete_io_without_errors() {
+        for kind in [
+            SolutionKind::NvmetroEncrypt { sgx: false },
+            SolutionKind::NvmetroEncrypt { sgx: true },
+            SolutionKind::DmCrypt,
+            SolutionKind::NvmetroReplicate,
+            SolutionKind::DmMirror,
+        ] {
+            let r = run_fio(
+                kind,
+                &quick(4096, FioMode::RandRw, 8, 1),
+                &RigOptions::default(),
+            );
+            assert_eq!(r.errors, 0, "{:?} produced errors", kind);
+            assert!(r.completed > 50, "{:?} completed only {}", kind, r.completed);
+        }
+    }
+
+    #[test]
+    fn polling_solutions_beat_qemu_at_qd1_random_read() {
+        let cfg = quick(512, FioMode::RandRead, 1, 1);
+        let opts = RigOptions::default();
+        let nvmetro = run_fio(SolutionKind::Nvmetro, &cfg, &opts);
+        let qemu = run_fio(SolutionKind::Qemu, &cfg, &opts);
+        assert!(
+            nvmetro.iops > qemu.iops * 1.8,
+            "NVMetro {} vs QEMU {} (paper: 2.7x)",
+            nvmetro.iops,
+            qemu.iops
+        );
+    }
+
+    #[test]
+    fn higher_queue_depth_increases_throughput() {
+        let opts = RigOptions::default();
+        let qd1 = run_fio(
+            SolutionKind::Nvmetro,
+            &quick(512, FioMode::RandRead, 1, 1),
+            &opts,
+        );
+        let qd128 = run_fio(
+            SolutionKind::Nvmetro,
+            &quick(512, FioMode::RandRead, 128, 1),
+            &opts,
+        );
+        assert!(
+            qd128.iops > qd1.iops * 5.0,
+            "QD128 {} should be several x QD1 {}",
+            qd128.iops,
+            qd1.iops
+        );
+    }
+
+    #[test]
+    fn vhost_latency_exceeds_polling_paths() {
+        let mut cfg = quick(512, FioMode::RandRead, 1, 1);
+        cfg.rate_iops = Some(10_000);
+        cfg.duration = 50 * MS;
+        let opts = RigOptions::default();
+        let nvmetro = run_fio(SolutionKind::Nvmetro, &cfg, &opts);
+        let vhost = run_fio(SolutionKind::Vhost, &cfg, &opts);
+        assert!(
+            vhost.median_ns as f64 > nvmetro.median_ns as f64 * 1.4,
+            "vhost {} vs NVMetro {} (paper: +73.6%)",
+            vhost.median_ns,
+            nvmetro.median_ns
+        );
+    }
+
+    #[test]
+    fn multi_vm_rig_scales_out() {
+        let mut opts = RigOptions::default();
+        opts.vms = 4;
+        // QD1 so a single VM is far from device saturation.
+        let cfg = quick(512, FioMode::RandRead, 1, 1);
+        let r = run_fio(SolutionKind::Nvmetro, &cfg, &opts);
+        assert_eq!(r.errors, 0);
+        let single = run_fio(SolutionKind::Nvmetro, &cfg, &RigOptions::default());
+        assert!(
+            r.iops > single.iops * 2.5,
+            "4 VMs {} should out-throughput 1 VM {}",
+            r.iops,
+            single.iops
+        );
+    }
+}

@@ -1,0 +1,791 @@
+//! The YCSB benchmark suite (§V-A: six built-in workloads over RocksDB).
+//!
+//! Two consumers share the workload definitions:
+//!
+//! * [`run_real`] drives an actual [`lsmkv::LsmKv`] store — used by
+//!   functional tests and the `kv_store` example;
+//! * [`run_ycsb`] runs the virtual-time database model over any
+//!   [`SolutionKind`] stack: each operation becomes the I/O sequence an
+//!   LSM tree issues for it (WAL appends, bloom-filtered table reads,
+//!   amortized flush/compaction bursts) plus client/db think time, executed
+//!   synchronously per job like a YCSB client thread.
+
+use crate::rig::{build_rig, RigOptions, SolutionKind};
+use lsmkv::{LsmKv, Storage};
+use nvmetro_nvme::{CqConsumer, SqProducer, SubmissionEntry, LBA_SIZE};
+use nvmetro_sim::cost::CostModel;
+use nvmetro_sim::{Actor, CpuMode, Ns, Progress, SimRng, SEC, US};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The six standard workloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum YcsbWorkload {
+    /// 50% read / 50% update, zipfian.
+    A,
+    /// 95% read / 5% update, zipfian.
+    B,
+    /// 100% read, zipfian.
+    C,
+    /// 95% read / 5% insert, latest distribution.
+    D,
+    /// 95% scan / 5% insert, zipfian.
+    E,
+    /// 50% read / 50% read-modify-write, zipfian.
+    F,
+}
+
+impl YcsbWorkload {
+    /// All six, in order.
+    pub fn all() -> [YcsbWorkload; 6] {
+        [
+            YcsbWorkload::A,
+            YcsbWorkload::B,
+            YcsbWorkload::C,
+            YcsbWorkload::D,
+            YcsbWorkload::E,
+            YcsbWorkload::F,
+        ]
+    }
+
+    /// Letter label.
+    pub fn label(self) -> &'static str {
+        match self {
+            YcsbWorkload::A => "A",
+            YcsbWorkload::B => "B",
+            YcsbWorkload::C => "C",
+            YcsbWorkload::D => "D",
+            YcsbWorkload::E => "E",
+            YcsbWorkload::F => "F",
+        }
+    }
+
+    /// Operation mix.
+    pub fn spec(self) -> YcsbSpec {
+        match self {
+            YcsbWorkload::A => YcsbSpec {
+                read: 0.5,
+                update: 0.5,
+                insert: 0.0,
+                scan: 0.0,
+                rmw: 0.0,
+                latest: false,
+            },
+            YcsbWorkload::B => YcsbSpec {
+                read: 0.95,
+                update: 0.05,
+                insert: 0.0,
+                scan: 0.0,
+                rmw: 0.0,
+                latest: false,
+            },
+            YcsbWorkload::C => YcsbSpec {
+                read: 1.0,
+                update: 0.0,
+                insert: 0.0,
+                scan: 0.0,
+                rmw: 0.0,
+                latest: false,
+            },
+            YcsbWorkload::D => YcsbSpec {
+                read: 0.95,
+                update: 0.0,
+                insert: 0.05,
+                scan: 0.0,
+                rmw: 0.0,
+                latest: true,
+            },
+            YcsbWorkload::E => YcsbSpec {
+                read: 0.0,
+                update: 0.0,
+                insert: 0.05,
+                scan: 0.95,
+                rmw: 0.0,
+                latest: false,
+            },
+            YcsbWorkload::F => YcsbSpec {
+                read: 0.5,
+                update: 0.0,
+                insert: 0.0,
+                scan: 0.0,
+                rmw: 0.5,
+                latest: false,
+            },
+        }
+    }
+}
+
+/// Operation-mix proportions.
+#[derive(Clone, Copy, Debug)]
+pub struct YcsbSpec {
+    /// Point-read fraction.
+    pub read: f64,
+    /// Update fraction.
+    pub update: f64,
+    /// Insert fraction.
+    pub insert: f64,
+    /// Scan fraction.
+    pub scan: f64,
+    /// Read-modify-write fraction.
+    pub rmw: f64,
+    /// Use the "latest" distribution instead of zipfian.
+    pub latest: bool,
+}
+
+/// The YCSB scrambled-zipfian generator (Gray et al. / YCSB's
+/// `ZipfianGenerator` with FNV scrambling).
+pub struct ZipfianGenerator {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2theta: f64,
+}
+
+impl ZipfianGenerator {
+    /// Builds a generator over `[0, n)` with the standard constant 0.99.
+    pub fn new(n: u64) -> Self {
+        let theta = 0.99;
+        let zeta = |count: u64| -> f64 {
+            (1..=count).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        };
+        // Exact zeta for small n; sampled approximation for large n keeps
+        // construction O(100k) while staying within ~1% of exact.
+        let zetan = if n <= 1_000_000 {
+            zeta(n)
+        } else {
+            let base = zeta(1_000_000);
+            // zeta(n) ~ zeta(m) + integral m..n of x^-theta
+            let (m, nn) = (1_000_000f64, n as f64);
+            base + (nn.powf(1.0 - theta) - m.powf(1.0 - theta)) / (1.0 - theta)
+        };
+        let zeta2theta = zeta(2);
+        ZipfianGenerator {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan),
+            zeta2theta,
+        }
+    }
+
+    /// Draws the next item in `[0, n)` (most popular = densest).
+    pub fn next(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return self.scramble(0);
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return self.scramble(1);
+        }
+        let raw = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        self.scramble(raw.min(self.n - 1))
+    }
+
+    /// Spreads hot items across the key space (YCSB's scrambled zipfian).
+    fn scramble(&self, v: u64) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h % self.n
+    }
+
+    /// Debug view of the normalization constant.
+    pub fn zetan(&self) -> f64 {
+        self.zetan
+    }
+
+    /// Debug view of zeta(2, theta).
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2theta
+    }
+}
+
+/// One YCSB operation against a real store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum YcsbOp {
+    /// Point read.
+    Read,
+    /// Overwrite an existing record.
+    Update,
+    /// Insert a new record.
+    Insert,
+    /// Short range scan.
+    Scan,
+    /// Read-modify-write.
+    Rmw,
+}
+
+/// Draws the next operation type from a spec.
+pub fn next_op(spec: &YcsbSpec, rng: &mut SimRng) -> YcsbOp {
+    let r = rng.f64();
+    if r < spec.read {
+        YcsbOp::Read
+    } else if r < spec.read + spec.update {
+        YcsbOp::Update
+    } else if r < spec.read + spec.update + spec.insert {
+        YcsbOp::Insert
+    } else if r < spec.read + spec.update + spec.insert + spec.scan {
+        YcsbOp::Scan
+    } else {
+        YcsbOp::Rmw
+    }
+}
+
+fn key_of(i: u64) -> Vec<u8> {
+    format!("user{:012}", i).into_bytes()
+}
+
+/// Loads `records` rows of `value_size` bytes into a store.
+pub fn load_db<S: Storage>(db: &mut LsmKv<S>, records: u64, value_size: usize, seed: u64) {
+    let mut rng = SimRng::new(seed);
+    for i in 0..records {
+        let val: Vec<u8> = (0..value_size)
+            .map(|_| (rng.below(26) + 97) as u8)
+            .collect();
+        db.put(&key_of(i), &val);
+    }
+    db.flush();
+}
+
+/// Counters from a functional YCSB run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct YcsbCounts {
+    /// Reads that found their record.
+    pub found: u64,
+    /// Reads that missed (should be 0 after a proper load).
+    pub missed: u64,
+    /// Updates + inserts applied.
+    pub written: u64,
+    /// Scan result rows returned.
+    pub scanned: u64,
+}
+
+/// Runs `ops` operations of `workload` against a real store (functional
+/// mode; the paper's configuration is 3M records, 1M ops).
+pub fn run_real<S: Storage>(
+    db: &mut LsmKv<S>,
+    workload: YcsbWorkload,
+    ops: u64,
+    records: u64,
+    seed: u64,
+) -> YcsbCounts {
+    let spec = workload.spec();
+    let mut rng = SimRng::new(seed);
+    let zipf = ZipfianGenerator::new(records);
+    let mut inserted = records;
+    let mut counts = YcsbCounts::default();
+    for _ in 0..ops {
+        let key_idx = if spec.latest {
+            // Latest: cluster around the most recent inserts.
+            let back = zipf.next(&mut rng) % inserted.max(1);
+            inserted.saturating_sub(1 + back % inserted)
+        } else {
+            zipf.next(&mut rng) % inserted
+        };
+        match next_op(&spec, &mut rng) {
+            YcsbOp::Read => match db.get(&key_of(key_idx)) {
+                Some(_) => counts.found += 1,
+                None => counts.missed += 1,
+            },
+            YcsbOp::Update => {
+                db.put(&key_of(key_idx), b"updated-value-payload-000000000");
+                counts.written += 1;
+            }
+            YcsbOp::Insert => {
+                db.put(&key_of(inserted), b"inserted-value-payload-00000000");
+                inserted += 1;
+                counts.written += 1;
+            }
+            YcsbOp::Scan => {
+                let len = 1 + rng.below(100) as usize;
+                counts.scanned += db.scan(&key_of(key_idx), len).len() as u64;
+            }
+            YcsbOp::Rmw => {
+                let _ = db.get(&key_of(key_idx));
+                db.put(&key_of(key_idx), b"rmw-value-payload-0000000000000");
+                counts.found += 1;
+                counts.written += 1;
+            }
+        }
+    }
+    counts
+}
+
+// ---------------------------------------------------------------------------
+// Virtual-time database model
+// ---------------------------------------------------------------------------
+
+/// LSM I/O model parameters (derived from lsmkv's behavior; see
+/// EXPERIMENTS.md "YCSB modeling").
+#[derive(Clone, Debug)]
+pub struct LsmIoModel {
+    /// Probability a read is served from memtable/page cache without I/O.
+    pub cache_hit: f64,
+    /// Probability a non-cached read needs a second table probe.
+    pub second_probe: f64,
+    /// Data block size read per probe.
+    pub read_bytes: usize,
+    /// WAL append size per update (sector-aligned commit record).
+    pub wal_bytes: usize,
+    /// Updates per *blocking* WAL write (RocksDB's default does not fsync
+    /// each write; group commit flushes batches).
+    pub wal_sync_every: u64,
+    /// Updates between memtable flush bursts.
+    pub ops_per_flush: u64,
+    /// 128K writes per flush burst.
+    pub flush_writes: u32,
+    /// Flush bursts between compactions.
+    pub flushes_per_compaction: u64,
+    /// 128K reads+writes per compaction.
+    pub compaction_ios: u32,
+    /// Client + DB CPU per operation.
+    pub think_ns: Ns,
+    /// Scan block reads per 8 scanned rows.
+    pub scan_read_every: u64,
+}
+
+impl LsmIoModel {
+    /// Model for the paper's setup at the given job count: with 1 job the
+    /// 3 GB dataset mostly fits the VM's page cache; 4 jobs (4 DB
+    /// instances) overflow it and the run becomes I/O-bound (§V-B).
+    pub fn for_jobs(jobs: usize) -> Self {
+        LsmIoModel {
+            cache_hit: if jobs >= 4 { 0.35 } else { 0.93 },
+            second_probe: 0.25,
+            read_bytes: 4096,
+            wal_bytes: 4096,
+            wal_sync_every: 16,
+            ops_per_flush: 4096,
+            flush_writes: 8,
+            flushes_per_compaction: 4,
+            compaction_ios: 32,
+            think_ns: 18_000,
+            scan_read_every: 8,
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Step {
+    write: bool,
+    bytes: usize,
+}
+
+/// Shared YCSB job results.
+#[derive(Default)]
+pub struct YcsbJobStats {
+    /// Operations completed.
+    pub ops: AtomicU64,
+    /// I/O requests issued.
+    pub ios: AtomicU64,
+}
+
+/// A virtual-time YCSB client+DB thread: executes one operation at a time,
+/// issuing its I/O steps synchronously through the guest queue (RocksDB's
+/// blocking read/fsync path) with think time between operations.
+pub struct YcsbJob {
+    name: String,
+    spec: YcsbSpec,
+    model: LsmIoModel,
+    cost: CostModel,
+    sq: SqProducer,
+    cq: CqConsumer,
+    stats: Arc<YcsbJobStats>,
+    rng: SimRng,
+    region_start: u64,
+    region_lbas: u64,
+    /// Steps remaining in the current operation.
+    steps: Vec<Step>,
+    /// Waiting for an I/O completion.
+    waiting: bool,
+    /// Continue no earlier than this (think time, interrupt delivery).
+    resume_at: Ns,
+    /// Extra completion-delivery latency (guest interrupt path and, for
+    /// SPDK, vhost-user notification) — see EXPERIMENTS.md.
+    completion_extra: Ns,
+    updates: u64,
+    flushes: u64,
+    op_started: bool,
+    stop_at: Ns,
+    charged: Ns,
+    seq_cursor: u64,
+}
+
+impl YcsbJob {
+    /// Creates a job bound to guest queue ends.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: &str,
+        workload: YcsbWorkload,
+        model: LsmIoModel,
+        cost: CostModel,
+        sq: SqProducer,
+        cq: CqConsumer,
+        region_start: u64,
+        region_lbas: u64,
+        completion_extra: Ns,
+        duration: Ns,
+        seed: u64,
+    ) -> (Self, Arc<YcsbJobStats>) {
+        let stats = Arc::new(YcsbJobStats::default());
+        (
+            YcsbJob {
+                name: name.to_string(),
+                spec: workload.spec(),
+                model,
+                cost,
+                sq,
+                cq,
+                stats: stats.clone(),
+                rng: SimRng::new(seed),
+                region_start,
+                region_lbas,
+                steps: Vec::new(),
+                waiting: false,
+                resume_at: 0,
+                completion_extra,
+                updates: 0,
+                flushes: 0,
+                op_started: false,
+                stop_at: duration,
+                charged: 0,
+                seq_cursor: 0,
+            },
+            stats,
+        )
+    }
+
+    /// Builds the I/O plan for the next operation; returns think time.
+    fn plan_op(&mut self) -> Ns {
+        debug_assert!(self.steps.is_empty());
+        let op = next_op(&self.spec.clone(), &mut self.rng);
+        let mut think = self.model.think_ns;
+        let push_read = |steps: &mut Vec<Step>, model: &LsmIoModel, rng: &mut SimRng| {
+            if !rng.chance(model.cache_hit) {
+                steps.push(Step {
+                    write: false,
+                    bytes: model.read_bytes,
+                });
+                if rng.chance(model.second_probe) {
+                    steps.push(Step {
+                        write: false,
+                        bytes: model.read_bytes,
+                    });
+                }
+            }
+        };
+        let push_update = |this: &mut Self| {
+            this.updates += 1;
+            // Buffered WAL: only every Nth update issues a blocking write
+            // (group commit); the rest stay in memory.
+            if this.updates % this.model.wal_sync_every == 0 {
+                this.steps.push(Step {
+                    write: true,
+                    bytes: this.model.wal_bytes,
+                });
+            }
+            if this.updates % this.model.ops_per_flush == 0 {
+                this.flushes += 1;
+                for _ in 0..this.model.flush_writes {
+                    this.steps.push(Step {
+                        write: true,
+                        bytes: 128 * 1024,
+                    });
+                }
+                if this.flushes % this.model.flushes_per_compaction == 0 {
+                    for i in 0..this.model.compaction_ios {
+                        this.steps.push(Step {
+                            write: i % 2 == 1,
+                            bytes: 128 * 1024,
+                        });
+                    }
+                }
+            }
+        };
+        match op {
+            YcsbOp::Read => push_read(&mut self.steps, &self.model, &mut self.rng),
+            YcsbOp::Update | YcsbOp::Insert => push_update(self),
+            YcsbOp::Scan => {
+                let rows = 1 + self.rng.below(100);
+                let reads = rows.div_ceil(self.model.scan_read_every).max(1);
+                for _ in 0..reads {
+                    self.steps.push(Step {
+                        write: false,
+                        bytes: self.model.read_bytes,
+                    });
+                }
+                think += rows * 300; // per-row processing
+            }
+            YcsbOp::Rmw => {
+                push_read(&mut self.steps, &self.model, &mut self.rng);
+                push_update(self);
+            }
+        }
+        think
+    }
+
+    fn issue_next(&mut self, _now: Ns) -> bool {
+        let Some(step) = self.steps.pop() else {
+            return false;
+        };
+        let nlb = (step.bytes.div_ceil(LBA_SIZE)).max(1) as u32;
+        let span = self.region_lbas.saturating_sub(nlb as u64).max(1);
+        let lba = if step.write && step.bytes > 4096 {
+            // Flush/compaction: sequential.
+            self.seq_cursor = (self.seq_cursor + nlb as u64) % span;
+            self.region_start + self.seq_cursor
+        } else {
+            self.region_start + self.rng.below(span)
+        };
+        let mut cmd = if step.write {
+            SubmissionEntry::write(1, lba, nlb, 0x1000, 0)
+        } else {
+            SubmissionEntry::read(1, lba, nlb, 0x1000, 0)
+        };
+        cmd.cid = 0;
+        self.charged += self.cost.guest_submit;
+        self.stats.ios.fetch_add(1, Ordering::Relaxed);
+        self.sq.push(cmd).expect("YCSB queue depth 1");
+        self.waiting = true;
+        true
+    }
+}
+
+impl Actor for YcsbJob {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn poll(&mut self, now: Ns) -> Progress {
+        let mut progressed = false;
+        if self.waiting {
+            if let Some(_cqe) = self.cq.pop() {
+                self.waiting = false;
+                self.charged += self.cost.guest_complete;
+                // Interrupt delivery + softirq before the thread resumes.
+                self.resume_at = now + self.completion_extra;
+                progressed = true;
+            } else {
+                return Progress::Idle;
+            }
+        }
+        if now < self.resume_at {
+            return if progressed {
+                Progress::Busy
+            } else {
+                Progress::Idle
+            };
+        }
+        self.resume_at = 0; // consumed
+        loop {
+            if self.issue_next(0) {
+                return Progress::Busy;
+            }
+            // Current operation (if one was in progress) finished.
+            if self.op_started {
+                self.op_started = false;
+                self.stats.ops.fetch_add(1, Ordering::Relaxed);
+                progressed = true;
+            }
+            if now >= self.stop_at {
+                return if progressed {
+                    Progress::Busy
+                } else {
+                    Progress::Idle
+                };
+            }
+            let think = self.plan_op();
+            self.op_started = true;
+            self.charged += think;
+            self.resume_at = now + think;
+            progressed = true;
+            if now < self.resume_at {
+                return Progress::Busy;
+            }
+        }
+    }
+
+    fn next_event(&self) -> Option<Ns> {
+        (!self.waiting && self.resume_at > 0).then_some(self.resume_at)
+    }
+
+    fn charged(&self) -> Ns {
+        self.charged
+    }
+
+    fn cpu_mode(&self) -> CpuMode {
+        // The DB thread sleeps on I/O; CPU is think time + syscall work.
+        CpuMode::EventDriven
+    }
+}
+
+/// Result of one virtual-time YCSB run.
+#[derive(Clone, Copy, Debug)]
+pub struct YcsbResult {
+    /// Aggregate throughput.
+    pub kops_per_sec: f64,
+    /// Total operations.
+    pub ops: u64,
+    /// Total storage I/Os issued.
+    pub ios: u64,
+    /// CPU cores busy on average.
+    pub cpu_cores: f64,
+}
+
+/// Runs the virtual-time YCSB model for `workload` over `kind`'s stack.
+pub fn run_ycsb(
+    kind: SolutionKind,
+    workload: YcsbWorkload,
+    jobs: usize,
+    duration: Ns,
+    opts: &RigOptions,
+) -> YcsbResult {
+    let cost = opts.cost.clone();
+    let model = LsmIoModel::for_jobs(jobs);
+    // Completion delivery latency on top of the stack's own path: guests
+    // do blocking I/O in YCSB, so interrupt injection applies wherever the
+    // stack itself does not already model it. SPDK additionally pays the
+    // vhost-user used-ring notification (EXPERIMENTS.md).
+    let extra = |kind: SolutionKind| -> Ns {
+        match kind {
+            SolutionKind::Passthrough => 0, // device model injects already
+            SolutionKind::Vhost
+            | SolutionKind::DmCrypt
+            | SolutionKind::DmMirror => 0, // stack models it
+            // QEMU sync I/O additionally waits out the main-loop eventfd
+            // round and guest block softirq.
+            SolutionKind::Qemu => 30 * US,
+            // SPDK vhost-user: used-ring notification from the reactor to
+            // KVM's irqfd plus reactor batching granularity (EXPERIMENTS.md).
+            SolutionKind::Spdk => cost.guest_irq_inject + 45 * US,
+            _ => cost.guest_irq_inject,
+        }
+    };
+    let mut stats: Vec<Arc<YcsbJobStats>> = Vec::new();
+    let completion_extra = extra(kind);
+    let mut ex = build_rig(kind, opts, jobs, 64, |vm, j, gsq, gcq, partition| {
+        let job_lbas = (partition.lba_count / jobs as u64).max(1024);
+        let (job, st) = YcsbJob::new(
+            &format!("ycsb-vm{vm}-j{j}"),
+            workload,
+            model.clone(),
+            cost.clone(),
+            gsq,
+            gcq,
+            j as u64 * job_lbas,
+            job_lbas,
+            completion_extra,
+            duration,
+            opts.seed ^ ((vm as u64) << 24) ^ (j as u64) << 8,
+        );
+        stats.push(st);
+        Box::new(job)
+    });
+    let report = ex.run(u64::MAX);
+    let ops: u64 = stats.iter().map(|s| s.ops.load(Ordering::Relaxed)).sum();
+    let ios: u64 = stats.iter().map(|s| s.ios.load(Ordering::Relaxed)).sum();
+    let window = duration.min(report.duration).max(1);
+    YcsbResult {
+        kops_per_sec: ops as f64 * SEC as f64 / window as f64 / 1_000.0,
+        ops,
+        ios,
+        cpu_cores: report.cpu_cores(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsmkv::{DbConfig, MemStorage};
+    use nvmetro_sim::MS;
+
+    #[test]
+    fn zipfian_prefers_hot_keys() {
+        let z = ZipfianGenerator::new(10_000);
+        let mut rng = SimRng::new(1);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..50_000 {
+            *counts.entry(z.next(&mut rng)).or_insert(0u64) += 1;
+        }
+        let mut freqs: Vec<u64> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        // The hottest key must dominate the median key massively.
+        assert!(freqs[0] > 1_000, "hottest key drew {}", freqs[0]);
+        assert!(counts.len() > 1_000, "distribution must spread");
+    }
+
+    #[test]
+    fn zipfian_stays_in_range() {
+        let z = ZipfianGenerator::new(100);
+        let mut rng = SimRng::new(2);
+        for _ in 0..10_000 {
+            assert!(z.next(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn spec_fractions_sum_to_one() {
+        for w in YcsbWorkload::all() {
+            let s = w.spec();
+            let sum = s.read + s.update + s.insert + s.scan + s.rmw;
+            assert!((sum - 1.0).abs() < 1e-9, "workload {} sums {sum}", w.label());
+        }
+    }
+
+    #[test]
+    fn real_ycsb_runs_over_lsmkv() {
+        let mut db = LsmKv::create(
+            MemStorage::new(256 << 20),
+            DbConfig {
+                memtable_bytes: 1 << 16,
+                l0_limit: 4,
+                wal_bytes: 4 << 20,
+            },
+        );
+        load_db(&mut db, 2_000, 64, 7);
+        for w in YcsbWorkload::all() {
+            let counts = run_real(&mut db, w, 500, 2_000, 7);
+            assert_eq!(counts.missed, 0, "workload {} missed reads", w.label());
+        }
+    }
+
+    #[test]
+    fn virtual_time_ycsb_produces_throughput() {
+        let r = run_ycsb(
+            SolutionKind::Nvmetro,
+            YcsbWorkload::A,
+            1,
+            20 * MS,
+            &RigOptions::default(),
+        );
+        assert!(r.ops > 100, "only {} ops", r.ops);
+        assert!(r.ios > 0);
+        assert!(r.kops_per_sec > 1.0);
+    }
+
+    #[test]
+    fn four_jobs_become_io_bound_and_spread_solutions() {
+        let opts = RigOptions::default();
+        let dur = 20 * MS;
+        let pass = run_ycsb(SolutionKind::Passthrough, YcsbWorkload::C, 4, dur, &opts);
+        let qemu = run_ycsb(SolutionKind::Qemu, YcsbWorkload::C, 4, dur, &opts);
+        let nvmetro = run_ycsb(SolutionKind::Nvmetro, YcsbWorkload::C, 4, dur, &opts);
+        assert!(
+            qemu.kops_per_sec < pass.kops_per_sec * 0.8,
+            "QEMU {} vs passthrough {} (paper: -49%)",
+            qemu.kops_per_sec,
+            pass.kops_per_sec
+        );
+        let ratio = nvmetro.kops_per_sec / pass.kops_per_sec;
+        assert!(
+            ratio > 0.9,
+            "NVMetro must stay within ~3% of passthrough, got {ratio}"
+        );
+    }
+}

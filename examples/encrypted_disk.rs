@@ -1,0 +1,158 @@
+//! Transparent disk encryption end to end, on real OS threads.
+//!
+//! Builds the paper's §IV-A function — vbpf classifier (Listing 1) +
+//! encryption UIF (Listing 2) — and runs the router, the UIF, and the
+//! device each on their own thread, like the real deployment. Verifies
+//! that plaintext never reaches the disk and that the on-disk format is
+//! dm-crypt compatible.
+//!
+//! ```sh
+//! cargo run --release --example encrypted_disk
+//! ```
+
+use nvmetro::core::classify::Classifier;
+use nvmetro::core::router::{NotifyBinding, Router, VmBinding};
+use nvmetro::core::threading::ActorThread;
+use nvmetro::core::uif::UifRunner;
+use nvmetro::core::{Partition, VirtualController, VmConfig};
+use nvmetro::crypto::Xts;
+use nvmetro::device::{CompletionMode, DeviceThread, SimSsd, SsdConfig};
+use nvmetro::functions::{build_encryptor_classifier, CryptoBackend, EncryptorUif};
+use nvmetro::mem::GuestMemory;
+use nvmetro::nvme::{CqPair, SqPair, SubmissionEntry};
+use nvmetro::sim::cost::CostModel;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const PART_OFFSET: u64 = 4096;
+const TIME_SCALE: f64 = 100.0; // run modeled latencies 100x faster
+
+fn main() {
+    let key = vec![0x42u8; 64]; // XTS-AES-256 (dm-crypt default width)
+    let cost = CostModel::default();
+
+    let mut ssd = SimSsd::new("ssd", SsdConfig {
+        capacity_lbas: 1 << 20,
+        ..Default::default()
+    });
+    let store = ssd.store();
+
+    let mut vc = VirtualController::new(VmConfig {
+        id: 0,
+        mem_bytes: 1 << 26,
+        queue_pairs: 1,
+        queue_depth: 256,
+        partition: Partition {
+            lba_offset: PART_OFFSET,
+            lba_count: 500_000,
+        },
+    });
+    let mem = vc.memory();
+    let (guest_sq, guest_cq) = vc.take_guest_queue(0);
+    let (vsqs, vcqs) = vc.take_router_queues();
+
+    // Fast path + UIF backend queues on the device.
+    let (hsq_p, hsq_c) = SqPair::new(256);
+    let (hcq_p, hcq_c) = CqPair::new(256);
+    ssd.add_queue(hsq_c, hcq_p, mem.clone(), CompletionMode::Polled);
+    let (nsq_p, nsq_c) = SqPair::new(256);
+    let (ncq_p, ncq_c) = CqPair::new(256);
+    let (bsq_p, bsq_c) = SqPair::new(256);
+    let (bcq_p, bcq_c) = CqPair::new(256);
+    let host_mem = Arc::new(GuestMemory::new(1 << 28));
+    ssd.add_queue(bsq_c, bcq_p, host_mem.clone(), CompletionMode::Polled);
+
+    let uif = EncryptorUif::new(
+        CryptoBackend::Xts(Box::new(Xts::new(&key))),
+        PART_OFFSET,
+    );
+    let runner = UifRunner::new(
+        "uif-encryptor",
+        cost.clone(),
+        nsq_c,
+        ncq_p,
+        mem.clone(),
+        (bsq_p, bcq_c),
+        host_mem,
+        Box::new(uif),
+        2, // the paper's 2 crypto worker threads
+        true,
+    );
+
+    let mut router = Router::new("router", cost, 1, 1024);
+    router.bind_vm(VmBinding {
+        vm_id: 0,
+        mem: mem.clone(),
+        partition: Partition {
+            lba_offset: PART_OFFSET,
+            lba_count: 500_000,
+        },
+        vsqs,
+        vcqs,
+        hsq: hsq_p,
+        hcq: hcq_c,
+        kernel: None,
+        notify: Some(NotifyBinding {
+            nsq: nsq_p,
+            ncq: ncq_c,
+        }),
+        classifier: Classifier::Bpf(build_encryptor_classifier(PART_OFFSET)),
+    });
+
+    // Real threads: device, router, UIF.
+    let dev_thread = DeviceThread::spawn(ssd, TIME_SCALE);
+    let router_thread = ActorThread::spawn(router, TIME_SCALE);
+    let uif_thread = ActorThread::spawn(runner, TIME_SCALE);
+
+    // Guest writes a secret, then reads it back.
+    let secret: Vec<u8> = b"attack at dawn! "
+        .iter()
+        .cycle()
+        .take(2048)
+        .copied()
+        .collect();
+    let wbuf = mem.alloc(2048);
+    mem.write(wbuf, &secret);
+    let (p1, p2) = nvmetro::mem::build_prps(&mem, wbuf, 2048);
+    let mut w = SubmissionEntry::write(1, 100, 4, p1, p2);
+    w.cid = 1;
+    guest_sq.push(w).unwrap();
+    let cqe = wait_completion(&guest_cq);
+    assert!(!cqe.status().is_error(), "write failed: {:?}", cqe.status());
+
+    let rbuf = mem.alloc(2048);
+    let (p1, p2) = nvmetro::mem::build_prps(&mem, rbuf, 2048);
+    let mut r = SubmissionEntry::read(1, 100, 4, p1, p2);
+    r.cid = 2;
+    guest_sq.push(r).unwrap();
+    let cqe = wait_completion(&guest_cq);
+    assert!(!cqe.status().is_error(), "read failed: {:?}", cqe.status());
+    assert_eq!(mem.read_vec(rbuf, 2048), secret, "transparent decryption");
+    println!("guest round trip OK (2048 bytes)");
+
+    // Shut the pipeline down and inspect the platter.
+    drop(router_thread);
+    drop(uif_thread);
+    let ssd = dev_thread.stop();
+    let _ = ssd;
+
+    let on_disk = store.read_vec(PART_OFFSET + 100, 4);
+    assert_ne!(on_disk, secret, "plaintext must never hit the disk");
+    let mut expected = secret.clone();
+    Xts::new(&key).encrypt_sectors(100, &mut expected);
+    assert_eq!(on_disk, expected, "dm-crypt-compatible XTS layout");
+    println!("on-disk ciphertext verified (XTS-AES, plain64 tweaks)");
+
+    println!("encrypted_disk OK");
+}
+
+fn wait_completion(cq: &nvmetro::nvme::CqConsumer) -> nvmetro::nvme::CompletionEntry {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Some(cqe) = cq.pop() {
+            return cqe;
+        }
+        assert!(Instant::now() < deadline, "I/O timed out");
+        std::thread::yield_now();
+    }
+}

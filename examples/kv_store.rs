@@ -1,0 +1,196 @@
+//! A real database on an NVMetro virtual disk.
+//!
+//! Runs the `lsmkv` LSM key-value store (the reproduction's RocksDB
+//! stand-in) over an NVMetro-managed virtual NVMe disk served by real
+//! threads, then drives a small YCSB workload against it — the functional
+//! miniature of the paper's §V YCSB evaluation.
+//!
+//! ```sh
+//! cargo run --release --example kv_store
+//! ```
+
+use lsmkv::{DbConfig, LsmKv, Storage};
+use nvmetro::core::classify::Classifier;
+use nvmetro::core::router::{Router, VmBinding};
+use nvmetro::core::threading::ActorThread;
+use nvmetro::core::{passthrough_program, Partition, VirtualController, VmConfig};
+use nvmetro::device::{CompletionMode, DeviceThread, SimSsd, SsdConfig};
+use nvmetro::mem::GuestMemory;
+use nvmetro::nvme::{CqConsumer, CqPair, SqPair, SqProducer, SubmissionEntry, LBA_SIZE};
+use nvmetro::sim::cost::CostModel;
+use nvmetro::workloads::ycsb::{load_db, run_real, YcsbWorkload};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Synchronous block storage over a guest NVMe queue pair: what the
+/// guest's filesystem/driver stack boils down to for the database.
+/// Queue ends live behind a mutex because the lsmkv `Storage` trait reads
+/// with `&self` (the DB itself is single-threaded over this adapter).
+struct NvmeDisk {
+    inner: std::sync::Mutex<DiskQueues>,
+    mem: Arc<GuestMemory>,
+    capacity: u64,
+    bounce: u64,
+    syncs: std::sync::atomic::AtomicU64,
+}
+
+struct DiskQueues {
+    sq: SqProducer,
+    cq: CqConsumer,
+    next_cid: u16,
+}
+
+impl NvmeDisk {
+    fn new(sq: SqProducer, cq: CqConsumer, mem: Arc<GuestMemory>, capacity: u64) -> Self {
+        let bounce = mem.alloc(1 << 20); // 1 MiB bounce for alignment
+        NvmeDisk {
+            inner: std::sync::Mutex::new(DiskQueues {
+                sq,
+                cq,
+                next_cid: 0,
+            }),
+            mem,
+            capacity,
+            bounce,
+            syncs: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    fn io(&self, write: bool, lba: u64, blocks: u32) {
+        let len = blocks as usize * LBA_SIZE;
+        let (p1, p2) = nvmetro::mem::build_prps(&self.mem, self.bounce, len);
+        let mut cmd = if write {
+            SubmissionEntry::write(1, lba, blocks, p1, p2)
+        } else {
+            SubmissionEntry::read(1, lba, blocks, p1, p2)
+        };
+        let mut q = self.inner.lock().unwrap();
+        cmd.cid = q.next_cid;
+        q.next_cid = q.next_cid.wrapping_add(1);
+        q.sq.push(cmd).expect("queue space");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if let Some(cqe) = q.cq.pop() {
+                assert!(!cqe.status().is_error(), "I/O error: {:?}", cqe.status());
+                return;
+            }
+            assert!(Instant::now() < deadline, "I/O timed out");
+            std::thread::yield_now();
+        }
+    }
+}
+
+impl Storage for NvmeDisk {
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) {
+        let first = offset / LBA_SIZE as u64;
+        let last = (offset + buf.len() as u64).div_ceil(LBA_SIZE as u64);
+        let blocks = (last - first) as u32;
+        assert!(blocks as usize * LBA_SIZE <= 1 << 20, "read too large");
+        self.io(false, first, blocks);
+        let skew = (offset - first * LBA_SIZE as u64) as usize;
+        let data = self.mem.read_vec(self.bounce + skew as u64, buf.len());
+        buf.copy_from_slice(&data);
+    }
+
+    fn write_at(&mut self, offset: u64, data: &[u8]) {
+        let first = offset / LBA_SIZE as u64;
+        let last = (offset + data.len() as u64).div_ceil(LBA_SIZE as u64);
+        let blocks = (last - first) as u32;
+        assert!(blocks as usize * LBA_SIZE <= 1 << 20, "write too large");
+        let skew = (offset - first * LBA_SIZE as u64) as usize;
+        // Read-modify-write when the span is not sector aligned.
+        if skew != 0 || data.len() % LBA_SIZE != 0 {
+            self.io(false, first, blocks);
+        }
+        self.mem.write(self.bounce + skew as u64, data);
+        self.io(true, first, blocks);
+    }
+
+    fn sync(&mut self) {
+        // Flush-on-write semantics in this adapter.
+        self.syncs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    fn syncs(&self) -> u64 {
+        self.syncs.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+fn main() {
+    // NVMetro stack on real threads: device + router.
+    let mut ssd = SimSsd::new("ssd", SsdConfig {
+        capacity_lbas: 1 << 20,
+        ..Default::default()
+    });
+    let mut vc = VirtualController::new(VmConfig {
+        id: 0,
+        mem_bytes: 1 << 26,
+        queue_pairs: 1,
+        queue_depth: 64,
+        partition: Partition::whole(1 << 20),
+    });
+    let mem = vc.memory();
+    let (gsq, gcq) = vc.take_guest_queue(0);
+    let (vsqs, vcqs) = vc.take_router_queues();
+    let (hsq_p, hsq_c) = SqPair::new(64);
+    let (hcq_p, hcq_c) = CqPair::new(64);
+    ssd.add_queue(hsq_c, hcq_p, mem.clone(), CompletionMode::Polled);
+    let mut router = Router::new("router", CostModel::default(), 1, 256);
+    router.bind_vm(VmBinding {
+        vm_id: 0,
+        mem: mem.clone(),
+        partition: Partition::whole(1 << 20),
+        vsqs,
+        vcqs,
+        hsq: hsq_p,
+        hcq: hcq_c,
+        kernel: None,
+        notify: None,
+        classifier: Classifier::Bpf(passthrough_program()),
+    });
+    // Compress modeled latencies 1000x so the functional demo is snappy.
+    let dev = DeviceThread::spawn(ssd, 1_000.0);
+    let rtr = ActorThread::spawn(router, 1_000.0);
+
+    // The database over the virtual disk.
+    let disk = NvmeDisk::new(gsq, gcq, mem, (1u64 << 20) * LBA_SIZE as u64);
+    let mut db = LsmKv::create(
+        disk,
+        DbConfig {
+            memtable_bytes: 64 << 10,
+            l0_limit: 4,
+            wal_bytes: 2 << 20,
+        },
+    );
+
+    const RECORDS: u64 = 800;
+    println!("loading {RECORDS} records through the NVMetro disk...");
+    load_db(&mut db, RECORDS, 100, 0xDB);
+    println!(
+        "loaded: {} flushes, {} compactions",
+        db.stats().flushes,
+        db.stats().compactions
+    );
+
+    for w in [YcsbWorkload::A, YcsbWorkload::C, YcsbWorkload::F] {
+        let t0 = Instant::now();
+        let counts = run_real(&mut db, w, 200, RECORDS, 0xDB);
+        println!(
+            "YCSB-{}: 200 ops in {:?} (found={} written={} missed={})",
+            w.label(),
+            t0.elapsed(),
+            counts.found,
+            counts.written,
+            counts.missed
+        );
+        assert_eq!(counts.missed, 0);
+    }
+
+    drop(rtr);
+    let _ = dev.stop();
+    println!("kv_store OK");
+}

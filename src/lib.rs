@@ -1,0 +1,49 @@
+//! # NVMetro
+//!
+//! A from-scratch Rust reproduction of *"Flexible NVMe Request Routing for
+//! Virtual Machines"* (Dinh Ngoc, Teabe, Da Costa, Hagimont — IPDPS 2024):
+//! an I/O virtualization framework that presents each VM a virtual NVMe
+//! controller and routes every request over a **fast path** (straight to
+//! the device), a **kernel path** (host block layer / device mapper), or a
+//! **notify path** (userspace I/O functions), as decided per request by
+//! sandboxed eBPF classifiers.
+//!
+//! This crate is a facade re-exporting the workspace's public API:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`core`] | the I/O router, classifier ABI, virtual controller, UIF framework |
+//! | [`vbpf`] | the eBPF-subset VM: builder, verifier, interpreter, maps |
+//! | [`nvme`] | NVMe commands, completions, lock-free queue pairs |
+//! | [`mem`] | guest-physical memory and PRP handling |
+//! | [`device`] | the simulated NVMe SSD and NVMe-oF remote target |
+//! | [`kernel`] | block layer + dm-linear/dm-crypt/dm-mirror substrate |
+//! | [`crypto`] | XTS-AES and the SGX enclave simulation |
+//! | [`functions`] | the encryption and replication storage functions |
+//! | [`baselines`] | passthrough, MDev-NVMe, vhost-scsi, QEMU, SPDK stacks |
+//! | [`workloads`] | fio and YCSB engines + solution assembly |
+//! | [`lsmkv`] | the LSM key-value store (RocksDB stand-in) |
+//! | [`sim`] | virtual-time executor, CPU accounting, cost model |
+//! | [`stats`] | histograms and result tables |
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for the 60-second tour: build a VM +
+//! router + device rig, install a verified classifier, and do I/O.
+
+pub use lsmkv;
+pub use nvmetro_baselines as baselines;
+pub use nvmetro_core as core;
+pub use nvmetro_crypto as crypto;
+pub use nvmetro_device as device;
+pub use nvmetro_functions as functions;
+pub use nvmetro_kernel as kernel;
+pub use nvmetro_mem as mem;
+pub use nvmetro_nvme as nvme;
+pub use nvmetro_sim as sim;
+pub use nvmetro_stats as stats;
+pub use nvmetro_vbpf as vbpf;
+pub use nvmetro_workloads as workloads;
+
+/// Crate version, from the workspace manifest.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,173 @@
+//! Workspace-level integration tests: the complete evaluation pipeline
+//! through the facade crate, checking the paper's headline *shapes* hold
+//! on small runs.
+
+use nvmetro::sim::MS;
+use nvmetro::workloads::fio::{FioConfig, FioMode};
+use nvmetro::workloads::rig::{RigOptions, SolutionKind};
+use nvmetro::workloads::runner::run_fio;
+use nvmetro::workloads::ycsb::{run_ycsb, YcsbWorkload};
+
+fn cfg(bs: usize, mode: FioMode, qd: u32, jobs: usize) -> FioConfig {
+    let mut c = FioConfig::new(bs, mode, qd, jobs);
+    c.duration = 40 * MS;
+    c
+}
+
+#[test]
+fn nvmetro_matches_mdev_within_a_few_percent() {
+    // §V-B: "NVMetro with a dummy eBPF classifier performs similarly to
+    // MDev-NVMe" — the routing layer must not cost real throughput.
+    let opts = RigOptions::default();
+    for qd in [1u32, 128] {
+        let c = cfg(512, FioMode::RandRead, qd, 1);
+        let nvmetro = run_fio(SolutionKind::Nvmetro, &c, &opts);
+        let mdev = run_fio(SolutionKind::Mdev, &c, &opts);
+        let ratio = nvmetro.iops / mdev.iops;
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "qd={qd}: NVMetro/MDev ratio {ratio}"
+        );
+    }
+}
+
+#[test]
+fn nvmetro_tracks_passthrough_throughput() {
+    let opts = RigOptions::default();
+    let c = cfg(512, FioMode::RandRead, 128, 4);
+    let nvmetro = run_fio(SolutionKind::Nvmetro, &c, &opts);
+    let pass = run_fio(SolutionKind::Passthrough, &c, &opts);
+    let ratio = nvmetro.iops / pass.iops;
+    assert!(
+        ratio > 0.85,
+        "NVMetro should track passthrough under load, got {ratio}"
+    );
+}
+
+#[test]
+fn qemu_catches_up_at_high_queue_depth() {
+    // §V-B: QEMU is far behind at QD1 but regains at QD128 16K where
+    // batching + merging amortize its per-request costs.
+    let opts = RigOptions::default();
+    let qd1 = cfg(512, FioMode::RandRead, 1, 1);
+    let n1 = run_fio(SolutionKind::Nvmetro, &qd1, &opts);
+    let q1 = run_fio(SolutionKind::Qemu, &qd1, &opts);
+    assert!(n1.iops / q1.iops > 1.8, "QD1: {} vs {}", n1.iops, q1.iops);
+
+    let hi = cfg(16 * 1024, FioMode::SeqRead, 128, 1);
+    let nh = run_fio(SolutionKind::Nvmetro, &hi, &opts);
+    let qh = run_fio(SolutionKind::Qemu, &hi, &opts);
+    assert!(
+        qh.iops > nh.iops * 0.95,
+        "16K/QD128: QEMU {} should catch (or beat) NVMetro {}",
+        qh.iops,
+        nh.iops
+    );
+}
+
+#[test]
+fn latency_ordering_matches_fig4() {
+    let opts = RigOptions::default();
+    let mut c = cfg(512, FioMode::RandRead, 1, 1);
+    c.rate_iops = Some(10_000);
+    c.duration = 60 * MS;
+    let nvmetro = run_fio(SolutionKind::Nvmetro, &c, &opts);
+    let pass = run_fio(SolutionKind::Passthrough, &c, &opts);
+    let vhost = run_fio(SolutionKind::Vhost, &c, &opts);
+    let qemu = run_fio(SolutionKind::Qemu, &c, &opts);
+    let spdk = run_fio(SolutionKind::Spdk, &c, &opts);
+    // Polling paths cluster; passthrough pays interrupt forwarding; vhost
+    // pays wakeups; QEMU pays double handoffs.
+    assert!(pass.median_ns > nvmetro.median_ns, "passthrough > NVMetro");
+    assert!(vhost.median_ns > pass.median_ns, "vhost > passthrough");
+    assert!(qemu.median_ns > vhost.median_ns, "QEMU worst");
+    let spdk_ratio = spdk.median_ns as f64 / nvmetro.median_ns as f64;
+    assert!(
+        (0.8..=1.2).contains(&spdk_ratio),
+        "SPDK ~ NVMetro median, got {spdk_ratio}"
+    );
+}
+
+#[test]
+fn encryption_beats_dm_crypt_and_loses_sgx_at_scale() {
+    let opts = RigOptions::default();
+    // Low parallelism: NVMetro encryptor ahead of dm-crypt.
+    let c1 = cfg(16 * 1024, FioMode::SeqRead, 1, 1);
+    let e1 = run_fio(SolutionKind::NvmetroEncrypt { sgx: false }, &c1, &opts);
+    let d1 = run_fio(SolutionKind::DmCrypt, &c1, &opts);
+    assert!(
+        e1.iops > d1.iops * 1.2,
+        "QD1: encryptor {} vs dm-crypt {} (paper 1.5x)",
+        e1.iops,
+        d1.iops
+    );
+    // High parallelism: the gap widens; SGX falls behind non-SGX.
+    let c2 = cfg(16 * 1024, FioMode::SeqRead, 128, 4);
+    let e2 = run_fio(SolutionKind::NvmetroEncrypt { sgx: false }, &c2, &opts);
+    let d2 = run_fio(SolutionKind::DmCrypt, &c2, &opts);
+    let s2 = run_fio(SolutionKind::NvmetroEncrypt { sgx: true }, &c2, &opts);
+    assert!(
+        e2.iops > d2.iops * 2.0,
+        "QD128/4j: encryptor {} vs dm-crypt {} (paper 3.2x)",
+        e2.iops,
+        d2.iops
+    );
+    assert!(
+        s2.iops < e2.iops * 0.85,
+        "SGX {} must trail non-SGX {} at high load",
+        s2.iops,
+        e2.iops
+    );
+}
+
+#[test]
+fn replication_reads_outrun_dm_mirror() {
+    let opts = RigOptions::default();
+    let c = cfg(512, FioMode::RandRead, 128, 4);
+    let n = run_fio(SolutionKind::NvmetroReplicate, &c, &opts);
+    let d = run_fio(SolutionKind::DmMirror, &c, &opts);
+    assert!(
+        n.iops > d.iops * 1.5,
+        "reads: NVMetro repl {} vs dm-mirror {} (paper 3.2x)",
+        n.iops,
+        d.iops
+    );
+}
+
+#[test]
+fn cpu_ordering_matches_fig11() {
+    let opts = RigOptions::default();
+    let c = cfg(512, FioMode::RandRead, 128, 4);
+    let pass = run_fio(SolutionKind::Passthrough, &c, &opts);
+    let nvmetro = run_fio(SolutionKind::Nvmetro, &c, &opts);
+    let vhost = run_fio(SolutionKind::Vhost, &c, &opts);
+    let spdk = run_fio(SolutionKind::Spdk, &c, &opts);
+    assert!(
+        pass.cpu_cores < vhost.cpu_cores,
+        "passthrough must be cheapest"
+    );
+    assert!(
+        vhost.cpu_cores < nvmetro.cpu_cores,
+        "vhost second-cheapest (no polling)"
+    );
+    assert!(
+        spdk.cpu_cores >= nvmetro.cpu_cores,
+        "SPDK most expensive under load"
+    );
+}
+
+#[test]
+fn ycsb_single_job_compresses_solution_differences() {
+    let opts = RigOptions::default();
+    let dur = 40 * MS;
+    let pass1 = run_ycsb(SolutionKind::Passthrough, YcsbWorkload::A, 1, dur, &opts);
+    let qemu1 = run_ycsb(SolutionKind::Qemu, YcsbWorkload::A, 1, dur, &opts);
+    let gap1 = pass1.kops_per_sec / qemu1.kops_per_sec;
+    let pass4 = run_ycsb(SolutionKind::Passthrough, YcsbWorkload::A, 4, dur, &opts);
+    let qemu4 = run_ycsb(SolutionKind::Qemu, YcsbWorkload::A, 4, dur, &opts);
+    let gap4 = pass4.kops_per_sec / qemu4.kops_per_sec;
+    assert!(
+        gap4 > gap1,
+        "the gap must widen when I/O bound: 1 job {gap1:.2} vs 4 jobs {gap4:.2}"
+    );
+}
