@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, build, and the full test suite.
+# Run from the repo root before pushing.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "CI OK"

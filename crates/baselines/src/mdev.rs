@@ -58,10 +58,13 @@ mod tests {
     #[test]
     fn mdev_serves_partitioned_vm() {
         let cost = CostModel::default();
-        let mut ssd = SimSsd::new("ssd", SsdConfig {
-            capacity_lbas: 1 << 16,
-            ..Default::default()
-        });
+        let mut ssd = SimSsd::new(
+            "ssd",
+            SsdConfig {
+                capacity_lbas: 1 << 16,
+                ..Default::default()
+            },
+        );
         let store = ssd.store();
         let partition = Partition {
             lba_offset: 2048,

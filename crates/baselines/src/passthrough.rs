@@ -29,10 +29,13 @@ mod tests {
 
     #[test]
     fn guest_reaches_hardware_directly() {
-        let mut ssd = SimSsd::new("ssd", SsdConfig {
-            capacity_lbas: 1 << 16,
-            ..Default::default()
-        });
+        let mut ssd = SimSsd::new(
+            "ssd",
+            SsdConfig {
+                capacity_lbas: 1 << 16,
+                ..Default::default()
+            },
+        );
         let mut vc = VirtualController::new(VmConfig {
             mem_bytes: 1 << 24,
             ..Default::default()
@@ -58,11 +61,14 @@ mod tests {
     #[test]
     fn completion_pays_interrupt_latency() {
         let cost = nvmetro_sim::cost::CostModel::default();
-        let mut ssd = SimSsd::new("ssd", SsdConfig {
-            capacity_lbas: 1 << 16,
-            move_data: false,
-            ..Default::default()
-        });
+        let mut ssd = SimSsd::new(
+            "ssd",
+            SsdConfig {
+                capacity_lbas: 1 << 16,
+                move_data: false,
+                ..Default::default()
+            },
+        );
         let mut vc = VirtualController::new(VmConfig {
             mem_bytes: 1 << 24,
             ..Default::default()

@@ -163,8 +163,7 @@ impl Actor for QemuVirtioBlk {
                     let cand = &ready[j];
                     let same_dir = cand.opcode == head.opcode;
                     let contiguous = cand.slba() == next_lba && cand.nlb() == head.nlb();
-                    if same_dir && contiguous && bytes + cand.data_len() <= MERGE_LIMIT_BYTES
-                    {
+                    if same_dir && contiguous && bytes + cand.data_len() <= MERGE_LIMIT_BYTES {
                         members.push(Pending {
                             vsq: vsq as u16,
                             cid: cand.cid,
@@ -185,7 +184,8 @@ impl Actor for QemuVirtioBlk {
                 let arrival = now + self.cost.qemu_trap + self.cost.qemu_handoff;
                 // Per-request iothread work is still paid per guest request.
                 let cost = self.cost.qemu_request * members.len() as u64 + batch_cost;
-                self.iothreads.push(Group { cmd: head, members }, cost, arrival);
+                self.iothreads
+                    .push(Group { cmd: head, members }, cost, arrival);
             }
         }
         // Iothread output: submit merged runs to the device via io_uring.

@@ -14,8 +14,15 @@ use nvmetro_sim::{Actor, CpuMode, Ns, Progress, Station};
 use std::collections::HashMap;
 
 enum ReactorWork {
-    Submit { vsq: u16, cmd: SubmissionEntry },
-    Complete { vsq: u16, cid: u16, status: nvmetro_nvme::Status },
+    Submit {
+        vsq: u16,
+        cmd: SubmissionEntry,
+    },
+    Complete {
+        vsq: u16,
+        cid: u16,
+        status: nvmetro_nvme::Status,
+    },
 }
 
 /// The SPDK vhost-user stack for one VM.

@@ -10,9 +10,7 @@
 //! Fig. 4).
 
 use nvmetro_kernel::{DmRequest, KernelDm};
-use nvmetro_nvme::{
-    CompletionEntry, CqProducer, NvmOpcode, SqConsumer, Status, SubmissionEntry,
-};
+use nvmetro_nvme::{CompletionEntry, CqProducer, NvmOpcode, SqConsumer, Status, SubmissionEntry};
 use nvmetro_sim::cost::CostModel;
 use nvmetro_sim::{Actor, CpuMode, Ns, Progress, Station};
 
@@ -138,16 +136,13 @@ impl Actor for VhostScsi {
                         // ("the large software stack complexifies the
                         // implementation of certain I/O commands", §III-B).
                         self.served += 1;
-                        let _ = self.vcqs[vsq as usize].push(CompletionEntry::new(
-                            cmd.cid,
-                            Status::INVALID_OPCODE,
-                        ));
+                        let _ = self.vcqs[vsq as usize]
+                            .push(CompletionEntry::new(cmd.cid, Status::INVALID_OPCODE));
                     }
                 },
                 WorkerItem::Complete { vsq, cid, status } => {
                     self.served += 1;
-                    let _ =
-                        self.vcqs[vsq as usize].push(CompletionEntry::new(cid, status));
+                    let _ = self.vcqs[vsq as usize].push(CompletionEntry::new(cid, status));
                 }
             }
         }

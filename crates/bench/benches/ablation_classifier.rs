@@ -64,7 +64,12 @@ fn main() {
 
     let mut table = Table::new(
         "Ablation: classifier execution mode and shortcut value (512B RR)",
-        &["variant", "qd=1 kIOPS", "qd=128 kIOPS", "qd=128 cpu (cores)"],
+        &[
+            "variant",
+            "qd=1 kIOPS",
+            "qd=128 kIOPS",
+            "qd=128 cpu (cores)",
+        ],
     );
     let opts = default_opts();
 
@@ -107,23 +112,23 @@ fn main() {
         let cfg2 = cfg.clone();
         // Build an NVMetro rig, then swap in the always-notify classifier
         // and a forwarding UIF per VM by constructing it directly.
-        let mut uif_bits: Vec<(
-            nvmetro_nvme::SqProducer,
-            nvmetro_nvme::CqConsumer,
-        )> = Vec::new();
+        let mut uif_bits: Vec<(nvmetro_nvme::SqProducer, nvmetro_nvme::CqConsumer)> = Vec::new();
         let _ = &mut uif_bits;
         let ex = {
             // The standard builder covers the encrypt variant's plumbing;
             // here we assemble manually for full control.
             let mut ex = nvmetro_sim::Executor::new();
-            let mut ssd = nvmetro_device::SimSsd::new("ssd", nvmetro_device::SsdConfig {
-                capacity_lbas: opts.capacity_lbas,
-                cost: cost.clone(),
-                move_data: false,
-                seed: opts.seed,
-                transport: None,
-                fail_rate: 0.0,
-            });
+            let mut ssd = nvmetro_device::SimSsd::new(
+                "ssd",
+                nvmetro_device::SsdConfig {
+                    capacity_lbas: opts.capacity_lbas,
+                    cost: cost.clone(),
+                    move_data: false,
+                    seed: opts.seed,
+                    transport: None,
+                    fail_rate: 0.0,
+                },
+            );
             let mut vc = nvmetro_core::VirtualController::new(nvmetro_core::VmConfig {
                 id: 0,
                 mem_bytes: 1 << 24,
@@ -148,7 +153,12 @@ fn main() {
             ex.add(Box::new(job));
             let (hsq_p, hsq_c) = SqPair::new(4096);
             let (hcq_p, hcq_c) = CqPair::new(4096);
-            ssd.add_queue(hsq_c, hcq_p, mem.clone(), nvmetro_device::CompletionMode::Polled);
+            ssd.add_queue(
+                hsq_c,
+                hcq_p,
+                mem.clone(),
+                nvmetro_device::CompletionMode::Polled,
+            );
             let (nsq_p, nsq_c) = SqPair::new(4096);
             let (ncq_p, ncq_c) = CqPair::new(4096);
             let (bsq_p, bsq_c) = SqPair::new(4096);

@@ -17,9 +17,7 @@ fn main() {
         }
         header.push("ratio");
         let mut table = Table::new(
-            &format!(
-                "Fig. 10: YCSB throughput under replication (Kilo ops/sec), jobs={jobs}"
-            ),
+            &format!("Fig. 10: YCSB throughput under replication (Kilo ops/sec), jobs={jobs}"),
             &header,
         );
         let opts = default_opts();

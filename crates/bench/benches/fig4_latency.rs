@@ -30,12 +30,7 @@ fn main() {
                 let mut cfg = FioConfig::new(bs, mode, qd, 1);
                 cfg.rate_iops = Some(10_000);
                 cfg.duration = bench_duration() * 8; // need tail samples
-                let mut row = vec![format!(
-                    "{} qd={} {}",
-                    bs_label(bs),
-                    qd,
-                    mode.abbrev()
-                )];
+                let mut row = vec![format!("{} qd={} {}", bs_label(bs), qd, mode.abbrev())];
                 for kind in solutions {
                     let r = run_fio(kind, &cfg, &opts);
                     row.push(format!(

@@ -6,8 +6,8 @@
 //! low load but loses up to 50%/75% at 16K/128K QD128/4jobs (one crypto
 //! worker + EPC pressure).
 
-use nvmetro_bench::{default_opts, function_grid};
 use nvmetro_bench::ratio;
+use nvmetro_bench::{default_opts, function_grid};
 use nvmetro_stats::Table;
 use nvmetro_workloads::rig::SolutionKind;
 use nvmetro_workloads::runner::run_fio;

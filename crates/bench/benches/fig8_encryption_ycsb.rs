@@ -21,9 +21,7 @@ fn main() {
             header.push(s.label());
         }
         let mut table = Table::new(
-            &format!(
-                "Fig. 8: YCSB throughput under encryption (Kilo ops/sec), jobs={jobs}"
-            ),
+            &format!("Fig. 8: YCSB throughput under encryption (Kilo ops/sec), jobs={jobs}"),
             &header,
         );
         let opts = default_opts();

@@ -43,7 +43,7 @@ fn bench_sgx(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
     targets = bench_aes, bench_xts, bench_sgx

@@ -3,9 +3,7 @@
 //! a full router round trip.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use nvmetro_core::classify::{
-    classifier_verifier_config, Classifier, RequestCtx, HOOK_VSQ,
-};
+use nvmetro_core::classify::{classifier_verifier_config, Classifier, RequestCtx, HOOK_VSQ};
 use nvmetro_core::passthrough_program;
 use nvmetro_functions::build_encryptor_classifier;
 use nvmetro_mem::{build_prps, prp_segments, GuestMemory};
@@ -75,63 +73,79 @@ fn bench_prp(c: &mut Criterion) {
     });
 }
 
-fn bench_router_round_trip(c: &mut Criterion) {
+fn run_router_1000_ios(telemetry: &nvmetro_telemetry::Telemetry) {
     use nvmetro_core::router::{Router, VmBinding};
     use nvmetro_core::{Partition, VirtualController, VmConfig};
     use nvmetro_device::{CompletionMode, SimSsd, SsdConfig};
     use nvmetro_sim::cost::CostModel;
     use nvmetro_sim::Executor;
 
+    let mut ssd = SimSsd::new(
+        "ssd",
+        SsdConfig {
+            capacity_lbas: 1 << 20,
+            move_data: false,
+            ..Default::default()
+        },
+    );
+    ssd.set_telemetry(telemetry.register_worker());
+    let mut vc = VirtualController::new(VmConfig {
+        mem_bytes: 1 << 20,
+        queue_depth: 2048,
+        ..Default::default()
+    });
+    let mem = vc.memory();
+    let (gsq, gcq) = vc.take_guest_queue(0);
+    let (vsqs, vcqs) = vc.take_router_queues();
+    let (hsq_p, hsq_c) = SqPair::new(2048);
+    let (hcq_p, hcq_c) = CqPair::new(2048);
+    ssd.add_queue(hsq_c, hcq_p, mem.clone(), CompletionMode::Polled);
+    let mut router = Router::new("router", CostModel::default(), 1, 2048);
+    router.set_telemetry(telemetry.register_worker());
+    router.bind_vm(VmBinding {
+        vm_id: 0,
+        mem,
+        partition: Partition::whole(1 << 20),
+        vsqs,
+        vcqs,
+        hsq: hsq_p,
+        hcq: hcq_c,
+        kernel: None,
+        notify: None,
+        classifier: Classifier::Bpf(passthrough_program()),
+    });
+    for i in 0..1000u64 {
+        let mut cmd = SubmissionEntry::read(1, i * 8, 8, 0x1000, 0);
+        cmd.cid = (i % 2048) as u16;
+        gsq.push(cmd).unwrap();
+    }
+    let mut ex = Executor::new();
+    ex.add(Box::new(router));
+    ex.add(Box::new(ssd));
+    ex.run(u64::MAX);
+    let mut n = 0;
+    while gcq.pop().is_some() {
+        n += 1;
+    }
+    assert_eq!(n, 1000);
+}
+
+fn bench_router_round_trip(c: &mut Criterion) {
+    // The acceptance bar for nvmetro-telemetry: the disabled handle must
+    // cost no more than a branch per instrumentation point, so these two
+    // runs should be within noise of each other. The `telemetry_on` run
+    // shows the enabled price (ring pushes + relaxed counters).
     c.bench_function("router/1000_ios_virtual_time", |b| {
-        b.iter(|| {
-            let mut ssd = SimSsd::new("ssd", SsdConfig {
-                capacity_lbas: 1 << 20,
-                move_data: false,
-                ..Default::default()
-            });
-            let mut vc = VirtualController::new(VmConfig {
-                mem_bytes: 1 << 20,
-                queue_depth: 2048,
-                ..Default::default()
-            });
-            let mem = vc.memory();
-            let (gsq, gcq) = vc.take_guest_queue(0);
-            let (vsqs, vcqs) = vc.take_router_queues();
-            let (hsq_p, hsq_c) = SqPair::new(2048);
-            let (hcq_p, hcq_c) = CqPair::new(2048);
-            ssd.add_queue(hsq_c, hcq_p, mem.clone(), CompletionMode::Polled);
-            let mut router = Router::new("router", CostModel::default(), 1, 2048);
-            router.bind_vm(VmBinding {
-                vm_id: 0,
-                mem,
-                partition: Partition::whole(1 << 20),
-                vsqs,
-                vcqs,
-                hsq: hsq_p,
-                hcq: hcq_c,
-                kernel: None,
-                notify: None,
-                classifier: Classifier::Bpf(passthrough_program()),
-            });
-            for i in 0..1000u64 {
-                let mut cmd = SubmissionEntry::read(1, i * 8, 8, 0x1000, 0);
-                cmd.cid = (i % 2048) as u16;
-                gsq.push(cmd).unwrap();
-            }
-            let mut ex = Executor::new();
-            ex.add(Box::new(router));
-            ex.add(Box::new(ssd));
-            ex.run(u64::MAX);
-            let mut n = 0;
-            while gcq.pop().is_some() {
-                n += 1;
-            }
-            assert_eq!(n, 1000);
-        })
+        let off = nvmetro_telemetry::Telemetry::disabled();
+        b.iter(|| run_router_1000_ios(&off))
+    });
+    c.bench_function("router/1000_ios_telemetry_on", |b| {
+        let on = nvmetro_telemetry::Telemetry::enabled();
+        b.iter(|| run_router_1000_ios(&on))
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
     targets =

@@ -30,9 +30,7 @@ fn main() {
         (
             "Encryptor",
             "Classifier",
-            loc(include_str!(
-                "../../functions/src/encryptor/classifier.rs"
-            )),
+            loc(include_str!("../../functions/src/encryptor/classifier.rs")),
             "32",
         ),
         (
@@ -50,9 +48,7 @@ fn main() {
         (
             "Replicator",
             "Classifier",
-            loc(include_str!(
-                "../../functions/src/replicator/classifier.rs"
-            )),
+            loc(include_str!("../../functions/src/replicator/classifier.rs")),
             "16",
         ),
         (

@@ -313,10 +313,7 @@ pub fn offset_program(lba_offset: u64) -> Vm {
         .lddw(R3, lba_offset)
         .alu64(ALU_ADD, R2, R3)
         .stx(SIZE_DW, R1, ctx_offsets::SLBA, R2)
-        .lddw(
-            R0,
-            verdict_bits::SEND_HQ | verdict_bits::WILL_COMPLETE_HQ,
-        )
+        .lddw(R0, verdict_bits::SEND_HQ | verdict_bits::WILL_COMPLETE_HQ)
         .exit();
     let (insns, maps) = b.build();
     Vm::new(
@@ -403,12 +400,15 @@ mod tests {
         // A classifier that returns the opcode it observed — proving the
         // byte layout matches the documented offsets.
         let mut b = ProgramBuilder::new();
-        b.ldx(nvmetro_vbpf::isa::SIZE_B, nvmetro_vbpf::isa::R0, nvmetro_vbpf::isa::R1, ctx_offsets::OPCODE)
-            .exit();
+        b.ldx(
+            nvmetro_vbpf::isa::SIZE_B,
+            nvmetro_vbpf::isa::R0,
+            nvmetro_vbpf::isa::R1,
+            ctx_offsets::OPCODE,
+        )
+        .exit();
         let (insns, maps) = b.build();
-        let vm = Vm::new(
-            nvmetro_vbpf::verify(insns, maps, &classifier_verifier_config()).unwrap(),
-        );
+        let vm = Vm::new(nvmetro_vbpf::verify(insns, maps, &classifier_verifier_config()).unwrap());
         let mut cls = Classifier::Bpf(vm);
         let cmd = sample_cmd();
         let mut ctx = RequestCtx::new(HOOK_VSQ, 0, 0, &cmd, Status::SUCCESS, 0);
@@ -427,9 +427,7 @@ mod tests {
             .lddw(R0, verdict_bits::SEND_HQ | verdict_bits::WILL_COMPLETE_HQ)
             .exit();
         let (insns, maps) = b.build();
-        let vm = Vm::new(
-            nvmetro_vbpf::verify(insns, maps, &classifier_verifier_config()).unwrap(),
-        );
+        let vm = Vm::new(nvmetro_vbpf::verify(insns, maps, &classifier_verifier_config()).unwrap());
         let mut cls = Classifier::Bpf(vm);
         let cmd = sample_cmd();
         let mut ctx = RequestCtx::new(HOOK_VSQ, 0, 0, &cmd, Status::SUCCESS, 0);

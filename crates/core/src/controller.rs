@@ -13,6 +13,7 @@ use nvmetro_nvme::{
     AdminOpcode, CompletionEntry, CqConsumer, CqProducer, QueuePair, SqConsumer, SqProducer,
     Status, SubmissionEntry,
 };
+use nvmetro_telemetry::{Metric, TelemetryHandle};
 use std::sync::Arc;
 
 /// A contiguous LBA range of the backing namespace assigned to one VM.
@@ -87,6 +88,7 @@ pub struct VirtualController {
     mem: Arc<GuestMemory>,
     guest_ends: Vec<GuestEnd>,
     router_ends: Vec<RouterEnd>,
+    telemetry: TelemetryHandle,
 }
 
 impl VirtualController {
@@ -111,7 +113,13 @@ impl VirtualController {
             mem,
             guest_ends,
             router_ends,
+            telemetry: TelemetryHandle::disabled(),
         }
+    }
+
+    /// Attaches a telemetry worker handle (see `nvmetro-telemetry`).
+    pub fn set_telemetry(&mut self, handle: TelemetryHandle) {
+        self.telemetry = handle;
     }
 
     /// The VM's configuration.
@@ -149,6 +157,7 @@ impl VirtualController {
     /// Serves one admin command synchronously (admin queues are far off the
     /// data path; the paper's router only mediates I/O queues).
     pub fn handle_admin(&self, cmd: &SubmissionEntry) -> CompletionEntry {
+        self.telemetry.count(Metric::AdminCmds);
         let op = match AdminOpcode::from_u8(cmd.opcode) {
             Some(op) => op,
             None => return CompletionEntry::new(cmd.cid, Status::INVALID_OPCODE),
@@ -247,7 +256,7 @@ mod tests {
     fn queue_ends_connect_guest_to_router() {
         let mut vc = VirtualController::new(small_cfg());
         let (gsq, gcq) = vc.take_guest_queue(0);
-        let (mut rsqs, rcqs) = vc.take_router_queues();
+        let (rsqs, rcqs) = vc.take_router_queues();
         gsq.push(SubmissionEntry::flush(1)).unwrap();
         let (cmd, _) = rsqs[0].pop().unwrap();
         assert_eq!(cmd.opcode, 0);
@@ -272,11 +281,13 @@ mod tests {
         let vc = VirtualController::new(small_cfg());
         let mem = vc.memory();
         let buf = mem.alloc(4096);
-        let mut cmd = SubmissionEntry::default();
-        cmd.opcode = AdminOpcode::Identify as u8;
-        cmd.cid = 9;
-        cmd.cdw10 = 0; // CNS 0: namespace
-        cmd.prp1 = buf;
+        let cmd = SubmissionEntry {
+            opcode: AdminOpcode::Identify as u8,
+            cid: 9,
+            cdw10: 0, // CNS 0: namespace
+            prp1: buf,
+            ..Default::default()
+        };
         let cqe = vc.handle_admin(&cmd);
         assert_eq!(cqe.status(), Status::SUCCESS);
         assert_eq!(cqe.cid, 9);
@@ -289,10 +300,12 @@ mod tests {
         let vc = VirtualController::new(small_cfg());
         let mem = vc.memory();
         let buf = mem.alloc(4096);
-        let mut cmd = SubmissionEntry::default();
-        cmd.opcode = AdminOpcode::Identify as u8;
-        cmd.cdw10 = 1;
-        cmd.prp1 = buf;
+        let cmd = SubmissionEntry {
+            opcode: AdminOpcode::Identify as u8,
+            cdw10: 1,
+            prp1: buf,
+            ..Default::default()
+        };
         let cqe = vc.handle_admin(&cmd);
         assert_eq!(cqe.status(), Status::SUCCESS);
         let id = mem.read_vec(buf, 4096);
@@ -302,9 +315,11 @@ mod tests {
     #[test]
     fn create_queue_validates_qid() {
         let vc = VirtualController::new(small_cfg());
-        let mut cmd = SubmissionEntry::default();
-        cmd.opcode = AdminOpcode::CreateSq as u8;
-        cmd.cdw10 = 1;
+        let mut cmd = SubmissionEntry {
+            opcode: AdminOpcode::CreateSq as u8,
+            cdw10: 1,
+            ..Default::default()
+        };
         assert_eq!(vc.handle_admin(&cmd).status(), Status::SUCCESS);
         cmd.cdw10 = 99;
         assert_eq!(vc.handle_admin(&cmd).status(), Status::INVALID_FIELD);
@@ -313,9 +328,11 @@ mod tests {
     #[test]
     fn set_features_num_queues_reflects_config() {
         let vc = VirtualController::new(small_cfg());
-        let mut cmd = SubmissionEntry::default();
-        cmd.opcode = AdminOpcode::SetFeatures as u8;
-        cmd.cdw10 = 0x07;
+        let cmd = SubmissionEntry {
+            opcode: AdminOpcode::SetFeatures as u8,
+            cdw10: 0x07,
+            ..Default::default()
+        };
         let cqe = vc.handle_admin(&cmd);
         assert_eq!(cqe.status(), Status::SUCCESS);
         // 2 queue pairs -> 0-based count 1 in both halves.
@@ -325,8 +342,10 @@ mod tests {
     #[test]
     fn unknown_admin_opcode_rejected() {
         let vc = VirtualController::new(small_cfg());
-        let mut cmd = SubmissionEntry::default();
-        cmd.opcode = 0xEE;
+        let cmd = SubmissionEntry {
+            opcode: 0xEE,
+            ..Default::default()
+        };
         assert_eq!(vc.handle_admin(&cmd).status(), Status::INVALID_OPCODE);
     }
 }

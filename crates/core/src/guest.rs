@@ -71,10 +71,12 @@ impl GuestDriver {
 
         // 1. Identify Controller (CNS 1).
         let idbuf = mem.alloc(4096);
-        let mut cmd = SubmissionEntry::default();
-        cmd.opcode = AdminOpcode::Identify as u8;
-        cmd.cdw10 = 1;
-        cmd.prp1 = idbuf;
+        let cmd = SubmissionEntry {
+            opcode: AdminOpcode::Identify as u8,
+            cdw10: 1,
+            prp1: idbuf,
+            ..Default::default()
+        };
         admin(vc, &cmd)?;
         let id = mem.read_vec(idbuf, 4096);
         let serial = String::from_utf8_lossy(&id[4..24])
@@ -82,18 +84,22 @@ impl GuestDriver {
             .to_string();
 
         // 2. Set Features: number of queues (feature 0x07).
-        let mut cmd = SubmissionEntry::default();
-        cmd.opcode = AdminOpcode::SetFeatures as u8;
-        cmd.cdw10 = 0x07;
+        let cmd = SubmissionEntry {
+            opcode: AdminOpcode::SetFeatures as u8,
+            cdw10: 0x07,
+            ..Default::default()
+        };
         let granted = admin(vc, &cmd)?;
         let queue_pairs = ((granted & 0xFFFF) + 1) as usize;
 
         // 3. Identify Namespace (CNS 0).
-        let mut cmd = SubmissionEntry::default();
-        cmd.opcode = AdminOpcode::Identify as u8;
-        cmd.cdw10 = 0;
-        cmd.prp1 = idbuf;
-        cmd.nsid = 1;
+        let cmd = SubmissionEntry {
+            opcode: AdminOpcode::Identify as u8,
+            cdw10: 0,
+            prp1: idbuf,
+            nsid: 1,
+            ..Default::default()
+        };
         admin(vc, &cmd)?;
         let ns = mem.read_vec(idbuf, 4096);
         let nsze = u64::from_le_bytes(ns[0..8].try_into().unwrap());
@@ -101,13 +107,17 @@ impl GuestDriver {
         let lba_size = 1usize << lbads;
 
         // 4. Create CQ then SQ for queue pair 1 (qid 1).
-        let mut cmd = SubmissionEntry::default();
-        cmd.opcode = AdminOpcode::CreateCq as u8;
-        cmd.cdw10 = 1;
+        let cmd = SubmissionEntry {
+            opcode: AdminOpcode::CreateCq as u8,
+            cdw10: 1,
+            ..Default::default()
+        };
         admin(vc, &cmd)?;
-        let mut cmd = SubmissionEntry::default();
-        cmd.opcode = AdminOpcode::CreateSq as u8;
-        cmd.cdw10 = 1;
+        let cmd = SubmissionEntry {
+            opcode: AdminOpcode::CreateSq as u8,
+            cdw10: 1,
+            ..Default::default()
+        };
         admin(vc, &cmd)?;
 
         // 5. Take the guest ends of the created pair.
@@ -147,11 +157,7 @@ impl GuestDriver {
     /// Polls for one completion, calling `advance` between polls to drive
     /// whatever executes the stack (virtual-time executor step or a
     /// yield in real-thread mode).
-    pub fn wait(
-        &mut self,
-        cid: u16,
-        mut advance: impl FnMut(),
-    ) -> Result<(), GuestError> {
+    pub fn wait(&mut self, cid: u16, mut advance: impl FnMut()) -> Result<(), GuestError> {
         for _ in 0..10_000_000u64 {
             if let Some(cqe) = self.cq.pop() {
                 assert_eq!(cqe.cid, cid, "out-of-order completion at QD1");
@@ -176,8 +182,7 @@ impl GuestDriver {
         let gpa = self.mem.alloc(data.len());
         self.mem.write(gpa, data);
         let (p1, p2) = nvmetro_mem::build_prps(&self.mem, gpa, data.len());
-        let cmd =
-            SubmissionEntry::write(1, slba, (data.len() / LBA_SIZE) as u32, p1, p2);
+        let cmd = SubmissionEntry::write(1, slba, (data.len() / LBA_SIZE) as u32, p1, p2);
         let cid = self.submit(cmd);
         self.wait(cid, advance)
     }
@@ -238,10 +243,13 @@ mod tests {
 
     #[test]
     fn driver_io_through_the_full_stack() {
-        let mut ssd = SimSsd::new("ssd", SsdConfig {
-            capacity_lbas: 1 << 16,
-            ..Default::default()
-        });
+        let mut ssd = SimSsd::new(
+            "ssd",
+            SsdConfig {
+                capacity_lbas: 1 << 16,
+                ..Default::default()
+            },
+        );
         let mut vc = VirtualController::new(VmConfig {
             mem_bytes: 1 << 24,
             ..Default::default()
@@ -290,10 +298,13 @@ mod tests {
 
     #[test]
     fn io_errors_surface_as_guest_errors() {
-        let mut ssd = SimSsd::new("ssd", SsdConfig {
-            capacity_lbas: 100,
-            ..Default::default()
-        });
+        let mut ssd = SimSsd::new(
+            "ssd",
+            SsdConfig {
+                capacity_lbas: 100,
+                ..Default::default()
+            },
+        );
         let mut vc = VirtualController::new(VmConfig {
             mem_bytes: 1 << 24,
             ..Default::default()

@@ -30,6 +30,7 @@ use nvmetro_nvme::{
 };
 use nvmetro_sim::cost::CostModel;
 use nvmetro_sim::{Actor, CpuMode, Ns, Progress, Station, US};
+use nvmetro_telemetry::{Metric, PathKind, Route, Segment, Stage, TelemetryHandle};
 use std::sync::Arc;
 
 /// The kernel path a VM's requests may be routed through (implemented by
@@ -127,6 +128,7 @@ pub struct Router {
     vcq_retry: Vec<(usize, u16, CompletionEntry)>,
     last_poll: Ns,
     stats: RouterStats,
+    telemetry: TelemetryHandle,
 }
 
 impl Router {
@@ -144,7 +146,15 @@ impl Router {
             vcq_retry: Vec::new(),
             last_poll: 0,
             stats: RouterStats::default(),
+            telemetry: TelemetryHandle::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle (from `Telemetry::register_worker`).
+    /// The default is a disabled handle, which costs one branch per
+    /// instrumentation point.
+    pub fn set_telemetry(&mut self, handle: TelemetryHandle) {
+        self.telemetry = handle;
     }
 
     /// Binds a VM; returns its index.
@@ -215,12 +225,7 @@ impl Router {
                 }
             }
             // Notify-path completions.
-            while let Some(cqe) = self
-                .vms[vm]
-                .notify
-                .as_ref()
-                .and_then(|n| n.ncq.pop())
-            {
+            while let Some(cqe) = self.vms[vm].notify.as_ref().and_then(|n| n.ncq.pop()) {
                 let tag = cqe.cid;
                 let cost = self.completion_cost(tag, path_bits::NQ);
                 self.station.push(
@@ -260,7 +265,12 @@ impl Router {
             .get(tag)
             .map(|s| s.hooks & path != 0)
             .unwrap_or(false);
-        self.cost.router_cmd + if classify { self.cost.classifier_run } else { 0 }
+        self.cost.router_cmd
+            + if classify {
+                self.cost.classifier_run
+            } else {
+                0
+            }
     }
 
     fn apply(&mut self, work: Work, t: Ns) {
@@ -277,6 +287,7 @@ impl Router {
 
     fn apply_ingress(&mut self, vm: usize, vsq: u16, cmd: SubmissionEntry, t: Ns) {
         self.stats.accepted += 1;
+        self.telemetry.count(Metric::Accepted);
         let state = RequestState {
             vm: self.vms[vm].vm_id,
             vsq,
@@ -288,6 +299,9 @@ impl Router {
             status: Status::SUCCESS,
             user_tag: 0,
             accepted_at: t,
+            sent_paths: 0,
+            dispatched_at: 0,
+            serviced_at: 0,
         };
         let tag = match self.table.insert(state) {
             Some(tag) => tag,
@@ -301,24 +315,45 @@ impl Router {
                 return;
             }
         };
+        self.telemetry.event(
+            t,
+            self.vms[vm].vm_id,
+            vsq,
+            tag,
+            Stage::VsqFetch,
+            PathKind::None,
+        );
         let verdict = self.run_classifier(vm, tag, HOOK_VSQ, Status::SUCCESS, t);
         self.route(vm, tag, verdict, t);
     }
 
     fn apply_path_done(&mut self, vm: usize, path: u8, tag: u16, status: Status, t: Ns) {
-        let Some(state) = self.table.get_mut(tag) else {
-            self.stats.spurious += 1;
-            return;
+        let (hooked, vm_id, vsq) = {
+            let Some(state) = self.table.get_mut(tag) else {
+                self.stats.spurious += 1;
+                self.telemetry.count(Metric::Spurious);
+                return;
+            };
+            state.pending &= !path;
+            state.serviced_at = t;
+            if status.is_error() && !state.status.is_error() {
+                state.status = status;
+            }
+            (state.hooks & path != 0, state.vm, state.vsq)
         };
-        state.pending &= !path;
-        if status.is_error() && !state.status.is_error() {
-            state.status = status;
-        }
-        let hooked = state.hooks & path != 0;
         if hooked {
             // One-shot hook: consume it, then let the classifier decide the
             // next leg of the state machine.
-            state.hooks &= !path;
+            self.table.get_mut(tag).expect("still present").hooks &= !path;
+            self.telemetry.count(Metric::HookReentries);
+            self.telemetry.event(
+                t,
+                vm_id,
+                vsq,
+                tag,
+                Stage::HookReentry,
+                Self::path_kind(path),
+            );
             let hook_id = match path {
                 path_bits::HQ => HOOK_HCQ,
                 path_bits::KQ => HOOK_KCQ,
@@ -338,9 +373,21 @@ impl Router {
         // wait for them.
     }
 
+    /// Telemetry path annotation for a path bit.
+    fn path_kind(path: u8) -> PathKind {
+        match path {
+            path_bits::HQ => PathKind::Fast,
+            path_bits::KQ => PathKind::Kernel,
+            path_bits::NQ => PathKind::Notify,
+            _ => PathKind::None,
+        }
+    }
+
     fn run_classifier(&mut self, vm: usize, tag: u16, hook: u32, error: Status, t: Ns) -> Verdict {
         self.stats.classifier_runs += 1;
+        self.telemetry.count(Metric::ClassifierRuns);
         let state = self.table.get(tag).expect("request tracked");
+        let (vm_id, vsq) = (state.vm, state.vsq);
         let mut ctx = RequestCtx::new(
             hook,
             self.vms[vm].vm_id,
@@ -350,6 +397,8 @@ impl Router {
             state.user_tag,
         );
         let verdict = self.vms[vm].classifier.run(&mut ctx, t);
+        self.telemetry
+            .event(t, vm_id, vsq, tag, Stage::Classified, PathKind::None);
         // Direct mediation: copy the writable window back into the command.
         let state = self.table.get_mut(tag).expect("request tracked");
         state.cmd.set_slba(ctx.slba());
@@ -373,14 +422,14 @@ impl Router {
         }
         if send.count_ones() > 1 {
             self.stats.multicasts += 1;
+            self.telemetry.count(Metric::Multicasts);
         }
         // Isolation: the fast path reaches real hardware, so partition
         // bounds are enforced here, not trusted to the classifier.
         if send & path_bits::HQ != 0 {
             let state = self.table.get(tag).expect("tracked");
             let (slba, nlb) = (state.cmd.slba(), state.cmd.nlb());
-            let has_lba = state.cmd.has_data()
-                || matches!(state.cmd.opcode, 0x08 | 0x09);
+            let has_lba = state.cmd.has_data() || matches!(state.cmd.opcode, 0x08 | 0x09);
             if has_lba && !self.vms[vm].partition.contains(slba, nlb) {
                 self.finish(vm, tag, Status::LBA_OUT_OF_RANGE, t);
                 return;
@@ -389,20 +438,30 @@ impl Router {
         let state = self.table.get_mut(tag).expect("tracked");
         state.hooks |= verdict.hook_mask();
         state.will_complete |= verdict.will_complete_mask();
+        state.sent_paths |= send;
+        if state.dispatched_at == 0 {
+            state.dispatched_at = t;
+        }
+        let (vm_id, vsq) = (state.vm, state.vsq);
         let mut fwd = state.cmd;
         fwd.cid = tag;
         if send & path_bits::HQ != 0 {
-            state.pending |= path_bits::HQ;
+            self.table.get_mut(tag).expect("tracked").pending |= path_bits::HQ;
             self.stats.sent_hq += 1;
+            self.telemetry.count(Metric::SentFast);
+            self.telemetry
+                .event(t, vm_id, vsq, tag, Stage::Dispatched, PathKind::Fast);
             if self.vms[vm].hsq.push(fwd).is_err() {
                 self.path_unavailable(vm, tag, path_bits::HQ, t);
                 return;
             }
         }
         if send & path_bits::KQ != 0 {
-            let state = self.table.get_mut(tag).expect("tracked");
-            state.pending |= path_bits::KQ;
+            self.table.get_mut(tag).expect("tracked").pending |= path_bits::KQ;
             self.stats.sent_kq += 1;
+            self.telemetry.count(Metric::SentKernel);
+            self.telemetry
+                .event(t, vm_id, vsq, tag, Stage::Dispatched, PathKind::Kernel);
             match self.vms[vm].kernel.as_mut() {
                 Some(k) => k.submit(tag, fwd, t),
                 None => {
@@ -412,9 +471,11 @@ impl Router {
             }
         }
         if send & path_bits::NQ != 0 {
-            let state = self.table.get_mut(tag).expect("tracked");
-            state.pending |= path_bits::NQ;
+            self.table.get_mut(tag).expect("tracked").pending |= path_bits::NQ;
             self.stats.sent_nq += 1;
+            self.telemetry.count(Metric::SentNotify);
+            self.telemetry
+                .event(t, vm_id, vsq, tag, Stage::Dispatched, PathKind::Notify);
             let pushed = match self.vms[vm].notify.as_mut() {
                 Some(n) => n.nsq.push(fwd).is_ok(),
                 None => false,
@@ -438,17 +499,62 @@ impl Router {
             Some(s) => s,
             None => {
                 self.stats.spurious += 1;
+                self.telemetry.count(Metric::Spurious);
                 return;
             }
         };
+        if self.telemetry.enabled() {
+            self.telemetry.event(
+                t,
+                state.vm,
+                state.vsq,
+                tag,
+                Stage::VcqComplete,
+                PathKind::None,
+            );
+            // Attribute latency to the heaviest path the request touched
+            // (notify > kernel > fast); requests the router completed
+            // without dispatching have no route.
+            let route = if state.sent_paths & path_bits::NQ != 0 {
+                Some(Route::Notify)
+            } else if state.sent_paths & path_bits::KQ != 0 {
+                Some(Route::Kernel)
+            } else if state.sent_paths & path_bits::HQ != 0 {
+                Some(Route::Fast)
+            } else {
+                None
+            };
+            if let Some(route) = route {
+                self.telemetry
+                    .route_latency(route, t.saturating_sub(state.accepted_at));
+            }
+            if state.dispatched_at != 0 {
+                self.telemetry.segment(
+                    Segment::IngressToDispatch,
+                    state.dispatched_at.saturating_sub(state.accepted_at),
+                );
+                if state.serviced_at != 0 {
+                    self.telemetry.segment(
+                        Segment::DispatchToService,
+                        state.serviced_at.saturating_sub(state.dispatched_at),
+                    );
+                    self.telemetry.segment(
+                        Segment::ServiceToComplete,
+                        t.saturating_sub(state.serviced_at),
+                    );
+                }
+            }
+        }
         let cqe = CompletionEntry::new(state.guest_cid, status);
         self.post_vcq(vm, state.vsq, cqe, t);
     }
 
     fn post_vcq(&mut self, vm: usize, vsq: u16, cqe: CompletionEntry, _t: Ns) {
         self.stats.completed += 1;
+        self.telemetry.count(Metric::Completed);
         if cqe.status().is_error() {
             self.stats.errors += 1;
+            self.telemetry.count(Metric::Errors);
         }
         if let Err(cqe) = self.vms[vm].vcqs[vsq as usize].push(cqe) {
             // VCQ full: retry on a later poll (the guest is reaping).

@@ -33,6 +33,23 @@ pub struct RequestState {
     pub user_tag: u64,
     /// Virtual time the request entered the router (latency accounting).
     pub accepted_at: u64,
+    /// Every path this request was ever sent down (union of dispatch
+    /// masks; unlike `pending` this never clears). Telemetry derives the
+    /// request's route attribution from it.
+    pub sent_paths: u8,
+    /// Time of the first path dispatch (0 = never dispatched).
+    pub dispatched_at: u64,
+    /// Time the last path leg reported service done (0 = none yet).
+    pub serviced_at: u64,
+}
+
+impl RequestState {
+    /// The route this request is attributed to for latency accounting:
+    /// the heaviest path it touched (notify > kernel > fast), or `None`
+    /// if it never left the router.
+    pub fn route_bits(&self) -> u8 {
+        self.sent_paths
+    }
 }
 
 enum Slot {
@@ -157,6 +174,9 @@ mod tests {
             status: Status::SUCCESS,
             user_tag: 0,
             accepted_at: 0,
+            sent_paths: 0,
+            dispatched_at: 0,
+            serviced_at: 0,
         }
     }
 

@@ -37,8 +37,7 @@ impl<A: Actor + Send + 'static> ActorThread<A> {
                 let start = Instant::now();
                 let mut idle_streak = 0u32;
                 while !stop2.load(Ordering::Relaxed) {
-                    let now: Ns =
-                        (start.elapsed().as_nanos() as f64 * time_scale) as Ns;
+                    let now: Ns = (start.elapsed().as_nanos() as f64 * time_scale) as Ns;
                     match actor.poll(now) {
                         Progress::Busy => idle_streak = 0,
                         Progress::Idle => {

@@ -18,6 +18,7 @@ use nvmetro_nvme::{
 };
 use nvmetro_sim::cost::CostModel;
 use nvmetro_sim::{Actor, CpuMode, Ns, Progress, Station};
+use nvmetro_telemetry::{Metric, PathKind, Stage, TelemetryHandle};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -200,14 +201,7 @@ impl UifIo {
         }
     }
 
-    fn submit(
-        &mut self,
-        op: NvmOpcode,
-        slba: u64,
-        nlb: u32,
-        data: Option<&[u8]>,
-        ticket: u64,
-    ) {
+    fn submit(&mut self, op: NvmOpcode, slba: u64, nlb: u32, data: Option<&[u8]>, ticket: u64) {
         let cid = self.next_cid;
         self.next_cid = self.next_cid.wrapping_add(1);
         let bytes = nlb as usize * LBA_SIZE;
@@ -271,6 +265,7 @@ pub struct UifRunner {
     transfer_data: bool,
     requests: u64,
     responses: u64,
+    telemetry: TelemetryHandle,
 }
 
 impl UifRunner {
@@ -322,7 +317,13 @@ impl UifRunner {
             transfer_data,
             requests: 0,
             responses: 0,
+            telemetry: TelemetryHandle::disabled(),
         }
+    }
+
+    /// Attaches a telemetry worker handle (see `nvmetro-telemetry`).
+    pub fn set_telemetry(&mut self, handle: TelemetryHandle) {
+        self.telemetry = handle;
     }
 
     /// Requests received from the router so far.
@@ -340,11 +341,14 @@ impl UifRunner {
         self.io.submitted
     }
 
-    fn respond(&mut self, tag: u16, status: Status) {
+    fn respond(&mut self, tag: u16, status: Status, now: Ns) {
         self.ncq
             .push(CompletionEntry::new(tag, status))
             .expect("NCQ sized to NSQ depth");
         self.responses += 1;
+        self.telemetry.count(Metric::UifResponses);
+        self.telemetry
+            .tag_event(now, tag, Stage::UifService, PathKind::Notify);
     }
 }
 
@@ -358,6 +362,7 @@ impl Actor for UifRunner {
         // 1. Accept new notify-path requests into the worker station.
         while let Some((cmd, _)) = self.nsq.pop() {
             self.requests += 1;
+            self.telemetry.count(Metric::UifRequests);
             let cost = self.cost.uif_request + self.uif.work_cost(&cmd, &self.cost);
             self.work.push(cmd, cost, now);
             progressed = true;
@@ -365,6 +370,7 @@ impl Actor for UifRunner {
         // 2. Complete worked requests.
         while let Some((cmd, _t)) = self.work.pop_done_timed(now) {
             let tag = cmd.cid;
+            let submitted_before = self.io.submitted;
             let mut req = UifRequest {
                 cmd,
                 tag,
@@ -372,8 +378,11 @@ impl Actor for UifRunner {
                 io: &mut self.io,
                 transfer_data: self.transfer_data,
             };
-            match self.uif.work(&mut req) {
-                UifDisposition::Respond(status) => self.respond(tag, status),
+            let disposition = self.uif.work(&mut req);
+            self.telemetry
+                .add(Metric::UifBackendIos, self.io.submitted - submitted_before);
+            match disposition {
+                UifDisposition::Respond(status) => self.respond(tag, status, now),
                 UifDisposition::Async => {}
             }
             progressed = true;
@@ -384,7 +393,7 @@ impl Actor for UifRunner {
         let done: Vec<(u64, Status)> = self.io_out.drain(..).collect();
         for (ticket, status) in done {
             if let Some((tag, st)) = self.uif.backend_done(ticket, status) {
-                self.respond(tag, st);
+                self.respond(tag, st, now);
             }
             progressed = true;
         }

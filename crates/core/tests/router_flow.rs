@@ -26,10 +26,13 @@ struct Rig {
 /// classifier and optional notify-path UIF.
 fn build_rig(classifier: Classifier, uif: Option<Box<dyn Uif>>, partition: Partition) -> Rig {
     let cost = CostModel::default();
-    let mut ssd = SimSsd::new("ssd", SsdConfig {
-        capacity_lbas: 1 << 20,
-        ..Default::default()
-    });
+    let mut ssd = SimSsd::new(
+        "ssd",
+        SsdConfig {
+            capacity_lbas: 1 << 20,
+            ..Default::default()
+        },
+    );
     let store = ssd.store();
 
     let mut vc = VirtualController::new(VmConfig {
@@ -171,10 +174,7 @@ fn lba_translating_classifier_mediates_commands() {
     b.ldx(SIZE_DW, R2, R1, ctx_offsets::SLBA)
         .add64_imm(R2, 5000)
         .stx(SIZE_DW, R1, ctx_offsets::SLBA, R2)
-        .lddw(
-            R0,
-            verdict_bits::SEND_HQ | verdict_bits::WILL_COMPLETE_HQ,
-        )
+        .lddw(R0, verdict_bits::SEND_HQ | verdict_bits::WILL_COMPLETE_HQ)
         .exit();
     let (insns, maps) = b.build();
     let vm = nvmetro_vbpf::Vm::new(
@@ -221,10 +221,7 @@ fn complete_verdict_short_circuits_without_touching_device() {
     let (cmd, _) = read_cmd(&rig, 0, 512);
     rig.guest_sq.push(cmd).unwrap();
     let report = rig.ex.run(u64::MAX);
-    assert_eq!(
-        rig.guest_cq.pop().unwrap().status(),
-        Status::INVALID_OPCODE
-    );
+    assert_eq!(rig.guest_cq.pop().unwrap().status(), Status::INVALID_OPCODE);
     // No device round trip: the run is much shorter than a device read.
     assert!(report.duration < CostModel::default().ssd_read_lat / 2);
 }

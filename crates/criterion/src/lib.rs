@@ -1,0 +1,249 @@
+//! Minimal in-tree stand-in for the `criterion` benchmark harness.
+//!
+//! The container this workspace builds in has no network access to the
+//! crates registry, so the real `criterion` cannot be fetched. This crate
+//! implements the small API surface the `nvmetro-bench` micro-benchmarks
+//! use — `Criterion`, `benchmark_group`, `Throughput`, `Bencher::iter`, and
+//! the `criterion_group!`/`criterion_main!` macros — with a straightforward
+//! warm-up / calibrate / sample measurement loop, and prints one summary
+//! line per benchmark. It is a measurement tool, not a statistics suite:
+//! numbers are medians over `sample_size` samples.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation attached to a benchmark group, echoed in the
+/// summary line as elements/s or bytes/s.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing context handed to each benchmark closure; `iter` runs the
+/// workload `iters` times and records the elapsed wall-clock time.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// The benchmark driver. Mirrors criterion's builder API.
+#[derive(Default)]
+pub struct Criterion {
+    cfg: Config,
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.cfg.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for the sampling phase.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.cfg.measurement_time = t;
+        self
+    }
+
+    /// Time budget for the warm-up/calibration phase.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.cfg.warm_up_time = t;
+        self
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        run_one(self.cfg, &id.into(), None, f);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in summary lines.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(self.criterion.cfg, &full, self.throughput, f);
+    }
+
+    /// Ends the group (summary lines are printed eagerly, so this is a
+    /// no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(cfg: Config, name: &str, tput: Option<Throughput>, mut f: F) {
+    // Warm-up doubling loop: grows the iteration count until one batch is
+    // long enough to time reliably, or the warm-up budget runs out.
+    let mut iters: u64 = 1;
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed.as_nanos() > 0 {
+            per_iter = b.elapsed / iters as u32;
+        }
+        if warm_start.elapsed() >= cfg.warm_up_time || b.elapsed >= cfg.warm_up_time {
+            break;
+        }
+        iters = iters.saturating_mul(2).min(1 << 24);
+    }
+
+    // Sampling: split the measurement budget into sample_size batches.
+    let sample_budget = cfg.measurement_time / cfg.sample_size as u32;
+    let per_iter_ns = per_iter.as_nanos().max(1) as u64;
+    let iters_per_sample = (sample_budget.as_nanos() as u64 / per_iter_ns).max(1);
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(cfg.sample_size);
+    for _ in 0..cfg.sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let lo = samples_ns[0];
+    let hi = samples_ns[samples_ns.len() - 1];
+    let med = samples_ns[samples_ns.len() / 2];
+
+    let mut line = format!(
+        "{name:<40} time: [{} {} {}]",
+        fmt_ns(lo),
+        fmt_ns(med),
+        fmt_ns(hi)
+    );
+    match tput {
+        Some(Throughput::Elements(n)) if med > 0.0 => {
+            let rate = n as f64 * 1e9 / med;
+            line.push_str(&format!("  thrpt: {:.3} Melem/s", rate / 1e6));
+        }
+        Some(Throughput::Bytes(n)) if med > 0.0 => {
+            let rate = n as f64 * 1e9 / med;
+            line.push_str(&format!("  thrpt: {:.3} MiB/s", rate / (1024.0 * 1024.0)));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group function that runs each target with a shared config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            iters: 37,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 37);
+    }
+
+    #[test]
+    fn run_one_completes_quickly() {
+        let cfg = Config {
+            sample_size: 2,
+            measurement_time: Duration::from_millis(4),
+            warm_up_time: Duration::from_millis(2),
+        };
+        run_one(cfg, "smoke", Some(Throughput::Elements(1)), |b| {
+            b.iter(|| std::hint::black_box(1 + 1))
+        });
+    }
+}

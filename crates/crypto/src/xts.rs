@@ -187,7 +187,10 @@ mod tests {
         for s in 0..4 {
             let mut alone = original[s * SECTOR_SIZE..(s + 1) * SECTOR_SIZE].to_vec();
             xts.encrypt_sectors(40 + s as u64, &mut alone);
-            assert_eq!(&together[s * SECTOR_SIZE..(s + 1) * SECTOR_SIZE], &alone[..]);
+            assert_eq!(
+                &together[s * SECTOR_SIZE..(s + 1) * SECTOR_SIZE],
+                &alone[..]
+            );
         }
     }
 

@@ -7,6 +7,7 @@ use nvmetro_nvme::{
 };
 use nvmetro_sim::cost::CostModel;
 use nvmetro_sim::{Actor, CpuMode, Ns, Progress, SimRng, US};
+use nvmetro_telemetry::{Metric, PathKind, Stage, TelemetryHandle};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -118,6 +119,7 @@ pub struct SimSsd {
     rng: SimRng,
     charged: Ns,
     ios_served: u64,
+    telemetry: TelemetryHandle,
 }
 
 impl SimSsd {
@@ -143,7 +145,15 @@ impl SimSsd {
             rng: SimRng::new(seed),
             charged: 0,
             ios_served: 0,
+            telemetry: TelemetryHandle::disabled(),
         }
+    }
+
+    /// Attaches a telemetry worker handle (see `nvmetro-telemetry`). Device
+    /// events carry no VM identity (the device sees only tags), so they are
+    /// emitted with `VM_ANY` and correlated by tag + time window.
+    pub fn set_telemetry(&mut self, handle: TelemetryHandle) {
+        self.telemetry = handle;
     }
 
     /// The device's content store.
@@ -238,7 +248,11 @@ impl SimSsd {
             NvmOpcode::Flush => {
                 // Drain the (modeled) write cache.
                 let finish = now + self.jitter(self.cfg.cost.ssd_write_lat);
-                self.schedule(queue, CompletionEntry::new(cmd.cid, Status::SUCCESS), finish);
+                self.schedule(
+                    queue,
+                    CompletionEntry::new(cmd.cid, Status::SUCCESS),
+                    finish,
+                );
             }
             NvmOpcode::Read | NvmOpcode::Write | NvmOpcode::Compare => {
                 let slba = cmd.slba();
@@ -287,11 +301,19 @@ impl SimSsd {
                     self.store.deallocate(slba, nlb);
                 }
                 let finish = now + self.jitter(self.cfg.cost.ssd_write_lat / 2);
-                self.schedule(queue, CompletionEntry::new(cmd.cid, Status::SUCCESS), finish);
+                self.schedule(
+                    queue,
+                    CompletionEntry::new(cmd.cid, Status::SUCCESS),
+                    finish,
+                );
             }
             NvmOpcode::WriteUncorrectable => {
                 let finish = now + self.jitter(self.cfg.cost.ssd_write_lat);
-                self.schedule(queue, CompletionEntry::new(cmd.cid, Status::SUCCESS), finish);
+                self.schedule(
+                    queue,
+                    CompletionEntry::new(cmd.cid, Status::SUCCESS),
+                    finish,
+                );
             }
         }
     }
@@ -359,6 +381,13 @@ impl SimSsd {
                         self.charged += self.cfg.cost.ssd_irq_cost;
                     }
                     self.ios_served += 1;
+                    self.telemetry.count(Metric::DeviceIos);
+                    self.telemetry.tag_event(
+                        p.finish,
+                        p.cqe.cid,
+                        Stage::DeviceService,
+                        PathKind::Fast,
+                    );
                     progressed = true;
                 }
                 Err(cqe) => {
@@ -491,8 +520,7 @@ mod tests {
         let mut r = rig(small_cfg());
         let gpa = r.mem.alloc(512);
         let (p1, p2) = nvmetro_mem::build_prps(&r.mem, gpa, 512);
-        r.sq
-            .push(SubmissionEntry::read(1, 99_999_999, 1, p1, p2))
+        r.sq.push(SubmissionEntry::read(1, 99_999_999, 1, p1, p2))
             .unwrap();
         let (cqe, _) = run_until_completion(&mut r, 0);
         assert_eq!(cqe.status(), Status::LBA_OUT_OF_RANGE);
@@ -533,9 +561,7 @@ mod tests {
         let gpa = r.mem.alloc(512 * 8);
         for i in 0..8 {
             let (p1, p2) = nvmetro_mem::build_prps(&r.mem, gpa + i * 512, 512);
-            r.sq
-                .push(SubmissionEntry::read(1, i, 1, p1, p2))
-                .unwrap();
+            r.sq.push(SubmissionEntry::read(1, i, 1, p1, p2)).unwrap();
         }
         r.ssd.poll(0);
         let mut last_finish = 0;
@@ -567,8 +593,7 @@ mod tests {
         let mut r = rig(cfg);
         let n = 64;
         for i in 0..n {
-            r.sq
-                .push(SubmissionEntry::read(1, i * 256, 256, 0x1000, 0))
+            r.sq.push(SubmissionEntry::read(1, i * 256, 256, 0x1000, 0))
                 .unwrap();
         }
         r.ssd.poll(0);

@@ -1,8 +1,8 @@
 //! Sparse block content storage.
 
 use nvmetro_nvme::LBA_SIZE;
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 const SHARDS: usize = 64;
 
@@ -50,7 +50,7 @@ impl BlockStore {
         );
         for (i, chunk) in data.chunks_exact(LBA_SIZE).enumerate() {
             let lba = slba + i as u64;
-            let mut shard = self.shard(lba).lock();
+            let mut shard = self.shard(lba).lock().unwrap();
             let block = shard
                 .entry(lba)
                 .or_insert_with(|| Box::new([0u8; LBA_SIZE]));
@@ -67,7 +67,7 @@ impl BlockStore {
         );
         for (i, chunk) in out.chunks_exact_mut(LBA_SIZE).enumerate() {
             let lba = slba + i as u64;
-            let shard = self.shard(lba).lock();
+            let shard = self.shard(lba).lock().unwrap();
             match shard.get(&lba) {
                 Some(block) => chunk.copy_from_slice(&block[..]),
                 None => chunk.fill(0),
@@ -85,13 +85,13 @@ impl BlockStore {
     /// Deallocates (TRIMs) a block range: subsequent reads return zeroes.
     pub fn deallocate(&self, slba: u64, nlb: u32) {
         for lba in slba..slba + nlb as u64 {
-            self.shard(lba).lock().remove(&lba);
+            self.shard(lba).lock().unwrap().remove(&lba);
         }
     }
 
     /// Number of blocks holding data (diagnostics).
     pub fn resident_blocks(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
     }
 }
 

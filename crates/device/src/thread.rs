@@ -89,10 +89,13 @@ mod tests {
 
     #[test]
     fn device_thread_serves_io_asynchronously() {
-        let mut ssd = SimSsd::new("ssd", SsdConfig {
-            capacity_lbas: 10_000,
-            ..Default::default()
-        });
+        let mut ssd = SimSsd::new(
+            "ssd",
+            SsdConfig {
+                capacity_lbas: 10_000,
+                ..Default::default()
+            },
+        );
         let (sqp, sqc) = SqPair::new(64);
         let (cqp, cqc) = CqPair::new(64);
         let mem = std::sync::Arc::new(GuestMemory::new(1 << 24));

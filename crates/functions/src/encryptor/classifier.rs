@@ -60,11 +60,8 @@ pub fn build_encryptor_classifier(lba_offset: u64) -> Vm {
         .exit();
     // default: send to device: return SEND_HQ | WILL_COMPLETE_HQ;
     b.bind(other_op);
-    b.lddw(
-        R0,
-        verdict_bits::SEND_HQ | verdict_bits::WILL_COMPLETE_HQ,
-    )
-    .exit();
+    b.lddw(R0, verdict_bits::SEND_HQ | verdict_bits::WILL_COMPLETE_HQ)
+        .exit();
     // --- HOOK_HCQ: device read done, check for error ---
     b.bind(hook_hcq);
     b.ldx(SIZE_H, R3, R1, ctx_offsets::ERROR)
@@ -99,8 +96,8 @@ pub fn build_encryptor_classifier(lba_offset: u64) -> Vm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nvmetro_core::classify::{Classifier, RequestCtx, Verdict, HOOK_HCQ, HOOK_VSQ};
     use nvmetro_core::classify::path_bits;
+    use nvmetro_core::classify::{Classifier, RequestCtx, Verdict, HOOK_HCQ, HOOK_VSQ};
     use nvmetro_nvme::SubmissionEntry;
 
     fn run(vm: &mut Vm, hook: u32, cmd: &SubmissionEntry, error: Status) -> (Verdict, RequestCtx) {

@@ -12,6 +12,7 @@ use nvmetro_crypto::{SgxEnclave, Xts};
 use nvmetro_nvme::{NvmOpcode, Status, SubmissionEntry};
 use nvmetro_sim::cost::CostModel;
 use nvmetro_sim::Ns;
+use nvmetro_telemetry::{Metric, TelemetryHandle};
 
 /// Where the encryption happens.
 pub enum CryptoBackend {
@@ -43,6 +44,7 @@ pub struct EncryptorUif {
     lba_offset: u64,
     writes: u64,
     reads: u64,
+    telemetry: TelemetryHandle,
 }
 
 impl EncryptorUif {
@@ -54,7 +56,15 @@ impl EncryptorUif {
             lba_offset,
             writes: 0,
             reads: 0,
+            telemetry: TelemetryHandle::disabled(),
         }
+    }
+
+    /// Attaches a telemetry worker handle; counts every sector
+    /// transformation as `Metric::CryptoOps`.
+    pub fn with_telemetry(mut self, handle: TelemetryHandle) -> Self {
+        self.telemetry = handle;
+        self
     }
 
     /// Requests decrypted so far.
@@ -68,6 +78,7 @@ impl EncryptorUif {
     }
 
     fn decrypt(&mut self, sector: u64, data: &mut [u8]) {
+        self.telemetry.count(Metric::CryptoOps);
         match &mut self.crypto {
             CryptoBackend::Xts(x) => x.decrypt_sectors(sector, data),
             CryptoBackend::Sgx(e) => e.ecall_decrypt(sector, data),
@@ -76,6 +87,7 @@ impl EncryptorUif {
     }
 
     fn encrypt(&mut self, sector: u64, data: &mut [u8]) {
+        self.telemetry.count(Metric::CryptoOps);
         match &mut self.crypto {
             CryptoBackend::Xts(x) => x.encrypt_sectors(sector, data),
             CryptoBackend::Sgx(e) => e.ecall_encrypt(sector, data),
@@ -104,7 +116,11 @@ impl Uif for EncryptorUif {
                 self.encrypt(sector, &mut data);
                 let nlb = req.cmd.nlb();
                 let tag = req.tag;
-                let payload = if data.is_empty() { None } else { Some(&data[..]) };
+                let payload = if data.is_empty() {
+                    None
+                } else {
+                    Some(&data[..])
+                };
                 req.io().write(disk_addr, nlb, payload, tag as u64);
                 UifDisposition::Async
             }
@@ -142,8 +158,7 @@ mod tests {
     #[test]
     fn xts_and_sgx_backends_agree() {
         let key = [5u8; 64];
-        let mut plain_uif =
-            EncryptorUif::new(CryptoBackend::Xts(Box::new(Xts::new(&key))), 0);
+        let mut plain_uif = EncryptorUif::new(CryptoBackend::Xts(Box::new(Xts::new(&key))), 0);
         let mut sgx_uif = EncryptorUif::new(
             CryptoBackend::Sgx(Box::new(SgxEnclave::create(&key, true))),
             0,
@@ -164,10 +179,7 @@ mod tests {
         let large = SubmissionEntry::write(1, 0, 256, 0, 0); // 128 KiB
         assert!(plain.work_cost(&large, &cost) > plain.work_cost(&small, &cost));
         // EPC thrashing penalizes only large SGX buffers.
-        assert_eq!(
-            plain.work_cost(&small, &cost),
-            sgx.work_cost(&small, &cost)
-        );
+        assert_eq!(plain.work_cost(&small, &cost), sgx.work_cost(&small, &cost));
         assert!(sgx.work_cost(&large, &cost) > plain.work_cost(&large, &cost));
     }
 }

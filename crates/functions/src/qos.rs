@@ -85,10 +85,7 @@ pub fn build_qos_classifier(iops: u64, burst: u64) -> Vm {
         .jmp_imm(JMP_JEQ, R5, 0, throttle)
         .alu64_imm(ALU_SUB, R5, 1)
         .stx(SIZE_DW, R7, 0, R5)
-        .lddw(
-            R0,
-            verdict_bits::SEND_HQ | verdict_bits::WILL_COMPLETE_HQ,
-        )
+        .lddw(R0, verdict_bits::SEND_HQ | verdict_bits::WILL_COMPLETE_HQ)
         .exit();
     // Over budget: tell the guest to back off.
     b.bind(throttle);
@@ -214,8 +211,7 @@ mod tests {
             impl HammerJob {
                 fn submit(&mut self, cid: u16) {
                     self.seq += 1;
-                    let mut cmd =
-                        SubmissionEntry::read(1, (self.seq % 64) * 8, 8, 0x1000, 0);
+                    let mut cmd = SubmissionEntry::read(1, (self.seq % 64) * 8, 8, 0x1000, 0);
                     cmd.cid = cid;
                     let _ = self.sq.push(cmd);
                 }
@@ -268,11 +264,14 @@ mod tests {
                 }
             }
 
-            let mut ssd = SimSsd::new("ssd", SsdConfig {
-                capacity_lbas: 1 << 20,
-                move_data: false,
-                ..Default::default()
-            });
+            let mut ssd = SimSsd::new(
+                "ssd",
+                SsdConfig {
+                    capacity_lbas: 1 << 20,
+                    move_data: false,
+                    ..Default::default()
+                },
+            );
             let mut vc = VirtualController::new(VmConfig {
                 mem_bytes: 1 << 20,
                 queue_depth: 256,
@@ -308,7 +307,7 @@ mod tests {
                 seeded: false,
                 qd,
                 stop_at: duration,
-            seq: 0,
+                seq: 0,
             };
             let mut ex = Executor::new();
             ex.add(Box::new(job));

@@ -42,11 +42,8 @@ pub fn build_replicator_classifier(lba_offset: u64) -> Vm {
     b.ldx(SIZE_B, R5, R7, ctx_offsets::OPCODE)
         .jmp_imm(JMP_JEQ, R5, 0x01, is_write);
     // Reads and everything else: primary disk only.
-    b.lddw(
-        R0,
-        verdict_bits::SEND_HQ | verdict_bits::WILL_COMPLETE_HQ,
-    )
-    .exit();
+    b.lddw(R0, verdict_bits::SEND_HQ | verdict_bits::WILL_COMPLETE_HQ)
+        .exit();
     b.bind(is_write);
     b.lddw(
         R0,

@@ -11,10 +11,12 @@ use nvmetro_core::uif::{Uif, UifDisposition, UifRequest};
 use nvmetro_nvme::{NvmOpcode, Status, SubmissionEntry};
 use nvmetro_sim::cost::CostModel;
 use nvmetro_sim::Ns;
+use nvmetro_telemetry::{Metric, TelemetryHandle};
 
 /// The replication UIF: forwards writes to the secondary.
 pub struct ReplicatorUif {
     forwarded: u64,
+    telemetry: TelemetryHandle,
 }
 
 impl Default for ReplicatorUif {
@@ -26,7 +28,17 @@ impl Default for ReplicatorUif {
 impl ReplicatorUif {
     /// Creates the UIF.
     pub fn new() -> Self {
-        ReplicatorUif { forwarded: 0 }
+        ReplicatorUif {
+            forwarded: 0,
+            telemetry: TelemetryHandle::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry worker handle; counts forwarded writes as
+    /// `Metric::ReplicaWrites`.
+    pub fn with_telemetry(mut self, handle: TelemetryHandle) -> Self {
+        self.telemetry = handle;
+        self
     }
 
     /// Writes forwarded to the secondary so far.
@@ -40,11 +52,16 @@ impl Uif for ReplicatorUif {
         match req.opcode() {
             Some(NvmOpcode::Write) => {
                 self.forwarded += 1;
+                self.telemetry.count(Metric::ReplicaWrites);
                 let data = req.read_guest();
                 let slba = req.cmd.slba();
                 let nlb = req.cmd.nlb();
                 let tag = req.tag;
-                let payload = if data.is_empty() { None } else { Some(&data[..]) };
+                let payload = if data.is_empty() {
+                    None
+                } else {
+                    Some(&data[..])
+                };
                 req.io().write(slba, nlb, payload, tag as u64);
                 UifDisposition::Async
             }

@@ -36,10 +36,13 @@ enum Function {
 
 fn build(function: Function) -> Rig {
     let cost = CostModel::default();
-    let mut ssd = SimSsd::new("ssd", SsdConfig {
-        capacity_lbas: 1 << 20,
-        ..Default::default()
-    });
+    let mut ssd = SimSsd::new(
+        "ssd",
+        SsdConfig {
+            capacity_lbas: 1 << 20,
+            ..Default::default()
+        },
+    );
     let primary = ssd.store();
 
     let mut vc = VirtualController::new(VmConfig {
@@ -69,37 +72,40 @@ fn build(function: Function) -> Rig {
     let mut ex = Executor::new();
     let mut secondary = None;
 
-    let (classifier, uif, workers): (Classifier, Box<dyn nvmetro_core::Uif>, usize) =
-        match function {
-            Function::Encryptor(backend) => {
-                // UIF backend writes ciphertext to the SAME device.
-                ssd.add_queue(bsq_c, bcq_p, host_mem.clone(), CompletionMode::Polled);
-                (
-                    Classifier::Bpf(build_encryptor_classifier(PART_OFFSET)),
-                    Box::new(EncryptorUif::new(backend, PART_OFFSET)),
-                    2,
-                )
-            }
-            Function::Replicator => {
-                // UIF backend goes to the REMOTE device over NVMe-oF.
-                let mut remote = SimSsd::new("remote", SsdConfig {
+    let (classifier, uif, workers): (Classifier, Box<dyn nvmetro_core::Uif>, usize) = match function
+    {
+        Function::Encryptor(backend) => {
+            // UIF backend writes ciphertext to the SAME device.
+            ssd.add_queue(bsq_c, bcq_p, host_mem.clone(), CompletionMode::Polled);
+            (
+                Classifier::Bpf(build_encryptor_classifier(PART_OFFSET)),
+                Box::new(EncryptorUif::new(backend, PART_OFFSET)),
+                2,
+            )
+        }
+        Function::Replicator => {
+            // UIF backend goes to the REMOTE device over NVMe-oF.
+            let mut remote = SimSsd::new(
+                "remote",
+                SsdConfig {
                     capacity_lbas: 1 << 20,
                     transport: Some(Transport {
                         one_way: 10_000,
                         per_byte: 0.1,
                     }),
                     ..Default::default()
-                });
-                secondary = Some(remote.store());
-                remote.add_queue(bsq_c, bcq_p, host_mem.clone(), CompletionMode::Polled);
-                ex.add(Box::new(remote));
-                (
-                    Classifier::Bpf(build_replicator_classifier(PART_OFFSET)),
-                    Box::new(ReplicatorUif::new()),
-                    1,
-                )
-            }
-        };
+                },
+            );
+            secondary = Some(remote.store());
+            remote.add_queue(bsq_c, bcq_p, host_mem.clone(), CompletionMode::Polled);
+            ex.add(Box::new(remote));
+            (
+                Classifier::Bpf(build_replicator_classifier(PART_OFFSET)),
+                Box::new(ReplicatorUif::new()),
+                1,
+            )
+        }
+    };
 
     let runner = UifRunner::new(
         "uif",
@@ -176,9 +182,9 @@ fn guest_read(rig: &mut Rig, slba: u64, len: usize, cid: u16) -> Vec<u8> {
 #[test]
 fn encryption_round_trip_with_ciphertext_on_disk() {
     let key = vec![0x42u8; 64];
-    let mut rig = build(Function::Encryptor(CryptoBackend::Xts(Box::new(
-        Xts::new(&key),
-    ))));
+    let mut rig = build(Function::Encryptor(CryptoBackend::Xts(Box::new(Xts::new(
+        &key,
+    )))));
     let plain: Vec<u8> = (0..2048).map(|i| (i % 251) as u8).collect();
     guest_write(&mut rig, 100, &plain, 1);
 
@@ -214,9 +220,9 @@ fn encrypted_disk_readable_by_dm_crypt_stack() {
     // Interop: write through NVMetro's encryptor, read through the
     // simulated Linux dm-crypt (the paper claims dm-crypt compatibility).
     let key = vec![0x13u8; 64];
-    let mut rig = build(Function::Encryptor(CryptoBackend::Xts(Box::new(
-        Xts::new(&key),
-    ))));
+    let mut rig = build(Function::Encryptor(CryptoBackend::Xts(Box::new(Xts::new(
+        &key,
+    )))));
     let plain: Vec<u8> = (0..1024).map(|i| (i * 7 % 256) as u8).collect();
     guest_write(&mut rig, 200, &plain, 1);
 
@@ -284,7 +290,10 @@ fn replication_mirrors_writes_and_reads_locally() {
     // Both replicas hold the data at the translated LBA.
     assert_eq!(rig.primary.read_vec(PART_OFFSET + 55, 2), data);
     assert_eq!(
-        rig.secondary.as_ref().unwrap().read_vec(PART_OFFSET + 55, 2),
+        rig.secondary
+            .as_ref()
+            .unwrap()
+            .read_vec(PART_OFFSET + 55, 2),
         data,
         "synchronous mirror: secondary must be durable at completion"
     );

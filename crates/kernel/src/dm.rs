@@ -241,7 +241,7 @@ impl KernelDm {
     /// already been encrypted into `bounce`; crypt reads get a bounce
     /// buffer here so the device DMA lands in host memory before
     /// decryption (dm-crypt's bounce-page behavior).
-    fn to_device(&mut self, io: Io, bounce: Option<Bounce>) {
+    fn forward_to_device(&mut self, io: Io, bounce: Option<Bounce>) {
         let bounce = if bounce.is_none() && io.post_decrypt && self.xts.is_some() {
             Some(self.alloc_bounce(io.req.nlb as usize * LBA_SIZE))
         } else {
@@ -308,7 +308,7 @@ impl KernelDm {
                     cost,
                     t,
                 ),
-                None => self.to_device(io, None),
+                None => self.forward_to_device(io, None),
             }
         }
         // Serialized-stage output.
@@ -317,9 +317,7 @@ impl KernelDm {
                 (DmConfig::Crypt { .. }, true) => {
                     // Writes: encrypt on a kcryptd worker, then submit.
                     let cost = self.cost.dmcrypt_request
-                        + self
-                            .cost
-                            .xts_cost(io.req.nlb as usize * LBA_SIZE, false);
+                        + self.cost.xts_cost(io.req.nlb as usize * LBA_SIZE, false);
                     self.crypt.push(
                         Io {
                             stage: Stage::CryptWork,
@@ -331,7 +329,7 @@ impl KernelDm {
                 }
                 (DmConfig::Crypt { .. }, false) => {
                     // Reads: device first, decrypt after.
-                    self.to_device(
+                    self.forward_to_device(
                         Io {
                             post_decrypt: true,
                             ..io
@@ -339,7 +337,7 @@ impl KernelDm {
                         None,
                     );
                 }
-                _ => self.to_device(io, None),
+                _ => self.forward_to_device(io, None),
             }
         }
         // Crypt workers output.
@@ -360,7 +358,7 @@ impl KernelDm {
                     } else {
                         None
                     };
-                    self.to_device(io, bounce);
+                    self.forward_to_device(io, bounce);
                 }
                 _ => {
                     // Post-read decrypt finished: complete to the caller.
@@ -395,9 +393,7 @@ impl KernelDm {
                         self.pool.entry(b.pages).or_default().push(b);
                     }
                     let cost = self.cost.dmcrypt_request
-                        + self
-                            .cost
-                            .xts_cost(track.req.nlb as usize * LBA_SIZE, false);
+                        + self.cost.xts_cost(track.req.nlb as usize * LBA_SIZE, false);
                     self.crypt.push(
                         Io {
                             req: track.req,
@@ -464,10 +460,13 @@ mod tests {
 
     fn rig(config_for: impl FnOnce() -> DmConfig, mirror: bool) -> Rig {
         let cost = CostModel::default();
-        let mut ssd = SimSsd::new("ssd", SsdConfig {
-            capacity_lbas: 1 << 20,
-            ..Default::default()
-        });
+        let mut ssd = SimSsd::new(
+            "ssd",
+            SsdConfig {
+                capacity_lbas: 1 << 20,
+                ..Default::default()
+            },
+        );
         let guest = Arc::new(GuestMemory::new(1 << 26));
         let mut ports = Vec::new();
         let config = config_for();
@@ -484,14 +483,17 @@ mod tests {
         let mut remote_ports = Vec::new();
         if mirror {
             #[allow(unused_mut)]
-            let mut r = SimSsd::new("remote", SsdConfig {
-                capacity_lbas: 1 << 20,
-                transport: Some(nvmetro_device::Transport {
-                    one_way: 10_000,
-                    per_byte: 0.1,
-                }),
-                ..Default::default()
-            });
+            let mut r = SimSsd::new(
+                "remote",
+                SsdConfig {
+                    capacity_lbas: 1 << 20,
+                    transport: Some(nvmetro_device::Transport {
+                        one_way: 10_000,
+                        per_byte: 0.1,
+                    }),
+                    ..Default::default()
+                },
+            );
             let (rsq_p, rsq_c) = SqPair::new(256);
             let (rcq_p, rcq_c) = CqPair::new(256);
             ports.push((rsq_p, rcq_c));
@@ -541,7 +543,11 @@ mod tests {
                 None => now += 1_000,
             }
         }
-        panic!("pipeline stalled with {} of {} done", out.len(), until_count);
+        panic!(
+            "pipeline stalled with {} of {} done",
+            out.len(),
+            until_count
+        );
     }
 
     fn make_req(rig: &Rig, user: u64, write: bool, slba: u64, data: &[u8]) -> (DmRequest, u64) {

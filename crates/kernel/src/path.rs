@@ -4,6 +4,7 @@ use crate::dm::{DmRequest, KernelDm};
 use nvmetro_core::router::KernelPath;
 use nvmetro_nvme::{NvmOpcode, Status, SubmissionEntry};
 use nvmetro_sim::Ns;
+use nvmetro_telemetry::{Metric, PathKind, Stage, TelemetryHandle};
 
 /// Exposes a [`KernelDm`] stack as the router's kernel path ("compatible
 /// with Linux's block layer features (e.g. device mapper), as well as
@@ -11,6 +12,7 @@ use nvmetro_sim::Ns;
 pub struct RouterKernelPath {
     dm: KernelDm,
     out: Vec<(u64, Status)>,
+    telemetry: TelemetryHandle,
 }
 
 impl RouterKernelPath {
@@ -19,7 +21,15 @@ impl RouterKernelPath {
         RouterKernelPath {
             dm,
             out: Vec::new(),
+            telemetry: TelemetryHandle::disabled(),
         }
+    }
+
+    /// Attaches a telemetry worker handle (see `nvmetro-telemetry`). Like
+    /// the device, the kernel stack sees only tags, so its events are
+    /// tag-correlated (`VM_ANY`).
+    pub fn set_telemetry(&mut self, handle: TelemetryHandle) {
+        self.telemetry = handle;
     }
 }
 
@@ -52,6 +62,9 @@ impl KernelPath for RouterKernelPath {
         self.dm.poll(now);
         self.dm.take_done(&mut self.out);
         for (user, status) in self.out.drain(..) {
+            self.telemetry.count(Metric::KernelIos);
+            self.telemetry
+                .tag_event(now, user as u16, Stage::KernelService, PathKind::Kernel);
             out.push((user as u16, status));
         }
     }

@@ -198,7 +198,9 @@ impl<S: Storage> LsmKv<S> {
         let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
         let fetch = limit * 2 + 16; // headroom for tombstone masking
         for (k, v) in self.memtable.range_from(start).take(fetch) {
-            merged.entry(k.to_vec()).or_insert_with(|| v.map(|v| v.to_vec()));
+            merged
+                .entry(k.to_vec())
+                .or_insert_with(|| v.map(|v| v.to_vec()));
         }
         for t in self.l0.iter().rev() {
             for (k, v) in t.iter_from(&self.storage, start).take(fetch) {
@@ -320,10 +322,8 @@ impl<S: Storage> LsmKv<S> {
                 merged.entry(k).or_insert(v);
             }
         }
-        let entries: Vec<(Vec<u8>, Option<Vec<u8>>)> = merged
-            .into_iter()
-            .filter(|(_, v)| v.is_some())
-            .collect();
+        let entries: Vec<(Vec<u8>, Option<Vec<u8>>)> =
+            merged.into_iter().filter(|(_, v)| v.is_some()).collect();
         let old_bases: Vec<u64> = self
             .l0
             .iter()

@@ -180,11 +180,7 @@ impl SsTable {
         &self.last_key
     }
 
-    fn read_entry<S: Storage>(
-        &self,
-        storage: &S,
-        off: u32,
-    ) -> ((Vec<u8>, Option<Vec<u8>>), u32) {
+    fn read_entry<S: Storage>(&self, storage: &S, off: u32) -> ((Vec<u8>, Option<Vec<u8>>), u32) {
         let abs = self.base + self.data_off as u64 + off as u64;
         let mut hdr = [0u8; 9];
         storage.read_at(abs, &mut hdr);
@@ -218,8 +214,7 @@ impl SsTable {
             Err(i) => i - 1,
         };
         let mut off = self.index[block].1;
-        let mut remaining = INDEX_EVERY
-            .min(self.count as usize - block * INDEX_EVERY);
+        let mut remaining = INDEX_EVERY.min(self.count as usize - block * INDEX_EVERY);
         while remaining > 0 {
             let ((k, v), next) = self.read_entry(storage, off);
             match k.as_slice().cmp(key) {
@@ -261,18 +256,13 @@ impl SsTable {
         from: &'a [u8],
     ) -> impl Iterator<Item = (Vec<u8>, Option<Vec<u8>>)> + 'a {
         // Find the index block whose first key is <= from.
-        let block = match self
-            .index
-            .binary_search_by(|(k, _)| k.as_slice().cmp(from))
-        {
+        let block = match self.index.binary_search_by(|(k, _)| k.as_slice().cmp(from)) {
             Ok(i) => i,
             Err(0) => 0,
             Err(i) => i - 1,
         };
         let mut off = self.index.get(block).map(|&(_, o)| o).unwrap_or(0);
-        let mut remaining = self
-            .count
-            .saturating_sub((block * INDEX_EVERY) as u32);
+        let mut remaining = self.count.saturating_sub((block * INDEX_EVERY) as u32);
         std::iter::from_fn(move || {
             while remaining > 0 {
                 let (entry, next) = self.read_entry(storage, off);
@@ -372,10 +362,7 @@ mod tests {
     #[test]
     fn tombstones_round_trip() {
         let mut s = MemStorage::new(1 << 20);
-        let es = vec![
-            (b"a".to_vec(), Some(b"1".to_vec())),
-            (b"b".to_vec(), None),
-        ];
+        let es = vec![(b"a".to_vec(), Some(b"1".to_vec())), (b"b".to_vec(), None)];
         let t = SsTable::write(&mut s, 0, &es);
         let mut skipped = 0;
         assert_eq!(t.get(&s, b"b", &mut skipped), Some(None));

@@ -1,8 +1,8 @@
 //! Sparse guest-physical memory.
 
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Guest page size (x86-64, matching NVMe's memory page size default).
 pub const PAGE_SIZE: usize = 4096;
@@ -58,7 +58,8 @@ impl GuestMemory {
 
     fn check_range(&self, gpa: u64, len: usize) {
         assert!(
-            gpa.checked_add(len as u64).is_some_and(|end| end <= self.size),
+            gpa.checked_add(len as u64)
+                .is_some_and(|end| end <= self.size),
             "guest access out of bounds: {gpa:#x}+{len:#x} (size {:#x})",
             self.size
         );
@@ -73,7 +74,7 @@ impl GuestMemory {
             let page = addr / PAGE_SIZE as u64;
             let in_page = (addr % PAGE_SIZE as u64) as usize;
             let chunk = (PAGE_SIZE - in_page).min(data.len() - offset);
-            let mut shard = self.shard_for(page).lock();
+            let mut shard = self.shard_for(page).lock().unwrap();
             let p = shard
                 .entry(page)
                 .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
@@ -92,10 +93,11 @@ impl GuestMemory {
             let page = addr / PAGE_SIZE as u64;
             let in_page = (addr % PAGE_SIZE as u64) as usize;
             let chunk = (PAGE_SIZE - in_page).min(out.len() - offset);
-            let shard = self.shard_for(page).lock();
+            let shard = self.shard_for(page).lock().unwrap();
             match shard.get(&page) {
-                Some(p) => out[offset..offset + chunk]
-                    .copy_from_slice(&p[in_page..in_page + chunk]),
+                Some(p) => {
+                    out[offset..offset + chunk].copy_from_slice(&p[in_page..in_page + chunk])
+                }
                 None => out[offset..offset + chunk].fill(0),
             }
             offset += chunk;
@@ -131,7 +133,7 @@ impl GuestMemory {
 
     /// Number of pages currently materialized (for tests/diagnostics).
     pub fn resident_pages(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
     }
 }
 

@@ -71,10 +71,7 @@ pub fn build_prps(mem: &GuestMemory, gpa: u64, len: usize) -> (u64, u64) {
         }
         if !fits_whole || !entries.is_empty() {
             let next = mem.alloc(PAGE_SIZE);
-            mem.write_u64(
-                list_page + ((ENTRIES_PER_LIST_PAGE - 1) * 8) as u64,
-                next,
-            );
+            mem.write_u64(list_page + ((ENTRIES_PER_LIST_PAGE - 1) * 8) as u64, next);
             list_page = next;
         }
     }
@@ -108,7 +105,7 @@ pub fn prp_segments(
         return Err(PrpError::NullPrp2);
     }
     if remaining <= PAGE_SIZE {
-        if prp2 % PAGE_SIZE as u64 != 0 {
+        if !prp2.is_multiple_of(PAGE_SIZE as u64) {
             return Err(PrpError::MisalignedEntry);
         }
         segs.push((prp2, remaining));
@@ -116,7 +113,7 @@ pub fn prp_segments(
     }
     // PRP list walk with chaining.
     let mut list_page = prp2;
-    if list_page % 8 != 0 {
+    if !list_page.is_multiple_of(8) {
         return Err(PrpError::MisalignedEntry);
     }
     let mut idx = 0usize;
@@ -126,14 +123,14 @@ pub fn prp_segments(
         let entry = mem.read_u64(list_page + (idx * 8) as u64);
         if at_chain_slot {
             // Last slot of a full page chains to the next list page.
-            if entry % PAGE_SIZE as u64 != 0 || entry == 0 {
+            if !entry.is_multiple_of(PAGE_SIZE as u64) || entry == 0 {
                 return Err(PrpError::MisalignedEntry);
             }
             list_page = entry;
             idx = 0;
             continue;
         }
-        if entry % PAGE_SIZE as u64 != 0 || entry == 0 {
+        if !entry.is_multiple_of(PAGE_SIZE as u64) || entry == 0 {
             return Err(PrpError::MisalignedEntry);
         }
         let chunk = remaining.min(PAGE_SIZE);

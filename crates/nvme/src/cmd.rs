@@ -91,6 +91,7 @@ impl AdminOpcode {
 /// data stays in guest memory behind `prp1`/`prp2`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[repr(C)]
+#[derive(Default)]
 pub struct SubmissionEntry {
     /// Command opcode (CDW0 bits 7:0).
     pub opcode: u8,
@@ -126,28 +127,6 @@ pub struct SubmissionEntry {
 
 const _: () = assert!(std::mem::size_of::<SubmissionEntry>() == 64);
 
-impl Default for SubmissionEntry {
-    fn default() -> Self {
-        SubmissionEntry {
-            opcode: 0,
-            flags: 0,
-            cid: 0,
-            nsid: 0,
-            cdw2: 0,
-            cdw3: 0,
-            mptr: 0,
-            prp1: 0,
-            prp2: 0,
-            cdw10: 0,
-            cdw11: 0,
-            cdw12: 0,
-            cdw13: 0,
-            cdw14: 0,
-            cdw15: 0,
-        }
-    }
-}
-
 impl SubmissionEntry {
     /// Builds a READ command for `nlb` logical blocks starting at `slba`.
     pub fn read(nsid: u32, slba: u64, nlb: u32, prp1: u64, prp2: u64) -> Self {
@@ -169,7 +148,7 @@ impl SubmissionEntry {
     }
 
     fn rw(op: NvmOpcode, nsid: u32, slba: u64, nlb: u32, prp1: u64, prp2: u64) -> Self {
-        assert!(nlb >= 1 && nlb <= 0x1_0000, "NLB must be 1..=65536");
+        assert!((1..=0x1_0000).contains(&nlb), "NLB must be 1..=65536");
         SubmissionEntry {
             opcode: op as u8,
             nsid,

@@ -15,7 +15,9 @@ mod queue;
 mod status;
 
 pub use cmd::{AdminOpcode, NvmOpcode, SubmissionEntry};
-pub use queue::{CqConsumer, CqPair, CqProducer, QueuePair, SqConsumer, SqPair, SqProducer};
+pub use queue::{
+    CachePadded, CqConsumer, CqPair, CqProducer, QueuePair, SqConsumer, SqPair, SqProducer,
+};
 pub use status::{CompletionEntry, Status, StatusCodeType};
 
 /// Logical block size used throughout the reproduction (the paper's fio

@@ -14,10 +14,38 @@
 
 use crate::cmd::SubmissionEntry;
 use crate::status::CompletionEntry;
-use crossbeam::utils::CachePadded;
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+
+/// Pads a value out to its own cache line (128 bytes covers the spatial
+/// prefetcher pairing lines on modern x86) so the head and tail doorbells
+/// never false-share.
+#[repr(align(128))]
+#[derive(Debug, Default)]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in cache-line-aligned padding.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
 
 struct Ring<T> {
     entries: Box<[UnsafeCell<T>]>,
@@ -39,7 +67,7 @@ unsafe impl<T: Send> Send for Ring<T> {}
 impl<T: Default + Copy> Ring<T> {
     fn new(depth: usize) -> Arc<Self> {
         assert!(
-            depth.is_power_of_two() && depth >= 2 && depth <= crate::MAX_QUEUE_ENTRIES,
+            depth.is_power_of_two() && (2..=crate::MAX_QUEUE_ENTRIES).contains(&depth),
             "queue depth must be a power of two in [2, 64K]"
         );
         let entries: Vec<UnsafeCell<T>> =
@@ -106,13 +134,12 @@ impl<T: Default + Copy> Ring<T> {
 pub struct SqPair;
 
 impl SqPair {
-    /// Builds the producer/consumer handle pair for a new SQ.
+    /// Builds the producer/consumer handle pair for a new SQ. Returns the
+    /// two ends rather than `Self` by design, like a channel constructor.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(depth: usize) -> (SqProducer, SqConsumer) {
         let ring = Ring::<SubmissionEntry>::new(depth);
-        (
-            SqProducer { ring: ring.clone() },
-            SqConsumer { ring },
-        )
+        (SqProducer { ring: ring.clone() }, SqConsumer { ring })
     }
 }
 
@@ -174,13 +201,12 @@ impl SqConsumer {
 pub struct CqPair;
 
 impl CqPair {
-    /// Builds the producer/consumer handle pair for a new CQ.
+    /// Builds the producer/consumer handle pair for a new CQ. Returns the
+    /// two ends rather than `Self` by design, like a channel constructor.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(depth: usize) -> (CqProducer, CqConsumer) {
         let ring = Ring::<CompletionEntry>::new(depth);
-        (
-            CqProducer { ring: ring.clone() },
-            CqConsumer { ring },
-        )
+        (CqProducer { ring: ring.clone() }, CqConsumer { ring })
     }
 }
 
@@ -196,7 +222,7 @@ impl CqProducer {
         let tail = self.ring.tail.load(Ordering::Relaxed);
         // Phase starts at 1 on the first pass and flips every wrap.
         let pass = tail / (self.ring.capacity() as u32);
-        entry.set_phase(pass % 2 == 0);
+        entry.set_phase(pass.is_multiple_of(2));
         self.ring.push(entry).map(|_| ()).map_err(|mut e| {
             e.set_phase(false);
             e
@@ -206,6 +232,11 @@ impl CqProducer {
     /// Entries currently posted but not yet reaped.
     pub fn len(&self) -> usize {
         self.ring.len()
+    }
+
+    /// True when every posted completion has been reaped.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
     }
 }
 
@@ -218,7 +249,7 @@ impl CqConsumer {
     /// Reaps the next completion, if any.
     pub fn pop(&self) -> Option<CompletionEntry> {
         let head = self.ring.head.load(Ordering::Relaxed);
-        let expected_phase = (head / (self.ring.capacity() as u32)) % 2 == 0;
+        let expected_phase = (head / (self.ring.capacity() as u32)).is_multiple_of(2);
         let (entry, _) = self.ring.pop()?;
         // Protocol invariant: the posted phase must match what a pure
         // phase-polling consumer would expect at this position.

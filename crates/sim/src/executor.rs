@@ -188,9 +188,7 @@ impl Executor {
                     // Account the idle gap that just ended for adaptive
                     // pollers: they spun for up to `idle_timeout` after their
                     // previous activity before parking.
-                    if let CpuMode::Adaptive { idle_timeout } =
-                        slot.actor.cpu_mode()
-                    {
+                    if let CpuMode::Adaptive { idle_timeout } = slot.actor.cpu_mode() {
                         if let Some(last) = slot.last_busy {
                             let gap = self.now.saturating_sub(last);
                             slot.gap_burn += gap.min(idle_timeout);
@@ -225,9 +223,7 @@ impl Executor {
                         // including the trailing one.
                         let trailing = s
                             .last_busy
-                            .map(|l| {
-                                duration.saturating_sub(l).min(idle_timeout)
-                            })
+                            .map(|l| duration.saturating_sub(l).min(idle_timeout))
                             .unwrap_or(0);
                         s.actor.charged() + s.gap_burn + trailing
                     }
@@ -307,7 +303,11 @@ mod tests {
     #[test]
     fn deadline_stops_the_run() {
         let mut ex = Executor::new();
-        ex.add(Box::new(Ticker::new(1_000, 1_000_000, CpuMode::EventDriven)));
+        ex.add(Box::new(Ticker::new(
+            1_000,
+            1_000_000,
+            CpuMode::EventDriven,
+        )));
         let report = ex.run(10_000);
         assert!(report.duration <= 10_000);
     }

@@ -72,7 +72,7 @@ impl<T> Station<T> {
     pub fn pop_done_timed(&mut self, now: Ns) -> Option<(T, Ns)> {
         let mut best: Option<(usize, Ns)> = None;
         for (i, f) in self.in_flight.iter().enumerate() {
-            if f.finish <= now && best.map_or(true, |(_, bf)| f.finish < bf) {
+            if f.finish <= now && best.is_none_or(|(_, bf)| f.finish < bf) {
                 best = Some((i, f.finish));
             }
         }
@@ -85,7 +85,7 @@ impl<T> Station<T> {
     pub fn pop_done(&mut self, now: Ns) -> Option<T> {
         let mut best: Option<(usize, Ns)> = None;
         for (i, f) in self.in_flight.iter().enumerate() {
-            if f.finish <= now && best.map_or(true, |(_, bf)| f.finish < bf) {
+            if f.finish <= now && best.is_none_or(|(_, bf)| f.finish < bf) {
                 best = Some((i, f.finish));
             }
         }

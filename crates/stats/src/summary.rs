@@ -37,11 +37,7 @@ impl Summary {
             return 0.0;
         }
         let m = self.mean();
-        let var = self
-            .samples
-            .iter()
-            .map(|s| (s - m) * (s - m))
-            .sum::<f64>()
+        let var = self.samples.iter().map(|s| (s - m) * (s - m)).sum::<f64>()
             / (self.samples.len() - 1) as f64;
         var.sqrt()
     }
@@ -60,7 +56,10 @@ impl Summary {
         if self.samples.is_empty() {
             0.0
         } else {
-            self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            self.samples
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
         }
     }
 }

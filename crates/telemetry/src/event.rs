@@ -1,0 +1,188 @@
+//! Trace event schema: what happened to a request, where, and when.
+//!
+//! Every instrumentation point in the datapath emits one fixed-size
+//! [`TraceEvent`]. Events are correlated by `(vm, vsq, tag)` — the router's
+//! routing-table tag is carried as the command CID on every internal queue,
+//! so the same triple identifies one request from VSQ fetch to VCQ
+//! completion. Components below the router (device, kernel stack, UIF) only
+//! see the tag; they emit events with `vm == VM_ANY` and the snapshot's
+//! lifecycle reassembly matches them to the owning request by tag within
+//! the request's accept..complete time window.
+
+/// Nanosecond timestamp. Virtual-time runs pass the DES clock's `now`;
+/// real-thread runs pass an OS monotonic clock reading. The subsystem never
+/// reads a clock itself, so both modes trace identically.
+pub type Ns = u64;
+
+/// Sentinel VM id for events emitted below the router, where only the
+/// routing tag is known.
+pub const VM_ANY: u32 = u32::MAX;
+
+/// Lifecycle stage a request has reached when an event is emitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Stage {
+    /// The router popped the command from a guest VSQ.
+    VsqFetch = 0,
+    /// A classifier returned a verdict at some hook.
+    Classified = 1,
+    /// The command was sent down a path (one event per path bit).
+    Dispatched = 2,
+    /// The physical device posted the command's completion.
+    DeviceService = 3,
+    /// The kernel block/DM stack completed the command.
+    KernelService = 4,
+    /// A userspace I/O function handled the notify-path request.
+    UifService = 5,
+    /// A path completion re-entered a classifier hook.
+    HookReentry = 6,
+    /// The CQE was posted to the guest VCQ.
+    VcqComplete = 7,
+}
+
+impl Stage {
+    /// All stages, in lifecycle order.
+    pub const ALL: [Stage; 8] = [
+        Stage::VsqFetch,
+        Stage::Classified,
+        Stage::Dispatched,
+        Stage::DeviceService,
+        Stage::KernelService,
+        Stage::UifService,
+        Stage::HookReentry,
+        Stage::VcqComplete,
+    ];
+
+    /// Stable lowercase name for tables and JSON export.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::VsqFetch => "vsq_fetch",
+            Stage::Classified => "classified",
+            Stage::Dispatched => "dispatched",
+            Stage::DeviceService => "device_service",
+            Stage::KernelService => "kernel_service",
+            Stage::UifService => "uif_service",
+            Stage::HookReentry => "hook_reentry",
+            Stage::VcqComplete => "vcq_complete",
+        }
+    }
+}
+
+/// Which datapath a stage refers to (for `Dispatched`/service/re-entry
+/// events); `None` for path-agnostic stages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum PathKind {
+    /// Not tied to a specific path.
+    None = 0,
+    /// Fast path: hardware queue straight to the device.
+    Fast = 1,
+    /// Kernel path: host block layer / device mapper.
+    Kernel = 2,
+    /// Notify path: userspace I/O function over NSQ/NCQ.
+    Notify = 3,
+}
+
+impl PathKind {
+    /// Stable lowercase name for tables and JSON export.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PathKind::None => "-",
+            PathKind::Fast => "fast",
+            PathKind::Kernel => "kernel",
+            PathKind::Notify => "notify",
+        }
+    }
+}
+
+/// The route a completed request is attributed to for latency accounting:
+/// the "heaviest" path it touched (notify > kernel > fast).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Route {
+    /// Device hardware queues only.
+    Fast = 0,
+    /// Touched the kernel path.
+    Kernel = 1,
+    /// Touched the notify path (UIF).
+    Notify = 2,
+}
+
+impl Route {
+    /// Number of routes.
+    pub const COUNT: usize = 3;
+    /// All routes in index order.
+    pub const ALL: [Route; 3] = [Route::Fast, Route::Kernel, Route::Notify];
+
+    /// Stable lowercase name for tables and JSON export.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Route::Fast => "fast",
+            Route::Kernel => "kernel",
+            Route::Notify => "notify",
+        }
+    }
+}
+
+/// Stage-to-stage segment of a request's lifetime, each with its own
+/// duration histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Segment {
+    /// VSQ fetch (+classification) until the first path dispatch.
+    IngressToDispatch = 0,
+    /// First dispatch until the last path reported service done.
+    DispatchToService = 1,
+    /// Last service completion until the CQE hit the VCQ.
+    ServiceToComplete = 2,
+}
+
+impl Segment {
+    /// Number of segments.
+    pub const COUNT: usize = 3;
+    /// All segments in lifecycle order.
+    pub const ALL: [Segment; 3] = [
+        Segment::IngressToDispatch,
+        Segment::DispatchToService,
+        Segment::ServiceToComplete,
+    ];
+
+    /// Stable lowercase name for tables and JSON export.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Segment::IngressToDispatch => "ingress_to_dispatch",
+            Segment::DispatchToService => "dispatch_to_service",
+            Segment::ServiceToComplete => "service_to_complete",
+        }
+    }
+}
+
+/// One fixed-size trace record. 24 bytes; the ring stores these by value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the stage was reached (virtual or OS nanoseconds).
+    pub ts_ns: Ns,
+    /// Owning VM id, or [`VM_ANY`] below the router.
+    pub vm: u32,
+    /// Virtual submission queue index within the VM (0 below the router).
+    pub vsq: u16,
+    /// Router routing-table tag (carried as CID on internal queues).
+    pub tag: u16,
+    /// Lifecycle stage reached.
+    pub stage: Stage,
+    /// Path the stage refers to, if any.
+    pub path: PathKind,
+}
+
+impl Default for TraceEvent {
+    fn default() -> Self {
+        TraceEvent {
+            ts_ns: 0,
+            vm: VM_ANY,
+            vsq: 0,
+            tag: 0,
+            stage: Stage::VsqFetch,
+            path: PathKind::None,
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! # nvmetro-telemetry
+//!
+//! Unified request-lifecycle tracing and metrics for the NVMetro datapath.
+//!
+//! The paper's claims are statements about *where time and CPU go* as a
+//! request moves VSQ → classifier → {fast, kernel, notify} path → VCQ.
+//! This crate makes that visible without slowing the path down:
+//!
+//! * **Lifecycle tracing** — every stage emits a fixed-size [`TraceEvent`]
+//!   into a lock-free ring ([`TraceRing`]); a request's journey is
+//!   reassembled from the ring by `(vm, vsq, tag)`.
+//! * **Sharded metrics** — each worker registers for its own
+//!   cacheline-padded cell of relaxed atomic counters ([`Metric`]),
+//!   summed only at snapshot time.
+//! * **Latency histograms** — VSQ→VCQ latency split by [`Route`] and
+//!   stage-segment durations ([`Segment`]), merged across shards with
+//!   `Histogram::merge`.
+//! * **Snapshots** — [`TelemetrySnapshot`] renders as a human table, CSV,
+//!   or JSON.
+//!
+//! ## Clock discipline
+//!
+//! The subsystem never reads a clock. Every instrumentation point takes an
+//! explicit nanosecond timestamp, so virtual-time runs pass the DES `now`
+//! and real-thread runs pass an OS monotonic reading — tracing behaves
+//! identically in both modes.
+//!
+//! ## Cost when disabled
+//!
+//! [`Telemetry::disabled`] (the default everywhere) hands out handles whose
+//! instrumentation methods are a single `Option` branch — no atomics, no
+//! allocation, no clock reads. `micro_datapath` benches the disabled path
+//! against the enabled one.
+
+mod event;
+mod metrics;
+mod ring;
+mod snapshot;
+
+pub use event::{Ns, PathKind, Route, Segment, Stage, TraceEvent, VM_ANY};
+pub use metrics::Metric;
+pub use ring::TraceRing;
+pub use snapshot::{lifecycle_table, RequestKey, TelemetrySnapshot};
+
+use metrics::Shard;
+use nvmetro_stats::Histogram;
+use std::sync::{Arc, Mutex};
+
+/// Registry configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TelemetryConfig {
+    /// Trace-ring capacity in events (rounded up to a power of two).
+    pub trace_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            trace_capacity: 4096,
+        }
+    }
+}
+
+struct Inner {
+    ring: TraceRing,
+    shards: Mutex<Vec<Arc<Shard>>>,
+}
+
+/// The telemetry registry. Clone-able; all clones share the same ring and
+/// shard list. A disabled registry (the default) costs nothing.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// A registry that records nothing; its handles compile down to one
+    /// branch per instrumentation call.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// An enabled registry with the default configuration.
+    pub fn enabled() -> Self {
+        Self::with_config(TelemetryConfig::default())
+    }
+
+    /// An enabled registry with an explicit configuration.
+    pub fn with_config(cfg: TelemetryConfig) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                ring: TraceRing::new(cfg.trace_capacity),
+                shards: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// Whether this registry records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Registers one worker (router, device, UIF runner, ...) and returns
+    /// its private handle. On a disabled registry this returns a disabled
+    /// handle. Registration is cold-path; call it at rig-build time.
+    pub fn register_worker(&self) -> TelemetryHandle {
+        match &self.inner {
+            None => TelemetryHandle::disabled(),
+            Some(inner) => {
+                let shard = Arc::new(Shard::new());
+                inner.shards.lock().unwrap().push(shard.clone());
+                TelemetryHandle {
+                    inner: Some(inner.clone()),
+                    shard: Some(shard),
+                }
+            }
+        }
+    }
+
+    /// Aggregates counters and histograms across all shards and copies the
+    /// trace ring. A disabled registry returns an empty snapshot.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let inner = match &self.inner {
+            None => return TelemetrySnapshot::empty(),
+            Some(inner) => inner,
+        };
+        let mut counters = [0u64; Metric::COUNT];
+        let mut route: [Histogram; Route::COUNT] = std::array::from_fn(|_| Histogram::new());
+        let mut segment: [Histogram; Segment::COUNT] = std::array::from_fn(|_| Histogram::new());
+        for shard in inner.shards.lock().unwrap().iter() {
+            for m in Metric::ALL {
+                counters[m as usize] += shard.counter(m);
+            }
+            shard.merge_hists_into(&mut route, &mut segment);
+        }
+        TelemetrySnapshot {
+            counters,
+            route_latency: route,
+            segments: segment,
+            events: inner.ring.snapshot(),
+            dropped_events: inner.ring.dropped(),
+        }
+    }
+}
+
+/// One worker's instrumentation handle. Counter increments go to the
+/// worker's private shard; trace events go to the shared ring. All methods
+/// are no-ops (one branch) on a disabled handle.
+#[derive(Clone, Default)]
+pub struct TelemetryHandle {
+    inner: Option<Arc<Inner>>,
+    shard: Option<Arc<Shard>>,
+}
+
+impl TelemetryHandle {
+    /// A handle that records nothing.
+    pub fn disabled() -> Self {
+        TelemetryHandle {
+            inner: None,
+            shard: None,
+        }
+    }
+
+    /// Whether this handle records anything. Callers can use this to skip
+    /// building event arguments that are themselves costly.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Increments a counter by one.
+    #[inline]
+    pub fn count(&self, m: Metric) {
+        self.add(m, 1);
+    }
+
+    /// Increments a counter by `n`.
+    #[inline]
+    pub fn add(&self, m: Metric, n: u64) {
+        if let Some(shard) = &self.shard {
+            shard.add(m, n);
+        }
+    }
+
+    /// Emits one lifecycle trace event.
+    #[inline]
+    pub fn event(&self, ts_ns: Ns, vm: u32, vsq: u16, tag: u16, stage: Stage, path: PathKind) {
+        if let Some(inner) = &self.inner {
+            inner.ring.push(TraceEvent {
+                ts_ns,
+                vm,
+                vsq,
+                tag,
+                stage,
+                path,
+            });
+        }
+    }
+
+    /// Emits a below-router event (device/kernel/UIF), which only knows the
+    /// routing tag.
+    #[inline]
+    pub fn tag_event(&self, ts_ns: Ns, tag: u16, stage: Stage, path: PathKind) {
+        self.event(ts_ns, VM_ANY, 0, tag, stage, path);
+    }
+
+    /// Records one completed request's VSQ→VCQ latency under its route.
+    #[inline]
+    pub fn route_latency(&self, route: Route, ns: u64) {
+        if let Some(shard) = &self.shard {
+            shard.record_route(route, ns);
+        }
+    }
+
+    /// Records one stage-segment duration.
+    #[inline]
+    pub fn segment(&self, seg: Segment, ns: u64) {
+        if let Some(shard) = &self.shard {
+            shard.record_segment(seg, ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        let h = t.register_worker();
+        assert!(!h.enabled());
+        h.count(Metric::Accepted);
+        h.event(1, 0, 0, 0, Stage::VsqFetch, PathKind::None);
+        h.route_latency(Route::Fast, 100);
+        h.segment(Segment::IngressToDispatch, 10);
+        let s = t.snapshot();
+        assert_eq!(s.get(Metric::Accepted), 0);
+        assert!(s.events.is_empty());
+    }
+
+    #[test]
+    fn default_handle_is_disabled() {
+        let h = TelemetryHandle::default();
+        assert!(!h.enabled());
+    }
+
+    #[test]
+    fn counters_aggregate_across_workers() {
+        let t = Telemetry::enabled();
+        let a = t.register_worker();
+        let b = t.register_worker();
+        a.count(Metric::Accepted);
+        a.add(Metric::Accepted, 4);
+        b.add(Metric::Accepted, 10);
+        b.count(Metric::DeviceIos);
+        let s = t.snapshot();
+        assert_eq!(s.get(Metric::Accepted), 15);
+        assert_eq!(s.get(Metric::DeviceIos), 1);
+    }
+
+    #[test]
+    fn events_and_latency_reach_snapshot() {
+        let t = Telemetry::with_config(TelemetryConfig { trace_capacity: 16 });
+        let h = t.register_worker();
+        h.event(100, 3, 0, 9, Stage::VsqFetch, PathKind::None);
+        h.event(110, 3, 0, 9, Stage::Dispatched, PathKind::Kernel);
+        h.tag_event(150, 9, Stage::KernelService, PathKind::Kernel);
+        h.event(160, 3, 0, 9, Stage::VcqComplete, PathKind::None);
+        h.route_latency(Route::Kernel, 60);
+        h.segment(Segment::DispatchToService, 40);
+        let s = t.snapshot();
+        assert_eq!(s.events.len(), 4);
+        assert_eq!(s.route_hist(Route::Kernel).count(), 1);
+        assert_eq!(s.route_hist(Route::Kernel).max(), 60);
+        assert_eq!(s.segment_hist(Segment::DispatchToService).max(), 40);
+        let stages = s.lifecycle_stages(3, 0, 9);
+        assert_eq!(
+            stages,
+            vec![
+                Stage::VsqFetch,
+                Stage::Dispatched,
+                Stage::KernelService,
+                Stage::VcqComplete
+            ]
+        );
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = Telemetry::enabled();
+        let t2 = t.clone();
+        let h = t.register_worker();
+        h.count(Metric::Completed);
+        assert_eq!(t2.snapshot().get(Metric::Completed), 1);
+    }
+}

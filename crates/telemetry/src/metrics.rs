@@ -1,0 +1,214 @@
+//! Sharded lock-free metric counters.
+//!
+//! Each registered worker gets its own cacheline-padded cell of relaxed
+//! atomics, so hot-path increments never bounce a line between cores; the
+//! snapshot path sums across shards. Latency histograms live behind a
+//! per-shard mutex that is uncontended on the hot path (only that worker
+//! records into it) and is taken across shards only at snapshot time.
+
+use crate::event::{Route, Segment};
+use nvmetro_stats::Histogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Every counter the datapath exports, one fixed slot per variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Metric {
+    /// Commands accepted from guest VSQs.
+    Accepted = 0,
+    /// Classifier program executions (all hooks).
+    ClassifierRuns = 1,
+    /// Commands sent to the device hardware queue.
+    SentFast = 2,
+    /// Commands sent to the kernel path.
+    SentKernel = 3,
+    /// Commands sent to the notify path.
+    SentNotify = 4,
+    /// Commands sent to more than one path at once.
+    Multicasts = 5,
+    /// CQEs posted back to guest VCQs.
+    Completed = 6,
+    /// Requests completed with an error status.
+    Errors = 7,
+    /// Spurious/unmatched completions observed.
+    Spurious = 8,
+    /// I/Os the physical device serviced.
+    DeviceIos = 9,
+    /// I/Os the kernel block/DM stack serviced.
+    KernelIos = 10,
+    /// Notify-path requests handed to a UIF.
+    UifRequests = 11,
+    /// UIF responses returned over the NCQ.
+    UifResponses = 12,
+    /// Backend I/Os issued by UIFs.
+    UifBackendIos = 13,
+    /// Completions that re-entered a classifier hook.
+    HookReentries = 14,
+    /// Admin commands served by a virtual controller.
+    AdminCmds = 15,
+    /// Encrypt/decrypt operations performed by the encryption function.
+    CryptoOps = 16,
+    /// Writes the replication function forwarded to the secondary.
+    ReplicaWrites = 17,
+}
+
+impl Metric {
+    /// Number of metric slots.
+    pub const COUNT: usize = 18;
+
+    /// All metrics in slot order.
+    pub const ALL: [Metric; Metric::COUNT] = [
+        Metric::Accepted,
+        Metric::ClassifierRuns,
+        Metric::SentFast,
+        Metric::SentKernel,
+        Metric::SentNotify,
+        Metric::Multicasts,
+        Metric::Completed,
+        Metric::Errors,
+        Metric::Spurious,
+        Metric::DeviceIos,
+        Metric::KernelIos,
+        Metric::UifRequests,
+        Metric::UifResponses,
+        Metric::UifBackendIos,
+        Metric::HookReentries,
+        Metric::AdminCmds,
+        Metric::CryptoOps,
+        Metric::ReplicaWrites,
+    ];
+
+    /// Stable snake_case name for tables and JSON export.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::Accepted => "accepted",
+            Metric::ClassifierRuns => "classifier_runs",
+            Metric::SentFast => "sent_fast",
+            Metric::SentKernel => "sent_kernel",
+            Metric::SentNotify => "sent_notify",
+            Metric::Multicasts => "multicasts",
+            Metric::Completed => "completed",
+            Metric::Errors => "errors",
+            Metric::Spurious => "spurious",
+            Metric::DeviceIos => "device_ios",
+            Metric::KernelIos => "kernel_ios",
+            Metric::UifRequests => "uif_requests",
+            Metric::UifResponses => "uif_responses",
+            Metric::UifBackendIos => "uif_backend_ios",
+            Metric::HookReentries => "hook_reentries",
+            Metric::AdminCmds => "admin_cmds",
+            Metric::CryptoOps => "crypto_ops",
+            Metric::ReplicaWrites => "replica_writes",
+        }
+    }
+}
+
+pub(crate) struct ShardHists {
+    pub route: [Histogram; Route::COUNT],
+    pub segment: [Histogram; Segment::COUNT],
+}
+
+impl ShardHists {
+    fn new() -> Self {
+        ShardHists {
+            route: std::array::from_fn(|_| Histogram::new()),
+            segment: std::array::from_fn(|_| Histogram::new()),
+        }
+    }
+}
+
+/// One worker's private metric cell. Aligned out to its own cache line so
+/// two workers' relaxed increments never share a line.
+#[repr(align(128))]
+pub(crate) struct Shard {
+    counters: [AtomicU64; Metric::COUNT],
+    hists: Mutex<ShardHists>,
+}
+
+impl Shard {
+    pub(crate) fn new() -> Self {
+        Shard {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            hists: Mutex::new(ShardHists::new()),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn add(&self, m: Metric, n: u64) {
+        self.counters[m as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_route(&self, route: Route, ns: u64) {
+        self.hists.lock().unwrap().route[route as usize].record(ns);
+    }
+
+    #[inline]
+    pub(crate) fn record_segment(&self, seg: Segment, ns: u64) {
+        self.hists.lock().unwrap().segment[seg as usize].record(ns);
+    }
+
+    pub(crate) fn counter(&self, m: Metric) -> u64 {
+        self.counters[m as usize].load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn merge_hists_into(
+        &self,
+        route: &mut [Histogram; Route::COUNT],
+        segment: &mut [Histogram; Segment::COUNT],
+    ) {
+        let h = self.hists.lock().unwrap();
+        for (dst, src) in route.iter_mut().zip(h.route.iter()) {
+            dst.merge(src);
+        }
+        for (dst, src) in segment.iter_mut().zip(h.segment.iter()) {
+            dst.merge(src);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_counts_and_reads_back() {
+        let s = Shard::new();
+        s.add(Metric::Accepted, 3);
+        s.add(Metric::Accepted, 2);
+        s.add(Metric::Errors, 1);
+        assert_eq!(s.counter(Metric::Accepted), 5);
+        assert_eq!(s.counter(Metric::Errors), 1);
+        assert_eq!(s.counter(Metric::Completed), 0);
+    }
+
+    #[test]
+    fn shard_is_cacheline_padded() {
+        assert_eq!(std::mem::align_of::<Shard>(), 128);
+    }
+
+    #[test]
+    fn histograms_merge_across_shards() {
+        let a = Shard::new();
+        let b = Shard::new();
+        a.record_route(Route::Fast, 100);
+        b.record_route(Route::Fast, 300);
+        b.record_segment(Segment::DispatchToService, 50);
+        let mut route: [Histogram; Route::COUNT] = std::array::from_fn(|_| Histogram::new());
+        let mut seg: [Histogram; Segment::COUNT] = std::array::from_fn(|_| Histogram::new());
+        a.merge_hists_into(&mut route, &mut seg);
+        b.merge_hists_into(&mut route, &mut seg);
+        assert_eq!(route[Route::Fast as usize].count(), 2);
+        assert_eq!(route[Route::Fast as usize].min(), 100);
+        assert_eq!(seg[Segment::DispatchToService as usize].count(), 1);
+    }
+
+    #[test]
+    fn metric_names_are_unique() {
+        let mut names: Vec<&str> = Metric::ALL.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Metric::COUNT);
+    }
+}

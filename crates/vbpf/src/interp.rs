@@ -187,13 +187,7 @@ impl Vm {
                             return Ok(regs[R0 as usize]);
                         }
                         JMP_CALL => {
-                            self.call_helper(
-                                ctx,
-                                &mut stack,
-                                &mut regs,
-                                insn.imm as u32,
-                                pc,
-                            )?;
+                            self.call_helper(ctx, &mut stack, &mut regs, insn.imm as u32, pc)?;
                             pc += 1;
                         }
                         _ => {
@@ -259,12 +253,7 @@ impl Vm {
             let map = (rel >> MAP_IDX_SHIFT) as usize;
             let off = (rel & MAP_OFF_MASK) as usize;
             let m = self.maps.get(map).ok_or(oob)?;
-            let storage = m
-                .get(0)
-                .map(|_| ())
-                .and_then(|_| Some(()))
-                .ok_or(oob)?;
-            let _ = storage;
+            m.get(0).ok_or(oob)?;
             let total = m.def().value_size * m.def().max_entries as usize;
             if off + size > total {
                 return Err(oob);
@@ -369,17 +358,13 @@ impl Vm {
                 };
                 let mut value = vec![0u8; vsize];
                 for (i, b) in value.iter_mut().enumerate() {
-                    *b = self.mem_read(
-                        ctx,
-                        stack,
-                        regs[R3 as usize].wrapping_add(i as u64),
-                        1,
-                        pc,
-                    )? as u8;
+                    *b =
+                        self.mem_read(ctx, stack, regs[R3 as usize].wrapping_add(i as u64), 1, pc)?
+                            as u8;
                 }
                 match self.maps.get_mut(map_idx).unwrap().update(key, &value) {
                     Ok(()) => 0,
-                    Err(()) => u64::MAX,
+                    Err(_) => u64::MAX,
                 }
             }
             helpers::KTIME_NS => self.time_ns,
@@ -426,13 +411,7 @@ fn exec_alu(
             ALU_ADD => a.wrapping_add(b),
             ALU_SUB => a.wrapping_sub(b),
             ALU_MUL => a.wrapping_mul(b),
-            ALU_DIV => {
-                if b == 0 {
-                    0
-                } else {
-                    a / b
-                }
-            }
+            ALU_DIV => a.checked_div(b).unwrap_or(0),
             ALU_MOD => {
                 if b == 0 {
                     a
@@ -455,13 +434,7 @@ fn exec_alu(
             ALU_ADD => a32.wrapping_add(b32),
             ALU_SUB => a32.wrapping_sub(b32),
             ALU_MUL => a32.wrapping_mul(b32),
-            ALU_DIV => {
-                if b32 == 0 {
-                    0
-                } else {
-                    a32 / b32
-                }
-            }
+            ALU_DIV => a32.checked_div(b32).unwrap_or(0),
             ALU_MOD => {
                 if b32 == 0 {
                     a32

@@ -188,7 +188,7 @@ impl Insn {
 
     /// Decodes a full program from wire bytes, pairing `lddw` slots.
     pub fn decode_program(bytes: &[u8]) -> Result<Vec<Insn>, String> {
-        if bytes.len() % 8 != 0 {
+        if !bytes.len().is_multiple_of(8) {
             return Err("program length must be a multiple of 8".into());
         }
         let mut insns = Vec::with_capacity(bytes.len() / 8);
@@ -212,12 +212,8 @@ impl Insn {
                 if i >= bytes.len() {
                     return Err("truncated lddw".into());
                 }
-                let hi = u32::from_le_bytes([
-                    bytes[i + 4],
-                    bytes[i + 5],
-                    bytes[i + 6],
-                    bytes[i + 7],
-                ]);
+                let hi =
+                    u32::from_le_bytes([bytes[i + 4], bytes[i + 5], bytes[i + 6], bytes[i + 7]]);
                 insn.imm = ((insn.imm as u64 & 0xFFFF_FFFF) | ((hi as u64) << 32)) as i64;
                 i += 8;
             }

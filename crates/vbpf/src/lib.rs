@@ -33,7 +33,7 @@ pub use disasm::disasm;
 pub use interp::{ExecError, Vm, VmConfig};
 pub use isa::{Insn, Reg};
 pub use maps::{ArrayMap, MapDef};
-pub use verifier::{verify, VerifyError, VerifierConfig};
+pub use verifier::{verify, VerifierConfig, VerifyError};
 
 /// A verified, executable vbpf program.
 ///

@@ -14,6 +14,18 @@ pub struct MapDef {
     pub max_entries: u32,
 }
 
+/// A rejected map operation (key out of range or value-size mismatch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MapError;
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "map key out of range or value size mismatch")
+    }
+}
+
+impl std::error::Error for MapError {}
+
 /// An array map instance.
 #[derive(Clone, Debug)]
 pub struct ArrayMap {
@@ -57,11 +69,11 @@ impl ArrayMap {
     }
 
     /// Overwrites a slot from `value` (must match `value_size`).
-    pub fn update(&mut self, key: u32, value: &[u8]) -> Result<(), ()> {
+    pub fn update(&mut self, key: u32, value: &[u8]) -> Result<(), MapError> {
         if value.len() != self.def.value_size {
-            return Err(());
+            return Err(MapError);
         }
-        let slot = self.get_mut(key).ok_or(())?;
+        let slot = self.get_mut(key).ok_or(MapError)?;
         slot.copy_from_slice(value);
         Ok(())
     }
@@ -76,10 +88,10 @@ impl ArrayMap {
     }
 
     /// Convenience: writes a little-endian u64 at the start of a slot.
-    pub fn set_u64(&mut self, key: u32, value: u64) -> Result<(), ()> {
-        let slot = self.get_mut(key).ok_or(())?;
+    pub fn set_u64(&mut self, key: u32, value: u64) -> Result<(), MapError> {
+        let slot = self.get_mut(key).ok_or(MapError)?;
         if slot.len() < 8 {
-            return Err(());
+            return Err(MapError);
         }
         slot[..8].copy_from_slice(&value.to_le_bytes());
         Ok(())

@@ -127,16 +127,19 @@ impl State {
 
     fn merge(&self, other: &State) -> State {
         let mut regs = [RType::Uninit; NUM_REGS];
-        for i in 0..NUM_REGS {
-            regs[i] = match (self.regs[i], other.regs[i]) {
+        for (r, (&a, &b)) in regs.iter_mut().zip(self.regs.iter().zip(other.regs.iter())) {
+            *r = match (a, b) {
                 (a, b) if a == b => a,
                 (RType::Scalar { .. }, RType::Scalar { .. }) => RType::scalar(),
                 _ => RType::Uninit,
             };
         }
         let mut stack_init = [false; STACK_SIZE];
-        for i in 0..STACK_SIZE {
-            stack_init[i] = self.stack_init[i] && other.stack_init[i];
+        for (s, (&a, &b)) in stack_init
+            .iter_mut()
+            .zip(self.stack_init.iter().zip(other.stack_init.iter()))
+        {
+            *s = a && b;
         }
         State { regs, stack_init }
     }
@@ -244,7 +247,7 @@ impl<'a> Verifier<'a> {
                 if a < 0 || (a as usize) + size > self.cfg.ctx_size {
                     return Err(VerifyError::BadAccess { pc });
                 }
-                if a as usize % size != 0 {
+                if !(a as usize).is_multiple_of(size) {
                     return Err(VerifyError::BadAccess { pc });
                 }
                 if write {
@@ -283,7 +286,9 @@ impl<'a> Verifier<'a> {
 
     fn mark_stack_written(st: &mut State, base: i64, off: i64, size: usize) {
         let a = (base + off + STACK_SIZE as i64) as usize;
-        st.stack_init[a..a + size].iter_mut().for_each(|b| *b = true);
+        st.stack_init[a..a + size]
+            .iter_mut()
+            .for_each(|b| *b = true);
     }
 
     /// Checks that `reg` points at `size` readable bytes (helper argument).
@@ -532,8 +537,8 @@ impl<'a> Verifier<'a> {
                     && matches!(jmpop, JMP_JEQ | JMP_JNE);
                 if !null_check {
                     let ok_dst = matches!(dst_t, RType::Scalar { .. });
-                    let ok_src = !use_reg
-                        || matches!(st.regs[insn.src as usize], RType::Scalar { .. });
+                    let ok_src =
+                        !use_reg || matches!(st.regs[insn.src as usize], RType::Scalar { .. });
                     if !ok_dst || !ok_src {
                         return Err(VerifyError::BadAluType { pc });
                     }
@@ -551,10 +556,8 @@ impl<'a> Verifier<'a> {
                         } else {
                             (&mut fall, &mut taken)
                         };
-                        null_state.regs[insn.dst as usize] =
-                            RType::Scalar { known: Some(0) };
-                        nonnull_state.regs[insn.dst as usize] =
-                            RType::MapValue { map, off: 0 };
+                        null_state.regs[insn.dst as usize] = RType::Scalar { known: Some(0) };
+                        nonnull_state.regs[insn.dst as usize] = RType::MapValue { map, off: 0 };
                     }
                 }
                 self.flow_to(pc, target as usize, taken)?;
@@ -574,8 +577,7 @@ impl<'a> Verifier<'a> {
         use crate::interp::helpers::*;
         let ret = match helper {
             MAP_LOOKUP => {
-                let map = Self::known_const(st, R1)
-                    .ok_or(VerifyError::BadMapRef { pc })? as usize;
+                let map = Self::known_const(st, R1).ok_or(VerifyError::BadMapRef { pc })? as usize;
                 if map >= self.maps.len() {
                     return Err(VerifyError::BadMapRef { pc });
                 }
@@ -583,8 +585,7 @@ impl<'a> Verifier<'a> {
                 RType::MaybeNullMapValue { map: map as u32 }
             }
             MAP_UPDATE => {
-                let map = Self::known_const(st, R1)
-                    .ok_or(VerifyError::BadMapRef { pc })? as usize;
+                let map = Self::known_const(st, R1).ok_or(VerifyError::BadMapRef { pc })? as usize;
                 if map >= self.maps.len() {
                     return Err(VerifyError::BadMapRef { pc });
                 }
@@ -618,20 +619,8 @@ fn eval_alu(aluop: u8, is64: bool, a: u64, b: u64) -> Option<u64> {
         ALU_ADD => a.wrapping_add(b),
         ALU_SUB => a.wrapping_sub(b),
         ALU_MUL => a.wrapping_mul(b),
-        ALU_DIV => {
-            if b == 0 {
-                0
-            } else {
-                a / b
-            }
-        }
-        ALU_MOD => {
-            if b == 0 {
-                a
-            } else {
-                a % b
-            }
-        }
+        ALU_DIV => a.checked_div(b).unwrap_or(0),
+        ALU_MOD => a.checked_rem(b).unwrap_or(a),
         ALU_OR => a | b,
         ALU_AND => a & b,
         ALU_XOR => a ^ b,
@@ -858,7 +847,10 @@ mod tests {
     #[test]
     fn pointer_multiplication_rejected() {
         let mut b = ProgramBuilder::new();
-        b.mov64(R2, R1).alu64_imm(ALU_MUL, R2, 2).mov64_imm(R0, 0).exit();
+        b.mov64(R2, R1)
+            .alu64_imm(ALU_MUL, R2, 2)
+            .mov64_imm(R0, 0)
+            .exit();
         assert_eq!(check(b).unwrap_err(), VerifyError::BadAluType { pc: 1 });
     }
 

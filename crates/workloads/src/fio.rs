@@ -4,9 +4,9 @@ use nvmetro_nvme::{CqConsumer, SqProducer, SubmissionEntry, LBA_SIZE};
 use nvmetro_sim::cost::CostModel;
 use nvmetro_sim::{Actor, CpuMode, Ns, Progress, SimRng, SEC};
 use nvmetro_stats::Histogram;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// fio benchmark modes (Table II's abbreviations).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,7 +40,10 @@ impl FioMode {
 
     /// True for the random-access modes.
     pub fn is_random(self) -> bool {
-        matches!(self, FioMode::RandRead | FioMode::RandWrite | FioMode::RandRw)
+        matches!(
+            self,
+            FioMode::RandRead | FioMode::RandWrite | FioMode::RandRw
+        )
     }
 }
 
@@ -191,9 +194,7 @@ impl FioJob {
     ) -> (Self, Arc<JobStats>) {
         let stats = Arc::new(JobStats::default());
         let qd = cfg.qd as usize;
-        let rate_interval = cfg
-            .rate_iops
-            .map(|r| (SEC as f64 / r as f64) as Ns);
+        let rate_interval = cfg.rate_iops.map(|r| (SEC as f64 / r as f64) as Ns);
         let stop_at = cfg.duration;
         let job = FioJob {
             name: name.to_string(),
@@ -286,7 +287,7 @@ impl Actor for FioJob {
             progressed = true;
             let slot = cqe.cid as usize;
             let lat = now.saturating_sub(self.submit_time[slot]);
-            self.stats.latency.lock().record(lat);
+            self.stats.latency.lock().unwrap().record(lat);
             self.stats.completed.fetch_add(1, Ordering::Relaxed);
             if cqe.status().is_error() {
                 self.stats.errors.fetch_add(1, Ordering::Relaxed);
@@ -337,9 +338,13 @@ mod tests {
         let configs = table2_configs();
         // 3 random modes x 3 + 3 seq modes x 4 + 128K: (2+1+2) x 2 = 31.
         assert_eq!(configs.len(), 9 + 12 + 10);
-        assert!(configs.iter().any(|c| c.label() == "bs=512B qd=128 jobs=4 RRW"));
+        assert!(configs
+            .iter()
+            .any(|c| c.label() == "bs=512B qd=128 jobs=4 RRW"));
         assert!(configs.iter().any(|c| c.label() == "bs=16K qd=1 jobs=4 SW"));
-        assert!(configs.iter().any(|c| c.label() == "bs=128K qd=128 jobs=1 SR"));
+        assert!(configs
+            .iter()
+            .any(|c| c.label() == "bs=128K qd=128 jobs=1 SR"));
     }
 
     #[test]
@@ -365,11 +370,14 @@ mod tests {
             FioJob::new("job", cfg, CostModel::default(), sq_p, cq_c, 0, 1 << 20, 2);
         job.poll(0);
         let (cmd, _) = sq_c.pop().unwrap();
-        cq_p.push(nvmetro_nvme::CompletionEntry::new(cmd.cid, nvmetro_nvme::Status::SUCCESS))
-            .unwrap();
+        cq_p.push(nvmetro_nvme::CompletionEntry::new(
+            cmd.cid,
+            nvmetro_nvme::Status::SUCCESS,
+        ))
+        .unwrap();
         job.poll(50_000);
         assert_eq!(stats.completed.load(Ordering::Relaxed), 1);
-        assert_eq!(stats.latency.lock().median(), 50_000);
+        assert_eq!(stats.latency.lock().unwrap().median(), 50_000);
         // Slot reused: 3 submitted total.
         assert_eq!(stats.submitted.load(Ordering::Relaxed), 3);
     }
@@ -394,8 +402,16 @@ mod tests {
         let (sq_p, sq_c) = SqPair::new(256);
         let (_cq_p, cq_c) = CqPair::new(256);
         let cfg = FioConfig::new(4096, FioMode::SeqRead, 4, 1);
-        let (mut job, _) =
-            FioJob::new("job", cfg, CostModel::default(), sq_p, cq_c, 1000, 1 << 20, 4);
+        let (mut job, _) = FioJob::new(
+            "job",
+            cfg,
+            CostModel::default(),
+            sq_p,
+            cq_c,
+            1000,
+            1 << 20,
+            4,
+        );
         job.poll(0);
         let lbas: Vec<u64> = std::iter::from_fn(|| sq_c.pop().map(|(c, _)| c.slba())).collect();
         assert_eq!(lbas, vec![1000, 1008, 1016, 1024]);

@@ -17,6 +17,7 @@ use nvmetro_mem::GuestMemory;
 use nvmetro_nvme::{CqPair, SqPair};
 use nvmetro_sim::cost::CostModel;
 use nvmetro_sim::{Actor, CpuMode, Executor, Ns, Progress};
+use nvmetro_telemetry::Telemetry;
 use std::sync::Arc;
 
 /// Which storage-virtualization solution to build (§V-B/C/D comparators).
@@ -89,6 +90,10 @@ pub struct RigOptions {
     pub capacity_lbas: u64,
     /// RNG seed.
     pub seed: u64,
+    /// Telemetry registry; disabled by default. When enabled, every actor
+    /// built here registers a worker shard and the rig's routers, devices,
+    /// kernel paths, and UIFs emit lifecycle events into it.
+    pub telemetry: Telemetry,
 }
 
 impl Default for RigOptions {
@@ -98,6 +103,7 @@ impl Default for RigOptions {
             vms: 1,
             capacity_lbas: 1 << 24, // 8 GiB span: enough spread, fast sim
             seed: 42,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -194,17 +200,22 @@ where
     ) -> Box<dyn Actor>,
 {
     let cost = opts.cost.clone();
+    let telemetry = opts.telemetry.clone();
     let mut ex = Executor::new();
 
     // The physical device (data movement off: perf runs model costs only).
-    let mut ssd = SimSsd::new("ssd", SsdConfig {
-        capacity_lbas: opts.capacity_lbas,
-        cost: cost.clone(),
-        move_data: false,
-        seed: opts.seed,
-        transport: None,
-        fail_rate: 0.0,
-    });
+    let mut ssd = SimSsd::new(
+        "ssd",
+        SsdConfig {
+            capacity_lbas: opts.capacity_lbas,
+            cost: cost.clone(),
+            move_data: false,
+            seed: opts.seed,
+            transport: None,
+            fail_rate: 0.0,
+        },
+    );
+    ssd.set_telemetry(telemetry.register_worker());
 
     // Remote secondary for the replication solutions.
     let needs_remote = matches!(
@@ -212,18 +223,24 @@ where
         SolutionKind::NvmetroReplicate | SolutionKind::DmMirror
     );
     let mut remote = needs_remote.then(|| {
-        SimSsd::new("remote-ssd", SsdConfig {
-            capacity_lbas: opts.capacity_lbas,
-            cost: cost.clone(),
-            move_data: false,
-            seed: opts.seed ^ 0xABCD,
-            transport: Some(Transport {
-                one_way: cost.nvmeof_one_way,
-                per_byte: cost.nvmeof_per_byte,
-            }),
-            fail_rate: 0.0,
-        })
+        SimSsd::new(
+            "remote-ssd",
+            SsdConfig {
+                capacity_lbas: opts.capacity_lbas,
+                cost: cost.clone(),
+                move_data: false,
+                seed: opts.seed ^ 0xABCD,
+                transport: Some(Transport {
+                    one_way: cost.nvmeof_one_way,
+                    per_byte: cost.nvmeof_per_byte,
+                }),
+                fail_rate: 0.0,
+            },
+        )
     });
+    if let Some(remote) = remote.as_mut() {
+        remote.set_telemetry(telemetry.register_worker());
+    }
 
     let part_lbas = opts.capacity_lbas / opts.vms as u64;
     let depth = ring_depth(qd);
@@ -239,6 +256,9 @@ where
         SolutionKind::Mdev => Some(build_mdev_router(&cost, table_capacity)),
         _ => None,
     };
+    if let Some(router) = router.as_mut() {
+        router.set_telemetry(telemetry.register_worker());
+    }
 
     for vm in 0..opts.vms {
         let partition = Partition {
@@ -304,7 +324,7 @@ where
                 let host_mem = Arc::new(GuestMemory::new(1 << 24));
                 ssd.add_queue(bsq_c, bcq_p, host_mem.clone(), CompletionMode::Polled);
                 let workers = if sgx { 1 } else { cost.uif_crypto_threads };
-                let runner = UifRunner::new(
+                let mut runner = UifRunner::new(
                     &format!("uif-encrypt-vm{vm}"),
                     cost.clone(),
                     nsq_c,
@@ -312,13 +332,14 @@ where
                     mem.clone(),
                     (bsq_p, bcq_c),
                     host_mem,
-                    Box::new(EncryptorUif::new(
-                        CryptoBackend::ModelOnly { sgx },
-                        partition.lba_offset,
-                    )),
+                    Box::new(
+                        EncryptorUif::new(CryptoBackend::ModelOnly { sgx }, partition.lba_offset)
+                            .with_telemetry(telemetry.register_worker()),
+                    ),
                     workers,
                     false,
                 );
+                runner.set_telemetry(telemetry.register_worker());
                 ex.add(Box::new(runner));
                 // The SGX switchless thread parks when no calls are
                 // pending; its steady-state CPU is inside the runner's
@@ -336,9 +357,7 @@ where
                         nsq: nsq_p,
                         ncq: ncq_c,
                     }),
-                    classifier: Classifier::Bpf(build_encryptor_classifier(
-                        partition.lba_offset,
-                    )),
+                    classifier: Classifier::Bpf(build_encryptor_classifier(partition.lba_offset)),
                 });
             }
             SolutionKind::NvmetroReplicate => {
@@ -357,7 +376,7 @@ where
                     host_mem.clone(),
                     CompletionMode::Polled,
                 );
-                let runner = UifRunner::new(
+                let mut runner = UifRunner::new(
                     &format!("uif-replicate-vm{vm}"),
                     cost.clone(),
                     nsq_c,
@@ -365,10 +384,11 @@ where
                     mem.clone(),
                     (bsq_p, bcq_c),
                     host_mem,
-                    Box::new(ReplicatorUif::new()),
+                    Box::new(ReplicatorUif::new().with_telemetry(telemetry.register_worker())),
                     1,
                     false,
                 );
+                runner.set_telemetry(telemetry.register_worker());
                 ex.add(Box::new(runner));
                 router.as_mut().unwrap().bind_vm(VmBinding {
                     vm_id: vm as u32,
@@ -383,9 +403,7 @@ where
                         nsq: nsq_p,
                         ncq: ncq_c,
                     }),
-                    classifier: Classifier::Bpf(build_replicator_classifier(
-                        partition.lba_offset,
-                    )),
+                    classifier: Classifier::Bpf(build_replicator_classifier(partition.lba_offset)),
                 });
             }
             SolutionKind::Vhost | SolutionKind::DmCrypt | SolutionKind::DmMirror => {

@@ -54,7 +54,7 @@ pub fn run_fio(kind: SolutionKind, cfg: &FioConfig, opts: &RigOptions) -> FioRes
     let mut completed = 0u64;
     let mut errors = 0u64;
     for job in &rig.jobs {
-        hist.merge(&job.latency.lock());
+        hist.merge(&job.latency.lock().unwrap());
         completed += job.completed.load(std::sync::atomic::Ordering::Relaxed);
         errors += job.errors.load(std::sync::atomic::Ordering::Relaxed);
     }
@@ -97,7 +97,12 @@ mod tests {
                 &RigOptions::default(),
             );
             assert_eq!(r.errors, 0, "{:?} produced errors", kind);
-            assert!(r.completed > 50, "{:?} completed only {}", kind, r.completed);
+            assert!(
+                r.completed > 50,
+                "{:?} completed only {}",
+                kind,
+                r.completed
+            );
             assert!(r.median_ns > 0);
         }
     }
@@ -117,7 +122,12 @@ mod tests {
                 &RigOptions::default(),
             );
             assert_eq!(r.errors, 0, "{:?} produced errors", kind);
-            assert!(r.completed > 50, "{:?} completed only {}", kind, r.completed);
+            assert!(
+                r.completed > 50,
+                "{:?} completed only {}",
+                kind,
+                r.completed
+            );
         }
     }
 
@@ -174,8 +184,10 @@ mod tests {
 
     #[test]
     fn multi_vm_rig_scales_out() {
-        let mut opts = RigOptions::default();
-        opts.vms = 4;
+        let opts = RigOptions {
+            vms: 4,
+            ..Default::default()
+        };
         // QD1 so a single VM is far from device saturation.
         let cfg = quick(512, FioMode::RandRead, 1, 1);
         let r = run_fio(SolutionKind::Nvmetro, &cfg, &opts);

@@ -147,9 +147,7 @@ impl ZipfianGenerator {
     /// Builds a generator over `[0, n)` with the standard constant 0.99.
     pub fn new(n: u64) -> Self {
         let theta = 0.99;
-        let zeta = |count: u64| -> f64 {
-            (1..=count).map(|i| 1.0 / (i as f64).powf(theta)).sum()
-        };
+        let zeta = |count: u64| -> f64 { (1..=count).map(|i| 1.0 / (i as f64).powf(theta)).sum() };
         // Exact zeta for small n; sampled approximation for large n keeps
         // construction O(100k) while staying within ~1% of exact.
         let zetan = if n <= 1_000_000 {
@@ -484,13 +482,13 @@ impl YcsbJob {
             this.updates += 1;
             // Buffered WAL: only every Nth update issues a blocking write
             // (group commit); the rest stay in memory.
-            if this.updates % this.model.wal_sync_every == 0 {
+            if this.updates.is_multiple_of(this.model.wal_sync_every) {
                 this.steps.push(Step {
                     write: true,
                     bytes: this.model.wal_bytes,
                 });
             }
-            if this.updates % this.model.ops_per_flush == 0 {
+            if this.updates.is_multiple_of(this.model.ops_per_flush) {
                 this.flushes += 1;
                 for _ in 0..this.model.flush_writes {
                     this.steps.push(Step {
@@ -498,7 +496,10 @@ impl YcsbJob {
                         bytes: 128 * 1024,
                     });
                 }
-                if this.flushes % this.model.flushes_per_compaction == 0 {
+                if this
+                    .flushes
+                    .is_multiple_of(this.model.flushes_per_compaction)
+                {
                     for i in 0..this.model.compaction_ios {
                         this.steps.push(Step {
                             write: i % 2 == 1,
@@ -655,9 +656,7 @@ pub fn run_ycsb(
     let extra = |kind: SolutionKind| -> Ns {
         match kind {
             SolutionKind::Passthrough => 0, // device model injects already
-            SolutionKind::Vhost
-            | SolutionKind::DmCrypt
-            | SolutionKind::DmMirror => 0, // stack models it
+            SolutionKind::Vhost | SolutionKind::DmCrypt | SolutionKind::DmMirror => 0, // stack models it
             // QEMU sync I/O additionally waits out the main-loop eventfd
             // round and guest block softirq.
             SolutionKind::Qemu => 30 * US,
@@ -734,7 +733,11 @@ mod tests {
         for w in YcsbWorkload::all() {
             let s = w.spec();
             let sum = s.read + s.update + s.insert + s.scan + s.rmw;
-            assert!((sum - 1.0).abs() < 1e-9, "workload {} sums {sum}", w.label());
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "workload {} sums {sum}",
+                w.label()
+            );
         }
     }
 

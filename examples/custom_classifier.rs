@@ -14,9 +14,7 @@
 //! cargo run --release --example custom_classifier
 //! ```
 
-use nvmetro::core::classify::{
-    classifier_verifier_config, ctx_offsets, verdict_bits, Classifier,
-};
+use nvmetro::core::classify::{classifier_verifier_config, ctx_offsets, verdict_bits, Classifier};
 use nvmetro::core::router::{Router, VmBinding};
 use nvmetro::core::{Partition, VirtualController, VmConfig};
 use nvmetro::device::{CompletionMode, SimSsd, SsdConfig};
@@ -60,11 +58,8 @@ fn build_qos_classifier() -> Vm {
         .ldx(SIZE_DW, R4, R7, ctx_offsets::SLBA)
         .jmp_imm(JMP_JLT, R4, PROTECTED_LBAS, protected);
     b.bind(pass);
-    b.lddw(
-        R0,
-        verdict_bits::SEND_HQ | verdict_bits::WILL_COMPLETE_HQ,
-    )
-    .exit();
+    b.lddw(R0, verdict_bits::SEND_HQ | verdict_bits::WILL_COMPLETE_HQ)
+        .exit();
     b.bind(protected);
     // Complete immediately with "write fault" — the device never sees it.
     b.mov64_imm(R0, Status::WRITE_FAULT.0 as i32)
@@ -128,7 +123,11 @@ fn main() {
     while let Some(cqe) = guest_cq.pop() {
         statuses.insert(cqe.cid, cqe.status());
     }
-    assert_eq!(statuses[&1], Status::WRITE_FAULT, "protected write rejected");
+    assert_eq!(
+        statuses[&1],
+        Status::WRITE_FAULT,
+        "protected write rejected"
+    );
     assert_eq!(statuses[&2], Status::SUCCESS, "normal write passes");
     assert_eq!(statuses[&3], Status::SUCCESS, "read passes");
     println!("write-protection verdicts: {:?}", statuses);

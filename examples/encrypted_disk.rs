@@ -31,10 +31,13 @@ fn main() {
     let key = vec![0x42u8; 64]; // XTS-AES-256 (dm-crypt default width)
     let cost = CostModel::default();
 
-    let mut ssd = SimSsd::new("ssd", SsdConfig {
-        capacity_lbas: 1 << 20,
-        ..Default::default()
-    });
+    let mut ssd = SimSsd::new(
+        "ssd",
+        SsdConfig {
+            capacity_lbas: 1 << 20,
+            ..Default::default()
+        },
+    );
     let store = ssd.store();
 
     let mut vc = VirtualController::new(VmConfig {
@@ -62,10 +65,7 @@ fn main() {
     let host_mem = Arc::new(GuestMemory::new(1 << 28));
     ssd.add_queue(bsq_c, bcq_p, host_mem.clone(), CompletionMode::Polled);
 
-    let uif = EncryptorUif::new(
-        CryptoBackend::Xts(Box::new(Xts::new(&key))),
-        PART_OFFSET,
-    );
+    let uif = EncryptorUif::new(CryptoBackend::Xts(Box::new(Xts::new(&key))), PART_OFFSET);
     let runner = UifRunner::new(
         "uif-encryptor",
         cost.clone(),

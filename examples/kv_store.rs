@@ -103,7 +103,7 @@ impl Storage for NvmeDisk {
         assert!(blocks as usize * LBA_SIZE <= 1 << 20, "write too large");
         let skew = (offset - first * LBA_SIZE as u64) as usize;
         // Read-modify-write when the span is not sector aligned.
-        if skew != 0 || data.len() % LBA_SIZE != 0 {
+        if skew != 0 || !data.len().is_multiple_of(LBA_SIZE) {
             self.io(false, first, blocks);
         }
         self.mem.write(self.bounce + skew as u64, data);
@@ -112,7 +112,8 @@ impl Storage for NvmeDisk {
 
     fn sync(&mut self) {
         // Flush-on-write semantics in this adapter.
-        self.syncs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.syncs
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
     fn syncs(&self) -> u64 {
@@ -122,10 +123,13 @@ impl Storage for NvmeDisk {
 
 fn main() {
     // NVMetro stack on real threads: device + router.
-    let mut ssd = SimSsd::new("ssd", SsdConfig {
-        capacity_lbas: 1 << 20,
-        ..Default::default()
-    });
+    let mut ssd = SimSsd::new(
+        "ssd",
+        SsdConfig {
+            capacity_lbas: 1 << 20,
+            ..Default::default()
+        },
+    );
     let mut vc = VirtualController::new(VmConfig {
         id: 0,
         mem_bytes: 1 << 26,

@@ -12,11 +12,17 @@ use nvmetro::device::{CompletionMode, SimSsd, SsdConfig};
 use nvmetro::nvme::{CqPair, SqPair, SubmissionEntry};
 use nvmetro::sim::cost::CostModel;
 use nvmetro::sim::Executor;
+use nvmetro::telemetry::{lifecycle_table, Telemetry};
 
 fn main() {
+    // 0. A telemetry registry: every worker below registers a shard, and
+    //    the datapath emits lifecycle events into a shared trace ring.
+    let telemetry = Telemetry::enabled();
+
     // 1. A simulated 970-EVO-Plus-class SSD.
     let mut ssd = SimSsd::new("ssd", SsdConfig::default());
     let store = ssd.store();
+    ssd.set_telemetry(telemetry.register_worker());
 
     // 2. A VM with a virtual NVMe controller: one queue pair, 6 GB memory.
     let mut vc = VirtualController::new(VmConfig {
@@ -38,6 +44,7 @@ fn main() {
     // 4. The router, with the paper's dummy classifier — real, verified
     //    vbpf bytecode that returns SEND_HQ | WILL_COMPLETE_HQ.
     let mut router = Router::new("router", CostModel::default(), 1, 1024);
+    router.set_telemetry(telemetry.register_worker());
     router.bind_vm(VmBinding {
         vm_id: 0,
         mem: mem.clone(),
@@ -77,7 +84,19 @@ fn main() {
 
     // The bytes really are on the (virtual) flash:
     assert_eq!(store.read_vec(2048, 8), payload);
-    println!("on-disk bytes verified at LBA 2048 ({} bytes)", payload.len());
+    println!(
+        "on-disk bytes verified at LBA 2048 ({} bytes)",
+        payload.len()
+    );
     println!("per-actor CPU: {:?}", report.actor_cpu);
+
+    // 7. What did the datapath actually do? Ask telemetry: aggregated
+    //    counters, per-route latency, and the write's full lifecycle.
+    let snap = telemetry.snapshot();
+    println!("\n{}", snap.render());
+    if let Some(req) = snap.requests().first() {
+        let life = snap.lifecycle(req.vm, req.vsq, req.tag);
+        println!("{}", lifecycle_table(&life).render());
+    }
     println!("quickstart OK");
 }

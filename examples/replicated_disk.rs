@@ -25,18 +25,24 @@ fn main() {
     let cost = CostModel::default();
 
     // Local primary + Infiniband-attached remote secondary.
-    let mut primary = SimSsd::new("primary", SsdConfig {
-        capacity_lbas: 1 << 20,
-        ..Default::default()
-    });
-    let mut secondary = SimSsd::new("secondary", SsdConfig {
-        capacity_lbas: 1 << 20,
-        transport: Some(Transport {
-            one_way: 10 * US,
-            per_byte: 0.10,
-        }),
-        ..Default::default()
-    });
+    let mut primary = SimSsd::new(
+        "primary",
+        SsdConfig {
+            capacity_lbas: 1 << 20,
+            ..Default::default()
+        },
+    );
+    let mut secondary = SimSsd::new(
+        "secondary",
+        SsdConfig {
+            capacity_lbas: 1 << 20,
+            transport: Some(Transport {
+                one_way: 10 * US,
+                per_byte: 0.10,
+            }),
+            ..Default::default()
+        },
+    );
     let (pstore, sstore) = (primary.store(), secondary.store());
 
     let partition = Partition {

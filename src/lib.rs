@@ -25,6 +25,7 @@
 //! | [`lsmkv`] | the LSM key-value store (RocksDB stand-in) |
 //! | [`sim`] | virtual-time executor, CPU accounting, cost model |
 //! | [`stats`] | histograms and result tables |
+//! | [`telemetry`] | request-lifecycle tracing, sharded metrics, snapshots |
 //!
 //! ## Quickstart
 //!
@@ -42,6 +43,7 @@ pub use nvmetro_mem as mem;
 pub use nvmetro_nvme as nvme;
 pub use nvmetro_sim as sim;
 pub use nvmetro_stats as stats;
+pub use nvmetro_telemetry as telemetry;
 pub use nvmetro_vbpf as vbpf;
 pub use nvmetro_workloads as workloads;
 

@@ -15,12 +15,15 @@ use nvmetro::sim::Executor;
 use std::sync::Arc;
 
 fn flaky_ssd(fail_rate: f64) -> SimSsd {
-    SimSsd::new("flaky", SsdConfig {
-        capacity_lbas: 1 << 20,
-        move_data: false,
-        fail_rate,
-        ..Default::default()
-    })
+    SimSsd::new(
+        "flaky",
+        SsdConfig {
+            capacity_lbas: 1 << 20,
+            move_data: false,
+            fail_rate,
+            ..Default::default()
+        },
+    )
 }
 
 #[test]
@@ -106,7 +109,10 @@ fn encryption_read_hook_forwards_device_errors() {
         mem.clone(),
         (bsq_p, bcq_c),
         host_mem,
-        Box::new(EncryptorUif::new(CryptoBackend::ModelOnly { sgx: false }, 0)),
+        Box::new(EncryptorUif::new(
+            CryptoBackend::ModelOnly { sgx: false },
+            0,
+        )),
         2,
         false,
     );
@@ -180,7 +186,10 @@ fn flaky_device_under_encryption_leaves_no_stuck_requests() {
         mem.clone(),
         (bsq_p, bcq_c),
         host_mem,
-        Box::new(EncryptorUif::new(CryptoBackend::ModelOnly { sgx: false }, 0)),
+        Box::new(EncryptorUif::new(
+            CryptoBackend::ModelOnly { sgx: false },
+            0,
+        )),
         2,
         false,
     );

@@ -171,3 +171,208 @@ fn ycsb_single_job_compresses_solution_differences() {
         "the gap must widen when I/O bound: 1 job {gap1:.2} vs 4 jobs {gap4:.2}"
     );
 }
+
+/// Tentpole integration check: a router wired with all three paths and an
+/// enabled telemetry registry must (a) mirror every `RouterStats` counter
+/// into the telemetry counters, and (b) reassemble a complete lifecycle —
+/// ingress through path service to VCQ completion — for a request on each
+/// route.
+#[test]
+fn telemetry_traces_all_three_routes() {
+    use nvmetro::core::classify::{
+        verdict_bits, Classifier, NativeClassifier, RequestCtx, Verdict,
+    };
+    use nvmetro::core::router::{NotifyBinding, Router, VmBinding};
+    use nvmetro::core::uif::{Uif, UifDisposition, UifRequest, UifRunner};
+    use nvmetro::core::{Partition, VirtualController, VmConfig};
+    use nvmetro::device::{CompletionMode, SimSsd, SsdConfig};
+    use nvmetro::kernel::{DmConfig, KernelDm, RouterKernelPath};
+    use nvmetro::mem::GuestMemory;
+    use nvmetro::nvme::{CqPair, NvmOpcode, SqPair, Status, SubmissionEntry};
+    use nvmetro::sim::cost::CostModel;
+    use nvmetro::sim::Actor;
+    use nvmetro::telemetry::{Metric, Stage, Telemetry};
+    use std::sync::Arc;
+
+    /// Routes by opcode: reads fast, writes kernel, flushes notify.
+    struct ByOpcode;
+    impl NativeClassifier for ByOpcode {
+        fn classify(&mut self, ctx: &mut RequestCtx) -> Verdict {
+            Verdict(match ctx.opcode() {
+                op if op == NvmOpcode::Read as u8 => {
+                    verdict_bits::SEND_HQ | verdict_bits::WILL_COMPLETE_HQ
+                }
+                op if op == NvmOpcode::Write as u8 => {
+                    verdict_bits::SEND_KQ | verdict_bits::WILL_COMPLETE_KQ
+                }
+                _ => verdict_bits::SEND_NQ | verdict_bits::WILL_COMPLETE_NQ,
+            })
+        }
+    }
+
+    /// A UIF that acknowledges everything immediately.
+    struct AckUif;
+    impl Uif for AckUif {
+        fn work(&mut self, _req: &mut UifRequest<'_>) -> UifDisposition {
+            UifDisposition::Respond(Status::SUCCESS)
+        }
+    }
+
+    let telemetry = Telemetry::enabled();
+    let cost = CostModel::default();
+    let mut ssd = SimSsd::new(
+        "ssd",
+        SsdConfig {
+            capacity_lbas: 1 << 20,
+            move_data: false,
+            ..Default::default()
+        },
+    );
+    ssd.set_telemetry(telemetry.register_worker());
+
+    let mut vc = VirtualController::new(VmConfig {
+        mem_bytes: 1 << 20,
+        queue_depth: 64,
+        ..Default::default()
+    });
+    let mem = vc.memory();
+    let (gsq, gcq) = vc.take_guest_queue(0);
+    let (vsqs, vcqs) = vc.take_router_queues();
+
+    // Fast path.
+    let (hsq_p, hsq_c) = SqPair::new(64);
+    let (hcq_p, hcq_c) = CqPair::new(64);
+    ssd.add_queue(hsq_c, hcq_p, mem.clone(), CompletionMode::Polled);
+
+    // Kernel path: dm-linear over its own device queue.
+    let (ksq_p, ksq_c) = SqPair::new(64);
+    let (kcq_p, kcq_c) = CqPair::new(64);
+    ssd.add_queue(ksq_c, kcq_p, mem.clone(), CompletionMode::Polled);
+    let dm = KernelDm::new(
+        cost.clone(),
+        DmConfig::Linear { offset: 0 },
+        vec![(ksq_p, kcq_c)],
+        mem.clone(),
+    );
+    let mut kpath = RouterKernelPath::new(dm);
+    kpath.set_telemetry(telemetry.register_worker());
+
+    // Notify path: an immediately-acknowledging UIF.
+    let (nsq_p, nsq_c) = SqPair::new(64);
+    let (ncq_p, ncq_c) = CqPair::new(64);
+    let host_mem = Arc::new(GuestMemory::new(1 << 20));
+    let (bsq_p, _bsq_c) = SqPair::new(64);
+    let (_bcq_p, bcq_c) = CqPair::new(64);
+    let mut uif = UifRunner::new(
+        "uif-ack",
+        cost.clone(),
+        nsq_c,
+        ncq_p,
+        mem.clone(),
+        (bsq_p, bcq_c),
+        host_mem,
+        Box::new(AckUif),
+        1,
+        false,
+    );
+    uif.set_telemetry(telemetry.register_worker());
+
+    let mut router = Router::new("router", cost, 1, 256);
+    router.set_telemetry(telemetry.register_worker());
+    router.bind_vm(VmBinding {
+        vm_id: 0,
+        mem,
+        partition: Partition::whole(1 << 20),
+        vsqs,
+        vcqs,
+        hsq: hsq_p,
+        hcq: hcq_c,
+        kernel: Some(Box::new(kpath)),
+        notify: Some(NotifyBinding {
+            nsq: nsq_p,
+            ncq: ncq_c,
+        }),
+        classifier: Classifier::Native(Box::new(ByOpcode)),
+    });
+
+    // One request per route, all in flight together so tags stay distinct.
+    let mut read = SubmissionEntry::read(1, 0, 8, 0x1000, 0);
+    read.cid = 10;
+    let mut write = SubmissionEntry::write(1, 64, 8, 0x1000, 0);
+    write.cid = 11;
+    let mut flush = SubmissionEntry::flush(1);
+    flush.cid = 12;
+    gsq.push(read).unwrap();
+    gsq.push(write).unwrap();
+    gsq.push(flush).unwrap();
+
+    // Drive the actors by hand (fixed virtual-time steps) so the router
+    // stays accessible for the RouterStats comparison afterwards.
+    let mut completions = Vec::new();
+    let mut now = 0u64;
+    while completions.len() < 3 && now < 50_000_000 {
+        router.poll(now);
+        ssd.poll(now);
+        uif.poll(now);
+        while let Some(cqe) = gcq.pop() {
+            completions.push(cqe);
+        }
+        now += 200;
+    }
+    assert_eq!(completions.len(), 3, "all three routes must complete");
+    assert!(completions.iter().all(|c| !c.status().is_error()));
+
+    // (a) Telemetry counters agree with the router's own stats.
+    let stats = router.stats();
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.get(Metric::Accepted), stats.accepted);
+    assert_eq!(snap.get(Metric::ClassifierRuns), stats.classifier_runs);
+    assert_eq!(snap.get(Metric::SentFast), stats.sent_hq);
+    assert_eq!(snap.get(Metric::SentKernel), stats.sent_kq);
+    assert_eq!(snap.get(Metric::SentNotify), stats.sent_nq);
+    assert_eq!(snap.get(Metric::Multicasts), stats.multicasts);
+    assert_eq!(snap.get(Metric::Completed), stats.completed);
+    assert_eq!(snap.get(Metric::Errors), stats.errors);
+    assert_eq!(snap.get(Metric::Spurious), stats.spurious);
+    assert_eq!(snap.get(Metric::SentFast), 1);
+    assert_eq!(snap.get(Metric::SentKernel), 1);
+    assert_eq!(snap.get(Metric::SentNotify), 1);
+    assert_eq!(
+        snap.get(Metric::DeviceIos),
+        2,
+        "fast read + DM-backed write"
+    );
+    assert_eq!(snap.get(Metric::KernelIos), 1);
+    assert_eq!(snap.get(Metric::UifRequests), 1);
+    assert_eq!(snap.get(Metric::UifResponses), 1);
+
+    // (b) Each route's lifecycle reassembles with its full stage sequence.
+    let requests = snap.requests();
+    assert_eq!(requests.len(), 3);
+    let expected = [
+        Stage::DeviceService, // read → fast
+        Stage::KernelService, // write → kernel
+        Stage::UifService,    // flush → notify
+    ];
+    for (req, service) in requests.iter().zip(expected) {
+        let stages = snap.lifecycle_stages(req.vm, req.vsq, req.tag);
+        for want in [
+            Stage::VsqFetch,
+            Stage::Classified,
+            Stage::Dispatched,
+            service,
+            Stage::VcqComplete,
+        ] {
+            assert!(
+                stages.contains(&want),
+                "route with {service:?}: missing {want:?} in {stages:?}"
+            );
+        }
+    }
+
+    // Per-route latency histograms each saw exactly one request.
+    use nvmetro::telemetry::Route;
+    for r in Route::ALL {
+        assert_eq!(snap.route_hist(r).count(), 1, "route {}", r.name());
+    }
+}
