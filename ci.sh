@@ -16,4 +16,10 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> chaos sweep (seeded fault plans)"
+for seed in 1 4242 31337; do
+  echo "    CHAOS_SEED=$seed"
+  CHAOS_SEED=$seed cargo test -q --test chaos
+done
+
 echo "CI OK"

@@ -126,7 +126,7 @@ fn main() {
                     move_data: false,
                     seed: opts.seed,
                     transport: None,
-                    fail_rate: 0.0,
+                    faults: nvmetro_faults::FaultPlan::none(),
                 },
             );
             let mut vc = nvmetro_core::VirtualController::new(nvmetro_core::VmConfig {

@@ -30,6 +30,7 @@
 pub mod classify;
 pub mod controller;
 pub mod guest;
+pub mod recovery;
 pub mod router;
 pub mod routing;
 pub mod threading;
@@ -41,6 +42,7 @@ pub use classify::{
 };
 pub use controller::{Partition, VirtualController, VmConfig};
 pub use guest::{GuestDriver, GuestError, GuestInfo};
+pub use recovery::{CircuitBreaker, Gate, RecoveryConfig};
 pub use router::{KernelPath, Router, RouterStats, VmBinding};
 pub use routing::RoutingTable;
 pub use uif::{Uif, UifDisposition, UifIoHandle, UifRequest, UifRunner};

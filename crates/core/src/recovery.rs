@@ -1,0 +1,220 @@
+//! Router-side recovery policy: command deadlines, bounded retry with
+//! exponential backoff, and a per-VM circuit breaker for the fast path.
+//!
+//! The recovery engine is opt-in (`Router::set_recovery`); without it the
+//! router behaves exactly as before — faults surface to the guest verbatim
+//! and a lost completion wedges its tag. With it, every dispatched command
+//! carries a deadline; on expiry the router aborts the attempt NVMe-style
+//! (the guest sees `ABORTED` only after retries are exhausted), retryable
+//! statuses are re-dispatched with exponential backoff (the DNR bit always
+//! wins), and consecutive fast-path faults trip a breaker that fails new
+//! fast-path sends over to the kernel path until a half-open probe
+//! succeeds.
+
+use nvmetro_sim::{Ns, MS, US};
+
+/// Tunables for the router's recovery engine. Constructing one and handing
+/// it to `Router::set_recovery` turns recovery on.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryConfig {
+    /// Per-dispatch deadline; a command whose paths have not all reported
+    /// by then is aborted. 0 disables deadlines (retry/breaker still run).
+    pub cmd_timeout: Ns,
+    /// Maximum re-dispatches per request before the fault surfaces.
+    pub max_retries: u32,
+    /// First retry delay; doubles per attempt.
+    pub backoff_base: Ns,
+    /// Backoff ceiling.
+    pub backoff_max: Ns,
+    /// Consecutive fast-path faults that trip the breaker.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays open before half-open probing.
+    pub breaker_cooldown: Ns,
+    /// How long an aborted request's tag is quarantined waiting for late
+    /// completions before the slot is reclaimed.
+    pub zombie_linger: Ns,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            cmd_timeout: 10 * MS,
+            max_retries: 3,
+            backoff_base: 50 * US,
+            backoff_max: 2 * MS,
+            breaker_threshold: 4,
+            breaker_cooldown: 20 * MS,
+            zombie_linger: 50 * MS,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// Backoff before retry number `attempt` (1-based): base doubled per
+    /// attempt, clamped to the ceiling.
+    pub fn backoff(&self, attempt: u32) -> Ns {
+        let shift = attempt.saturating_sub(1).min(16);
+        self.backoff_base
+            .saturating_mul(1 << shift)
+            .min(self.backoff_max)
+    }
+}
+
+/// What the breaker says about a fast-path send.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Gate {
+    /// Breaker closed: send normally.
+    Pass,
+    /// Half-open: this one command probes the path.
+    Probe,
+    /// Open (or a probe is already in flight): fail over.
+    Deny,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BreakerState {
+    Closed,
+    Open { until: Ns },
+    HalfOpen { probing: bool },
+}
+
+/// Per-VM fast-path circuit breaker: Closed → (N consecutive faults) →
+/// Open → (cooldown) → HalfOpen → one probe → Closed on success, Open
+/// again on failure.
+#[derive(Clone, Copy, Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Ns,
+    consecutive_failures: u32,
+    state: BreakerState,
+    opens: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given trip threshold and open cooldown.
+    pub fn new(threshold: u32, cooldown: Ns) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            consecutive_failures: 0,
+            state: BreakerState::Closed,
+            opens: 0,
+        }
+    }
+
+    /// Consults the breaker for one fast-path send at time `now`.
+    pub fn gate(&mut self, now: Ns) -> Gate {
+        match self.state {
+            BreakerState::Closed => Gate::Pass,
+            BreakerState::Open { until } if now >= until => {
+                self.state = BreakerState::HalfOpen { probing: true };
+                Gate::Probe
+            }
+            BreakerState::Open { .. } => Gate::Deny,
+            BreakerState::HalfOpen { probing: false } => {
+                self.state = BreakerState::HalfOpen { probing: true };
+                Gate::Probe
+            }
+            BreakerState::HalfOpen { probing: true } => Gate::Deny,
+        }
+    }
+
+    /// A fast-path command completed cleanly: reset to Closed.
+    pub fn on_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    /// A fast-path command faulted (error status or deadline abort).
+    pub fn on_failure(&mut self, now: Ns) {
+        self.consecutive_failures += 1;
+        let trip = match self.state {
+            // A failed probe re-opens immediately.
+            BreakerState::HalfOpen { .. } => true,
+            BreakerState::Closed => self.consecutive_failures >= self.threshold,
+            BreakerState::Open { .. } => false,
+        };
+        if trip {
+            self.state = BreakerState::Open {
+                until: now + self.cooldown,
+            };
+            self.opens += 1;
+        }
+    }
+
+    /// Whether the breaker is currently diverting traffic.
+    pub fn is_open(&self) -> bool {
+        !matches!(self.state, BreakerState::Closed)
+    }
+
+    /// Times the breaker has tripped open.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_clamps() {
+        let cfg = RecoveryConfig {
+            backoff_base: 100,
+            backoff_max: 450,
+            ..Default::default()
+        };
+        assert_eq!(cfg.backoff(1), 100);
+        assert_eq!(cfg.backoff(2), 200);
+        assert_eq!(cfg.backoff(3), 400);
+        assert_eq!(cfg.backoff(4), 450, "must clamp to the ceiling");
+        assert_eq!(cfg.backoff(60), 450, "huge attempts must not overflow");
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(3, 1000);
+        assert_eq!(b.gate(0), Gate::Pass);
+        b.on_failure(0);
+        b.on_failure(1);
+        assert_eq!(b.gate(2), Gate::Pass, "under threshold stays closed");
+        b.on_failure(2);
+        assert!(b.is_open());
+        assert_eq!(b.gate(3), Gate::Deny);
+        assert_eq!(b.opens(), 1);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = CircuitBreaker::new(3, 1000);
+        b.on_failure(0);
+        b.on_failure(1);
+        b.on_success();
+        b.on_failure(2);
+        b.on_failure(3);
+        assert_eq!(b.gate(4), Gate::Pass, "streak must reset on success");
+    }
+
+    #[test]
+    fn half_open_probes_once_then_closes_on_success() {
+        let mut b = CircuitBreaker::new(1, 1000);
+        b.on_failure(0);
+        assert_eq!(b.gate(500), Gate::Deny, "still cooling down");
+        assert_eq!(b.gate(1000), Gate::Probe, "cooldown over: one probe");
+        assert_eq!(b.gate(1001), Gate::Deny, "only one probe in flight");
+        b.on_success();
+        assert_eq!(b.gate(1002), Gate::Pass);
+        assert!(!b.is_open());
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_another_cooldown() {
+        let mut b = CircuitBreaker::new(1, 1000);
+        b.on_failure(0);
+        assert_eq!(b.gate(1000), Gate::Probe);
+        b.on_failure(1100);
+        assert_eq!(b.gate(1500), Gate::Deny, "reopened after failed probe");
+        assert_eq!(b.gate(2100), Gate::Probe, "new cooldown elapsed");
+        assert_eq!(b.opens(), 2);
+    }
+}

@@ -23,6 +23,7 @@ use crate::classify::{
     path_bits, Classifier, RequestCtx, Verdict, HOOK_HCQ, HOOK_KCQ, HOOK_NCQ, HOOK_VSQ,
 };
 use crate::controller::Partition;
+use crate::recovery::{CircuitBreaker, Gate, RecoveryConfig};
 use crate::routing::{RequestState, RoutingTable};
 use nvmetro_mem::GuestMemory;
 use nvmetro_nvme::{
@@ -31,6 +32,8 @@ use nvmetro_nvme::{
 use nvmetro_sim::cost::CostModel;
 use nvmetro_sim::{Actor, CpuMode, Ns, Progress, Station, US};
 use nvmetro_telemetry::{Metric, PathKind, Route, Segment, Stage, TelemetryHandle};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// The kernel path a VM's requests may be routed through (implemented by
@@ -100,6 +103,16 @@ pub struct RouterStats {
     pub errors: u64,
     /// Completions that no longer matched a tracked request.
     pub spurious: u64,
+    /// Re-dispatches after a retryable failure (recovery engine).
+    pub retries: u64,
+    /// Deadline-expired attempts aborted NVMe-style.
+    pub aborts: u64,
+    /// Fast-path sends the circuit breaker diverted to the kernel path.
+    pub failovers: u64,
+    /// Completions dropped from the bounded VCQ retry buffer.
+    pub vcq_retry_drops: u64,
+    /// Completions that arrived after their attempt was aborted.
+    pub late_completions: u64,
 }
 
 enum Work {
@@ -116,6 +129,15 @@ enum Work {
     },
 }
 
+/// Recovery timer kinds, ordered within the shared timer heap.
+const TIMER_DEADLINE: u8 = 0;
+const TIMER_REAP: u8 = 1;
+
+/// A recovery timer: fires at `.0` for request `(tag, seq)` of VM `.3`.
+type Timer = (Ns, u16, u64, u16, u8);
+/// A pending re-dispatch: at `.0`, replay request `(tag, seq)` of VM `.3`.
+type RetryEntry = (Ns, u16, u64, u16);
+
 /// The I/O router actor. One router instance is one worker thread in the
 /// paper's deployment; several VMs share it round-robin.
 pub struct Router {
@@ -126,9 +148,15 @@ pub struct Router {
     station: Station<Work>,
     kernel_out: Vec<(u16, Status)>,
     vcq_retry: Vec<(usize, u16, CompletionEntry)>,
+    vcq_retry_cap: usize,
     last_poll: Ns,
     stats: RouterStats,
     telemetry: TelemetryHandle,
+    recovery: Option<RecoveryConfig>,
+    breakers: Vec<CircuitBreaker>,
+    timers: BinaryHeap<Reverse<Timer>>,
+    retryq: BinaryHeap<Reverse<RetryEntry>>,
+    next_seq: u64,
 }
 
 impl Router {
@@ -144,10 +172,35 @@ impl Router {
             station: Station::new(workers.max(1)),
             kernel_out: Vec::new(),
             vcq_retry: Vec::new(),
+            vcq_retry_cap: 2 * table_capacity,
             last_poll: 0,
             stats: RouterStats::default(),
             telemetry: TelemetryHandle::disabled(),
+            recovery: None,
+            breakers: Vec::new(),
+            timers: BinaryHeap::new(),
+            retryq: BinaryHeap::new(),
+            next_seq: 0,
         }
+    }
+
+    /// Turns the recovery engine on: per-command deadlines with NVMe-style
+    /// abort, bounded retry with exponential backoff for retryable
+    /// statuses, and a per-VM circuit breaker that fails fast-path sends
+    /// over to the kernel path. Without this call the router surfaces
+    /// every fault to the guest verbatim, as before.
+    pub fn set_recovery(&mut self, cfg: RecoveryConfig) {
+        self.breakers = self
+            .vms
+            .iter()
+            .map(|_| CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown))
+            .collect();
+        self.recovery = Some(cfg);
+    }
+
+    /// The VM's fast-path circuit breaker, when recovery is on.
+    pub fn breaker(&self, vm: usize) -> Option<&CircuitBreaker> {
+        self.breakers.get(vm)
     }
 
     /// Attaches a telemetry handle (from `Telemetry::register_worker`).
@@ -160,6 +213,11 @@ impl Router {
     /// Binds a VM; returns its index.
     pub fn bind_vm(&mut self, binding: VmBinding) -> usize {
         self.vms.push(binding);
+        let cfg = self.recovery.unwrap_or_default();
+        self.breakers.push(CircuitBreaker::new(
+            cfg.breaker_threshold,
+            cfg.breaker_cooldown,
+        ));
         self.vms.len() - 1
     }
 
@@ -288,6 +346,7 @@ impl Router {
     fn apply_ingress(&mut self, vm: usize, vsq: u16, cmd: SubmissionEntry, t: Ns) {
         self.stats.accepted += 1;
         self.telemetry.count(Metric::Accepted);
+        self.next_seq += 1;
         let state = RequestState {
             vm: self.vms[vm].vm_id,
             vsq,
@@ -302,6 +361,15 @@ impl Router {
             sent_paths: 0,
             dispatched_at: 0,
             serviced_at: 0,
+            seq: self.next_seq,
+            retries: 0,
+            deadline: 0,
+            dispatch_send: 0,
+            dispatch_hooks: 0,
+            dispatch_wc: 0,
+            orphaned: 0,
+            zombie: false,
+            first_fault_at: 0,
         };
         let tag = match self.table.insert(state) {
             Some(tag) => tag,
@@ -328,6 +396,43 @@ impl Router {
     }
 
     fn apply_path_done(&mut self, vm: usize, path: u8, tag: u16, status: Status, t: Ns) {
+        if self.recovery.is_some() {
+            let Some(state) = self.table.get(tag) else {
+                self.stats.spurious += 1;
+                self.telemetry.count(Metric::Spurious);
+                return;
+            };
+            if state.zombie || state.orphaned & path != 0 {
+                // A leg abandoned by an abort finally reported in. Drop it
+                // as late — the guest already has its answer — and reclaim
+                // the quarantined slot once every leg is accounted for.
+                let state = self.table.get_mut(tag).expect("present");
+                state.orphaned &= !path;
+                let drained = state.zombie && state.pending == 0 && state.orphaned == 0;
+                self.stats.late_completions += 1;
+                self.telemetry.count(Metric::LateCompletions);
+                if drained {
+                    self.table.remove(tag);
+                }
+                return;
+            }
+            if state.pending & path == 0 {
+                // Duplicate completion for a live request (e.g. the same
+                // path answering twice): ignore it rather than double-
+                // finishing the request.
+                self.stats.spurious += 1;
+                self.telemetry.count(Metric::Spurious);
+                return;
+            }
+            // Feed the fast-path breaker from real device outcomes.
+            if path == path_bits::HQ {
+                if status.is_error() {
+                    self.breakers[vm].on_failure(t);
+                } else {
+                    self.breakers[vm].on_success();
+                }
+            }
+        }
         let (hooked, vm_id, vsq) = {
             let Some(state) = self.table.get_mut(tag) else {
                 self.stats.spurious += 1;
@@ -336,8 +441,13 @@ impl Router {
             };
             state.pending &= !path;
             state.serviced_at = t;
-            if status.is_error() && !state.status.is_error() {
-                state.status = status;
+            if status.is_error() {
+                if !state.status.is_error() {
+                    state.status = status;
+                }
+                if state.first_fault_at == 0 {
+                    state.first_fault_at = t;
+                }
             }
             (state.hooks & path != 0, state.vm, state.vsq)
         };
@@ -420,6 +530,48 @@ impl Router {
             self.finish(vm, tag, Status::PATH_ERROR, t);
             return;
         }
+        self.dispatch(
+            vm,
+            tag,
+            send,
+            verdict.hook_mask(),
+            verdict.will_complete_mask(),
+            t,
+        );
+    }
+
+    /// Sends a request down a set of paths. Retries replay this with the
+    /// masks of the latest dispatch, so a re-dispatched command re-arms
+    /// exactly the state machine the classifier asked for.
+    fn dispatch(&mut self, vm: usize, tag: u16, send: u8, hooks: u8, wc: u8, t: Ns) {
+        let (mut send, mut hooks, mut wc) = (send, hooks, wc);
+        // Circuit breaker: consecutive device faults divert fast-path
+        // sends to the kernel path (when the VM has one) until a
+        // half-open probe restores the device.
+        if self.recovery.is_some()
+            && send & path_bits::HQ != 0
+            && self.vms[vm].kernel.is_some()
+            && self.breakers[vm].gate(t) == Gate::Deny
+        {
+            send = (send & !path_bits::HQ) | path_bits::KQ;
+            if hooks & path_bits::HQ != 0 {
+                hooks = (hooks & !path_bits::HQ) | path_bits::KQ;
+            }
+            if wc & path_bits::HQ != 0 {
+                wc = (wc & !path_bits::HQ) | path_bits::KQ;
+            }
+            self.stats.failovers += 1;
+            self.telemetry.count(Metric::Failovers);
+            let state = self.table.get(tag).expect("tracked");
+            self.telemetry.event(
+                t,
+                state.vm,
+                state.vsq,
+                tag,
+                Stage::Failover,
+                PathKind::Kernel,
+            );
+        }
         if send.count_ones() > 1 {
             self.stats.multicasts += 1;
             self.telemetry.count(Metric::Multicasts);
@@ -436,9 +588,15 @@ impl Router {
             }
         }
         let state = self.table.get_mut(tag).expect("tracked");
-        state.hooks |= verdict.hook_mask();
-        state.will_complete |= verdict.will_complete_mask();
+        state.hooks |= hooks;
+        state.will_complete |= wc;
         state.sent_paths |= send;
+        state.dispatch_send = send;
+        state.dispatch_hooks = hooks;
+        state.dispatch_wc = wc;
+        // A retry reclaims any path it re-dispatches on: the next
+        // completion on that path is attributed to the new attempt.
+        state.orphaned &= !send;
         if state.dispatched_at == 0 {
             state.dispatched_at = t;
         }
@@ -484,6 +642,25 @@ impl Router {
                 self.path_unavailable(vm, tag, path_bits::NQ, t);
             }
         }
+        // Arm the per-dispatch deadline: if any leg is still out when it
+        // fires, the attempt is aborted NVMe-style.
+        if let Some(cfg) = self.recovery {
+            if cfg.cmd_timeout > 0 {
+                if let Some(state) = self.table.get_mut(tag) {
+                    if state.pending != 0 && !state.zombie {
+                        let deadline = t + cfg.cmd_timeout;
+                        state.deadline = deadline;
+                        self.timers.push(Reverse((
+                            deadline,
+                            tag,
+                            state.seq,
+                            vm as u16,
+                            TIMER_DEADLINE,
+                        )));
+                    }
+                }
+            }
+        }
     }
 
     /// A target queue was missing or full: fail the request. Outstanding
@@ -494,7 +671,80 @@ impl Router {
         self.finish(vm, tag, Status::PATH_ERROR, t);
     }
 
+    /// Schedules a re-dispatch when the failure is worth retrying. Returns
+    /// whether the retry was taken (the request stays tracked).
+    fn try_retry(&mut self, vm: usize, tag: u16, status: Status, t: Ns) -> bool {
+        let cfg = match self.recovery {
+            Some(cfg) => cfg,
+            None => return false,
+        };
+        let Some(state) = self.table.get(tag) else {
+            return false;
+        };
+        if state.zombie
+            || !status.is_retryable()
+            || state.dispatch_send == 0
+            || state.pending != 0
+            || state.retries >= cfg.max_retries
+        {
+            return false;
+        }
+        let state = self.table.get_mut(tag).expect("present");
+        state.retries += 1;
+        if state.first_fault_at == 0 {
+            state.first_fault_at = t;
+        }
+        // Fresh attempt: forget the latched error and the old deadline.
+        state.status = Status::SUCCESS;
+        state.deadline = 0;
+        let (vm_id, vsq, seq, attempt) = (state.vm, state.vsq, state.seq, state.retries);
+        let at = t + cfg.backoff(attempt);
+        self.retryq.push(Reverse((at, tag, seq, vm as u16)));
+        self.stats.retries += 1;
+        self.telemetry.count(Metric::Retries);
+        self.telemetry
+            .event(t, vm_id, vsq, tag, Stage::Retry, PathKind::None);
+        true
+    }
+
     fn finish(&mut self, vm: usize, tag: u16, status: Status, t: Ns) {
+        if self.try_retry(vm, tag, status, t) {
+            return;
+        }
+        if let Some(cfg) = self.recovery {
+            if let Some(state) = self.table.get(tag) {
+                if state.zombie {
+                    // The guest already has this request's CQE; the slot
+                    // only lingers to quarantine the tag.
+                    return;
+                }
+                if state.pending | state.orphaned != 0 {
+                    // Legs are still in flight (abort, or a path failure
+                    // mid-multicast). Answer the guest now but quarantine
+                    // the tag until every leg drains or the reaper fires,
+                    // so a late completion can never be misattributed to a
+                    // reused slot.
+                    let snapshot = state.clone();
+                    let state = self.table.get_mut(tag).expect("present");
+                    state.zombie = true;
+                    state.orphaned |= state.pending;
+                    state.pending = 0;
+                    state.hooks = 0;
+                    state.deadline = 0;
+                    self.emit_finish_telemetry(&snapshot, tag, t);
+                    self.timers.push(Reverse((
+                        t + cfg.zombie_linger,
+                        tag,
+                        snapshot.seq,
+                        vm as u16,
+                        TIMER_REAP,
+                    )));
+                    let cqe = CompletionEntry::new(snapshot.guest_cid, status);
+                    self.post_vcq(vm, snapshot.vsq, cqe, t);
+                    return;
+                }
+            }
+        }
         let state = match self.table.remove(tag) {
             Some(s) => s,
             None => {
@@ -503,6 +753,12 @@ impl Router {
                 return;
             }
         };
+        self.emit_finish_telemetry(&state, tag, t);
+        let cqe = CompletionEntry::new(state.guest_cid, status);
+        self.post_vcq(vm, state.vsq, cqe, t);
+    }
+
+    fn emit_finish_telemetry(&mut self, state: &RequestState, tag: u16, t: Ns) {
         if self.telemetry.enabled() {
             self.telemetry.event(
                 t,
@@ -544,9 +800,14 @@ impl Router {
                     );
                 }
             }
+            if state.first_fault_at != 0 {
+                // Recovery latency: first observed fault to final answer.
+                self.telemetry.segment(
+                    Segment::FaultToRecovery,
+                    t.saturating_sub(state.first_fault_at),
+                );
+            }
         }
-        let cqe = CompletionEntry::new(state.guest_cid, status);
-        self.post_vcq(vm, state.vsq, cqe, t);
     }
 
     fn post_vcq(&mut self, vm: usize, vsq: u16, cqe: CompletionEntry, _t: Ns) {
@@ -556,10 +817,111 @@ impl Router {
             self.stats.errors += 1;
             self.telemetry.count(Metric::Errors);
         }
+        // Never overtake completions already parked for this (vm, vsq):
+        // pushing directly while earlier CQEs wait would reorder them.
+        if self.vcq_retry.iter().any(|&(v, q, _)| v == vm && q == vsq) {
+            self.buffer_vcq_retry(vm, vsq, cqe);
+            return;
+        }
         if let Err(cqe) = self.vms[vm].vcqs[vsq as usize].push(cqe) {
             // VCQ full: retry on a later poll (the guest is reaping).
-            self.vcq_retry.push((vm, vsq, cqe));
+            self.buffer_vcq_retry(vm, vsq, cqe);
         }
+    }
+
+    fn buffer_vcq_retry(&mut self, vm: usize, vsq: u16, cqe: CompletionEntry) {
+        if self.vcq_retry.len() >= self.vcq_retry_cap {
+            // A guest that never reaps can otherwise grow this without
+            // bound; drop (counted) rather than leak.
+            self.stats.vcq_retry_drops += 1;
+            self.telemetry.count(Metric::VcqRetryDrops);
+            return;
+        }
+        self.vcq_retry.push((vm, vsq, cqe));
+    }
+
+    /// Fires due recovery timers: deadline expiries abort the attempt
+    /// (retry may then resurrect it), reap timers reclaim quarantined
+    /// zombie slots whose legs never reported back.
+    fn fire_timers(&mut self, now: Ns) -> bool {
+        let mut progressed = false;
+        while let Some(&Reverse((at, ..))) = self.timers.peek() {
+            if at > now {
+                break;
+            }
+            let Reverse((_, tag, seq, vm, kind)) = self.timers.pop().expect("peeked");
+            let vm = vm as usize;
+            let Some(state) = self.table.get(tag) else {
+                continue;
+            };
+            if state.seq != seq {
+                continue; // slot was reused; stale timer
+            }
+            match kind {
+                TIMER_DEADLINE => {
+                    if state.zombie || state.deadline == 0 || state.deadline > now {
+                        continue; // superseded by a retry or later dispatch
+                    }
+                    if state.pending == 0 {
+                        continue; // everything reported in time
+                    }
+                    self.stats.aborts += 1;
+                    self.telemetry.count(Metric::Aborts);
+                    let state = self.table.get_mut(tag).expect("present");
+                    let hq_was_pending = state.pending & path_bits::HQ != 0;
+                    if state.first_fault_at == 0 {
+                        state.first_fault_at = now;
+                    }
+                    // Abandon the in-flight legs; their completions (if
+                    // they ever arrive) are dropped as late.
+                    state.orphaned |= state.pending;
+                    state.pending = 0;
+                    state.hooks = 0;
+                    state.deadline = 0;
+                    let (vm_id, vsq) = (state.vm, state.vsq);
+                    self.telemetry
+                        .event(now, vm_id, vsq, tag, Stage::Abort, PathKind::None);
+                    if hq_was_pending {
+                        self.breakers[vm].on_failure(now);
+                    }
+                    // ABORTED is retryable, so finish() re-dispatches the
+                    // command unless retries are exhausted.
+                    self.finish(vm, tag, Status::ABORTED, now);
+                    progressed = true;
+                }
+                _ => {
+                    // TIMER_REAP: reclaim a zombie slot whose abandoned
+                    // legs never completed (e.g. dropped completions).
+                    if state.zombie {
+                        self.table.remove(tag);
+                        progressed = true;
+                    }
+                }
+            }
+        }
+        progressed
+    }
+
+    /// Re-dispatches requests whose retry backoff has elapsed.
+    fn fire_retries(&mut self, now: Ns) -> bool {
+        let mut progressed = false;
+        while let Some(&Reverse((at, ..))) = self.retryq.peek() {
+            if at > now {
+                break;
+            }
+            let Reverse((_, tag, seq, vm)) = self.retryq.pop().expect("peeked");
+            let vm = vm as usize;
+            let Some(state) = self.table.get(tag) else {
+                continue;
+            };
+            if state.seq != seq || state.zombie || state.pending != 0 {
+                continue;
+            }
+            let (send, hooks, wc) = (state.dispatch_send, state.dispatch_hooks, state.dispatch_wc);
+            self.dispatch(vm, tag, send, hooks, wc, now);
+            progressed = true;
+        }
+        progressed
     }
 }
 
@@ -571,16 +933,29 @@ impl Actor for Router {
     fn poll(&mut self, now: Ns) -> Progress {
         self.last_poll = now;
         let mut progressed = false;
-        // Retry any VCQ posts that found the queue full.
+        // Retry any VCQ posts that found the queue full — in submission
+        // order per (vm, vsq): once a queue refuses an entry, later
+        // entries for the same queue stay parked behind it, so the guest
+        // never sees completions reordered by VCQ pressure.
         if !self.vcq_retry.is_empty() {
             let retries: Vec<_> = self.vcq_retry.drain(..).collect();
+            let mut blocked: Vec<(usize, u16)> = Vec::new();
             for (vm, vsq, cqe) in retries {
+                if blocked.contains(&(vm, vsq)) {
+                    self.vcq_retry.push((vm, vsq, cqe));
+                    continue;
+                }
                 if let Err(cqe) = self.vms[vm].vcqs[vsq as usize].push(cqe) {
+                    blocked.push((vm, vsq));
                     self.vcq_retry.push((vm, vsq, cqe));
                 } else {
                     progressed = true;
                 }
             }
+        }
+        if self.recovery.is_some() {
+            progressed |= self.fire_timers(now);
+            progressed |= self.fire_retries(now);
         }
         progressed |= self.ingest(now);
         while let Some((work, t)) = self.station.pop_done_timed(now) {
@@ -604,6 +979,15 @@ impl Actor for Router {
         if !self.vcq_retry.is_empty() {
             let retry = self.last_poll + US;
             next = Some(next.map_or(retry, |n| n.min(retry)));
+        }
+        // Recovery wake-ups: deadlines/reaps and backoff expiries must
+        // advance virtual time even when every other actor is idle (a
+        // dropped completion leaves nothing else scheduled).
+        if let Some(&Reverse((at, ..))) = self.timers.peek() {
+            next = Some(next.map_or(at, |n| n.min(at)));
+        }
+        if let Some(&Reverse((at, ..))) = self.retryq.peek() {
+            next = Some(next.map_or(at, |n| n.min(at)));
         }
         next
     }

@@ -41,6 +41,29 @@ pub struct RequestState {
     pub dispatched_at: u64,
     /// Time the last path leg reported service done (0 = none yet).
     pub serviced_at: u64,
+    /// Router-wide sequence number, unique per insert: recovery timers and
+    /// retry entries store it so a reused slot never matches a stale timer.
+    pub seq: u64,
+    /// Times the request was re-dispatched after a retryable failure.
+    pub retries: u32,
+    /// Absolute deadline of the current dispatch (0 = none armed).
+    pub deadline: u64,
+    /// Path mask of the latest dispatch, replayed verbatim on retry.
+    pub dispatch_send: u8,
+    /// Hook mask of the latest dispatch.
+    pub dispatch_hooks: u8,
+    /// Will-complete mask of the latest dispatch.
+    pub dispatch_wc: u8,
+    /// Paths abandoned by an abort whose completions may still arrive;
+    /// such completions are dropped as late instead of re-entering the
+    /// request's state machine.
+    pub orphaned: u8,
+    /// The guest already received this request's CQE (after an abort with
+    /// legs still in flight); the slot lingers only to quarantine the tag.
+    pub zombie: bool,
+    /// Time the first fault was observed (0 = none); recovery latency runs
+    /// from here to final completion.
+    pub first_fault_at: u64,
 }
 
 impl RequestState {
@@ -177,6 +200,15 @@ mod tests {
             sent_paths: 0,
             dispatched_at: 0,
             serviced_at: 0,
+            seq: 0,
+            retries: 0,
+            deadline: 0,
+            dispatch_send: 0,
+            dispatch_hooks: 0,
+            dispatch_wc: 0,
+            orphaned: 0,
+            zombie: false,
+            first_fault_at: 0,
         }
     }
 

@@ -11,6 +11,7 @@
 //! io_uring-style backend submission, so a concrete [`Uif`] (see
 //! `nvmetro-functions`) only implements `work`.
 
+use nvmetro_faults::{CmdClass, FaultAction, FaultInjector};
 use nvmetro_mem::{prp_segments, GuestMemory, PAGE_SIZE};
 use nvmetro_nvme::{
     CompletionEntry, CqConsumer, CqProducer, NvmOpcode, SqConsumer, SqProducer, Status,
@@ -54,6 +55,22 @@ pub trait Uif: Send {
         let _ = cost;
         0
     }
+
+    /// Autonomous background work, called once per runner poll even when no
+    /// request arrived: replica resync, link probing, housekeeping timers.
+    /// Returns `true` if the UIF made progress (keeps the runner busy).
+    fn tick(&mut self, io: &mut UifIoHandle<'_>, now: Ns) -> bool {
+        let _ = io;
+        let _ = now;
+        false
+    }
+
+    /// Next virtual time at which [`Uif::tick`] has scheduled work (e.g. a
+    /// link probe); merged into the runner's wakeup so the executor keeps
+    /// advancing virtual time toward it even when the guest has gone quiet.
+    fn next_event(&self) -> Option<Ns> {
+        None
+    }
 }
 
 /// A parsed request handed to [`Uif::work`].
@@ -62,6 +79,9 @@ pub struct UifRequest<'a> {
     pub cmd: SubmissionEntry,
     /// Routing tag to echo in asynchronous responses.
     pub tag: u16,
+    /// Virtual time at which the framework handed the request to `work`
+    /// (lets fault-aware UIFs consult time-windowed fault plans).
+    pub now: Ns,
     mem: &'a GuestMemory,
     io: &'a mut UifIo,
     transfer_data: bool,
@@ -266,6 +286,18 @@ pub struct UifRunner {
     requests: u64,
     responses: u64,
     telemetry: TelemetryHandle,
+    faults: FaultInjector,
+}
+
+/// Fault class of an NVM opcode at the UIF dispatch site.
+fn fault_class(op: Option<NvmOpcode>) -> CmdClass {
+    match op {
+        Some(op) if op.is_read() => CmdClass::Read,
+        Some(op) if op.is_write() => CmdClass::Write,
+        Some(NvmOpcode::Flush) => CmdClass::Flush,
+        Some(_) => CmdClass::Management,
+        None => CmdClass::Admin,
+    }
 }
 
 impl UifRunner {
@@ -318,12 +350,20 @@ impl UifRunner {
             requests: 0,
             responses: 0,
             telemetry: TelemetryHandle::disabled(),
+            faults: FaultInjector::off(),
         }
     }
 
     /// Attaches a telemetry worker handle (see `nvmetro-telemetry`).
     pub fn set_telemetry(&mut self, handle: TelemetryHandle) {
         self.telemetry = handle;
+    }
+
+    /// Arms a fault injector (the `UifDispatch` site of a seeded fault
+    /// plan): matching rules fire as requests are accepted from the NSQ,
+    /// before the function's `work` runs.
+    pub fn set_faults(&mut self, injector: FaultInjector) {
+        self.faults = injector;
     }
 
     /// Requests received from the router so far.
@@ -363,7 +403,44 @@ impl Actor for UifRunner {
         while let Some((cmd, _)) = self.nsq.pop() {
             self.requests += 1;
             self.telemetry.count(Metric::UifRequests);
-            let cost = self.cost.uif_request + self.uif.work_cost(&cmd, &self.cost);
+            let mut stall: Ns = 0;
+            if self.faults.is_active() {
+                if let Some(action) = self.faults.decide(now, fault_class(cmd.nvm_opcode())) {
+                    self.telemetry.count(Metric::FaultsInjected);
+                    match action {
+                        // Lost on the notify path: the router's deadline is
+                        // the only thing that can recover this request.
+                        FaultAction::DropCompletion => {
+                            progressed = true;
+                            continue;
+                        }
+                        FaultAction::MediaError { dnr } => {
+                            let st = match cmd.nvm_opcode() {
+                                Some(op) if op.is_write() => Status::WRITE_FAULT,
+                                Some(op) if op.is_read() => Status::UNRECOVERED_READ,
+                                _ => Status::INTERNAL,
+                            };
+                            self.respond(cmd.cid, if dnr { st.with_dnr() } else { st }, now);
+                            progressed = true;
+                            continue;
+                        }
+                        FaultAction::CorruptPayload => {
+                            self.respond(cmd.cid, Status::GUARD_CHECK, now);
+                            progressed = true;
+                            continue;
+                        }
+                        FaultAction::LinkOutage => {
+                            self.respond(cmd.cid, Status::PATH_ERROR, now);
+                            progressed = true;
+                            continue;
+                        }
+                        // A wedged worker: the request waits out the stall
+                        // before service.
+                        FaultAction::Stall(d) | FaultAction::CqPressure(d) => stall = d,
+                    }
+                }
+            }
+            let cost = self.cost.uif_request + stall + self.uif.work_cost(&cmd, &self.cost);
             self.work.push(cmd, cost, now);
             progressed = true;
         }
@@ -374,6 +451,7 @@ impl Actor for UifRunner {
             let mut req = UifRequest {
                 cmd,
                 tag,
+                now,
                 mem: &self.guest_mem,
                 io: &mut self.io,
                 transfer_data: self.transfer_data,
@@ -397,6 +475,11 @@ impl Actor for UifRunner {
             }
             progressed = true;
         }
+        // 4. Give the function its background slice (resync, link probes).
+        let mut handle = UifIoHandle { io: &mut self.io };
+        if self.uif.tick(&mut handle, now) {
+            progressed = true;
+        }
         if progressed {
             Progress::Busy
         } else {
@@ -405,7 +488,10 @@ impl Actor for UifRunner {
     }
 
     fn next_event(&self) -> Option<Ns> {
-        self.work.next_event()
+        match (self.work.next_event(), self.uif.next_event()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     fn charged(&self) -> Ns {

@@ -1,6 +1,7 @@
 //! The multi-queue SSD model.
 
 use crate::store::BlockStore;
+use nvmetro_faults::{CmdClass, FaultAction, FaultInjector, FaultPlan, FaultSite};
 use nvmetro_mem::{prp_segments, GuestMemory};
 use nvmetro_nvme::{
     CompletionEntry, CqProducer, NvmOpcode, SqConsumer, Status, SubmissionEntry, LBA_SIZE,
@@ -48,10 +49,11 @@ pub struct SsdConfig {
     pub seed: u64,
     /// NVMe-oF hop, if this device is remote.
     pub transport: Option<Transport>,
-    /// Failure injection: probability that a media command fails with an
-    /// unrecovered-read / write-fault status (exercises the error paths
-    /// of classifiers and UIFs).
-    pub fail_rate: f64,
+    /// Failure injection: seeded fault plan consulted once per command
+    /// (the device acts on its `FaultSite::Device` rules). Replaces the
+    /// old bare `fail_rate` probability — see
+    /// [`FaultPlan::media_fail_rate`] for the equivalent plan.
+    pub faults: FaultPlan,
 }
 
 impl Default for SsdConfig {
@@ -63,7 +65,7 @@ impl Default for SsdConfig {
             move_data: true,
             seed: 0x5517,
             transport: None,
-            fail_rate: 0.0,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -117,9 +119,22 @@ pub struct SimSsd {
     pending: BinaryHeap<Reverse<Pending>>,
     seq: u64,
     rng: SimRng,
+    injector: FaultInjector,
+    cq_blocked_until: Ns,
     charged: Ns,
     ios_served: u64,
     telemetry: TelemetryHandle,
+}
+
+/// Coarse fault-plan class of a (possibly unrecognized) opcode.
+fn class_of(op: Option<NvmOpcode>) -> CmdClass {
+    match op {
+        None => CmdClass::Admin,
+        Some(NvmOpcode::Flush) => CmdClass::Flush,
+        Some(NvmOpcode::Read) | Some(NvmOpcode::Compare) => CmdClass::Read,
+        Some(NvmOpcode::Write) | Some(NvmOpcode::WriteUncorrectable) => CmdClass::Write,
+        Some(NvmOpcode::WriteZeroes) | Some(NvmOpcode::DatasetManagement) => CmdClass::Management,
+    }
 }
 
 impl SimSsd {
@@ -133,6 +148,7 @@ impl SimSsd {
     pub fn with_store(name: &str, cfg: SsdConfig, store: Arc<BlockStore>) -> Self {
         let channels = vec![0; cfg.cost.ssd_channels];
         let seed = cfg.seed;
+        let injector = cfg.faults.injector(FaultSite::Device);
         SimSsd {
             name: name.to_string(),
             cfg,
@@ -143,6 +159,8 @@ impl SimSsd {
             pending: BinaryHeap::new(),
             seq: 0,
             rng: SimRng::new(seed),
+            injector,
+            cq_blocked_until: 0,
             charged: 0,
             ios_served: 0,
             telemetry: TelemetryHandle::disabled(),
@@ -232,8 +250,95 @@ impl SimSsd {
         finish
     }
 
+    /// Completion time of a faulted command: full service time for media
+    /// transfers (a real drive exhausts internal retries first), a
+    /// write-latency beat for everything else.
+    fn fault_finish(&mut self, now: Ns, class: CmdClass, cmd: &SubmissionEntry) -> Ns {
+        match class {
+            CmdClass::Read | CmdClass::Write => {
+                let bytes = cmd.nlb() as usize * LBA_SIZE;
+                self.service_finish(now, class == CmdClass::Write, bytes)
+            }
+            _ => now + self.jitter(self.cfg.cost.ssd_write_lat),
+        }
+    }
+
     fn process_cmd(&mut self, queue: usize, cmd: SubmissionEntry, now: Ns) {
-        let op = match NvmOpcode::from_u8(cmd.opcode) {
+        let opcode = NvmOpcode::from_u8(cmd.opcode);
+        let class = class_of(opcode);
+        let mut now = now;
+        let fault = if self.injector.is_active() {
+            let f = self.injector.decide(now, class);
+            if f.is_some() {
+                self.telemetry.count(Metric::FaultsInjected);
+            }
+            f
+        } else {
+            None
+        };
+        match fault {
+            None => {}
+            Some(FaultAction::Stall(d)) => {
+                // The drive sits on the command before servicing it.
+                now += d;
+            }
+            Some(FaultAction::CqPressure(d)) => {
+                // Completions (this one included) are held back while the
+                // host-side CQ stays full.
+                self.cq_blocked_until = self.cq_blocked_until.max(now + d);
+            }
+            Some(FaultAction::DropCompletion) => {
+                // The drive does the work but the completion is lost:
+                // writes still land (a re-issue is idempotent) and no CQE
+                // is ever posted, so only a host-side deadline recovers
+                // the tag.
+                if self.cfg.move_data {
+                    if let Some(op) = opcode {
+                        let slba = cmd.slba();
+                        let nlb = cmd.nlb();
+                        if matches!(op, NvmOpcode::Read | NvmOpcode::Write | NvmOpcode::Compare)
+                            && self.store.in_range(slba, nlb)
+                        {
+                            let bytes = nlb as usize * LBA_SIZE;
+                            let _ = self.dma(queue, &cmd, op, slba, bytes);
+                        }
+                    }
+                }
+                return;
+            }
+            Some(FaultAction::CorruptPayload) => {
+                // The end-to-end guard detects the corruption before any
+                // data moves, so a retry sees clean state on both sides.
+                let finish = self.fault_finish(now, class, &cmd);
+                self.schedule(
+                    queue,
+                    CompletionEntry::new(cmd.cid, Status::GUARD_CHECK),
+                    finish,
+                );
+                return;
+            }
+            Some(FaultAction::MediaError { dnr }) => {
+                let status = match class {
+                    CmdClass::Write => Status::WRITE_FAULT,
+                    CmdClass::Read => Status::UNRECOVERED_READ,
+                    _ => Status::INTERNAL,
+                };
+                let status = if dnr { status.with_dnr() } else { status };
+                let finish = self.fault_finish(now, class, &cmd);
+                self.schedule(queue, CompletionEntry::new(cmd.cid, status), finish);
+                return;
+            }
+            Some(FaultAction::LinkOutage) => {
+                // Not meaningful inside the drive; surface as a path error.
+                self.schedule(
+                    queue,
+                    CompletionEntry::new(cmd.cid, Status::PATH_ERROR),
+                    now + 5 * US,
+                );
+                return;
+            }
+        }
+        let op = match opcode {
             Some(op) => op,
             None => {
                 self.schedule(
@@ -267,18 +372,6 @@ impl SimSsd {
                 }
                 let bytes = nlb as usize * LBA_SIZE;
                 let is_write = op == NvmOpcode::Write;
-                // Failure injection: media errors surface after the full
-                // service time, like a real drive exhausting retries.
-                if self.cfg.fail_rate > 0.0 && self.rng.chance(self.cfg.fail_rate) {
-                    let status = if is_write {
-                        Status::WRITE_FAULT
-                    } else {
-                        Status::UNRECOVERED_READ
-                    };
-                    let finish = self.service_finish(now, is_write, bytes);
-                    self.schedule(queue, CompletionEntry::new(cmd.cid, status), finish);
-                    return;
-                }
                 let mut status = Status::SUCCESS;
                 if self.cfg.move_data {
                     status = self.dma(queue, &cmd, op, slba, bytes);
@@ -368,6 +461,10 @@ impl SimSsd {
 
     /// Posts completions due by `now`; returns whether any were posted.
     fn post_due(&mut self, now: Ns) -> bool {
+        if now < self.cq_blocked_until {
+            // Injected CQ-full pressure: nothing drains until it lifts.
+            return false;
+        }
         let mut progressed = false;
         while let Some(Reverse(p)) = self.pending.peek() {
             if p.finish > now {
@@ -423,7 +520,9 @@ impl Actor for SimSsd {
     }
 
     fn next_event(&self) -> Option<Ns> {
-        self.pending.peek().map(|Reverse(p)| p.finish)
+        self.pending
+            .peek()
+            .map(|Reverse(p)| p.finish.max(self.cq_blocked_until))
     }
 
     fn charged(&self) -> Ns {
@@ -650,6 +749,149 @@ mod tests {
         assert!(cqc.pop().is_some());
         assert!(ssd.charged() > 0, "IRQ must cost host CPU");
         assert_eq!(ssd.ios_served(), 1);
+    }
+
+    #[test]
+    fn fault_plan_media_rate_fails_reads_and_writes() {
+        let cfg = SsdConfig {
+            faults: nvmetro_faults::FaultPlan::media_fail_rate(0xBAD, 1.0),
+            ..small_cfg()
+        };
+        let mut r = rig(cfg);
+        let gpa = r.mem.alloc(512);
+        let (p1, p2) = nvmetro_mem::build_prps(&r.mem, gpa, 512);
+        r.sq.push(SubmissionEntry::read(1, 0, 1, p1, p2)).unwrap();
+        let (cqe, t) = run_until_completion(&mut r, 0);
+        assert_eq!(cqe.status(), Status::UNRECOVERED_READ);
+        r.sq.push(SubmissionEntry::write(1, 0, 1, p1, p2)).unwrap();
+        let (cqe, t) = run_until_completion(&mut r, t);
+        assert_eq!(cqe.status(), Status::WRITE_FAULT);
+        // Flush is outside MEDIA_CLASSES and must be untouched.
+        r.sq.push(SubmissionEntry::flush(1)).unwrap();
+        let (cqe, _) = run_until_completion(&mut r, t);
+        assert_eq!(cqe.status(), Status::SUCCESS);
+    }
+
+    #[test]
+    fn fault_plan_reaches_flush_and_admin_commands() {
+        use nvmetro_faults::{CmdClass, FaultAction, FaultPlan, FaultRule, FaultSite};
+        let plan = FaultPlan::new(0x11).rule(
+            FaultRule::new(FaultSite::Device, FaultAction::MediaError { dnr: true })
+                .classes(CmdClass::Flush.bit() | CmdClass::Admin.bit()),
+        );
+        let mut r = rig(SsdConfig {
+            faults: plan,
+            ..small_cfg()
+        });
+        r.sq.push(SubmissionEntry::flush(1)).unwrap();
+        let (cqe, t) = run_until_completion(&mut r, 0);
+        assert_eq!(cqe.status().without_dnr(), Status::INTERNAL);
+        assert!(cqe.status().dnr(), "plan asked for DNR");
+        // Unrecognized opcodes classify as admin and fault the same way.
+        let mut cmd = SubmissionEntry::flush(2);
+        cmd.opcode = 0x7F;
+        r.sq.push(cmd).unwrap();
+        let (cqe, t) = run_until_completion(&mut r, t);
+        assert!(cqe.status().dnr());
+        // Reads are outside the mask and still succeed.
+        let gpa = r.mem.alloc(512);
+        let (p1, p2) = nvmetro_mem::build_prps(&r.mem, gpa, 512);
+        r.sq.push(SubmissionEntry::read(1, 0, 1, p1, p2)).unwrap();
+        let (cqe, _) = run_until_completion(&mut r, t);
+        assert_eq!(cqe.status(), Status::SUCCESS);
+    }
+
+    #[test]
+    fn stall_fault_delays_completion() {
+        use nvmetro_faults::{FaultAction, FaultPlan, FaultRule, FaultSite};
+        let stall = 2_000_000; // 2 ms, far above any service time
+        let plan = FaultPlan::new(0x22)
+            .rule(FaultRule::new(FaultSite::Device, FaultAction::Stall(stall)).max_hits(1));
+        let mut r = rig(SsdConfig {
+            faults: plan,
+            move_data: false,
+            ..small_cfg()
+        });
+        r.sq.push(SubmissionEntry::read(1, 0, 1, 0x1000, 0))
+            .unwrap();
+        r.ssd.poll(0);
+        let finish = r.ssd.next_event().unwrap();
+        assert!(finish >= stall, "stalled command finished at {finish}");
+    }
+
+    #[test]
+    fn dropped_completion_never_posts() {
+        use nvmetro_faults::{FaultAction, FaultPlan, FaultRule, FaultSite};
+        let plan = FaultPlan::new(0x33)
+            .rule(FaultRule::new(FaultSite::Device, FaultAction::DropCompletion).max_hits(1));
+        let mut r = rig(SsdConfig {
+            faults: plan,
+            move_data: false,
+            ..small_cfg()
+        });
+        r.sq.push(SubmissionEntry::read(1, 0, 1, 0x1000, 0))
+            .unwrap();
+        r.ssd.poll(0);
+        assert_eq!(r.ssd.next_event(), None, "dropped command must vanish");
+        assert!(r.cq.pop().is_none());
+        // The next command (cap exhausted) completes normally.
+        r.sq.push(SubmissionEntry::read(1, 0, 1, 0x1000, 0))
+            .unwrap();
+        let (cqe, _) = run_until_completion(&mut r, 0);
+        assert_eq!(cqe.status(), Status::SUCCESS);
+    }
+
+    #[test]
+    fn cq_pressure_holds_completions_until_it_lifts() {
+        use nvmetro_faults::{FaultAction, FaultPlan, FaultRule, FaultSite};
+        let hold = 5_000_000; // 5 ms
+        let plan = FaultPlan::new(0x44)
+            .rule(FaultRule::new(FaultSite::Device, FaultAction::CqPressure(hold)).max_hits(1));
+        let mut r = rig(SsdConfig {
+            faults: plan,
+            move_data: false,
+            ..small_cfg()
+        });
+        r.sq.push(SubmissionEntry::read(1, 0, 1, 0x1000, 0))
+            .unwrap();
+        r.ssd.poll(0);
+        let next = r.ssd.next_event().unwrap();
+        assert!(next >= hold, "CQ must stay blocked until pressure lifts");
+        r.ssd.poll(next - 1);
+        assert!(r.cq.pop().is_none(), "nothing drains while blocked");
+        r.ssd.poll(next);
+        assert!(r.cq.pop().is_some(), "completion flows once unblocked");
+    }
+
+    #[test]
+    fn corrupt_payload_surfaces_guard_check_and_preserves_data() {
+        use nvmetro_faults::{CmdClass, FaultAction, FaultPlan, FaultRule, FaultSite};
+        let plan = FaultPlan::new(0x55).rule(
+            FaultRule::new(FaultSite::Device, FaultAction::CorruptPayload)
+                .classes(CmdClass::Write.bit())
+                .max_hits(1),
+        );
+        let mut r = rig(SsdConfig {
+            faults: plan,
+            ..small_cfg()
+        });
+        let store = r.ssd.store();
+        store.write_blocks(9, &[0x77; 512]);
+        let gpa = r.mem.alloc(512);
+        r.mem.write(gpa, &[0x12; 512]);
+        let (p1, p2) = nvmetro_mem::build_prps(&r.mem, gpa, 512);
+        r.sq.push(SubmissionEntry::write(1, 9, 1, p1, p2)).unwrap();
+        let (cqe, t) = run_until_completion(&mut r, 0);
+        assert_eq!(cqe.status(), Status::GUARD_CHECK);
+        assert!(
+            store.read_vec(9, 1).iter().all(|&b| b == 0x77),
+            "guarded write must not land"
+        );
+        // Retry (cap exhausted) lands cleanly.
+        r.sq.push(SubmissionEntry::write(1, 9, 1, p1, p2)).unwrap();
+        let (cqe, _) = run_until_completion(&mut r, t);
+        assert_eq!(cqe.status(), Status::SUCCESS);
+        assert!(store.read_vec(9, 1).iter().all(|&b| b == 0x12));
     }
 
     #[test]

@@ -1,0 +1,461 @@
+//! Deterministic, seeded fault plans for chaos testing the datapath.
+//!
+//! A [`FaultPlan`] is a declarative list of [`FaultRule`]s — each naming a
+//! [`FaultSite`] (where in the stack it fires), a [`FaultAction`] (what goes
+//! wrong), an opcode-class mask, a probability, and optional virtual-time
+//! window and hit caps. Components derive a site-local [`FaultInjector`]
+//! from the plan and consult it per command; everything downstream of the
+//! 64-bit plan seed is reproducible, so a chaos run replays identically.
+//!
+//! This generalizes the old `SsdConfig::fail_rate` bare probability: a rate
+//! becomes a single probabilistic `MediaError` rule at the device site
+//! ([`FaultPlan::media_fail_rate`]), while richer plans mix stalls, dropped
+//! completions, payload corruption, CQ back-pressure windows, and replica
+//! leg outages across the SSD model, kernel DM path, and UIF dispatch.
+
+use nvmetro_sim::{Ns, SimRng};
+
+/// Where in the stack a rule fires. Each site draws from an independent
+/// RNG stream (seeded from the plan seed and the site) so adding a rule at
+/// one site never perturbs the fault sequence observed at another.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSite {
+    /// The simulated SSD: faults on command completion paths.
+    Device,
+    /// The kernel device-mapper path.
+    KernelDm,
+    /// UIF dispatch inside a notify-path runner.
+    UifDispatch,
+    /// The replica leg used by the replicator UIF.
+    ReplicaLink,
+}
+
+impl FaultSite {
+    fn salt(self) -> u64 {
+        match self {
+            FaultSite::Device => 0xA5A5_5A5A_0000_0001,
+            FaultSite::KernelDm => 0xA5A5_5A5A_0000_0002,
+            FaultSite::UifDispatch => 0xA5A5_5A5A_0000_0003,
+            FaultSite::ReplicaLink => 0xA5A5_5A5A_0000_0004,
+        }
+    }
+}
+
+/// Coarse command class, used to scope rules to a subset of opcodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmdClass {
+    /// Read-like data transfers (Read, Compare).
+    Read,
+    /// Write-like data transfers (Write, WriteUncorrectable).
+    Write,
+    /// Flush.
+    Flush,
+    /// Admin / unrecognized opcodes.
+    Admin,
+    /// Management ops (WriteZeroes, DatasetManagement).
+    Management,
+}
+
+impl CmdClass {
+    /// Bit for this class inside a rule's class mask.
+    pub const fn bit(self) -> u8 {
+        1 << self as u8
+    }
+}
+
+/// Class mask matching every command class.
+pub const ALL_CLASSES: u8 = 0b1_1111;
+/// Class mask matching only media data transfers (reads and writes).
+pub const MEDIA_CLASSES: u8 = CmdClass::Read.bit() | CmdClass::Write.bit();
+
+/// What goes wrong when a rule fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Complete with a media error after full service time. `dnr` sets the
+    /// Do Not Retry bit so hosts must surface the failure instead of
+    /// retrying it.
+    MediaError {
+        /// Set the Do Not Retry bit on the resulting status.
+        dnr: bool,
+    },
+    /// Delay completion by the given amount of virtual time.
+    Stall(Ns),
+    /// Swallow the completion entirely: the command is accepted and never
+    /// answered, so only a host-side deadline can recover it.
+    DropCompletion,
+    /// Corrupt the payload in flight; the device detects it and reports an
+    /// end-to-end guard check error.
+    CorruptPayload,
+    /// Block the completion queue for the given duration, modelling
+    /// sustained CQ-full pressure on the host.
+    CqPressure(Ns),
+    /// The replica leg is unreachable; writes to it fail outright.
+    LinkOutage,
+}
+
+/// One injectable fault: site + action, scoped by class mask, probability,
+/// optional virtual-time window, and optional cap on total firings.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultRule {
+    /// Where the rule applies.
+    pub site: FaultSite,
+    /// What happens when it fires.
+    pub action: FaultAction,
+    /// Command classes the rule matches (bitmask of [`CmdClass::bit`]).
+    pub classes: u8,
+    /// Firing probability per matching command. Values `>= 1.0` fire
+    /// unconditionally without consuming randomness, so windowed
+    /// deterministic rules replay identically regardless of traffic shape.
+    pub probability: f64,
+    /// Half-open virtual-time window `[start, end)` the rule is live in;
+    /// `None` means always live.
+    pub window: Option<(Ns, Ns)>,
+    /// Maximum number of firings; `None` means unbounded.
+    pub max_hits: Option<u64>,
+}
+
+impl FaultRule {
+    /// A rule that always fires, for every class, with no window or cap.
+    /// Narrow it with the builder methods.
+    pub fn new(site: FaultSite, action: FaultAction) -> Self {
+        FaultRule {
+            site,
+            action,
+            classes: ALL_CLASSES,
+            probability: 1.0,
+            window: None,
+            max_hits: None,
+        }
+    }
+
+    /// Restricts the rule to the given class mask.
+    pub fn classes(mut self, mask: u8) -> Self {
+        self.classes = mask;
+        self
+    }
+
+    /// Sets the per-command firing probability.
+    pub fn probability(mut self, p: f64) -> Self {
+        self.probability = p;
+        self
+    }
+
+    /// Restricts the rule to the virtual-time window `[start, end)`.
+    pub fn window(mut self, start: Ns, end: Ns) -> Self {
+        self.window = Some((start, end));
+        self
+    }
+
+    /// Caps the number of times the rule may fire.
+    pub fn max_hits(mut self, n: u64) -> Self {
+        self.max_hits = Some(n);
+        self
+    }
+
+    fn matches(&self, now: Ns, class: CmdClass) -> bool {
+        if self.classes & class.bit() == 0 {
+            return false;
+        }
+        match self.window {
+            Some((start, end)) => now >= start && now < end,
+            None => true,
+        }
+    }
+}
+
+/// A seeded, declarative chaos scenario: the single source of truth a rig
+/// hands to every fault-capable component.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Seed all site injectors derive their RNG streams from.
+    pub seed: u64,
+    /// Rules, consulted in insertion order (first match wins per command).
+    pub rules: Vec<FaultRule>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// A plan that never injects anything.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            rules: Vec::new(),
+        }
+    }
+
+    /// An empty plan with the given seed; add rules with [`FaultPlan::rule`].
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Appends a rule (builder style).
+    pub fn rule(mut self, rule: FaultRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Back-compat sugar for the old `fail_rate` knob: media errors on
+    /// reads and writes at the device with the given probability.
+    pub fn media_fail_rate(seed: u64, rate: f64) -> Self {
+        if rate <= 0.0 {
+            return FaultPlan::none();
+        }
+        FaultPlan::new(seed).rule(
+            FaultRule::new(FaultSite::Device, FaultAction::MediaError { dnr: false })
+                .classes(MEDIA_CLASSES)
+                .probability(rate),
+        )
+    }
+
+    /// Whether the plan has no rules at all.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Whether any rule targets the given site.
+    pub fn has_site(&self, site: FaultSite) -> bool {
+        self.rules.iter().any(|r| r.site == site)
+    }
+
+    /// Derives the per-site injector a component polls per command.
+    pub fn injector(&self, site: FaultSite) -> FaultInjector {
+        let rules: Vec<FaultRule> = self
+            .rules
+            .iter()
+            .filter(|r| r.site == site)
+            .copied()
+            .collect();
+        let hits = vec![0u64; rules.len()];
+        FaultInjector {
+            rules,
+            hits,
+            rng: SimRng::new(self.seed ^ site.salt()),
+            injected: 0,
+        }
+    }
+}
+
+/// Site-local view of a plan: holds the site's rules, their hit counts, and
+/// an independent RNG stream. Components call [`FaultInjector::decide`]
+/// once per command and act on the returned action, if any.
+pub struct FaultInjector {
+    rules: Vec<FaultRule>,
+    hits: Vec<u64>,
+    rng: SimRng,
+    injected: u64,
+}
+
+impl FaultInjector {
+    /// An injector that never fires (no rules).
+    pub fn off() -> Self {
+        FaultInjector {
+            rules: Vec::new(),
+            hits: Vec::new(),
+            rng: SimRng::new(0),
+            injected: 0,
+        }
+    }
+
+    /// Whether the injector has any rules at all; `false` lets hot paths
+    /// skip the per-command consult entirely.
+    pub fn is_active(&self) -> bool {
+        !self.rules.is_empty()
+    }
+
+    /// Consults the plan for one command: first live rule matching `class`
+    /// at virtual time `now` fires (subject to its probability) and its
+    /// action is returned. Deterministic rules (probability `>= 1.0`) never
+    /// consume randomness, so their replay is independent of how many
+    /// probabilistic draws other commands made.
+    pub fn decide(&mut self, now: Ns, class: CmdClass) -> Option<FaultAction> {
+        for i in 0..self.rules.len() {
+            let rule = self.rules[i];
+            if !rule.matches(now, class) {
+                continue;
+            }
+            if let Some(cap) = rule.max_hits {
+                if self.hits[i] >= cap {
+                    continue;
+                }
+            }
+            let fires = rule.probability >= 1.0 || self.rng.chance(rule.probability);
+            if fires {
+                self.hits[i] += 1;
+                self.injected += 1;
+                return Some(rule.action);
+            }
+        }
+        None
+    }
+
+    /// Total faults injected by this injector so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let mut inj = FaultPlan::none().injector(FaultSite::Device);
+        assert!(!inj.is_active());
+        for now in 0..1000 {
+            assert_eq!(inj.decide(now, CmdClass::Read), None);
+        }
+        assert_eq!(inj.injected(), 0);
+    }
+
+    #[test]
+    fn class_mask_scopes_rules() {
+        let plan = FaultPlan::new(7).rule(
+            FaultRule::new(FaultSite::Device, FaultAction::MediaError { dnr: false })
+                .classes(CmdClass::Flush.bit()),
+        );
+        let mut inj = plan.injector(FaultSite::Device);
+        assert_eq!(inj.decide(0, CmdClass::Read), None);
+        assert_eq!(inj.decide(0, CmdClass::Write), None);
+        assert_eq!(
+            inj.decide(0, CmdClass::Flush),
+            Some(FaultAction::MediaError { dnr: false })
+        );
+    }
+
+    #[test]
+    fn window_bounds_are_half_open() {
+        let plan = FaultPlan::new(1).rule(
+            FaultRule::new(FaultSite::KernelDm, FaultAction::DropCompletion).window(100, 200),
+        );
+        let mut inj = plan.injector(FaultSite::KernelDm);
+        assert_eq!(inj.decide(99, CmdClass::Read), None);
+        assert_eq!(
+            inj.decide(100, CmdClass::Read),
+            Some(FaultAction::DropCompletion)
+        );
+        assert_eq!(
+            inj.decide(199, CmdClass::Read),
+            Some(FaultAction::DropCompletion)
+        );
+        assert_eq!(inj.decide(200, CmdClass::Read), None);
+    }
+
+    #[test]
+    fn max_hits_caps_firings() {
+        let plan = FaultPlan::new(3)
+            .rule(FaultRule::new(FaultSite::Device, FaultAction::CorruptPayload).max_hits(2));
+        let mut inj = plan.injector(FaultSite::Device);
+        assert!(inj.decide(0, CmdClass::Write).is_some());
+        assert!(inj.decide(1, CmdClass::Write).is_some());
+        assert!(inj.decide(2, CmdClass::Write).is_none());
+        assert_eq!(inj.injected(), 2);
+    }
+
+    #[test]
+    fn probabilistic_rules_replay_identically_per_seed() {
+        let plan = FaultPlan::media_fail_rate(0x5EED, 0.3);
+        let run = |plan: &FaultPlan| {
+            let mut inj = plan.injector(FaultSite::Device);
+            (0..200)
+                .map(|i| inj.decide(i, CmdClass::Read).is_some())
+                .collect::<Vec<bool>>()
+        };
+        let a = run(&plan);
+        let b = run(&plan);
+        assert_eq!(a, b, "same seed must give the same fault sequence");
+        let hits = a.iter().filter(|&&h| h).count();
+        assert!(
+            hits > 20 && hits < 120,
+            "rate ~0.3 must roughly hold ({hits})"
+        );
+    }
+
+    #[test]
+    fn sites_draw_independent_streams() {
+        let plan = FaultPlan::new(42)
+            .rule(
+                FaultRule::new(FaultSite::Device, FaultAction::MediaError { dnr: false })
+                    .probability(0.5),
+            )
+            .rule(
+                FaultRule::new(FaultSite::KernelDm, FaultAction::DropCompletion).probability(0.5),
+            );
+        let dev: Vec<bool> = {
+            let mut inj = plan.injector(FaultSite::Device);
+            (0..64)
+                .map(|i| inj.decide(i, CmdClass::Read).is_some())
+                .collect()
+        };
+        // Adding traffic at another site must not change the device stream.
+        let mut kd = plan.injector(FaultSite::KernelDm);
+        for i in 0..64 {
+            let _ = kd.decide(i, CmdClass::Write);
+        }
+        let dev2: Vec<bool> = {
+            let mut inj = plan.injector(FaultSite::Device);
+            (0..64)
+                .map(|i| inj.decide(i, CmdClass::Read).is_some())
+                .collect()
+        };
+        assert_eq!(dev, dev2);
+    }
+
+    #[test]
+    fn deterministic_rules_do_not_consume_randomness() {
+        // A windowed always-fire rule ahead of a probabilistic one: commands
+        // inside the window must not shift the probabilistic stream.
+        let base = FaultPlan::new(9).rule(
+            FaultRule::new(FaultSite::Device, FaultAction::MediaError { dnr: false })
+                .probability(0.4),
+        );
+        let with_window = FaultPlan::new(9)
+            .rule(FaultRule::new(FaultSite::Device, FaultAction::Stall(500)).window(0, 10))
+            .rule(
+                FaultRule::new(FaultSite::Device, FaultAction::MediaError { dnr: false })
+                    .probability(0.4),
+            );
+        let tail = |plan: &FaultPlan| {
+            let mut inj = plan.injector(FaultSite::Device);
+            (10..100)
+                .map(|i| inj.decide(i, CmdClass::Read).is_some())
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(tail(&base), tail(&with_window));
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let plan = FaultPlan::new(5)
+            .rule(FaultRule::new(FaultSite::ReplicaLink, FaultAction::LinkOutage).window(0, 50))
+            .rule(FaultRule::new(
+                FaultSite::ReplicaLink,
+                FaultAction::MediaError { dnr: true },
+            ));
+        let mut inj = plan.injector(FaultSite::ReplicaLink);
+        assert_eq!(
+            inj.decide(10, CmdClass::Write),
+            Some(FaultAction::LinkOutage)
+        );
+        assert_eq!(
+            inj.decide(60, CmdClass::Write),
+            Some(FaultAction::MediaError { dnr: true })
+        );
+    }
+
+    #[test]
+    fn media_fail_rate_zero_is_empty() {
+        assert!(FaultPlan::media_fail_rate(1, 0.0).is_empty());
+        assert!(!FaultPlan::media_fail_rate(1, 0.1).is_empty());
+        assert!(FaultPlan::media_fail_rate(1, 0.1).has_site(FaultSite::Device));
+        assert!(!FaultPlan::media_fail_rate(1, 0.1).has_site(FaultSite::KernelDm));
+    }
+}

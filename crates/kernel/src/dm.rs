@@ -1,10 +1,12 @@
 //! Block layer + device-mapper pipeline.
 
 use nvmetro_crypto::Xts;
+use nvmetro_faults::{CmdClass, FaultAction, FaultInjector};
 use nvmetro_mem::{prp_segments, GuestMemory, PAGE_SIZE};
 use nvmetro_nvme::{CqConsumer, SqProducer, Status, SubmissionEntry, LBA_SIZE};
 use nvmetro_sim::cost::CostModel;
 use nvmetro_sim::{Ns, Station};
+use nvmetro_telemetry::{Metric, TelemetryHandle};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -103,6 +105,8 @@ pub struct KernelDm {
     next_cid: u16,
     done: Vec<(u64, Status)>,
     charged_extra: Ns,
+    faults: FaultInjector,
+    telemetry: TelemetryHandle,
 }
 
 impl KernelDm {
@@ -139,7 +143,26 @@ impl KernelDm {
             next_cid: 0,
             done: Vec::new(),
             charged_extra: 0,
+            faults: FaultInjector::off(),
+            telemetry: TelemetryHandle::disabled(),
         }
+    }
+
+    /// Arms a fault injector (the `KernelDm` site of a seeded fault plan):
+    /// matching rules fire at submit time, before the block layer.
+    pub fn set_faults(&mut self, injector: FaultInjector) {
+        self.faults = injector;
+    }
+
+    /// Attaches a telemetry worker handle; injected faults are counted as
+    /// `Metric::FaultsInjected`.
+    pub fn set_telemetry(&mut self, handle: TelemetryHandle) {
+        self.telemetry = handle;
+    }
+
+    /// Faults injected into this stack so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.injected()
     }
 
     /// Memory object backing crypt bounce buffers (the device port for
@@ -150,6 +173,43 @@ impl KernelDm {
 
     /// Submits a request into the stack.
     pub fn submit(&mut self, req: DmRequest, now: Ns) {
+        let mut stall: Ns = 0;
+        if self.faults.is_active() {
+            let class = if req.write {
+                CmdClass::Write
+            } else {
+                CmdClass::Read
+            };
+            if let Some(action) = self.faults.decide(now, class) {
+                self.telemetry.count(Metric::FaultsInjected);
+                match action {
+                    // Swallowed inside the stack: no completion will ever
+                    // surface — only a router deadline can recover it.
+                    FaultAction::DropCompletion => return,
+                    FaultAction::MediaError { dnr } => {
+                        let st = if req.write {
+                            Status::WRITE_FAULT
+                        } else {
+                            Status::UNRECOVERED_READ
+                        };
+                        self.done
+                            .push((req.user, if dnr { st.with_dnr() } else { st }));
+                        return;
+                    }
+                    FaultAction::CorruptPayload => {
+                        self.done.push((req.user, Status::GUARD_CHECK));
+                        return;
+                    }
+                    FaultAction::LinkOutage => {
+                        self.done.push((req.user, Status::PATH_ERROR));
+                        return;
+                    }
+                    // A hung kernel queue: the request sits in the block
+                    // stage for the stall before normal processing.
+                    FaultAction::Stall(d) | FaultAction::CqPressure(d) => stall = d,
+                }
+            }
+        }
         let extra = match self.config {
             DmConfig::Mirror { .. } => self.cost.dmmirror_request,
             _ => 0,
@@ -160,7 +220,7 @@ impl KernelDm {
                 stage: Stage::Block,
                 post_decrypt: false,
             },
-            self.cost.block_layer + extra,
+            self.cost.block_layer + extra + stall,
             now,
         );
     }
@@ -712,6 +772,50 @@ mod tests {
             crypt.dm.charged(),
             plain.dm.charged()
         );
+    }
+
+    #[test]
+    fn fault_plan_fails_and_drops_requests_at_the_dm_site() {
+        use nvmetro_faults::{FaultPlan, FaultRule, FaultSite};
+        let mut r = rig(|| DmConfig::None, false);
+        r.dm.set_faults(
+            FaultPlan::new(0xD31)
+                .rule(
+                    FaultRule::new(FaultSite::KernelDm, FaultAction::MediaError { dnr: false })
+                        .classes(CmdClass::Write.bit())
+                        .max_hits(1),
+                )
+                .rule(
+                    FaultRule::new(FaultSite::KernelDm, FaultAction::DropCompletion)
+                        .classes(CmdClass::Read.bit())
+                        .max_hits(1),
+                )
+                .injector(FaultSite::KernelDm),
+        );
+        // First write hits the media-error rule: immediate error, device
+        // untouched.
+        let (w, _) = make_req(&r, 1, true, 0, &vec![0x11u8; 512]);
+        r.dm.submit(w, 0);
+        let mut out = Vec::new();
+        r.dm.take_done(&mut out);
+        assert_eq!(out, vec![(1, Status::WRITE_FAULT)]);
+        assert_eq!(r.dm.in_flight(), 0, "failed request never entered");
+        // First read is swallowed: nothing completes, nothing in flight.
+        let (rd, _) = make_req(&r, 2, false, 0, &vec![0u8; 512]);
+        r.dm.submit(rd, 0);
+        out.clear();
+        r.dm.take_done(&mut out);
+        assert!(out.is_empty());
+        assert_eq!(r.dm.in_flight(), 0);
+        assert_eq!(r.dm.faults_injected(), 2);
+        // Both rules exhausted: the next write goes through normally.
+        let data = vec![0x22u8; 512];
+        let (w2, _) = make_req(&r, 3, true, 4, &data);
+        r.dm.submit(w2, 0);
+        out.clear();
+        run(&mut r, &mut out, 1);
+        assert_eq!(out, vec![(3, Status::SUCCESS)]);
+        assert_eq!(r.ssd.store().read_vec(4, 1), data);
     }
 
     #[test]

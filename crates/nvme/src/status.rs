@@ -38,8 +38,15 @@ impl Status {
     pub const UNRECOVERED_READ: Status = Status::new(StatusCodeType::MediaError, 0x81);
     /// Media: write fault.
     pub const WRITE_FAULT: Status = Status::new(StatusCodeType::MediaError, 0x80);
+    /// Media: end-to-end guard check error (detected payload corruption).
+    pub const GUARD_CHECK: Status = Status::new(StatusCodeType::MediaError, 0x82);
     /// Path: internal path error (router could not reach a target).
     pub const PATH_ERROR: Status = Status::new(StatusCodeType::Path, 0x00);
+
+    /// Do Not Retry. The spec carries DNR in bit 14 of the 15-bit status
+    /// field; the field occupies bits 15:1 here (bit 0 is the phase bit),
+    /// so DNR lands in bit 15.
+    pub const DNR: u16 = 1 << 15;
 
     /// Packs a status from its type and code.
     pub const fn new(sct: StatusCodeType, sc: u8) -> Status {
@@ -64,6 +71,38 @@ impl Status {
     /// True when the command failed.
     pub fn is_error(self) -> bool {
         self.0 != 0
+    }
+
+    /// Whether the Do Not Retry bit is set.
+    pub fn dnr(self) -> bool {
+        self.0 & Self::DNR != 0
+    }
+
+    /// This status with the Do Not Retry bit set.
+    pub fn with_dnr(self) -> Status {
+        Status(self.0 | Self::DNR)
+    }
+
+    /// This status with the Do Not Retry bit cleared (classification of
+    /// the underlying code).
+    pub fn without_dnr(self) -> Status {
+        Status(self.0 & !Self::DNR)
+    }
+
+    /// Whether a failed command may be retried by the host. DNR
+    /// short-circuits everything; otherwise transient classes (media
+    /// errors, internal errors, aborts, path errors) are retryable while
+    /// protocol violations (invalid opcode/field, LBA out of range,
+    /// capacity exceeded) are terminal.
+    pub fn is_retryable(self) -> bool {
+        if !self.is_error() || self.dnr() {
+            return false;
+        }
+        match self.sct() {
+            StatusCodeType::MediaError | StatusCodeType::Path => true,
+            StatusCodeType::Generic => matches!(self.sc(), 0x06 | 0x07),
+            StatusCodeType::CommandSpecific => false,
+        }
     }
 }
 
@@ -157,6 +196,57 @@ mod tests {
         e.set_phase(false);
         assert!(!e.phase());
         assert_eq!(e.status(), Status::LBA_OUT_OF_RANGE);
+    }
+
+    #[test]
+    fn transient_statuses_are_retryable() {
+        for s in [
+            Status::UNRECOVERED_READ,
+            Status::WRITE_FAULT,
+            Status::GUARD_CHECK,
+            Status::INTERNAL,
+            Status::ABORTED,
+            Status::PATH_ERROR,
+        ] {
+            assert!(s.is_retryable(), "{s:?} must be retryable");
+        }
+    }
+
+    #[test]
+    fn protocol_violations_are_terminal() {
+        for s in [
+            Status::INVALID_OPCODE,
+            Status::INVALID_FIELD,
+            Status::LBA_OUT_OF_RANGE,
+            Status::CAPACITY_EXCEEDED,
+            Status::new(StatusCodeType::CommandSpecific, 0x10),
+        ] {
+            assert!(!s.is_retryable(), "{s:?} must be terminal");
+        }
+        assert!(!Status::SUCCESS.is_retryable(), "success needs no retry");
+    }
+
+    #[test]
+    fn dnr_short_circuits_retry() {
+        let s = Status::UNRECOVERED_READ;
+        assert!(s.is_retryable());
+        let d = s.with_dnr();
+        assert!(d.dnr());
+        assert!(d.is_error());
+        assert!(!d.is_retryable(), "DNR must defeat retry");
+        // DNR does not disturb the code classification.
+        assert_eq!(d.without_dnr(), s);
+        assert_eq!(d.sct(), StatusCodeType::MediaError);
+        assert_eq!(d.sc(), 0x81);
+    }
+
+    #[test]
+    fn dnr_survives_completion_entry_round_trip() {
+        let mut e = CompletionEntry::new(3, Status::WRITE_FAULT.with_dnr());
+        e.set_phase(true);
+        assert!(e.status().dnr());
+        assert!(!e.status().is_retryable());
+        assert_eq!(e.status().without_dnr(), Status::WRITE_FAULT);
     }
 
     #[test]

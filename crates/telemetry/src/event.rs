@@ -38,11 +38,17 @@ pub enum Stage {
     HookReentry = 6,
     /// The CQE was posted to the guest VCQ.
     VcqComplete = 7,
+    /// The router aborted the command after its deadline expired.
+    Abort = 8,
+    /// The router re-dispatched the command after a retryable failure.
+    Retry = 9,
+    /// The breaker diverted a fast-path send to the kernel path.
+    Failover = 10,
 }
 
 impl Stage {
-    /// All stages, in lifecycle order.
-    pub const ALL: [Stage; 8] = [
+    /// All stages, in lifecycle order (recovery stages last).
+    pub const ALL: [Stage; 11] = [
         Stage::VsqFetch,
         Stage::Classified,
         Stage::Dispatched,
@@ -51,6 +57,9 @@ impl Stage {
         Stage::UifService,
         Stage::HookReentry,
         Stage::VcqComplete,
+        Stage::Abort,
+        Stage::Retry,
+        Stage::Failover,
     ];
 
     /// Stable lowercase name for tables and JSON export.
@@ -64,6 +73,9 @@ impl Stage {
             Stage::UifService => "uif_service",
             Stage::HookReentry => "hook_reentry",
             Stage::VcqComplete => "vcq_complete",
+            Stage::Abort => "abort",
+            Stage::Retry => "retry",
+            Stage::Failover => "failover",
         }
     }
 }
@@ -135,16 +147,20 @@ pub enum Segment {
     DispatchToService = 1,
     /// Last service completion until the CQE hit the VCQ.
     ServiceToComplete = 2,
+    /// First observed fault (error status, deadline expiry) until the
+    /// request finally completed — the recovery latency.
+    FaultToRecovery = 3,
 }
 
 impl Segment {
     /// Number of segments.
-    pub const COUNT: usize = 3;
+    pub const COUNT: usize = 4;
     /// All segments in lifecycle order.
-    pub const ALL: [Segment; 3] = [
+    pub const ALL: [Segment; 4] = [
         Segment::IngressToDispatch,
         Segment::DispatchToService,
         Segment::ServiceToComplete,
+        Segment::FaultToRecovery,
     ];
 
     /// Stable lowercase name for tables and JSON export.
@@ -153,6 +169,7 @@ impl Segment {
             Segment::IngressToDispatch => "ingress_to_dispatch",
             Segment::DispatchToService => "dispatch_to_service",
             Segment::ServiceToComplete => "service_to_complete",
+            Segment::FaultToRecovery => "fault_to_recovery",
         }
     }
 }

@@ -51,11 +51,29 @@ pub enum Metric {
     CryptoOps = 16,
     /// Writes the replication function forwarded to the secondary.
     ReplicaWrites = 17,
+    /// Faults injected by an active fault plan (all sites).
+    FaultsInjected = 18,
+    /// Commands re-dispatched by the router after a retryable failure.
+    Retries = 19,
+    /// Commands aborted by the router after missing their deadline.
+    Aborts = 20,
+    /// Fast-path commands failed over to the kernel path by the breaker.
+    Failovers = 21,
+    /// Completions dropped from the bounded VCQ retry buffer.
+    VcqRetryDrops = 22,
+    /// Completions that arrived after their command was aborted.
+    LateCompletions = 23,
+    /// Times the replicator entered degraded mode (leg down).
+    DegradedEnters = 24,
+    /// Times the replicator exited degraded mode (resync drained).
+    DegradedExits = 25,
+    /// Dirty regions replayed to a recovered replica leg.
+    ResyncWrites = 26,
 }
 
 impl Metric {
     /// Number of metric slots.
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 27;
 
     /// All metrics in slot order.
     pub const ALL: [Metric; Metric::COUNT] = [
@@ -77,6 +95,15 @@ impl Metric {
         Metric::AdminCmds,
         Metric::CryptoOps,
         Metric::ReplicaWrites,
+        Metric::FaultsInjected,
+        Metric::Retries,
+        Metric::Aborts,
+        Metric::Failovers,
+        Metric::VcqRetryDrops,
+        Metric::LateCompletions,
+        Metric::DegradedEnters,
+        Metric::DegradedExits,
+        Metric::ResyncWrites,
     ];
 
     /// Stable snake_case name for tables and JSON export.
@@ -100,6 +127,15 @@ impl Metric {
             Metric::AdminCmds => "admin_cmds",
             Metric::CryptoOps => "crypto_ops",
             Metric::ReplicaWrites => "replica_writes",
+            Metric::FaultsInjected => "faults_injected",
+            Metric::Retries => "retries",
+            Metric::Aborts => "aborts",
+            Metric::Failovers => "failovers",
+            Metric::VcqRetryDrops => "vcq_retry_drops",
+            Metric::LateCompletions => "late_completions",
+            Metric::DegradedEnters => "degraded_enters",
+            Metric::DegradedExits => "degraded_exits",
+            Metric::ResyncWrites => "resync_writes",
         }
     }
 }

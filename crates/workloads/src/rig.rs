@@ -4,10 +4,12 @@ use crate::fio::{FioConfig, FioJob, JobStats};
 use nvmetro_baselines::mdev::MdevTranslate;
 use nvmetro_baselines::{bind_passthrough, build_mdev_router, QemuVirtioBlk, SpdkVhost, VhostScsi};
 use nvmetro_core::classify::Classifier;
+use nvmetro_core::recovery::RecoveryConfig;
 use nvmetro_core::router::{NotifyBinding, Router, VmBinding};
 use nvmetro_core::uif::UifRunner;
 use nvmetro_core::{offset_program, Partition, VirtualController, VmConfig};
 use nvmetro_device::{CompletionMode, SimSsd, SsdConfig, Transport};
+use nvmetro_faults::FaultPlan;
 use nvmetro_functions::{
     build_encryptor_classifier, build_replicator_classifier, CryptoBackend, EncryptorUif,
     ReplicatorUif,
@@ -94,6 +96,12 @@ pub struct RigOptions {
     /// built here registers a worker shard and the rig's routers, devices,
     /// kernel paths, and UIFs emit lifecycle events into it.
     pub telemetry: Telemetry,
+    /// Seeded fault plan handed to the primary device (and consulted by
+    /// any other site the plan names). Empty by default.
+    pub fault_plan: FaultPlan,
+    /// Router recovery engine configuration; `None` (default) leaves the
+    /// router surfacing faults to the guest verbatim.
+    pub recovery: Option<RecoveryConfig>,
 }
 
 impl Default for RigOptions {
@@ -104,6 +112,8 @@ impl Default for RigOptions {
             capacity_lbas: 1 << 24, // 8 GiB span: enough spread, fast sim
             seed: 42,
             telemetry: Telemetry::disabled(),
+            fault_plan: FaultPlan::none(),
+            recovery: None,
         }
     }
 }
@@ -212,7 +222,7 @@ where
             move_data: false,
             seed: opts.seed,
             transport: None,
-            fail_rate: 0.0,
+            faults: opts.fault_plan.clone(),
         },
     );
     ssd.set_telemetry(telemetry.register_worker());
@@ -234,7 +244,10 @@ where
                     one_way: cost.nvmeof_one_way,
                     per_byte: cost.nvmeof_per_byte,
                 }),
-                fail_rate: 0.0,
+                // Replica-leg outages are injected at the replicator UIF
+                // (`FaultSite::ReplicaLink`); the remote drive itself
+                // stays clean so resync has somewhere to land.
+                faults: FaultPlan::none(),
             },
         )
     });
@@ -384,7 +397,11 @@ where
                     mem.clone(),
                     (bsq_p, bcq_c),
                     host_mem,
-                    Box::new(ReplicatorUif::new().with_telemetry(telemetry.register_worker())),
+                    Box::new(
+                        ReplicatorUif::new()
+                            .with_telemetry(telemetry.register_worker())
+                            .with_faults(&opts.fault_plan),
+                    ),
                     1,
                     false,
                 );
@@ -481,7 +498,10 @@ where
         }
     }
 
-    if let Some(router) = router {
+    if let Some(mut router) = router {
+        if let Some(recovery) = opts.recovery {
+            router.set_recovery(recovery);
+        }
         ex.add(Box::new(router));
     }
     ex.add(Box::new(ssd));

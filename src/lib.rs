@@ -17,6 +17,7 @@
 //! | [`nvme`] | NVMe commands, completions, lock-free queue pairs |
 //! | [`mem`] | guest-physical memory and PRP handling |
 //! | [`device`] | the simulated NVMe SSD and NVMe-oF remote target |
+//! | [`faults`] | deterministic seeded fault plans + recovery chaos harness |
 //! | [`kernel`] | block layer + dm-linear/dm-crypt/dm-mirror substrate |
 //! | [`crypto`] | XTS-AES and the SGX enclave simulation |
 //! | [`functions`] | the encryption and replication storage functions |
@@ -37,6 +38,7 @@ pub use nvmetro_baselines as baselines;
 pub use nvmetro_core as core;
 pub use nvmetro_crypto as crypto;
 pub use nvmetro_device as device;
+pub use nvmetro_faults as faults;
 pub use nvmetro_functions as functions;
 pub use nvmetro_kernel as kernel;
 pub use nvmetro_mem as mem;

@@ -1,0 +1,721 @@
+//! Chaos integration: seeded fault plans across all three routes with the
+//! recovery engine on. Every injected fault must be either recovered
+//! (retry, deadline abort + retry, breaker failover, degraded replication)
+//! or surfaced to the guest exactly once with a correct NVMe status —
+//! never lost, never completed twice — and data read back must match data
+//! written.
+//!
+//! The `CHAOS_SEED` environment variable appends an extra seed to the
+//! matrix, letting CI sweep fixed seeds without recompiling.
+
+use nvmetro::core::classify::{verdict_bits, Classifier, NativeClassifier, RequestCtx, Verdict};
+use nvmetro::core::router::{NotifyBinding, Router, VmBinding};
+use nvmetro::core::uif::{Uif, UifDisposition, UifRequest, UifRunner};
+use nvmetro::core::{Partition, RecoveryConfig, VirtualController, VmConfig};
+use nvmetro::device::{CompletionMode, SimSsd, SsdConfig, Transport};
+use nvmetro::faults::{CmdClass, FaultAction, FaultPlan, FaultRule, FaultSite};
+use nvmetro::functions::{build_replicator_classifier, ReplicatorUif};
+use nvmetro::kernel::{DmConfig, KernelDm, RouterKernelPath};
+use nvmetro::mem::GuestMemory;
+use nvmetro::nvme::{CqPair, NvmOpcode, SqPair, Status, SubmissionEntry};
+use nvmetro::sim::cost::CostModel;
+use nvmetro::sim::{Actor, Executor, MS, US};
+use nvmetro::telemetry::{Metric, Telemetry};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Routes by opcode: reads fast, writes kernel, flushes notify.
+struct ByOpcode;
+impl NativeClassifier for ByOpcode {
+    fn classify(&mut self, ctx: &mut RequestCtx) -> Verdict {
+        Verdict(match ctx.opcode() {
+            op if op == NvmOpcode::Read as u8 => {
+                verdict_bits::SEND_HQ | verdict_bits::WILL_COMPLETE_HQ
+            }
+            op if op == NvmOpcode::Write as u8 => {
+                verdict_bits::SEND_KQ | verdict_bits::WILL_COMPLETE_KQ
+            }
+            _ => verdict_bits::SEND_NQ | verdict_bits::WILL_COMPLETE_NQ,
+        })
+    }
+}
+
+/// Everything to the fast path.
+struct AlwaysFast;
+impl NativeClassifier for AlwaysFast {
+    fn classify(&mut self, _ctx: &mut RequestCtx) -> Verdict {
+        Verdict(verdict_bits::SEND_HQ | verdict_bits::WILL_COMPLETE_HQ)
+    }
+}
+
+/// A UIF that acknowledges everything immediately.
+struct AckUif;
+impl Uif for AckUif {
+    fn work(&mut self, _req: &mut UifRequest<'_>) -> UifDisposition {
+        UifDisposition::Respond(Status::SUCCESS)
+    }
+}
+
+/// The fixed seed matrix, plus an optional `CHAOS_SEED` from the
+/// environment (used by the CI chaos stage).
+fn seeds() -> Vec<u64> {
+    let mut s = vec![0x00C0_FFEE, 0x00BE_EF01, 0x005E_ED42];
+    if let Ok(v) = std::env::var("CHAOS_SEED") {
+        if let Ok(n) = v.trim().parse::<u64>() {
+            s.push(n);
+        }
+    }
+    s
+}
+
+/// Faults at all three injection sites: deterministic one-shots first
+/// (first match wins), probabilistic noise after.
+fn matrix_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .rule(
+            FaultRule::new(FaultSite::Device, FaultAction::DropCompletion)
+                .classes(CmdClass::Read.bit())
+                .max_hits(2),
+        )
+        .rule(
+            FaultRule::new(FaultSite::Device, FaultAction::CqPressure(300 * US))
+                .classes(CmdClass::Read.bit())
+                .max_hits(1),
+        )
+        .rule(
+            FaultRule::new(FaultSite::Device, FaultAction::MediaError { dnr: true })
+                .classes(CmdClass::Read.bit())
+                .max_hits(1),
+        )
+        .rule(
+            FaultRule::new(FaultSite::Device, FaultAction::Stall(150 * US))
+                .classes(CmdClass::Read.bit())
+                .probability(0.1),
+        )
+        .rule(
+            FaultRule::new(FaultSite::Device, FaultAction::MediaError { dnr: false })
+                .classes(CmdClass::Read.bit())
+                .probability(0.15),
+        )
+        .rule(
+            FaultRule::new(FaultSite::KernelDm, FaultAction::DropCompletion)
+                .classes(CmdClass::Write.bit())
+                .max_hits(1),
+        )
+        .rule(
+            FaultRule::new(FaultSite::KernelDm, FaultAction::MediaError { dnr: false })
+                .classes(CmdClass::Write.bit())
+                .probability(0.15),
+        )
+        .rule(
+            FaultRule::new(FaultSite::UifDispatch, FaultAction::DropCompletion)
+                .classes(CmdClass::Flush.bit())
+                .max_hits(1),
+        )
+        .rule(
+            FaultRule::new(
+                FaultSite::UifDispatch,
+                FaultAction::MediaError { dnr: false },
+            )
+            .classes(CmdClass::Flush.bit())
+            .probability(0.2),
+        )
+}
+
+/// Drains the guest CQ into a per-cid count, asserting valid statuses.
+fn drain(
+    gcq: &nvmetro::nvme::CqConsumer,
+    counts: &mut HashMap<u16, u32>,
+    statuses: &mut HashMap<u16, Status>,
+) {
+    while let Some(cqe) = gcq.pop() {
+        *counts.entry(cqe.cid).or_insert(0) += 1;
+        statuses.insert(cqe.cid, cqe.status());
+    }
+}
+
+#[test]
+fn chaos_matrix_exactly_once_across_all_routes() {
+    for seed in seeds() {
+        let telemetry = Telemetry::enabled();
+        let cost = CostModel::default();
+        let plan = matrix_plan(seed);
+
+        let mut ssd = SimSsd::new(
+            "chaos-ssd",
+            SsdConfig {
+                capacity_lbas: 1 << 20,
+                move_data: true,
+                seed,
+                faults: plan.clone(),
+                ..Default::default()
+            },
+        );
+        ssd.set_telemetry(telemetry.register_worker());
+        let store = ssd.store();
+
+        let mut vc = VirtualController::new(VmConfig {
+            mem_bytes: 1 << 26,
+            queue_depth: 256,
+            ..Default::default()
+        });
+        let mem = vc.memory();
+        let (gsq, gcq) = vc.take_guest_queue(0);
+        let (vsqs, vcqs) = vc.take_router_queues();
+
+        // Fast path (reads).
+        let (hsq_p, hsq_c) = SqPair::new(256);
+        let (hcq_p, hcq_c) = CqPair::new(256);
+        ssd.add_queue(hsq_c, hcq_p, mem.clone(), CompletionMode::Polled);
+
+        // Kernel path (writes): plain block layer over its own device
+        // queue, with the KernelDm fault site armed.
+        let (ksq_p, ksq_c) = SqPair::new(256);
+        let (kcq_p, kcq_c) = CqPair::new(256);
+        ssd.add_queue(ksq_c, kcq_p, mem.clone(), CompletionMode::Polled);
+        let mut dm = KernelDm::new(
+            cost.clone(),
+            DmConfig::None,
+            vec![(ksq_p, kcq_c)],
+            mem.clone(),
+        );
+        dm.set_faults(plan.injector(FaultSite::KernelDm));
+        dm.set_telemetry(telemetry.register_worker());
+        let mut kpath = RouterKernelPath::new(dm);
+        kpath.set_telemetry(telemetry.register_worker());
+
+        // Notify path (flushes): an acking UIF with the dispatch site armed.
+        let (nsq_p, nsq_c) = SqPair::new(256);
+        let (ncq_p, ncq_c) = CqPair::new(256);
+        let host_mem = Arc::new(GuestMemory::new(1 << 20));
+        let (bsq_p, _bsq_c) = SqPair::new(64);
+        let (_bcq_p, bcq_c) = CqPair::new(64);
+        let mut uif = UifRunner::new(
+            "chaos-uif",
+            cost.clone(),
+            nsq_c,
+            ncq_p,
+            mem.clone(),
+            (bsq_p, bcq_c),
+            host_mem,
+            Box::new(AckUif),
+            1,
+            false,
+        );
+        uif.set_telemetry(telemetry.register_worker());
+        uif.set_faults(plan.injector(FaultSite::UifDispatch));
+
+        let mut router = Router::new("router", cost, 1, 512);
+        router.set_telemetry(telemetry.register_worker());
+        router.bind_vm(VmBinding {
+            vm_id: 0,
+            mem: mem.clone(),
+            partition: Partition::whole(1 << 20),
+            vsqs,
+            vcqs,
+            hsq: hsq_p,
+            hcq: hcq_c,
+            kernel: Some(Box::new(kpath)),
+            notify: Some(NotifyBinding {
+                nsq: nsq_p,
+                ncq: ncq_c,
+            }),
+            classifier: Classifier::Native(Box::new(ByOpcode)),
+        });
+        router.set_recovery(RecoveryConfig {
+            cmd_timeout: 20 * MS,
+            max_retries: 4,
+            backoff_base: 20 * US,
+            backoff_max: 200 * US,
+            breaker_threshold: 6,
+            breaker_cooldown: 2 * MS,
+            zombie_linger: 5 * MS,
+        });
+
+        let mut ex = Executor::new();
+        ex.add(Box::new(router));
+        ex.add(Box::new(ssd));
+        ex.add(Box::new(uif));
+
+        const WRITES: u16 = 48;
+        const FLUSHES: u16 = 16;
+
+        // Phase 1: writes (kernel route) and flushes (notify route).
+        let mut payloads: HashMap<u16, (u64, Vec<u8>)> = HashMap::new();
+        for i in 0..WRITES {
+            let slba = 64 + i as u64 * 16;
+            let data: Vec<u8> = (0..4096)
+                .map(|b| (b as u64 ^ seed ^ i as u64) as u8)
+                .collect();
+            let gpa = mem.alloc(data.len());
+            mem.write(gpa, &data);
+            let (p1, p2) = nvmetro::mem::build_prps(&mem, gpa, data.len());
+            let mut cmd = SubmissionEntry::write(1, slba, 8, p1, p2);
+            cmd.cid = i;
+            gsq.push(cmd).unwrap();
+            payloads.insert(i, (slba, data));
+        }
+        for i in 0..FLUSHES {
+            let mut cmd = SubmissionEntry::flush(1);
+            cmd.cid = 300 + i;
+            gsq.push(cmd).unwrap();
+        }
+        ex.run(u64::MAX);
+
+        let mut counts = HashMap::new();
+        let mut statuses = HashMap::new();
+        drain(&gcq, &mut counts, &mut statuses);
+        assert_eq!(
+            counts.len(),
+            (WRITES + FLUSHES) as usize,
+            "seed {seed:#x}: every write/flush must be answered"
+        );
+        for (cid, n) in &counts {
+            assert_eq!(*n, 1, "seed {seed:#x}: cid {cid} completed {n} times");
+        }
+
+        // Phase 2: read every written region back (fast route).
+        let mut read_buf: HashMap<u16, u64> = HashMap::new();
+        for i in 0..WRITES {
+            let (slba, _) = payloads[&i];
+            let gpa = mem.alloc(4096);
+            let (p1, p2) = nvmetro::mem::build_prps(&mem, gpa, 4096);
+            let mut cmd = SubmissionEntry::read(1, slba, 8, p1, p2);
+            cmd.cid = 600 + i;
+            gsq.push(cmd).unwrap();
+            read_buf.insert(600 + i, gpa);
+        }
+        ex.run(u64::MAX);
+
+        let mut rcounts = HashMap::new();
+        let mut rstatuses = HashMap::new();
+        drain(&gcq, &mut rcounts, &mut rstatuses);
+        assert_eq!(
+            rcounts.len(),
+            WRITES as usize,
+            "seed {seed:#x}: every read must be answered"
+        );
+        for (cid, n) in &rcounts {
+            assert_eq!(*n, 1, "seed {seed:#x}: read cid {cid} completed {n} times");
+        }
+
+        // Data integrity: where both the write and its read-back succeeded,
+        // the bytes must round-trip; the store must agree.
+        let mut verified = 0;
+        for i in 0..WRITES {
+            let (slba, data) = &payloads[&i];
+            if statuses[&i].is_error() {
+                continue;
+            }
+            assert_eq!(
+                &store.read_vec(*slba, 8),
+                data,
+                "seed {seed:#x}: store mismatch at slba {slba}"
+            );
+            if !rstatuses[&(600 + i)].is_error() {
+                let got = mem.read_vec(read_buf[&(600 + i)], 4096);
+                assert_eq!(&got, data, "seed {seed:#x}: read-back mismatch cid {i}");
+                verified += 1;
+            }
+        }
+        assert!(
+            verified > WRITES as usize / 2,
+            "seed {seed:#x}: most round trips must survive chaos ({verified})"
+        );
+
+        // Surfaced errors carry correct NVMe statuses; the one DNR read
+        // fault must have reached the guest with its DNR bit intact.
+        let dnr_reads: Vec<Status> = rstatuses.values().filter(|s| s.dnr()).copied().collect();
+        assert_eq!(
+            dnr_reads,
+            vec![Status::UNRECOVERED_READ.with_dnr()],
+            "seed {seed:#x}: the DNR media fault must surface exactly once"
+        );
+
+        // The recovery engine actually worked for its living.
+        let snap = telemetry.snapshot();
+        assert!(snap.get(Metric::FaultsInjected) > 0, "seed {seed:#x}");
+        assert!(
+            snap.get(Metric::Aborts) >= 3,
+            "seed {seed:#x}: 3 dropped completions need 3 deadline aborts, got {}",
+            snap.get(Metric::Aborts)
+        );
+        assert!(
+            snap.get(Metric::Retries) >= 3,
+            "seed {seed:#x}: aborted attempts must be retried, got {}",
+            snap.get(Metric::Retries)
+        );
+        assert_eq!(
+            snap.get(Metric::Completed),
+            (WRITES + FLUSHES + WRITES) as u64,
+            "seed {seed:#x}"
+        );
+    }
+}
+
+#[test]
+fn breaker_fails_fast_path_over_to_kernel_and_recovers() {
+    // Fast path on a device whose first reads always fail terminally;
+    // kernel path on a second, healthy device. The breaker must trip,
+    // divert reads to the kernel path, then probe half-open and restore
+    // the fast path once the device heals (fault rule exhausted).
+    let telemetry = Telemetry::enabled();
+    let cost = CostModel::default();
+    let plan = FaultPlan::new(0xB2EA_0001).rule(
+        FaultRule::new(FaultSite::Device, FaultAction::MediaError { dnr: true })
+            .classes(CmdClass::Read.bit())
+            .max_hits(3),
+    );
+
+    let mut ssd = SimSsd::new(
+        "flaky-primary",
+        SsdConfig {
+            capacity_lbas: 1 << 20,
+            move_data: false,
+            faults: plan,
+            ..Default::default()
+        },
+    );
+    let mut kdev = SimSsd::new(
+        "healthy-kdev",
+        SsdConfig {
+            capacity_lbas: 1 << 20,
+            move_data: false,
+            ..Default::default()
+        },
+    );
+
+    let mut vc = VirtualController::new(VmConfig {
+        mem_bytes: 1 << 20,
+        queue_depth: 64,
+        ..Default::default()
+    });
+    let mem = vc.memory();
+    let (gsq, gcq) = vc.take_guest_queue(0);
+    let (vsqs, vcqs) = vc.take_router_queues();
+
+    let (hsq_p, hsq_c) = SqPair::new(64);
+    let (hcq_p, hcq_c) = CqPair::new(64);
+    ssd.add_queue(hsq_c, hcq_p, mem.clone(), CompletionMode::Polled);
+
+    let (ksq_p, ksq_c) = SqPair::new(64);
+    let (kcq_p, kcq_c) = CqPair::new(64);
+    kdev.add_queue(ksq_c, kcq_p, mem.clone(), CompletionMode::Polled);
+    let dm = KernelDm::new(
+        cost.clone(),
+        DmConfig::None,
+        vec![(ksq_p, kcq_c)],
+        mem.clone(),
+    );
+    let kpath = RouterKernelPath::new(dm);
+
+    let mut router = Router::new("router", cost, 1, 128);
+    router.set_telemetry(telemetry.register_worker());
+    router.bind_vm(VmBinding {
+        vm_id: 0,
+        mem,
+        partition: Partition::whole(1 << 20),
+        vsqs,
+        vcqs,
+        hsq: hsq_p,
+        hcq: hcq_c,
+        kernel: Some(Box::new(kpath)),
+        notify: None,
+        classifier: Classifier::Native(Box::new(AlwaysFast)),
+    });
+    router.set_recovery(RecoveryConfig {
+        cmd_timeout: 50 * MS, // deadlines out of the way for this test
+        max_retries: 0,       // surfacing, not retrying, is under test
+        breaker_threshold: 3,
+        breaker_cooldown: 5 * MS,
+        ..Default::default()
+    });
+
+    let mut now = 0u64;
+    let submit = |router: &mut Router,
+                  ssd: &mut SimSsd,
+                  kdev: &mut SimSsd,
+                  now: &mut u64,
+                  cids: std::ops::Range<u16>|
+     -> Vec<Status> {
+        let n = cids.len();
+        for cid in cids {
+            let mut cmd = SubmissionEntry::read(1, (cid as u64 % 512) * 8, 8, 0x1000, 0);
+            cmd.cid = cid;
+            gsq.push(cmd).unwrap();
+        }
+        let mut got = Vec::new();
+        for _ in 0..200_000 {
+            router.poll(*now);
+            ssd.poll(*now);
+            kdev.poll(*now);
+            while let Some(cqe) = gcq.pop() {
+                got.push(cqe.status());
+            }
+            if got.len() >= n {
+                break;
+            }
+            *now += 500;
+        }
+        assert_eq!(got.len(), n, "batch must complete, got {}", got.len());
+        got
+    };
+
+    // Batch A: three terminal read faults trip the breaker.
+    let a = submit(&mut router, &mut ssd, &mut kdev, &mut now, 0..3);
+    assert!(a.iter().all(|s| *s == Status::UNRECOVERED_READ.with_dnr()));
+    assert!(
+        router.breaker(0).unwrap().is_open(),
+        "three consecutive fast-path faults must open the breaker"
+    );
+
+    // Batch B, still inside the cooldown: reads fail over to the healthy
+    // kernel path and succeed.
+    let sent_kq_before = router.stats().sent_kq;
+    let b = submit(&mut router, &mut ssd, &mut kdev, &mut now, 10..16);
+    assert!(b.iter().all(|s| !s.is_error()), "failover must serve reads");
+    let stats = router.stats();
+    assert!(stats.failovers >= 6, "got {} failovers", stats.failovers);
+    assert_eq!(stats.sent_kq, sent_kq_before + 6);
+
+    // Past the cooldown the next read probes the (now healed) fast path,
+    // closing the breaker; fast-path traffic resumes.
+    now += 6 * MS;
+    let sent_hq_before = router.stats().sent_hq;
+    let c = submit(&mut router, &mut ssd, &mut kdev, &mut now, 20..24);
+    assert!(c.iter().all(|s| !s.is_error()));
+    assert!(
+        !router.breaker(0).unwrap().is_open(),
+        "a successful half-open probe must close the breaker"
+    );
+    assert!(
+        router.stats().sent_hq > sent_hq_before,
+        "fast path restored"
+    );
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.get(Metric::Failovers), router.stats().failovers);
+}
+
+#[test]
+fn dropped_completions_recover_via_deadline_abort_and_retry() {
+    // Two reads are swallowed by the device, scheduling nothing: only the
+    // router's deadline timer (exposed through `next_event`) can advance
+    // virtual time and recover them. The run must terminate with every
+    // read successful.
+    let telemetry = Telemetry::enabled();
+    let plan = FaultPlan::new(0xD20).rule(
+        FaultRule::new(FaultSite::Device, FaultAction::DropCompletion)
+            .classes(CmdClass::Read.bit())
+            .max_hits(2),
+    );
+    let mut ssd = SimSsd::new(
+        "dropper",
+        SsdConfig {
+            capacity_lbas: 1 << 20,
+            move_data: false,
+            faults: plan,
+            ..Default::default()
+        },
+    );
+    let mut vc = VirtualController::new(VmConfig {
+        mem_bytes: 1 << 20,
+        queue_depth: 64,
+        ..Default::default()
+    });
+    let mem = vc.memory();
+    let (gsq, gcq) = vc.take_guest_queue(0);
+    let (vsqs, vcqs) = vc.take_router_queues();
+    let (hsq_p, hsq_c) = SqPair::new(64);
+    let (hcq_p, hcq_c) = CqPair::new(64);
+    ssd.add_queue(hsq_c, hcq_p, mem.clone(), CompletionMode::Polled);
+    let mut router = Router::new("router", CostModel::default(), 1, 128);
+    router.set_telemetry(telemetry.register_worker());
+    router.bind_vm(VmBinding {
+        vm_id: 0,
+        mem,
+        partition: Partition::whole(1 << 20),
+        vsqs,
+        vcqs,
+        hsq: hsq_p,
+        hcq: hcq_c,
+        kernel: None,
+        notify: None,
+        classifier: Classifier::Native(Box::new(AlwaysFast)),
+    });
+    router.set_recovery(RecoveryConfig {
+        cmd_timeout: 5 * MS,
+        max_retries: 3,
+        backoff_base: 20 * US,
+        backoff_max: 100 * US,
+        zombie_linger: MS,
+        ..Default::default()
+    });
+
+    for i in 0..10u16 {
+        let mut cmd = SubmissionEntry::read(1, i as u64 * 8, 8, 0x1000, 0);
+        cmd.cid = i;
+        gsq.push(cmd).unwrap();
+    }
+    let mut ex = Executor::new();
+    ex.add(Box::new(router));
+    ex.add(Box::new(ssd));
+    ex.run(u64::MAX); // must terminate: timers drive time past deadlines
+
+    let mut seen = 0;
+    while let Some(cqe) = gcq.pop() {
+        seen += 1;
+        assert!(
+            !cqe.status().is_error(),
+            "cid {} surfaced {:?} instead of recovering",
+            cqe.cid,
+            cqe.status()
+        );
+    }
+    assert_eq!(seen, 10, "all reads answered exactly once");
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.get(Metric::Aborts), 2, "one abort per dropped read");
+    assert_eq!(snap.get(Metric::Retries), 2, "each abort retried once");
+    assert_eq!(snap.get(Metric::LateCompletions), 0);
+}
+
+#[test]
+fn degraded_replication_logs_dirty_regions_and_resyncs_the_leg() {
+    // A replica-link outage for the first 3ms of the run: the replicator
+    // must keep acknowledging guest writes (primary-only), log the dirty
+    // regions, and — once the link heals — resync the remote leg until it
+    // matches the primary byte for byte.
+    let telemetry = Telemetry::enabled();
+    let cost = CostModel::default();
+    let plan = FaultPlan::new(0x2E71).rule(
+        FaultRule::new(FaultSite::ReplicaLink, FaultAction::LinkOutage)
+            .classes(CmdClass::Write.bit())
+            .window(0, 3 * MS),
+    );
+
+    let mut ssd = SimSsd::new(
+        "primary",
+        SsdConfig {
+            capacity_lbas: 1 << 20,
+            ..Default::default()
+        },
+    );
+    let primary = ssd.store();
+    let mut remote = SimSsd::new(
+        "remote",
+        SsdConfig {
+            capacity_lbas: 1 << 20,
+            transport: Some(Transport {
+                one_way: 10_000,
+                per_byte: 0.1,
+            }),
+            ..Default::default()
+        },
+    );
+    let secondary = remote.store();
+
+    let mut vc = VirtualController::new(VmConfig {
+        mem_bytes: 1 << 26,
+        queue_depth: 64,
+        ..Default::default()
+    });
+    let mem = vc.memory();
+    let (gsq, gcq) = vc.take_guest_queue(0);
+    let (vsqs, vcqs) = vc.take_router_queues();
+
+    let (hsq_p, hsq_c) = SqPair::new(64);
+    let (hcq_p, hcq_c) = CqPair::new(64);
+    ssd.add_queue(hsq_c, hcq_p, mem.clone(), CompletionMode::Polled);
+
+    let (nsq_p, nsq_c) = SqPair::new(64);
+    let (ncq_p, ncq_c) = CqPair::new(64);
+    let (bsq_p, bsq_c) = SqPair::new(64);
+    let (bcq_p, bcq_c) = CqPair::new(64);
+    let host_mem = Arc::new(GuestMemory::new(1 << 26));
+    remote.add_queue(bsq_c, bcq_p, host_mem.clone(), CompletionMode::Polled);
+
+    let runner = UifRunner::new(
+        "uif-replicate",
+        cost.clone(),
+        nsq_c,
+        ncq_p,
+        mem.clone(),
+        (bsq_p, bcq_c),
+        host_mem,
+        Box::new(
+            ReplicatorUif::new()
+                .with_telemetry(telemetry.register_worker())
+                .with_faults(&plan),
+        ),
+        1,
+        true,
+    );
+
+    let mut router = Router::new("router", cost, 1, 256);
+    router.bind_vm(VmBinding {
+        vm_id: 0,
+        mem: mem.clone(),
+        partition: Partition::whole(1 << 20),
+        vsqs,
+        vcqs,
+        hsq: hsq_p,
+        hcq: hcq_c,
+        kernel: None,
+        notify: Some(NotifyBinding {
+            nsq: nsq_p,
+            ncq: ncq_c,
+        }),
+        classifier: Classifier::Bpf(build_replicator_classifier(0)),
+    });
+
+    let mut payloads = Vec::new();
+    for i in 0..12u16 {
+        let slba = 1000 + i as u64 * 8;
+        let data: Vec<u8> = (0..4096).map(|b| (b as u16 ^ (i * 37)) as u8).collect();
+        let gpa = mem.alloc(data.len());
+        mem.write(gpa, &data);
+        let (p1, p2) = nvmetro::mem::build_prps(&mem, gpa, data.len());
+        let mut cmd = SubmissionEntry::write(1, slba, 8, p1, p2);
+        cmd.cid = i;
+        gsq.push(cmd).unwrap();
+        payloads.push((slba, data));
+    }
+
+    let mut ex = Executor::new();
+    ex.add(Box::new(runner));
+    ex.add(Box::new(router));
+    ex.add(Box::new(ssd));
+    ex.add(Box::new(remote));
+    // Must terminate on its own: the replicator's probe timer drives
+    // virtual time through the outage window and the resync drain.
+    ex.run(u64::MAX);
+
+    let mut seen = 0;
+    while let Some(cqe) = gcq.pop() {
+        seen += 1;
+        assert_eq!(
+            cqe.status(),
+            Status::SUCCESS,
+            "degraded mode must keep serving writes"
+        );
+    }
+    assert_eq!(seen, 12, "every write answered exactly once");
+
+    for (slba, data) in &payloads {
+        assert_eq!(&primary.read_vec(*slba, 8), data, "primary leg");
+        assert_eq!(
+            &secondary.read_vec(*slba, 8),
+            data,
+            "remote leg must match after resync (slba {slba})"
+        );
+    }
+
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.get(Metric::DegradedEnters), 1);
+    assert_eq!(snap.get(Metric::DegradedExits), 1);
+    assert!(
+        snap.get(Metric::ResyncWrites) >= 12,
+        "all dirty regions replayed, got {}",
+        snap.get(Metric::ResyncWrites)
+    );
+    assert!(snap.get(Metric::FaultsInjected) > 0);
+}

@@ -20,7 +20,7 @@ fn flaky_ssd(fail_rate: f64) -> SimSsd {
         SsdConfig {
             capacity_lbas: 1 << 20,
             move_data: false,
-            fail_rate,
+            faults: nvmetro::faults::FaultPlan::media_fail_rate(0x5517, fail_rate),
             ..Default::default()
         },
     )
