@@ -16,10 +16,14 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test --workspace -q
 
-echo "==> chaos sweep (seeded fault plans)"
+echo "==> chaos sweep (seeded fault plans, 1 and 4 shards)"
 for seed in 1 4242 31337; do
   echo "    CHAOS_SEED=$seed"
   CHAOS_SEED=$seed cargo test -q --test chaos
+  CHAOS_SEED=$seed cargo test -q --test sharding
 done
+
+echo "==> sharding scaling smoke (writes BENCH_sharding.json)"
+cargo run --release -q -p nvmetro-bench --bin scaling_smoke
 
 echo "CI OK"

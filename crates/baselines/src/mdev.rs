@@ -9,7 +9,7 @@
 //! what NVMetro's flexibility costs over raw mediation.
 
 use nvmetro_core::classify::{verdict_bits, NativeClassifier, RequestCtx, Verdict};
-use nvmetro_core::router::Router;
+use nvmetro_core::engine::RouterBuilder;
 use nvmetro_sim::cost::CostModel;
 
 /// The in-module LBA translation MDev performs.
@@ -25,14 +25,14 @@ impl NativeClassifier for MdevTranslate {
     }
 }
 
-/// Builds a router configured as MDev-NVMe: per-command cost `mdev_cmd`,
-/// zero classifier-interpretation cost. Bind VMs with
-/// [`nvmetro_core::router::VmBinding`] using a [`MdevTranslate`] classifier.
-pub fn build_mdev_router(cost: &CostModel, table_capacity: usize) -> Router {
+/// Builds a [`RouterBuilder`] configured as MDev-NVMe: per-command cost
+/// `mdev_cmd`, zero classifier-interpretation cost. Bind VMs with
+/// [`RouterBuilder::vm`] using a [`MdevTranslate`] classifier.
+pub fn build_mdev_router(cost: &CostModel) -> RouterBuilder {
     let mut mdev_cost = cost.clone();
     mdev_cost.router_cmd = cost.mdev_cmd;
     mdev_cost.classifier_run = 0;
-    Router::new("mdev", mdev_cost, 1, table_capacity)
+    RouterBuilder::new("mdev").cost(mdev_cost)
 }
 
 #[cfg(test)]
@@ -81,26 +81,28 @@ mod tests {
         let (hsq_p, hsq_c) = SqPair::new(64);
         let (hcq_p, hcq_c) = CqPair::new(64);
         ssd.add_queue(hsq_c, hcq_p, mem.clone(), CompletionMode::Polled);
-        let mut router = build_mdev_router(&cost, 256);
-        router.bind_vm(VmBinding {
-            vm_id: 0,
-            mem: mem.clone(),
-            partition,
-            vsqs,
-            vcqs,
-            hsq: hsq_p,
-            hcq: hcq_c,
-            kernel: None,
-            notify: None,
-            classifier: Classifier::Native(Box::new(MdevTranslate { lba_offset: 2048 })),
-        });
+        let engine = build_mdev_router(&cost)
+            .table_capacity(256)
+            .vm(VmBinding {
+                vm_id: 0,
+                mem: mem.clone(),
+                partition,
+                vsqs,
+                vcqs,
+                hsq: hsq_p,
+                hcq: hcq_c,
+                kernel: None,
+                notify: None,
+                classifier: Classifier::Native(Box::new(MdevTranslate { lba_offset: 2048 })),
+            })
+            .build();
         let data = vec![0xCDu8; 512];
         let gpa = mem.alloc(512);
         mem.write(gpa, &data);
         let (p1, p2) = nvmetro_mem::build_prps(&mem, gpa, 512);
         gsq.push(SubmissionEntry::write(1, 10, 1, p1, p2)).unwrap();
         let mut ex = Executor::new();
-        ex.add(Box::new(router));
+        engine.run_virtual(&mut ex);
         ex.add(Box::new(ssd));
         ex.run(u64::MAX);
         assert_eq!(gcq.pop().unwrap().status(), Status::SUCCESS);

@@ -74,7 +74,8 @@ fn bench_prp(c: &mut Criterion) {
 }
 
 fn run_router_1000_ios(telemetry: &nvmetro_telemetry::Telemetry) {
-    use nvmetro_core::router::{Router, VmBinding};
+    use nvmetro_core::engine::RouterBuilder;
+    use nvmetro_core::router::VmBinding;
     use nvmetro_core::{Partition, VirtualController, VmConfig};
     use nvmetro_device::{CompletionMode, SimSsd, SsdConfig};
     use nvmetro_sim::cost::CostModel;
@@ -88,7 +89,7 @@ fn run_router_1000_ios(telemetry: &nvmetro_telemetry::Telemetry) {
             ..Default::default()
         },
     );
-    ssd.set_telemetry(telemetry.register_worker());
+    ssd.attach_telemetry(telemetry.register_worker());
     let mut vc = VirtualController::new(VmConfig {
         mem_bytes: 1 << 20,
         queue_depth: 2048,
@@ -100,27 +101,30 @@ fn run_router_1000_ios(telemetry: &nvmetro_telemetry::Telemetry) {
     let (hsq_p, hsq_c) = SqPair::new(2048);
     let (hcq_p, hcq_c) = CqPair::new(2048);
     ssd.add_queue(hsq_c, hcq_p, mem.clone(), CompletionMode::Polled);
-    let mut router = Router::new("router", CostModel::default(), 1, 2048);
-    router.set_telemetry(telemetry.register_worker());
-    router.bind_vm(VmBinding {
-        vm_id: 0,
-        mem,
-        partition: Partition::whole(1 << 20),
-        vsqs,
-        vcqs,
-        hsq: hsq_p,
-        hcq: hcq_c,
-        kernel: None,
-        notify: None,
-        classifier: Classifier::Bpf(passthrough_program()),
-    });
+    let engine = RouterBuilder::new("router")
+        .cost(CostModel::default())
+        .table_capacity(2048)
+        .telemetry(telemetry)
+        .vm(VmBinding {
+            vm_id: 0,
+            mem,
+            partition: Partition::whole(1 << 20),
+            vsqs,
+            vcqs,
+            hsq: hsq_p,
+            hcq: hcq_c,
+            kernel: None,
+            notify: None,
+            classifier: Classifier::Bpf(passthrough_program()),
+        })
+        .build();
     for i in 0..1000u64 {
         let mut cmd = SubmissionEntry::read(1, i * 8, 8, 0x1000, 0);
         cmd.cid = (i % 2048) as u16;
         gsq.push(cmd).unwrap();
     }
     let mut ex = Executor::new();
-    ex.add(Box::new(router));
+    engine.run_virtual(&mut ex);
     ex.add(Box::new(ssd));
     ex.run(u64::MAX);
     let mut n = 0;

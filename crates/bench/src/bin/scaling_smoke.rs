@@ -1,0 +1,263 @@
+//! Sharding scaling smoke: aggregate throughput and p99 at 1 vs 4 router
+//! shards, written to `BENCH_sharding.json` for CI.
+//!
+//! The rig is deliberately router-bound: the device gets more channels,
+//! lower flash latency, and a small per-command overhead than the
+//! calibrated 970-EVO model, and the queue pairs are driven by raw
+//! closed-loop generators instead of fio guests, so the only serialized
+//! resource is the router shard itself. Four shards must then deliver at
+//! least 1.5x the aggregate IOPS of one (the acceptance bar; in practice
+//! it is close to 4x), and doorbell coalescing must hold: no more than one
+//! CQ notify per drained batch per queue.
+//!
+//! ```sh
+//! cargo run --release -p nvmetro-bench --bin scaling_smoke
+//! ```
+
+use nvmetro_core::classify::Classifier;
+use nvmetro_core::engine::{EngineVm, QueueBinding, RouterBuilder};
+use nvmetro_core::{passthrough_program, Partition};
+use nvmetro_device::{CompletionMode, SimSsd, SsdConfig};
+use nvmetro_mem::GuestMemory;
+use nvmetro_nvme::{CqConsumer, CqPair, SqPair, SqProducer, SubmissionEntry};
+use nvmetro_sim::cost::CostModel;
+use nvmetro_sim::{Actor, Executor, Ns, Progress, MS, SEC};
+use nvmetro_stats::Histogram;
+use nvmetro_telemetry::{Metric, Telemetry};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const QUEUE_PAIRS: usize = 4;
+const QD: usize = 32; // per queue pair; aggregate QD 128 >= the QD 16 bar
+const CAPACITY_LBAS: u64 = 1 << 20;
+
+/// Shared counters one generator exposes to the harness.
+#[derive(Default)]
+struct LoadStats {
+    completed: AtomicU64,
+    latency: Mutex<Histogram>,
+}
+
+/// Closed-loop read generator: keeps `qd` commands outstanding on one
+/// virtual queue pair until `deadline`, then lets the pipe drain. No
+/// modeled per-I/O guest cost — the router must be the bottleneck.
+struct Load {
+    name: String,
+    sq: SqProducer,
+    cq: CqConsumer,
+    qd: usize,
+    outstanding: usize,
+    deadline: Ns,
+    next_cid: u16,
+    lba: u64,
+    submit_ts: HashMap<u16, Ns>,
+    stats: Arc<LoadStats>,
+}
+
+impl Load {
+    fn new(name: String, sq: SqProducer, cq: CqConsumer, qd: usize, deadline: Ns) -> Self {
+        Load {
+            name,
+            sq,
+            cq,
+            qd,
+            outstanding: 0,
+            deadline,
+            next_cid: 0,
+            lba: 0,
+            submit_ts: HashMap::new(),
+            stats: Arc::new(LoadStats::default()),
+        }
+    }
+}
+
+impl Actor for Load {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn poll(&mut self, now: Ns) -> Progress {
+        let mut progressed = false;
+        while let Some(cqe) = self.cq.pop() {
+            self.outstanding -= 1;
+            self.stats.completed.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = self.submit_ts.remove(&cqe.cid) {
+                self.stats.latency.lock().unwrap().record(now - t);
+            }
+            progressed = true;
+        }
+        if now < self.deadline {
+            while self.outstanding < self.qd {
+                let mut cmd = SubmissionEntry::read(1, self.lba, 1, 0x1000, 0);
+                cmd.cid = self.next_cid;
+                if self.sq.push(cmd).is_err() {
+                    break;
+                }
+                self.submit_ts.insert(self.next_cid, now);
+                self.next_cid = self.next_cid.wrapping_add(1);
+                self.lba = (self.lba + 8) % (CAPACITY_LBAS - 8);
+                self.outstanding += 1;
+                progressed = true;
+            }
+        }
+        if progressed {
+            Progress::Busy
+        } else {
+            Progress::Idle
+        }
+    }
+
+    fn next_event(&self) -> Option<Ns> {
+        None
+    }
+}
+
+struct RunResult {
+    shards: usize,
+    iops: f64,
+    p99_ns: u64,
+    completed: u64,
+    cq_batches: u64,
+    cq_notifies: u64,
+}
+
+/// A device fast enough that the router, not the flash, saturates first.
+fn fast_device_cost() -> CostModel {
+    CostModel {
+        ssd_channels: 64,
+        ssd_read_lat: 5_000,
+        ssd_cmd_overhead: 150,
+        ssd_cmd_overhead_write: 300,
+        ssd_jitter: 0.0,
+        ..Default::default()
+    }
+}
+
+fn run_one(shards: usize, duration: Ns) -> RunResult {
+    let telemetry = Telemetry::enabled();
+    let cost = fast_device_cost();
+    let mut ssd = SimSsd::new(
+        "ssd",
+        SsdConfig {
+            capacity_lbas: CAPACITY_LBAS,
+            cost: cost.clone(),
+            move_data: false,
+            seed: 7,
+            ..Default::default()
+        },
+    );
+    let mem = Arc::new(GuestMemory::new(1 << 20));
+    let partition = Partition::whole(CAPACITY_LBAS);
+
+    let mut ex = Executor::new();
+    let mut queues = Vec::new();
+    let mut stats = Vec::new();
+    for qp in 0..QUEUE_PAIRS {
+        let (vsq_p, vsq_c) = SqPair::new(256);
+        let (vcq_p, vcq_c) = CqPair::new(256);
+        let (hsq_p, hsq_c) = SqPair::new(256);
+        let (hcq_p, hcq_c) = CqPair::new(256);
+        ssd.add_queue(hsq_c, hcq_p, mem.clone(), CompletionMode::Polled);
+        queues.push(QueueBinding {
+            vsqs: vec![vsq_c],
+            vcqs: vec![vcq_p],
+            hsq: hsq_p,
+            hcq: hcq_c,
+            kernel: None,
+            notify: None,
+            classifier: Classifier::Bpf(passthrough_program()),
+        });
+        let load = Load::new(format!("load-{qp}"), vsq_p, vcq_c, QD, duration);
+        stats.push(load.stats.clone());
+        ex.add(Box::new(load));
+    }
+
+    let engine = RouterBuilder::new("router")
+        .cost(cost)
+        .shards(shards)
+        .table_capacity(4096)
+        .telemetry(&telemetry)
+        .vm(EngineVm {
+            vm_id: 0,
+            mem,
+            partition,
+            queues,
+        })
+        .build();
+    engine.run_virtual(&mut ex);
+    ex.add(Box::new(ssd));
+
+    let report = ex.run(u64::MAX);
+    let mut completed = 0u64;
+    let mut hist = Histogram::new();
+    for s in &stats {
+        completed += s.completed.load(Ordering::Relaxed);
+        hist.merge(&s.latency.lock().unwrap());
+    }
+    let snap = telemetry.snapshot();
+    RunResult {
+        shards,
+        iops: completed as f64 * SEC as f64 / report.duration.max(1) as f64,
+        p99_ns: hist.p99(),
+        completed,
+        cq_batches: snap.get(Metric::CqBatches),
+        cq_notifies: snap.get(Metric::CqNotifies),
+    }
+}
+
+fn main() {
+    let duration = std::env::var("NVMETRO_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(60)
+        * MS;
+
+    let mut results = Vec::new();
+    for shards in [1usize, 4] {
+        let r = run_one(shards, duration);
+        println!(
+            "shards={} iops={:.0} p99={}ns completed={} cq_batches={} cq_notifies={}",
+            r.shards, r.iops, r.p99_ns, r.completed, r.cq_batches, r.cq_notifies
+        );
+        // Doorbell coalescing bar: at most one notify per drained batch
+        // per touched queue. Each flush touches at most QUEUE_PAIRS queues
+        // on a shard, so globally cq_notifies <= cq_batches * QUEUE_PAIRS.
+        assert!(
+            r.cq_notifies <= r.cq_batches * QUEUE_PAIRS as u64,
+            "coalescing violated: {} notifies for {} batches",
+            r.cq_notifies,
+            r.cq_batches
+        );
+        assert!(
+            r.cq_notifies <= r.completed,
+            "more notifies than completions"
+        );
+        results.push(r);
+    }
+
+    let base = results[0].iops;
+    let speedup = results[1].iops / base.max(1.0);
+    let json = format!(
+        "{{\n  \"queue_pairs\": {},\n  \"qd_per_queue\": {},\n  \"duration_ms\": {},\n  \"results\": [\n{}\n  ],\n  \"speedup_1_to_4\": {:.3}\n}}\n",
+        QUEUE_PAIRS,
+        QD,
+        duration / MS,
+        results
+            .iter()
+            .map(|r| format!(
+                "    {{\"shards\": {}, \"iops\": {:.0}, \"p99_ns\": {}, \"completed\": {}, \"cq_batches\": {}, \"cq_notifies\": {}}}",
+                r.shards, r.iops, r.p99_ns, r.completed, r.cq_batches, r.cq_notifies
+            ))
+            .collect::<Vec<_>>()
+            .join(",\n"),
+        speedup
+    );
+    std::fs::write("BENCH_sharding.json", &json).expect("write BENCH_sharding.json");
+    println!("{json}");
+    assert!(
+        speedup >= 1.5,
+        "sharding speedup {speedup:.2}x below the 1.5x acceptance bar"
+    );
+    println!("scaling smoke OK: {speedup:.2}x");
+}

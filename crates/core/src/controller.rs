@@ -118,7 +118,7 @@ impl VirtualController {
     }
 
     /// Attaches a telemetry worker handle (see `nvmetro-telemetry`).
-    pub fn set_telemetry(&mut self, handle: TelemetryHandle) {
+    pub fn attach_telemetry(&mut self, handle: TelemetryHandle) {
         self.telemetry = handle;
     }
 

@@ -29,6 +29,7 @@
 
 pub mod classify;
 pub mod controller;
+pub mod engine;
 pub mod guest;
 pub mod recovery;
 pub mod router;
@@ -41,6 +42,9 @@ pub use classify::{
     CTX_SIZE, HOOK_HCQ, HOOK_KCQ, HOOK_NCQ, HOOK_VSQ,
 };
 pub use controller::{Partition, VirtualController, VmConfig};
+pub use engine::{
+    BreakerState, Engine, EngineStats, EngineVm, Placement, QueueBinding, RouterBuilder,
+};
 pub use guest::{GuestDriver, GuestError, GuestInfo};
 pub use recovery::{CircuitBreaker, Gate, RecoveryConfig};
 pub use router::{KernelPath, Router, RouterStats, VmBinding};

@@ -31,7 +31,7 @@ use nvmetro_nvme::{
 };
 use nvmetro_sim::cost::CostModel;
 use nvmetro_sim::{Actor, CpuMode, Ns, Progress, Station, US};
-use nvmetro_telemetry::{Metric, PathKind, Route, Segment, Stage, TelemetryHandle};
+use nvmetro_telemetry::{Depth, Metric, PathKind, Route, Segment, Stage, TelemetryHandle};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -113,6 +113,34 @@ pub struct RouterStats {
     pub vcq_retry_drops: u64,
     /// Completions that arrived after their attempt was aborted.
     pub late_completions: u64,
+    /// Guest doorbell notifies issued for coalesced VCQ flushes: one per
+    /// (vm, vsq) group per flush, however many CQEs the flush carried.
+    pub cq_notifies: u64,
+    /// Coalesced VCQ flushes (at most one per poll).
+    pub cq_batches: u64,
+}
+
+impl RouterStats {
+    /// Adds another shard's counters into this one (used by the engine's
+    /// aggregated view).
+    pub fn merge(&mut self, other: &RouterStats) {
+        self.accepted += other.accepted;
+        self.classifier_runs += other.classifier_runs;
+        self.sent_hq += other.sent_hq;
+        self.sent_kq += other.sent_kq;
+        self.sent_nq += other.sent_nq;
+        self.multicasts += other.multicasts;
+        self.completed += other.completed;
+        self.errors += other.errors;
+        self.spurious += other.spurious;
+        self.retries += other.retries;
+        self.aborts += other.aborts;
+        self.failovers += other.failovers;
+        self.vcq_retry_drops += other.vcq_retry_drops;
+        self.late_completions += other.late_completions;
+        self.cq_notifies += other.cq_notifies;
+        self.cq_batches += other.cq_batches;
+    }
 }
 
 enum Work {
@@ -138,6 +166,11 @@ type Timer = (Ns, u16, u64, u16, u8);
 /// A pending re-dispatch: at `.0`, replay request `(tag, seq)` of VM `.3`.
 type RetryEntry = (Ns, u16, u64, u16);
 
+/// Default per-queue batch: entries drained per SQ visit and the unit of
+/// CQ doorbell coalescing (the paper's "process multiple requests per
+/// poll" discipline).
+pub const DEFAULT_BATCH: usize = 32;
+
 /// The I/O router actor. One router instance is one worker thread in the
 /// paper's deployment; several VMs share it round-robin.
 pub struct Router {
@@ -147,6 +180,8 @@ pub struct Router {
     table: RoutingTable,
     station: Station<Work>,
     kernel_out: Vec<(u16, Status)>,
+    batch: usize,
+    cq_batch: Vec<(usize, u16, CompletionEntry)>,
     vcq_retry: Vec<(usize, u16, CompletionEntry)>,
     vcq_retry_cap: usize,
     last_poll: Ns,
@@ -171,6 +206,8 @@ impl Router {
             table: RoutingTable::new(table_capacity),
             station: Station::new(workers.max(1)),
             kernel_out: Vec::new(),
+            batch: DEFAULT_BATCH,
+            cq_batch: Vec::new(),
             vcq_retry: Vec::new(),
             vcq_retry_cap: 2 * table_capacity,
             last_poll: 0,
@@ -189,7 +226,15 @@ impl Router {
     /// statuses, and a per-VM circuit breaker that fails fast-path sends
     /// over to the kernel path. Without this call the router surfaces
     /// every fault to the guest verbatim, as before.
+    #[deprecated(
+        since = "0.4.0",
+        note = "configure recovery via RouterBuilder::recovery"
+    )]
     pub fn set_recovery(&mut self, cfg: RecoveryConfig) {
+        self.configure_recovery(cfg);
+    }
+
+    pub(crate) fn configure_recovery(&mut self, cfg: RecoveryConfig) {
         self.breakers = self
             .vms
             .iter()
@@ -203,11 +248,41 @@ impl Router {
         self.breakers.get(vm)
     }
 
+    /// `(vm_id, breaker)` for every bound VM, in bind order (used by the
+    /// engine's aggregated stats).
+    pub(crate) fn breaker_view(&self) -> impl Iterator<Item = (u32, &CircuitBreaker)> {
+        self.vms.iter().map(|v| v.vm_id).zip(self.breakers.iter())
+    }
+
+    /// Whether the recovery engine is configured.
+    pub fn recovery_enabled(&self) -> bool {
+        self.recovery.is_some()
+    }
+
     /// Attaches a telemetry handle (from `Telemetry::register_worker`).
     /// The default is a disabled handle, which costs one branch per
     /// instrumentation point.
+    #[deprecated(
+        since = "0.4.0",
+        note = "configure telemetry via RouterBuilder::telemetry"
+    )]
     pub fn set_telemetry(&mut self, handle: TelemetryHandle) {
+        self.configure_telemetry(handle);
+    }
+
+    pub(crate) fn configure_telemetry(&mut self, handle: TelemetryHandle) {
         self.telemetry = handle;
+    }
+
+    /// Bounds how many entries one SQ visit drains and how many CQEs one
+    /// coalesced VCQ flush groups (the builder's `batch` knob).
+    pub(crate) fn configure_batch(&mut self, batch: usize) {
+        self.batch = batch.max(1);
+    }
+
+    /// The configured per-queue batch bound.
+    pub fn batch(&self) -> usize {
+        self.batch
     }
 
     /// Binds a VM; returns its index.
@@ -239,15 +314,28 @@ impl Router {
 
     /// Replaces a VM's classifier at runtime ("storage administrators can
     /// install, migrate and remove storage functions on the fly", §III-B).
+    #[deprecated(
+        since = "0.4.0",
+        note = "use classifier_mut, or bind the classifier via RouterBuilder::vm"
+    )]
     pub fn install_classifier(&mut self, vm: usize, classifier: Classifier) -> Classifier {
+        self.replace_classifier(vm, classifier)
+    }
+
+    pub(crate) fn replace_classifier(&mut self, vm: usize, classifier: Classifier) -> Classifier {
         std::mem::replace(&mut self.vms[vm].classifier, classifier)
     }
 
     fn ingest(&mut self, now: Ns) -> bool {
         let mut any = false;
+        let batch = self.batch;
         for vm in 0..self.vms.len() {
-            // Fast-path completions.
-            while let Some(cqe) = self.vms[vm].hcq.pop() {
+            // Fast-path completions (bounded: leftovers keep the poll Busy,
+            // so the next visit continues where this one stopped).
+            for _ in 0..batch {
+                let Some(cqe) = self.vms[vm].hcq.pop() else {
+                    break;
+                };
                 let tag = cqe.cid;
                 let cost = self.completion_cost(tag, path_bits::HQ);
                 self.station.push(
@@ -283,7 +371,10 @@ impl Router {
                 }
             }
             // Notify-path completions.
-            while let Some(cqe) = self.vms[vm].notify.as_ref().and_then(|n| n.ncq.pop()) {
+            for _ in 0..batch {
+                let Some(cqe) = self.vms[vm].notify.as_ref().and_then(|n| n.ncq.pop()) else {
+                    break;
+                };
                 let tag = cqe.cid;
                 let cost = self.completion_cost(tag, path_bits::NQ);
                 self.station.push(
@@ -299,8 +390,15 @@ impl Router {
                 any = true;
             }
             // New guest commands (after completions: frees table slots).
+            // Each SQ visit drains at most `batch` entries, so one flooding
+            // queue cannot starve its neighbours: the round-robin moves on
+            // and returns once every other queue has had its turn.
             for vsq in 0..self.vms[vm].vsqs.len() {
-                while let Some((cmd, _)) = self.vms[vm].vsqs[vsq].pop() {
+                let mut drained = 0u64;
+                for _ in 0..batch {
+                    let Some((cmd, _)) = self.vms[vm].vsqs[vsq].pop() else {
+                        break;
+                    };
                     self.station.push(
                         Work::Ingress {
                             vm,
@@ -310,9 +408,17 @@ impl Router {
                         self.cost.router_cmd + self.cost.classifier_run,
                         now,
                     );
+                    drained += 1;
                     any = true;
                 }
+                if drained > 0 {
+                    self.telemetry.depth(Depth::SqBurst, drained);
+                }
             }
+        }
+        if any && self.telemetry.enabled() {
+            self.telemetry
+                .depth(Depth::TableOccupancy, self.table.in_flight() as u64);
         }
         any
     }
@@ -810,6 +916,10 @@ impl Router {
         }
     }
 
+    /// Queues a guest CQE for the end-of-poll coalesced flush. Everything a
+    /// poll completes is posted in one ring write per (vm, vsq) with a
+    /// single doorbell notify per group — the paper's interrupt-coalescing
+    /// discipline — instead of one notify per CQE.
     fn post_vcq(&mut self, vm: usize, vsq: u16, cqe: CompletionEntry, _t: Ns) {
         self.stats.completed += 1;
         self.telemetry.count(Metric::Completed);
@@ -817,16 +927,50 @@ impl Router {
             self.stats.errors += 1;
             self.telemetry.count(Metric::Errors);
         }
-        // Never overtake completions already parked for this (vm, vsq):
-        // pushing directly while earlier CQEs wait would reorder them.
-        if self.vcq_retry.iter().any(|&(v, q, _)| v == vm && q == vsq) {
-            self.buffer_vcq_retry(vm, vsq, cqe);
-            return;
+        self.cq_batch.push((vm, vsq, cqe));
+    }
+
+    /// Flushes the poll's batched CQEs into the guest VCQs: entries stay in
+    /// completion order, a full or already-backlogged (vm, vsq) parks the
+    /// rest of its entries in the retry buffer (never overtaking), and each
+    /// group that received entries gets exactly one notify.
+    fn flush_cq_batch(&mut self) -> bool {
+        if self.cq_batch.is_empty() {
+            return false;
         }
-        if let Err(cqe) = self.vms[vm].vcqs[vsq as usize].push(cqe) {
-            // VCQ full: retry on a later poll (the guest is reaping).
-            self.buffer_vcq_retry(vm, vsq, cqe);
+        let entries: Vec<(usize, u16, CompletionEntry)> = self.cq_batch.drain(..).collect();
+        self.stats.cq_batches += 1;
+        self.telemetry.count(Metric::CqBatches);
+        self.telemetry.depth(Depth::CqBatch, entries.len() as u64);
+        let mut notified: Vec<(usize, u16)> = Vec::new();
+        let mut blocked: Vec<(usize, u16)> = Vec::new();
+        for (vm, vsq, cqe) in entries {
+            // Never overtake completions already parked for this (vm, vsq):
+            // pushing directly while earlier CQEs wait would reorder them.
+            if blocked.contains(&(vm, vsq))
+                || self.vcq_retry.iter().any(|&(v, q, _)| v == vm && q == vsq)
+            {
+                self.buffer_vcq_retry(vm, vsq, cqe);
+                continue;
+            }
+            match self.vms[vm].vcqs[vsq as usize].push(cqe) {
+                Ok(()) => {
+                    if !notified.contains(&(vm, vsq)) {
+                        notified.push((vm, vsq));
+                    }
+                }
+                Err(cqe) => {
+                    // VCQ full: retry on a later poll (the guest is
+                    // reaping).
+                    blocked.push((vm, vsq));
+                    self.buffer_vcq_retry(vm, vsq, cqe);
+                }
+            }
         }
+        self.stats.cq_notifies += notified.len() as u64;
+        self.telemetry
+            .add(Metric::CqNotifies, notified.len() as u64);
+        true
     }
 
     fn buffer_vcq_retry(&mut self, vm: usize, vsq: u16, cqe: CompletionEntry) {
@@ -940,6 +1084,7 @@ impl Actor for Router {
         if !self.vcq_retry.is_empty() {
             let retries: Vec<_> = self.vcq_retry.drain(..).collect();
             let mut blocked: Vec<(usize, u16)> = Vec::new();
+            let mut notified: Vec<(usize, u16)> = Vec::new();
             for (vm, vsq, cqe) in retries {
                 if blocked.contains(&(vm, vsq)) {
                     self.vcq_retry.push((vm, vsq, cqe));
@@ -949,9 +1094,16 @@ impl Actor for Router {
                     blocked.push((vm, vsq));
                     self.vcq_retry.push((vm, vsq, cqe));
                 } else {
+                    if !notified.contains(&(vm, vsq)) {
+                        notified.push((vm, vsq));
+                    }
                     progressed = true;
                 }
             }
+            // A replay round is one coalesced ring write per queue too.
+            self.stats.cq_notifies += notified.len() as u64;
+            self.telemetry
+                .add(Metric::CqNotifies, notified.len() as u64);
         }
         if self.recovery.is_some() {
             progressed |= self.fire_timers(now);
@@ -962,6 +1114,9 @@ impl Actor for Router {
             self.apply(work, t);
             progressed = true;
         }
+        // Doorbell coalescing: everything this poll completed goes out in
+        // one flush, one notify per touched (vm, vsq).
+        progressed |= self.flush_cq_batch();
         if progressed {
             Progress::Busy
         } else {
@@ -1005,5 +1160,47 @@ impl Actor for Router {
         CpuMode::Adaptive {
             idle_timeout: self.cost.adaptive_idle_timeout,
         }
+    }
+}
+
+/// The deprecated setter shims stay for one release; these are their only
+/// sanctioned callers.
+#[cfg(test)]
+mod shim_tests {
+    #![allow(deprecated)]
+
+    use super::*;
+    use crate::classify::passthrough_program;
+    use nvmetro_nvme::{CqPair, SqPair};
+
+    fn binding() -> VmBinding {
+        let (_vsq_p, vsq_c) = SqPair::new(16);
+        let (vcq_p, _vcq_c) = CqPair::new(16);
+        let (hsq_p, _hsq_c) = SqPair::new(16);
+        let (_hcq_p, hcq_c) = CqPair::new(16);
+        VmBinding {
+            vm_id: 0,
+            mem: Arc::new(GuestMemory::new(1 << 16)),
+            partition: crate::controller::Partition::whole(1 << 20),
+            vsqs: vec![vsq_c],
+            vcqs: vec![vcq_p],
+            hsq: hsq_p,
+            hcq: hcq_c,
+            kernel: None,
+            notify: None,
+            classifier: Classifier::Bpf(passthrough_program()),
+        }
+    }
+
+    #[test]
+    fn deprecated_setters_still_delegate() {
+        let mut router = Router::new("shim", CostModel::default(), 1, 16);
+        router.set_telemetry(TelemetryHandle::disabled());
+        let vm = router.bind_vm(binding());
+        router.set_recovery(RecoveryConfig::default());
+        assert!(router.recovery_enabled());
+        assert!(router.breaker(vm).is_some());
+        let previous = router.install_classifier(vm, Classifier::Bpf(passthrough_program()));
+        assert!(matches!(previous, Classifier::Bpf(_)));
     }
 }

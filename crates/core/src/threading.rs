@@ -5,82 +5,66 @@
 //! this is the configuration the functional examples and end-to-end tests
 //! use, mirroring the paper's deployment (router worker threads in the
 //! host kernel, UIF threads in a userspace process).
+//!
+//! The drive loop itself lives in `nvmetro-sim` ([`ActorThread`]) so the
+//! device crate can share it; this module adds [`Pool`], the one-decision-
+//! point deployment handle: `Engine::spawn_threads` puts every router shard
+//! on its own thread and returns a `Pool` the caller can keep adding
+//! companion actors (device, UIF runners) to, then stop as a unit.
 
-use nvmetro_sim::{Actor, Ns, Progress};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Instant;
+pub use nvmetro_sim::ActorThread;
 
-/// An [`Actor`] being driven by a dedicated OS thread.
+use nvmetro_sim::Actor;
+
+/// A set of OS threads driving boxed actors at a common time scale.
 ///
-/// The loop implements the adaptive-polling discipline in real time: after
-/// a run of idle polls it yields to the OS (the paper's `epoll` fallback),
-/// resuming hard polling as soon as work reappears.
-pub struct ActorThread<A: Actor + Send + 'static> {
-    stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<A>>,
+/// Replaces the per-call-site `ActorThread::spawn` / `DeviceThread::spawn`
+/// wiring: one `Pool` owns the whole real-thread deployment and joins it in
+/// one place.
+pub struct Pool {
+    time_scale: f64,
+    threads: Vec<ActorThread<Box<dyn Actor + Send>>>,
 }
 
-impl<A: Actor + Send + 'static> ActorThread<A> {
-    /// Moves `actor` onto a new thread. `time_scale` compresses virtual
-    /// costs exactly as in `DeviceThread` (1.0 = modeled nanoseconds are
-    /// wall nanoseconds; 100.0 = 100x faster than modeled).
-    pub fn spawn(mut actor: A, time_scale: f64) -> Self {
-        assert!(time_scale > 0.0);
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = stop.clone();
-        let name = actor.name().to_string();
-        let handle = std::thread::Builder::new()
-            .name(format!("{name}-thread"))
-            .spawn(move || {
-                let start = Instant::now();
-                let mut idle_streak = 0u32;
-                while !stop2.load(Ordering::Relaxed) {
-                    let now: Ns = (start.elapsed().as_nanos() as f64 * time_scale) as Ns;
-                    match actor.poll(now) {
-                        Progress::Busy => idle_streak = 0,
-                        Progress::Idle => {
-                            idle_streak = idle_streak.saturating_add(1);
-                            if idle_streak > 32 {
-                                // Park briefly: the OS-assisted wait of the
-                                // paper's adaptive polling.
-                                std::thread::yield_now();
-                            } else {
-                                std::hint::spin_loop();
-                            }
-                        }
-                    }
-                }
-                // Drain remaining scheduled work before handing back.
-                while let Some(t) = actor.next_event() {
-                    actor.poll(t);
-                }
-                actor
-            })
-            .expect("spawn actor thread");
-        ActorThread {
-            stop,
-            handle: Some(handle),
+impl Pool {
+    /// An empty pool; threads spawned through it share `time_scale`.
+    pub fn new(time_scale: f64) -> Self {
+        assert!(time_scale > 0.0, "time scale must be positive");
+        Pool {
+            time_scale,
+            threads: Vec::new(),
         }
     }
 
-    /// Stops the thread and returns the actor.
-    pub fn stop(mut self) -> A {
-        self.stop.store(true, Ordering::Relaxed);
-        self.handle
-            .take()
-            .expect("still running")
-            .join()
-            .expect("actor thread panicked")
+    /// Moves `actor` onto its own OS thread.
+    pub fn spawn(&mut self, actor: impl Actor + Send + 'static) {
+        self.spawn_boxed(Box::new(actor));
     }
-}
 
-impl<A: Actor + Send + 'static> Drop for ActorThread<A> {
-    fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
+    /// Moves an already-boxed actor onto its own OS thread.
+    pub fn spawn_boxed(&mut self, actor: Box<dyn Actor + Send>) {
+        self.threads
+            .push(ActorThread::spawn(actor, self.time_scale));
+    }
+
+    /// Number of threads the pool is driving.
+    pub fn len(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Whether the pool is driving any threads.
+    pub fn is_empty(&self) -> bool {
+        self.threads.is_empty()
+    }
+
+    /// The common time scale threads are driven at.
+    pub fn time_scale(&self) -> f64 {
+        self.time_scale
+    }
+
+    /// Stops every thread and returns the actors in spawn order (each has
+    /// drained its remaining scheduled work).
+    pub fn stop(self) -> Vec<Box<dyn Actor + Send>> {
+        self.threads.into_iter().map(ActorThread::stop).collect()
     }
 }

@@ -355,7 +355,7 @@ impl UifRunner {
     }
 
     /// Attaches a telemetry worker handle (see `nvmetro-telemetry`).
-    pub fn set_telemetry(&mut self, handle: TelemetryHandle) {
+    pub fn attach_telemetry(&mut self, handle: TelemetryHandle) {
         self.telemetry = handle;
     }
 

@@ -420,7 +420,7 @@ fn on_the_fly_classifier_replacement() {
         notify: None,
         classifier: Classifier::Bpf(passthrough_program()),
     });
-    router.install_classifier(vm, Classifier::Native(Box::new(RejectAll)));
+    *router.classifier_mut(vm) = Classifier::Native(Box::new(RejectAll));
 
     let mut ex = Executor::new();
     ex.add(Box::new(router));

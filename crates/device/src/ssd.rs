@@ -170,7 +170,7 @@ impl SimSsd {
     /// Attaches a telemetry worker handle (see `nvmetro-telemetry`). Device
     /// events carry no VM identity (the device sees only tags), so they are
     /// emitted with `VM_ANY` and correlated by tag + time window.
-    pub fn set_telemetry(&mut self, handle: TelemetryHandle) {
+    pub fn attach_telemetry(&mut self, handle: TelemetryHandle) {
         self.telemetry = handle;
     }
 

@@ -2,80 +2,31 @@
 //!
 //! In virtual-time runs the executor steps the SSD; functional examples and
 //! integration tests instead run it on an OS thread against the wall clock,
-//! like real hardware operating asynchronously from the host CPU.
+//! like real hardware operating asynchronously from the host CPU. The drive
+//! loop is the shared [`ActorThread`] from `nvmetro-sim`; this type only
+//! keeps the device-flavoured name and the typed `stop() -> SimSsd`.
 
 use crate::ssd::SimSsd;
-use nvmetro_sim::{Actor, Ns, Progress};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Instant;
+use nvmetro_sim::ActorThread;
 
 /// A device running on its own OS thread until dropped or stopped.
 pub struct DeviceThread {
-    stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<SimSsd>>,
+    inner: ActorThread<SimSsd>,
 }
 
 impl DeviceThread {
     /// Moves the device onto a new thread. `time_scale` compresses modeled
     /// latencies (e.g. `100.0` makes a 60 µs read complete in 0.6 µs of
     /// wall time) so functional tests stay fast while preserving ordering.
-    pub fn spawn(mut ssd: SimSsd, time_scale: f64) -> Self {
-        assert!(time_scale > 0.0, "time scale must be positive");
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = stop.clone();
-        let handle = std::thread::Builder::new()
-            .name(format!("{}-thread", Actor::name(&ssd)))
-            .spawn(move || {
-                let start = Instant::now();
-                let mut idle_streak = 0u32;
-                while !stop2.load(Ordering::Relaxed) {
-                    let now: Ns = (start.elapsed().as_nanos() as f64 * time_scale) as Ns;
-                    match ssd.poll(now) {
-                        Progress::Busy => idle_streak = 0,
-                        Progress::Idle => {
-                            idle_streak = idle_streak.saturating_add(1);
-                            // Yield quickly so co-runners get the core on
-                            // small machines (single-core CI included).
-                            if idle_streak > 32 {
-                                std::thread::yield_now();
-                            } else {
-                                std::hint::spin_loop();
-                            }
-                        }
-                    }
-                }
-                // Drain whatever is still pending so shutdown is clean.
-                while let Some(t) = ssd.next_event() {
-                    ssd.poll(t);
-                }
-                ssd
-            })
-            .expect("spawn device thread");
+    pub fn spawn(ssd: SimSsd, time_scale: f64) -> Self {
         DeviceThread {
-            stop,
-            handle: Some(handle),
+            inner: ActorThread::spawn(ssd, time_scale),
         }
     }
 
     /// Stops the device thread and returns the device (with its store).
-    pub fn stop(mut self) -> SimSsd {
-        self.stop.store(true, Ordering::Relaxed);
-        self.handle
-            .take()
-            .expect("thread still running")
-            .join()
-            .expect("device thread panicked")
-    }
-}
-
-impl Drop for DeviceThread {
-    fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
+    pub fn stop(self) -> SimSsd {
+        self.inner.stop()
     }
 }
 
@@ -85,7 +36,7 @@ mod tests {
     use crate::ssd::{CompletionMode, SsdConfig};
     use nvmetro_mem::GuestMemory;
     use nvmetro_nvme::{CqPair, SqPair, Status, SubmissionEntry};
-    use std::time::Duration;
+    use std::time::{Duration, Instant};
 
     #[test]
     fn device_thread_serves_io_asynchronously() {

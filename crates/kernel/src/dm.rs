@@ -156,7 +156,7 @@ impl KernelDm {
 
     /// Attaches a telemetry worker handle; injected faults are counted as
     /// `Metric::FaultsInjected`.
-    pub fn set_telemetry(&mut self, handle: TelemetryHandle) {
+    pub fn attach_telemetry(&mut self, handle: TelemetryHandle) {
         self.telemetry = handle;
     }
 

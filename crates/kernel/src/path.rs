@@ -28,7 +28,7 @@ impl RouterKernelPath {
     /// Attaches a telemetry worker handle (see `nvmetro-telemetry`). Like
     /// the device, the kernel stack sees only tags, so its events are
     /// tag-correlated (`VM_ANY`).
-    pub fn set_telemetry(&mut self, handle: TelemetryHandle) {
+    pub fn attach_telemetry(&mut self, handle: TelemetryHandle) {
         self.telemetry = handle;
     }
 }

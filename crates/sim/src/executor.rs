@@ -65,6 +65,31 @@ pub trait Actor {
     }
 }
 
+/// Boxed actors are actors: the executor, thread pool, and engine can all
+/// hold heterogeneous `Box<dyn Actor + Send>` collections without wrapper
+/// types.
+impl<A: Actor + ?Sized> Actor for Box<A> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn poll(&mut self, now: Ns) -> Progress {
+        (**self).poll(now)
+    }
+
+    fn next_event(&self) -> Option<Ns> {
+        (**self).next_event()
+    }
+
+    fn charged(&self) -> Ns {
+        (**self).charged()
+    }
+
+    fn cpu_mode(&self) -> CpuMode {
+        (**self).cpu_mode()
+    }
+}
+
 struct Slot {
     actor: Box<dyn Actor>,
     last_busy: Option<Ns>,

@@ -12,15 +12,17 @@
 //! `nvmetro-core` threading); only the notion of time differs.
 //!
 //! The [`cost`] module is the single home of every calibration constant used
-//! by the virtual-time evaluation, as promised in `DESIGN.md` §7.
+//! by the virtual-time evaluation, as promised in `DESIGN.md` §8.
 
 pub mod cost;
 mod executor;
 mod rng;
 mod station;
+mod thread;
 mod time;
 
 pub use executor::{Actor, CpuMode, Executor, Progress, RunReport};
 pub use rng::SimRng;
 pub use station::Station;
+pub use thread::ActorThread;
 pub use time::{Ns, MS, SEC, US};

@@ -1,0 +1,92 @@
+//! Real-thread execution of poll-driven components.
+//!
+//! The same actors the virtual-time [`Executor`](crate::Executor) steps for
+//! benchmarks can run here on OS threads against the wall clock — this is
+//! the configuration the functional examples and end-to-end tests use,
+//! mirroring the paper's deployment (router worker threads in the host
+//! kernel, UIF threads in a userspace process, the device operating
+//! asynchronously). One drive loop serves every component; routers, UIF
+//! runners and the device model all go through [`ActorThread`].
+
+use crate::{Actor, Ns, Progress};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// The shared drive loop: polls `actor` against a scaled wall clock until
+/// `stop` is raised, then drains its remaining scheduled work so shutdown
+/// is clean. After a run of idle polls the loop yields to the OS (the
+/// paper's `epoll` fallback), resuming hard polling when work reappears.
+fn drive<A: Actor + ?Sized>(actor: &mut A, stop: &AtomicBool, time_scale: f64) {
+    let start = Instant::now();
+    let mut idle_streak = 0u32;
+    while !stop.load(Ordering::Relaxed) {
+        let now: Ns = (start.elapsed().as_nanos() as f64 * time_scale) as Ns;
+        match actor.poll(now) {
+            Progress::Busy => idle_streak = 0,
+            Progress::Idle => {
+                idle_streak = idle_streak.saturating_add(1);
+                // Yield quickly so co-runners get the core on small
+                // machines (single-core CI included).
+                if idle_streak > 32 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+    while let Some(t) = actor.next_event() {
+        actor.poll(t);
+    }
+}
+
+/// An [`Actor`] being driven by a dedicated OS thread.
+pub struct ActorThread<A: Actor + Send + 'static> {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<A>>,
+}
+
+impl<A: Actor + Send + 'static> ActorThread<A> {
+    /// Moves `actor` onto a new thread. `time_scale` compresses modeled
+    /// time (1.0 = modeled nanoseconds are wall nanoseconds; 100.0 = 100x
+    /// faster than modeled) so functional tests stay fast while preserving
+    /// ordering.
+    pub fn spawn(mut actor: A, time_scale: f64) -> Self {
+        assert!(time_scale > 0.0, "time scale must be positive");
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let name = actor.name().to_string();
+        let handle = std::thread::Builder::new()
+            .name(format!("{name}-thread"))
+            .spawn(move || {
+                drive(&mut actor, &stop2, time_scale);
+                actor
+            })
+            .expect("spawn actor thread");
+        ActorThread {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the thread and returns the actor.
+    pub fn stop(mut self) -> A {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle
+            .take()
+            .expect("still running")
+            .join()
+            .expect("actor thread panicked")
+    }
+}
+
+impl<A: Actor + Send + 'static> Drop for ActorThread<A> {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}

@@ -174,6 +174,37 @@ impl Segment {
     }
 }
 
+/// Occupancy-style distributions recorded by the datapath: how deep a
+/// queue was when it was visited, how many entries a batch carried. Unlike
+/// [`Segment`] these are counts, not durations, but they share the same
+/// per-shard histogram machinery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Depth {
+    /// Entries drained from one VSQ in one visit (≤ the shard's batch).
+    SqBurst = 0,
+    /// CQEs posted to guest VCQs per coalesced flush (per doorbell ring).
+    CqBatch = 1,
+    /// Routing-table occupancy sampled after each ingest pass.
+    TableOccupancy = 2,
+}
+
+impl Depth {
+    /// Number of depth series.
+    pub const COUNT: usize = 3;
+    /// All depth series in index order.
+    pub const ALL: [Depth; 3] = [Depth::SqBurst, Depth::CqBatch, Depth::TableOccupancy];
+
+    /// Stable lowercase name for tables and JSON export.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Depth::SqBurst => "sq_burst",
+            Depth::CqBatch => "cq_batch",
+            Depth::TableOccupancy => "table_occupancy",
+        }
+    }
+}
+
 /// One fixed-size trace record. 24 bytes; the ring stores these by value.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceEvent {

@@ -37,7 +37,7 @@ mod metrics;
 mod ring;
 mod snapshot;
 
-pub use event::{Ns, PathKind, Route, Segment, Stage, TraceEvent, VM_ANY};
+pub use event::{Depth, Ns, PathKind, Route, Segment, Stage, TraceEvent, VM_ANY};
 pub use metrics::Metric;
 pub use ring::TraceRing;
 pub use snapshot::{lifecycle_table, RequestKey, TelemetrySnapshot};
@@ -135,16 +135,18 @@ impl Telemetry {
         let mut counters = [0u64; Metric::COUNT];
         let mut route: [Histogram; Route::COUNT] = std::array::from_fn(|_| Histogram::new());
         let mut segment: [Histogram; Segment::COUNT] = std::array::from_fn(|_| Histogram::new());
+        let mut depth: [Histogram; Depth::COUNT] = std::array::from_fn(|_| Histogram::new());
         for shard in inner.shards.lock().unwrap().iter() {
             for m in Metric::ALL {
                 counters[m as usize] += shard.counter(m);
             }
-            shard.merge_hists_into(&mut route, &mut segment);
+            shard.merge_hists_into(&mut route, &mut segment, &mut depth);
         }
         TelemetrySnapshot {
             counters,
             route_latency: route,
             segments: segment,
+            depths: depth,
             events: inner.ring.snapshot(),
             dropped_events: inner.ring.dropped(),
         }
@@ -225,6 +227,15 @@ impl TelemetryHandle {
     pub fn segment(&self, seg: Segment, ns: u64) {
         if let Some(shard) = &self.shard {
             shard.record_segment(seg, ns);
+        }
+    }
+
+    /// Records one occupancy/batch-size sample (queue depth at a visit,
+    /// CQEs per coalesced flush, ...).
+    #[inline]
+    pub fn depth(&self, d: Depth, value: u64) {
+        if let Some(shard) = &self.shard {
+            shard.record_depth(d, value);
         }
     }
 }

@@ -6,7 +6,7 @@
 //! per-shard mutex that is uncontended on the hot path (only that worker
 //! records into it) and is taken across shards only at snapshot time.
 
-use crate::event::{Route, Segment};
+use crate::event::{Depth, Route, Segment};
 use nvmetro_stats::Histogram;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -69,11 +69,16 @@ pub enum Metric {
     DegradedExits = 25,
     /// Dirty regions replayed to a recovered replica leg.
     ResyncWrites = 26,
+    /// Guest doorbell notifies issued for coalesced VCQ flushes (one per
+    /// (vm, vsq) group per flush, however many CQEs the flush carried).
+    CqNotifies = 27,
+    /// Coalesced VCQ flushes performed (one per poll that posted CQEs).
+    CqBatches = 28,
 }
 
 impl Metric {
     /// Number of metric slots.
-    pub const COUNT: usize = 27;
+    pub const COUNT: usize = 29;
 
     /// All metrics in slot order.
     pub const ALL: [Metric; Metric::COUNT] = [
@@ -104,6 +109,8 @@ impl Metric {
         Metric::DegradedEnters,
         Metric::DegradedExits,
         Metric::ResyncWrites,
+        Metric::CqNotifies,
+        Metric::CqBatches,
     ];
 
     /// Stable snake_case name for tables and JSON export.
@@ -136,6 +143,8 @@ impl Metric {
             Metric::DegradedEnters => "degraded_enters",
             Metric::DegradedExits => "degraded_exits",
             Metric::ResyncWrites => "resync_writes",
+            Metric::CqNotifies => "cq_notifies",
+            Metric::CqBatches => "cq_batches",
         }
     }
 }
@@ -143,6 +152,7 @@ impl Metric {
 pub(crate) struct ShardHists {
     pub route: [Histogram; Route::COUNT],
     pub segment: [Histogram; Segment::COUNT],
+    pub depth: [Histogram; Depth::COUNT],
 }
 
 impl ShardHists {
@@ -150,6 +160,7 @@ impl ShardHists {
         ShardHists {
             route: std::array::from_fn(|_| Histogram::new()),
             segment: std::array::from_fn(|_| Histogram::new()),
+            depth: std::array::from_fn(|_| Histogram::new()),
         }
     }
 }
@@ -185,6 +196,11 @@ impl Shard {
         self.hists.lock().unwrap().segment[seg as usize].record(ns);
     }
 
+    #[inline]
+    pub(crate) fn record_depth(&self, d: Depth, value: u64) {
+        self.hists.lock().unwrap().depth[d as usize].record(value);
+    }
+
     pub(crate) fn counter(&self, m: Metric) -> u64 {
         self.counters[m as usize].load(Ordering::Relaxed)
     }
@@ -193,12 +209,16 @@ impl Shard {
         &self,
         route: &mut [Histogram; Route::COUNT],
         segment: &mut [Histogram; Segment::COUNT],
+        depth: &mut [Histogram; Depth::COUNT],
     ) {
         let h = self.hists.lock().unwrap();
         for (dst, src) in route.iter_mut().zip(h.route.iter()) {
             dst.merge(src);
         }
         for (dst, src) in segment.iter_mut().zip(h.segment.iter()) {
+            dst.merge(src);
+        }
+        for (dst, src) in depth.iter_mut().zip(h.depth.iter()) {
             dst.merge(src);
         }
     }
@@ -231,13 +251,16 @@ mod tests {
         a.record_route(Route::Fast, 100);
         b.record_route(Route::Fast, 300);
         b.record_segment(Segment::DispatchToService, 50);
+        a.record_depth(Depth::CqBatch, 4);
         let mut route: [Histogram; Route::COUNT] = std::array::from_fn(|_| Histogram::new());
         let mut seg: [Histogram; Segment::COUNT] = std::array::from_fn(|_| Histogram::new());
-        a.merge_hists_into(&mut route, &mut seg);
-        b.merge_hists_into(&mut route, &mut seg);
+        let mut depth: [Histogram; Depth::COUNT] = std::array::from_fn(|_| Histogram::new());
+        a.merge_hists_into(&mut route, &mut seg, &mut depth);
+        b.merge_hists_into(&mut route, &mut seg, &mut depth);
         assert_eq!(route[Route::Fast as usize].count(), 2);
         assert_eq!(route[Route::Fast as usize].min(), 100);
         assert_eq!(seg[Segment::DispatchToService as usize].count(), 1);
+        assert_eq!(depth[Depth::CqBatch as usize].max(), 4);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Point-in-time telemetry snapshot: aggregated counters, merged latency
 //! histograms, the trace-ring contents, and lifecycle reassembly.
 
-use crate::event::{Route, Segment, Stage, TraceEvent, VM_ANY};
+use crate::event::{Depth, Route, Segment, Stage, TraceEvent, VM_ANY};
 use crate::metrics::Metric;
 use nvmetro_stats::{Histogram, Table};
 use std::fmt::Write as _;
@@ -26,6 +26,8 @@ pub struct TelemetrySnapshot {
     pub route_latency: [Histogram; Route::COUNT],
     /// Stage-segment durations.
     pub segments: [Histogram; Segment::COUNT],
+    /// Occupancy/batch-size distributions (queue depth, CQEs per flush).
+    pub depths: [Histogram; Depth::COUNT],
     /// Trace-ring contents, oldest first.
     pub events: Vec<TraceEvent>,
     /// Events lost to ring wrap-around.
@@ -39,6 +41,7 @@ impl TelemetrySnapshot {
             counters: [0; Metric::COUNT],
             route_latency: std::array::from_fn(|_| Histogram::new()),
             segments: std::array::from_fn(|_| Histogram::new()),
+            depths: std::array::from_fn(|_| Histogram::new()),
             events: Vec::new(),
             dropped_events: 0,
         }
@@ -57,6 +60,11 @@ impl TelemetrySnapshot {
     /// Duration histogram for one stage segment.
     pub fn segment_hist(&self, s: Segment) -> &Histogram {
         &self.segments[s as usize]
+    }
+
+    /// Occupancy/batch-size histogram for one depth series.
+    pub fn depth_hist(&self, d: Depth) -> &Histogram {
+        &self.depths[d as usize]
     }
 
     /// Identities of all requests whose `VsqFetch` event is still in the
@@ -144,6 +152,9 @@ impl TelemetrySnapshot {
         for s in Segment::ALL {
             push(&format!("segment/{}", s.name()), self.segment_hist(s));
         }
+        for d in Depth::ALL {
+            push(&format!("depth/{}", d.name()), self.depth_hist(d));
+        }
         t
     }
 
@@ -190,6 +201,9 @@ impl TelemetrySnapshot {
         for s in Segment::ALL {
             series("segment", s.name(), self.segment_hist(s), &mut t);
         }
+        for d in Depth::ALL {
+            series("depth", d.name(), self.depth_hist(d), &mut t);
+        }
         t.to_csv()
     }
 
@@ -226,6 +240,13 @@ impl TelemetrySnapshot {
                 out.push(',');
             }
             let _ = write!(out, "\"{}\":{}", s.name(), hist_json(self.segment_hist(*s)));
+        }
+        out.push_str("},\"depths\":{");
+        for (i, d) in Depth::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", d.name(), hist_json(self.depth_hist(*d)));
         }
         let _ = write!(
             out,

@@ -17,7 +17,7 @@
 //! * [`maps`] — array maps shared between classifier invocations (used for
 //!   per-request state and configuration, like Linux BPF maps).
 //!
-//! Divergences from Linux eBPF are documented in `DESIGN.md` §7: no JIT,
+//! Divergences from Linux eBPF are documented in `DESIGN.md` §8: no JIT,
 //! no BTF, and termination is guaranteed by rejecting backward jumps
 //! (pre-5.3 Linux semantics) rather than by bounded-loop analysis.
 

@@ -11,7 +11,7 @@
 //!   (direct mediation, §III-C),
 //! * calls helpers with correctly-typed arguments,
 //! * and terminates: all jumps are forward, so execution length is bounded
-//!   by program length (pre-5.3 Linux semantics; see DESIGN.md §7).
+//!   by program length (pre-5.3 Linux semantics; see DESIGN.md §8).
 //!
 //! Null-ability of `map_lookup` results is tracked and refined through
 //! equality branches, exactly like the kernel's `PTR_TO_MAP_VALUE_OR_NULL`.

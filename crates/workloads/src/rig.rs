@@ -4,8 +4,9 @@ use crate::fio::{FioConfig, FioJob, JobStats};
 use nvmetro_baselines::mdev::MdevTranslate;
 use nvmetro_baselines::{bind_passthrough, build_mdev_router, QemuVirtioBlk, SpdkVhost, VhostScsi};
 use nvmetro_core::classify::Classifier;
+use nvmetro_core::engine::{EngineVm, QueueBinding, RouterBuilder};
 use nvmetro_core::recovery::RecoveryConfig;
-use nvmetro_core::router::{NotifyBinding, Router, VmBinding};
+use nvmetro_core::router::{NotifyBinding, VmBinding};
 use nvmetro_core::uif::UifRunner;
 use nvmetro_core::{offset_program, Partition, VirtualController, VmConfig};
 use nvmetro_device::{CompletionMode, SimSsd, SsdConfig, Transport};
@@ -102,6 +103,11 @@ pub struct RigOptions {
     /// Router recovery engine configuration; `None` (default) leaves the
     /// router surfacing faults to the guest verbatim.
     pub recovery: Option<RecoveryConfig>,
+    /// Router shard count. With more than one shard, router-based rigs
+    /// give each VM one queue group per queue pair and the builder spreads
+    /// the groups round-robin across shards; `1` (default) reproduces the
+    /// single-router wiring used by the calibrated figures.
+    pub shards: usize,
 }
 
 impl Default for RigOptions {
@@ -114,6 +120,7 @@ impl Default for RigOptions {
             telemetry: Telemetry::disabled(),
             fault_plan: FaultPlan::none(),
             recovery: None,
+            shards: 1,
         }
     }
 }
@@ -225,7 +232,7 @@ where
             faults: opts.fault_plan.clone(),
         },
     );
-    ssd.set_telemetry(telemetry.register_worker());
+    ssd.attach_telemetry(telemetry.register_worker());
 
     // Remote secondary for the replication solutions.
     let needs_remote = matches!(
@@ -252,26 +259,34 @@ where
         )
     });
     if let Some(remote) = remote.as_mut() {
-        remote.set_telemetry(telemetry.register_worker());
+        remote.attach_telemetry(telemetry.register_worker());
     }
 
     let part_lbas = opts.capacity_lbas / opts.vms as u64;
     let depth = ring_depth(qd);
 
-    // Router-based solutions share ONE router worker across all VMs.
+    // Router-based solutions share the router shards across all VMs; the
+    // table capacity is per shard, sized for the whole rig so a single
+    // shard can absorb every queue group.
+    let shards = opts.shards.max(1);
     let table_capacity = (opts.vms * queue_pairs * qd as usize * 2 + 64).min(60_000);
-    let mut router: Option<Router> = match kind {
+    let mut builder: Option<RouterBuilder> = match kind {
         SolutionKind::Nvmetro
         | SolutionKind::NvmetroEncrypt { .. }
-        | SolutionKind::NvmetroReplicate => {
-            Some(Router::new("router", cost.clone(), 1, table_capacity))
-        }
-        SolutionKind::Mdev => Some(build_mdev_router(&cost, table_capacity)),
+        | SolutionKind::NvmetroReplicate => Some(RouterBuilder::new("router").cost(cost.clone())),
+        SolutionKind::Mdev => Some(build_mdev_router(&cost)),
         _ => None,
     };
-    if let Some(router) = router.as_mut() {
-        router.set_telemetry(telemetry.register_worker());
-    }
+    builder = builder.map(|b| {
+        let mut b = b
+            .shards(shards)
+            .table_capacity(table_capacity)
+            .telemetry(&telemetry);
+        if let Some(recovery) = opts.recovery {
+            b = b.recovery(recovery);
+        }
+        b
+    });
 
     for vm in 0..opts.vms {
         let partition = Partition {
@@ -302,28 +317,54 @@ where
             }
             SolutionKind::Nvmetro | SolutionKind::Mdev => {
                 let (vsqs, vcqs) = vc.take_router_queues();
-                let (hsq_p, hsq_c) = SqPair::new(4096);
-                let (hcq_p, hcq_c) = CqPair::new(4096);
-                ssd.add_queue(hsq_c, hcq_p, mem.clone(), CompletionMode::Polled);
-                let classifier = if kind == SolutionKind::Mdev {
-                    Classifier::Native(Box::new(MdevTranslate {
-                        lba_offset: partition.lba_offset,
-                    }))
-                } else {
-                    Classifier::Bpf(offset_program(partition.lba_offset))
+                let make_classifier = |kind: SolutionKind| {
+                    if kind == SolutionKind::Mdev {
+                        Classifier::Native(Box::new(MdevTranslate {
+                            lba_offset: partition.lba_offset,
+                        }))
+                    } else {
+                        Classifier::Bpf(offset_program(partition.lba_offset))
+                    }
                 };
-                router.as_mut().unwrap().bind_vm(VmBinding {
+                let mut queues = Vec::new();
+                if shards > 1 {
+                    // One queue group per VSQ/VCQ pair: each gets its own
+                    // host queue on the device and its own classifier, so
+                    // the builder can spread the pairs across shards.
+                    for (vsq, vcq) in vsqs.into_iter().zip(vcqs) {
+                        let (hsq_p, hsq_c) = SqPair::new(4096);
+                        let (hcq_p, hcq_c) = CqPair::new(4096);
+                        ssd.add_queue(hsq_c, hcq_p, mem.clone(), CompletionMode::Polled);
+                        queues.push(QueueBinding {
+                            vsqs: vec![vsq],
+                            vcqs: vec![vcq],
+                            hsq: hsq_p,
+                            hcq: hcq_c,
+                            kernel: None,
+                            notify: None,
+                            classifier: make_classifier(kind),
+                        });
+                    }
+                } else {
+                    let (hsq_p, hsq_c) = SqPair::new(4096);
+                    let (hcq_p, hcq_c) = CqPair::new(4096);
+                    ssd.add_queue(hsq_c, hcq_p, mem.clone(), CompletionMode::Polled);
+                    queues.push(QueueBinding {
+                        vsqs,
+                        vcqs,
+                        hsq: hsq_p,
+                        hcq: hcq_c,
+                        kernel: None,
+                        notify: None,
+                        classifier: make_classifier(kind),
+                    });
+                }
+                builder = Some(builder.take().unwrap().vm(EngineVm {
                     vm_id: vm as u32,
                     mem: mem.clone(),
                     partition,
-                    vsqs,
-                    vcqs,
-                    hsq: hsq_p,
-                    hcq: hcq_c,
-                    kernel: None,
-                    notify: None,
-                    classifier,
-                });
+                    queues,
+                }));
             }
             SolutionKind::NvmetroEncrypt { sgx } => {
                 let (vsqs, vcqs) = vc.take_router_queues();
@@ -352,12 +393,12 @@ where
                     workers,
                     false,
                 );
-                runner.set_telemetry(telemetry.register_worker());
+                runner.attach_telemetry(telemetry.register_worker());
                 ex.add(Box::new(runner));
                 // The SGX switchless thread parks when no calls are
                 // pending; its steady-state CPU is inside the runner's
                 // adaptive accounting.
-                router.as_mut().unwrap().bind_vm(VmBinding {
+                builder = Some(builder.take().unwrap().vm(VmBinding {
                     vm_id: vm as u32,
                     mem: mem.clone(),
                     partition,
@@ -371,7 +412,7 @@ where
                         ncq: ncq_c,
                     }),
                     classifier: Classifier::Bpf(build_encryptor_classifier(partition.lba_offset)),
-                });
+                }));
             }
             SolutionKind::NvmetroReplicate => {
                 let (vsqs, vcqs) = vc.take_router_queues();
@@ -405,9 +446,9 @@ where
                     1,
                     false,
                 );
-                runner.set_telemetry(telemetry.register_worker());
+                runner.attach_telemetry(telemetry.register_worker());
                 ex.add(Box::new(runner));
-                router.as_mut().unwrap().bind_vm(VmBinding {
+                builder = Some(builder.take().unwrap().vm(VmBinding {
                     vm_id: vm as u32,
                     mem: mem.clone(),
                     partition,
@@ -421,7 +462,7 @@ where
                         ncq: ncq_c,
                     }),
                     classifier: Classifier::Bpf(build_replicator_classifier(partition.lba_offset)),
-                });
+                }));
             }
             SolutionKind::Vhost | SolutionKind::DmCrypt | SolutionKind::DmMirror => {
                 let (vsqs, vcqs) = vc.take_router_queues();
@@ -498,11 +539,8 @@ where
         }
     }
 
-    if let Some(mut router) = router {
-        if let Some(recovery) = opts.recovery {
-            router.set_recovery(recovery);
-        }
-        ex.add(Box::new(router));
+    if let Some(builder) = builder {
+        builder.build().run_virtual(&mut ex);
     }
     ex.add(Box::new(ssd));
     if let Some(remote) = remote {

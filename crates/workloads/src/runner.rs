@@ -76,6 +76,26 @@ pub fn run_fio(kind: SolutionKind, cfg: &FioConfig, opts: &RigOptions) -> FioRes
     }
 }
 
+/// Shard-scaling scenario: runs `cfg` once per shard count with everything
+/// else held fixed, returning `(shards, result)` rows. Only meaningful for
+/// the router-based kinds (`Nvmetro`, `Mdev`, the storage functions); other
+/// kinds ignore the shard knob.
+pub fn shard_sweep(
+    kind: SolutionKind,
+    cfg: &FioConfig,
+    opts: &RigOptions,
+    shard_counts: &[usize],
+) -> Vec<(usize, FioResult)> {
+    shard_counts
+        .iter()
+        .map(|&shards| {
+            let mut o = opts.clone();
+            o.shards = shards;
+            (shards, run_fio(kind, cfg, &o))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +200,23 @@ mod tests {
             vhost.median_ns,
             nvmetro.median_ns
         );
+    }
+
+    #[test]
+    fn sharded_rig_completes_io_without_errors() {
+        // Four queue pairs over four shards: every pair must keep flowing
+        // and the sweep helper must carry the shard counts through.
+        let cfg = quick(4096, FioMode::RandRead, 8, 4);
+        let rows = shard_sweep(SolutionKind::Nvmetro, &cfg, &RigOptions::default(), &[1, 4]);
+        assert_eq!(rows.len(), 2);
+        for (shards, r) in &rows {
+            assert_eq!(r.errors, 0, "{shards} shards produced errors");
+            assert!(
+                r.completed > 50,
+                "{shards} shards completed only {}",
+                r.completed
+            );
+        }
     }
 
     #[test]

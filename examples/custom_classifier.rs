@@ -15,7 +15,8 @@
 //! ```
 
 use nvmetro::core::classify::{classifier_verifier_config, ctx_offsets, verdict_bits, Classifier};
-use nvmetro::core::router::{Router, VmBinding};
+use nvmetro::core::engine::RouterBuilder;
+use nvmetro::core::router::VmBinding;
 use nvmetro::core::{Partition, VirtualController, VmConfig};
 use nvmetro::device::{CompletionMode, SimSsd, SsdConfig};
 use nvmetro::nvme::{CqPair, SqPair, Status, SubmissionEntry};
@@ -87,19 +88,22 @@ fn main() {
     let (hcq_p, hcq_c) = CqPair::new(256);
     ssd.add_queue(hsq_c, hcq_p, mem.clone(), CompletionMode::Polled);
 
-    let mut router = Router::new("router", CostModel::default(), 1, 256);
-    let vm_idx = router.bind_vm(VmBinding {
-        vm_id: 0,
-        mem: mem.clone(),
-        partition: Partition::whole(1 << 31),
-        vsqs,
-        vcqs,
-        hsq: hsq_p,
-        hcq: hcq_c,
-        kernel: None,
-        notify: None,
-        classifier: Classifier::Bpf(build_qos_classifier()),
-    });
+    let engine = RouterBuilder::new("router")
+        .cost(CostModel::default())
+        .table_capacity(256)
+        .vm(VmBinding {
+            vm_id: 0,
+            mem: mem.clone(),
+            partition: Partition::whole(1 << 31),
+            vsqs,
+            vcqs,
+            hsq: hsq_p,
+            hcq: hcq_c,
+            kernel: None,
+            notify: None,
+            classifier: Classifier::Bpf(build_qos_classifier()),
+        })
+        .build();
 
     let mut ex = Executor::new();
 
@@ -115,7 +119,7 @@ fn main() {
         c.cid = cid;
         guest_sq.push(c).unwrap();
     }
-    ex.add(Box::new(router));
+    engine.run_virtual(&mut ex);
     ex.add(Box::new(ssd));
     ex.run(u64::MAX);
 
@@ -149,6 +153,5 @@ fn main() {
     println!("classifier counters: reads={reads} writes={writes}");
     assert_eq!((reads, writes), (2, 1));
 
-    let _ = vm_idx;
     println!("custom_classifier OK");
 }

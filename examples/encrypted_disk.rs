@@ -11,8 +11,8 @@
 //! ```
 
 use nvmetro::core::classify::Classifier;
-use nvmetro::core::router::{NotifyBinding, Router, VmBinding};
-use nvmetro::core::threading::ActorThread;
+use nvmetro::core::engine::RouterBuilder;
+use nvmetro::core::router::{NotifyBinding, VmBinding};
 use nvmetro::core::uif::UifRunner;
 use nvmetro::core::{Partition, VirtualController, VmConfig};
 use nvmetro::crypto::Xts;
@@ -79,30 +79,34 @@ fn main() {
         true,
     );
 
-    let mut router = Router::new("router", cost, 1, 1024);
-    router.bind_vm(VmBinding {
-        vm_id: 0,
-        mem: mem.clone(),
-        partition: Partition {
-            lba_offset: PART_OFFSET,
-            lba_count: 500_000,
-        },
-        vsqs,
-        vcqs,
-        hsq: hsq_p,
-        hcq: hcq_c,
-        kernel: None,
-        notify: Some(NotifyBinding {
-            nsq: nsq_p,
-            ncq: ncq_c,
-        }),
-        classifier: Classifier::Bpf(build_encryptor_classifier(PART_OFFSET)),
-    });
+    let engine = RouterBuilder::new("router")
+        .cost(cost)
+        .table_capacity(1024)
+        .vm(VmBinding {
+            vm_id: 0,
+            mem: mem.clone(),
+            partition: Partition {
+                lba_offset: PART_OFFSET,
+                lba_count: 500_000,
+            },
+            vsqs,
+            vcqs,
+            hsq: hsq_p,
+            hcq: hcq_c,
+            kernel: None,
+            notify: Some(NotifyBinding {
+                nsq: nsq_p,
+                ncq: ncq_c,
+            }),
+            classifier: Classifier::Bpf(build_encryptor_classifier(PART_OFFSET)),
+        })
+        .build();
 
-    // Real threads: device, router, UIF.
+    // Real threads: the engine's `Pool` owns the router shard and the UIF
+    // thread; the device keeps its typed handle for `stop() -> SimSsd`.
     let dev_thread = DeviceThread::spawn(ssd, TIME_SCALE);
-    let router_thread = ActorThread::spawn(router, TIME_SCALE);
-    let uif_thread = ActorThread::spawn(runner, TIME_SCALE);
+    let mut pool = engine.spawn_threads(TIME_SCALE);
+    pool.spawn(runner);
 
     // Guest writes a secret, then reads it back.
     let secret: Vec<u8> = b"attack at dawn! "
@@ -131,8 +135,7 @@ fn main() {
     println!("guest round trip OK (2048 bytes)");
 
     // Shut the pipeline down and inspect the platter.
-    drop(router_thread);
-    drop(uif_thread);
+    pool.stop();
     let ssd = dev_thread.stop();
     let _ = ssd;
 

@@ -11,8 +11,8 @@
 
 use lsmkv::{DbConfig, LsmKv, Storage};
 use nvmetro::core::classify::Classifier;
-use nvmetro::core::router::{Router, VmBinding};
-use nvmetro::core::threading::ActorThread;
+use nvmetro::core::engine::RouterBuilder;
+use nvmetro::core::router::VmBinding;
 use nvmetro::core::{passthrough_program, Partition, VirtualController, VmConfig};
 use nvmetro::device::{CompletionMode, DeviceThread, SimSsd, SsdConfig};
 use nvmetro::mem::GuestMemory;
@@ -143,22 +143,25 @@ fn main() {
     let (hsq_p, hsq_c) = SqPair::new(64);
     let (hcq_p, hcq_c) = CqPair::new(64);
     ssd.add_queue(hsq_c, hcq_p, mem.clone(), CompletionMode::Polled);
-    let mut router = Router::new("router", CostModel::default(), 1, 256);
-    router.bind_vm(VmBinding {
-        vm_id: 0,
-        mem: mem.clone(),
-        partition: Partition::whole(1 << 20),
-        vsqs,
-        vcqs,
-        hsq: hsq_p,
-        hcq: hcq_c,
-        kernel: None,
-        notify: None,
-        classifier: Classifier::Bpf(passthrough_program()),
-    });
+    let engine = RouterBuilder::new("router")
+        .cost(CostModel::default())
+        .table_capacity(256)
+        .vm(VmBinding {
+            vm_id: 0,
+            mem: mem.clone(),
+            partition: Partition::whole(1 << 20),
+            vsqs,
+            vcqs,
+            hsq: hsq_p,
+            hcq: hcq_c,
+            kernel: None,
+            notify: None,
+            classifier: Classifier::Bpf(passthrough_program()),
+        })
+        .build();
     // Compress modeled latencies 1000x so the functional demo is snappy.
     let dev = DeviceThread::spawn(ssd, 1_000.0);
-    let rtr = ActorThread::spawn(router, 1_000.0);
+    let rtr = engine.spawn_threads(1_000.0);
 
     // The database over the virtual disk.
     let disk = NvmeDisk::new(gsq, gcq, mem, (1u64 << 20) * LBA_SIZE as u64);
@@ -194,7 +197,7 @@ fn main() {
         assert_eq!(counts.missed, 0);
     }
 
-    drop(rtr);
+    rtr.stop();
     let _ = dev.stop();
     println!("kv_store OK");
 }

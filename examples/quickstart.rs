@@ -6,7 +6,8 @@
 //! ```
 
 use nvmetro::core::classify::Classifier;
-use nvmetro::core::router::{Router, VmBinding};
+use nvmetro::core::engine::RouterBuilder;
+use nvmetro::core::router::VmBinding;
 use nvmetro::core::{passthrough_program, Partition, VirtualController, VmConfig};
 use nvmetro::device::{CompletionMode, SimSsd, SsdConfig};
 use nvmetro::nvme::{CqPair, SqPair, SubmissionEntry};
@@ -22,7 +23,7 @@ fn main() {
     // 1. A simulated 970-EVO-Plus-class SSD.
     let mut ssd = SimSsd::new("ssd", SsdConfig::default());
     let store = ssd.store();
-    ssd.set_telemetry(telemetry.register_worker());
+    ssd.attach_telemetry(telemetry.register_worker());
 
     // 2. A VM with a virtual NVMe controller: one queue pair, 6 GB memory.
     let mut vc = VirtualController::new(VmConfig {
@@ -41,22 +42,27 @@ fn main() {
     let (hcq_p, hcq_c) = CqPair::new(256);
     ssd.add_queue(hsq_c, hcq_p, mem.clone(), CompletionMode::Polled);
 
-    // 4. The router, with the paper's dummy classifier — real, verified
-    //    vbpf bytecode that returns SEND_HQ | WILL_COMPLETE_HQ.
-    let mut router = Router::new("router", CostModel::default(), 1, 1024);
-    router.set_telemetry(telemetry.register_worker());
-    router.bind_vm(VmBinding {
-        vm_id: 0,
-        mem: mem.clone(),
-        partition: Partition::whole(1 << 31),
-        vsqs,
-        vcqs,
-        hsq: hsq_p,
-        hcq: hcq_c,
-        kernel: None,
-        notify: None,
-        classifier: Classifier::Bpf(passthrough_program()),
-    });
+    // 4. The router, built through `RouterBuilder`, with the paper's
+    //    dummy classifier — real, verified vbpf bytecode that returns
+    //    SEND_HQ | WILL_COMPLETE_HQ. `shards(n)` would split queue groups
+    //    across n router shards; one VM with one queue pair needs one.
+    let engine = RouterBuilder::new("router")
+        .cost(CostModel::default())
+        .table_capacity(1024)
+        .telemetry(&telemetry)
+        .vm(VmBinding {
+            vm_id: 0,
+            mem: mem.clone(),
+            partition: Partition::whole(1 << 31),
+            vsqs,
+            vcqs,
+            hsq: hsq_p,
+            hcq: hcq_c,
+            kernel: None,
+            notify: None,
+            classifier: Classifier::Bpf(passthrough_program()),
+        })
+        .build();
 
     // 5. Guest I/O: write 4 KiB, then read it back.
     let payload: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
@@ -69,7 +75,7 @@ fn main() {
 
     // 6. Run the virtual-time executor until quiescent.
     let mut ex = Executor::new();
-    ex.add(Box::new(router));
+    engine.run_virtual(&mut ex);
     ex.add(Box::new(ssd));
     let report = ex.run(u64::MAX);
 

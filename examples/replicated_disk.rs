@@ -10,7 +10,8 @@
 //! ```
 
 use nvmetro::core::classify::Classifier;
-use nvmetro::core::router::{NotifyBinding, Router, VmBinding};
+use nvmetro::core::engine::RouterBuilder;
+use nvmetro::core::router::{NotifyBinding, VmBinding};
 use nvmetro::core::uif::UifRunner;
 use nvmetro::core::{Partition, VirtualController, VmConfig};
 use nvmetro::device::{CompletionMode, SimSsd, SsdConfig, Transport};
@@ -83,25 +84,28 @@ fn main() {
         true,
     );
 
-    let mut router = Router::new("router", cost, 1, 1024);
-    router.bind_vm(VmBinding {
-        vm_id: 0,
-        mem: mem.clone(),
-        partition,
-        vsqs,
-        vcqs,
-        hsq: hsq_p,
-        hcq: hcq_c,
-        kernel: None,
-        notify: Some(NotifyBinding {
-            nsq: nsq_p,
-            ncq: ncq_c,
-        }),
-        classifier: Classifier::Bpf(build_replicator_classifier(0)),
-    });
+    let engine = RouterBuilder::new("router")
+        .cost(cost)
+        .table_capacity(1024)
+        .vm(VmBinding {
+            vm_id: 0,
+            mem: mem.clone(),
+            partition,
+            vsqs,
+            vcqs,
+            hsq: hsq_p,
+            hcq: hcq_c,
+            kernel: None,
+            notify: Some(NotifyBinding {
+                nsq: nsq_p,
+                ncq: ncq_c,
+            }),
+            classifier: Classifier::Bpf(build_replicator_classifier(0)),
+        })
+        .build();
 
     let mut ex = Executor::new();
-    ex.add(Box::new(router));
+    engine.run_virtual(&mut ex);
     ex.add(Box::new(runner));
     ex.add(Box::new(primary));
     ex.add(Box::new(secondary));

@@ -9,6 +9,7 @@
 //! matrix, letting CI sweep fixed seeds without recompiling.
 
 use nvmetro::core::classify::{verdict_bits, Classifier, NativeClassifier, RequestCtx, Verdict};
+use nvmetro::core::engine::RouterBuilder;
 use nvmetro::core::router::{NotifyBinding, Router, VmBinding};
 use nvmetro::core::uif::{Uif, UifDisposition, UifRequest, UifRunner};
 use nvmetro::core::{Partition, RecoveryConfig, VirtualController, VmConfig};
@@ -151,7 +152,7 @@ fn chaos_matrix_exactly_once_across_all_routes() {
                 ..Default::default()
             },
         );
-        ssd.set_telemetry(telemetry.register_worker());
+        ssd.attach_telemetry(telemetry.register_worker());
         let store = ssd.store();
 
         let mut vc = VirtualController::new(VmConfig {
@@ -180,9 +181,9 @@ fn chaos_matrix_exactly_once_across_all_routes() {
             mem.clone(),
         );
         dm.set_faults(plan.injector(FaultSite::KernelDm));
-        dm.set_telemetry(telemetry.register_worker());
+        dm.attach_telemetry(telemetry.register_worker());
         let mut kpath = RouterKernelPath::new(dm);
-        kpath.set_telemetry(telemetry.register_worker());
+        kpath.attach_telemetry(telemetry.register_worker());
 
         // Notify path (flushes): an acking UIF with the dispatch site armed.
         let (nsq_p, nsq_c) = SqPair::new(256);
@@ -202,38 +203,41 @@ fn chaos_matrix_exactly_once_across_all_routes() {
             1,
             false,
         );
-        uif.set_telemetry(telemetry.register_worker());
+        uif.attach_telemetry(telemetry.register_worker());
         uif.set_faults(plan.injector(FaultSite::UifDispatch));
 
-        let mut router = Router::new("router", cost, 1, 512);
-        router.set_telemetry(telemetry.register_worker());
-        router.bind_vm(VmBinding {
-            vm_id: 0,
-            mem: mem.clone(),
-            partition: Partition::whole(1 << 20),
-            vsqs,
-            vcqs,
-            hsq: hsq_p,
-            hcq: hcq_c,
-            kernel: Some(Box::new(kpath)),
-            notify: Some(NotifyBinding {
-                nsq: nsq_p,
-                ncq: ncq_c,
-            }),
-            classifier: Classifier::Native(Box::new(ByOpcode)),
-        });
-        router.set_recovery(RecoveryConfig {
-            cmd_timeout: 20 * MS,
-            max_retries: 4,
-            backoff_base: 20 * US,
-            backoff_max: 200 * US,
-            breaker_threshold: 6,
-            breaker_cooldown: 2 * MS,
-            zombie_linger: 5 * MS,
-        });
+        let engine = RouterBuilder::new("router")
+            .cost(cost)
+            .table_capacity(512)
+            .telemetry(&telemetry)
+            .recovery(RecoveryConfig {
+                cmd_timeout: 20 * MS,
+                max_retries: 4,
+                backoff_base: 20 * US,
+                backoff_max: 200 * US,
+                breaker_threshold: 6,
+                breaker_cooldown: 2 * MS,
+                zombie_linger: 5 * MS,
+            })
+            .vm(VmBinding {
+                vm_id: 0,
+                mem: mem.clone(),
+                partition: Partition::whole(1 << 20),
+                vsqs,
+                vcqs,
+                hsq: hsq_p,
+                hcq: hcq_c,
+                kernel: Some(Box::new(kpath)),
+                notify: Some(NotifyBinding {
+                    nsq: nsq_p,
+                    ncq: ncq_c,
+                }),
+                classifier: Classifier::Native(Box::new(ByOpcode)),
+            })
+            .build();
 
         let mut ex = Executor::new();
-        ex.add(Box::new(router));
+        engine.run_virtual(&mut ex);
         ex.add(Box::new(ssd));
         ex.add(Box::new(uif));
 
@@ -409,27 +413,31 @@ fn breaker_fails_fast_path_over_to_kernel_and_recovers() {
     );
     let kpath = RouterKernelPath::new(dm);
 
-    let mut router = Router::new("router", cost, 1, 128);
-    router.set_telemetry(telemetry.register_worker());
-    router.bind_vm(VmBinding {
-        vm_id: 0,
-        mem,
-        partition: Partition::whole(1 << 20),
-        vsqs,
-        vcqs,
-        hsq: hsq_p,
-        hcq: hcq_c,
-        kernel: Some(Box::new(kpath)),
-        notify: None,
-        classifier: Classifier::Native(Box::new(AlwaysFast)),
-    });
-    router.set_recovery(RecoveryConfig {
-        cmd_timeout: 50 * MS, // deadlines out of the way for this test
-        max_retries: 0,       // surfacing, not retrying, is under test
-        breaker_threshold: 3,
-        breaker_cooldown: 5 * MS,
-        ..Default::default()
-    });
+    let engine = RouterBuilder::new("router")
+        .cost(cost)
+        .table_capacity(128)
+        .telemetry(&telemetry)
+        .recovery(RecoveryConfig {
+            cmd_timeout: 50 * MS, // deadlines out of the way for this test
+            max_retries: 0,       // surfacing, not retrying, is under test
+            breaker_threshold: 3,
+            breaker_cooldown: 5 * MS,
+            ..Default::default()
+        })
+        .vm(VmBinding {
+            vm_id: 0,
+            mem,
+            partition: Partition::whole(1 << 20),
+            vsqs,
+            vcqs,
+            hsq: hsq_p,
+            hcq: hcq_c,
+            kernel: Some(Box::new(kpath)),
+            notify: None,
+            classifier: Classifier::Native(Box::new(AlwaysFast)),
+        })
+        .build();
+    let mut router = engine.into_shards().pop().unwrap();
 
     let mut now = 0u64;
     let submit = |router: &mut Router,
@@ -528,28 +536,31 @@ fn dropped_completions_recover_via_deadline_abort_and_retry() {
     let (hsq_p, hsq_c) = SqPair::new(64);
     let (hcq_p, hcq_c) = CqPair::new(64);
     ssd.add_queue(hsq_c, hcq_p, mem.clone(), CompletionMode::Polled);
-    let mut router = Router::new("router", CostModel::default(), 1, 128);
-    router.set_telemetry(telemetry.register_worker());
-    router.bind_vm(VmBinding {
-        vm_id: 0,
-        mem,
-        partition: Partition::whole(1 << 20),
-        vsqs,
-        vcqs,
-        hsq: hsq_p,
-        hcq: hcq_c,
-        kernel: None,
-        notify: None,
-        classifier: Classifier::Native(Box::new(AlwaysFast)),
-    });
-    router.set_recovery(RecoveryConfig {
-        cmd_timeout: 5 * MS,
-        max_retries: 3,
-        backoff_base: 20 * US,
-        backoff_max: 100 * US,
-        zombie_linger: MS,
-        ..Default::default()
-    });
+    let engine = RouterBuilder::new("router")
+        .cost(CostModel::default())
+        .table_capacity(128)
+        .telemetry(&telemetry)
+        .recovery(RecoveryConfig {
+            cmd_timeout: 5 * MS,
+            max_retries: 3,
+            backoff_base: 20 * US,
+            backoff_max: 100 * US,
+            zombie_linger: MS,
+            ..Default::default()
+        })
+        .vm(VmBinding {
+            vm_id: 0,
+            mem,
+            partition: Partition::whole(1 << 20),
+            vsqs,
+            vcqs,
+            hsq: hsq_p,
+            hcq: hcq_c,
+            kernel: None,
+            notify: None,
+            classifier: Classifier::Native(Box::new(AlwaysFast)),
+        })
+        .build();
 
     for i in 0..10u16 {
         let mut cmd = SubmissionEntry::read(1, i as u64 * 8, 8, 0x1000, 0);
@@ -557,7 +568,7 @@ fn dropped_completions_recover_via_deadline_abort_and_retry() {
         gsq.push(cmd).unwrap();
     }
     let mut ex = Executor::new();
-    ex.add(Box::new(router));
+    engine.run_virtual(&mut ex);
     ex.add(Box::new(ssd));
     ex.run(u64::MAX); // must terminate: timers drive time past deadlines
 
@@ -650,22 +661,25 @@ fn degraded_replication_logs_dirty_regions_and_resyncs_the_leg() {
         true,
     );
 
-    let mut router = Router::new("router", cost, 1, 256);
-    router.bind_vm(VmBinding {
-        vm_id: 0,
-        mem: mem.clone(),
-        partition: Partition::whole(1 << 20),
-        vsqs,
-        vcqs,
-        hsq: hsq_p,
-        hcq: hcq_c,
-        kernel: None,
-        notify: Some(NotifyBinding {
-            nsq: nsq_p,
-            ncq: ncq_c,
-        }),
-        classifier: Classifier::Bpf(build_replicator_classifier(0)),
-    });
+    let engine = RouterBuilder::new("router")
+        .cost(cost)
+        .table_capacity(256)
+        .vm(VmBinding {
+            vm_id: 0,
+            mem: mem.clone(),
+            partition: Partition::whole(1 << 20),
+            vsqs,
+            vcqs,
+            hsq: hsq_p,
+            hcq: hcq_c,
+            kernel: None,
+            notify: Some(NotifyBinding {
+                nsq: nsq_p,
+                ncq: ncq_c,
+            }),
+            classifier: Classifier::Bpf(build_replicator_classifier(0)),
+        })
+        .build();
 
     let mut payloads = Vec::new();
     for i in 0..12u16 {
@@ -682,7 +696,7 @@ fn degraded_replication_logs_dirty_regions_and_resyncs_the_leg() {
 
     let mut ex = Executor::new();
     ex.add(Box::new(runner));
-    ex.add(Box::new(router));
+    engine.run_virtual(&mut ex);
     ex.add(Box::new(ssd));
     ex.add(Box::new(remote));
     // Must terminate on its own: the replicator's probe timer drives

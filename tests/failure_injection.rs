@@ -3,7 +3,8 @@
 //! without hangs, lost requests, or routing-table leaks.
 
 use nvmetro::core::classify::Classifier;
-use nvmetro::core::router::{NotifyBinding, Router, VmBinding};
+use nvmetro::core::engine::RouterBuilder;
+use nvmetro::core::router::{NotifyBinding, VmBinding};
 use nvmetro::core::uif::UifRunner;
 use nvmetro::core::{passthrough_program, Partition, VirtualController, VmConfig};
 use nvmetro::device::{CompletionMode, SimSsd, SsdConfig};
@@ -40,19 +41,22 @@ fn fast_path_errors_reach_the_guest_without_hangs() {
     let (hsq_p, hsq_c) = SqPair::new(256);
     let (hcq_p, hcq_c) = CqPair::new(256);
     ssd.add_queue(hsq_c, hcq_p, mem.clone(), CompletionMode::Polled);
-    let mut router = Router::new("router", CostModel::default(), 1, 512);
-    router.bind_vm(VmBinding {
-        vm_id: 0,
-        mem,
-        partition: Partition::whole(1 << 20),
-        vsqs,
-        vcqs,
-        hsq: hsq_p,
-        hcq: hcq_c,
-        kernel: None,
-        notify: None,
-        classifier: Classifier::Bpf(passthrough_program()),
-    });
+    let engine = RouterBuilder::new("router")
+        .cost(CostModel::default())
+        .table_capacity(512)
+        .vm(VmBinding {
+            vm_id: 0,
+            mem,
+            partition: Partition::whole(1 << 20),
+            vsqs,
+            vcqs,
+            hsq: hsq_p,
+            hcq: hcq_c,
+            kernel: None,
+            notify: None,
+            classifier: Classifier::Bpf(passthrough_program()),
+        })
+        .build();
     let submitted = 200u64;
     for i in 0..submitted {
         let mut cmd = SubmissionEntry::read(1, (i % 1000) * 8, 8, 0x1000, 0);
@@ -60,7 +64,7 @@ fn fast_path_errors_reach_the_guest_without_hangs() {
         gsq.push(cmd).unwrap();
     }
     let mut ex = Executor::new();
-    ex.add(Box::new(router));
+    engine.run_virtual(&mut ex);
     ex.add(Box::new(ssd));
     ex.run(u64::MAX);
     let mut ok = 0u64;
@@ -116,22 +120,25 @@ fn encryption_read_hook_forwards_device_errors() {
         2,
         false,
     );
-    let mut router = Router::new("router", cost, 1, 128);
-    router.bind_vm(VmBinding {
-        vm_id: 0,
-        mem,
-        partition: Partition::whole(1 << 20),
-        vsqs,
-        vcqs,
-        hsq: hsq_p,
-        hcq: hcq_c,
-        kernel: None,
-        notify: Some(NotifyBinding {
-            nsq: nsq_p,
-            ncq: ncq_c,
-        }),
-        classifier: Classifier::Bpf(build_encryptor_classifier(0)),
-    });
+    let engine = RouterBuilder::new("router")
+        .cost(cost)
+        .table_capacity(128)
+        .vm(VmBinding {
+            vm_id: 0,
+            mem,
+            partition: Partition::whole(1 << 20),
+            vsqs,
+            vcqs,
+            hsq: hsq_p,
+            hcq: hcq_c,
+            kernel: None,
+            notify: Some(NotifyBinding {
+                nsq: nsq_p,
+                ncq: ncq_c,
+            }),
+            classifier: Classifier::Bpf(build_encryptor_classifier(0)),
+        })
+        .build();
     for i in 0..20u64 {
         let mut cmd = SubmissionEntry::read(1, i * 8, 8, 0x1000, 0);
         cmd.cid = i as u16;
@@ -139,7 +146,7 @@ fn encryption_read_hook_forwards_device_errors() {
     }
     let mut ex = Executor::new();
     ex.add(Box::new(runner));
-    ex.add(Box::new(router));
+    engine.run_virtual(&mut ex);
     ex.add(Box::new(ssd));
     ex.run(u64::MAX);
     let mut seen = 0;
@@ -193,22 +200,25 @@ fn flaky_device_under_encryption_leaves_no_stuck_requests() {
         2,
         false,
     );
-    let mut router = Router::new("router", cost, 1, 512);
-    router.bind_vm(VmBinding {
-        vm_id: 0,
-        mem,
-        partition: Partition::whole(1 << 20),
-        vsqs,
-        vcqs,
-        hsq: hsq_p,
-        hcq: hcq_c,
-        kernel: None,
-        notify: Some(NotifyBinding {
-            nsq: nsq_p,
-            ncq: ncq_c,
-        }),
-        classifier: Classifier::Bpf(build_encryptor_classifier(0)),
-    });
+    let engine = RouterBuilder::new("router")
+        .cost(cost)
+        .table_capacity(512)
+        .vm(VmBinding {
+            vm_id: 0,
+            mem,
+            partition: Partition::whole(1 << 20),
+            vsqs,
+            vcqs,
+            hsq: hsq_p,
+            hcq: hcq_c,
+            kernel: None,
+            notify: Some(NotifyBinding {
+                nsq: nsq_p,
+                ncq: ncq_c,
+            }),
+            classifier: Classifier::Bpf(build_encryptor_classifier(0)),
+        })
+        .build();
     const N: u16 = 150;
     for i in 0..N {
         let mut cmd = if i % 2 == 0 {
@@ -221,7 +231,7 @@ fn flaky_device_under_encryption_leaves_no_stuck_requests() {
     }
     let mut ex = Executor::new();
     ex.add(Box::new(runner));
-    ex.add(Box::new(router));
+    engine.run_virtual(&mut ex);
     ex.add(Box::new(ssd));
     ex.run(u64::MAX); // must terminate: no stuck routing entries
     let mut seen = 0;

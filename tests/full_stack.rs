@@ -182,7 +182,8 @@ fn telemetry_traces_all_three_routes() {
     use nvmetro::core::classify::{
         verdict_bits, Classifier, NativeClassifier, RequestCtx, Verdict,
     };
-    use nvmetro::core::router::{NotifyBinding, Router, VmBinding};
+    use nvmetro::core::engine::RouterBuilder;
+    use nvmetro::core::router::{NotifyBinding, VmBinding};
     use nvmetro::core::uif::{Uif, UifDisposition, UifRequest, UifRunner};
     use nvmetro::core::{Partition, VirtualController, VmConfig};
     use nvmetro::device::{CompletionMode, SimSsd, SsdConfig};
@@ -228,7 +229,7 @@ fn telemetry_traces_all_three_routes() {
             ..Default::default()
         },
     );
-    ssd.set_telemetry(telemetry.register_worker());
+    ssd.attach_telemetry(telemetry.register_worker());
 
     let mut vc = VirtualController::new(VmConfig {
         mem_bytes: 1 << 20,
@@ -255,7 +256,7 @@ fn telemetry_traces_all_three_routes() {
         mem.clone(),
     );
     let mut kpath = RouterKernelPath::new(dm);
-    kpath.set_telemetry(telemetry.register_worker());
+    kpath.attach_telemetry(telemetry.register_worker());
 
     // Notify path: an immediately-acknowledging UIF.
     let (nsq_p, nsq_c) = SqPair::new(64);
@@ -275,25 +276,29 @@ fn telemetry_traces_all_three_routes() {
         1,
         false,
     );
-    uif.set_telemetry(telemetry.register_worker());
+    uif.attach_telemetry(telemetry.register_worker());
 
-    let mut router = Router::new("router", cost, 1, 256);
-    router.set_telemetry(telemetry.register_worker());
-    router.bind_vm(VmBinding {
-        vm_id: 0,
-        mem,
-        partition: Partition::whole(1 << 20),
-        vsqs,
-        vcqs,
-        hsq: hsq_p,
-        hcq: hcq_c,
-        kernel: Some(Box::new(kpath)),
-        notify: Some(NotifyBinding {
-            nsq: nsq_p,
-            ncq: ncq_c,
-        }),
-        classifier: Classifier::Native(Box::new(ByOpcode)),
-    });
+    let engine = RouterBuilder::new("router")
+        .cost(cost)
+        .table_capacity(256)
+        .telemetry(&telemetry)
+        .vm(VmBinding {
+            vm_id: 0,
+            mem,
+            partition: Partition::whole(1 << 20),
+            vsqs,
+            vcqs,
+            hsq: hsq_p,
+            hcq: hcq_c,
+            kernel: Some(Box::new(kpath)),
+            notify: Some(NotifyBinding {
+                nsq: nsq_p,
+                ncq: ncq_c,
+            }),
+            classifier: Classifier::Native(Box::new(ByOpcode)),
+        })
+        .build();
+    let mut router = engine.into_shards().pop().unwrap();
 
     // One request per route, all in flight together so tags stay distinct.
     let mut read = SubmissionEntry::read(1, 0, 8, 0x1000, 0);
