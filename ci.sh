@@ -26,4 +26,10 @@ done
 echo "==> sharding scaling smoke (writes BENCH_sharding.json)"
 cargo run --release -q -p nvmetro-bench --bin scaling_smoke
 
+echo "==> classifier tier ablation (writes BENCH_classifier.json)"
+# Asserts the tier-up bars: compiled >= 2x and cache-hit >= 5x the
+# interpreter on the partition-offset classifier.
+NVMETRO_BENCH_MS="${NVMETRO_BENCH_MS:-100}" \
+  cargo run --release -q -p nvmetro-bench --bin classifier_ablation
+
 echo "CI OK"

@@ -115,6 +115,14 @@ pub struct RequestCtx {
 }
 
 impl RequestCtx {
+    /// An all-zero context, suitable as a reusable per-shard scratch buffer
+    /// to be populated with [`RequestCtx::fill`] before each invocation.
+    pub fn empty() -> Self {
+        RequestCtx {
+            buf: [0u8; CTX_SIZE],
+        }
+    }
+
     /// Builds a context for a fresh request arriving on a VSQ.
     pub fn new(
         hook: u32,
@@ -124,7 +132,24 @@ impl RequestCtx {
         error: Status,
         user_tag: u64,
     ) -> Self {
-        let mut buf = [0u8; CTX_SIZE];
+        let mut ctx = RequestCtx::empty();
+        ctx.fill(hook, vm, qid, cmd, error, user_tag);
+        ctx
+    }
+
+    /// Re-populates this context in place (zero-copy reuse of a scratch
+    /// buffer). Every field is overwritten, including the spare tail bytes,
+    /// so a reused buffer is indistinguishable from a fresh one.
+    pub fn fill(
+        &mut self,
+        hook: u32,
+        vm: u32,
+        qid: u16,
+        cmd: &SubmissionEntry,
+        error: Status,
+        user_tag: u64,
+    ) {
+        let buf = &mut self.buf;
         buf[OFF_HOOK..OFF_HOOK + 4].copy_from_slice(&hook.to_le_bytes());
         buf[OFF_VM..OFF_VM + 4].copy_from_slice(&vm.to_le_bytes());
         buf[OFF_OPCODE] = cmd.opcode;
@@ -136,7 +161,7 @@ impl RequestCtx {
         buf[OFF_ERROR..OFF_ERROR + 2].copy_from_slice(&error.0.to_le_bytes());
         buf[OFF_QID..OFF_QID + 2].copy_from_slice(&qid.to_le_bytes());
         buf[OFF_TAG..OFF_TAG + 8].copy_from_slice(&user_tag.to_le_bytes());
-        RequestCtx { buf }
+        buf[OFF_TAG + 8..CTX_SIZE].fill(0);
     }
 
     /// The raw context bytes (what a vbpf classifier sees).
@@ -252,10 +277,83 @@ pub trait NativeClassifier: Send {
     fn classify(&mut self, ctx: &mut RequestCtx) -> Verdict;
 }
 
+/// Bitmask of direct-mediation context fields a classifier may have
+/// written, derived from the verifier's context write-set. The router only
+/// copies the flagged fields back into the forwarded command, so a
+/// classifier that never touches (say) the block count costs nothing on
+/// the NLB write-back path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MediatedFields(u8);
+
+impl MediatedFields {
+    /// No mediated field was written.
+    pub const NONE: MediatedFields = MediatedFields(0);
+    /// The starting LBA (`slba`, bytes 16..24).
+    pub const SLBA: MediatedFields = MediatedFields(1 << 0);
+    /// The block count (`nlb`, bytes 24..28).
+    pub const NLB: MediatedFields = MediatedFields(1 << 1);
+    /// The scratch tag (`user_tag`, bytes 32..40).
+    pub const USER_TAG: MediatedFields = MediatedFields(1 << 2);
+
+    /// Every mediated field — the conservative answer for native
+    /// classifiers, whose writes the verifier cannot see.
+    pub fn all() -> MediatedFields {
+        MediatedFields(MediatedFields::SLBA.0 | MediatedFields::NLB.0 | MediatedFields::USER_TAG.0)
+    }
+
+    /// Whether `field` is set in this mask.
+    pub fn contains(self, field: MediatedFields) -> bool {
+        self.0 & field.0 == field.0
+    }
+
+    /// Union of two masks.
+    pub fn union(self, other: MediatedFields) -> MediatedFields {
+        MediatedFields(self.0 | other.0)
+    }
+
+    /// The dirty mask implied by a verifier context write-set: a field is
+    /// dirty iff some verified store overlaps its byte range.
+    pub fn from_ctx_writes(writes: &[(usize, usize)]) -> MediatedFields {
+        const FIELDS: [(usize, usize, MediatedFields); 3] = [
+            (OFF_SLBA, OFF_SLBA + 8, MediatedFields::SLBA),
+            (OFF_NLB, OFF_NLB + 4, MediatedFields::NLB),
+            (OFF_TAG, OFF_TAG + 8, MediatedFields::USER_TAG),
+        ];
+        let mut dirty = MediatedFields::NONE;
+        for &(start, end) in writes {
+            for (lo, hi, field) in FIELDS {
+                if start < hi && end > lo {
+                    dirty = dirty.union(field);
+                }
+            }
+        }
+        dirty
+    }
+}
+
+/// Everything one classifier invocation produced: the routing verdict, the
+/// vbpf execution tier that answered it (`None` for native classifiers),
+/// and which mediated fields the router must copy back.
+#[derive(Clone, Copy, Debug)]
+pub struct ClassifyOutcome {
+    /// The routing verdict.
+    pub verdict: Verdict,
+    /// Which vbpf tier ran (interpreter / compiled / memo hit), or `None`
+    /// for a native classifier.
+    pub tier: Option<nvmetro_vbpf::Tier>,
+    /// Mediated fields the classifier may have rewritten.
+    pub dirty: MediatedFields,
+}
+
 /// An installed classifier.
+// One Classifier lives in each VM binding for the life of the VM and is
+// only ever moved at install time; boxing the (large, hot) `Vm` variant
+// would buy nothing but a pointer chase on every classify call.
+#[allow(clippy::large_enum_variant)]
 pub enum Classifier {
-    /// Verified vbpf bytecode interpreted per invocation (the paper's
-    /// deployed configuration).
+    /// Verified vbpf bytecode (the paper's deployed configuration),
+    /// executed by the fastest eligible tier: memo cache, pre-decoded
+    /// compiled ops, or the fetch/decode interpreter.
     Bpf(Vm),
     /// Native Rust (zero interpretation cost; ablation baseline).
     Native(Box<dyn NativeClassifier>),
@@ -264,15 +362,29 @@ pub enum Classifier {
 impl Classifier {
     /// Runs the classifier at virtual time `now`.
     pub fn run(&mut self, ctx: &mut RequestCtx, now: u64) -> Verdict {
+        self.run_tiered(ctx, now).verdict
+    }
+
+    /// Runs the classifier and reports the execution tier and dirty-field
+    /// mask alongside the verdict — the router's hot-path entry point.
+    pub fn run_tiered(&mut self, ctx: &mut RequestCtx, now: u64) -> ClassifyOutcome {
         match self {
             Classifier::Bpf(vm) => {
                 vm.set_time(now);
-                let r = vm
-                    .run(ctx.bytes_mut())
+                let (r, tier) = vm
+                    .run_with_tier(ctx.bytes_mut())
                     .expect("verified classifier must not trap");
-                Verdict(r)
+                ClassifyOutcome {
+                    verdict: Verdict(r),
+                    tier: Some(tier),
+                    dirty: MediatedFields::from_ctx_writes(vm.program().ctx_writes()),
+                }
             }
-            Classifier::Native(n) => n.classify(ctx),
+            Classifier::Native(n) => ClassifyOutcome {
+                verdict: n.classify(ctx),
+                tier: None,
+                dirty: MediatedFields::all(),
+            },
         }
     }
 
@@ -322,6 +434,50 @@ pub fn offset_program(lba_offset: u64) -> Vm {
     )
 }
 
+/// The paper's full partition-offset mediation classifier (§III-C): I/O
+/// commands get their starting LBA bounds-checked against the partition
+/// length and translated by the partition base; everything past the
+/// partition completes immediately with `LBA_OUT_OF_RANGE`; non-I/O
+/// commands pass through untouched. This is the representative
+/// direct-mediation workload (`classifier_ablation` benches it across
+/// execution tiers).
+pub fn partition_offset_program(lba_offset: u64, part_nlb: u64) -> Vm {
+    use nvmetro_vbpf::isa::*;
+    let mut b = ProgramBuilder::new();
+    let io = b.new_label();
+    let reject = b.new_label();
+    let ok = verdict_bits::SEND_HQ | verdict_bits::WILL_COMPLETE_HQ;
+    b.ldx(SIZE_B, R2, R1, ctx_offsets::OPCODE)
+        .jmp_imm(JMP_JEQ, R2, nvmetro_nvme::NvmOpcode::Read as i32, io)
+        .jmp_imm(JMP_JEQ, R2, nvmetro_nvme::NvmOpcode::Write as i32, io)
+        // Non-I/O (flush, admin passthrough): fast path, no mediation.
+        .lddw(R0, ok)
+        .exit();
+    b.bind(io);
+    b.ldx(SIZE_DW, R3, R1, ctx_offsets::SLBA)
+        .ldx(SIZE_W, R4, R1, ctx_offsets::NLB)
+        .mov64(R5, R3)
+        .alu64(ALU_ADD, R5, R4)
+        .lddw(R6, part_nlb)
+        .jmp_reg(JMP_JGT, R5, R6, reject)
+        .lddw(R7, lba_offset)
+        .alu64(ALU_ADD, R3, R7)
+        .stx(SIZE_DW, R1, ctx_offsets::SLBA, R3)
+        .lddw(R0, ok)
+        .exit();
+    b.bind(reject);
+    b.lddw(
+        R0,
+        verdict_bits::COMPLETE | Status::LBA_OUT_OF_RANGE.0 as u64,
+    )
+    .exit();
+    let (insns, maps) = b.build();
+    Vm::new(
+        nvmetro_vbpf::verify(insns, maps, &classifier_verifier_config())
+            .expect("partition-offset classifier verifies"),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,6 +490,40 @@ mod tests {
         let v = cls.run(&mut ctx, 0);
         assert_eq!(ctx.slba(), 12355);
         assert_eq!(v.send_mask(), path_bits::HQ);
+    }
+
+    #[test]
+    fn partition_program_translates_in_bounds_io() {
+        let mut cls = Classifier::Bpf(partition_offset_program(0x1000, 0x8000));
+        let cmd = SubmissionEntry::write(1, 10, 8, 0, 0);
+        let mut ctx = RequestCtx::new(HOOK_VSQ, 0, 0, &cmd, Status::SUCCESS, 0);
+        let v = cls.run(&mut ctx, 0);
+        assert_eq!(ctx.slba(), 0x1000 + 10);
+        assert_eq!(v.send_mask(), path_bits::HQ);
+        assert!(!v.complete());
+    }
+
+    #[test]
+    fn partition_program_rejects_out_of_range() {
+        // end = 10 + 8 = 18 > partition length 16.
+        let mut cls = Classifier::Bpf(partition_offset_program(0x1000, 16));
+        let cmd = SubmissionEntry::read(1, 10, 8, 0, 0);
+        let mut ctx = RequestCtx::new(HOOK_VSQ, 0, 0, &cmd, Status::SUCCESS, 0);
+        let v = cls.run(&mut ctx, 0);
+        assert!(v.complete());
+        assert_eq!(v.status(), Status::LBA_OUT_OF_RANGE);
+        assert_eq!(ctx.slba(), 10, "rejected command must not be mediated");
+    }
+
+    #[test]
+    fn partition_program_passes_non_io_untouched() {
+        let mut cls = Classifier::Bpf(partition_offset_program(0x1000, 0x8000));
+        let cmd = SubmissionEntry::flush(1);
+        let mut ctx = RequestCtx::new(HOOK_VSQ, 0, 0, &cmd, Status::SUCCESS, 0);
+        let before = ctx.bytes_mut().to_vec();
+        let v = cls.run(&mut ctx, 0);
+        assert_eq!(v.send_mask(), path_bits::HQ);
+        assert_eq!(ctx.bytes_mut(), &before[..]);
     }
 
     fn sample_cmd() -> SubmissionEntry {
@@ -446,6 +636,68 @@ mod tests {
             .exit();
         let (insns, maps) = b.build();
         assert!(nvmetro_vbpf::verify(insns, maps, &classifier_verifier_config()).is_err());
+    }
+
+    #[test]
+    fn fill_reuses_scratch_without_leaking_prior_state() {
+        let cmd_a = SubmissionEntry::read(1, 0x1234, 8, 0x1000, 0);
+        let cmd_b = SubmissionEntry::read(2, 0x9, 1, 0x2000, 0);
+        let mut scratch = RequestCtx::empty();
+        scratch.fill(HOOK_VSQ, 3, 2, &cmd_a, Status::SUCCESS, 0xDEAD_BEEF);
+        scratch.set_user_tag(u64::MAX);
+        scratch.set_slba(u64::MAX);
+        scratch.fill(HOOK_HCQ, 1, 0, &cmd_b, Status::LBA_OUT_OF_RANGE, 7);
+        let fresh = RequestCtx::new(HOOK_HCQ, 1, 0, &cmd_b, Status::LBA_OUT_OF_RANGE, 7);
+        assert_eq!(scratch.buf, fresh.buf);
+    }
+
+    #[test]
+    fn mediated_fields_derive_from_write_set() {
+        // slba-only store → only SLBA is dirty.
+        let w = MediatedFields::from_ctx_writes(&[(16, 24)]);
+        assert!(w.contains(MediatedFields::SLBA));
+        assert!(!w.contains(MediatedFields::NLB));
+        assert!(!w.contains(MediatedFields::USER_TAG));
+        // A single byte poked into the middle of nlb still dirties it.
+        let w = MediatedFields::from_ctx_writes(&[(26, 27)]);
+        assert!(w.contains(MediatedFields::NLB));
+        // A store spanning slba+nlb dirties both.
+        let w = MediatedFields::from_ctx_writes(&[(20, 26)]);
+        assert!(w.contains(MediatedFields::SLBA) && w.contains(MediatedFields::NLB));
+        // Writes to error/qid (28..32) touch no mediated field.
+        assert_eq!(
+            MediatedFields::from_ctx_writes(&[(28, 32)]),
+            MediatedFields::NONE
+        );
+    }
+
+    #[test]
+    fn run_tiered_reports_tier_and_dirty_fields() {
+        let mut cls = Classifier::Bpf(offset_program(1000));
+        let cmd = sample_cmd();
+        let mut ctx = RequestCtx::new(HOOK_VSQ, 0, 0, &cmd, Status::SUCCESS, 0);
+        let out = cls.run_tiered(&mut ctx, 0);
+        assert_eq!(out.tier, Some(nvmetro_vbpf::Tier::Compiled));
+        assert!(out.dirty.contains(MediatedFields::SLBA));
+        assert!(!out.dirty.contains(MediatedFields::NLB));
+        assert!(!out.dirty.contains(MediatedFields::USER_TAG));
+        assert_eq!(ctx.slba(), 0x1234 + 1000);
+        // Same command again (fresh ctx, same key bytes) → memo hit with
+        // the identical mediated result.
+        let mut ctx2 = RequestCtx::new(HOOK_VSQ, 0, 0, &cmd, Status::SUCCESS, 0);
+        let out2 = cls.run_tiered(&mut ctx2, 0);
+        assert_eq!(out2.tier, Some(nvmetro_vbpf::Tier::CacheHit));
+        assert_eq!(out2.verdict, out.verdict);
+        assert_eq!(ctx2.slba(), ctx.slba());
+    }
+
+    #[test]
+    fn passthrough_marks_nothing_dirty() {
+        let mut cls = Classifier::Bpf(passthrough_program());
+        let cmd = sample_cmd();
+        let mut ctx = RequestCtx::new(HOOK_VSQ, 0, 0, &cmd, Status::SUCCESS, 0);
+        let out = cls.run_tiered(&mut ctx, 0);
+        assert_eq!(out.dirty, MediatedFields::NONE);
     }
 
     #[test]

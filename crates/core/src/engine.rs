@@ -5,9 +5,10 @@
 //! pairs over a pool of router shards, each pinned to its own core. This
 //! module is that deployment's front door:
 //!
-//! * [`RouterBuilder`] replaces the `Router::new` + `set_recovery` +
-//!   `set_telemetry` + `bind_vm` + `install_classifier` setter sprawl with
-//!   one typed, ordered construction path;
+//! * [`RouterBuilder`] is the one typed, ordered construction path for the
+//!   datapath: shards, batch, recovery, telemetry, classifier memoization,
+//!   and VM bindings in a single fluent chain (the old `Router` setter
+//!   sprawl is gone);
 //! * [`EngineVm`] describes a VM as a set of [`QueueBinding`] queue groups
 //!   (per-vCPU queues); groups are partitioned round-robin across shards in
 //!   bind order, so `group g → shard g % shards` — deterministic, and a
@@ -126,6 +127,7 @@ pub struct RouterBuilder {
     table_capacity: usize,
     recovery: Option<RecoveryConfig>,
     telemetry: Telemetry,
+    memo_capacity: Option<usize>,
     vms: Vec<EngineVm>,
 }
 
@@ -143,6 +145,7 @@ impl RouterBuilder {
             table_capacity: 1024,
             recovery: None,
             telemetry: Telemetry::disabled(),
+            memo_capacity: None,
             vms: Vec::new(),
         }
     }
@@ -195,6 +198,15 @@ impl RouterBuilder {
         self
     }
 
+    /// Verdict-memo slots for every bound vbpf classifier (0 disables
+    /// memoization engine-wide). Unset, classifiers keep the vbpf default.
+    /// The cache only engages for programs the verifier proved pure; each
+    /// queue group's classifier has its own cache, so shards share nothing.
+    pub fn classifier_memo(mut self, capacity: usize) -> Self {
+        self.memo_capacity = Some(capacity);
+        self
+    }
+
     /// Adds a VM. Accepts a full [`EngineVm`] (multi-queue) or a legacy
     /// [`VmBinding`] (one queue group).
     pub fn vm(mut self, vm: impl Into<EngineVm>) -> Self {
@@ -233,8 +245,13 @@ impl RouterBuilder {
                 partition,
                 queues,
             } = vm;
-            for (queue_group, q) in queues.into_iter().enumerate() {
+            for (queue_group, mut q) in queues.into_iter().enumerate() {
                 let shard = group % shard_count;
+                if let Some(capacity) = self.memo_capacity {
+                    if let Some(vm) = q.classifier.bpf_vm_mut() {
+                        vm.set_memo_capacity(capacity);
+                    }
+                }
                 let slot = shards[shard].bind_vm(VmBinding {
                     vm_id,
                     mem: mem.clone(),

@@ -38,8 +38,9 @@ pub mod threading;
 pub mod uif;
 
 pub use classify::{
-    offset_program, passthrough_program, Classifier, NativeClassifier, RequestCtx, Verdict,
-    CTX_SIZE, HOOK_HCQ, HOOK_KCQ, HOOK_NCQ, HOOK_VSQ,
+    offset_program, partition_offset_program, passthrough_program, Classifier, ClassifyOutcome,
+    MediatedFields, NativeClassifier, RequestCtx, Verdict, CTX_SIZE, HOOK_HCQ, HOOK_KCQ, HOOK_NCQ,
+    HOOK_VSQ,
 };
 pub use controller::{Partition, VirtualController, VmConfig};
 pub use engine::{

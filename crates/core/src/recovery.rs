@@ -1,7 +1,7 @@
 //! Router-side recovery policy: command deadlines, bounded retry with
 //! exponential backoff, and a per-VM circuit breaker for the fast path.
 //!
-//! The recovery engine is opt-in (`Router::set_recovery`); without it the
+//! The recovery engine is opt-in (`RouterBuilder::recovery`); without it the
 //! router behaves exactly as before — faults surface to the guest verbatim
 //! and a lost completion wedges its tag. With it, every dispatched command
 //! carries a deadline; on expiry the router aborts the attempt NVMe-style
@@ -14,7 +14,7 @@
 use nvmetro_sim::{Ns, MS, US};
 
 /// Tunables for the router's recovery engine. Constructing one and handing
-/// it to `Router::set_recovery` turns recovery on.
+/// it to `RouterBuilder::recovery` turns recovery on.
 #[derive(Clone, Copy, Debug)]
 pub struct RecoveryConfig {
     /// Per-dispatch deadline; a command whose paths have not all reported

@@ -20,7 +20,8 @@
 //! guest memory.
 
 use crate::classify::{
-    path_bits, Classifier, RequestCtx, Verdict, HOOK_HCQ, HOOK_KCQ, HOOK_NCQ, HOOK_VSQ,
+    path_bits, Classifier, MediatedFields, RequestCtx, Verdict, HOOK_HCQ, HOOK_KCQ, HOOK_NCQ,
+    HOOK_VSQ,
 };
 use crate::controller::Partition;
 use crate::recovery::{CircuitBreaker, Gate, RecoveryConfig};
@@ -31,7 +32,7 @@ use nvmetro_nvme::{
 };
 use nvmetro_sim::cost::CostModel;
 use nvmetro_sim::{Actor, CpuMode, Ns, Progress, Station, US};
-use nvmetro_telemetry::{Depth, Metric, PathKind, Route, Segment, Stage, TelemetryHandle};
+use nvmetro_telemetry::{Depth, Metric, PathKind, Route, Segment, Stage, TelemetryHandle, Tier};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -186,6 +187,7 @@ pub struct Router {
     vcq_retry_cap: usize,
     last_poll: Ns,
     stats: RouterStats,
+    scratch: RequestCtx,
     telemetry: TelemetryHandle,
     recovery: Option<RecoveryConfig>,
     breakers: Vec<CircuitBreaker>,
@@ -212,6 +214,7 @@ impl Router {
             vcq_retry_cap: 2 * table_capacity,
             last_poll: 0,
             stats: RouterStats::default(),
+            scratch: RequestCtx::empty(),
             telemetry: TelemetryHandle::disabled(),
             recovery: None,
             breakers: Vec::new(),
@@ -224,16 +227,8 @@ impl Router {
     /// Turns the recovery engine on: per-command deadlines with NVMe-style
     /// abort, bounded retry with exponential backoff for retryable
     /// statuses, and a per-VM circuit breaker that fails fast-path sends
-    /// over to the kernel path. Without this call the router surfaces
-    /// every fault to the guest verbatim, as before.
-    #[deprecated(
-        since = "0.4.0",
-        note = "configure recovery via RouterBuilder::recovery"
-    )]
-    pub fn set_recovery(&mut self, cfg: RecoveryConfig) {
-        self.configure_recovery(cfg);
-    }
-
+    /// over to the kernel path (configured via `RouterBuilder::recovery`).
+    /// Without it the router surfaces every fault to the guest verbatim.
     pub(crate) fn configure_recovery(&mut self, cfg: RecoveryConfig) {
         self.breakers = self
             .vms
@@ -259,17 +254,9 @@ impl Router {
         self.recovery.is_some()
     }
 
-    /// Attaches a telemetry handle (from `Telemetry::register_worker`).
-    /// The default is a disabled handle, which costs one branch per
-    /// instrumentation point.
-    #[deprecated(
-        since = "0.4.0",
-        note = "configure telemetry via RouterBuilder::telemetry"
-    )]
-    pub fn set_telemetry(&mut self, handle: TelemetryHandle) {
-        self.configure_telemetry(handle);
-    }
-
+    /// Attaches a telemetry handle (from `Telemetry::register_worker`, via
+    /// `RouterBuilder::telemetry`). The default is a disabled handle, which
+    /// costs one branch per instrumentation point.
     pub(crate) fn configure_telemetry(&mut self, handle: TelemetryHandle) {
         self.telemetry = handle;
     }
@@ -310,20 +297,6 @@ impl Router {
     /// classifier maps, on-the-fly classifier replacement).
     pub fn classifier_mut(&mut self, vm: usize) -> &mut Classifier {
         &mut self.vms[vm].classifier
-    }
-
-    /// Replaces a VM's classifier at runtime ("storage administrators can
-    /// install, migrate and remove storage functions on the fly", §III-B).
-    #[deprecated(
-        since = "0.4.0",
-        note = "use classifier_mut, or bind the classifier via RouterBuilder::vm"
-    )]
-    pub fn install_classifier(&mut self, vm: usize, classifier: Classifier) -> Classifier {
-        self.replace_classifier(vm, classifier)
-    }
-
-    pub(crate) fn replace_classifier(&mut self, vm: usize, classifier: Classifier) -> Classifier {
-        std::mem::replace(&mut self.vms[vm].classifier, classifier)
     }
 
     fn ingest(&mut self, now: Ns) -> bool {
@@ -604,7 +577,9 @@ impl Router {
         self.telemetry.count(Metric::ClassifierRuns);
         let state = self.table.get(tag).expect("request tracked");
         let (vm_id, vsq) = (state.vm, state.vsq);
-        let mut ctx = RequestCtx::new(
+        // Zero-copy marshalling: refill the router's scratch context in
+        // place instead of constructing a fresh buffer per invocation.
+        self.scratch.fill(
             hook,
             self.vms[vm].vm_id,
             state.vsq,
@@ -612,16 +587,39 @@ impl Router {
             error,
             state.user_tag,
         );
-        let verdict = self.vms[vm].classifier.run(&mut ctx, t);
+        let started = self.telemetry.enabled().then(std::time::Instant::now);
+        let outcome = self.vms[vm].classifier.run_tiered(&mut self.scratch, t);
+        if let Some(tier) = outcome.tier {
+            let (metric, tier) = match tier {
+                nvmetro_vbpf::Tier::Interp => (Metric::ClassifierInterp, Tier::Interp),
+                nvmetro_vbpf::Tier::Compiled => (Metric::ClassifierCompiled, Tier::Compiled),
+                nvmetro_vbpf::Tier::CacheHit => (Metric::ClassifierCacheHit, Tier::CacheHit),
+            };
+            self.telemetry.count(metric);
+            if let Some(started) = started {
+                self.telemetry
+                    .tier_latency(tier, started.elapsed().as_nanos() as u64);
+            }
+        }
         self.telemetry
             .event(t, vm_id, vsq, tag, Stage::Classified, PathKind::None);
-        // Direct mediation: copy the writable window back into the command.
-        let state = self.table.get_mut(tag).expect("request tracked");
-        state.cmd.set_slba(ctx.slba());
-        let nlb = ctx.nlb().clamp(1, 0x1_0000);
-        state.cmd.cdw12 = (state.cmd.cdw12 & !0xFFFF) | (nlb - 1);
-        state.user_tag = ctx.user_tag();
-        verdict
+        // Direct mediation: copy back only the fields the verifier proved
+        // the classifier can write (everything, for native classifiers).
+        let dirty = outcome.dirty;
+        if dirty != MediatedFields::NONE {
+            let state = self.table.get_mut(tag).expect("request tracked");
+            if dirty.contains(MediatedFields::SLBA) {
+                state.cmd.set_slba(self.scratch.slba());
+            }
+            if dirty.contains(MediatedFields::NLB) {
+                let nlb = self.scratch.nlb().clamp(1, 0x1_0000);
+                state.cmd.cdw12 = (state.cmd.cdw12 & !0xFFFF) | (nlb - 1);
+            }
+            if dirty.contains(MediatedFields::USER_TAG) {
+                state.user_tag = self.scratch.user_tag();
+            }
+        }
+        outcome.verdict
     }
 
     fn route(&mut self, vm: usize, tag: u16, verdict: Verdict, t: Ns) {
@@ -1160,47 +1158,5 @@ impl Actor for Router {
         CpuMode::Adaptive {
             idle_timeout: self.cost.adaptive_idle_timeout,
         }
-    }
-}
-
-/// The deprecated setter shims stay for one release; these are their only
-/// sanctioned callers.
-#[cfg(test)]
-mod shim_tests {
-    #![allow(deprecated)]
-
-    use super::*;
-    use crate::classify::passthrough_program;
-    use nvmetro_nvme::{CqPair, SqPair};
-
-    fn binding() -> VmBinding {
-        let (_vsq_p, vsq_c) = SqPair::new(16);
-        let (vcq_p, _vcq_c) = CqPair::new(16);
-        let (hsq_p, _hsq_c) = SqPair::new(16);
-        let (_hcq_p, hcq_c) = CqPair::new(16);
-        VmBinding {
-            vm_id: 0,
-            mem: Arc::new(GuestMemory::new(1 << 16)),
-            partition: crate::controller::Partition::whole(1 << 20),
-            vsqs: vec![vsq_c],
-            vcqs: vec![vcq_p],
-            hsq: hsq_p,
-            hcq: hcq_c,
-            kernel: None,
-            notify: None,
-            classifier: Classifier::Bpf(passthrough_program()),
-        }
-    }
-
-    #[test]
-    fn deprecated_setters_still_delegate() {
-        let mut router = Router::new("shim", CostModel::default(), 1, 16);
-        router.set_telemetry(TelemetryHandle::disabled());
-        let vm = router.bind_vm(binding());
-        router.set_recovery(RecoveryConfig::default());
-        assert!(router.recovery_enabled());
-        assert!(router.breaker(vm).is_some());
-        let previous = router.install_classifier(vm, Classifier::Bpf(passthrough_program()));
-        assert!(matches!(previous, Classifier::Bpf(_)));
     }
 }

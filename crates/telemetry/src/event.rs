@@ -205,6 +205,38 @@ impl Depth {
     }
 }
 
+/// Which vbpf execution tier answered a classifier invocation (mirrors
+/// `nvmetro_vbpf::Tier` without a crate dependency): the fetch/decode
+/// interpreter, the pre-decoded compiled op array, or a verdict served
+/// straight from the memo cache. Each tier gets a run counter and a
+/// latency histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Tier {
+    /// Fetch/decode interpreter (fallback tier).
+    Interp = 0,
+    /// Pre-decoded op-array dispatch loop.
+    Compiled = 1,
+    /// Memoized verdict replay; the program did not execute.
+    CacheHit = 2,
+}
+
+impl Tier {
+    /// Number of tiers.
+    pub const COUNT: usize = 3;
+    /// All tiers in index order.
+    pub const ALL: [Tier; 3] = [Tier::Interp, Tier::Compiled, Tier::CacheHit];
+
+    /// Stable lowercase name for tables and JSON export.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Tier::Interp => "interp",
+            Tier::Compiled => "compiled",
+            Tier::CacheHit => "cache_hit",
+        }
+    }
+}
+
 /// One fixed-size trace record. 24 bytes; the ring stores these by value.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceEvent {

@@ -37,7 +37,7 @@ mod metrics;
 mod ring;
 mod snapshot;
 
-pub use event::{Depth, Ns, PathKind, Route, Segment, Stage, TraceEvent, VM_ANY};
+pub use event::{Depth, Ns, PathKind, Route, Segment, Stage, Tier, TraceEvent, VM_ANY};
 pub use metrics::Metric;
 pub use ring::TraceRing;
 pub use snapshot::{lifecycle_table, RequestKey, TelemetrySnapshot};
@@ -136,17 +136,19 @@ impl Telemetry {
         let mut route: [Histogram; Route::COUNT] = std::array::from_fn(|_| Histogram::new());
         let mut segment: [Histogram; Segment::COUNT] = std::array::from_fn(|_| Histogram::new());
         let mut depth: [Histogram; Depth::COUNT] = std::array::from_fn(|_| Histogram::new());
+        let mut tier: [Histogram; Tier::COUNT] = std::array::from_fn(|_| Histogram::new());
         for shard in inner.shards.lock().unwrap().iter() {
             for m in Metric::ALL {
                 counters[m as usize] += shard.counter(m);
             }
-            shard.merge_hists_into(&mut route, &mut segment, &mut depth);
+            shard.merge_hists_into(&mut route, &mut segment, &mut depth, &mut tier);
         }
         TelemetrySnapshot {
             counters,
             route_latency: route,
             segments: segment,
             depths: depth,
+            tiers: tier,
             events: inner.ring.snapshot(),
             dropped_events: inner.ring.dropped(),
         }
@@ -236,6 +238,15 @@ impl TelemetryHandle {
     pub fn depth(&self, d: Depth, value: u64) {
         if let Some(shard) = &self.shard {
             shard.record_depth(d, value);
+        }
+    }
+
+    /// Records one classifier invocation's latency under the execution
+    /// tier that answered it (interpreter / compiled / memo hit).
+    #[inline]
+    pub fn tier_latency(&self, t: Tier, ns: u64) {
+        if let Some(shard) = &self.shard {
+            shard.record_tier(t, ns);
         }
     }
 }

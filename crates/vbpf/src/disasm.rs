@@ -136,6 +136,317 @@ pub fn disasm(insns: &[Insn]) -> String {
         .join("\n")
 }
 
+fn alu_op_from_name(name: &str) -> Option<u8> {
+    Some(match name {
+        "add" => ALU_ADD,
+        "sub" => ALU_SUB,
+        "mul" => ALU_MUL,
+        "div" => ALU_DIV,
+        "or" => ALU_OR,
+        "and" => ALU_AND,
+        "lsh" => ALU_LSH,
+        "rsh" => ALU_RSH,
+        "neg" => ALU_NEG,
+        "mod" => ALU_MOD,
+        "xor" => ALU_XOR,
+        "mov" => ALU_MOV,
+        "arsh" => ALU_ARSH,
+        _ => return None,
+    })
+}
+
+fn jmp_op_from_name(name: &str) -> Option<u8> {
+    Some(match name {
+        "jeq" => JMP_JEQ,
+        "jgt" => JMP_JGT,
+        "jge" => JMP_JGE,
+        "jset" => JMP_JSET,
+        "jne" => JMP_JNE,
+        "jsgt" => JMP_JSGT,
+        "jsge" => JMP_JSGE,
+        "jlt" => JMP_JLT,
+        "jle" => JMP_JLE,
+        "jslt" => JMP_JSLT,
+        "jsle" => JMP_JSLE,
+        _ => return None,
+    })
+}
+
+fn size_from_suffix(s: &str) -> Option<u8> {
+    Some(match s {
+        "b" => SIZE_B,
+        "h" => SIZE_H,
+        "w" => SIZE_W,
+        "dw" => SIZE_DW,
+        _ => return None,
+    })
+}
+
+fn parse_reg(tok: &str) -> Result<Reg, String> {
+    let t = tok.trim().trim_end_matches(',');
+    let n = t
+        .strip_prefix('r')
+        .ok_or_else(|| format!("expected register, got `{t}`"))?;
+    let v: u8 = n.parse().map_err(|_| format!("bad register `{t}`"))?;
+    if (v as usize) >= NUM_REGS {
+        return Err(format!("bad register `{t}`"));
+    }
+    Ok(v)
+}
+
+fn parse_imm(tok: &str) -> Result<i64, String> {
+    let t = tok.trim().trim_end_matches(',');
+    if let Some(h) = t.strip_prefix("0x") {
+        u64::from_str_radix(h, 16)
+            .map(|v| v as i64)
+            .map_err(|_| format!("bad immediate `{t}`"))
+    } else {
+        t.parse::<i64>().map_err(|_| format!("bad immediate `{t}`"))
+    }
+}
+
+/// Parses a `[rN{+|-}off]` memory operand.
+fn parse_mem(tok: &str) -> Result<(Reg, i16), String> {
+    let t = tok.trim().trim_end_matches(',');
+    let inner = t
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("expected [reg+off], got `{t}`"))?;
+    let sign = inner
+        .find(['+', '-'])
+        .ok_or_else(|| format!("missing offset sign in `{t}`"))?;
+    let (r, o) = inner.split_at(sign);
+    let reg = parse_reg(r)?;
+    let off: i16 = o.parse().map_err(|_| format!("bad offset `{o}`"))?;
+    Ok((reg, off))
+}
+
+/// Splits `"a, b, c"` operand text on commas, trimming each piece.
+fn operands(rest: &str) -> Vec<&str> {
+    rest.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Parses `-> target` into a branch offset relative to `pc`.
+fn parse_target(tok: &str, pc: usize) -> Result<i16, String> {
+    let t = tok
+        .trim()
+        .strip_prefix("->")
+        .ok_or_else(|| format!("expected `-> target`, got `{tok}`"))?
+        .trim();
+    let target: i64 = t.parse().map_err(|_| format!("bad jump target `{t}`"))?;
+    let off = target - pc as i64 - 1;
+    i16::try_from(off).map_err(|_| format!("jump target {target} out of range at pc {pc}"))
+}
+
+/// Parses the text format produced by [`disasm`] back into instructions —
+/// the inverse direction of the assembler round trip
+/// (`assemble → disasm → parse_program` is the identity; see the
+/// `full_isa_round_trips_through_text` test).
+///
+/// Accepts an optional `N:` line-number prefix (as emitted by [`disasm`]);
+/// when present, it must match the instruction's position. Blank lines are
+/// skipped. Emits canonical encodings: `SRC_K` for `neg`, `MODE_MEM` for
+/// register-indirect loads/stores, `MODE_IMM` for `lddw`.
+pub fn parse_program(text: &str) -> Result<Vec<Insn>, String> {
+    let mut insns: Vec<Insn> = Vec::new();
+    for raw in text.lines() {
+        let mut line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let pc = insns.len();
+        if let Some((num, rest)) = line.split_once(':') {
+            let num = num.trim();
+            if !num.is_empty() && num.chars().all(|c| c.is_ascii_digit()) {
+                let n: usize = num
+                    .parse()
+                    .map_err(|_| format!("bad line number `{num}`"))?;
+                if n != pc {
+                    return Err(format!("line numbered {n} but parsed at pc {pc}"));
+                }
+                line = rest.trim();
+            }
+        }
+        let (mn, rest) = match line.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (line, ""),
+        };
+        let insn = match mn {
+            "exit" => Insn {
+                op: CLASS_JMP | JMP_EXIT,
+                dst: 0,
+                src: 0,
+                off: 0,
+                imm: 0,
+            },
+            "call" => Insn {
+                op: CLASS_JMP | JMP_CALL,
+                dst: 0,
+                src: 0,
+                off: 0,
+                imm: parse_imm(rest)?,
+            },
+            "lddw" => {
+                let ops = operands(rest);
+                if ops.len() != 2 {
+                    return Err(format!("lddw needs `reg, imm`, got `{rest}`"));
+                }
+                Insn {
+                    op: CLASS_LD | MODE_IMM | SIZE_DW,
+                    dst: parse_reg(ops[0])?,
+                    src: 0,
+                    off: 0,
+                    imm: parse_imm(ops[1])?,
+                }
+            }
+            "ja" => {
+                let mut toks = rest.split_whitespace();
+                let off_tok = toks
+                    .next()
+                    .ok_or_else(|| "ja needs an offset".to_string())?;
+                let off: i16 = off_tok
+                    .parse()
+                    .map_err(|_| format!("bad ja offset `{off_tok}`"))?;
+                Insn {
+                    op: CLASS_JMP | JMP_JA,
+                    dst: 0,
+                    src: 0,
+                    off,
+                    imm: 0,
+                }
+            }
+            _ if mn.starts_with("ldx") => {
+                let size =
+                    size_from_suffix(&mn[3..]).ok_or_else(|| format!("bad load size in `{mn}`"))?;
+                let ops = operands(rest);
+                if ops.len() != 2 {
+                    return Err(format!("{mn} needs `reg, [reg+off]`, got `{rest}`"));
+                }
+                let (src, off) = parse_mem(ops[1])?;
+                Insn {
+                    op: CLASS_LDX | MODE_MEM | size,
+                    dst: parse_reg(ops[0])?,
+                    src,
+                    off,
+                    imm: 0,
+                }
+            }
+            _ if mn.starts_with("stx") => {
+                let size = size_from_suffix(&mn[3..])
+                    .ok_or_else(|| format!("bad store size in `{mn}`"))?;
+                let ops = operands(rest);
+                if ops.len() != 2 {
+                    return Err(format!("{mn} needs `[reg+off], reg`, got `{rest}`"));
+                }
+                let (dst, off) = parse_mem(ops[0])?;
+                Insn {
+                    op: CLASS_STX | MODE_MEM | size,
+                    dst,
+                    src: parse_reg(ops[1])?,
+                    off,
+                    imm: 0,
+                }
+            }
+            _ if mn.starts_with("st") => {
+                let size = size_from_suffix(&mn[2..])
+                    .ok_or_else(|| format!("bad store size in `{mn}`"))?;
+                let ops = operands(rest);
+                if ops.len() != 2 {
+                    return Err(format!("{mn} needs `[reg+off], imm`, got `{rest}`"));
+                }
+                let (dst, off) = parse_mem(ops[0])?;
+                Insn {
+                    op: CLASS_ST | MODE_MEM | size,
+                    dst,
+                    src: 0,
+                    off,
+                    imm: parse_imm(ops[1])?,
+                }
+            }
+            _ if jmp_op_from_name(mn).is_some() => {
+                let jop = jmp_op_from_name(mn).expect("checked");
+                let ops = operands(rest);
+                if ops.len() != 3 {
+                    return Err(format!(
+                        "{mn} needs `reg, operand, -> target`, got `{rest}`"
+                    ));
+                }
+                let dst = parse_reg(ops[0])?;
+                let off = parse_target(ops[2], pc)?;
+                if ops[1].starts_with('r') && parse_reg(ops[1]).is_ok() {
+                    Insn {
+                        op: CLASS_JMP | SRC_X | jop,
+                        dst,
+                        src: parse_reg(ops[1])?,
+                        off,
+                        imm: 0,
+                    }
+                } else {
+                    Insn {
+                        op: CLASS_JMP | SRC_K | jop,
+                        dst,
+                        src: 0,
+                        off,
+                        imm: parse_imm(ops[1])?,
+                    }
+                }
+            }
+            _ => {
+                // ALU: `{name}{64|32}` with one (neg) or two operands.
+                let (base, class) = if let Some(b) = mn.strip_suffix("64") {
+                    (b, CLASS_ALU64)
+                } else if let Some(b) = mn.strip_suffix("32") {
+                    (b, CLASS_ALU)
+                } else {
+                    return Err(format!("unknown mnemonic `{mn}`"));
+                };
+                let aluop =
+                    alu_op_from_name(base).ok_or_else(|| format!("unknown mnemonic `{mn}`"))?;
+                let ops = operands(rest);
+                if aluop == ALU_NEG {
+                    if ops.len() != 1 {
+                        return Err(format!("{mn} takes one register, got `{rest}`"));
+                    }
+                    Insn {
+                        op: class | SRC_K | ALU_NEG,
+                        dst: parse_reg(ops[0])?,
+                        src: 0,
+                        off: 0,
+                        imm: 0,
+                    }
+                } else {
+                    if ops.len() != 2 {
+                        return Err(format!("{mn} needs `reg, operand`, got `{rest}`"));
+                    }
+                    let dst = parse_reg(ops[0])?;
+                    if ops[1].starts_with('r') && parse_reg(ops[1]).is_ok() {
+                        Insn {
+                            op: class | SRC_X | aluop,
+                            dst,
+                            src: parse_reg(ops[1])?,
+                            off: 0,
+                            imm: 0,
+                        }
+                    } else {
+                        Insn {
+                            op: class | SRC_K | aluop,
+                            dst,
+                            src: 0,
+                            off: 0,
+                            imm: parse_imm(ops[1])?,
+                        }
+                    }
+                }
+            }
+        };
+        insns.push(insn);
+    }
+    Ok(insns)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,5 +510,141 @@ mod tests {
         assert!(!text.contains("??"), "unknown opcode in:\n{text}");
         assert!(!text.contains("alu?"));
         assert!(!text.contains("jmp?"));
+    }
+
+    #[test]
+    fn full_isa_round_trips_through_text() {
+        // Every instruction form in the ISA: all ALU ops (64/32,
+        // imm/reg), lddw, every load/store size, ja, every conditional
+        // jump (imm/reg), call, exit. assemble → disasm → parse must be
+        // the identity.
+        let alu_ops = [
+            ALU_ADD, ALU_SUB, ALU_MUL, ALU_DIV, ALU_OR, ALU_AND, ALU_LSH, ALU_RSH, ALU_MOD,
+            ALU_XOR, ALU_MOV, ALU_ARSH,
+        ];
+        let jmp_ops = [
+            JMP_JEQ, JMP_JGT, JMP_JGE, JMP_JSET, JMP_JNE, JMP_JSGT, JMP_JSGE, JMP_JLT, JMP_JLE,
+            JMP_JSLT, JMP_JSLE,
+        ];
+        let mut insns = Vec::new();
+        for class in [CLASS_ALU64, CLASS_ALU] {
+            for op in alu_ops {
+                insns.push(Insn {
+                    op: class | SRC_K | op,
+                    dst: R3,
+                    src: 0,
+                    off: 0,
+                    imm: -7,
+                });
+                insns.push(Insn {
+                    op: class | SRC_X | op,
+                    dst: R3,
+                    src: R4,
+                    off: 0,
+                    imm: 0,
+                });
+            }
+            insns.push(Insn {
+                op: class | SRC_K | ALU_NEG,
+                dst: R5,
+                src: 0,
+                off: 0,
+                imm: 0,
+            });
+        }
+        insns.push(Insn {
+            op: CLASS_LD | MODE_IMM | SIZE_DW,
+            dst: R2,
+            src: 0,
+            off: 0,
+            imm: 0x1122_3344_5566_7788u64 as i64,
+        });
+        insns.push(Insn {
+            op: CLASS_LD | MODE_IMM | SIZE_DW,
+            dst: R6,
+            src: 0,
+            off: 0,
+            imm: u64::MAX as i64,
+        });
+        for size in [SIZE_B, SIZE_H, SIZE_W, SIZE_DW] {
+            insns.push(Insn {
+                op: CLASS_LDX | MODE_MEM | size,
+                dst: R2,
+                src: R1,
+                off: 8,
+                imm: 0,
+            });
+            insns.push(Insn {
+                op: CLASS_ST | MODE_MEM | size,
+                dst: R10,
+                src: 0,
+                off: -16,
+                imm: 99,
+            });
+            insns.push(Insn {
+                op: CLASS_STX | MODE_MEM | size,
+                dst: R10,
+                src: R2,
+                off: -24,
+                imm: 0,
+            });
+        }
+        insns.push(Insn {
+            op: CLASS_JMP | JMP_JA,
+            dst: 0,
+            src: 0,
+            off: 3,
+            imm: 0,
+        });
+        for op in jmp_ops {
+            insns.push(Insn {
+                op: CLASS_JMP | SRC_K | op,
+                dst: R2,
+                src: 0,
+                off: 5,
+                imm: -3,
+            });
+            insns.push(Insn {
+                op: CLASS_JMP | SRC_X | op,
+                dst: R2,
+                src: R3,
+                off: 2,
+                imm: 0,
+            });
+        }
+        insns.push(Insn {
+            op: CLASS_JMP | JMP_CALL,
+            dst: 0,
+            src: 0,
+            off: 0,
+            imm: 4,
+        });
+        insns.push(Insn {
+            op: CLASS_JMP | JMP_EXIT,
+            dst: 0,
+            src: 0,
+            off: 0,
+            imm: 0,
+        });
+
+        let text = disasm(&insns);
+        let parsed = parse_program(&text).unwrap_or_else(|e| panic!("{e}\ntext was:\n{text}"));
+        assert_eq!(parsed, insns, "text was:\n{text}");
+
+        // Un-numbered text (hand-written form) parses identically.
+        let bare: String = text
+            .lines()
+            .map(|l| l.split_once(':').unwrap().1.trim())
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert_eq!(parse_program(&bare).unwrap(), insns);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_program("frob r1, r2").is_err());
+        assert!(parse_program("mov64 r99, 1").is_err());
+        assert!(parse_program("ldxw r1, r2").is_err());
+        assert!(parse_program("5: exit").is_err(), "mismatched line number");
     }
 }

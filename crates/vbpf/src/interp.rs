@@ -6,8 +6,10 @@
 //! runtime as defense in depth behind the verifier, mirroring how Linux
 //! pairs its verifier with runtime bounds where cheap.
 
+use crate::compile::{compile, CompiledProgram, Op};
 use crate::isa::*;
 use crate::maps::ArrayMap;
+use crate::memo::{CtxWrite, Key, MemoStats, VerdictCache, MAX_KEY};
 use crate::Program;
 
 /// Helper function identifiers callable from programs.
@@ -24,11 +26,45 @@ pub mod helpers {
     pub const TRACE: u32 = 5;
 }
 
-const CTX_BASE: u64 = 0x1000_0000_0000_0000;
-const STACK_BASE: u64 = 0x2000_0000_0000_0000;
+pub(crate) const CTX_BASE: u64 = 0x1000_0000_0000_0000;
+pub(crate) const STACK_BASE: u64 = 0x2000_0000_0000_0000;
+
+/// Width of the runtime register file. The ISA has [`NUM_REGS`] (11)
+/// registers; executing over a 16-slot array lets the compiled tier's
+/// accessors mask indices (`r & 15`) instead of bounds-checking them —
+/// the verifier guarantees register numbers are in range, so the masked
+/// and checked forms are observably identical.
+const REG_FILE: usize = 16;
+
+/// Masked register read for the compiled dispatch loop.
+#[inline(always)]
+fn reg(regs: &[u64; REG_FILE], r: u8) -> u64 {
+    regs[(r & 15) as usize]
+}
+
+/// Masked register write slot for the compiled dispatch loop.
+#[inline(always)]
+fn reg_mut(regs: &mut [u64; REG_FILE], r: u8) -> &mut u64 {
+    &mut regs[(r & 15) as usize]
+}
 const MAP_BASE: u64 = 0x3000_0000_0000_0000;
 const MAP_IDX_SHIFT: u32 = 40;
 const MAP_OFF_MASK: u64 = (1 << MAP_IDX_SHIFT) - 1;
+
+/// Which execution tier answered an invocation (see
+/// [`Vm::run_with_tier`]). The router surfaces per-tier counters and
+/// latency histograms through telemetry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tier {
+    /// Fetch/decode interpreter: the fallback for programs the compile
+    /// tier rejects and for undersized contexts.
+    Interp,
+    /// Pre-decoded op array ([`crate::compile`]).
+    Compiled,
+    /// Verdict served from the memo cache ([`crate::memo`]); the program
+    /// did not execute at all.
+    CacheHit,
+}
 
 /// Runtime execution failures (should be unreachable for verified programs
 /// run with a context at least as large as the verified `ctx_size`).
@@ -60,6 +96,8 @@ pub struct VmConfig {
     pub max_insns: u64,
     /// Seed for the `prandom_u32` helper.
     pub prandom_seed: u64,
+    /// Verdict-cache slots for pure programs; 0 disables memoization.
+    pub memo_capacity: usize,
 }
 
 impl Default for VmConfig {
@@ -67,6 +105,7 @@ impl Default for VmConfig {
         VmConfig {
             max_insns: 1 << 20,
             prandom_seed: 0x9E37_79B9_7F4A_7C15,
+            memo_capacity: 256,
         }
     }
 }
@@ -78,6 +117,14 @@ impl Default for VmConfig {
 /// partition LBA offsets).
 pub struct Vm {
     program: Program,
+    compiled: Option<CompiledProgram>,
+    memo: Option<VerdictCache>,
+    /// Bumped by [`Vm::map_mut`]; a mismatch with the cache's stored
+    /// generation flushes memoized verdicts (map contents are an input
+    /// to pure programs via `map_lookup`).
+    map_generation: u64,
+    /// Reusable journal buffer for memoized compiled runs.
+    journal: Vec<CtxWrite>,
     maps: Vec<ArrayMap>,
     time_ns: u64,
     rng: u64,
@@ -95,15 +142,58 @@ impl Vm {
     /// Instantiates with explicit configuration.
     pub fn with_config(program: Program, cfg: VmConfig) -> Self {
         let maps = program.maps.iter().map(|d| ArrayMap::new(*d)).collect();
-        Vm {
+        let compiled = compile(&program);
+        let mut vm = Vm {
             program,
+            compiled,
+            memo: None,
+            map_generation: 0,
+            journal: Vec::new(),
             maps,
             time_ns: 0,
             rng: cfg.prandom_seed | 1,
             trace: Vec::new(),
             cfg,
             invocations: 0,
-        }
+        };
+        vm.set_memo_capacity(vm.cfg.memo_capacity);
+        vm
+    }
+
+    /// Resizes (or disables, with 0) the verdict cache. The cache only
+    /// ever engages for programs that are pure, compiled, and whose ctx
+    /// read-set fits the key; for others this is a no-op beyond storing
+    /// the setting.
+    pub fn set_memo_capacity(&mut self, capacity: usize) {
+        self.cfg.memo_capacity = capacity;
+        let key_len: usize = self
+            .program
+            .analysis
+            .ctx_reads
+            .iter()
+            .map(|(s, e)| e - s)
+            .sum();
+        let eligible = capacity > 0
+            && self.compiled.is_some()
+            && self.program.analysis.pure
+            && key_len <= MAX_KEY;
+        self.memo = eligible.then(|| VerdictCache::new(capacity));
+    }
+
+    /// The verified program this Vm executes.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// True when the pre-decoded compile tier is available.
+    pub fn is_compiled(&self) -> bool {
+        self.compiled.is_some()
+    }
+
+    /// Verdict-cache counters (all zero when memoization is disabled or
+    /// the program is ineligible).
+    pub fn memo_stats(&self) -> MemoStats {
+        self.memo.as_ref().map(|m| m.stats).unwrap_or_default()
     }
 
     /// Sets the virtual time returned by the `ktime_ns` helper.
@@ -116,8 +206,10 @@ impl Vm {
         &self.maps[idx]
     }
 
-    /// Host-side mutable access to a map.
+    /// Host-side mutable access to a map. Conservatively invalidates
+    /// memoized verdicts (the caller may write through the reference).
     pub fn map_mut(&mut self, idx: usize) -> &mut ArrayMap {
+        self.map_generation += 1;
         &mut self.maps[idx]
     }
 
@@ -132,8 +224,298 @@ impl Vm {
     }
 
     /// Runs the program over `ctx`; returns R0 (the routing verdict).
+    ///
+    /// Picks the fastest applicable tier (memo hit → compiled →
+    /// interpreter); use [`Vm::run_with_tier`] to observe which one ran,
+    /// or [`Vm::run_interp`] to force the interpreter.
     pub fn run(&mut self, ctx: &mut [u8]) -> Result<u64, ExecError> {
-        let mut regs = [0u64; NUM_REGS];
+        self.run_with_tier(ctx).map(|(v, _)| v)
+    }
+
+    /// Runs the program and reports which execution tier answered.
+    #[inline]
+    pub fn run_with_tier(&mut self, ctx: &mut [u8]) -> Result<(u64, Tier), ExecError> {
+        // Hot path: a memoized program re-seeing the request shape it saw
+        // last (the sequential-read pattern) replays the cached verdict
+        // and journal without materializing a key or touching the
+        // compiled engine at all.
+        if let (Some(cache), Some(cp)) = (&mut self.memo, &self.compiled) {
+            if ctx.len() >= cp.min_ctx && cache.generation_current(self.map_generation) {
+                if let Some(verdict) = cache.replay_last(&cp.key_plan, ctx) {
+                    self.invocations += 1;
+                    return Ok((verdict, Tier::CacheHit));
+                }
+            }
+        }
+        self.run_with_tier_full(ctx)
+    }
+
+    /// Tier dispatch past the memo fast path: interpreter fallback for
+    /// uncompiled programs or undersized contexts, then memo probe, then
+    /// the compiled engine (journaling into the memo when eligible).
+    #[inline]
+    fn run_with_tier_full(&mut self, ctx: &mut [u8]) -> Result<(u64, Tier), ExecError> {
+        let min_ctx = match &self.compiled {
+            Some(c) => c.min_ctx,
+            None => return self.run_interp(ctx).map(|v| (v, Tier::Interp)),
+        };
+        if ctx.len() < min_ctx {
+            // The compile-time bounds proofs assumed at least the
+            // verified ctx footprint; reproduce the interpreter's exact
+            // behavior (possibly OutOfBounds) for undersized contexts.
+            return self.run_interp(ctx).map(|v| (v, Tier::Interp));
+        }
+        if self.memo.is_none() {
+            return self.run_compiled(ctx, None).map(|v| (v, Tier::Compiled));
+        }
+        let key = Key::extract(&self.program.analysis.ctx_reads, ctx);
+        let generation = self.map_generation;
+        let hit = {
+            let cache = self.memo.as_mut().expect("memo checked above");
+            cache.lookup(&key, generation).map(|(verdict, writes)| {
+                for w in writes {
+                    store_le(ctx, w.off as usize, w.size as usize, w.v);
+                }
+                verdict
+            })
+        };
+        if let Some(verdict) = hit {
+            self.invocations += 1;
+            return Ok((verdict, Tier::CacheHit));
+        }
+        let mut journal = std::mem::take(&mut self.journal);
+        journal.clear();
+        let res = self.run_compiled(ctx, Some(&mut journal));
+        if let Ok(verdict) = res {
+            self.memo
+                .as_mut()
+                .expect("memo checked above")
+                .insert(key, verdict, &journal);
+        }
+        self.journal = journal;
+        res.map(|v| (v, Tier::Compiled))
+    }
+
+    /// Executes the pre-decoded op array. Caller guarantees
+    /// `self.compiled` is present and `ctx.len() >= min_ctx`; when
+    /// `journal` is given, every ctx write is recorded for memo replay.
+    #[inline]
+    fn run_compiled(
+        &mut self,
+        ctx: &mut [u8],
+        mut journal: Option<&mut Vec<CtxWrite>>,
+    ) -> Result<u64, ExecError> {
+        let mut regs = [0u64; REG_FILE];
+        regs[R1 as usize] = CTX_BASE;
+        regs[R10 as usize] = STACK_BASE + STACK_SIZE as u64;
+        let mut budget = self.cfg.max_insns;
+        let cp: *const CompiledProgram = self.compiled.as_ref().expect("compiled tier present");
+        // SAFETY: `cp` borrows from self.compiled, which nothing in this
+        // loop mutates (helper calls touch maps/rng/trace only); the raw
+        // pointer avoids aliasing with `&mut self` for those calls.
+        let cp: &CompiledProgram = unsafe { &*cp };
+        // Programs with no retained stack op cannot observe the frame:
+        // skip the 512-byte zeroing (a large share of short classifiers'
+        // per-invocation cost) and hand the arms an empty slice.
+        let mut frame = std::mem::MaybeUninit::<[u8; STACK_SIZE]>::uninit();
+        let stack: &mut [u8] = if cp.uses_stack {
+            frame.write([0u8; STACK_SIZE])
+        } else {
+            &mut []
+        };
+        let ops = &cp.ops[..];
+        let weights = &cp.weights[..];
+        let pcs = &cp.pcs[..];
+        // DAG programs (the verifier rejects backward jumps) charge at
+        // most `total_weight`; when the budget covers that, per-op
+        // accounting cannot fail and is skipped entirely.
+        let check_budget = budget < cp.total_weight;
+        let mut i = 0usize;
+        loop {
+            if check_budget {
+                // Budget parity with the interpreter: an op's weight is
+                // itself plus the eliminated instructions folded into it.
+                let w = weights[i] as u64;
+                if budget < w {
+                    return Err(ExecError::BudgetExceeded);
+                }
+                budget -= w;
+            }
+            // SAFETY: `i` is always in bounds — it starts at 0 (a
+            // verified program has at least its exit), branch/ja targets
+            // were validated and remapped during compilation, and
+            // fall-through `i + 1` is only reachable from non-terminal
+            // ops (the verifier's falls-off-end check makes the last op
+            // an exit or jump).
+            match *unsafe { ops.get_unchecked(i) } {
+                Op::MovImm { dst, v } => *reg_mut(&mut regs, dst) = v,
+                Op::AluImm {
+                    aluop,
+                    is64,
+                    dst,
+                    imm,
+                } => {
+                    let a = reg(&regs, dst);
+                    // `lower` validated the opcode, so `None` (and the
+                    // lazily built error) is unreachable here.
+                    *reg_mut(&mut regs, dst) =
+                        alu_value(aluop, is64, a, imm).ok_or_else(|| ExecError::BadOpcode {
+                            pc: pcs[i] as usize,
+                        })?;
+                }
+                Op::AluReg {
+                    aluop,
+                    is64,
+                    dst,
+                    src,
+                } => {
+                    let a = reg(&regs, dst);
+                    let b = reg(&regs, src);
+                    *reg_mut(&mut regs, dst) =
+                        alu_value(aluop, is64, a, b).ok_or_else(|| ExecError::BadOpcode {
+                            pc: pcs[i] as usize,
+                        })?;
+                }
+                Op::LdCtx { dst, off, size } => {
+                    *reg_mut(&mut regs, dst) = load_le(ctx, off as usize, size as usize);
+                }
+                Op::LdStack { dst, off, size } => {
+                    *reg_mut(&mut regs, dst) = load_le(stack, off as usize, size as usize);
+                }
+                Op::StCtxReg { src, off, size } => {
+                    let v = reg(&regs, src);
+                    store_le(ctx, off as usize, size as usize, v);
+                    if let Some(j) = journal.as_deref_mut() {
+                        j.push(CtxWrite { off, size, v });
+                    }
+                }
+                Op::StCtxImm { off, size, v } => {
+                    store_le(ctx, off as usize, size as usize, v);
+                    if let Some(j) = journal.as_deref_mut() {
+                        j.push(CtxWrite { off, size, v });
+                    }
+                }
+                Op::StStackReg { src, off, size } => {
+                    let v = reg(&regs, src);
+                    store_le(stack, off as usize, size as usize, v);
+                }
+                Op::StStackImm { off, size, v } => {
+                    store_le(stack, off as usize, size as usize, v);
+                }
+                Op::LdDyn {
+                    dst,
+                    src,
+                    off,
+                    size,
+                } => {
+                    let addr = reg(&regs, src).wrapping_add(off as i64 as u64);
+                    *reg_mut(&mut regs, dst) =
+                        self.mem_read(ctx, stack, addr, size as usize, pcs[i] as usize)?;
+                }
+                Op::StDynReg {
+                    dst,
+                    src,
+                    off,
+                    size,
+                } => {
+                    let addr = reg(&regs, dst).wrapping_add(off as i64 as u64);
+                    let v = reg(&regs, src);
+                    self.mem_write(ctx, stack, addr, size as usize, v, pcs[i] as usize)?;
+                }
+                Op::StDynImm { dst, off, size, v } => {
+                    let addr = reg(&regs, dst).wrapping_add(off as i64 as u64);
+                    self.mem_write(ctx, stack, addr, size as usize, v, pcs[i] as usize)?;
+                }
+                Op::Call { helper } => {
+                    self.call_helper(ctx, stack, &mut regs, helper, pcs[i] as usize)?;
+                }
+                Op::Ja { target } => {
+                    i = target as usize;
+                    continue;
+                }
+                Op::Branch {
+                    jmpop,
+                    use_reg,
+                    dst,
+                    src,
+                    imm,
+                    target,
+                } => {
+                    let a = reg(&regs, dst);
+                    let b = if use_reg { reg(&regs, src) } else { imm };
+                    let taken = branch_taken(jmpop, a, b).ok_or_else(|| ExecError::BadOpcode {
+                        pc: pcs[i] as usize,
+                    })?;
+                    i = if taken { target as usize } else { i + 1 };
+                    continue;
+                }
+                Op::Exit => {
+                    self.invocations += 1;
+                    return Ok(regs[R0 as usize]);
+                }
+                Op::LdCtxBranchImm {
+                    dst,
+                    off,
+                    size,
+                    jmpop,
+                    imm,
+                    target,
+                } => {
+                    let v = load_le(ctx, off as usize, size as usize);
+                    *reg_mut(&mut regs, dst) = v;
+                    let taken =
+                        branch_taken(jmpop, v, imm).ok_or_else(|| ExecError::BadOpcode {
+                            pc: pcs[i] as usize,
+                        })?;
+                    i = if taken { target as usize } else { i + 1 };
+                    continue;
+                }
+                Op::AluRegReg {
+                    aluop,
+                    is64,
+                    dst,
+                    a,
+                    b,
+                } => {
+                    let av = reg(&regs, a);
+                    let bv = reg(&regs, b);
+                    *reg_mut(&mut regs, dst) =
+                        alu_value(aluop, is64, av, bv).ok_or_else(|| ExecError::BadOpcode {
+                            pc: pcs[i] as usize,
+                        })?;
+                }
+                Op::AluImmStCtx {
+                    aluop,
+                    is64,
+                    dst,
+                    imm,
+                    off,
+                    size,
+                } => {
+                    let a = reg(&regs, dst);
+                    let v = alu_value(aluop, is64, a, imm).ok_or_else(|| ExecError::BadOpcode {
+                        pc: pcs[i] as usize,
+                    })?;
+                    *reg_mut(&mut regs, dst) = v;
+                    store_le(ctx, off as usize, size as usize, v);
+                    if let Some(j) = journal.as_deref_mut() {
+                        j.push(CtxWrite { off, size, v });
+                    }
+                }
+                Op::MovImmExit { v } => {
+                    self.invocations += 1;
+                    return Ok(v);
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Runs the program on the fetch/decode interpreter, bypassing the
+    /// compile tier and the memo cache (used as the fallback tier and by
+    /// the differential tests/benches as the reference executor).
+    pub fn run_interp(&mut self, ctx: &mut [u8]) -> Result<u64, ExecError> {
+        let mut regs = [0u64; REG_FILE];
         let mut stack = [0u8; STACK_SIZE];
         regs[R1 as usize] = CTX_BASE;
         regs[R10 as usize] = STACK_BASE + STACK_SIZE as u64;
@@ -197,21 +579,8 @@ impl Vm {
                             } else {
                                 insn.imm as u64
                             };
-                            let taken = match jmpop {
-                                JMP_JA => true,
-                                JMP_JEQ => a == b,
-                                JMP_JNE => a != b,
-                                JMP_JGT => a > b,
-                                JMP_JGE => a >= b,
-                                JMP_JLT => a < b,
-                                JMP_JLE => a <= b,
-                                JMP_JSET => a & b != 0,
-                                JMP_JSGT => (a as i64) > b as i64,
-                                JMP_JSGE => (a as i64) >= b as i64,
-                                JMP_JSLT => (a as i64) < (b as i64),
-                                JMP_JSLE => (a as i64) <= b as i64,
-                                _ => return Err(ExecError::BadOpcode { pc }),
-                            };
+                            let taken =
+                                branch_taken(jmpop, a, b).ok_or(ExecError::BadOpcode { pc })?;
                             pc = if taken {
                                 (pc as i64 + 1 + insn.off as i64) as usize
                             } else {
@@ -228,7 +597,7 @@ impl Vm {
     fn mem_read(
         &self,
         ctx: &[u8],
-        stack: &[u8; STACK_SIZE],
+        stack: &[u8],
         addr: u64,
         size: usize,
         pc: usize,
@@ -242,7 +611,7 @@ impl Vm {
     fn resolve<'b>(
         &'b self,
         ctx: &'b [u8],
-        stack: &'b [u8; STACK_SIZE],
+        stack: &'b [u8],
         addr: u64,
         size: usize,
         pc: usize,
@@ -269,7 +638,10 @@ impl Vm {
             Ok(&slot[within..within + size])
         } else if addr >= STACK_BASE {
             let off = (addr - STACK_BASE) as usize;
-            if off + size > STACK_SIZE {
+            // `stack.len()`, not STACK_SIZE: a compiled program with no
+            // retained stack op runs on an empty frame, and the verifier
+            // guarantees it never forms a stack-tagged address anyway.
+            if off + size > stack.len() {
                 return Err(oob);
             }
             Ok(&stack[off..off + size])
@@ -287,7 +659,7 @@ impl Vm {
     fn mem_write(
         &mut self,
         ctx: &mut [u8],
-        stack: &mut [u8; STACK_SIZE],
+        stack: &mut [u8],
         addr: u64,
         size: usize,
         value: u64,
@@ -311,7 +683,7 @@ impl Vm {
             Ok(())
         } else if addr >= STACK_BASE {
             let off = (addr - STACK_BASE) as usize;
-            if off + size > STACK_SIZE {
+            if off + size > stack.len() {
                 return Err(oob);
             }
             stack[off..off + size].copy_from_slice(&bytes[..size]);
@@ -331,8 +703,8 @@ impl Vm {
     fn call_helper(
         &mut self,
         ctx: &mut [u8],
-        stack: &mut [u8; STACK_SIZE],
-        regs: &mut [u64; NUM_REGS],
+        stack: &mut [u8],
+        regs: &mut [u64; REG_FILE],
         helper: u32,
         pc: usize,
     ) -> Result<(), ExecError> {
@@ -393,7 +765,7 @@ impl Vm {
 }
 
 fn exec_alu(
-    regs: &mut [u64; NUM_REGS],
+    regs: &mut [u64; REG_FILE],
     insn: Insn,
     is64: bool,
     pc: usize,
@@ -405,8 +777,19 @@ fn exec_alu(
         insn.imm as u64
     };
     let a = regs[insn.dst as usize];
+    regs[insn.dst as usize] = alu_value(aluop, is64, a, b).ok_or(ExecError::BadOpcode { pc })?;
+    Ok(())
+}
+
+/// The single source of ALU semantics, shared by the interpreter, the
+/// compiled tier's dispatch loop, and the compile tier's constant folder
+/// (so a folded constant is bit-identical to what execution would have
+/// produced). `None` means an undefined ALU family (`BadOpcode` at
+/// runtime, "don't fold" at compile time).
+#[inline(always)]
+pub(crate) fn alu_value(aluop: u8, is64: bool, a: u64, b: u64) -> Option<u64> {
     let (a32, b32) = (a as u32, b as u32);
-    let v: u64 = if is64 {
+    let v = if is64 {
         match aluop {
             ALU_ADD => a.wrapping_add(b),
             ALU_SUB => a.wrapping_sub(b),
@@ -427,7 +810,7 @@ fn exec_alu(
             ALU_ARSH => ((a as i64) >> (b & 63)) as u64,
             ALU_NEG => (a as i64).wrapping_neg() as u64,
             ALU_MOV => b,
-            _ => return Err(ExecError::BadOpcode { pc }),
+            _ => return None,
         }
     } else {
         let v32: u32 = match aluop {
@@ -450,12 +833,56 @@ fn exec_alu(
             ALU_ARSH => ((a32 as i32) >> (b32 & 31)) as u32,
             ALU_NEG => (a32 as i32).wrapping_neg() as u32,
             ALU_MOV => b32,
-            _ => return Err(ExecError::BadOpcode { pc }),
+            _ => return None,
         };
         v32 as u64
     };
-    regs[insn.dst as usize] = v;
-    Ok(())
+    Some(v)
+}
+
+/// Branch predicate shared by both execution tiers; `None` means an
+/// undefined jump family (`BadOpcode` at runtime).
+#[inline(always)]
+pub(crate) fn branch_taken(jmpop: u8, a: u64, b: u64) -> Option<bool> {
+    Some(match jmpop {
+        JMP_JA => true,
+        JMP_JEQ => a == b,
+        JMP_JNE => a != b,
+        JMP_JGT => a > b,
+        JMP_JGE => a >= b,
+        JMP_JLT => a < b,
+        JMP_JLE => a <= b,
+        JMP_JSET => a & b != 0,
+        JMP_JSGT => (a as i64) > b as i64,
+        JMP_JSGE => (a as i64) >= b as i64,
+        JMP_JSLT => (a as i64) < (b as i64),
+        JMP_JSLE => (a as i64) <= b as i64,
+        _ => return None,
+    })
+}
+
+/// Little-endian load of `size` bytes (1/2/4/8) at a compile-time-proved
+/// in-bounds offset — the zero-cost replacement for the interpreter's
+/// tagged-address resolve on the compiled fast path.
+#[inline(always)]
+pub(crate) fn load_le(buf: &[u8], off: usize, size: usize) -> u64 {
+    match size {
+        1 => buf[off] as u64,
+        2 => u16::from_le_bytes(buf[off..off + 2].try_into().unwrap()) as u64,
+        4 => u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as u64,
+        _ => u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()),
+    }
+}
+
+/// Little-endian store counterpart of [`load_le`].
+#[inline(always)]
+pub(crate) fn store_le(buf: &mut [u8], off: usize, size: usize, v: u64) {
+    match size {
+        1 => buf[off] = v as u8,
+        2 => buf[off..off + 2].copy_from_slice(&(v as u16).to_le_bytes()),
+        4 => buf[off..off + 4].copy_from_slice(&(v as u32).to_le_bytes()),
+        _ => buf[off..off + 8].copy_from_slice(&v.to_le_bytes()),
+    }
 }
 
 #[cfg(test)]
@@ -705,5 +1132,256 @@ mod tests {
         let mut vm = compile(b, 8, 0..0);
         assert_eq!(vm.run(&mut [0u8; 8]).unwrap(), 0);
         assert_eq!(vm.map(0).get_u64(0), Some(0x1122));
+    }
+
+    /// ctx[0..8] += map[0]; return 0x11 — pure, compiled, memoizable.
+    fn offset_vm() -> Vm {
+        let mut b = ProgramBuilder::new();
+        let m = b.declare_map(MapDef {
+            value_size: 8,
+            max_entries: 1,
+        });
+        let is_null = b.new_label();
+        b.mov64(R6, R1)
+            .st_imm(SIZE_W, R10, -4, 0)
+            .mov64_imm(R1, m as i32)
+            .mov64(R2, R10)
+            .add64_imm(R2, -4)
+            .call(helpers::MAP_LOOKUP)
+            .jmp_imm(JMP_JEQ, R0, 0, is_null)
+            .ldx(SIZE_DW, R3, R0, 0)
+            .ldx(SIZE_DW, R2, R6, 0)
+            .alu64(ALU_ADD, R2, R3)
+            .stx(SIZE_DW, R6, 0, R2)
+            .mov64_imm(R0, 0x11)
+            .exit();
+        b.bind(is_null);
+        b.mov64_imm(R0, 0x22).exit();
+        compile(b, 16, 0..16)
+    }
+
+    #[test]
+    fn pure_program_hits_memo_on_repeat() {
+        let mut vm = offset_vm();
+        vm.map_mut(0).set_u64(0, 0x1000).unwrap();
+        assert!(vm.is_compiled());
+        assert!(vm.program().is_pure());
+
+        let mut ctx = [0u8; 16];
+        ctx[..8].copy_from_slice(&0x40u64.to_le_bytes());
+        let (v, tier) = vm.run_with_tier(&mut ctx).unwrap();
+        assert_eq!((v, tier), (0x11, Tier::Compiled));
+        assert_eq!(u64::from_le_bytes(ctx[..8].try_into().unwrap()), 0x1040);
+
+        // Same key again: cache hit, and the journal replays the write.
+        let mut ctx = [0u8; 16];
+        ctx[..8].copy_from_slice(&0x40u64.to_le_bytes());
+        let (v, tier) = vm.run_with_tier(&mut ctx).unwrap();
+        assert_eq!((v, tier), (0x11, Tier::CacheHit));
+        assert_eq!(u64::from_le_bytes(ctx[..8].try_into().unwrap()), 0x1040);
+        assert_eq!(vm.memo_stats().hits, 1);
+        assert_eq!(vm.invocations(), 2);
+    }
+
+    #[test]
+    fn memo_is_keyed_on_ctx_reads() {
+        let mut vm = offset_vm();
+        vm.map_mut(0).set_u64(0, 7).unwrap();
+        let mut a = [0u8; 16];
+        a[..8].copy_from_slice(&1u64.to_le_bytes());
+        let mut b = [0u8; 16];
+        b[..8].copy_from_slice(&2u64.to_le_bytes());
+        assert_eq!(vm.run(&mut a).unwrap(), 0x11);
+        // Different slba → different key → miss, correct fresh result.
+        assert_eq!(vm.run(&mut b).unwrap(), 0x11);
+        assert_eq!(u64::from_le_bytes(b[..8].try_into().unwrap()), 9);
+        assert_eq!(vm.memo_stats().hits, 0);
+        assert_eq!(vm.memo_stats().misses, 2);
+    }
+
+    #[test]
+    fn external_map_update_invalidates_memo() {
+        let mut vm = offset_vm();
+        vm.map_mut(0).set_u64(0, 0x1000).unwrap();
+        let run = |vm: &mut Vm| {
+            let mut ctx = [0u8; 16];
+            ctx[..8].copy_from_slice(&0x40u64.to_le_bytes());
+            vm.run(&mut ctx).unwrap();
+            u64::from_le_bytes(ctx[..8].try_into().unwrap())
+        };
+        assert_eq!(run(&mut vm), 0x1040);
+        assert_eq!(run(&mut vm), 0x1040); // cached
+        vm.map_mut(0).set_u64(0, 0x2000).unwrap();
+        // The host changed an input: the stale verdict must not replay.
+        assert_eq!(run(&mut vm), 0x2040);
+        assert_eq!(vm.memo_stats().invalidations, 1);
+        assert_eq!(vm.memo_stats().hits, 1);
+    }
+
+    #[test]
+    fn impure_programs_bypass_memo() {
+        // prandom makes the program impure: every run must execute.
+        let mut b = ProgramBuilder::new();
+        b.call(helpers::PRANDOM_U32).exit();
+        let mut vm = compile(b, 8, 0..0);
+        assert!(!vm.program().is_pure());
+        let mut ctx = [0u8; 8];
+        let a = vm.run_with_tier(&mut ctx).unwrap();
+        let b2 = vm.run_with_tier(&mut ctx).unwrap();
+        assert_eq!(a.1, Tier::Compiled);
+        assert_eq!(b2.1, Tier::Compiled);
+        assert_ne!(a.0, b2.0, "prandom must advance on every invocation");
+        assert_eq!(vm.memo_stats(), MemoStats::default());
+    }
+
+    #[test]
+    fn map_writing_programs_bypass_memo() {
+        let mut b = ProgramBuilder::new();
+        let m = b.declare_map(MapDef {
+            value_size: 8,
+            max_entries: 1,
+        });
+        let is_null = b.new_label();
+        b.st_imm(SIZE_W, R10, -4, 0)
+            .mov64_imm(R1, m as i32)
+            .mov64(R2, R10)
+            .add64_imm(R2, -4)
+            .call(helpers::MAP_LOOKUP)
+            .jmp_imm(JMP_JEQ, R0, 0, is_null)
+            .ldx(SIZE_DW, R2, R0, 0)
+            .add64_imm(R2, 1)
+            .stx(SIZE_DW, R0, 0, R2)
+            .mov64(R0, R2)
+            .exit();
+        b.bind(is_null);
+        b.mov64_imm(R0, 0).exit();
+        let mut vm = compile(b, 8, 0..0);
+        assert!(!vm.program().is_pure());
+        let mut ctx = [0u8; 8];
+        // The counter must advance every run — no cached replay.
+        assert_eq!(vm.run(&mut ctx).unwrap(), 1);
+        assert_eq!(vm.run(&mut ctx).unwrap(), 2);
+        assert_eq!(vm.run(&mut ctx).unwrap(), 3);
+        assert_eq!(vm.memo_stats(), MemoStats::default());
+    }
+
+    #[test]
+    fn memo_is_bounded_and_counts_evictions() {
+        let mut vm = offset_vm();
+        vm.set_memo_capacity(2);
+        vm.map_mut(0).set_u64(0, 1).unwrap();
+        for slba in 0..64u64 {
+            let mut ctx = [0u8; 16];
+            ctx[..8].copy_from_slice(&slba.to_le_bytes());
+            vm.run(&mut ctx).unwrap();
+        }
+        let stats = vm.memo_stats();
+        assert_eq!(stats.misses, 64);
+        assert!(stats.evictions >= 62 - 2, "bounded cache must evict");
+    }
+
+    #[test]
+    fn memo_capacity_zero_disables_cache() {
+        let mut vm = offset_vm();
+        vm.set_memo_capacity(0);
+        let mut ctx = [0u8; 16];
+        assert_eq!(vm.run_with_tier(&mut ctx).unwrap().1, Tier::Compiled);
+        let mut ctx = [0u8; 16];
+        assert_eq!(vm.run_with_tier(&mut ctx).unwrap().1, Tier::Compiled);
+        assert_eq!(vm.memo_stats(), MemoStats::default());
+    }
+
+    #[test]
+    fn trace_program_falls_back_to_interp_tier() {
+        let mut b = ProgramBuilder::new();
+        b.mov64_imm(R1, 9).call(helpers::TRACE).exit();
+        let mut vm = compile(b, 8, 0..0);
+        assert!(!vm.is_compiled());
+        let (v, tier) = vm.run_with_tier(&mut [0u8; 8]).unwrap();
+        assert_eq!((v, tier), (0, Tier::Interp));
+        assert_eq!(vm.trace_log(), &[9]);
+    }
+
+    #[test]
+    fn short_ctx_falls_back_to_interp_per_invocation() {
+        // Verified at ctx_size 16; the compiled tier's bounds proofs only
+        // hold for ctx >= min_ctx, so an 8-byte ctx must take the
+        // interpreter and reproduce its OutOfBounds.
+        let mut b = ProgramBuilder::new();
+        b.ldx(SIZE_DW, R0, R1, 8).exit();
+        let mut vm = compile(b, 16, 0..0);
+        assert!(vm.is_compiled());
+        let mut small = [0u8; 8];
+        assert!(matches!(
+            vm.run_with_tier(&mut small),
+            Err(ExecError::OutOfBounds { .. })
+        ));
+        let mut full = [0u8; 16];
+        full[8..].copy_from_slice(&0xABu64.to_le_bytes());
+        assert_eq!(vm.run_with_tier(&mut full).unwrap().0, 0xAB);
+    }
+
+    #[test]
+    fn budget_parity_between_tiers_with_dse() {
+        // A program with a fold-away body: the compiled tier charges the
+        // removed instructions to their successor's weight, so the exact
+        // budget at which BudgetExceeded appears matches the interpreter.
+        let build = || {
+            let mut b = ProgramBuilder::new();
+            b.mov64_imm(R2, 1)
+                .mov64_imm(R3, 2)
+                .alu64(ALU_ADD, R2, R3)
+                .mov64(R0, R2)
+                .exit();
+            b
+        };
+        let n = 5u64; // instruction count of the program above
+        for budget in [n - 1, n] {
+            let cfg = VmConfig {
+                max_insns: budget,
+                ..VmConfig::default()
+            };
+            let (insns, maps) = build().build();
+            let vcfg = VerifierConfig {
+                ctx_size: 8,
+                ctx_writable: 0..0,
+            };
+            let program = verify(insns, maps, &vcfg).unwrap();
+            let mut tiered = Vm::with_config(program, cfg);
+            assert!(tiered.is_compiled());
+            let (insns, maps) = build().build();
+            let program = verify(insns, maps, &vcfg).unwrap();
+            let mut interp = Vm::with_config(program, cfg);
+            let a = tiered.run_with_tier(&mut [0u8; 8]).map(|(v, _)| v);
+            let b = interp.run_interp(&mut [0u8; 8]);
+            assert_eq!(a, b, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn compiled_tier_matches_interp_on_branchy_program() {
+        let build = || {
+            let mut b = ProgramBuilder::new();
+            let hi = b.new_label();
+            b.ldx(SIZE_W, R2, R1, 0)
+                .jmp_imm(JMP_JGT, R2, 100, hi)
+                .alu64_imm(ALU_MUL, R2, 3)
+                .mov64(R0, R2)
+                .exit();
+            b.bind(hi);
+            b.alu64_imm(ALU_RSH, R2, 2).mov64(R0, R2).exit();
+            b
+        };
+        for seed in [0u32, 7, 100, 101, 0xFFFF_FFFF] {
+            let mut tiered = compile(build(), 8, 0..0);
+            let mut interp = compile(build(), 8, 0..0);
+            let mut c1 = [0u8; 8];
+            c1[..4].copy_from_slice(&seed.to_le_bytes());
+            let mut c2 = c1;
+            let (v, tier) = tiered.run_with_tier(&mut c1).unwrap();
+            assert_eq!(tier, Tier::Compiled);
+            assert_eq!(v, interp.run_interp(&mut c2).unwrap(), "seed {seed}");
+            assert_eq!(c1, c2);
+        }
     }
 }

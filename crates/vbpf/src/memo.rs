@@ -1,0 +1,315 @@
+//! Verdict memoization for pure classifiers.
+//!
+//! The common NVMe routing classifier (partition offset, QoS class pick,
+//! opcode dispatch) is *pure*: its verdict and its mediated ctx writes
+//! depend only on the ctx bytes it reads and on map contents
+//! ([`crate::verifier::Analysis`]). For such programs, repeated
+//! same-shape requests — the sequential-read fast path — can skip
+//! execution entirely: the cache key is exactly the ctx bytes the
+//! program reads, and the cached entry carries a *journal* of the ctx
+//! writes the original execution performed, replayed verbatim on a hit.
+//!
+//! Why the journal is recorded at runtime rather than derived from the
+//! static write set: a program may write ctx fields conditionally
+//! (e.g. only translate the LBA for I/O opcodes), so replaying the
+//! static write footprint could fabricate writes the program never made.
+//! A pure program's execution is a deterministic function of (key bytes,
+//! map state); the cache is keyed on the former and flushed whenever the
+//! host touches a map ([`crate::interp::Vm::map_mut`] bumps a generation
+//! counter), so the recorded journal is exactly what a re-execution
+//! would do.
+//!
+//! The cache itself is a fixed-size two-way table: each key hashes to
+//! two candidate slots and eviction takes the least-recently-touched of
+//! the two (a 2-way clock/LRU hybrid — bounded memory, O(1) lookup, no
+//! allocation on the hit path). All bookkeeping is surfaced in
+//! [`MemoStats`].
+
+use crate::interp::{load_le, store_le};
+
+/// One recorded ctx write `(off, size, value)`; replayed on a cache hit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct CtxWrite {
+    pub(crate) off: u16,
+    pub(crate) size: u8,
+    pub(crate) v: u64,
+}
+
+/// Largest supported key, in bytes of ctx read-set. Programs that read
+/// more ctx than this are simply not memoized (the router ABI ctx is 48
+/// bytes total, so real classifiers fit easily).
+pub(crate) const MAX_KEY: usize = 64;
+
+/// A packed copy of the ctx bytes the program reads. Bytes past `len`
+/// are always zero, so derived equality is correct.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Key {
+    pub(crate) len: u8,
+    pub(crate) bytes: [u8; MAX_KEY],
+}
+
+impl Key {
+    /// Packs the ctx bytes covered by `reads` (sorted, coalesced ranges
+    /// whose ends are all within `ctx` — guaranteed by the compiled
+    /// tier's `min_ctx` entry check).
+    #[inline]
+    pub(crate) fn extract(reads: &[(usize, usize)], ctx: &[u8]) -> Key {
+        let mut key = Key {
+            len: 0,
+            bytes: [0; MAX_KEY],
+        };
+        let mut at = 0usize;
+        for &(s, e) in reads {
+            let n = e - s;
+            key.bytes[at..at + n].copy_from_slice(&ctx[s..e]);
+            at += n;
+        }
+        key.len = at as u8;
+        key
+    }
+
+    #[inline]
+    fn hash(&self) -> u64 {
+        // FNV-1a over the packed key, one 64-bit word per round. Bytes
+        // past `len` are zero, so the trailing partial word hashes
+        // deterministically.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut at = 0usize;
+        while at < self.len as usize {
+            h ^= u64::from_le_bytes(self.bytes[at..at + 8].try_into().unwrap());
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            at += 8;
+        }
+        h
+    }
+}
+
+/// Counters for the memo cache, exposed via
+/// [`crate::interp::Vm::memo_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups answered from the cache (execution skipped).
+    pub hits: u64,
+    /// Lookups that missed and fell through to the compiled tier.
+    pub misses: u64,
+    /// Entries displaced because both candidate slots were occupied.
+    pub evictions: u64,
+    /// Whole-cache flushes caused by external map updates.
+    pub invalidations: u64,
+}
+
+struct Entry {
+    key: Key,
+    verdict: u64,
+    writes: Vec<CtxWrite>,
+    stamp: u64,
+}
+
+/// Bounded per-Vm (and therefore, in the sharded router, per-shard)
+/// verdict cache. Capacity rounds up to a power of two so probing masks
+/// instead of dividing.
+pub(crate) struct VerdictCache {
+    slots: Vec<Option<Entry>>,
+    mask: usize,
+    /// Slot of the most recent hit/insert: a repeating request shape (the
+    /// sequential-read fast path) matches here and skips hash + probe.
+    last: usize,
+    generation: u64,
+    stamp: u64,
+    pub(crate) stats: MemoStats,
+}
+
+impl VerdictCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1).next_power_of_two();
+        VerdictCache {
+            slots: (0..cap).map(|_| None).collect(),
+            mask: cap - 1,
+            last: 0,
+            generation: 0,
+            stamp: 0,
+            stats: MemoStats::default(),
+        }
+    }
+
+    /// Whether entries recorded under `generation` are still valid (the
+    /// host has not touched a map since).
+    #[inline]
+    pub(crate) fn generation_current(&self, generation: u64) -> bool {
+        self.generation == generation
+    }
+
+    /// Hot-path lookup: if the last-touched slot holds exactly the ctx
+    /// bytes covered by the compiled tier's key plan (word-granular
+    /// `(ctx_off, size, key_off)` chunks over the analysis read ranges),
+    /// replays its journal into `ctx` and returns the verdict — no key
+    /// materialization, no hash, no probe. A miss here records nothing;
+    /// the caller falls through to the general [`VerdictCache::lookup`],
+    /// which does the bookkeeping.
+    #[inline]
+    pub(crate) fn replay_last(&mut self, plan: &[(u16, u8, u16)], ctx: &mut [u8]) -> Option<u64> {
+        let e = self.slots[self.last].as_ref()?;
+        // Branchless accumulate-and-test over a few register-width
+        // loads: short keys (8–16 bytes) make a memcmp libcall cost
+        // more than the compare itself.
+        let mut diff = 0u64;
+        for &(off, size, at) in plan {
+            diff |= load_le(ctx, off as usize, size as usize)
+                ^ load_le(&e.key.bytes, at as usize, size as usize);
+        }
+        if diff != 0 {
+            return None;
+        }
+        debug_assert_eq!(
+            plan.iter().map(|&(_, s, _)| s as usize).sum::<usize>(),
+            e.key.len as usize
+        );
+        // No LRU stamping here: the entry is already the freshest by
+        // virtue of being `last`, and stamps only arbitrate eviction
+        // between the two probe candidates — a stale stamp can at worst
+        // cost one re-execution, never correctness.
+        for w in &e.writes {
+            store_le(ctx, w.off as usize, w.size as usize, w.v);
+        }
+        let verdict = e.verdict;
+        self.stats.hits += 1;
+        Some(verdict)
+    }
+
+    #[inline]
+    fn probe(&self, key: &Key) -> (usize, usize) {
+        let h = key.hash();
+        (h as usize & self.mask, (h >> 32) as usize & self.mask)
+    }
+
+    #[inline]
+    fn matches(&self, idx: usize, key: &Key) -> bool {
+        matches!(&self.slots[idx], Some(e) if e.key == *key)
+    }
+
+    /// Looks up `key`, first flushing the cache if the host has touched
+    /// any map since entries were recorded. Returns the cached verdict
+    /// and the write journal to replay.
+    #[inline]
+    pub(crate) fn lookup(&mut self, key: &Key, generation: u64) -> Option<(u64, &[CtxWrite])> {
+        if generation != self.generation {
+            self.generation = generation;
+            if self.slots.iter().any(|s| s.is_some()) {
+                self.slots.iter_mut().for_each(|s| *s = None);
+                self.stats.invalidations += 1;
+            }
+            self.stats.misses += 1;
+            return None;
+        }
+        let idx = if self.matches(self.last, key) {
+            self.last
+        } else {
+            let (i1, i2) = self.probe(key);
+            if self.matches(i1, key) {
+                i1
+            } else if self.matches(i2, key) {
+                i2
+            } else {
+                self.stats.misses += 1;
+                return None;
+            }
+        };
+        self.stats.hits += 1;
+        self.stamp += 1;
+        self.last = idx;
+        let stamp = self.stamp;
+        let e = self.slots[idx].as_mut().expect("matched slot");
+        e.stamp = stamp;
+        Some((e.verdict, &e.writes))
+    }
+
+    /// Records a fresh `(key → verdict, journal)` entry, evicting the
+    /// least recently touched of the two candidate slots if both are
+    /// occupied by other keys.
+    pub(crate) fn insert(&mut self, key: Key, verdict: u64, writes: &[CtxWrite]) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let (i1, i2) = self.probe(&key);
+        let idx = if self.slots[i1].is_none() || self.matches(i1, &key) {
+            i1
+        } else if self.slots[i2].is_none() || self.matches(i2, &key) {
+            i2
+        } else {
+            self.stats.evictions += 1;
+            let s1 = self.slots[i1].as_ref().expect("occupied").stamp;
+            let s2 = self.slots[i2].as_ref().expect("occupied").stamp;
+            if s1 <= s2 {
+                i1
+            } else {
+                i2
+            }
+        };
+        self.last = idx;
+        self.slots[idx] = Some(Entry {
+            key,
+            verdict,
+            writes: writes.to_vec(),
+            stamp,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(bytes: &[u8]) -> Key {
+        Key::extract(&[(0, bytes.len())], bytes)
+    }
+
+    #[test]
+    fn key_extraction_packs_ranges() {
+        let ctx: Vec<u8> = (0u8..48).collect();
+        let k = Key::extract(&[(4, 8), (16, 24)], &ctx);
+        assert_eq!(k.len, 12);
+        assert_eq!(
+            &k.bytes[..12],
+            &[4, 5, 6, 7, 16, 17, 18, 19, 20, 21, 22, 23]
+        );
+        assert!(k.bytes[12..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn hit_returns_verdict_and_journal() {
+        let mut c = VerdictCache::new(8);
+        let w = [CtxWrite {
+            off: 16,
+            size: 8,
+            v: 0x1000,
+        }];
+        c.insert(key(b"abcd"), 7, &w);
+        let (v, writes) = c.lookup(&key(b"abcd"), 0).expect("hit");
+        assert_eq!(v, 7);
+        assert_eq!(writes, &w);
+        assert_eq!(c.stats.hits, 1);
+        assert!(c.lookup(&key(b"abce"), 0).is_none());
+        assert_eq!(c.stats.misses, 1);
+    }
+
+    #[test]
+    fn generation_change_flushes_everything() {
+        let mut c = VerdictCache::new(8);
+        c.insert(key(b"k1"), 1, &[]);
+        assert!(c.lookup(&key(b"k1"), 0).is_some());
+        assert!(c.lookup(&key(b"k1"), 1).is_none());
+        assert_eq!(c.stats.invalidations, 1);
+        // Same generation again: still gone, no double flush.
+        assert!(c.lookup(&key(b"k1"), 1).is_none());
+        assert_eq!(c.stats.invalidations, 1);
+    }
+
+    #[test]
+    fn capacity_one_evicts_lru_of_probe_pair() {
+        let mut c = VerdictCache::new(1);
+        c.insert(key(b"a"), 1, &[]);
+        c.insert(key(b"b"), 2, &[]);
+        assert_eq!(c.stats.evictions, 1);
+        assert!(c.lookup(&key(b"a"), 0).is_none());
+        assert_eq!(c.lookup(&key(b"b"), 0).map(|(v, _)| v), Some(2));
+    }
+}

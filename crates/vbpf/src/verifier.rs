@@ -87,6 +87,78 @@ impl std::fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
+/// A memory-access fact the verifier proved for one instruction: which
+/// region the pointer operand targets and, for ctx/stack, the *unique*
+/// constant byte offset it resolves to.
+///
+/// Uniqueness falls out of the state lattice: merging two pointers with
+/// different offsets yields `Uninit`, so any access that survives
+/// verification saw exactly one `(region, offset)` pair. The compile tier
+/// ([`crate::compile`]) uses these facts to resolve and bounds-check
+/// ctx/stack accesses once, at compile time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessFact {
+    /// Context access at absolute byte offset `off`.
+    Ctx { off: usize },
+    /// Stack access at absolute offset `off` from the bottom of the
+    /// 512-byte frame (`0 ..= STACK_SIZE - size`).
+    Stack { off: usize },
+    /// Map-value access; the address is resolved at runtime through the
+    /// tagged-pointer scheme, bounds-checked by the verifier.
+    MapValue,
+}
+
+/// Byproduct of verification: per-instruction access facts plus the
+/// program's context read/write footprint and purity.
+///
+/// `ctx_reads` / `ctx_writes` are sorted, coalesced `(start, end)` byte
+/// ranges covering every context access the program can make, including
+/// helper arguments that point into the context. `pure` is true iff the
+/// program's verdict depends only on the context bytes it reads and on
+/// map contents: no map writes, no `ktime_ns` / `prandom_u32` / `trace`
+/// helpers. Purity is what licenses verdict memoization
+/// ([`crate::memo`]); map *reads* stay pure because the cache is
+/// invalidated whenever a map is touched externally.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// One slot per instruction; `Some` for every LDX/ST/STX the program
+    /// can execute (the in-order pass visits all reachable pcs, and
+    /// unreachable code is rejected, so the facts are complete).
+    pub(crate) access: Vec<Option<AccessFact>>,
+    pub(crate) ctx_reads: Vec<(usize, usize)>,
+    pub(crate) ctx_writes: Vec<(usize, usize)>,
+    pub(crate) pure: bool,
+}
+
+impl Analysis {
+    fn new(len: usize) -> Self {
+        Analysis {
+            access: vec![None; len],
+            ctx_reads: Vec::new(),
+            ctx_writes: Vec::new(),
+            pure: true,
+        }
+    }
+
+    fn finalize(&mut self) {
+        coalesce(&mut self.ctx_reads);
+        coalesce(&mut self.ctx_writes);
+    }
+}
+
+/// Sorts and merges overlapping/adjacent `(start, end)` byte ranges.
+fn coalesce(ranges: &mut Vec<(usize, usize)>) {
+    ranges.sort_unstable();
+    let mut out: Vec<(usize, usize)> = Vec::new();
+    for &(s, e) in ranges.iter() {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    *ranges = out;
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum RType {
     Uninit,
@@ -150,6 +222,7 @@ struct Verifier<'a> {
     cfg: &'a VerifierConfig,
     maps: &'a [MapDef],
     states: Vec<Option<State>>,
+    analysis: Analysis,
 }
 
 /// Verifies a program against `cfg` and `maps`; on success returns the
@@ -167,9 +240,16 @@ pub fn verify(
         cfg,
         maps: &maps,
         states: vec![None; insns.len()],
+        analysis: Analysis::new(insns.len()),
     };
     v.run()?;
-    Ok(Program { insns, maps })
+    let mut analysis = v.analysis;
+    analysis.finalize();
+    Ok(Program {
+        insns,
+        maps,
+        analysis,
+    })
 }
 
 impl<'a> Verifier<'a> {
@@ -284,6 +364,45 @@ impl<'a> Verifier<'a> {
         }
     }
 
+    /// Records the access fact for a just-checked LDX/ST/STX at `pc`.
+    /// Must be called only after `check_access` succeeded, so the
+    /// resolved offsets are known in-bounds.
+    fn record_access(&mut self, pc: usize, ptr: RType, off: i64, size: usize, write: bool) {
+        let fact = match ptr {
+            RType::CtxPtr { off: base } => {
+                let a = (base + off) as usize;
+                if write {
+                    self.analysis.ctx_writes.push((a, a + size));
+                } else {
+                    self.analysis.ctx_reads.push((a, a + size));
+                }
+                AccessFact::Ctx { off: a }
+            }
+            RType::StackPtr { off: base } => AccessFact::Stack {
+                off: (base + off + STACK_SIZE as i64) as usize,
+            },
+            RType::MapValue { .. } => {
+                if write {
+                    // Writing map state makes the verdict depend on
+                    // invocation history: not memoizable.
+                    self.analysis.pure = false;
+                }
+                AccessFact::MapValue
+            }
+            _ => return,
+        };
+        self.analysis.access[pc] = Some(fact);
+    }
+
+    /// Records a ctx read performed *through a helper argument* (the
+    /// helper dereferences the pointer on the program's behalf).
+    fn record_helper_ctx_read(&mut self, st: &State, reg: Reg, size: usize) {
+        if let RType::CtxPtr { off } = st.regs[reg as usize] {
+            let a = off as usize;
+            self.analysis.ctx_reads.push((a, a + size));
+        }
+    }
+
     fn mark_stack_written(st: &mut State, base: i64, off: i64, size: usize) {
         let a = (base + off + STACK_SIZE as i64) as usize;
         st.stack_init[a..a + size]
@@ -351,6 +470,7 @@ impl<'a> Verifier<'a> {
                 let size = insn.access_size();
                 let ptr = st.regs[insn.src as usize];
                 self.check_access(pc, &st, ptr, insn.off as i64, size, false)?;
+                self.record_access(pc, ptr, insn.off as i64, size, false);
                 st.regs[insn.dst as usize] = RType::scalar();
                 self.fall_through(pc, st)
             }
@@ -361,6 +481,7 @@ impl<'a> Verifier<'a> {
                     self.check_init(pc, &st, insn.src)?;
                 }
                 self.check_access(pc, &st, ptr, insn.off as i64, size, true)?;
+                self.record_access(pc, ptr, insn.off as i64, size, true);
                 if let RType::StackPtr { off: base } = ptr {
                     Self::mark_stack_written(&mut st, base, insn.off as i64, size);
                 }
@@ -573,7 +694,7 @@ impl<'a> Verifier<'a> {
         }
     }
 
-    fn check_call(&self, pc: usize, st: &mut State, helper: u32) -> Result<(), VerifyError> {
+    fn check_call(&mut self, pc: usize, st: &mut State, helper: u32) -> Result<(), VerifyError> {
         use crate::interp::helpers::*;
         let ret = match helper {
             MAP_LOOKUP => {
@@ -582,6 +703,9 @@ impl<'a> Verifier<'a> {
                     return Err(VerifyError::BadMapRef { pc });
                 }
                 self.check_readable(pc, st, R2, 4)?;
+                // Map reads stay pure: the memo cache is invalidated on
+                // external map updates, so only the key bytes matter.
+                self.record_helper_ctx_read(st, R2, 4);
                 RType::MaybeNullMapValue { map: map as u32 }
             }
             MAP_UPDATE => {
@@ -589,13 +713,23 @@ impl<'a> Verifier<'a> {
                 if map >= self.maps.len() {
                     return Err(VerifyError::BadMapRef { pc });
                 }
+                let value_size = self.maps[map].value_size;
                 self.check_readable(pc, st, R2, 4)?;
-                self.check_readable(pc, st, R3, self.maps[map].value_size)?;
+                self.check_readable(pc, st, R3, value_size)?;
+                self.record_helper_ctx_read(st, R2, 4);
+                self.record_helper_ctx_read(st, R3, value_size);
+                self.analysis.pure = false;
                 RType::scalar()
             }
-            KTIME_NS | PRANDOM_U32 => RType::scalar(),
+            KTIME_NS | PRANDOM_U32 => {
+                self.analysis.pure = false;
+                RType::scalar()
+            }
             TRACE => {
                 self.check_init(pc, st, R1)?;
+                // Trace output is an observable side effect a cache hit
+                // would silently drop.
+                self.analysis.pure = false;
                 RType::scalar()
             }
             _ => return Err(VerifyError::BadHelperCall { pc }),
