@@ -32,4 +32,13 @@ echo "==> classifier tier ablation (writes BENCH_classifier.json)"
 NVMETRO_BENCH_MS="${NVMETRO_BENCH_MS:-100}" \
   cargo run --release -q -p nvmetro-bench --bin classifier_ablation
 
+echo "==> insight smoke (writes BENCH_insight.json + target/insight_trace.json)"
+# Asserts the insight bars: >= 99% span coverage on the sharded rig,
+# >= 1M events/s assembly, watchdog overhead < 2%, and both export
+# formats valid; then double-checks the Chrome trace really is JSON.
+NVMETRO_BENCH_MS="${NVMETRO_BENCH_MS:-100}" \
+  cargo run --release -q -p nvmetro-bench --bin insight_report
+python3 -c "import json; d=json.load(open('target/insight_trace.json')); assert d['traceEvents'], 'empty trace'" \
+  || { echo "insight trace failed JSON validation"; exit 1; }
+
 echo "CI OK"

@@ -23,7 +23,7 @@ use nvmetro_nvme::{CqConsumer, CqPair, SqPair, SqProducer, SubmissionEntry};
 use nvmetro_sim::cost::CostModel;
 use nvmetro_sim::{Actor, Executor, Ns, Progress, MS, SEC};
 use nvmetro_stats::Histogram;
-use nvmetro_telemetry::{Metric, Telemetry};
+use nvmetro_telemetry::{Metric, Percentiles, Telemetry};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -199,7 +199,7 @@ fn run_one(shards: usize, duration: Ns) -> RunResult {
     RunResult {
         shards,
         iops: completed as f64 * SEC as f64 / report.duration.max(1) as f64,
-        p99_ns: hist.p99(),
+        p99_ns: Percentiles::of(&hist).p99,
         completed,
         cq_batches: snap.get(Metric::CqBatches),
         cq_notifies: snap.get(Metric::CqNotifies),

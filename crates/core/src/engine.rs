@@ -229,7 +229,11 @@ impl RouterBuilder {
                 let mut r =
                     Router::new(&name, self.cost.clone(), self.workers, self.table_capacity);
                 r.configure_batch(self.batch);
-                r.configure_telemetry(self.telemetry.register_worker());
+                // Named registration: the worker id stamped into this
+                // shard's trace events maps back to the shard name in
+                // snapshots and trace exports (one Chrome "process" per
+                // shard).
+                r.configure_telemetry(self.telemetry.register_worker_named(&name));
                 if let Some(cfg) = self.recovery {
                     r.configure_recovery(cfg);
                 }

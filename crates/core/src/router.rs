@@ -194,6 +194,11 @@ pub struct Router {
     timers: BinaryHeap<Reverse<Timer>>,
     retryq: BinaryHeap<Reverse<RetryEntry>>,
     next_seq: u64,
+    /// Stage-coverage audit (debug builds only): sequence numbers that
+    /// already emitted their terminal `VcqComplete`, to debug-assert that
+    /// no request terminates twice.
+    #[cfg(debug_assertions)]
+    finished_seqs: std::collections::HashSet<u64>,
 }
 
 impl Router {
@@ -221,7 +226,17 @@ impl Router {
             timers: BinaryHeap::new(),
             retryq: BinaryHeap::new(),
             next_seq: 0,
+            #[cfg(debug_assertions)]
+            finished_seqs: std::collections::HashSet::new(),
         }
+    }
+
+    /// Trace-event generation for a request sequence number: nonzero (0
+    /// is reserved for "unknown"), wrapping, distinct for any 255
+    /// consecutive reuses of a routing-table slot.
+    #[inline]
+    fn gen_of(seq: u64) -> u8 {
+        (seq % 255) as u8 + 1
     }
 
     /// Turns the recovery engine on: per-command deadlines with NVMe-style
@@ -247,6 +262,16 @@ impl Router {
     /// engine's aggregated stats).
     pub(crate) fn breaker_view(&self) -> impl Iterator<Item = (u32, &CircuitBreaker)> {
         self.vms.iter().map(|v| v.vm_id).zip(self.breakers.iter())
+    }
+
+    /// Feeds one failure to a VM's breaker, counting the Closed→Open
+    /// transition (the watchdog's flap detector consumes that counter).
+    fn breaker_failure(&mut self, vm: usize, t: Ns) {
+        let was_open = self.breakers[vm].is_open();
+        self.breakers[vm].on_failure(t);
+        if !was_open && self.breakers[vm].is_open() {
+            self.telemetry.count(Metric::BreakerOpens);
+        }
     }
 
     /// Whether the recovery engine is configured.
@@ -457,16 +482,18 @@ impl Router {
                 // a transient internal error, like a controller under
                 // resource pressure).
                 let cqe = CompletionEntry::new(cmd.cid, Status::INTERNAL);
+                // post_vcq counts the error; counting it here too used to
+                // double-book `stats.errors` for table-full rejections.
                 self.post_vcq(vm, vsq, cqe, t);
-                self.stats.errors += 1;
                 return;
             }
         };
-        self.telemetry.event(
+        self.telemetry.request_event(
             t,
             self.vms[vm].vm_id,
             vsq,
             tag,
+            Self::gen_of(self.next_seq),
             Stage::VsqFetch,
             PathKind::None,
         );
@@ -506,13 +533,13 @@ impl Router {
             // Feed the fast-path breaker from real device outcomes.
             if path == path_bits::HQ {
                 if status.is_error() {
-                    self.breakers[vm].on_failure(t);
+                    self.breaker_failure(vm, t);
                 } else {
                     self.breakers[vm].on_success();
                 }
             }
         }
-        let (hooked, vm_id, vsq) = {
+        let (hooked, vm_id, vsq, seq) = {
             let Some(state) = self.table.get_mut(tag) else {
                 self.stats.spurious += 1;
                 self.telemetry.count(Metric::Spurious);
@@ -528,18 +555,19 @@ impl Router {
                     state.first_fault_at = t;
                 }
             }
-            (state.hooks & path != 0, state.vm, state.vsq)
+            (state.hooks & path != 0, state.vm, state.vsq, state.seq)
         };
         if hooked {
             // One-shot hook: consume it, then let the classifier decide the
             // next leg of the state machine.
             self.table.get_mut(tag).expect("still present").hooks &= !path;
             self.telemetry.count(Metric::HookReentries);
-            self.telemetry.event(
+            self.telemetry.request_event(
                 t,
                 vm_id,
                 vsq,
                 tag,
+                Self::gen_of(seq),
                 Stage::HookReentry,
                 Self::path_kind(path),
             );
@@ -576,7 +604,7 @@ impl Router {
         self.stats.classifier_runs += 1;
         self.telemetry.count(Metric::ClassifierRuns);
         let state = self.table.get(tag).expect("request tracked");
-        let (vm_id, vsq) = (state.vm, state.vsq);
+        let (vm_id, vsq, seq) = (state.vm, state.vsq, state.seq);
         // Zero-copy marshalling: refill the router's scratch context in
         // place instead of constructing a fresh buffer per invocation.
         self.scratch.fill(
@@ -601,8 +629,15 @@ impl Router {
                     .tier_latency(tier, started.elapsed().as_nanos() as u64);
             }
         }
-        self.telemetry
-            .event(t, vm_id, vsq, tag, Stage::Classified, PathKind::None);
+        self.telemetry.request_event(
+            t,
+            vm_id,
+            vsq,
+            tag,
+            Self::gen_of(seq),
+            Stage::Classified,
+            PathKind::None,
+        );
         // Direct mediation: copy back only the fields the verifier proved
         // the classifier can write (everything, for native classifiers).
         let dirty = outcome.dirty;
@@ -667,11 +702,12 @@ impl Router {
             self.stats.failovers += 1;
             self.telemetry.count(Metric::Failovers);
             let state = self.table.get(tag).expect("tracked");
-            self.telemetry.event(
+            self.telemetry.request_event(
                 t,
                 state.vm,
                 state.vsq,
                 tag,
+                Self::gen_of(state.seq),
                 Stage::Failover,
                 PathKind::Kernel,
             );
@@ -704,15 +740,22 @@ impl Router {
         if state.dispatched_at == 0 {
             state.dispatched_at = t;
         }
-        let (vm_id, vsq) = (state.vm, state.vsq);
+        let (vm_id, vsq, gen) = (state.vm, state.vsq, Self::gen_of(state.seq));
         let mut fwd = state.cmd;
         fwd.cid = tag;
         if send & path_bits::HQ != 0 {
             self.table.get_mut(tag).expect("tracked").pending |= path_bits::HQ;
             self.stats.sent_hq += 1;
             self.telemetry.count(Metric::SentFast);
-            self.telemetry
-                .event(t, vm_id, vsq, tag, Stage::Dispatched, PathKind::Fast);
+            self.telemetry.request_event(
+                t,
+                vm_id,
+                vsq,
+                tag,
+                gen,
+                Stage::Dispatched,
+                PathKind::Fast,
+            );
             if self.vms[vm].hsq.push(fwd).is_err() {
                 self.path_unavailable(vm, tag, path_bits::HQ, t);
                 return;
@@ -722,8 +765,15 @@ impl Router {
             self.table.get_mut(tag).expect("tracked").pending |= path_bits::KQ;
             self.stats.sent_kq += 1;
             self.telemetry.count(Metric::SentKernel);
-            self.telemetry
-                .event(t, vm_id, vsq, tag, Stage::Dispatched, PathKind::Kernel);
+            self.telemetry.request_event(
+                t,
+                vm_id,
+                vsq,
+                tag,
+                gen,
+                Stage::Dispatched,
+                PathKind::Kernel,
+            );
             match self.vms[vm].kernel.as_mut() {
                 Some(k) => k.submit(tag, fwd, t),
                 None => {
@@ -736,8 +786,15 @@ impl Router {
             self.table.get_mut(tag).expect("tracked").pending |= path_bits::NQ;
             self.stats.sent_nq += 1;
             self.telemetry.count(Metric::SentNotify);
-            self.telemetry
-                .event(t, vm_id, vsq, tag, Stage::Dispatched, PathKind::Notify);
+            self.telemetry.request_event(
+                t,
+                vm_id,
+                vsq,
+                tag,
+                gen,
+                Stage::Dispatched,
+                PathKind::Notify,
+            );
             let pushed = match self.vms[vm].notify.as_mut() {
                 Some(n) => n.nsq.push(fwd).is_ok(),
                 None => false,
@@ -806,8 +863,15 @@ impl Router {
         self.retryq.push(Reverse((at, tag, seq, vm as u16)));
         self.stats.retries += 1;
         self.telemetry.count(Metric::Retries);
-        self.telemetry
-            .event(t, vm_id, vsq, tag, Stage::Retry, PathKind::None);
+        self.telemetry.request_event(
+            t,
+            vm_id,
+            vsq,
+            tag,
+            Self::gen_of(seq),
+            Stage::Retry,
+            PathKind::None,
+        );
         true
     }
 
@@ -863,12 +927,25 @@ impl Router {
     }
 
     fn emit_finish_telemetry(&mut self, state: &RequestState, tag: u16, t: Ns) {
+        // Stage-coverage audit: every request that was observed at
+        // VsqFetch must reach its terminal VcqComplete exactly once (a
+        // retry re-uses the same seq — it is the same request).
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            self.finished_seqs.insert(state.seq),
+            "request seq {} (vm {} vsq {} tag {}) emitted a second terminal event",
+            state.seq,
+            state.vm,
+            state.vsq,
+            tag
+        );
         if self.telemetry.enabled() {
-            self.telemetry.event(
+            self.telemetry.request_event(
                 t,
                 state.vm,
                 state.vsq,
                 tag,
+                Self::gen_of(state.seq),
                 Stage::VcqComplete,
                 PathKind::None,
             );
@@ -1021,10 +1098,17 @@ impl Router {
                     state.hooks = 0;
                     state.deadline = 0;
                     let (vm_id, vsq) = (state.vm, state.vsq);
-                    self.telemetry
-                        .event(now, vm_id, vsq, tag, Stage::Abort, PathKind::None);
+                    self.telemetry.request_event(
+                        now,
+                        vm_id,
+                        vsq,
+                        tag,
+                        Self::gen_of(seq),
+                        Stage::Abort,
+                        PathKind::None,
+                    );
                     if hq_was_pending {
-                        self.breakers[vm].on_failure(now);
+                        self.breaker_failure(vm, now);
                     }
                     // ABORTED is retryable, so finish() re-dispatches the
                     // command unless retries are exhausted.

@@ -1,0 +1,354 @@
+//! Tail-latency attribution and exemplar capture.
+//!
+//! Given reconstructed [`Span`]s, answer the question "for the slow
+//! requests on this route, *where did the time go*?" — per quantile
+//! (p50/p99/p999), which [`Segment`] contributed what fraction of the
+//! end-to-end latency. Alongside the aggregate answer, an
+//! [`ExemplarReservoir`] keeps *whole spans* — the slowest K plus a
+//! seeded-random K per route — so a tail report can always point at
+//! concrete requests with their full stage timelines.
+
+use crate::span::Span;
+use nvmetro_sim::SimRng;
+use nvmetro_telemetry::{Route, Segment};
+
+/// A segment's share of the latency across one quantile window.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SegmentShare {
+    /// Mean duration of this segment across the window's spans.
+    pub mean_ns: f64,
+    /// Fraction of the window's mean end-to-end latency (0..=1; shares
+    /// can sum below 1 when spans have untracked gaps).
+    pub fraction: f64,
+}
+
+/// Attribution at one quantile: which spans are at-or-above it, and how
+/// their latency splits across segments.
+#[derive(Clone, Debug, Default)]
+pub struct QuantileAttribution {
+    /// The quantile (0.5, 0.99, 0.999).
+    pub q: f64,
+    /// Latency at the quantile (ns).
+    pub latency_ns: u64,
+    /// Spans in the window (at or above the quantile).
+    pub window: usize,
+    /// Mean end-to-end latency of the window.
+    pub mean_latency_ns: f64,
+    /// Per-segment share, indexed by `Segment as usize`.
+    pub segments: [SegmentShare; Segment::COUNT],
+}
+
+impl QuantileAttribution {
+    /// The segment with the largest share — "where the tail lives".
+    pub fn dominant(&self) -> Segment {
+        let mut best = Segment::ALL[0];
+        let mut best_frac = -1.0;
+        for seg in Segment::ALL {
+            let f = self.segments[seg as usize].fraction;
+            if f > best_frac {
+                best_frac = f;
+                best = seg;
+            }
+        }
+        best
+    }
+}
+
+/// Per-route tail attribution over a set of complete spans.
+#[derive(Clone, Debug, Default)]
+pub struct RouteAttribution {
+    /// The route this attribution covers.
+    pub route: Option<Route>,
+    /// Complete spans observed on the route.
+    pub count: usize,
+    /// Attribution at each analysed quantile (p50, p99, p999).
+    pub quantiles: Vec<QuantileAttribution>,
+}
+
+/// The quantiles the attribution analyses.
+pub const TAIL_QUANTILES: [f64; 3] = [0.5, 0.99, 0.999];
+
+/// Computes per-route tail attribution from complete spans.
+#[derive(Clone, Debug, Default)]
+pub struct TailAttribution {
+    /// One entry per route (index = `Route as usize`) with ≥1 span.
+    pub routes: Vec<RouteAttribution>,
+}
+
+impl TailAttribution {
+    /// Analyses the complete spans in `spans` (incomplete ones are
+    /// skipped — they have no end-to-end latency to attribute).
+    pub fn of(spans: &[Span]) -> Self {
+        let mut per_route: Vec<Vec<&Span>> = vec![Vec::new(); Route::COUNT];
+        for s in spans.iter().filter(|s| s.complete) {
+            if let Some(route) = s.route() {
+                per_route[route as usize].push(s);
+            }
+        }
+        let mut routes = Vec::new();
+        for route in Route::ALL {
+            let bucket = &mut per_route[route as usize];
+            if bucket.is_empty() {
+                continue;
+            }
+            bucket.sort_by_key(|s| s.latency_ns());
+            let n = bucket.len();
+            let mut quantiles = Vec::with_capacity(TAIL_QUANTILES.len());
+            for q in TAIL_QUANTILES {
+                // Window = spans at or above the quantile rank.
+                let idx = (((n - 1) as f64) * q) as usize;
+                let window = &bucket[idx..];
+                let mut qa = QuantileAttribution {
+                    q,
+                    latency_ns: bucket[idx].latency_ns(),
+                    window: window.len(),
+                    ..QuantileAttribution::default()
+                };
+                let mut seg_sum = [0f64; Segment::COUNT];
+                let mut lat_sum = 0f64;
+                for s in window {
+                    lat_sum += s.latency_ns() as f64;
+                    let segs = s.segments();
+                    for (acc, d) in seg_sum.iter_mut().zip(segs) {
+                        *acc += d as f64;
+                    }
+                }
+                qa.mean_latency_ns = lat_sum / window.len() as f64;
+                for seg in Segment::ALL {
+                    let mean = seg_sum[seg as usize] / window.len() as f64;
+                    qa.segments[seg as usize] = SegmentShare {
+                        mean_ns: mean,
+                        fraction: if lat_sum > 0.0 {
+                            seg_sum[seg as usize] / lat_sum
+                        } else {
+                            0.0
+                        },
+                    };
+                }
+                quantiles.push(qa);
+            }
+            routes.push(RouteAttribution {
+                route: Some(route),
+                count: n,
+                quantiles,
+            });
+        }
+        TailAttribution { routes }
+    }
+
+    /// The attribution for one route, if any spans took it.
+    pub fn route(&self, route: Route) -> Option<&RouteAttribution> {
+        self.routes.iter().find(|r| r.route == Some(route))
+    }
+}
+
+/// Per-route exemplar store: the slowest K spans (kept sorted, slowest
+/// first) plus K uniformly sampled ones (seeded reservoir sampling, so
+/// runs are reproducible).
+pub struct ExemplarReservoir {
+    k: usize,
+    rng: SimRng,
+    slowest: Vec<Vec<Span>>,
+    random: Vec<Vec<Span>>,
+    seen: Vec<u64>,
+}
+
+impl ExemplarReservoir {
+    /// A reservoir keeping `k` slowest + `k` random spans per route.
+    pub fn new(k: usize, seed: u64) -> Self {
+        ExemplarReservoir {
+            k,
+            rng: SimRng::new(seed),
+            slowest: vec![Vec::new(); Route::COUNT],
+            random: vec![Vec::new(); Route::COUNT],
+            seen: vec![0; Route::COUNT],
+        }
+    }
+
+    /// Offers one complete span (incomplete or route-less spans are
+    /// ignored).
+    pub fn offer(&mut self, span: &Span) {
+        if !span.complete {
+            return;
+        }
+        let Some(route) = span.route() else { return };
+        let ri = route as usize;
+        self.seen[ri] += 1;
+
+        // Slowest-K: insert sorted descending by latency, truncate.
+        let slow = &mut self.slowest[ri];
+        let lat = span.latency_ns();
+        if slow.len() < self.k || lat > slow.last().map_or(0, |s| s.latency_ns()) {
+            let pos = slow
+                .iter()
+                .position(|s| s.latency_ns() < lat)
+                .unwrap_or(slow.len());
+            slow.insert(pos, span.clone());
+            slow.truncate(self.k);
+        }
+
+        // Random-K: classic reservoir sampling.
+        let rand = &mut self.random[ri];
+        if rand.len() < self.k {
+            rand.push(span.clone());
+        } else {
+            let j = self.rng.below(self.seen[ri]) as usize;
+            if j < self.k {
+                rand[j] = span.clone();
+            }
+        }
+    }
+
+    /// Offers every span in a batch.
+    pub fn offer_all<'a>(&mut self, spans: impl IntoIterator<Item = &'a Span>) {
+        for s in spans {
+            self.offer(s);
+        }
+    }
+
+    /// Slowest exemplars for a route, slowest first.
+    pub fn slowest(&self, route: Route) -> &[Span] {
+        &self.slowest[route as usize]
+    }
+
+    /// Random exemplars for a route (no particular order).
+    pub fn random(&self, route: Route) -> &[Span] {
+        &self.random[route as usize]
+    }
+
+    /// Total complete spans offered for a route.
+    pub fn seen(&self, route: Route) -> u64 {
+        self.seen[route as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanEvent;
+    use nvmetro_telemetry::{PathKind, Stage};
+
+    fn span(latency: u64, path: PathKind, ingress: u64) -> Span {
+        // start at 1000; dispatch after `ingress`; service at 80% of the
+        // way; complete at start + latency.
+        let start = 1000;
+        let end = start + latency;
+        let service_stage = match path {
+            PathKind::Kernel => Stage::KernelService,
+            PathKind::Notify => Stage::UifService,
+            _ => Stage::DeviceService,
+        };
+        Span {
+            vm: 0,
+            vsq: 0,
+            tag: 0,
+            gen: 1,
+            shard: 0,
+            start_ns: start,
+            end_ns: end,
+            complete: true,
+            events: vec![
+                SpanEvent {
+                    ts_ns: start,
+                    stage: Stage::VsqFetch,
+                    path: PathKind::None,
+                    worker: 0,
+                },
+                SpanEvent {
+                    ts_ns: start + ingress,
+                    stage: Stage::Dispatched,
+                    path,
+                    worker: 0,
+                },
+                SpanEvent {
+                    ts_ns: start + latency * 4 / 5,
+                    stage: service_stage,
+                    path,
+                    worker: 0,
+                },
+                SpanEvent {
+                    ts_ns: end,
+                    stage: Stage::VcqComplete,
+                    path: PathKind::None,
+                    worker: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn attribution_windows_cover_the_tail() {
+        // 100 fast spans, latency 100..=10_000 in steps of 100.
+        let spans: Vec<Span> = (1..=100)
+            .map(|i| span(i * 100, PathKind::Fast, 10))
+            .collect();
+        let attrib = TailAttribution::of(&spans);
+        let fast = attrib.route(Route::Fast).expect("fast route present");
+        assert_eq!(fast.count, 100);
+        let p50 = &fast.quantiles[0];
+        assert_eq!(p50.q, 0.5);
+        assert_eq!(p50.window, 51); // ranks 49..100
+        let p999 = &fast.quantiles[2];
+        assert_eq!(p999.window, 2); // ranks 98..100
+        assert_eq!(p999.latency_ns, 9_900);
+        // Fractions are sane: each in [0,1], dominant segment is the
+        // service wait (dispatch→service spans 80% of the latency).
+        for s in &p999.segments {
+            assert!(s.fraction >= 0.0 && s.fraction <= 1.0);
+        }
+        assert_eq!(p999.dominant(), Segment::DispatchToService);
+    }
+
+    #[test]
+    fn routes_are_attributed_separately() {
+        let mut spans: Vec<Span> = (1..=10).map(|i| span(i * 100, PathKind::Fast, 5)).collect();
+        spans.extend((1..=10).map(|i| span(i * 1000, PathKind::Kernel, 5)));
+        let attrib = TailAttribution::of(&spans);
+        assert!(attrib.route(Route::Fast).is_some());
+        assert!(attrib.route(Route::Kernel).is_some());
+        assert!(attrib.route(Route::Notify).is_none());
+        assert_eq!(attrib.route(Route::Kernel).unwrap().count, 10);
+    }
+
+    #[test]
+    fn reservoir_keeps_slowest_and_samples_randomly() {
+        let mut res = ExemplarReservoir::new(3, 42);
+        for i in 1..=50u64 {
+            res.offer(&span(i * 10, PathKind::Fast, 1));
+        }
+        let slow = res.slowest(Route::Fast);
+        assert_eq!(slow.len(), 3);
+        assert_eq!(slow[0].latency_ns(), 500);
+        assert_eq!(slow[1].latency_ns(), 490);
+        assert_eq!(slow[2].latency_ns(), 480);
+        assert_eq!(res.random(Route::Fast).len(), 3);
+        assert_eq!(res.seen(Route::Fast), 50);
+        // Seeded: a second identical run samples identically.
+        let mut res2 = ExemplarReservoir::new(3, 42);
+        for i in 1..=50u64 {
+            res2.offer(&span(i * 10, PathKind::Fast, 1));
+        }
+        let a: Vec<u64> = res
+            .random(Route::Fast)
+            .iter()
+            .map(|s| s.latency_ns())
+            .collect();
+        let b: Vec<u64> = res2
+            .random(Route::Fast)
+            .iter()
+            .map(|s| s.latency_ns())
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn incomplete_spans_are_ignored() {
+        let mut s = span(100, PathKind::Fast, 1);
+        s.complete = false;
+        let mut res = ExemplarReservoir::new(2, 1);
+        res.offer(&s);
+        assert_eq!(res.seen(Route::Fast), 0);
+        let attrib = TailAttribution::of(&[s]);
+        assert!(attrib.routes.is_empty());
+    }
+}

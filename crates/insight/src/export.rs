@@ -1,0 +1,441 @@
+//! Exporters: Chrome `trace_event` JSON for reconstructed spans and
+//! Prometheus text exposition for a [`TelemetrySnapshot`].
+//!
+//! The Chrome trace maps the rig topology onto the trace viewer's model:
+//! each telemetry worker (router shard, device, UIF) is a *process*
+//! (pid = worker id, named from the registry), and each guest queue
+//! (vm, vsq) is a *track* (tid) inside the shard that owned it. Every span
+//! becomes one complete ("X") event with per-stage child intervals, and
+//! recovery stages (abort/retry/failover) become instant ("i") markers.
+//! Load the file in `chrome://tracing` or <https://ui.perfetto.dev>.
+
+use crate::span::Span;
+use nvmetro_telemetry::{Metric, Percentiles, Route, Segment, Stage, TelemetrySnapshot, Tier};
+use std::fmt::Write as _;
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+/// Renders spans as Chrome `trace_event` JSON (the `{"traceEvents": [...]}`
+/// object form). `workers` names the processes (index = worker id, from
+/// [`nvmetro_telemetry::Telemetry::worker_names`]); missing names fall
+/// back to `shard-N`.
+pub fn chrome_trace(spans: &[Span], workers: &[String]) -> String {
+    let mut events: Vec<String> = Vec::new();
+    let mut seen_pids: Vec<u16> = Vec::new();
+    let mut seen_tids: Vec<(u16, u64)> = Vec::new();
+
+    for span in spans {
+        let pid = span.shard;
+        let tid = ((span.vm as u64) << 16) | span.vsq as u64;
+        if !seen_pids.contains(&pid) {
+            seen_pids.push(pid);
+            let name = workers
+                .get(pid as usize)
+                .map(|s| esc(s))
+                .unwrap_or_else(|| format!("shard-{pid}"));
+            events.push(format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"{name}\"}}}}"
+            ));
+        }
+        if !seen_tids.contains(&(pid, tid)) {
+            seen_tids.push((pid, tid));
+            events.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+                 \"args\":{{\"name\":\"vm{} vsq{}\"}}}}",
+                span.vm, span.vsq
+            ));
+        }
+
+        let route = span.route().map(|r| r.name()).unwrap_or("-");
+        let dur = us(span.end_ns.saturating_sub(span.start_ns)).max(0.001);
+        events.push(format!(
+            "{{\"name\":\"tag{} gen{}\",\"cat\":\"request\",\"ph\":\"X\",\
+             \"ts\":{:.3},\"dur\":{:.3},\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{{\"route\":\"{route}\",\"attempts\":{},\"complete\":{}}}}}",
+            span.tag,
+            span.gen,
+            us(span.start_ns),
+            dur,
+            span.attempts(),
+            span.complete,
+        ));
+
+        // Child intervals: each consecutive event pair becomes a slice
+        // named after the earlier stage, so the viewer shows where the
+        // request's time went.
+        let mut evs: Vec<_> = span.events.iter().collect();
+        evs.sort_by_key(|e| e.ts_ns);
+        for pair in evs.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if b.ts_ns <= a.ts_ns {
+                continue;
+            }
+            events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"stage\",\"ph\":\"X\",\
+                 \"ts\":{:.3},\"dur\":{:.3},\"pid\":{pid},\"tid\":{tid},\
+                 \"args\":{{\"path\":\"{}\"}}}}",
+                a.stage.name(),
+                us(a.ts_ns),
+                us(b.ts_ns - a.ts_ns),
+                a.path.name(),
+            ));
+        }
+
+        for e in &span.events {
+            if matches!(e.stage, Stage::Abort | Stage::Retry | Stage::Failover) {
+                events.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"recovery\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{:.3},\"pid\":{pid},\"tid\":{tid}}}",
+                    e.stage.name(),
+                    us(e.ts_ns),
+                ));
+            }
+        }
+    }
+
+    format!(
+        "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ns\"}}",
+        events.join(",")
+    )
+}
+
+fn prom_hist(out: &mut String, family: &str, label_key: &str, label: &str, p: &Percentiles) {
+    for (q, v) in [
+        ("0.5", p.p50),
+        ("0.9", p.p90),
+        ("0.99", p.p99),
+        ("0.999", p.p999),
+    ] {
+        let _ = writeln!(
+            out,
+            "{family}{{{label_key}=\"{label}\",quantile=\"{q}\"}} {v}"
+        );
+    }
+    let _ = writeln!(out, "{family}_count{{{label_key}=\"{label}\"}} {}", p.count);
+    let _ = writeln!(
+        out,
+        "{family}_mean{{{label_key}=\"{label}\"}} {:.1}",
+        p.mean
+    );
+}
+
+/// Renders a snapshot as Prometheus text exposition (format 0.0.4):
+/// every counter as `nvmetro_<name>_total`, the latency/occupancy
+/// distributions as quantile summaries, and per-ring drop counts labelled
+/// by worker.
+pub fn prometheus_text(snapshot: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    for m in Metric::ALL {
+        let name = m.name();
+        let _ = writeln!(out, "# TYPE nvmetro_{name}_total counter");
+        let _ = writeln!(
+            out,
+            "nvmetro_{name}_total {}",
+            snapshot.counters[m as usize]
+        );
+    }
+
+    let _ = writeln!(out, "# TYPE nvmetro_route_latency_ns summary");
+    for r in Route::ALL {
+        let p = Percentiles::of(&snapshot.route_latency[r as usize]);
+        prom_hist(&mut out, "nvmetro_route_latency_ns", "route", r.name(), &p);
+    }
+    let _ = writeln!(out, "# TYPE nvmetro_segment_ns summary");
+    for s in Segment::ALL {
+        let p = Percentiles::of(&snapshot.segments[s as usize]);
+        prom_hist(&mut out, "nvmetro_segment_ns", "segment", s.name(), &p);
+    }
+    let _ = writeln!(out, "# TYPE nvmetro_tier_latency_ns summary");
+    for t in Tier::ALL {
+        let p = Percentiles::of(&snapshot.tiers[t as usize]);
+        prom_hist(&mut out, "nvmetro_tier_latency_ns", "tier", t.name(), &p);
+    }
+
+    let _ = writeln!(out, "# TYPE nvmetro_trace_ring_dropped_total counter");
+    for (i, dropped) in snapshot.ring_dropped.iter().enumerate() {
+        let worker = snapshot
+            .workers
+            .get(i)
+            .map(|s| esc(s))
+            .unwrap_or_else(|| format!("worker-{i}"));
+        let _ = writeln!(
+            out,
+            "nvmetro_trace_ring_dropped_total{{worker=\"{worker}\"}} {dropped}"
+        );
+    }
+    out
+}
+
+/// Validates that `input` is one well-formed JSON value (the whole string,
+/// modulo surrounding whitespace). Dependency-free recursive descent;
+/// returns the byte offset and reason on failure. Used by `ci.sh` to gate
+/// the exported Chrome trace.
+pub fn validate_json(input: &str) -> Result<(), String> {
+    let b = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        None => Err(format!("unexpected end of input at byte {pos}")),
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, "true"),
+        Some(b'f') => literal(b, pos, "false"),
+        Some(b'n') => literal(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:?} at {pos}")),
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos} (expected {lit})"))
+    }
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let int_start = *pos;
+    while b.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+        *pos += 1;
+    }
+    if *pos == int_start {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let frac = *pos;
+        while b.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+            *pos += 1;
+        }
+        if *pos == frac {
+            return Err(format!("bad number fraction at byte {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e') | Some(b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+') | Some(b'-')) {
+            *pos += 1;
+        }
+        let exp = *pos;
+        while b.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+            *pos += 1;
+        }
+        if *pos == exp {
+            return Err(format!("bad number exponent at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    *pos += 1; // opening quote
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        for i in 1..=4 {
+                            if !b.get(*pos + i).is_some_and(|c| c.is_ascii_hexdigit()) {
+                                return Err(format!("bad \\u escape at byte {pos}"));
+                            }
+                        }
+                        *pos += 5;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+            }
+            0x00..=0x1f => return Err(format!("raw control byte in string at {pos}")),
+            _ => *pos += 1,
+        }
+    }
+    Err(format!("unterminated string starting at byte {start}"))
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}"));
+        }
+        string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanAssembler;
+    use nvmetro_telemetry::{PathKind, Telemetry, TraceEvent, VM_ANY};
+
+    fn sample_spans() -> Vec<Span> {
+        let mk = |ts, vm, vsq, tag, gen, stage, path, worker| TraceEvent {
+            ts_ns: ts,
+            vm,
+            vsq,
+            tag,
+            gen,
+            stage,
+            path,
+            worker,
+        };
+        let mut a = SpanAssembler::new();
+        a.push(&mk(1000, 0, 0, 5, 1, Stage::VsqFetch, PathKind::None, 0));
+        a.push(&mk(1010, 0, 0, 5, 1, Stage::Dispatched, PathKind::Fast, 0));
+        a.push(&mk(
+            1500,
+            VM_ANY,
+            0,
+            5,
+            0,
+            Stage::DeviceService,
+            PathKind::Fast,
+            2,
+        ));
+        a.push(&mk(1600, 0, 0, 5, 1, Stage::Retry, PathKind::None, 0));
+        a.push(&mk(2000, 0, 0, 5, 1, Stage::VcqComplete, PathKind::None, 0));
+        a.finish().spans
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_expected_records() {
+        let spans = sample_spans();
+        let workers = vec!["router".to_string(), "uif".to_string(), "ssd".to_string()];
+        let trace = chrome_trace(&spans, &workers);
+        validate_json(&trace).expect("valid JSON");
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("\"process_name\""));
+        assert!(trace.contains("\"router\""));
+        assert!(trace.contains("\"thread_name\""));
+        assert!(trace.contains("\"ph\":\"X\""));
+        assert!(trace.contains("\"ph\":\"i\"")); // the retry marker
+        assert!(trace.contains("\"retry\""));
+    }
+
+    #[test]
+    fn chrome_trace_of_nothing_is_still_valid() {
+        let trace = chrome_trace(&[], &[]);
+        validate_json(&trace).expect("valid JSON");
+        assert!(trace.contains("\"traceEvents\":[]"));
+    }
+
+    #[test]
+    fn prometheus_text_lists_counters_and_quantiles() {
+        let telemetry = Telemetry::enabled();
+        let h = telemetry.register_worker_named("router.0");
+        h.count(Metric::Accepted);
+        h.count(Metric::Accepted);
+        h.route_latency(nvmetro_telemetry::Route::Fast, 1234);
+        let text = prometheus_text(&telemetry.snapshot());
+        assert!(text.contains("# TYPE nvmetro_accepted_total counter"));
+        assert!(text.contains("nvmetro_accepted_total 2"));
+        assert!(text.contains("nvmetro_route_latency_ns{route=\"fast\",quantile=\"0.5\"} 1234"));
+        assert!(text.contains("nvmetro_route_latency_ns_count{route=\"fast\"} 1"));
+        assert!(text.contains("nvmetro_trace_ring_dropped_total{worker=\"router.0\"} 0"));
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        assert!(validate_json("{\"a\": [1, 2.5, -3e4, true, null, \"x\\n\"]}").is_ok());
+        assert!(validate_json("  [ ]  ").is_ok());
+        assert!(validate_json("").is_err());
+        assert!(validate_json("{").is_err());
+        assert!(validate_json("[1,]").is_err());
+        assert!(validate_json("{\"a\":1} extra").is_err());
+        assert!(validate_json("\"unterminated").is_err());
+        assert!(validate_json("{'a':1}").is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! nvmetro-insight: analysis and live monitoring over the telemetry stream.
+//!
+//! The telemetry crate records *what happened* — flat per-worker rings of
+//! lifecycle events plus counters and histograms. This crate answers
+//! *what it means*:
+//!
+//! * [`span`] folds the event stream back into per-request [`Span`]s
+//!   (handling ring wrap, tag reuse via generations, retries and
+//!   failovers) with per-stage segment timings and coverage accounting;
+//! * [`attrib`] attributes tail latency — for the p50/p99/p999 spans on
+//!   each route, which lifecycle segment contributed what fraction — and
+//!   keeps whole-span exemplars (slowest-K + seeded random-K per route);
+//! * [`watchdog`] is a live [`nvmetro_sim::Actor`] that drains the rings
+//!   every tick and flags stalled queues, breaker flapping, and SLO
+//!   error-budget burn, surfacing verdicts as telemetry metrics and
+//!   [`HealthReport`]s;
+//! * [`export`] renders spans as Chrome `trace_event` JSON (one process
+//!   per worker, one track per guest queue) and snapshots as Prometheus
+//!   text exposition.
+
+#![warn(missing_docs)]
+
+pub mod attrib;
+pub mod export;
+pub mod span;
+pub mod watchdog;
+
+pub use attrib::{ExemplarReservoir, QuantileAttribution, RouteAttribution, TailAttribution};
+pub use export::{chrome_trace, prometheus_text, validate_json};
+pub use span::{assemble, AssemblyStats, Span, SpanAssembler, SpanEvent, SpanReport};
+pub use watchdog::{
+    HealthLog, HealthReport, HealthVerdict, QueueHealth, SharedWatchdog, SloConfig, SloStatus,
+    StallWatchdog, WatchdogConfig,
+};

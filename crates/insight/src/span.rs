@@ -1,0 +1,722 @@
+//! Span reconstruction: folding the flat telemetry event stream back into
+//! per-request spans.
+//!
+//! The telemetry rings hold interleaved [`TraceEvent`]s from every worker.
+//! Router-side events carry `(vm, vsq, tag)` plus a nonzero generation
+//! (`TraceEvent::gen`) that disambiguates reuse of the same routing-table
+//! tag across requests; below-router events (device, kernel, UIF) only
+//! know the tag (`vm == VM_ANY`, generation 0) and are matched to the open
+//! span they most plausibly belong to. The assembler tolerates ring wrap
+//! (events lost before it ever saw them become *orphans*, and the final
+//! [`SpanReport`] states coverage instead of silently missing requests),
+//! retries/failovers (one span per request, [`Span::attempts`] counts the
+//! dispatch attempts), and out-of-order arrival across rings.
+
+use nvmetro_telemetry::{
+    Ns, PathKind, Route, Segment, Stage, TelemetrySnapshot, TraceEvent, VM_ANY,
+};
+use std::collections::HashMap;
+
+/// One event attached to a span (the request identity lives on the span).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// When the stage was reached.
+    pub ts_ns: Ns,
+    /// Lifecycle stage.
+    pub stage: Stage,
+    /// Path annotation, if any.
+    pub path: PathKind,
+    /// Worker (ring) that emitted the event.
+    pub worker: u16,
+}
+
+/// One reconstructed request: every lifecycle event between its `VsqFetch`
+/// and its terminal `VcqComplete` (plus any recovery stages in between).
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// Owning VM id.
+    pub vm: u32,
+    /// Virtual submission queue within the VM.
+    pub vsq: u16,
+    /// Routing-table tag the request occupied.
+    pub tag: u16,
+    /// Router-stamped generation (nonzero; disambiguates tag reuse).
+    pub gen: u8,
+    /// Worker id of the router shard that owned the request.
+    pub shard: u16,
+    /// `VsqFetch` timestamp.
+    pub start_ns: Ns,
+    /// Latest event timestamp observed (the `VcqComplete` instant once the
+    /// span is complete).
+    pub end_ns: Ns,
+    /// Whether the terminal `VcqComplete` was observed.
+    pub complete: bool,
+    /// Events in arrival order.
+    pub events: Vec<SpanEvent>,
+}
+
+impl Span {
+    fn new(ev: &TraceEvent) -> Self {
+        Span {
+            vm: ev.vm,
+            vsq: ev.vsq,
+            tag: ev.tag,
+            gen: ev.gen,
+            shard: ev.worker,
+            start_ns: ev.ts_ns,
+            end_ns: ev.ts_ns,
+            complete: false,
+            events: vec![SpanEvent {
+                ts_ns: ev.ts_ns,
+                stage: ev.stage,
+                path: ev.path,
+                worker: ev.worker,
+            }],
+        }
+    }
+
+    /// VSQ-fetch to VCQ-complete latency (0 while incomplete).
+    pub fn latency_ns(&self) -> u64 {
+        if self.complete {
+            self.end_ns.saturating_sub(self.start_ns)
+        } else {
+            0
+        }
+    }
+
+    /// Number of occurrences of one stage.
+    pub fn count(&self, stage: Stage) -> usize {
+        self.events.iter().filter(|e| e.stage == stage).count()
+    }
+
+    /// Whether any event reached this stage.
+    pub fn has(&self, stage: Stage) -> bool {
+        self.events.iter().any(|e| e.stage == stage)
+    }
+
+    /// Dispatch attempts: the first one plus one per retry.
+    pub fn attempts(&self) -> u32 {
+        1 + self.count(Stage::Retry) as u32
+    }
+
+    /// The route this span is attributed to — the heaviest path it was
+    /// dispatched on (notify > kernel > fast), matching the router's own
+    /// route-latency attribution. `None` if it never dispatched.
+    pub fn route(&self) -> Option<Route> {
+        let mut route = None;
+        for e in self.events.iter().filter(|e| e.stage == Stage::Dispatched) {
+            route = match (e.path, route) {
+                (PathKind::Notify, _) => Some(Route::Notify),
+                (PathKind::Kernel, r) if r != Some(Route::Notify) => Some(Route::Kernel),
+                (PathKind::Fast, None) => Some(Route::Fast),
+                (_, r) => r,
+            };
+        }
+        route
+    }
+
+    fn first_ts(&self, pred: impl Fn(&SpanEvent) -> bool) -> Option<Ns> {
+        self.events
+            .iter()
+            .filter(|e| pred(e))
+            .map(|e| e.ts_ns)
+            .min()
+    }
+
+    fn last_ts(&self, pred: impl Fn(&SpanEvent) -> bool) -> Option<Ns> {
+        self.events
+            .iter()
+            .filter(|e| pred(e))
+            .map(|e| e.ts_ns)
+            .max()
+    }
+
+    /// Duration of one stage segment within this span (0 when the span
+    /// never touched the segment's endpoints).
+    pub fn segment_ns(&self, seg: Segment) -> u64 {
+        let service = |e: &SpanEvent| {
+            matches!(
+                e.stage,
+                Stage::DeviceService | Stage::KernelService | Stage::UifService
+            )
+        };
+        match seg {
+            Segment::IngressToDispatch => self
+                .first_ts(|e| e.stage == Stage::Dispatched)
+                .map_or(0, |d| d.saturating_sub(self.start_ns)),
+            Segment::DispatchToService => {
+                match (
+                    self.first_ts(|e| e.stage == Stage::Dispatched),
+                    self.last_ts(service),
+                ) {
+                    (Some(d), Some(s)) => s.saturating_sub(d),
+                    _ => 0,
+                }
+            }
+            Segment::ServiceToComplete => {
+                if !self.complete {
+                    return 0;
+                }
+                self.last_ts(service)
+                    .map_or(0, |s| self.end_ns.saturating_sub(s))
+            }
+            Segment::FaultToRecovery => self
+                .first_ts(|e| matches!(e.stage, Stage::Abort | Stage::Retry | Stage::Failover))
+                .map_or(0, |f| self.end_ns.saturating_sub(f)),
+        }
+    }
+
+    /// All segment durations, indexed by `Segment as usize`.
+    pub fn segments(&self) -> [u64; Segment::COUNT] {
+        std::array::from_fn(|i| self.segment_ns(Segment::ALL[i]))
+    }
+}
+
+/// Assembly bookkeeping: how much of the stream folded cleanly into spans.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AssemblyStats {
+    /// Events pushed into the assembler.
+    pub events: u64,
+    /// Spans opened (one per observed `VsqFetch`).
+    pub spans_opened: u64,
+    /// Spans whose terminal `VcqComplete` was observed.
+    pub spans_completed: u64,
+    /// Events that matched no open span (their `VsqFetch` or the whole
+    /// span was lost to ring wrap, or a late straggler arrived after its
+    /// span was retired).
+    pub orphan_events: u64,
+    /// Below-router events that matched more than one plausible open span
+    /// (attached to the best candidate; a measure of tag-collision noise).
+    pub ambiguous_matches: u64,
+    /// Router events whose generation contradicted the open span (stale
+    /// ring remnants from a previous occupant of the tag).
+    pub gen_mismatches: u64,
+    /// Spans that observed a second terminal `VcqComplete` for the same
+    /// generation — a datapath exactly-once violation.
+    pub duplicate_terminals: u64,
+}
+
+/// A finished assembly: the reconstructed spans plus coverage accounting.
+#[derive(Clone, Debug, Default)]
+pub struct SpanReport {
+    /// All spans, complete first by start time, then incomplete.
+    pub spans: Vec<Span>,
+    /// Assembly bookkeeping.
+    pub stats: AssemblyStats,
+    /// Ring-wrap losses reported by the telemetry snapshot (events the
+    /// assembler never even saw).
+    pub dropped_events: u64,
+}
+
+impl SpanReport {
+    /// Number of fully reconstructed (terminal-bearing) spans.
+    pub fn complete_count(&self) -> usize {
+        self.spans.iter().filter(|s| s.complete).count()
+    }
+
+    /// Fraction of `completed` requests (the datapath's own counter) that
+    /// were reconstructed into complete spans. 1.0 when nothing completed.
+    pub fn coverage(&self, completed: u64) -> f64 {
+        if completed == 0 {
+            return 1.0;
+        }
+        self.complete_count() as f64 / completed as f64
+    }
+}
+
+/// Router-event span key: `(worker, vm, vsq, tag)`. The worker (router
+/// shard) is part of the identity because each shard numbers its VSQs and
+/// routing-table tags independently — symmetric shards emit otherwise
+/// identical streams.
+type Key = (u16, u32, u16, u16);
+
+/// Folds trace events into [`Span`]s.
+///
+/// Spans stay resident after their terminal event until the tag is reused
+/// by a new `VsqFetch`, [`SpanAssembler::retire_settled`] deems them
+/// settled, or [`SpanAssembler::finish`] runs — so below-router events
+/// that sort after the completion (same-instant service reports from
+/// another ring) still attach to the right span.
+#[derive(Default)]
+pub struct SpanAssembler {
+    open: HashMap<Key, Span>,
+    by_tag: HashMap<u16, Vec<Key>>,
+    /// Incomplete spans displaced by tag reuse, keyed with their
+    /// generation. The router frees a slot the instant the request
+    /// completes, so under a closed loop the *next* request's `VsqFetch`
+    /// can hit the ring before the previous one's (CQ-batched)
+    /// `VcqComplete` at the same virtual instant. Keeping the displaced
+    /// span around lets the old-generation terminal still close it.
+    displaced: HashMap<(u16, u32, u16, u16, u8), Span>,
+    done: Vec<Span>,
+    stats: AssemblyStats,
+    max_ts: Ns,
+    strict: bool,
+}
+
+impl SpanAssembler {
+    /// An assembler that tolerates datapath anomalies (counting them).
+    pub fn new() -> Self {
+        SpanAssembler::default()
+    }
+
+    /// An assembler that panics on exactly-once violations (duplicate
+    /// terminal events for one generation) — the stage-coverage audit used
+    /// by tests.
+    pub fn strict() -> Self {
+        SpanAssembler {
+            strict: true,
+            ..SpanAssembler::default()
+        }
+    }
+
+    /// Assembly bookkeeping so far.
+    pub fn stats(&self) -> &AssemblyStats {
+        &self.stats
+    }
+
+    /// Number of spans still open (no terminal observed, not yet retired).
+    pub fn in_flight(&self) -> usize {
+        self.open.values().filter(|s| !s.complete).count()
+    }
+
+    /// All resident (not yet retired) spans.
+    pub fn open_spans(&self) -> impl Iterator<Item = &Span> {
+        self.open.values()
+    }
+
+    /// Feeds a batch; sorts a copy by timestamp first so cross-ring
+    /// interleavings (one ring drained after another) still assemble in
+    /// lifecycle order.
+    pub fn extend(&mut self, events: &[TraceEvent]) {
+        let mut sorted: Vec<&TraceEvent> = events.iter().collect();
+        sorted.sort_by_key(|e| e.ts_ns);
+        for ev in sorted {
+            self.push(ev);
+        }
+    }
+
+    /// Feeds one event.
+    pub fn push(&mut self, ev: &TraceEvent) {
+        self.stats.events += 1;
+        self.max_ts = self.max_ts.max(ev.ts_ns);
+        if ev.vm == VM_ANY {
+            self.push_below_router(ev);
+        } else {
+            self.push_router(ev);
+        }
+    }
+
+    fn push_router(&mut self, ev: &TraceEvent) {
+        let key: Key = (ev.worker, ev.vm, ev.vsq, ev.tag);
+        if ev.stage == Stage::VsqFetch {
+            // Tag reuse displaces the previous occupant. A completed
+            // predecessor retires; an incomplete one is parked under its
+            // generation to wait for its (possibly batch-delayed)
+            // terminal.
+            if let Some(prev) = self.open.remove(&key) {
+                self.unindex(&key);
+                if prev.complete {
+                    self.done.push(prev);
+                } else {
+                    let dkey = (key.0, key.1, key.2, key.3, prev.gen);
+                    if let Some(evicted) = self.displaced.insert(dkey, prev) {
+                        self.done.push(evicted);
+                    }
+                }
+            }
+            self.stats.spans_opened += 1;
+            self.open.insert(key, Span::new(ev));
+            self.by_tag.entry(ev.tag).or_default().push(key);
+            return;
+        }
+        // An event whose generation contradicts the current occupant
+        // belongs to a displaced predecessor if one is parked.
+        let mismatch = |span: &Span| ev.gen != 0 && span.gen != 0 && ev.gen != span.gen;
+        if self.open.get(&key).is_none_or(mismatch) {
+            let dkey = (key.0, key.1, key.2, key.3, ev.gen);
+            if let Some(mut span) = self.displaced.remove(&dkey) {
+                span.end_ns = span.end_ns.max(ev.ts_ns);
+                span.events.push(SpanEvent {
+                    ts_ns: ev.ts_ns,
+                    stage: ev.stage,
+                    path: ev.path,
+                    worker: ev.worker,
+                });
+                if ev.stage == Stage::VcqComplete {
+                    span.complete = true;
+                    self.stats.spans_completed += 1;
+                    self.done.push(span);
+                } else {
+                    self.displaced.insert(dkey, span);
+                }
+                return;
+            }
+        }
+        let Some(span) = self.open.get_mut(&key) else {
+            self.stats.orphan_events += 1;
+            return;
+        };
+        if mismatch(span) {
+            // A stale remnant of the tag's previous occupant.
+            self.stats.gen_mismatches += 1;
+            self.stats.orphan_events += 1;
+            return;
+        }
+        if ev.stage == Stage::VcqComplete {
+            if span.complete {
+                self.stats.duplicate_terminals += 1;
+                assert!(
+                    !self.strict,
+                    "duplicate terminal for vm {} vsq {} tag {} gen {}",
+                    ev.vm, ev.vsq, ev.tag, ev.gen
+                );
+                self.stats.orphan_events += 1;
+                return;
+            }
+            span.complete = true;
+            span.end_ns = span.end_ns.max(ev.ts_ns);
+            self.stats.spans_completed += 1;
+        } else {
+            span.end_ns = span.end_ns.max(ev.ts_ns);
+        }
+        span.events.push(SpanEvent {
+            ts_ns: ev.ts_ns,
+            stage: ev.stage,
+            path: ev.path,
+            worker: ev.worker,
+        });
+    }
+
+    fn push_below_router(&mut self, ev: &TraceEvent) {
+        // The path a service stage implies; used to reject open spans that
+        // never dispatched that way (tag collisions across shards).
+        let expected_path = match ev.stage {
+            Stage::DeviceService => PathKind::Fast,
+            Stage::KernelService => PathKind::Kernel,
+            Stage::UifService => PathKind::Notify,
+            _ => ev.path,
+        };
+        let Some(keys) = self.by_tag.get(&ev.tag) else {
+            self.stats.orphan_events += 1;
+            return;
+        };
+        let mut candidates = 0usize;
+        let mut best: Option<Key> = None;
+        let mut best_start = 0;
+        for key in keys {
+            let Some(span) = self.open.get(key) else {
+                continue;
+            };
+            if ev.ts_ns < span.start_ns {
+                continue;
+            }
+            if span.complete && ev.ts_ns > span.end_ns {
+                continue;
+            }
+            if expected_path != PathKind::None
+                && !span
+                    .events
+                    .iter()
+                    .any(|e| e.stage == Stage::Dispatched && e.path == expected_path)
+            {
+                continue;
+            }
+            candidates += 1;
+            // Latest-start wins: the most recent plausible dispatch.
+            if best.is_none() || span.start_ns >= best_start {
+                best = Some(*key);
+                best_start = span.start_ns;
+            }
+        }
+        match best {
+            None => self.stats.orphan_events += 1,
+            Some(key) => {
+                if candidates > 1 {
+                    self.stats.ambiguous_matches += 1;
+                }
+                let span = self.open.get_mut(&key).expect("candidate is open");
+                span.events.push(SpanEvent {
+                    ts_ns: ev.ts_ns,
+                    stage: ev.stage,
+                    path: ev.path,
+                    worker: ev.worker,
+                });
+                if !span.complete {
+                    span.end_ns = span.end_ns.max(ev.ts_ns);
+                }
+            }
+        }
+    }
+
+    fn unindex(&mut self, key: &Key) {
+        if let Some(keys) = self.by_tag.get_mut(&key.3) {
+            keys.retain(|k| k != key);
+            if keys.is_empty() {
+                self.by_tag.remove(&key.3);
+            }
+        }
+    }
+
+    /// Retires spans that can no longer gain events: everything displaced
+    /// off its tag that has since completed, plus complete spans whose
+    /// terminal instant is strictly older than the newest event seen (so
+    /// any same-instant straggler from another ring has already been
+    /// drained). Returns them; the periodic watchdog calls this each tick.
+    pub fn retire_settled(&mut self) -> Vec<Span> {
+        let mut out: Vec<Span> = std::mem::take(&mut self.done);
+        let watermark = self.max_ts;
+        let keys: Vec<Key> = self
+            .open
+            .iter()
+            .filter(|(_, s)| s.complete && s.end_ns < watermark)
+            .map(|(k, _)| *k)
+            .collect();
+        for key in keys {
+            let span = self.open.remove(&key).expect("listed");
+            self.unindex(&key);
+            out.push(span);
+        }
+        out
+    }
+
+    /// Closes every resident span and returns the report. Spans are
+    /// ordered by start time, complete-then-incomplete on ties.
+    pub fn finish(mut self) -> SpanReport {
+        let mut spans = std::mem::take(&mut self.done);
+        spans.extend(self.open.into_values());
+        spans.extend(self.displaced.into_values());
+        spans.sort_by_key(|s| (s.start_ns, !s.complete));
+        SpanReport {
+            spans,
+            stats: self.stats,
+            dropped_events: 0,
+        }
+    }
+}
+
+/// One-shot convenience: assemble every event in a snapshot.
+pub fn assemble(snapshot: &TelemetrySnapshot) -> SpanReport {
+    let mut a = SpanAssembler::new();
+    a.extend(&snapshot.events);
+    let mut report = a.finish();
+    report.dropped_events = snapshot.dropped_events;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(
+        ts: Ns,
+        vm: u32,
+        vsq: u16,
+        tag: u16,
+        gen: u8,
+        stage: Stage,
+        path: PathKind,
+    ) -> TraceEvent {
+        TraceEvent {
+            ts_ns: ts,
+            vm,
+            vsq,
+            tag,
+            gen,
+            stage,
+            path,
+            ..TraceEvent::default()
+        }
+    }
+
+    fn tag_ev(ts: Ns, tag: u16, stage: Stage, path: PathKind) -> TraceEvent {
+        ev(ts, VM_ANY, 0, tag, 0, stage, path)
+    }
+
+    fn fast_request(t0: Ns, vm: u32, tag: u16, gen: u8) -> Vec<TraceEvent> {
+        vec![
+            ev(t0, vm, 0, tag, gen, Stage::VsqFetch, PathKind::None),
+            ev(t0 + 1, vm, 0, tag, gen, Stage::Classified, PathKind::None),
+            ev(t0 + 2, vm, 0, tag, gen, Stage::Dispatched, PathKind::Fast),
+            tag_ev(t0 + 10, tag, Stage::DeviceService, PathKind::Fast),
+            ev(t0 + 12, vm, 0, tag, gen, Stage::VcqComplete, PathKind::None),
+        ]
+    }
+
+    #[test]
+    fn assembles_one_fast_request() {
+        let mut a = SpanAssembler::strict();
+        a.extend(&fast_request(100, 0, 7, 1));
+        let r = a.finish();
+        assert_eq!(r.spans.len(), 1);
+        let s = &r.spans[0];
+        assert!(s.complete);
+        assert_eq!(s.latency_ns(), 12);
+        assert_eq!(s.route(), Some(Route::Fast));
+        assert_eq!(s.events.len(), 5);
+        assert_eq!(s.segment_ns(Segment::IngressToDispatch), 2);
+        assert_eq!(s.segment_ns(Segment::DispatchToService), 8);
+        assert_eq!(s.segment_ns(Segment::ServiceToComplete), 2);
+        assert_eq!(s.segment_ns(Segment::FaultToRecovery), 0);
+        assert_eq!(r.stats.orphan_events, 0);
+        assert_eq!(r.coverage(1), 1.0);
+    }
+
+    #[test]
+    fn tag_reuse_splits_spans_by_generation() {
+        let mut a = SpanAssembler::strict();
+        a.extend(&fast_request(100, 0, 7, 1));
+        a.extend(&fast_request(500, 0, 7, 2));
+        let r = a.finish();
+        assert_eq!(r.spans.len(), 2);
+        assert!(r.spans.iter().all(|s| s.complete));
+        assert_eq!(r.spans[0].gen, 1);
+        assert_eq!(r.spans[1].gen, 2);
+        assert_eq!(r.coverage(2), 1.0);
+    }
+
+    #[test]
+    fn stale_generation_events_are_orphaned_not_attached() {
+        let mut a = SpanAssembler::new();
+        a.push(&ev(100, 0, 0, 7, 2, Stage::VsqFetch, PathKind::None));
+        // A remnant of the tag's previous occupant (gen 1) surfaces late.
+        a.push(&ev(110, 0, 0, 7, 1, Stage::VcqComplete, PathKind::None));
+        a.push(&ev(120, 0, 0, 7, 2, Stage::VcqComplete, PathKind::None));
+        let r = a.finish();
+        assert_eq!(r.spans.len(), 1);
+        assert!(r.spans[0].complete);
+        assert_eq!(r.spans[0].latency_ns(), 20);
+        assert_eq!(r.stats.gen_mismatches, 1);
+        assert_eq!(r.stats.orphan_events, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate terminal")]
+    fn strict_mode_panics_on_duplicate_terminal() {
+        let mut a = SpanAssembler::strict();
+        a.push(&ev(100, 0, 0, 7, 1, Stage::VsqFetch, PathKind::None));
+        a.push(&ev(110, 0, 0, 7, 1, Stage::VcqComplete, PathKind::None));
+        a.push(&ev(120, 0, 0, 7, 1, Stage::VcqComplete, PathKind::None));
+    }
+
+    #[test]
+    fn ring_wrap_orphans_are_counted_as_coverage_loss() {
+        let mut a = SpanAssembler::new();
+        // The VsqFetch was overwritten; only the tail survived.
+        a.push(&tag_ev(50, 3, Stage::DeviceService, PathKind::Fast));
+        a.push(&ev(60, 0, 0, 3, 1, Stage::VcqComplete, PathKind::None));
+        a.extend(&fast_request(100, 0, 4, 2));
+        let r = a.finish();
+        assert_eq!(r.spans.len(), 1);
+        assert_eq!(r.stats.orphan_events, 2);
+        // 2 requests completed per the counters, 1 reconstructed.
+        assert!((r.coverage(2) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn service_events_match_by_dispatch_path() {
+        // Two open spans share a tag (different shards); the kernel
+        // service report must land on the kernel-dispatched one.
+        let mut a = SpanAssembler::new();
+        a.push(&ev(100, 0, 0, 9, 1, Stage::VsqFetch, PathKind::None));
+        a.push(&ev(101, 0, 0, 9, 1, Stage::Dispatched, PathKind::Fast));
+        a.push(&ev(100, 1, 0, 9, 1, Stage::VsqFetch, PathKind::None));
+        a.push(&ev(102, 1, 0, 9, 1, Stage::Dispatched, PathKind::Kernel));
+        a.push(&tag_ev(150, 9, Stage::KernelService, PathKind::Kernel));
+        let r = a.finish();
+        assert_eq!(r.stats.ambiguous_matches, 0);
+        let kernel_span = r.spans.iter().find(|s| s.vm == 1).unwrap();
+        assert!(kernel_span.has(Stage::KernelService));
+        let fast_span = r.spans.iter().find(|s| s.vm == 0).unwrap();
+        assert!(!fast_span.has(Stage::KernelService));
+    }
+
+    #[test]
+    fn retry_and_failover_stages_stay_on_one_span() {
+        let mut a = SpanAssembler::strict();
+        let (vm, tag, gen) = (0, 5, 4);
+        a.push(&ev(100, vm, 0, tag, gen, Stage::VsqFetch, PathKind::None));
+        a.push(&ev(102, vm, 0, tag, gen, Stage::Dispatched, PathKind::Fast));
+        a.push(&ev(500, vm, 0, tag, gen, Stage::Abort, PathKind::None));
+        a.push(&ev(500, vm, 0, tag, gen, Stage::Retry, PathKind::None));
+        a.push(&ev(600, vm, 0, tag, gen, Stage::Failover, PathKind::Kernel));
+        a.push(&ev(
+            601,
+            vm,
+            0,
+            tag,
+            gen,
+            Stage::Dispatched,
+            PathKind::Kernel,
+        ));
+        a.push(&tag_ev(700, tag, Stage::KernelService, PathKind::Kernel));
+        a.push(&ev(
+            710,
+            vm,
+            0,
+            tag,
+            gen,
+            Stage::VcqComplete,
+            PathKind::None,
+        ));
+        let r = a.finish();
+        assert_eq!(r.spans.len(), 1);
+        let s = &r.spans[0];
+        assert_eq!(s.attempts(), 2);
+        assert!(s.has(Stage::Abort) && s.has(Stage::Retry) && s.has(Stage::Failover));
+        assert_eq!(s.route(), Some(Route::Kernel));
+        assert_eq!(s.segment_ns(Segment::FaultToRecovery), 210);
+    }
+
+    #[test]
+    fn retire_settled_releases_only_quiescent_spans() {
+        let mut a = SpanAssembler::new();
+        a.extend(&fast_request(100, 0, 1, 1));
+        // Nothing newer than the terminal yet: not settled.
+        assert!(a.retire_settled().is_empty());
+        a.push(&ev(200, 0, 0, 2, 2, Stage::VsqFetch, PathKind::None));
+        let settled = a.retire_settled();
+        assert_eq!(settled.len(), 1);
+        assert_eq!(settled[0].tag, 1);
+        assert_eq!(a.in_flight(), 1);
+        let r = a.finish();
+        assert_eq!(r.spans.len(), 1); // the still-open tag 2
+    }
+
+    #[test]
+    fn batch_delayed_terminal_closes_displaced_span() {
+        // Closed-loop reuse: the router frees the slot at completion and
+        // the next request's VsqFetch lands in the ring BEFORE the
+        // CQ-batched VcqComplete of the old generation, same instant.
+        let mut a = SpanAssembler::strict();
+        a.push(&ev(100, 0, 0, 7, 1, Stage::VsqFetch, PathKind::None));
+        a.push(&ev(102, 0, 0, 7, 1, Stage::Dispatched, PathKind::Fast));
+        a.push(&ev(200, 0, 0, 7, 2, Stage::VsqFetch, PathKind::None)); // reuse
+        a.push(&ev(200, 0, 0, 7, 1, Stage::VcqComplete, PathKind::None)); // late terminal
+        a.push(&ev(300, 0, 0, 7, 2, Stage::VcqComplete, PathKind::None));
+        let retired = a.retire_settled();
+        assert_eq!(retired.len(), 1, "displaced gen-1 span retired at once");
+        assert!(retired[0].complete);
+        assert_eq!(retired[0].gen, 1);
+        assert_eq!(retired[0].latency_ns(), 100);
+        let r = a.finish();
+        assert_eq!(r.spans.len(), 1);
+        assert_eq!(r.spans[0].gen, 2);
+        assert!(r.spans[0].complete);
+        assert_eq!(r.stats.orphan_events, 0);
+        assert_eq!(r.stats.gen_mismatches, 0);
+        assert_eq!(r.stats.spans_completed, 2);
+    }
+
+    #[test]
+    fn out_of_order_batches_assemble_via_extend_sort() {
+        let mut events = fast_request(100, 0, 7, 1);
+        events.reverse();
+        let mut a = SpanAssembler::new();
+        a.extend(&events);
+        let r = a.finish();
+        assert_eq!(r.spans.len(), 1);
+        assert!(r.spans[0].complete);
+        assert_eq!(r.stats.orphan_events, 0);
+    }
+}

@@ -1,0 +1,808 @@
+//! Live stall/health watchdog over the telemetry stream.
+//!
+//! [`StallWatchdog`] is a [`nvmetro_sim::Actor`] that periodically drains
+//! the telemetry rings through a [`SpanAssembler`] and judges datapath
+//! health: queues with in-flight requests but no completion progress
+//! (stalls), circuit breakers flapping open repeatedly, and per-route SLO
+//! error-budget burn. Verdicts surface three ways — as new telemetry
+//! metrics (`stalls_detected`, `stalls_cleared`, `breaker_flaps`,
+//! `slo_violations`, `watchdog_ticks`), as [`HealthReport`]s appended to a
+//! shared [`HealthLog`], and (with [`WatchdogConfig::keep_spans`]) as the
+//! full set of reconstructed spans for post-run analysis.
+//!
+//! The watchdog never keeps the simulation alive on its own: its
+//! [`Actor::next_event`] schedules a tick only while requests are in
+//! flight or a queue is still marked stalled, so `Executor::run(u64::MAX)`
+//! still terminates when the datapath drains.
+
+use crate::span::{AssemblyStats, Span, SpanAssembler};
+use nvmetro_sim::{Actor, Ns, Progress, US};
+use nvmetro_telemetry::{
+    Metric, Route, Stage, Telemetry, TelemetryHandle, TraceCursor, TraceEvent, VM_ANY,
+};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A per-route latency objective with an error-budget target.
+#[derive(Clone, Copy, Debug)]
+pub struct SloConfig {
+    /// Requests slower than this violate the objective.
+    pub objective_ns: Ns,
+    /// Fraction of requests that must meet the objective (e.g. 0.999).
+    pub target: f64,
+}
+
+/// Watchdog tuning.
+#[derive(Clone, Debug)]
+pub struct WatchdogConfig {
+    /// Virtual time between health ticks. The 1 ms default keeps the
+    /// watchdog's executor wakeups (each of which re-polls every actor)
+    /// negligible next to the datapath; analysis rigs that want
+    /// fine-grained sampling override it.
+    pub interval: Ns,
+    /// An open request older than this with no queue progress is a stall.
+    pub stall_grace: Ns,
+    /// Optional latency objective per route (index = `Route as usize`).
+    pub slo: [Option<SloConfig>; Route::COUNT],
+    /// Retain every retired span in the [`HealthLog`] (costs memory; used
+    /// by reports and coverage checks).
+    pub keep_spans: bool,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            interval: 1000 * US,
+            stall_grace: 200 * US,
+            slo: [None; Route::COUNT],
+            keep_spans: false,
+        }
+    }
+}
+
+/// One health finding from a tick.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HealthVerdict {
+    /// A queue has in-flight requests past the grace period and made no
+    /// completion progress in the last window.
+    QueueStalled {
+        /// Router shard (worker id) owning the queue — shards number
+        /// their VSQs independently, so `(vm, vsq)` alone is ambiguous.
+        worker: u16,
+        /// Owning VM.
+        vm: u32,
+        /// Virtual submission queue.
+        vsq: u16,
+        /// In-flight requests on the queue.
+        open: usize,
+        /// Age of the oldest in-flight request (ns).
+        oldest_age_ns: Ns,
+    },
+    /// A previously stalled queue completed requests again.
+    QueueRecovered {
+        /// Router shard (worker id) owning the queue.
+        worker: u16,
+        /// Owning VM.
+        vm: u32,
+        /// Virtual submission queue.
+        vsq: u16,
+    },
+    /// The circuit breaker opened repeatedly (twice within one window, or
+    /// in adjacent windows) — it is flapping, not recovering.
+    BreakerFlap {
+        /// Breaker opens observed in the last window.
+        opens: u64,
+    },
+    /// A route burned through its SLO error budget.
+    SloBurn {
+        /// The route over budget.
+        route: Route,
+        /// Burn rate: fraction of budget consumed, >1 means over budget.
+        burn: f64,
+    },
+}
+
+/// Per-queue health at one tick.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueHealth {
+    /// Router shard (worker id) owning the queue.
+    pub worker: u16,
+    /// Owning VM.
+    pub vm: u32,
+    /// Virtual submission queue.
+    pub vsq: u16,
+    /// In-flight requests.
+    pub open: usize,
+    /// Age of the oldest in-flight request (ns).
+    pub oldest_age_ns: Ns,
+    /// Completions observed for this queue in the last window.
+    pub completions: u64,
+    /// Whether the queue is currently judged stalled.
+    pub stalled: bool,
+}
+
+/// Cumulative per-route SLO accounting.
+#[derive(Clone, Copy, Debug)]
+pub struct SloStatus {
+    /// The route under the objective.
+    pub route: Route,
+    /// The latency objective.
+    pub objective_ns: Ns,
+    /// Required success fraction.
+    pub target: f64,
+    /// Complete requests observed so far.
+    pub total: u64,
+    /// Requests that missed the objective.
+    pub violations: u64,
+    /// Error-budget burn: `(violations/total) / (1 - target)`.
+    pub burn: f64,
+}
+
+/// The outcome of one watchdog tick.
+#[derive(Clone, Debug)]
+pub struct HealthReport {
+    /// Virtual time of the tick.
+    pub at: Ns,
+    /// Tick ordinal (1-based).
+    pub tick: u64,
+    /// Findings this tick (empty when healthy).
+    pub verdicts: Vec<HealthVerdict>,
+    /// Per-queue state for queues with in-flight requests or stalls.
+    pub queues: Vec<QueueHealth>,
+    /// Cumulative SLO accounting for configured routes.
+    pub slo: Vec<SloStatus>,
+    /// No stall, flap, or budget-burn verdicts this tick.
+    pub healthy: bool,
+}
+
+#[derive(Default)]
+struct LogInner {
+    reports: Vec<HealthReport>,
+    spans: Vec<Span>,
+    stats: AssemblyStats,
+    drain_missed: u64,
+}
+
+/// Shared, clonable sink for watchdog output. Clone it before handing the
+/// watchdog to the executor; read it after the run.
+#[derive(Clone, Default)]
+pub struct HealthLog(Arc<Mutex<LogInner>>);
+
+impl HealthLog {
+    /// All reports so far.
+    pub fn reports(&self) -> Vec<HealthReport> {
+        self.0.lock().unwrap().reports.clone()
+    }
+
+    /// All retired spans (empty unless [`WatchdogConfig::keep_spans`]).
+    pub fn spans(&self) -> Vec<Span> {
+        self.0.lock().unwrap().spans.clone()
+    }
+
+    /// Assembly bookkeeping as of the last tick.
+    pub fn stats(&self) -> AssemblyStats {
+        self.0.lock().unwrap().stats
+    }
+
+    /// Events lost to ring wrap between watchdog drains.
+    pub fn drain_missed(&self) -> u64 {
+        self.0.lock().unwrap().drain_missed
+    }
+
+    /// Whether any report carried a [`HealthVerdict::QueueStalled`].
+    pub fn saw_stall(&self) -> bool {
+        self.0.lock().unwrap().reports.iter().any(|r| {
+            r.verdicts
+                .iter()
+                .any(|v| matches!(v, HealthVerdict::QueueStalled { .. }))
+        })
+    }
+}
+
+/// Streaming per-queue accounting, updated straight from the drain
+/// visitor: two branches per router event, nothing per tick.
+#[derive(Default)]
+struct QueueState {
+    outstanding: u64,
+    completions_window: u64,
+    /// Start of the current no-progress epoch: the first fetch after the
+    /// queue was empty, bumped to the latest completion while requests
+    /// keep flowing. `now - epoch_start` over-approximates the oldest
+    /// in-flight request's age only while the queue makes progress — for
+    /// a stalled queue (no completions) it is exact from the last
+    /// completion onward, which is the case stall grading depends on.
+    epoch_start: Ns,
+    stalled: bool,
+}
+
+/// Queue identity: `(worker, vm, vsq)` — router shards number their VSQs
+/// independently, so the emitting worker is part of the key.
+type QueueKey = (u16, u32, u16);
+
+/// The only stages the streaming queue accounting reads; light-mode drains
+/// skip the full event copy for everything else.
+const QUEUE_STAGES: u32 = (1 << Stage::VsqFetch as u32) | (1 << Stage::VcqComplete as u32);
+
+/// One queue-accounting step, shared by the light (stage-filtered) and
+/// full (span-assembling) drain visitors. `cached` is a one-entry key
+/// cache: router events arrive batched per queue, so most events resolve
+/// their slot without touching the index map.
+#[inline]
+fn account(
+    states: &mut Vec<(QueueKey, QueueState)>,
+    index: &mut HashMap<QueueKey, usize>,
+    cached: &mut Option<(QueueKey, usize)>,
+    ev: &TraceEvent,
+) {
+    let key: QueueKey = (ev.worker, ev.vm, ev.vsq);
+    let slot = match *cached {
+        Some((k, i)) if k == key => i,
+        _ => {
+            let i = *index.entry(key).or_insert_with(|| {
+                states.push((key, QueueState::default()));
+                states.len() - 1
+            });
+            *cached = Some((key, i));
+            i
+        }
+    };
+    let q = &mut states[slot].1;
+    if ev.stage == Stage::VsqFetch {
+        if q.outstanding == 0 {
+            q.epoch_start = ev.ts_ns;
+        }
+        q.outstanding += 1;
+    } else {
+        q.outstanding = q.outstanding.saturating_sub(1);
+        q.completions_window += 1;
+        q.epoch_start = ev.ts_ns;
+    }
+}
+
+/// The periodic observer itself. See the module docs for semantics.
+pub struct StallWatchdog {
+    telemetry: Telemetry,
+    handle: TelemetryHandle,
+    cursor: TraceCursor,
+    assembler: SpanAssembler,
+    config: WatchdogConfig,
+    log: HealthLog,
+    buf: Vec<TraceEvent>,
+    /// Whether span assembly runs at all: only when spans are retained or
+    /// an SLO needs per-request latencies. The always-on stall/breaker
+    /// duties use the streaming queue accounting alone.
+    assemble: bool,
+    next_tick: Ns,
+    tick_no: u64,
+    /// Dense queue states plus a key index. Router events arrive batched
+    /// per queue, so the drain visitor runs a one-entry key cache in
+    /// front of the index and most events touch only the Vec.
+    queue_states: Vec<(QueueKey, QueueState)>,
+    queue_index: HashMap<QueueKey, usize>,
+    /// Set from the idle poll path when undrained events exist while no
+    /// queue is in flight — the state a freshly built rig (or a burst
+    /// after a quiet spell) is in before the first drain. Without it the
+    /// executor would see no next event from the watchdog and could leap
+    /// clean over a stall window.
+    pending_armed: bool,
+    spent: std::time::Duration,
+    breaker_opens_seen: u64,
+    breaker_opened_last_window: bool,
+    slo_total: [u64; Route::COUNT],
+    slo_violations: [u64; Route::COUNT],
+}
+
+impl StallWatchdog {
+    /// Builds a watchdog over `telemetry` and returns it with the shared
+    /// [`HealthLog`] its reports land in. Registers its own telemetry
+    /// worker ("watchdog") for the metrics it emits.
+    pub fn new(telemetry: &Telemetry, config: WatchdogConfig) -> (Self, HealthLog) {
+        let log = HealthLog::default();
+        let assemble = config.keep_spans || config.slo.iter().any(Option::is_some);
+        let wd = StallWatchdog {
+            telemetry: telemetry.clone(),
+            handle: telemetry.register_worker_named("watchdog"),
+            cursor: telemetry.cursor(),
+            assembler: SpanAssembler::new(),
+            next_tick: config.interval,
+            config,
+            log: log.clone(),
+            buf: Vec::new(),
+            assemble,
+            tick_no: 0,
+            queue_states: Vec::new(),
+            queue_index: HashMap::new(),
+            pending_armed: false,
+            spent: std::time::Duration::ZERO,
+            breaker_opens_seen: 0,
+            breaker_opened_last_window: false,
+            slo_total: [0; Route::COUNT],
+            slo_violations: [0; Route::COUNT],
+        };
+        (wd, log)
+    }
+
+    /// Wall-clock time spent inside [`StallWatchdog::tick`] so far — the
+    /// watchdog's self-attributed cost. The overhead bench reads this to
+    /// grade the watchdog against a baseline run without relying on
+    /// differential wall timing, which machine-load noise swamps at the
+    /// percent level.
+    pub fn spent(&self) -> std::time::Duration {
+        self.spent
+    }
+
+    /// Runs one health tick at `now` and returns the report (also appended
+    /// to the [`HealthLog`]). Called automatically from [`Actor::poll`];
+    /// public for offline/manual use.
+    pub fn tick(&mut self, now: Ns) -> HealthReport {
+        let t0 = std::time::Instant::now();
+        let report = self.tick_inner(now);
+        self.spent += t0.elapsed();
+        report
+    }
+
+    fn tick_inner(&mut self, now: Ns) -> HealthReport {
+        self.tick_no += 1;
+        self.handle.count(Metric::WatchdogTicks);
+
+        // Stream the rings since the last tick through the per-queue
+        // accounting (a few branches per event, no buffering); only when
+        // span assembly is on do events also land in the batch buffer.
+        for (_, q) in self.queue_states.iter_mut() {
+            q.completions_window = 0;
+        }
+        self.buf.clear();
+        let states = &mut self.queue_states;
+        let index = &mut self.queue_index;
+        let mut cached: Option<(QueueKey, usize)> = None;
+        let missed = if self.assemble {
+            let buf = &mut self.buf;
+            self.telemetry.drain_with(&mut self.cursor, |ev| {
+                if ev.vm != VM_ANY && matches!(ev.stage, Stage::VsqFetch | Stage::VcqComplete) {
+                    account(states, index, &mut cached, &ev);
+                }
+                buf.push(ev);
+            })
+        } else {
+            // Light mode never buffers: the stage-filtered drain copies
+            // out only fetch/complete events and peeks one byte of the
+            // rest, keeping the always-on watchdog cost per event tiny.
+            self.telemetry
+                .drain_stages(&mut self.cursor, QUEUE_STAGES, |ev| {
+                    if ev.vm != VM_ANY {
+                        account(states, index, &mut cached, &ev);
+                    }
+                })
+        };
+        let retired = if self.assemble {
+            self.assembler.extend(&self.buf);
+            self.assembler.retire_settled()
+        } else {
+            Vec::new()
+        };
+
+        let mut verdicts = Vec::new();
+
+        // --- SLO accounting over this tick's retired spans. ---
+        for span in &retired {
+            let Some(route) = span.route() else { continue };
+            let ri = route as usize;
+            let Some(slo) = self.config.slo[ri] else {
+                continue;
+            };
+            self.slo_total[ri] += 1;
+            if span.latency_ns() > slo.objective_ns {
+                self.slo_violations[ri] += 1;
+                self.handle.count(Metric::SloViolations);
+            }
+        }
+        let mut slo_status = Vec::new();
+        for route in Route::ALL {
+            let ri = route as usize;
+            let Some(slo) = self.config.slo[ri] else {
+                continue;
+            };
+            let total = self.slo_total[ri];
+            let violations = self.slo_violations[ri];
+            let budget = 1.0 - slo.target;
+            let burn = if total == 0 || budget <= 0.0 {
+                0.0
+            } else {
+                (violations as f64 / total as f64) / budget
+            };
+            if burn > 1.0 {
+                verdicts.push(HealthVerdict::SloBurn { route, burn });
+            }
+            slo_status.push(SloStatus {
+                route,
+                objective_ns: slo.objective_ns,
+                target: slo.target,
+                total,
+                violations,
+                burn,
+            });
+        }
+
+        // --- Stall detection per queue with in-flight requests, straight
+        // off the streaming accounting (O(#queues) per tick). ---
+        let mut queue_health = Vec::new();
+        for (key, state) in self.queue_states.iter_mut() {
+            let (worker, vm, vsq) = *key;
+            let was_stalled = state.stalled;
+            if state.outstanding == 0 && !was_stalled {
+                continue;
+            }
+            let done = state.completions_window;
+            let oldest_age = if state.outstanding > 0 {
+                now.saturating_sub(state.epoch_start)
+            } else {
+                0
+            };
+            let open = state.outstanding as usize;
+            let stalling = open > 0 && done == 0 && oldest_age >= self.config.stall_grace;
+            if stalling && !was_stalled {
+                state.stalled = true;
+                self.handle.count(Metric::StallsDetected);
+                verdicts.push(HealthVerdict::QueueStalled {
+                    worker,
+                    vm,
+                    vsq,
+                    open,
+                    oldest_age_ns: oldest_age,
+                });
+            } else if was_stalled && (done > 0 || open == 0) {
+                // A stalled queue that made progress (or fully drained)
+                // has recovered.
+                state.stalled = false;
+                self.handle.count(Metric::StallsCleared);
+                verdicts.push(HealthVerdict::QueueRecovered { worker, vm, vsq });
+            }
+            queue_health.push(QueueHealth {
+                worker,
+                vm,
+                vsq,
+                open,
+                oldest_age_ns: oldest_age,
+                completions: done,
+                stalled: state.stalled,
+            });
+        }
+
+        // --- Breaker flap: opens twice in one window, or in adjacent
+        // windows (open/half-open churn instead of settling). ---
+        let opens_total = self.telemetry.counter(Metric::BreakerOpens);
+        let opens = opens_total.saturating_sub(self.breaker_opens_seen);
+        self.breaker_opens_seen = opens_total;
+        if opens >= 2 || (opens >= 1 && self.breaker_opened_last_window) {
+            self.handle.count(Metric::BreakerFlaps);
+            verdicts.push(HealthVerdict::BreakerFlap { opens });
+        }
+        self.breaker_opened_last_window = opens > 0;
+
+        let healthy = !verdicts.iter().any(|v| {
+            matches!(
+                v,
+                HealthVerdict::QueueStalled { .. }
+                    | HealthVerdict::BreakerFlap { .. }
+                    | HealthVerdict::SloBurn { .. }
+            )
+        });
+        let report = HealthReport {
+            at: now,
+            tick: self.tick_no,
+            verdicts,
+            queues: queue_health,
+            slo: slo_status,
+            healthy,
+        };
+
+        {
+            let mut log = self.log.0.lock().unwrap();
+            log.reports.push(report.clone());
+            log.stats = *self.assembler.stats();
+            log.drain_missed += missed;
+            if self.config.keep_spans {
+                log.spans.extend(retired);
+            }
+        }
+        report
+    }
+
+    /// Final sweep: drain whatever is left, close every resident span
+    /// (complete or not), and move everything into the log. The watchdog
+    /// keeps working afterwards with a fresh assembler.
+    pub fn flush(&mut self, now: Ns) {
+        self.tick(now);
+        let report = std::mem::take(&mut self.assembler).finish();
+        let mut log = self.log.0.lock().unwrap();
+        log.stats = report.stats;
+        if self.config.keep_spans {
+            log.spans.extend(report.spans);
+        }
+    }
+
+    /// [`StallWatchdog::flush`] for offline use, consuming the watchdog
+    /// and handing back its log.
+    pub fn finish(mut self, now: Ns) -> HealthLog {
+        self.flush(now);
+        self.log
+    }
+
+    /// Wraps the watchdog for shared ownership: one clone goes into the
+    /// executor as an actor, the other stays with the harness so it can
+    /// [`StallWatchdog::flush`] after the run.
+    pub fn shared(self) -> SharedWatchdog {
+        SharedWatchdog {
+            name: self.name().to_string(),
+            inner: Arc::new(Mutex::new(self)),
+        }
+    }
+
+    fn watching(&self) -> bool {
+        self.pending_armed
+            || self
+                .queue_states
+                .iter()
+                .any(|(_, q)| q.outstanding > 0 || q.stalled)
+            || (self.assemble && self.assembler.in_flight() > 0)
+    }
+
+    /// Whether events have been published that no tick has drained yet.
+    /// Only consulted from the idle poll path while nothing else is being
+    /// watched, so its cost (a registry lock plus one load per ring) never
+    /// rides the busy-datapath schedule.
+    fn pending(&self) -> bool {
+        self.telemetry.recorded_total() > self.cursor.consumed()
+    }
+}
+
+impl Actor for StallWatchdog {
+    fn name(&self) -> &str {
+        "stall-watchdog"
+    }
+
+    fn poll(&mut self, now: Ns) -> Progress {
+        if now < self.next_tick {
+            if !self.watching() && self.pending() {
+                self.pending_armed = true;
+            }
+            return Progress::Idle;
+        }
+        self.pending_armed = false;
+        self.tick(now);
+        self.next_tick = now + self.config.interval;
+        Progress::Idle
+    }
+
+    fn next_event(&self) -> Option<Ns> {
+        // Keep scheduling ticks only while something is worth watching;
+        // otherwise the watchdog would keep an idle simulation running
+        // forever. When idle it still ticks piggybacked on other actors'
+        // events (poll fires whenever virtual time passes next_tick).
+        if self.watching() {
+            Some(self.next_tick)
+        } else {
+            None
+        }
+    }
+}
+
+/// Clonable handle to a watchdog shared between the executor (which polls
+/// it as an actor) and the harness (which flushes it after the run). See
+/// [`StallWatchdog::shared`].
+#[derive(Clone)]
+pub struct SharedWatchdog {
+    name: String,
+    inner: Arc<Mutex<StallWatchdog>>,
+}
+
+impl SharedWatchdog {
+    /// Runs `f` against the wrapped watchdog (e.g. a post-run
+    /// [`StallWatchdog::flush`]).
+    pub fn with<R>(&self, f: impl FnOnce(&mut StallWatchdog) -> R) -> R {
+        f(&mut self.inner.lock().unwrap())
+    }
+}
+
+impl Actor for SharedWatchdog {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn poll(&mut self, now: Ns) -> Progress {
+        self.inner.lock().unwrap().poll(now)
+    }
+
+    fn next_event(&self) -> Option<Ns> {
+        self.inner.lock().unwrap().next_event()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmetro_telemetry::PathKind;
+
+    fn request(
+        h: &TelemetryHandle,
+        t0: Ns,
+        vm: u32,
+        vsq: u16,
+        tag: u16,
+        gen: u8,
+        complete_at: Option<Ns>,
+    ) {
+        h.request_event(t0, vm, vsq, tag, gen, Stage::VsqFetch, PathKind::None);
+        h.request_event(t0 + 1, vm, vsq, tag, gen, Stage::Dispatched, PathKind::Fast);
+        if let Some(tc) = complete_at {
+            h.request_event(tc, vm, vsq, tag, gen, Stage::VcqComplete, PathKind::None);
+        }
+    }
+
+    #[test]
+    fn detects_stall_and_recovery() {
+        let telemetry = Telemetry::enabled();
+        let h = telemetry.register_worker_named("router");
+        let cfg = WatchdogConfig {
+            interval: 100,
+            stall_grace: 150,
+            ..WatchdogConfig::default()
+        };
+        let (mut wd, log) = StallWatchdog::new(&telemetry, cfg);
+
+        // A request enters at t=10 and hangs.
+        request(&h, 10, 0, 0, 1, 1, None);
+        let r1 = wd.tick(100);
+        assert!(r1.healthy, "age 90 < grace 150: {:?}", r1.verdicts);
+        let r2 = wd.tick(200);
+        assert!(!r2.healthy);
+        assert!(matches!(
+            r2.verdicts[0],
+            HealthVerdict::QueueStalled {
+                vm: 0,
+                vsq: 0,
+                open: 1,
+                ..
+            }
+        ));
+        // Stall is edge-triggered: no duplicate verdict next tick.
+        let r3 = wd.tick(300);
+        assert!(r3.verdicts.is_empty());
+
+        // The request completes; the queue recovers.
+        h.request_event(350, 0, 0, 1, 1, Stage::VcqComplete, PathKind::None);
+        let r4 = wd.tick(400);
+        assert!(r4
+            .verdicts
+            .iter()
+            .any(|v| matches!(v, HealthVerdict::QueueRecovered { vm: 0, vsq: 0, .. })));
+
+        assert!(log.saw_stall());
+        let counters = telemetry.counters();
+        assert_eq!(counters[Metric::StallsDetected as usize], 1);
+        assert_eq!(counters[Metric::StallsCleared as usize], 1);
+        assert_eq!(counters[Metric::WatchdogTicks as usize], 4);
+    }
+
+    #[test]
+    fn healthy_queue_with_progress_is_not_a_stall() {
+        let telemetry = Telemetry::enabled();
+        let h = telemetry.register_worker_named("router");
+        let (mut wd, _log) = StallWatchdog::new(
+            &telemetry,
+            WatchdogConfig {
+                interval: 100,
+                stall_grace: 50,
+                ..WatchdogConfig::default()
+            },
+        );
+        // One old in-flight request, but the queue keeps completing others.
+        request(&h, 10, 0, 0, 1, 1, None);
+        request(&h, 20, 0, 0, 2, 1, Some(90));
+        let r = wd.tick(100);
+        assert!(r.healthy, "{:?}", r.verdicts);
+        assert_eq!(r.queues.len(), 1);
+        assert_eq!(r.queues[0].completions, 1);
+    }
+
+    #[test]
+    fn slo_burn_fires_when_budget_exceeded() {
+        let telemetry = Telemetry::enabled();
+        let h = telemetry.register_worker_named("router");
+        let mut slo = [None; Route::COUNT];
+        slo[Route::Fast as usize] = Some(SloConfig {
+            objective_ns: 100,
+            target: 0.9, // 10% budget
+        });
+        let (mut wd, _log) = StallWatchdog::new(
+            &telemetry,
+            WatchdogConfig {
+                interval: 1000,
+                slo,
+                ..WatchdogConfig::default()
+            },
+        );
+        // 4 fast requests, half violate the 100ns objective.
+        for (i, lat) in [50u64, 500, 60, 600].iter().enumerate() {
+            let t0 = 10 + i as Ns * 1000;
+            request(&h, t0, 0, 0, i as u16, 1, Some(t0 + lat));
+        }
+        // Newer event so retire_settled releases all four.
+        request(&h, 50_000, 0, 0, 40, 2, None);
+        let r = wd.tick(60_000);
+        let burn = r
+            .verdicts
+            .iter()
+            .find_map(|v| match v {
+                HealthVerdict::SloBurn {
+                    route: Route::Fast,
+                    burn,
+                } => Some(*burn),
+                _ => None,
+            })
+            .expect("slo burn verdict");
+        assert!(burn > 1.0);
+        assert_eq!(r.slo[0].total, 4);
+        assert_eq!(r.slo[0].violations, 2);
+        assert_eq!(telemetry.counters()[Metric::SloViolations as usize], 2);
+    }
+
+    #[test]
+    fn breaker_flap_verdict_on_adjacent_window_opens() {
+        let telemetry = Telemetry::enabled();
+        let h = telemetry.register_worker_named("router");
+        let (mut wd, _log) = StallWatchdog::new(&telemetry, WatchdogConfig::default());
+        h.count(Metric::BreakerOpens);
+        let r1 = wd.tick(100);
+        assert!(r1.healthy, "single open is not a flap");
+        h.count(Metric::BreakerOpens);
+        let r2 = wd.tick(200);
+        assert!(matches!(
+            r2.verdicts[0],
+            HealthVerdict::BreakerFlap { opens: 1 }
+        ));
+        assert_eq!(telemetry.counters()[Metric::BreakerFlaps as usize], 1);
+    }
+
+    #[test]
+    fn next_event_is_none_when_nothing_in_flight() {
+        let telemetry = Telemetry::enabled();
+        let h = telemetry.register_worker_named("router");
+        let (mut wd, _log) = StallWatchdog::new(
+            &telemetry,
+            WatchdogConfig {
+                interval: 100 * US,
+                ..WatchdogConfig::default()
+            },
+        );
+        assert_eq!(wd.next_event(), None);
+        request(&h, 10, 0, 0, 1, 1, None);
+        wd.poll(200 * US);
+        assert!(wd.next_event().is_some(), "in-flight span schedules ticks");
+        h.request_event(300 * US, 0, 0, 1, 1, Stage::VcqComplete, PathKind::None);
+        // Two polls: one that sees the completion (and the stall clear),
+        // one after everything settled.
+        wd.poll(400 * US);
+        wd.poll(600 * US);
+        assert_eq!(wd.next_event(), None, "drained datapath stops the clock");
+    }
+
+    #[test]
+    fn keep_spans_accumulates_retired_spans_in_log() {
+        let telemetry = Telemetry::enabled();
+        let h = telemetry.register_worker_named("router");
+        let (wd, _) = StallWatchdog::new(
+            &telemetry,
+            WatchdogConfig {
+                keep_spans: true,
+                ..WatchdogConfig::default()
+            },
+        );
+        request(&h, 10, 0, 0, 1, 1, Some(100));
+        request(&h, 500, 0, 0, 2, 1, Some(600));
+        let log = wd.finish(1000);
+        assert_eq!(log.spans().len(), 2);
+        assert!(log.spans().iter().all(|s| s.complete));
+        assert_eq!(log.stats().spans_completed, 2);
+    }
+}

@@ -248,6 +248,14 @@ pub struct TraceEvent {
     pub vsq: u16,
     /// Router routing-table tag (carried as CID on internal queues).
     pub tag: u16,
+    /// Registration index of the worker whose ring holds this event
+    /// (stamped by the handle; identifies the shard for router events).
+    pub worker: u16,
+    /// Request generation: disambiguates reuse of the same routing-table
+    /// tag across requests. Router-side events carry a nonzero value
+    /// derived from the request's per-router sequence number; `0` means
+    /// "unknown" (below-router emitters only see the tag).
+    pub gen: u8,
     /// Lifecycle stage reached.
     pub stage: Stage,
     /// Path the stage refers to, if any.
@@ -261,6 +269,8 @@ impl Default for TraceEvent {
             vm: VM_ANY,
             vsq: 0,
             tag: 0,
+            worker: 0,
+            gen: 0,
             stage: Stage::VsqFetch,
             path: PathKind::None,
         }

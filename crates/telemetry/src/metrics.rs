@@ -80,11 +80,24 @@ pub enum Metric {
     ClassifierCompiled = 30,
     /// Classifier invocations answered from the verdict memo cache.
     ClassifierCacheHit = 31,
+    /// Circuit-breaker transitions into the Open state.
+    BreakerOpens = 32,
+    /// Stall-watchdog observation ticks performed.
+    WatchdogTicks = 33,
+    /// Queues the watchdog flagged as stalled (nonempty, no progress).
+    StallsDetected = 34,
+    /// Stalled queues the watchdog later observed making progress again.
+    StallsCleared = 35,
+    /// Breaker flap episodes (repeated opens within adjacent watchdog
+    /// windows) flagged by the watchdog.
+    BreakerFlaps = 36,
+    /// Completed requests that exceeded their route's SLO objective.
+    SloViolations = 37,
 }
 
 impl Metric {
     /// Number of metric slots.
-    pub const COUNT: usize = 32;
+    pub const COUNT: usize = 38;
 
     /// All metrics in slot order.
     pub const ALL: [Metric; Metric::COUNT] = [
@@ -120,6 +133,12 @@ impl Metric {
         Metric::ClassifierInterp,
         Metric::ClassifierCompiled,
         Metric::ClassifierCacheHit,
+        Metric::BreakerOpens,
+        Metric::WatchdogTicks,
+        Metric::StallsDetected,
+        Metric::StallsCleared,
+        Metric::BreakerFlaps,
+        Metric::SloViolations,
     ];
 
     /// Stable snake_case name for tables and JSON export.
@@ -157,6 +176,12 @@ impl Metric {
             Metric::ClassifierInterp => "classifier_interp",
             Metric::ClassifierCompiled => "classifier_compiled",
             Metric::ClassifierCacheHit => "classifier_cache_hit",
+            Metric::BreakerOpens => "breaker_opens",
+            Metric::WatchdogTicks => "watchdog_ticks",
+            Metric::StallsDetected => "stalls_detected",
+            Metric::StallsCleared => "stalls_cleared",
+            Metric::BreakerFlaps => "breaker_flaps",
+            Metric::SloViolations => "slo_violations",
         }
     }
 }

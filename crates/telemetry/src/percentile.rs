@@ -1,0 +1,99 @@
+//! The one histogram-summary helper.
+//!
+//! Before this module existed, the snapshot renderer, the bench binaries,
+//! and the workloads runner each hand-rolled their own
+//! count/mean/p50/p99/max extraction from a [`Histogram`]. They now all go
+//! through [`Percentiles::of`], so every table, CSV, JSON blob, and
+//! Prometheus exposition reports the same quantile definitions.
+
+use nvmetro_stats::Histogram;
+
+/// Fixed summary of one histogram: the quantile set every NVMetro export
+/// uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Percentiles {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Arithmetic mean of the samples.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl Percentiles {
+    /// Summarizes `h`. An empty histogram yields all zeros.
+    pub fn of(h: &Histogram) -> Self {
+        if h.count() == 0 {
+            return Percentiles::default();
+        }
+        Percentiles {
+            count: h.count(),
+            mean: h.mean(),
+            min: h.min(),
+            p50: h.quantile(0.50),
+            p90: h.quantile(0.90),
+            p99: h.quantile(0.99),
+            p999: h.quantile(0.999),
+            max: h.max(),
+        }
+    }
+
+    /// Renders as a JSON object (keys `count`, `mean`, `min`, `p50`,
+    /// `p90`, `p99`, `p999`, `max`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"mean\":{:.1},\"min\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"max\":{}}}",
+            self.count, self.mean, self.min, self.p50, self.p90, self.p99, self.p999, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let p = Percentiles::of(&Histogram::new());
+        assert_eq!(p, Percentiles::default());
+        assert_eq!(p.count, 0);
+    }
+
+    #[test]
+    fn matches_histogram_quantiles() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p = Percentiles::of(&h);
+        assert_eq!(p.count, 1000);
+        assert_eq!(p.min, h.min());
+        assert_eq!(p.max, h.max());
+        assert_eq!(p.p50, h.median());
+        assert_eq!(p.p99, h.p99());
+        assert_eq!(p.p999, h.quantile(0.999));
+        assert!(p.p50 <= p.p90 && p.p90 <= p.p99 && p.p99 <= p.p999);
+        assert!((p.mean - h.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut h = Histogram::new();
+        h.record(42);
+        let j = Percentiles::of(&h).to_json();
+        for key in ["count", "mean", "min", "p50", "p90", "p99", "p999", "max"] {
+            assert!(j.contains(&format!("\"{key}\":")), "missing {key} in {j}");
+        }
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+}

@@ -22,8 +22,12 @@ struct Slot {
 }
 
 /// Lock-free multi-producer ring of [`TraceEvent`] records.
+///
+/// Slot storage is allocated lazily on the first push: a registered worker
+/// that never traces (a counters-only observer like the stall watchdog)
+/// costs a few words, not `capacity * sizeof(TraceEvent)` of zeroed pages.
 pub struct TraceRing {
-    slots: Box<[Slot]>,
+    slots: std::sync::OnceLock<Box<[Slot]>>,
     cursor: AtomicU64,
     mask: u64,
 }
@@ -39,22 +43,27 @@ impl TraceRing {
     /// two, minimum 2).
     pub fn new(capacity: usize) -> Self {
         let cap = capacity.max(2).next_power_of_two();
-        let slots: Vec<Slot> = (0..cap)
-            .map(|_| Slot {
-                seq: AtomicU64::new(SEQ_EMPTY),
-                data: UnsafeCell::new(TraceEvent::default()),
-            })
-            .collect();
         TraceRing {
-            slots: slots.into_boxed_slice(),
+            slots: std::sync::OnceLock::new(),
             cursor: AtomicU64::new(0),
             mask: (cap - 1) as u64,
         }
     }
 
+    fn slots(&self) -> &[Slot] {
+        self.slots.get_or_init(|| {
+            (0..self.capacity())
+                .map(|_| Slot {
+                    seq: AtomicU64::new(SEQ_EMPTY),
+                    data: UnsafeCell::new(TraceEvent::default()),
+                })
+                .collect()
+        })
+    }
+
     /// Number of slots.
     pub fn capacity(&self) -> usize {
-        self.slots.len()
+        (self.mask + 1) as usize
     }
 
     /// Total events ever pushed (including any that have been overwritten).
@@ -69,8 +78,9 @@ impl TraceRing {
 
     /// Publishes one event. Lock-free; overwrites the oldest slot when full.
     pub fn push(&self, ev: TraceEvent) {
+        let slots = self.slots();
         let ticket = self.cursor.fetch_add(1, Ordering::Relaxed);
-        let slot = &self.slots[(ticket & self.mask) as usize];
+        let slot = &slots[(ticket & self.mask) as usize];
         slot.seq.store(SEQ_BUSY, Ordering::Relaxed);
         fence(Ordering::Release);
         // SAFETY: concurrent writers to the same slot are only possible
@@ -81,10 +91,110 @@ impl TraceRing {
         slot.seq.store(ticket + 1, Ordering::Release);
     }
 
+    /// Incrementally drains events published since `*next` (a ticket
+    /// cursor owned by the caller, starting at 0) into `out`, oldest
+    /// first, and advances the cursor to the current head. Returns the
+    /// number of events *missed*: tickets that fell between the cursor
+    /// and the oldest slot still resident (ring wrap outran the reader)
+    /// plus slots that failed seqlock validation (overwritten mid-copy).
+    /// Draining never blocks writers; a live consumer polling faster
+    /// than one `capacity` of pushes loses nothing.
+    pub fn drain(&self, next: &mut u64, out: &mut Vec<TraceEvent>) -> u64 {
+        self.drain_with(next, |ev| out.push(ev))
+    }
+
+    /// Zero-copy variant of [`TraceRing::drain`]: the visitor is invoked
+    /// once per validated event, oldest first, with no intermediate
+    /// buffer. Same cursor and missed-count semantics.
+    pub fn drain_with(&self, next: &mut u64, mut f: impl FnMut(TraceEvent)) -> u64 {
+        let head = self.cursor.load(Ordering::Acquire);
+        if *next >= head {
+            return 0;
+        }
+        let Some(slots) = self.slots.get() else {
+            return 0;
+        };
+        let oldest = head.saturating_sub(self.capacity() as u64);
+        let start = (*next).max(oldest);
+        let mut missed = start - *next;
+        for ticket in start..head {
+            let slot = &slots[(ticket & self.mask) as usize];
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 != ticket + 1 {
+                // Overwritten by a wrap (or still being written); lost.
+                missed += 1;
+                continue;
+            }
+            // SAFETY: validated by re-reading `seq` after the copy, as in
+            // `snapshot`.
+            let ev = unsafe { std::ptr::read_volatile(slot.data.get()) };
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) == s1 {
+                f(ev);
+            } else {
+                missed += 1;
+            }
+        }
+        *next = head;
+        missed
+    }
+
+    /// [`TraceRing::drain_with`] restricted to a stage set: `mask` has bit
+    /// `1 << (stage as u32)` set for every stage the visitor wants. Only
+    /// the one-byte stage field is read (and seqlock-validated) for
+    /// filtered-out events, so a consumer interested in a couple of
+    /// lifecycle stages skips most of the per-event copy cost. Cursor and
+    /// missed-count semantics match [`TraceRing::drain`]; filtered events
+    /// are consumed, not missed.
+    pub fn drain_stages(&self, next: &mut u64, mask: u32, mut f: impl FnMut(TraceEvent)) -> u64 {
+        let head = self.cursor.load(Ordering::Acquire);
+        if *next >= head {
+            return 0;
+        }
+        let Some(slots) = self.slots.get() else {
+            return 0;
+        };
+        let oldest = head.saturating_sub(self.capacity() as u64);
+        let start = (*next).max(oldest);
+        let mut missed = start - *next;
+        for ticket in start..head {
+            let slot = &slots[(ticket & self.mask) as usize];
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 != ticket + 1 {
+                missed += 1;
+                continue;
+            }
+            // SAFETY: peek a single Copy field; validity is established by
+            // re-reading `seq` afterwards, as for the full copy below.
+            let stage = unsafe { std::ptr::addr_of!((*slot.data.get()).stage).read_volatile() };
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != s1 {
+                missed += 1;
+                continue;
+            }
+            if mask & (1u32 << stage as u32) == 0 {
+                continue;
+            }
+            // SAFETY: validated by re-reading `seq` after the copy.
+            let ev = unsafe { std::ptr::read_volatile(slot.data.get()) };
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) == s1 {
+                f(ev);
+            } else {
+                missed += 1;
+            }
+        }
+        *next = head;
+        missed
+    }
+
     /// Copies out every currently-valid event, oldest first.
     pub fn snapshot(&self) -> Vec<TraceEvent> {
-        let mut keyed: Vec<(u64, TraceEvent)> = Vec::with_capacity(self.slots.len());
-        for slot in self.slots.iter() {
+        let Some(slots) = self.slots.get() else {
+            return Vec::new();
+        };
+        let mut keyed: Vec<(u64, TraceEvent)> = Vec::with_capacity(slots.len());
+        for slot in slots.iter() {
             let s1 = slot.seq.load(Ordering::Acquire);
             if s1 == SEQ_EMPTY || s1 == SEQ_BUSY {
                 continue;
@@ -111,10 +221,10 @@ mod tests {
         TraceEvent {
             ts_ns: ts,
             vm: 0,
-            vsq: 0,
             tag,
             stage: Stage::VsqFetch,
             path: PathKind::None,
+            ..TraceEvent::default()
         }
     }
 
@@ -171,6 +281,7 @@ mod tests {
                         tag: t as u16,
                         stage: Stage::VsqFetch,
                         path: PathKind::None,
+                        ..TraceEvent::default()
                     });
                 }
             }));
@@ -185,5 +296,45 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(r.recorded(), 40_000);
+    }
+
+    #[test]
+    fn drain_is_incremental_and_lossless_when_keeping_up() {
+        let r = TraceRing::new(8);
+        let mut cursor = 0u64;
+        let mut out = Vec::new();
+        for i in 0..5 {
+            r.push(ev(i, i as u16));
+        }
+        assert_eq!(r.drain(&mut cursor, &mut out), 0);
+        assert_eq!(out.len(), 5);
+        // Nothing new: drain is a no-op.
+        assert_eq!(r.drain(&mut cursor, &mut out), 0);
+        assert_eq!(out.len(), 5);
+        for i in 5..20 {
+            r.push(ev(i, i as u16));
+            assert_eq!(r.drain(&mut cursor, &mut out), 0);
+        }
+        assert_eq!(out.len(), 20);
+        for (i, e) in out.iter().enumerate() {
+            assert_eq!(e.ts_ns, i as u64);
+        }
+    }
+
+    #[test]
+    fn drain_counts_events_lost_to_wrap() {
+        let r = TraceRing::new(4);
+        let mut cursor = 0u64;
+        let mut out = Vec::new();
+        for i in 0..10 {
+            r.push(ev(i, i as u16));
+        }
+        // 10 pushed into 4 slots: only the newest 4 survive.
+        let missed = r.drain(&mut cursor, &mut out);
+        assert_eq!(missed, 6);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].ts_ns, 6);
+        assert_eq!(out[3].ts_ns, 9);
+        assert_eq!(cursor, 10);
     }
 }

@@ -3,6 +3,7 @@
 
 use crate::event::{Depth, Route, Segment, Stage, Tier, TraceEvent, VM_ANY};
 use crate::metrics::Metric;
+use crate::percentile::Percentiles;
 use nvmetro_stats::{Histogram, Table};
 use std::fmt::Write as _;
 
@@ -31,10 +32,15 @@ pub struct TelemetrySnapshot {
     /// Classifier invocation latency split by execution tier
     /// (interpreter / compiled / memo hit).
     pub tiers: [Histogram; Tier::COUNT],
-    /// Trace-ring contents, oldest first.
+    /// All workers' trace-ring contents, merged, oldest first.
     pub events: Vec<TraceEvent>,
-    /// Events lost to ring wrap-around.
+    /// Events lost to ring wrap-around, summed over all rings.
     pub dropped_events: u64,
+    /// Registered worker names, indexed by `TraceEvent::worker`.
+    pub workers: Vec<String>,
+    /// Events lost to wrap-around per worker ring (same indexing as
+    /// `workers`) — lets span assembly report coverage per shard.
+    pub ring_dropped: Vec<u64>,
 }
 
 impl TelemetrySnapshot {
@@ -48,6 +54,8 @@ impl TelemetrySnapshot {
             tiers: std::array::from_fn(|_| Histogram::new()),
             events: Vec::new(),
             dropped_events: 0,
+            workers: Vec::new(),
+            ring_dropped: Vec::new(),
         }
     }
 
@@ -143,16 +151,18 @@ impl TelemetrySnapshot {
     pub fn latency_table(&self) -> Table {
         let mut t = Table::new(
             "latency (ns)",
-            &["series", "count", "mean", "p50", "p99", "max"],
+            &["series", "count", "mean", "p50", "p99", "p999", "max"],
         );
         let mut push = |name: &str, h: &Histogram| {
+            let p = Percentiles::of(h);
             t.row(&[
                 name.to_string(),
-                h.count().to_string(),
-                format!("{:.0}", h.mean()),
-                h.median().to_string(),
-                h.p99().to_string(),
-                h.max().to_string(),
+                p.count.to_string(),
+                format!("{:.0}", p.mean),
+                p.p50.to_string(),
+                p.p99.to_string(),
+                p.p999.to_string(),
+                p.max.to_string(),
             ]);
         };
         for r in Route::ALL {
@@ -179,9 +189,10 @@ impl TelemetrySnapshot {
         out.push_str(&self.latency_table().render());
         let _ = writeln!(
             out,
-            "\ntrace: {} events buffered, {} dropped",
+            "\ntrace: {} events buffered, {} dropped across {} worker rings",
             self.events.len(),
-            self.dropped_events
+            self.dropped_events,
+            self.ring_dropped.len().max(1)
         );
         out
     }
@@ -198,11 +209,13 @@ impl TelemetrySnapshot {
             ]);
         }
         let series = |kind: &str, name: &str, h: &Histogram, t: &mut Table| {
+            let p = Percentiles::of(h);
             for (field, v) in [
-                ("count", h.count()),
-                ("p50", h.median()),
-                ("p99", h.p99()),
-                ("max", h.max()),
+                ("count", p.count),
+                ("p50", p.p50),
+                ("p99", p.p99),
+                ("p999", p.p999),
+                ("max", p.max),
             ] {
                 t.row(&[kind.into(), name.into(), field.into(), v.to_string()]);
             }
@@ -233,16 +246,7 @@ impl TelemetrySnapshot {
             let _ = write!(out, "\"{}\":{}", m.name(), self.get(*m));
         }
         out.push_str("},\"routes\":{");
-        let hist_json = |h: &Histogram| {
-            format!(
-                "{{\"count\":{},\"mean\":{:.1},\"p50\":{},\"p99\":{},\"max\":{}}}",
-                h.count(),
-                h.mean(),
-                h.median(),
-                h.p99(),
-                h.max()
-            )
-        };
+        let hist_json = |h: &Histogram| Percentiles::of(h).to_json();
         for (i, r) in Route::ALL.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -277,9 +281,16 @@ impl TelemetrySnapshot {
         }
         let _ = write!(
             out,
-            "}},\"dropped_events\":{},\"events\":[",
+            "}},\"dropped_events\":{},\"ring_dropped\":[",
             self.dropped_events
         );
+        for (i, d) in self.ring_dropped.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{d}");
+        }
+        out.push_str("],\"events\":[");
         for (i, e) in self.events.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -291,11 +302,13 @@ impl TelemetrySnapshot {
             };
             let _ = write!(
                 out,
-                "{{\"ts_ns\":{},\"vm\":{},\"vsq\":{},\"tag\":{},\"stage\":\"{}\",\"path\":\"{}\"}}",
+                "{{\"ts_ns\":{},\"vm\":{},\"vsq\":{},\"tag\":{},\"gen\":{},\"worker\":{},\"stage\":\"{}\",\"path\":\"{}\"}}",
                 e.ts_ns,
                 vm,
                 e.vsq,
                 e.tag,
+                e.gen,
+                e.worker,
                 e.stage.name(),
                 e.path.name()
             );
@@ -341,10 +354,10 @@ mod tests {
         TraceEvent {
             ts_ns: ts,
             vm,
-            vsq: 0,
             tag,
             stage,
             path,
+            ..TraceEvent::default()
         }
     }
 

@@ -232,7 +232,7 @@ where
             faults: opts.fault_plan.clone(),
         },
     );
-    ssd.attach_telemetry(telemetry.register_worker());
+    ssd.attach_telemetry(telemetry.register_worker_named("ssd"));
 
     // Remote secondary for the replication solutions.
     let needs_remote = matches!(
@@ -259,7 +259,7 @@ where
         )
     });
     if let Some(remote) = remote.as_mut() {
-        remote.attach_telemetry(telemetry.register_worker());
+        remote.attach_telemetry(telemetry.register_worker_named("remote-ssd"));
     }
 
     let part_lbas = opts.capacity_lbas / opts.vms as u64;
@@ -388,12 +388,14 @@ where
                     host_mem,
                     Box::new(
                         EncryptorUif::new(CryptoBackend::ModelOnly { sgx }, partition.lba_offset)
-                            .with_telemetry(telemetry.register_worker()),
+                            .with_telemetry(
+                                telemetry.register_worker_named(&format!("encryptor-vm{vm}")),
+                            ),
                     ),
                     workers,
                     false,
                 );
-                runner.attach_telemetry(telemetry.register_worker());
+                runner.attach_telemetry(telemetry.register_worker_named(&format!("uif-vm{vm}")));
                 ex.add(Box::new(runner));
                 // The SGX switchless thread parks when no calls are
                 // pending; its steady-state CPU is inside the runner's
@@ -440,13 +442,15 @@ where
                     host_mem,
                     Box::new(
                         ReplicatorUif::new()
-                            .with_telemetry(telemetry.register_worker())
+                            .with_telemetry(
+                                telemetry.register_worker_named(&format!("replicator-vm{vm}")),
+                            )
                             .with_faults(&opts.fault_plan),
                     ),
                     1,
                     false,
                 );
-                runner.attach_telemetry(telemetry.register_worker());
+                runner.attach_telemetry(telemetry.register_worker_named(&format!("uif-vm{vm}")));
                 ex.add(Box::new(runner));
                 builder = Some(builder.take().unwrap().vm(VmBinding {
                     vm_id: vm as u32,

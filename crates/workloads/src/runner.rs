@@ -4,6 +4,7 @@ use crate::fio::FioConfig;
 use crate::rig::{build_fio_rig, RigOptions, SolutionKind};
 use nvmetro_sim::{Ns, SEC};
 use nvmetro_stats::Histogram;
+use nvmetro_telemetry::Percentiles;
 
 /// Results of one fio run.
 #[derive(Clone, Debug)]
@@ -64,10 +65,11 @@ pub fn run_fio(kind: SolutionKind, cfg: &FioConfig, opts: &RigOptions) -> FioRes
     // would be credited their queued-up completions against the short
     // submission window, inflating their throughput.
     let window = duration;
+    let lat = Percentiles::of(&hist);
     FioResult {
         iops: completed as f64 * SEC as f64 / window as f64,
-        median_ns: hist.median(),
-        p99_ns: hist.p99(),
+        median_ns: lat.p50,
+        p99_ns: lat.p99,
         cpu_ns: report.total_cpu(),
         cpu_cores: report.cpu_cores(),
         duration,

@@ -10,10 +10,11 @@ use nvmetro::core::engine::RouterBuilder;
 use nvmetro::core::router::VmBinding;
 use nvmetro::core::{passthrough_program, Partition, VirtualController, VmConfig};
 use nvmetro::device::{CompletionMode, SimSsd, SsdConfig};
+use nvmetro::insight::{assemble, chrome_trace, prometheus_text};
 use nvmetro::nvme::{CqPair, SqPair, SubmissionEntry};
 use nvmetro::sim::cost::CostModel;
 use nvmetro::sim::Executor;
-use nvmetro::telemetry::{lifecycle_table, Telemetry};
+use nvmetro::telemetry::{lifecycle_table, Metric, Telemetry};
 
 fn main() {
     // 0. A telemetry registry: every worker below registers a shard, and
@@ -103,6 +104,41 @@ fn main() {
     if let Some(req) = snap.requests().first() {
         let life = snap.lifecycle(req.vm, req.vsq, req.tag);
         println!("{}", lifecycle_table(&life).render());
+    }
+
+    // 8. Insight: fold the raw events into per-request spans, then export
+    //    them two ways — a Chrome `trace_event` file (open it in
+    //    chrome://tracing or https://ui.perfetto.dev) and a
+    //    Prometheus-style text exposition for scraping.
+    let spans = assemble(&snap);
+    println!(
+        "insight: {} span(s) reconstructed, coverage {:.0}% of {} completed request(s)",
+        spans.spans.len(),
+        spans.coverage(snap.get(Metric::Completed)) * 100.0,
+        snap.get(Metric::Completed),
+    );
+    if let Some(span) = spans.spans.iter().find(|s| s.complete) {
+        println!(
+            "  write span: {} events over {:.1}us end to end",
+            span.events.len(),
+            span.latency_ns() as f64 / 1000.0
+        );
+    }
+    let trace = chrome_trace(&spans.spans, &telemetry.worker_names());
+    std::fs::create_dir_all("target").ok();
+    std::fs::write("target/quickstart_trace.json", &trace).expect("write trace");
+    println!(
+        "chrome trace -> target/quickstart_trace.json ({} bytes)",
+        trace.len()
+    );
+    let prom = prometheus_text(&snap);
+    let preview: Vec<&str> = prom.lines().take(4).collect();
+    println!(
+        "prometheus exposition ({} lines), head:",
+        prom.lines().count()
+    );
+    for line in preview {
+        println!("  {line}");
     }
     println!("quickstart OK");
 }

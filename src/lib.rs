@@ -27,6 +27,7 @@
 //! | [`sim`] | virtual-time executor, CPU accounting, cost model |
 //! | [`stats`] | histograms and result tables |
 //! | [`telemetry`] | request-lifecycle tracing, sharded metrics, snapshots |
+//! | [`insight`] | span reconstruction, tail attribution, stall watchdog, trace export |
 //!
 //! ## Quickstart
 //!
@@ -40,6 +41,7 @@ pub use nvmetro_crypto as crypto;
 pub use nvmetro_device as device;
 pub use nvmetro_faults as faults;
 pub use nvmetro_functions as functions;
+pub use nvmetro_insight as insight;
 pub use nvmetro_kernel as kernel;
 pub use nvmetro_mem as mem;
 pub use nvmetro_nvme as nvme;

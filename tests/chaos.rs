@@ -16,12 +16,13 @@ use nvmetro::core::{Partition, RecoveryConfig, VirtualController, VmConfig};
 use nvmetro::device::{CompletionMode, SimSsd, SsdConfig, Transport};
 use nvmetro::faults::{CmdClass, FaultAction, FaultPlan, FaultRule, FaultSite};
 use nvmetro::functions::{build_replicator_classifier, ReplicatorUif};
+use nvmetro::insight::{SpanAssembler, StallWatchdog, WatchdogConfig};
 use nvmetro::kernel::{DmConfig, KernelDm, RouterKernelPath};
 use nvmetro::mem::GuestMemory;
 use nvmetro::nvme::{CqPair, NvmOpcode, SqPair, Status, SubmissionEntry};
 use nvmetro::sim::cost::CostModel;
 use nvmetro::sim::{Actor, Executor, MS, US};
-use nvmetro::telemetry::{Metric, Telemetry};
+use nvmetro::telemetry::{Metric, Stage, Telemetry};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -241,6 +242,20 @@ fn chaos_matrix_exactly_once_across_all_routes() {
         ex.add(Box::new(ssd));
         ex.add(Box::new(uif));
 
+        // The insight watchdog rides along, reconstructing every request
+        // into a span so the recovery counters can be cross-checked
+        // against per-span stage evidence after the run.
+        let (wd, insight_log) = StallWatchdog::new(
+            &telemetry,
+            WatchdogConfig {
+                interval: 500 * US,
+                keep_spans: true,
+                ..WatchdogConfig::default()
+            },
+        );
+        let shared_wd = wd.shared();
+        ex.add(Box::new(shared_wd.clone()));
+
         const WRITES: u16 = 48;
         const FLUSHES: u16 = 16;
 
@@ -289,7 +304,7 @@ fn chaos_matrix_exactly_once_across_all_routes() {
             gsq.push(cmd).unwrap();
             read_buf.insert(600 + i, gpa);
         }
-        ex.run(u64::MAX);
+        let run2 = ex.run(u64::MAX);
 
         let mut rcounts = HashMap::new();
         let mut rstatuses = HashMap::new();
@@ -353,6 +368,51 @@ fn chaos_matrix_exactly_once_across_all_routes() {
             snap.get(Metric::Completed),
             (WRITES + FLUSHES + WRITES) as u64,
             "seed {seed:#x}"
+        );
+
+        // --- Insight: the reconstructed spans must carry the recovery
+        // story. With zero ring drops, every Abort/Retry the router
+        // counted is attributable to a specific request's span, retried
+        // and failed-over requests still reconstruct to completion, and
+        // no span completes twice. ---
+        shared_wd.with(|w| w.flush(run2.duration + 1));
+        assert_eq!(insight_log.drain_missed(), 0, "seed {seed:#x}");
+        let spans = insight_log.spans();
+        let complete = spans.iter().filter(|s| s.complete).count() as u64;
+        assert_eq!(
+            complete,
+            snap.get(Metric::Completed),
+            "seed {seed:#x}: every completed request reconstructs into a span"
+        );
+        for s in spans.iter().filter(|s| s.complete) {
+            assert_eq!(
+                s.count(Stage::VcqComplete),
+                1,
+                "seed {seed:#x}: complete spans carry exactly one terminal completion"
+            );
+        }
+        let retry_events: u64 = spans.iter().map(|s| s.count(Stage::Retry) as u64).sum();
+        let abort_events: u64 = spans.iter().map(|s| s.count(Stage::Abort) as u64).sum();
+        assert_eq!(
+            retry_events,
+            snap.get(Metric::Retries),
+            "seed {seed:#x}: per-span retry evidence sums to the Retries counter"
+        );
+        assert_eq!(
+            abort_events,
+            snap.get(Metric::Aborts),
+            "seed {seed:#x}: per-span abort evidence sums to the Aborts counter"
+        );
+        assert!(
+            spans
+                .iter()
+                .filter(|s| s.has(Stage::Retry))
+                .all(|s| s.attempts() >= 2),
+            "seed {seed:#x}: retried spans report multiple attempts"
+        );
+        assert!(
+            spans.iter().any(|s| s.has(Stage::Abort) && s.complete),
+            "seed {seed:#x}: deadline-aborted requests still reconstruct to completion"
         );
     }
 }
@@ -502,6 +562,35 @@ fn breaker_fails_fast_path_over_to_kernel_and_recovers() {
     );
     let snap = telemetry.snapshot();
     assert_eq!(snap.get(Metric::Failovers), router.stats().failovers);
+
+    // --- Insight: every breaker failover is visible as a Failover stage
+    // inside the affected request's reconstructed span, and those spans
+    // still complete (on the kernel path). ---
+    let mut cursor = telemetry.cursor();
+    let mut events = Vec::new();
+    let missed = telemetry.drain(&mut cursor, &mut events);
+    assert_eq!(missed, 0, "ring kept every event of this short run");
+    events.sort_by_key(|e| e.ts_ns);
+    let mut asm = SpanAssembler::new();
+    asm.extend(&events);
+    let report = asm.finish();
+    let failover_events: u64 = report
+        .spans
+        .iter()
+        .map(|s| s.count(Stage::Failover) as u64)
+        .sum();
+    assert_eq!(
+        failover_events,
+        router.stats().failovers,
+        "per-span failover evidence sums to the Failovers counter"
+    );
+    assert!(
+        report
+            .spans
+            .iter()
+            .any(|s| s.has(Stage::Failover) && s.complete),
+        "failed-over requests reconstruct into complete spans"
+    );
 }
 
 #[test]
