@@ -41,4 +41,13 @@ NVMETRO_BENCH_MS="${NVMETRO_BENCH_MS:-100}" \
 python3 -c "import json; d=json.load(open('target/insight_trace.json')); assert d['traceEvents'], 'empty trace'" \
   || { echo "insight trace failed JSON validation"; exit 1; }
 
+echo "==> fleet smoke (writes BENCH_fleet.json)"
+# Asserts the fleet bars: >= 1000 VM queue groups bound and finished
+# exactly-once, coalescing >= 1.2x IOPS and >= 20% device-occupancy cut
+# on the device-bound hot set, weight-normalized Jain fairness >= 0.5.
+NVMETRO_BENCH_MS="${NVMETRO_BENCH_MS:-20}" \
+  cargo run --release -q -p nvmetro-bench --bin fleet_report
+python3 -c "import json; d=json.load(open('BENCH_fleet.json')); assert d['fleet_exactly_once'] and d['fleet_queue_groups'] >= 1000" \
+  || { echo "BENCH_fleet.json failed validation"; exit 1; }
+
 echo "CI OK"

@@ -30,6 +30,7 @@ use crate::controller::Partition;
 use crate::recovery::RecoveryConfig;
 use crate::router::{KernelPath, NotifyBinding, Router, RouterStats, VmBinding, DEFAULT_BATCH};
 use crate::threading::Pool;
+use nvmetro_fleet::{CoalesceConfig, FleetConfig, TenantView};
 use nvmetro_mem::GuestMemory;
 use nvmetro_nvme::{CqConsumer, CqProducer, SqConsumer, SqProducer};
 use nvmetro_sim::cost::CostModel;
@@ -128,6 +129,8 @@ pub struct RouterBuilder {
     recovery: Option<RecoveryConfig>,
     telemetry: Telemetry,
     memo_capacity: Option<usize>,
+    fleet: Option<FleetConfig>,
+    coalesce: Option<CoalesceConfig>,
     vms: Vec<EngineVm>,
 }
 
@@ -146,6 +149,8 @@ impl RouterBuilder {
             recovery: None,
             telemetry: Telemetry::disabled(),
             memo_capacity: None,
+            fleet: None,
+            coalesce: None,
             vms: Vec::new(),
         }
     }
@@ -207,6 +212,27 @@ impl RouterBuilder {
         self
     }
 
+    /// Turns the fleet scheduler on for every shard: the VSQ drain
+    /// switches from FIFO visit order to weighted deficit-round-robin
+    /// over tenants with token-bucket admission. All shards share the
+    /// config's [`TenantGovernor`](nvmetro_fleet::TenantGovernor), so one
+    /// control plane sees (and throttles) every shard.
+    pub fn fleet(mut self, cfg: FleetConfig) -> Self {
+        self.fleet = Some(cfg);
+        self
+    }
+
+    /// Turns cross-VM read coalescing on for every shard: concurrent
+    /// duplicate fast-path reads (same post-mediation LBA range) issue one
+    /// device command and fan the completion out. Note coalescing works
+    /// *within* a shard — requests meet in its routing table — so tenants
+    /// sharing a dataset coalesce best when their queue groups land on the
+    /// same shard.
+    pub fn coalesce(mut self, cfg: CoalesceConfig) -> Self {
+        self.coalesce = Some(cfg);
+        self
+    }
+
     /// Adds a VM. Accepts a full [`EngineVm`] (multi-queue) or a legacy
     /// [`VmBinding`] (one queue group).
     pub fn vm(mut self, vm: impl Into<EngineVm>) -> Self {
@@ -236,6 +262,12 @@ impl RouterBuilder {
                 r.configure_telemetry(self.telemetry.register_worker_named(&name));
                 if let Some(cfg) = self.recovery {
                     r.configure_recovery(cfg);
+                }
+                if let Some(cfg) = &self.fleet {
+                    r.configure_fleet(cfg);
+                }
+                if let Some(cfg) = self.coalesce {
+                    r.configure_coalesce(cfg);
                 }
                 r
             })
@@ -294,8 +326,21 @@ pub struct BreakerState {
     pub opens: u64,
 }
 
+/// One tenant's fleet-scheduler state on one shard, as surfaced by
+/// [`EngineStats`]: who is being limited, and why (tokens gone, deficit
+/// spent, or a feedback throttle in force).
+#[derive(Clone, Copy, Debug)]
+pub struct TenantState {
+    /// Shard the scheduler slot lives on.
+    pub shard: usize,
+    /// Scheduler view: tenant id, weight, deficit, tokens remaining,
+    /// configured rate, throttle scale, and admission counters.
+    pub view: TenantView,
+}
+
 /// Aggregated view over every shard: merged counters, per-shard
-/// breakdowns, breaker states, and table high-water marks.
+/// breakdowns, breaker states, per-tenant scheduler state, and table
+/// high-water marks.
 #[derive(Clone, Debug, Default)]
 pub struct EngineStats {
     /// Field-wise sum of every shard's counters.
@@ -305,6 +350,9 @@ pub struct EngineStats {
     /// Every (shard, VM) circuit breaker, in shard-then-slot order (empty
     /// when recovery is off).
     pub breakers: Vec<BreakerState>,
+    /// Every (shard, tenant) fleet-scheduler slot, in shard-then-tenant
+    /// order (empty when fleet mode is off).
+    pub tenants: Vec<TenantState>,
     /// Highest routing-table occupancy any shard reached.
     pub high_water: usize,
 }
@@ -322,6 +370,52 @@ impl EngineStats {
             .filter(|b| b.vm_id == vm_id)
             .map(|b| b.opens)
             .sum()
+    }
+
+    /// Whether any shard's scheduler currently has `vm_id` throttled
+    /// below full rate.
+    pub fn tenant_throttled(&self, vm_id: u32) -> bool {
+        self.tenants
+            .iter()
+            .any(|t| t.view.tenant == vm_id && t.view.throttle_permille < nvmetro_fleet::FULL_RATE)
+    }
+
+    /// Requests admitted for `vm_id` across all shards.
+    pub fn tenant_admitted(&self, vm_id: u32) -> u64 {
+        self.tenants
+            .iter()
+            .filter(|t| t.view.tenant == vm_id)
+            .map(|t| t.view.admitted)
+            .sum()
+    }
+
+    /// Renders the per-tenant scheduler table (one row per shard×tenant):
+    /// weight, deficit, tokens, throttle, and admission counters — the
+    /// snapshot view of who is being limited and why.
+    pub fn tenant_table(&self) -> String {
+        let mut out = String::from(
+            "shard tenant weight deficit tokens throttle admitted throttled preempted\n",
+        );
+        for t in &self.tenants {
+            let tokens = if t.view.tokens == u64::MAX {
+                "-".to_string()
+            } else {
+                t.view.tokens.to_string()
+            };
+            out.push_str(&format!(
+                "{:>5} {:>6} {:>6} {:>7} {:>6} {:>7}‰ {:>8} {:>9} {:>9}\n",
+                t.shard,
+                t.view.tenant,
+                t.view.weight,
+                t.view.deficit,
+                tokens,
+                t.view.throttle_permille,
+                t.view.admitted,
+                t.view.throttled,
+                t.view.preempted,
+            ));
+        }
+        out
     }
 }
 
@@ -370,6 +464,9 @@ impl Engine {
                         opens: breaker.opens(),
                     });
                 }
+            }
+            for view in shard.fleet_view() {
+                stats.tenants.push(TenantState { shard: i, view });
             }
         }
         stats

@@ -45,6 +45,7 @@ pub use classify::{
 pub use controller::{Partition, VirtualController, VmConfig};
 pub use engine::{
     BreakerState, Engine, EngineStats, EngineVm, Placement, QueueBinding, RouterBuilder,
+    TenantState,
 };
 pub use guest::{GuestDriver, GuestError, GuestInfo};
 pub use recovery::{CircuitBreaker, Gate, RecoveryConfig};

@@ -26,6 +26,10 @@ use crate::classify::{
 use crate::controller::Partition;
 use crate::recovery::{CircuitBreaker, Gate, RecoveryConfig};
 use crate::routing::{RequestState, RoutingTable};
+use nvmetro_fleet::{
+    Admit, CoalesceConfig, CoalesceStats, CoalesceWindow, FleetConfig, Join, TenantScheduler,
+    TenantView,
+};
 use nvmetro_mem::GuestMemory;
 use nvmetro_nvme::{
     CompletionEntry, CqConsumer, CqProducer, SqConsumer, SqProducer, Status, SubmissionEntry,
@@ -119,6 +123,17 @@ pub struct RouterStats {
     pub cq_notifies: u64,
     /// Coalesced VCQ flushes (at most one per poll).
     pub cq_batches: u64,
+    /// Cross-VM duplicate reads parked as coalescing followers instead of
+    /// being dispatched (fleet coalescing window).
+    pub coalesced_reads: u64,
+    /// Follower completions fanned out from coalescing leaders' terminal
+    /// completions.
+    pub coalesce_fanout: u64,
+    /// Admissions denied by a tenant's token bucket (fleet scheduler).
+    pub sched_throttled: u64,
+    /// Tenant drain visits cut short by DRR deficit exhaustion (fleet
+    /// scheduler).
+    pub sched_preemptions: u64,
 }
 
 impl RouterStats {
@@ -141,6 +156,10 @@ impl RouterStats {
         self.late_completions += other.late_completions;
         self.cq_notifies += other.cq_notifies;
         self.cq_batches += other.cq_batches;
+        self.coalesced_reads += other.coalesced_reads;
+        self.coalesce_fanout += other.coalesce_fanout;
+        self.sched_throttled += other.sched_throttled;
+        self.sched_preemptions += other.sched_preemptions;
     }
 }
 
@@ -194,6 +213,18 @@ pub struct Router {
     timers: BinaryHeap<Reverse<Timer>>,
     retryq: BinaryHeap<Reverse<RetryEntry>>,
     next_seq: u64,
+    /// Fleet-mode per-tenant admission scheduler (None = FIFO drain).
+    fleet: Option<TenantScheduler>,
+    /// VM-binding index → scheduler slot, parallel to `vms`.
+    fleet_slots: Vec<usize>,
+    /// Rotating start index for the scheduled VSQ drain, so tenant visit
+    /// order itself is fair across rounds.
+    drain_cursor: usize,
+    /// Earliest time deferred (throttled/preempted) backlog should be
+    /// re-examined; merged into `next_event`.
+    sched_recheck: Option<Ns>,
+    /// Cross-VM read coalescing window (None = no coalescing).
+    coalesce: Option<CoalesceWindow>,
     /// Stage-coverage audit (debug builds only): sequence numbers that
     /// already emitted their terminal `VcqComplete`, to debug-assert that
     /// no request terminates twice.
@@ -226,6 +257,11 @@ impl Router {
             timers: BinaryHeap::new(),
             retryq: BinaryHeap::new(),
             next_seq: 0,
+            fleet: None,
+            fleet_slots: Vec::new(),
+            drain_cursor: 0,
+            sched_recheck: None,
+            coalesce: None,
             #[cfg(debug_assertions)]
             finished_seqs: std::collections::HashSet::new(),
         }
@@ -292,6 +328,35 @@ impl Router {
         self.batch = batch.max(1);
     }
 
+    /// Turns the fleet scheduler on: the VSQ drain switches from
+    /// unconditional FIFO visit order to weighted deficit-round-robin over
+    /// tenants with token-bucket admission (configured via
+    /// `RouterBuilder::fleet`). Completion drains are never scheduled —
+    /// throttling a tenant's completions would only hold table slots
+    /// hostage.
+    pub(crate) fn configure_fleet(&mut self, cfg: &FleetConfig) {
+        let mut sched = TenantScheduler::new(cfg);
+        self.fleet_slots = self.vms.iter().map(|v| sched.slot(v.vm_id)).collect();
+        self.fleet = Some(sched);
+    }
+
+    /// Turns cross-VM read coalescing on (configured via
+    /// `RouterBuilder::coalesce`).
+    pub(crate) fn configure_coalesce(&mut self, cfg: CoalesceConfig) {
+        self.coalesce = Some(CoalesceWindow::new(cfg));
+    }
+
+    /// Per-tenant scheduler state on this shard (empty without fleet
+    /// mode), sorted by tenant id.
+    pub fn fleet_view(&self) -> Vec<TenantView> {
+        self.fleet.as_ref().map(|f| f.view()).unwrap_or_default()
+    }
+
+    /// Coalescing-window counters, when coalescing is on.
+    pub fn coalesce_stats(&self) -> Option<CoalesceStats> {
+        self.coalesce.as_ref().map(|w| w.stats())
+    }
+
     /// The configured per-queue batch bound.
     pub fn batch(&self) -> usize {
         self.batch
@@ -299,6 +364,9 @@ impl Router {
 
     /// Binds a VM; returns its index.
     pub fn bind_vm(&mut self, binding: VmBinding) -> usize {
+        if let Some(f) = self.fleet.as_mut() {
+            self.fleet_slots.push(f.slot(binding.vm_id));
+        }
         self.vms.push(binding);
         let cfg = self.recovery.unwrap_or_default();
         self.breakers.push(CircuitBreaker::new(
@@ -390,13 +458,97 @@ impl Router {
             // New guest commands (after completions: frees table slots).
             // Each SQ visit drains at most `batch` entries, so one flooding
             // queue cannot starve its neighbours: the round-robin moves on
-            // and returns once every other queue has had its turn.
-            for vsq in 0..self.vms[vm].vsqs.len() {
+            // and returns once every other queue has had its turn. In
+            // fleet mode admission is the scheduler's call instead — see
+            // `drain_vsqs_scheduled`.
+            if self.fleet.is_none() {
+                for vsq in 0..self.vms[vm].vsqs.len() {
+                    let mut drained = 0u64;
+                    for _ in 0..batch {
+                        let Some((cmd, _)) = self.vms[vm].vsqs[vsq].pop() else {
+                            break;
+                        };
+                        self.station.push(
+                            Work::Ingress {
+                                vm,
+                                vsq: vsq as u16,
+                                cmd,
+                            },
+                            self.cost.router_cmd + self.cost.classifier_run,
+                            now,
+                        );
+                        drained += 1;
+                        any = true;
+                    }
+                    if drained > 0 {
+                        self.telemetry.depth(Depth::SqBurst, drained);
+                    }
+                }
+            }
+        }
+        if self.fleet.is_some() {
+            any |= self.drain_vsqs_scheduled(now);
+        }
+        if any && self.telemetry.enabled() {
+            self.telemetry
+                .depth(Depth::TableOccupancy, self.table.in_flight() as u64);
+        }
+        any
+    }
+
+    /// Fleet-mode VSQ drain: one DRR round over all tenants, visit order
+    /// rotating round to round. Admission of each command is gated by the
+    /// tenant's deficit (weighted share of the round) and token bucket
+    /// (rate + burst, scaled by the governor's throttle knob); a denial
+    /// skips the tenant's remaining queues for this round. Deferred
+    /// backlog arms `sched_recheck` so `next_event` keeps virtual time
+    /// moving even when every other actor has gone quiet.
+    fn drain_vsqs_scheduled(&mut self, now: Ns) -> bool {
+        let n = self.vms.len();
+        if n == 0 {
+            return false;
+        }
+        let batch = self.batch;
+        let mut any = false;
+        let start = self.drain_cursor % n;
+        self.drain_cursor = self.drain_cursor.wrapping_add(1);
+        self.sched_recheck = None;
+        let mut sched = self.fleet.take().expect("fleet mode");
+        sched.new_round();
+        for k in 0..n {
+            let vm = (start + k) % n;
+            let slot = self.fleet_slots[vm];
+            let mut served = 0u64;
+            let mut denied = false;
+            'vm_queues: for vsq in 0..self.vms[vm].vsqs.len() {
                 let mut drained = 0u64;
                 for _ in 0..batch {
-                    let Some((cmd, _)) = self.vms[vm].vsqs[vsq].pop() else {
+                    if self.vms[vm].vsqs[vsq].is_empty() {
                         break;
-                    };
+                    }
+                    match sched.admit(slot, now) {
+                        Admit::Granted => {}
+                        Admit::Throttled => {
+                            self.stats.sched_throttled += 1;
+                            self.telemetry.count(Metric::ThrottleApplied);
+                            let at = sched.next_token_at(slot, now);
+                            self.sched_recheck = Some(self.sched_recheck.map_or(at, |r| r.min(at)));
+                            denied = true;
+                            break 'vm_queues;
+                        }
+                        Admit::Exhausted => {
+                            self.stats.sched_preemptions += 1;
+                            self.telemetry.count(Metric::SchedulerPreemptions);
+                            // The next DRR round happens on the next poll;
+                            // schedule one in case the rig is otherwise
+                            // idle.
+                            let at = now + US;
+                            self.sched_recheck = Some(self.sched_recheck.map_or(at, |r| r.min(at)));
+                            denied = true;
+                            break 'vm_queues;
+                        }
+                    }
+                    let (cmd, _) = self.vms[vm].vsqs[vsq].pop().expect("checked non-empty");
                     self.station.push(
                         Work::Ingress {
                             vm,
@@ -407,17 +559,20 @@ impl Router {
                         now,
                     );
                     drained += 1;
+                    served += 1;
                     any = true;
                 }
                 if drained > 0 {
                     self.telemetry.depth(Depth::SqBurst, drained);
                 }
             }
+            let backlog_empty = !denied && self.vms[vm].vsqs.iter().all(|q| q.is_empty());
+            sched.end_visit(slot, backlog_empty);
+            if served > 0 {
+                self.telemetry.depth(Depth::TenantServed, served);
+            }
         }
-        if any && self.telemetry.enabled() {
-            self.telemetry
-                .depth(Depth::TableOccupancy, self.table.in_flight() as u64);
-        }
+        self.fleet = Some(sched);
         any
     }
 
@@ -669,6 +824,11 @@ impl Router {
             self.finish(vm, tag, Status::PATH_ERROR, t);
             return;
         }
+        if self.coalesce.is_some() && self.try_coalesce(vm, tag, verdict) {
+            // Parked as a follower of an in-flight duplicate read: no
+            // dispatch; the leader's terminal completion fans out to it.
+            return;
+        }
         self.dispatch(
             vm,
             tag,
@@ -677,6 +837,69 @@ impl Router {
             verdict.will_complete_mask(),
             t,
         );
+    }
+
+    /// Offers a request to the cross-VM coalescing window. Only pristine
+    /// single-fast-path reads are eligible: no hooks, no multicast, no
+    /// prior dispatch or retry — anything else keeps its own device
+    /// command and its own fault-handling state machine. Returns true if
+    /// the request was parked as a follower (it must not be dispatched).
+    fn try_coalesce(&mut self, vm: usize, tag: u16, verdict: Verdict) -> bool {
+        const NVM_READ: u8 = 0x02;
+        let state = self.table.get(tag).expect("tracked");
+        if state.cmd.opcode != NVM_READ
+            || verdict.send_mask() != path_bits::HQ
+            || verdict.hook_mask() != 0
+            || verdict.will_complete_mask() != path_bits::HQ
+            || state.sent_paths != 0
+            || state.pending != 0
+            || state.retries != 0
+        {
+            return false;
+        }
+        // The key is the post-mediation (physical) range, so two VMs whose
+        // classifiers translate different guest LBAs to the same physical
+        // blocks do coalesce, and identical guest LBAs in disjoint
+        // partitions do not.
+        let (slba, nlb) = (state.cmd.slba(), state.cmd.nlb());
+        // Followers skip dispatch() and with it the fast-path isolation
+        // check; re-check partition bounds here so a request can only ever
+        // coalesce onto data its own VM is allowed to read.
+        if !self.vms[vm].partition.contains(slba, nlb) {
+            return false; // dispatch() rejects it with LBA_OUT_OF_RANGE
+        }
+        let win = self.coalesce.as_mut().expect("coalesce checked by caller");
+        match win.try_join(slba, nlb, vm, tag) {
+            Join::Follower(_leader) => {
+                self.stats.coalesced_reads += 1;
+                self.telemetry.count(Metric::CoalescedReads);
+                true
+            }
+            // Leaders dispatch normally; the window watches their tag.
+            // Bypass (window bounds hit) degrades to plain dispatch.
+            Join::Leader | Join::Bypass => false,
+        }
+    }
+
+    /// Fans a coalescing leader's terminal status out to its parked
+    /// followers: each gets its own guest CQE with the leader's status,
+    /// exactly once (`resolve` retires the key and is idempotent, and
+    /// followers were never dispatched, so no path completion, retry, or
+    /// timer can ever touch them again).
+    fn resolve_coalesced(&mut self, tag: u16, status: Status, t: Ns) {
+        let followers = match self.coalesce.as_mut() {
+            Some(win) => win.resolve(tag),
+            None => return,
+        };
+        if followers.is_empty() {
+            return;
+        }
+        self.stats.coalesce_fanout += followers.len() as u64;
+        self.telemetry
+            .add(Metric::CoalesceFanout, followers.len() as u64);
+        for w in followers {
+            self.finish(w.vm, w.tag, status, t);
+        }
     }
 
     /// Sends a request down a set of paths. Retries replay this with the
@@ -878,6 +1101,13 @@ impl Router {
     fn finish(&mut self, vm: usize, tag: u16, status: Status, t: Ns) {
         if self.try_retry(vm, tag, status, t) {
             return;
+        }
+        // This is a *terminal* answer (retries are exhausted or not
+        // applicable): if the tag led a coalesced read, its parked
+        // followers inherit exactly the status this guest is about to see
+        // — including aborts and post-failover statuses.
+        if self.coalesce.is_some() {
+            self.resolve_coalesced(tag, status, t);
         }
         if let Some(cfg) = self.recovery {
             if let Some(state) = self.table.get(tag) {
@@ -1224,6 +1454,12 @@ impl Actor for Router {
             next = Some(next.map_or(at, |n| n.min(at)));
         }
         if let Some(&Reverse((at, ..))) = self.retryq.peek() {
+            next = Some(next.map_or(at, |n| n.min(at)));
+        }
+        // Fleet-scheduler wake-up: backlog deferred by a token bucket or
+        // deficit preemption must be revisited even if every guest is
+        // quietly waiting on its completions.
+        if let Some(at) = self.sched_recheck {
             next = Some(next.map_or(at, |n| n.min(at)));
         }
         next

@@ -1,0 +1,214 @@
+//! Cross-VM read coalescing window.
+//!
+//! Many tenants hammering a shared dataset (an image base layer, a hot
+//! index block) produce *concurrent duplicate reads*: same LBA range, in
+//! flight at the same instant, from different VMs. The router is the one
+//! place that sees all of them, so it can issue **one** device command and
+//! fan the completion back to every waiting (vm, vsq, tag) — the
+//! cross-IP request coalescing argument, applied to the NVMe mediator.
+//!
+//! This module is pure bookkeeping and owns no requests: the router calls
+//! [`CoalesceWindow::try_join`] after classification (only for plain
+//! fast-path reads — anything with hooks, multicast, mediation retries, or
+//! non-read opcodes bypasses the window), parks followers undispatched in
+//! its routing table, and calls [`CoalesceWindow::resolve`] when the
+//! leader reaches its *terminal* completion — after retries and breaker
+//! failover have run their course — so followers inherit exactly the
+//! status the leader's guest saw and are completed exactly once.
+//!
+//! The window is bounded (`max_keys` live leader keys, `max_fanout`
+//! followers per leader); overflow degrades to plain dispatch, never to
+//! queuing.
+
+use std::collections::HashMap;
+
+/// Bounds for the coalescing window.
+#[derive(Clone, Copy, Debug)]
+pub struct CoalesceConfig {
+    /// Maximum distinct in-flight leader keys tracked.
+    pub max_keys: usize,
+    /// Maximum followers fanned out per leader.
+    pub max_fanout: usize,
+}
+
+impl Default for CoalesceConfig {
+    fn default() -> Self {
+        CoalesceConfig {
+            max_keys: 1024,
+            max_fanout: 64,
+        }
+    }
+}
+
+/// Outcome of offering a read to the window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Join {
+    /// First in-flight read of this range: dispatch it; the window will
+    /// watch its tag for the terminal completion.
+    Leader,
+    /// Duplicate of an in-flight leader (whose tag is carried): do not
+    /// dispatch; park and await the leader's fan-out.
+    Follower(u16),
+    /// Window bounds exceeded: dispatch normally, uncoalesced.
+    Bypass,
+}
+
+/// A parked duplicate read awaiting its leader's completion.
+#[derive(Clone, Copy, Debug)]
+pub struct Waiter {
+    /// Router VM-binding slot of the follower.
+    pub vm: usize,
+    /// Routing-table tag of the follower.
+    pub tag: u16,
+}
+
+struct LeaderEntry {
+    key: (u64, u32),
+    waiters: Vec<Waiter>,
+}
+
+/// Aggregate window counters (monotonic).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoalesceStats {
+    /// Reads parked as followers instead of dispatched.
+    pub coalesced: u64,
+    /// Follower completions fanned out from leader completions.
+    pub fanned_out: u64,
+    /// Reads registered as leaders.
+    pub leaders: u64,
+}
+
+/// Duplicate-read tracker keyed by post-mediation `(slba, nlb)`. See the
+/// module docs for the protocol.
+pub struct CoalesceWindow {
+    cfg: CoalesceConfig,
+    index: HashMap<(u64, u32), u16>,
+    leaders: HashMap<u16, LeaderEntry>,
+    stats: CoalesceStats,
+}
+
+impl CoalesceWindow {
+    /// Creates an empty window.
+    pub fn new(cfg: CoalesceConfig) -> Self {
+        CoalesceWindow {
+            cfg,
+            index: HashMap::new(),
+            leaders: HashMap::new(),
+            stats: CoalesceStats::default(),
+        }
+    }
+
+    /// Offers an in-flight read (`slba`, `nlb`, owned by `vm`/`tag`) to
+    /// the window. The caller must only offer plain single-path reads
+    /// whose tag is live in its routing table.
+    pub fn try_join(&mut self, slba: u64, nlb: u32, vm: usize, tag: u16) -> Join {
+        let key = (slba, nlb);
+        if let Some(&leader) = self.index.get(&key) {
+            let entry = self
+                .leaders
+                .get_mut(&leader)
+                .expect("index entry without leader entry");
+            if entry.waiters.len() >= self.cfg.max_fanout {
+                return Join::Bypass;
+            }
+            entry.waiters.push(Waiter { vm, tag });
+            self.stats.coalesced += 1;
+            Join::Follower(leader)
+        } else {
+            if self.leaders.len() >= self.cfg.max_keys {
+                return Join::Bypass;
+            }
+            self.index.insert(key, tag);
+            self.leaders.insert(
+                tag,
+                LeaderEntry {
+                    key,
+                    waiters: Vec::new(),
+                },
+            );
+            self.stats.leaders += 1;
+            Join::Leader
+        }
+    }
+
+    /// Resolves a terminal completion for `tag`. If it was a live leader,
+    /// returns the parked followers (to be completed with the leader's
+    /// status) and retires the key; otherwise returns empty. Idempotent:
+    /// a second resolve of the same tag is a no-op.
+    pub fn resolve(&mut self, tag: u16) -> Vec<Waiter> {
+        match self.leaders.remove(&tag) {
+            Some(entry) => {
+                self.index.remove(&entry.key);
+                self.stats.fanned_out += entry.waiters.len() as u64;
+                entry.waiters
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Live leader keys currently tracked.
+    pub fn live_leaders(&self) -> usize {
+        self.leaders.len()
+    }
+
+    /// Followers currently parked across all leaders.
+    pub fn parked(&self) -> usize {
+        self.leaders.values().map(|e| e.waiters.len()).sum()
+    }
+
+    /// Monotonic window counters.
+    pub fn stats(&self) -> CoalesceStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leader_then_followers_then_fanout() {
+        let mut w = CoalesceWindow::new(CoalesceConfig::default());
+        assert_eq!(w.try_join(100, 8, 0, 1), Join::Leader);
+        assert_eq!(w.try_join(100, 8, 1, 2), Join::Follower(1));
+        assert_eq!(w.try_join(100, 8, 2, 3), Join::Follower(1));
+        // Different range → independent leader.
+        assert_eq!(w.try_join(200, 8, 1, 4), Join::Leader);
+        assert_eq!(w.parked(), 2);
+        let fan = w.resolve(1);
+        assert_eq!(fan.len(), 2);
+        assert_eq!(fan[0].tag, 2);
+        assert_eq!(fan[1].tag, 3);
+        // Key retired: the next duplicate becomes a fresh leader.
+        assert_eq!(w.try_join(100, 8, 0, 5), Join::Leader);
+        // Resolve is idempotent and ignores non-leaders.
+        assert!(w.resolve(1).is_empty());
+        assert!(w.resolve(2).is_empty());
+        let s = w.stats();
+        assert_eq!(s.coalesced, 2);
+        assert_eq!(s.fanned_out, 2);
+        assert_eq!(s.leaders, 3);
+    }
+
+    #[test]
+    fn bounds_degrade_to_bypass() {
+        let mut w = CoalesceWindow::new(CoalesceConfig {
+            max_keys: 1,
+            max_fanout: 1,
+        });
+        assert_eq!(w.try_join(1, 1, 0, 1), Join::Leader);
+        assert_eq!(w.try_join(2, 1, 0, 2), Join::Bypass); // key table full
+        assert_eq!(w.try_join(1, 1, 0, 3), Join::Follower(1));
+        assert_eq!(w.try_join(1, 1, 0, 4), Join::Bypass); // fanout full
+        assert_eq!(w.resolve(1).len(), 1);
+        assert_eq!(w.live_leaders(), 0);
+    }
+
+    #[test]
+    fn exact_match_only() {
+        let mut w = CoalesceWindow::new(CoalesceConfig::default());
+        assert_eq!(w.try_join(100, 8, 0, 1), Join::Leader);
+        // Same start, different length — not a duplicate.
+        assert_eq!(w.try_join(100, 16, 0, 2), Join::Leader);
+    }
+}

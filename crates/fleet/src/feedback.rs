@@ -1,0 +1,308 @@
+//! Insight → scheduler feedback: throttle the aggressor, never the victim.
+//!
+//! PR 5's stall watchdog already diagnoses fleet sickness — `QueueStalled`
+//! names the victim queue, `SloBurn` flags a route burning its latency
+//! budget. This actor closes the loop: it tails the [`HealthLog`], and
+//! when the fleet stays unhealthy for a configured number of consecutive
+//! windows it picks the **aggressor** — the tenant admitting the most
+//! requests over the window that is *not* among the stalled victims — and
+//! multiplicatively tightens its [`TenantGovernor`] throttle knob. The
+//! shard schedulers see the knob on their next token refill; no datapath
+//! coordination is needed.
+//!
+//! Hysteresis works in both directions: tightening requires
+//! `trigger_after` consecutive unhealthy windows (and restarts the count
+//! after each step), relaxing requires `relax_after` consecutive healthy
+//! windows per step. The throttle never drops below `floor_permille`, so
+//! an aggressor is squeezed, not starved, and a mis-identified aggressor
+//! keeps making progress while the loop re-evaluates.
+
+use crate::governor::{TenantGovernor, FULL_RATE};
+use nvmetro_insight::{HealthLog, HealthVerdict};
+use nvmetro_sim::{Actor, Ns, Progress, MS};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
+
+/// Tuning for the feedback loop.
+#[derive(Clone, Copy, Debug)]
+pub struct FeedbackConfig {
+    /// Evaluation window (virtual time between ticks).
+    pub interval: Ns,
+    /// Consecutive unhealthy windows before (each) tightening step.
+    pub trigger_after: u32,
+    /// Consecutive healthy windows before (each) relaxing step.
+    pub relax_after: u32,
+    /// Multiplicative step in permille: each tighten scales the throttle
+    /// by `(1000 - step) / 1000`.
+    pub step_permille: u32,
+    /// Lower bound on the throttle — the aggressor is never starved.
+    pub floor_permille: u32,
+}
+
+impl Default for FeedbackConfig {
+    fn default() -> Self {
+        FeedbackConfig {
+            interval: MS,
+            trigger_after: 2,
+            relax_after: 4,
+            step_permille: 300,
+            floor_permille: 100,
+        }
+    }
+}
+
+/// One actuation taken by the loop (audit trail).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FeedbackAction {
+    /// Tightened `tenant`'s throttle to `permille`.
+    Tighten {
+        /// Virtual time of the actuation.
+        at: Ns,
+        /// Throttled tenant.
+        tenant: u32,
+        /// New throttle scale.
+        permille: u32,
+    },
+    /// Relaxed `tenant`'s throttle to `permille`.
+    Relax {
+        /// Virtual time of the actuation.
+        at: Ns,
+        /// Relaxed tenant.
+        tenant: u32,
+        /// New throttle scale.
+        permille: u32,
+    },
+}
+
+/// Cloneable audit log of feedback actuations.
+#[derive(Clone, Default)]
+pub struct FeedbackLog(Arc<Mutex<Vec<FeedbackAction>>>);
+
+impl FeedbackLog {
+    /// All actuations so far, in order.
+    pub fn actions(&self) -> Vec<FeedbackAction> {
+        self.0.lock().unwrap().clone()
+    }
+
+    fn push(&self, a: FeedbackAction) {
+        self.0.lock().unwrap().push(a);
+    }
+}
+
+/// The feedback actor. Add it to the executor alongside the watchdog that
+/// feeds `log`; it is cheap (a few map lookups per window) and piggybacks
+/// on other actors' events, scheduling its own only while a throttle is
+/// active and must eventually be relaxed.
+pub struct InsightFeedback {
+    name: String,
+    log: HealthLog,
+    governor: TenantGovernor,
+    cfg: FeedbackConfig,
+    actions: FeedbackLog,
+    seen_reports: usize,
+    last_admitted: HashMap<u32, u64>,
+    victims: HashSet<u32>,
+    unhealthy_streak: u32,
+    healthy_streak: u32,
+    target: Option<u32>,
+    next_tick: Ns,
+}
+
+impl InsightFeedback {
+    /// Creates the actor tailing `log` and actuating `governor`. Returns
+    /// the actor and a cloneable audit log.
+    pub fn new(
+        log: HealthLog,
+        governor: TenantGovernor,
+        cfg: FeedbackConfig,
+    ) -> (Self, FeedbackLog) {
+        let actions = FeedbackLog::default();
+        (
+            InsightFeedback {
+                name: "insight-feedback".to_string(),
+                log,
+                governor,
+                cfg,
+                actions: actions.clone(),
+                seen_reports: 0,
+                last_admitted: HashMap::new(),
+                victims: HashSet::new(),
+                unhealthy_streak: 0,
+                healthy_streak: 0,
+                target: None,
+                next_tick: cfg.interval,
+            },
+            actions,
+        )
+    }
+
+    /// The tenant currently throttled by this loop, if any.
+    pub fn target(&self) -> Option<u32> {
+        self.target
+    }
+
+    fn tick(&mut self, now: Ns) {
+        let reports = self.log.reports();
+        let fresh = &reports[self.seen_reports.min(reports.len())..];
+        self.seen_reports = reports.len();
+        if fresh.is_empty() {
+            // No watchdog windows closed since our last look; without new
+            // evidence neither streak advances.
+            return;
+        }
+        let mut unhealthy = false;
+        for r in fresh {
+            if !r.healthy {
+                unhealthy = true;
+            }
+            for v in &r.verdicts {
+                if let HealthVerdict::QueueStalled { vm, .. } = v {
+                    self.victims.insert(*vm);
+                }
+            }
+        }
+
+        // Admission deltas over the window, from the shared governor.
+        let snap = self.governor.snapshot();
+        let mut deltas: Vec<(u32, u64)> = Vec::with_capacity(snap.len());
+        for v in &snap {
+            let prev = self.last_admitted.insert(v.tenant, v.admitted);
+            deltas.push((v.tenant, v.admitted - prev.unwrap_or(0)));
+        }
+
+        if unhealthy {
+            self.unhealthy_streak += 1;
+            self.healthy_streak = 0;
+        } else {
+            self.healthy_streak += 1;
+            self.unhealthy_streak = 0;
+        }
+
+        if self.unhealthy_streak >= self.cfg.trigger_after {
+            // Stick with the current target while it is still the top
+            // non-victim talker; otherwise re-elect.
+            let aggressor = self
+                .target
+                .filter(|t| !self.victims.contains(t))
+                .or_else(|| {
+                    deltas
+                        .iter()
+                        .filter(|(t, _)| !self.victims.contains(t))
+                        .max_by_key(|&&(t, d)| (d, std::cmp::Reverse(t)))
+                        .map(|&(t, _)| t)
+                });
+            if let Some(t) = aggressor {
+                let cur = self.governor.throttle_of(t);
+                let next = (cur * (FULL_RATE - self.cfg.step_permille) / FULL_RATE)
+                    .max(self.cfg.floor_permille);
+                if next < cur {
+                    self.governor.set_throttle(t, next);
+                    self.actions.push(FeedbackAction::Tighten {
+                        at: now,
+                        tenant: t,
+                        permille: next,
+                    });
+                }
+                self.target = Some(t);
+            }
+            // Each step requires a fresh run of unhealthy windows.
+            self.unhealthy_streak = 0;
+        }
+
+        if self.healthy_streak >= self.cfg.relax_after {
+            if let Some(t) = self.target {
+                let cur = self.governor.throttle_of(t);
+                let denom = (FULL_RATE - self.cfg.step_permille).max(1);
+                let next = (cur * FULL_RATE / denom + 1).min(FULL_RATE);
+                self.governor.set_throttle(t, next);
+                self.actions.push(FeedbackAction::Relax {
+                    at: now,
+                    tenant: t,
+                    permille: next,
+                });
+                if next >= FULL_RATE {
+                    self.target = None;
+                    self.victims.clear();
+                }
+            }
+            self.healthy_streak = 0;
+        }
+    }
+}
+
+impl Actor for InsightFeedback {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn poll(&mut self, now: Ns) -> Progress {
+        if now < self.next_tick {
+            return Progress::Idle;
+        }
+        self.tick(now);
+        self.next_tick = now + self.cfg.interval;
+        Progress::Idle
+    }
+
+    fn next_event(&self) -> Option<Ns> {
+        // Schedule our own wake-ups only while an actuation is live (a
+        // throttled tenant must eventually be relaxed even if the fleet
+        // goes quiet). Otherwise piggyback on datapath events, like the
+        // watchdog, so an idle simulation can terminate.
+        if self.target.is_some() {
+            Some(self.next_tick)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmetro_insight::{StallWatchdog, WatchdogConfig};
+    use nvmetro_telemetry::Telemetry;
+
+    /// Build a HealthLog we can drive by hand through a watchdog over an
+    /// empty telemetry stream — then inject reports via the real rig in
+    /// integration tests. Here we only exercise streak arithmetic, using
+    /// the private tick() through the Actor interface would need a real
+    /// watchdog; instead fabricate reports by running a watchdog with no
+    /// traffic (healthy windows) and assert relaxation bookkeeping.
+    #[test]
+    fn healthy_windows_relax_and_clear_target() {
+        let telemetry = Telemetry::enabled();
+        let (mut wd, log) = StallWatchdog::new(
+            &telemetry,
+            WatchdogConfig {
+                interval: MS,
+                ..WatchdogConfig::default()
+            },
+        );
+        let gov = TenantGovernor::new();
+        gov.set_throttle(5, 400);
+        let cfg = FeedbackConfig {
+            interval: MS,
+            relax_after: 1,
+            step_permille: 300,
+            ..FeedbackConfig::default()
+        };
+        let (mut fb, actions) = InsightFeedback::new(log, gov.clone(), cfg);
+        fb.target = Some(5);
+        // Drive watchdog + feedback through enough healthy windows for
+        // the throttle to fully relax.
+        let mut now = MS;
+        for _ in 0..16 {
+            wd.poll(now);
+            fb.poll(now);
+            now += MS;
+        }
+        assert_eq!(gov.throttle_of(5), FULL_RATE);
+        assert_eq!(fb.target(), None);
+        let acts = actions.actions();
+        assert!(!acts.is_empty());
+        assert!(acts
+            .iter()
+            .all(|a| matches!(a, FeedbackAction::Relax { tenant: 5, .. })));
+    }
+}

@@ -1,0 +1,174 @@
+//! Shared per-tenant control plane: throttle knobs and admission counters.
+//!
+//! The [`TenantGovernor`] is the rendezvous point between the sharded
+//! datapath and the control loop. Each router shard holds an
+//! [`Arc<TenantCell>`] per tenant it schedules (resolved once, at tenant
+//! registration) and touches only the cell's atomics on the hot path; the
+//! [insight feedback actor](crate::feedback) reads admission counters to
+//! spot the aggressor and writes `throttle_permille` to tighten its token
+//! bucket. No locks are taken after registration, so a shard never stalls
+//! on the control plane.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Full throttle authority: the tenant's configured rate is unscaled.
+pub const FULL_RATE: u32 = 1000;
+
+/// Per-tenant shared state. Writers are the shard schedulers (counters)
+/// and the feedback actor (`throttle_permille`); everything is relaxed
+/// atomics — the values are statistics and a rate knob, not a lock.
+#[derive(Debug)]
+pub struct TenantCell {
+    /// Scale applied to the tenant's configured token rate, in permille.
+    /// `1000` = untouched; `500` = half rate. Never read below the
+    /// feedback loop's configured floor.
+    throttle_permille: AtomicU32,
+    /// Requests admitted by the scheduler (all shards).
+    admitted: AtomicU64,
+    /// Admission attempts denied by the token bucket (all shards).
+    throttled: AtomicU64,
+}
+
+impl TenantCell {
+    fn new() -> Self {
+        TenantCell {
+            throttle_permille: AtomicU32::new(FULL_RATE),
+            admitted: AtomicU64::new(0),
+            throttled: AtomicU64::new(0),
+        }
+    }
+
+    /// Current throttle scale in permille of the configured rate.
+    pub fn throttle(&self) -> u32 {
+        self.throttle_permille.load(Ordering::Relaxed)
+    }
+
+    /// Sets the throttle scale (clamped to `0..=1000`).
+    pub fn set_throttle(&self, permille: u32) {
+        self.throttle_permille
+            .store(permille.min(FULL_RATE), Ordering::Relaxed);
+    }
+
+    /// Records one admitted request.
+    pub fn note_admitted(&self) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one token-bucket denial.
+    pub fn note_throttled(&self) {
+        self.throttled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Token-bucket denials so far.
+    pub fn throttled(&self) -> u64 {
+        self.throttled.load(Ordering::Relaxed)
+    }
+}
+
+/// Point-in-time view of one tenant's control-plane state.
+#[derive(Clone, Copy, Debug)]
+pub struct GovernorView {
+    /// Tenant (VM) id.
+    pub tenant: u32,
+    /// Current throttle scale in permille (1000 = unthrottled).
+    pub throttle_permille: u32,
+    /// Requests admitted across all shards.
+    pub admitted: u64,
+    /// Token-bucket denials across all shards.
+    pub throttled: u64,
+}
+
+/// Cloneable registry of [`TenantCell`]s, shared by every shard's
+/// scheduler and the feedback actor. The registry lock is only taken on
+/// first sight of a tenant and in control-plane snapshots.
+#[derive(Clone, Default)]
+pub struct TenantGovernor {
+    cells: Arc<Mutex<HashMap<u32, Arc<TenantCell>>>>,
+}
+
+impl TenantGovernor {
+    /// Creates an empty governor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolves (registering on first sight) the shared cell for `tenant`.
+    pub fn cell(&self, tenant: u32) -> Arc<TenantCell> {
+        let mut cells = self.cells.lock().unwrap();
+        cells
+            .entry(tenant)
+            .or_insert_with(|| Arc::new(TenantCell::new()))
+            .clone()
+    }
+
+    /// Sets the throttle scale for `tenant` (registering it if needed).
+    pub fn set_throttle(&self, tenant: u32, permille: u32) {
+        self.cell(tenant).set_throttle(permille);
+    }
+
+    /// Current throttle scale for `tenant`; `FULL_RATE` if unknown.
+    pub fn throttle_of(&self, tenant: u32) -> u32 {
+        let cells = self.cells.lock().unwrap();
+        cells.get(&tenant).map_or(FULL_RATE, |c| c.throttle())
+    }
+
+    /// True if any tenant is currently throttled below full rate.
+    pub fn any_throttled(&self) -> bool {
+        let cells = self.cells.lock().unwrap();
+        cells.values().any(|c| c.throttle() < FULL_RATE)
+    }
+
+    /// Control-plane snapshot, sorted by tenant id.
+    pub fn snapshot(&self) -> Vec<GovernorView> {
+        let cells = self.cells.lock().unwrap();
+        let mut out: Vec<GovernorView> = cells
+            .iter()
+            .map(|(&tenant, c)| GovernorView {
+                tenant,
+                throttle_permille: c.throttle(),
+                admitted: c.admitted(),
+                throttled: c.throttled(),
+            })
+            .collect();
+        out.sort_by_key(|v| v.tenant);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_are_shared_and_clamped() {
+        let gov = TenantGovernor::new();
+        let a = gov.cell(7);
+        let b = gov.clone().cell(7);
+        a.set_throttle(2000);
+        assert_eq!(b.throttle(), FULL_RATE);
+        b.set_throttle(250);
+        assert_eq!(gov.throttle_of(7), 250);
+        assert!(gov.any_throttled());
+        a.note_admitted();
+        a.note_throttled();
+        let snap = gov.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].tenant, 7);
+        assert_eq!(snap[0].admitted, 1);
+        assert_eq!(snap[0].throttled, 1);
+    }
+
+    #[test]
+    fn unknown_tenant_reads_full_rate() {
+        let gov = TenantGovernor::new();
+        assert_eq!(gov.throttle_of(99), FULL_RATE);
+        assert!(!gov.any_throttled());
+    }
+}

@@ -1,0 +1,38 @@
+//! Fleet-scale multi-tenancy for NVMetro.
+//!
+//! A single NVMe mediator in front of thousands of VM queue groups needs
+//! more than a correct datapath: it needs *tenancy*. This crate is the
+//! fleet layer the router plugs into:
+//!
+//! * [`sched`] — a per-shard [`TenantScheduler`]: weighted deficit
+//!   round-robin over tenants with token-bucket admission, replacing the
+//!   unconditional FIFO visit order of the drain loop (FlexBSO's argument
+//!   that per-tenant QoS belongs in the offload layer, not the guest).
+//! * [`coalesce`] — a [`CoalesceWindow`] that detects concurrent
+//!   duplicate reads *across* VMs so the router can issue one device
+//!   command and fan the completion out (cross-IP request coalescing at
+//!   the NVMe mediator).
+//! * [`governor`] — the [`TenantGovernor`] control plane: lock-free
+//!   per-tenant throttle knobs and admission counters shared between
+//!   shards and the control loop.
+//! * [`feedback`] — [`InsightFeedback`], an actor that tails the PR 5
+//!   stall-watchdog [`HealthLog`](nvmetro_insight::HealthLog), identifies
+//!   the aggressor tenant behind `QueueStalled`/`SloBurn` verdicts, and
+//!   tightens its token bucket with hysteresis — throttle the noisy
+//!   neighbour, never the victim.
+//!
+//! The crate depends only on `sim`, `telemetry`, and `insight`;
+//! `nvmetro-core` depends on *it* (the router embeds the scheduler and the
+//! window), which keeps the dependency graph acyclic.
+
+#![warn(missing_docs)]
+
+pub mod coalesce;
+pub mod feedback;
+pub mod governor;
+pub mod sched;
+
+pub use coalesce::{CoalesceConfig, CoalesceStats, CoalesceWindow, Join, Waiter};
+pub use feedback::{FeedbackAction, FeedbackConfig, FeedbackLog, InsightFeedback};
+pub use governor::{GovernorView, TenantCell, TenantGovernor, FULL_RATE};
+pub use sched::{Admit, FleetConfig, RateLimit, TenantScheduler, TenantSpec, TenantView};

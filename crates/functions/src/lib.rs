@@ -12,19 +12,20 @@
 //!   forwards them to a remote NVMe-oF secondary; the request completes
 //!   only when both replicas are durable (synchronous mirroring, §IV-B).
 //!
-//! A third function, [`qos`], implements token-bucket rate limiting with
-//! *no userspace component at all* — persistent classifier maps and the
-//! `ktime_ns` helper are enough, demonstrating the in-kernel end of the
-//! flexibility spectrum.
+//! (An earlier third function implemented per-VM token-bucket rate
+//! limiting as a vbpf classifier. It was retired in favour of the fleet
+//! layer: `nvmetro-fleet`'s tenant scheduler enforces rate + burst at the
+//! router's drain loop for *all* tenants, sees cross-shard state through
+//! its governor, and can be throttled at run time by the insight feedback
+//! loop — none of which a per-classifier map could do. `examples/custom_classifier.rs`
+//! still shows how to hand-roll a map-driven QoS classifier.)
 //!
 //! All classifiers are genuine vbpf bytecode assembled with
 //! `nvmetro-vbpf`'s builder and accepted by its verifier; partition LBA
 //! translation is configured through a classifier map, not hard-coded.
 
 pub mod encryptor;
-pub mod qos;
 pub mod replicator;
 
 pub use encryptor::{build_encryptor_classifier, CryptoBackend, EncryptorUif};
-pub use qos::build_qos_classifier;
 pub use replicator::{build_replicator_classifier, ReplicatorUif};

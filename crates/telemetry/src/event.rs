@@ -187,13 +187,21 @@ pub enum Depth {
     CqBatch = 1,
     /// Routing-table occupancy sampled after each ingest pass.
     TableOccupancy = 2,
+    /// Requests admitted for one tenant in one fleet-scheduler visit
+    /// (the realised per-round share under DRR + token buckets).
+    TenantServed = 3,
 }
 
 impl Depth {
     /// Number of depth series.
-    pub const COUNT: usize = 3;
+    pub const COUNT: usize = 4;
     /// All depth series in index order.
-    pub const ALL: [Depth; 3] = [Depth::SqBurst, Depth::CqBatch, Depth::TableOccupancy];
+    pub const ALL: [Depth; 4] = [
+        Depth::SqBurst,
+        Depth::CqBatch,
+        Depth::TableOccupancy,
+        Depth::TenantServed,
+    ];
 
     /// Stable lowercase name for tables and JSON export.
     pub fn name(&self) -> &'static str {
@@ -201,6 +209,7 @@ impl Depth {
             Depth::SqBurst => "sq_burst",
             Depth::CqBatch => "cq_batch",
             Depth::TableOccupancy => "table_occupancy",
+            Depth::TenantServed => "tenant_served",
         }
     }
 }

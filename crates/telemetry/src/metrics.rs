@@ -93,11 +93,24 @@ pub enum Metric {
     BreakerFlaps = 36,
     /// Completed requests that exceeded their route's SLO objective.
     SloViolations = 37,
+    /// Duplicate cross-VM reads parked as coalescing followers instead of
+    /// being dispatched to the device.
+    CoalescedReads = 38,
+    /// Follower completions fanned out from a coalescing leader's
+    /// terminal completion.
+    CoalesceFanout = 39,
+    /// Admissions the fleet scheduler denied because the tenant's token
+    /// bucket was empty (throttle applied to the tenant's traffic —
+    /// including buckets tightened by the insight feedback loop).
+    ThrottleApplied = 40,
+    /// Tenant drain-loop preemptions: the fleet scheduler cut a tenant's
+    /// round short because its DRR deficit ran dry with work still queued.
+    SchedulerPreemptions = 41,
 }
 
 impl Metric {
     /// Number of metric slots.
-    pub const COUNT: usize = 38;
+    pub const COUNT: usize = 42;
 
     /// All metrics in slot order.
     pub const ALL: [Metric; Metric::COUNT] = [
@@ -139,6 +152,10 @@ impl Metric {
         Metric::StallsCleared,
         Metric::BreakerFlaps,
         Metric::SloViolations,
+        Metric::CoalescedReads,
+        Metric::CoalesceFanout,
+        Metric::ThrottleApplied,
+        Metric::SchedulerPreemptions,
     ];
 
     /// Stable snake_case name for tables and JSON export.
@@ -182,6 +199,10 @@ impl Metric {
             Metric::StallsCleared => "stalls_cleared",
             Metric::BreakerFlaps => "breaker_flaps",
             Metric::SloViolations => "slo_violations",
+            Metric::CoalescedReads => "coalesced_reads",
+            Metric::CoalesceFanout => "coalesce_fanout",
+            Metric::ThrottleApplied => "throttle_applied",
+            Metric::SchedulerPreemptions => "scheduler_preemptions",
         }
     }
 }

@@ -1,0 +1,201 @@
+//! Seeded heavy-tail load shaping for fleet rigs.
+//!
+//! Real multi-tenant fleets are not uniform: a handful of tenants carry
+//! most of the traffic (Zipf across tenants) and each tenant's own
+//! arrivals are bursty (heavy-tailed inter-arrival gaps), which is
+//! exactly the regime the fleet scheduler and read-coalescing window are
+//! built for. This module provides the two seeded generators the
+//! [`fleet`](crate::fleet) rig composes:
+//!
+//! * [`zipf_weights`] — a normalized Zipf(θ) share vector over `n`
+//!   tenant ranks, plus [`seeded_permutation`] so the whale tenant is not
+//!   always tenant 0;
+//! * [`HeavyTailArrivals`] — an open-loop arrival process whose gaps are
+//!   drawn from a bounded [`Pareto`] distribution, so a tenant alternates
+//!   dense bursts with long quiet stretches while keeping a finite,
+//!   configurable mean rate.
+//!
+//! Everything is driven by [`nvmetro_sim::SimRng`], so a seed fully
+//! determines the offered load.
+
+use nvmetro_sim::{Ns, SimRng};
+
+/// Normalized Zipf weights over `n` ranks: `w_i ∝ 1/(i+1)^theta`,
+/// `Σ w_i = 1`. Rank 0 is the heaviest tenant.
+pub fn zipf_weights(n: usize, theta: f64) -> Vec<f64> {
+    assert!(n > 0, "zipf_weights needs at least one rank");
+    let mut w: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(theta)).collect();
+    let sum: f64 = w.iter().sum();
+    for x in &mut w {
+        *x /= sum;
+    }
+    w
+}
+
+/// Seeded Fisher–Yates permutation of `0..n`, used to map tenants to
+/// Zipf ranks so heavy tenants land on seed-dependent ids.
+pub fn seeded_permutation(n: usize, rng: &mut SimRng) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        p.swap(i, j);
+    }
+    p
+}
+
+/// Bounded Pareto sampler: `x = x_m · u^(-1/α)` clipped to `cap`.
+///
+/// The bound keeps a single draw from freezing a virtual-time rig (an
+/// unbounded Pareto with α ≤ 2 has infinite variance), at the cost of a
+/// slightly smaller realized mean than the nominal one.
+#[derive(Clone, Copy, Debug)]
+pub struct Pareto {
+    alpha: f64,
+    xm: f64,
+    cap: f64,
+}
+
+impl Pareto {
+    /// Cap, as a multiple of the nominal mean.
+    const CAP_MEANS: f64 = 50.0;
+
+    /// A sampler with the given nominal mean (`α > 1` required; the
+    /// scale is derived as `x_m = mean·(α-1)/α`).
+    pub fn with_mean(mean: f64, alpha: f64) -> Self {
+        assert!(alpha > 1.0, "Pareto mean is infinite for alpha <= 1");
+        assert!(mean > 0.0, "Pareto mean must be positive");
+        Pareto {
+            alpha,
+            xm: mean * (alpha - 1.0) / alpha,
+            cap: mean * Self::CAP_MEANS,
+        }
+    }
+
+    /// Draws one value.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        // u in (0, 1]: f64() is [0, 1), and u = 0 would blow up the power.
+        let u = 1.0 - rng.f64();
+        (self.xm * u.powf(-1.0 / self.alpha)).min(self.cap)
+    }
+}
+
+/// Open-loop arrival process with bounded-Pareto inter-arrival gaps.
+///
+/// `next_at` is the virtual time of the next arrival; callers poll it
+/// against `now` and [`advance`](Self::advance) past each consumed
+/// arrival. Gaps round to at least 1 ns so time always moves.
+pub struct HeavyTailArrivals {
+    gaps: Pareto,
+    rng: SimRng,
+    next_at: Ns,
+}
+
+impl HeavyTailArrivals {
+    /// A process with the given mean gap (ns) and tail index `alpha`
+    /// (smaller α ⇒ burstier; 1.5 is a reasonable fleet default).
+    pub fn new(seed: u64, mean_gap_ns: f64, alpha: f64) -> Self {
+        let gaps = Pareto::with_mean(mean_gap_ns, alpha);
+        let mut rng = SimRng::new(seed);
+        // Desynchronise tenants: the first arrival is itself one gap in.
+        let first = gaps.sample(&mut rng).max(1.0) as Ns;
+        HeavyTailArrivals {
+            gaps,
+            rng,
+            next_at: first,
+        }
+    }
+
+    /// Virtual time of the next pending arrival.
+    pub fn next_at(&self) -> Ns {
+        self.next_at
+    }
+
+    /// Consumes the pending arrival, schedules the one after it, and
+    /// returns the new [`next_at`](Self::next_at).
+    pub fn advance(&mut self) -> Ns {
+        let gap = self.gaps.sample(&mut self.rng).max(1.0) as Ns;
+        self.next_at += gap;
+        self.next_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_weights_are_normalized_and_skewed() {
+        let w = zipf_weights(1000, 1.1);
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "weights must sum to 1, got {sum}");
+        assert!(
+            w.windows(2).all(|p| p[0] >= p[1]),
+            "ranks must be nonincreasing"
+        );
+        // The head must dominate: top 10% of ranks carry well over their
+        // uniform share (10%) of the load.
+        let head: f64 = w[..100].iter().sum();
+        assert!(head > 0.35, "top-decile share {head:.3} not heavy enough");
+        // And the single heaviest rank towers over the median rank.
+        assert!(w[0] / w[499] > 100.0);
+    }
+
+    #[test]
+    fn permutation_is_seeded_and_complete() {
+        let mut rng = SimRng::new(42);
+        let p = seeded_permutation(256, &mut rng);
+        let mut seen = vec![false; 256];
+        for &i in &p {
+            assert!(!seen[i], "duplicate rank {i}");
+            seen[i] = true;
+        }
+        let mut rng2 = SimRng::new(42);
+        assert_eq!(p, seeded_permutation(256, &mut rng2), "same seed, same map");
+        let mut rng3 = SimRng::new(43);
+        assert_ne!(p, seeded_permutation(256, &mut rng3), "seed must matter");
+    }
+
+    #[test]
+    fn pareto_gaps_have_the_right_mean_and_a_heavy_tail() {
+        let mean = 10_000.0;
+        let mut arr = HeavyTailArrivals::new(7, mean, 1.5);
+        let n = 50_000usize;
+        let mut gaps = Vec::with_capacity(n);
+        let mut prev = 0;
+        for _ in 0..n {
+            let at = arr.next_at();
+            gaps.push((at - prev) as f64);
+            prev = at;
+            arr.advance();
+        }
+        let m: f64 = gaps.iter().sum::<f64>() / n as f64;
+        assert!(
+            m > 0.7 * mean && m < 1.1 * mean,
+            "realized mean {m:.0} too far from nominal {mean:.0}"
+        );
+        gaps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p50 = gaps[n / 2];
+        let p99 = gaps[n * 99 / 100];
+        // Exponential gaps would give p99/p50 = ln(100)/ln(2) ≈ 6.6; the
+        // α=1.5 Pareto sits near 13.5. Demand clearly-super-exponential.
+        let ratio = p99 / p50;
+        assert!(
+            ratio > 8.0 && ratio < 30.0,
+            "tail ratio p99/p50 = {ratio:.1} out of the heavy-tail band"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_deterministic_per_seed() {
+        let mut a = HeavyTailArrivals::new(99, 5_000.0, 1.5);
+        let mut b = HeavyTailArrivals::new(99, 5_000.0, 1.5);
+        for _ in 0..100 {
+            assert_eq!(a.next_at(), b.next_at());
+            a.advance();
+            b.advance();
+        }
+        let c = HeavyTailArrivals::new(100, 5_000.0, 1.5);
+        let d = HeavyTailArrivals::new(99, 5_000.0, 1.5);
+        assert_ne!(c.next_at(), d.next_at(), "seeds must decorrelate");
+    }
+}

@@ -13,12 +13,16 @@
 //!   workloads A–F, a *functional* driver over `lsmkv`, and a calibrated
 //!   LSM I/O model for virtual-time database runs (Figs. 6, 8, 10).
 
+pub mod arrivals;
 pub mod fio;
+pub mod fleet;
 pub mod rig;
 pub mod runner;
 pub mod ycsb;
 
+pub use arrivals::{seeded_permutation, zipf_weights, HeavyTailArrivals, Pareto};
 pub use fio::{FioConfig, FioJob, FioMode, JobStats};
+pub use fleet::{run_fleet, FleetOptions, FleetReport};
 pub use rig::{RigOptions, SolutionKind};
 pub use runner::{run_fio, FioResult};
 pub use ycsb::{YcsbSpec, YcsbWorkload, ZipfianGenerator};

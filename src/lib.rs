@@ -24,6 +24,7 @@
 //! | [`baselines`] | passthrough, MDev-NVMe, vhost-scsi, QEMU, SPDK stacks |
 //! | [`workloads`] | fio and YCSB engines + solution assembly |
 //! | [`lsmkv`] | the LSM key-value store (RocksDB stand-in) |
+//! | [`fleet`] | per-tenant QoS scheduling, cross-VM read coalescing, insight feedback |
 //! | [`sim`] | virtual-time executor, CPU accounting, cost model |
 //! | [`stats`] | histograms and result tables |
 //! | [`telemetry`] | request-lifecycle tracing, sharded metrics, snapshots |
@@ -40,6 +41,7 @@ pub use nvmetro_core as core;
 pub use nvmetro_crypto as crypto;
 pub use nvmetro_device as device;
 pub use nvmetro_faults as faults;
+pub use nvmetro_fleet as fleet;
 pub use nvmetro_functions as functions;
 pub use nvmetro_insight as insight;
 pub use nvmetro_kernel as kernel;

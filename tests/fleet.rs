@@ -1,0 +1,638 @@
+//! Fleet-layer integration: per-tenant QoS scheduling, the
+//! insight→governor feedback loop, cross-VM read coalescing under
+//! chaos, and the full-scale thousands-of-VMs rig.
+//!
+//! The invariants under test:
+//!
+//! * **Isolation** — a flooding aggressor tenant gets throttled by the
+//!   feedback loop (identified from `QueueStalled` verdicts), the victim
+//!   never does, and the victim's tail latency recovers.
+//! * **Exactly-once** — cross-VM coalescing fans one device completion
+//!   out to every waiting guest, and does so exactly once per submitted
+//!   command even with seeded device faults and the recovery engine
+//!   retrying/aborting around them.
+//! * **Scale** — the rig binds ≥ 1000 VM queue groups through the
+//!   sharded engine and runs to completion with the books balanced and
+//!   span reconstruction agreeing.
+
+use nvmetro::core::classify::Classifier;
+use nvmetro::core::engine::{EngineVm, QueueBinding, RouterBuilder};
+use nvmetro::core::{passthrough_program, Partition, RecoveryConfig};
+use nvmetro::device::{CompletionMode, SimSsd, SsdConfig};
+use nvmetro::faults::{CmdClass, FaultAction, FaultPlan, FaultRule, FaultSite};
+use nvmetro::fleet::{
+    CoalesceConfig, FeedbackAction, FeedbackConfig, FleetConfig, InsightFeedback, RateLimit,
+    TenantGovernor, TenantSpec, FULL_RATE,
+};
+use nvmetro::insight::{StallWatchdog, WatchdogConfig};
+use nvmetro::mem::GuestMemory;
+use nvmetro::nvme::{CqConsumer, CqPair, SqPair, SqProducer, SubmissionEntry};
+use nvmetro::sim::cost::CostModel;
+use nvmetro::sim::{Actor, Executor, Ns, Progress, SimRng, MS, US};
+use nvmetro::telemetry::{Metric, Telemetry};
+use nvmetro::workloads::{run_fleet, FleetOptions};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const NLB: u32 = 8;
+
+/// Counters and (submit-time, latency) samples shared with the harness.
+#[derive(Default)]
+struct GuestStats {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    errors: AtomicU64,
+    samples: Mutex<Vec<(Ns, u64)>>,
+}
+
+impl GuestStats {
+    /// p99 latency over samples whose submit time satisfies `keep`.
+    fn p99_where(&self, keep: impl Fn(Ns) -> bool) -> u64 {
+        let mut lat: Vec<u64> = self
+            .samples
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|(at, _)| keep(*at))
+            .map(|(_, l)| *l)
+            .collect();
+        lat.sort_unstable();
+        if lat.is_empty() {
+            return 0;
+        }
+        lat[(lat.len() - 1) * 99 / 100]
+    }
+}
+
+/// Closed-loop reader: keeps `qd` commands in flight until `deadline`.
+/// With `period > 0` it is an open-loop paced reader instead (one
+/// command per period, still capped at `qd`).
+struct Guest {
+    name: String,
+    sq: SqProducer,
+    cq: CqConsumer,
+    qd: usize,
+    period: Ns,
+    next_at: Ns,
+    deadline: Ns,
+    outstanding: usize,
+    next_cid: u16,
+    submit_ts: HashMap<u16, Ns>,
+    rng: SimRng,
+    lba_base: u64,
+    lba_slots: u64,
+    stats: Arc<GuestStats>,
+}
+
+impl Guest {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        name: &str,
+        sq: SqProducer,
+        cq: CqConsumer,
+        qd: usize,
+        period: Ns,
+        deadline: Ns,
+        seed: u64,
+        lba_base: u64,
+        lba_slots: u64,
+    ) -> Self {
+        Guest {
+            name: name.to_string(),
+            sq,
+            cq,
+            qd,
+            period,
+            next_at: 0,
+            deadline,
+            outstanding: 0,
+            next_cid: 0,
+            submit_ts: HashMap::new(),
+            rng: SimRng::new(seed),
+            lba_base,
+            lba_slots,
+            stats: Arc::new(GuestStats::default()),
+        }
+    }
+
+    fn submit_one(&mut self, now: Ns) -> bool {
+        let slot = self.lba_base + self.rng.below(self.lba_slots);
+        let mut cmd = SubmissionEntry::read(1, slot * NLB as u64, NLB, 0x1000, 0);
+        cmd.cid = self.next_cid;
+        if self.sq.push(cmd).is_err() {
+            return false;
+        }
+        self.submit_ts.insert(self.next_cid, now);
+        self.next_cid = self.next_cid.wrapping_add(1);
+        self.outstanding += 1;
+        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+}
+
+impl Actor for Guest {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn poll(&mut self, now: Ns) -> Progress {
+        let mut progressed = false;
+        while let Some(cqe) = self.cq.pop() {
+            self.outstanding -= 1;
+            self.stats.completed.fetch_add(1, Ordering::Relaxed);
+            if cqe.status().is_error() {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(t) = self.submit_ts.remove(&cqe.cid) {
+                self.stats.samples.lock().unwrap().push((t, now - t));
+            }
+            progressed = true;
+        }
+        if now < self.deadline {
+            if self.period == 0 {
+                while self.outstanding < self.qd && self.submit_one(now) {
+                    progressed = true;
+                }
+            } else {
+                while self.next_at <= now {
+                    if self.outstanding < self.qd && self.submit_one(now) {
+                        progressed = true;
+                    }
+                    self.next_at += self.period;
+                }
+            }
+        }
+        if progressed {
+            Progress::Busy
+        } else {
+            Progress::Idle
+        }
+    }
+
+    fn next_event(&self) -> Option<Ns> {
+        if self.period > 0 && self.next_at < self.deadline {
+            Some(self.next_at)
+        } else {
+            None
+        }
+    }
+}
+
+/// One guest's rig plumbing: builds the queue-group rings, registers the
+/// host pair on the device, and returns the binding plus guest ends.
+fn queue_group(ssd: &mut SimSsd, mem: &Arc<GuestMemory>) -> (QueueBinding, SqProducer, CqConsumer) {
+    let (vsq_p, vsq_c) = SqPair::new(256);
+    let (vcq_p, vcq_c) = CqPair::new(256);
+    let (hsq_p, hsq_c) = SqPair::new(256);
+    let (hcq_p, hcq_c) = CqPair::new(256);
+    ssd.add_queue(hsq_c, hcq_p, mem.clone(), CompletionMode::Polled);
+    let binding = QueueBinding {
+        vsqs: vec![vsq_c],
+        vcqs: vec![vcq_p],
+        hsq: hsq_p,
+        hcq: hcq_c,
+        kernel: None,
+        notify: None,
+        classifier: Classifier::Bpf(passthrough_program()),
+    };
+    (binding, vsq_p, vcq_c)
+}
+
+/// A sparse victim and a flooding aggressor on one device: the watchdog
+/// flags the victim's stalled queue, the feedback loop identifies and
+/// throttles the aggressor — never the victim — and the victim's p99
+/// recovers by the end of the run.
+#[test]
+fn noisy_neighbor_feedback_throttles_aggressor_not_victim() {
+    const VICTIM: u32 = 0;
+    const AGGRESSOR: u32 = 1;
+    let duration = 14 * MS;
+
+    let telemetry = Telemetry::enabled();
+    // A device the aggressor can saturate: its queue-depth-128 flood
+    // builds a backlog the victim's sparse reads wait behind.
+    let cost = CostModel {
+        ssd_channels: 4,
+        ssd_read_lat: 20_000,
+        ssd_cmd_overhead: 500,
+        ssd_cmd_overhead_write: 500,
+        ssd_jitter: 0.0,
+        ..Default::default()
+    };
+    let capacity_lbas = 1 << 16;
+    let mut ssd = SimSsd::new(
+        "ssd",
+        SsdConfig {
+            capacity_lbas,
+            cost: cost.clone(),
+            move_data: false,
+            seed: 11,
+            ..Default::default()
+        },
+    );
+    let mem = Arc::new(GuestMemory::new(1 << 20));
+
+    let governor = TenantGovernor::new();
+    // Generous buckets that do not bind at full rate: the throttle only
+    // bites once the feedback loop scales the permille down.
+    let rate = RateLimit {
+        iops: 400_000,
+        burst: 32,
+    };
+    let fleet_cfg = FleetConfig {
+        governor: governor.clone(),
+        ..Default::default()
+    }
+    .tenant(TenantSpec {
+        tenant: VICTIM,
+        weight: 1,
+        rate: Some(rate),
+    })
+    .tenant(TenantSpec {
+        tenant: AGGRESSOR,
+        weight: 1,
+        rate: Some(rate),
+    });
+
+    let mut ex = Executor::new();
+    let mut builder = RouterBuilder::new("router")
+        .cost(cost)
+        .telemetry(&telemetry)
+        .fleet(fleet_cfg);
+    let mut guests = Vec::new();
+    for vm in [VICTIM, AGGRESSOR] {
+        let (binding, sq, cq) = queue_group(&mut ssd, &mem);
+        builder = builder.vm(EngineVm {
+            vm_id: vm,
+            mem: mem.clone(),
+            partition: Partition::whole(capacity_lbas),
+            queues: vec![binding],
+        });
+        let guest = if vm == VICTIM {
+            // One read every 500 µs, at most one outstanding: any window
+            // where it waits > the stall grace shows up as QueueStalled.
+            Guest::new("victim", sq, cq, 1, 500 * US, duration, 21, 0, 512)
+        } else {
+            Guest::new("aggressor", sq, cq, 128, 0, duration, 22, 1024, 4096)
+        };
+        guests.push(guest.stats.clone());
+        ex.add(Box::new(guest));
+    }
+    builder.build().run_virtual(&mut ex);
+    ex.add(Box::new(ssd));
+
+    let (watchdog, health) = StallWatchdog::new(
+        &telemetry,
+        WatchdogConfig {
+            interval: 200 * US,
+            stall_grace: 100 * US,
+            ..Default::default()
+        },
+    );
+    ex.add(Box::new(watchdog));
+    let (feedback, actions) = InsightFeedback::new(
+        health.clone(),
+        governor.clone(),
+        FeedbackConfig {
+            interval: 400 * US,
+            // The victim's stall is intermittent (it only keeps one
+            // request open), so a single unhealthy window must count.
+            trigger_after: 1,
+            relax_after: 64, // don't relax inside this run
+            step_permille: 400,
+            floor_permille: 100,
+        },
+    );
+    ex.add(Box::new(feedback));
+    // The drain margin covers the throttled aggressor's final backlog
+    // (~128 in flight at a floor-rate trickle).
+    ex.run(duration + 6 * MS);
+
+    // The watchdog saw the victim stall and the loop throttled exactly
+    // the aggressor.
+    assert!(health.saw_stall(), "the victim's queue never stalled");
+    let acted = actions.actions();
+    assert!(!acted.is_empty(), "feedback loop never actuated");
+    for a in &acted {
+        match a {
+            FeedbackAction::Tighten { tenant, .. } | FeedbackAction::Relax { tenant, .. } => {
+                assert_eq!(
+                    *tenant, AGGRESSOR,
+                    "only the aggressor may be touched: {a:?}"
+                )
+            }
+        }
+    }
+    assert!(
+        governor.throttle_of(AGGRESSOR) < FULL_RATE,
+        "aggressor must end the run throttled"
+    );
+    assert_eq!(
+        governor.throttle_of(VICTIM),
+        FULL_RATE,
+        "the victim must never be throttled"
+    );
+    let snap = telemetry.snapshot();
+    assert!(
+        snap.get(Metric::ThrottleApplied) > 0,
+        "the tightened bucket must actually deny admissions"
+    );
+
+    // Victim p99 before the loop engages vs after it has converged: the
+    // isolation bound is a 2x recovery and a sub-300µs late tail.
+    let victim = &guests[VICTIM as usize];
+    let early = victim.p99_where(|at| at < 3 * MS);
+    let late = victim.p99_where(|at| at >= duration - 4 * MS);
+    assert!(
+        early > 200 * US,
+        "rig not contended enough to mean anything: early p99 {early}ns"
+    );
+    assert!(
+        late < 150 * US && late * 2 < early,
+        "victim p99 must recover once the aggressor is throttled: early {early}ns late {late}ns"
+    );
+    // Books still balance for both tenants (no lost or doubled I/O).
+    for g in &guests {
+        assert_eq!(
+            g.completed.load(Ordering::Relaxed),
+            g.submitted.load(Ordering::Relaxed)
+        );
+    }
+}
+
+/// Eight guests hammer a four-slot hot set through the coalescing
+/// window while a seeded fault plan injects media errors, stalls, and
+/// dropped completions, with the recovery engine aborting/retrying
+/// around them. Every guest must see exactly one completion per
+/// submitted command, confirmed by span reconstruction, across seeds.
+#[test]
+fn coalescing_is_exactly_once_under_chaos() {
+    for seed in [0xA11CEu64, 0xB0B, 0xC0DE] {
+        let duration = 6 * MS;
+        let telemetry = Telemetry::enabled();
+        let cost = CostModel {
+            ssd_channels: 8,
+            ssd_read_lat: 20_000,
+            ssd_cmd_overhead: 500,
+            ssd_cmd_overhead_write: 500,
+            ssd_jitter: 0.0,
+            ..Default::default()
+        };
+        let plan = FaultPlan::new(seed)
+            .rule(
+                FaultRule::new(FaultSite::Device, FaultAction::MediaError { dnr: true })
+                    .classes(CmdClass::Read.bit())
+                    .probability(0.02),
+            )
+            .rule(
+                FaultRule::new(FaultSite::Device, FaultAction::Stall(300 * US))
+                    .classes(CmdClass::Read.bit())
+                    .probability(0.02),
+            )
+            .rule(
+                FaultRule::new(FaultSite::Device, FaultAction::DropCompletion)
+                    .classes(CmdClass::Read.bit())
+                    .probability(0.005)
+                    .max_hits(20),
+            );
+        let capacity_lbas = 1 << 16;
+        let mut ssd = SimSsd::new(
+            "ssd",
+            SsdConfig {
+                capacity_lbas,
+                cost: cost.clone(),
+                move_data: false,
+                seed,
+                faults: plan,
+                ..Default::default()
+            },
+        );
+        let mem = Arc::new(GuestMemory::new(1 << 20));
+
+        let mut ex = Executor::new();
+        let mut builder = RouterBuilder::new("router")
+            .cost(cost)
+            .telemetry(&telemetry)
+            .recovery(RecoveryConfig {
+                cmd_timeout: MS,
+                ..Default::default()
+            })
+            .coalesce(CoalesceConfig::default());
+        let mut guests = Vec::new();
+        for vm in 0..8u32 {
+            let (binding, sq, cq) = queue_group(&mut ssd, &mem);
+            builder = builder.vm(EngineVm {
+                vm_id: vm,
+                mem: mem.clone(),
+                partition: Partition::whole(capacity_lbas),
+                queues: vec![binding],
+            });
+            // All guests read the same 4 hot slots: maximal duplication,
+            // so faults land on leaders with parked followers.
+            let guest = Guest::new(
+                &format!("guest-{vm}"),
+                sq,
+                cq,
+                8,
+                0,
+                duration,
+                seed ^ (vm as u64) << 8,
+                0,
+                4,
+            );
+            guests.push(guest.stats.clone());
+            ex.add(Box::new(guest));
+        }
+        builder.build().run_virtual(&mut ex);
+        ex.add(Box::new(ssd));
+
+        let (watchdog, health) = StallWatchdog::new(
+            &telemetry,
+            WatchdogConfig {
+                interval: 200 * US,
+                keep_spans: true,
+                ..Default::default()
+            },
+        );
+        ex.add(Box::new(watchdog));
+        ex.run(u64::MAX);
+
+        let mut total = 0u64;
+        for (vm, g) in guests.iter().enumerate() {
+            let submitted = g.submitted.load(Ordering::Relaxed);
+            let completed = g.completed.load(Ordering::Relaxed);
+            assert!(submitted > 100, "seed {seed:#x}: guest {vm} too idle");
+            assert_eq!(
+                completed, submitted,
+                "seed {seed:#x}: guest {vm} lost or doubled completions"
+            );
+            total += completed;
+        }
+        let snap = telemetry.snapshot();
+        assert!(
+            snap.get(Metric::CoalescedReads) > 0,
+            "seed {seed:#x}: hot set never coalesced"
+        );
+        assert_eq!(
+            snap.get(Metric::CoalescedReads),
+            snap.get(Metric::CoalesceFanout),
+            "seed {seed:#x}: parked followers must all fan back out"
+        );
+        // Span reconstruction agrees: one terminal per span, full
+        // coverage of what the guests observed.
+        let stats = health.stats();
+        assert_eq!(health.drain_missed(), 0, "seed {seed:#x}: ring overflow");
+        assert_eq!(
+            stats.duplicate_terminals, 0,
+            "seed {seed:#x}: a span saw two terminals"
+        );
+        assert_eq!(
+            stats.spans_completed, total,
+            "seed {seed:#x}: span coverage mismatch"
+        );
+    }
+}
+
+/// The full-scale rig: ≥ 1000 single-group VMs bound through the
+/// sharded engine, Zipf-skewed bursty load, scheduler + coalescing +
+/// feedback all on, exactly-once verified by span reconstruction.
+#[test]
+fn fleet_rig_binds_a_thousand_queue_groups_exactly_once() {
+    let opts = FleetOptions {
+        tenants: 1024,
+        shards: 4,
+        duration: 6 * MS,
+        total_iops: 1_000_000.0,
+        ..Default::default()
+    };
+    let r = run_fleet(&opts);
+    assert!(r.tenants >= 1000, "rig must bind >= 1000 VM queue groups");
+    assert!(
+        r.submitted > 4_000,
+        "rig too idle: {} submitted",
+        r.submitted
+    );
+    assert_eq!(r.completed, r.submitted, "lost or doubled completions");
+    assert_eq!(r.errors, 0);
+    assert_eq!(r.drain_missed, 0, "trace ring overflow poisons the proof");
+    assert_eq!(r.duplicate_terminals, 0, "a span saw two terminals");
+    assert_eq!(r.span_completed, r.completed, "span coverage mismatch");
+    assert!(r.exactly_once);
+    assert!(r.coalesced > 0, "the shared hot set never coalesced");
+    assert_eq!(r.fanned_out, r.coalesced);
+    assert_eq!(r.per_tenant_completed.len(), 1024);
+    // The Zipf tail is long: in a 6 ms window only tenants whose share
+    // amounts to ≥ ~1 expected arrival can show up at all, but that must
+    // still be a broad slice of the fleet, not just the whales.
+    let active = r.per_tenant_completed.iter().filter(|c| **c > 0).count();
+    assert!(active > 400, "only {active}/1024 tenants saw service");
+}
+
+/// Satellite: per-tenant scheduler state is visible through
+/// `EngineStats` (tokens, deficit, throttle status) and the table
+/// renderer, and the router-level counters move when buckets deny.
+#[test]
+fn engine_stats_expose_per_tenant_state() {
+    let telemetry = Telemetry::enabled();
+    let cost = CostModel::default();
+    let capacity_lbas = 1 << 16;
+    let mut ssd = SimSsd::new(
+        "ssd",
+        SsdConfig {
+            capacity_lbas,
+            cost: cost.clone(),
+            move_data: false,
+            seed: 3,
+            ..Default::default()
+        },
+    );
+    let mem = Arc::new(GuestMemory::new(1 << 20));
+    let governor = TenantGovernor::new();
+    let fleet_cfg = FleetConfig {
+        governor: governor.clone(),
+        ..Default::default()
+    }
+    .tenant(TenantSpec {
+        tenant: 0,
+        weight: 2,
+        rate: None,
+    })
+    .tenant(TenantSpec {
+        tenant: 1,
+        weight: 1,
+        // A bucket so small the burst below must hit it.
+        rate: Some(RateLimit {
+            iops: 1000,
+            burst: 1,
+        }),
+    });
+
+    let mut builder = RouterBuilder::new("router")
+        .cost(cost)
+        .telemetry(&telemetry)
+        .fleet(fleet_cfg);
+    let mut ends = Vec::new();
+    for vm in 0..2u32 {
+        let (binding, sq, cq) = queue_group(&mut ssd, &mem);
+        builder = builder.vm(EngineVm {
+            vm_id: vm,
+            mem: mem.clone(),
+            partition: Partition::whole(capacity_lbas),
+            queues: vec![binding],
+        });
+        ends.push((sq, cq));
+    }
+    let engine = builder.build();
+
+    // Engine-level view before any traffic: both tenants registered,
+    // weights and rates surfaced, nobody throttled.
+    let stats = engine.stats();
+    assert_eq!(stats.tenants.len(), 2);
+    assert!(!stats.tenant_throttled(0));
+    assert!(!stats.tenant_throttled(1));
+    assert_eq!(stats.tenant_admitted(0), 0);
+    let table = stats.tenant_table();
+    assert!(
+        table.contains("tenant") && table.contains("throttle"),
+        "{table}"
+    );
+
+    // Drive the shard directly: tenant 1's one-token bucket must deny
+    // under a 10-deep burst, then drain as tokens refill.
+    let mut router = engine.into_shards().pop().unwrap();
+    for (sq, _) in &mut ends {
+        for cid in 0..10u16 {
+            let mut cmd = SubmissionEntry::read(1, (cid as u64) * 8, NLB, 0x1000, 0);
+            cmd.cid = cid;
+            sq.push(cmd).unwrap();
+        }
+    }
+    let mut now = 0u64;
+    let mut done = [0usize; 2];
+    for _ in 0..2_000_000 {
+        router.poll(now);
+        ssd.poll(now);
+        for (vm, (_, cq)) in ends.iter_mut().enumerate() {
+            while cq.pop().is_some() {
+                done[vm] += 1;
+            }
+        }
+        if done == [10, 10] {
+            break;
+        }
+        now += 10 * US;
+    }
+    assert_eq!(done, [10, 10], "paced drain must still complete everything");
+    assert!(router.stats().sched_throttled > 0, "bucket never denied");
+    let view = router.fleet_view();
+    assert_eq!(view.len(), 2);
+    let t1 = view.iter().find(|v| v.tenant == 1).unwrap();
+    assert_eq!(t1.admitted, 10);
+    assert!(t1.throttled > 0);
+    assert_eq!(t1.throttle_permille, FULL_RATE);
+    let t0 = view.iter().find(|v| v.tenant == 0).unwrap();
+    assert_eq!(t0.admitted, 10);
+    assert_eq!(t0.throttled, 0);
+    assert_eq!(t0.weight, 2);
+}
