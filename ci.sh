@@ -21,6 +21,7 @@ for seed in 1 4242 31337; do
   echo "    CHAOS_SEED=$seed"
   CHAOS_SEED=$seed cargo test -q --test chaos
   CHAOS_SEED=$seed cargo test -q --test sharding
+  CHAOS_SEED=$seed cargo test -q --test servicing
 done
 
 echo "==> sharding scaling smoke (writes BENCH_sharding.json)"
@@ -49,5 +50,15 @@ NVMETRO_BENCH_MS="${NVMETRO_BENCH_MS:-20}" \
   cargo run --release -q -p nvmetro-bench --bin fleet_report
 python3 -c "import json; d=json.load(open('BENCH_fleet.json')); assert d['fleet_exactly_once'] and d['fleet_queue_groups'] >= 1000" \
   || { echo "BENCH_fleet.json failed validation"; exit 1; }
+
+echo "==> servicing smoke (writes BENCH_servicing.json)"
+# Asserts the live-servicing bars: quiesce drains under load, the
+# snapshot byte format round-trips into a working engine, repeated 2<->4
+# reshards under QD-128 replay in-flight requests with zero lost or
+# duplicated completions, and the reshard drain p99 stays under 5 ms.
+NVMETRO_BENCH_MS="${NVMETRO_BENCH_MS:-20}" \
+  cargo run --release -q -p nvmetro-bench --bin servicing_smoke
+python3 -c "import json; d=json.load(open('BENCH_servicing.json')); assert d['zero_drop'] and d['quiesce_ns'] > 0 and d['reshard_drain_p99_ns'] > 0 and d['restore_wall_us'] >= 0" \
+  || { echo "BENCH_servicing.json failed validation"; exit 1; }
 
 echo "CI OK"

@@ -1,0 +1,288 @@
+//! Live-servicing acceptance report: quiesce latency, snapshot/restore
+//! cost, and online-reshard drain tails, written to
+//! `BENCH_servicing.json` for CI.
+//!
+//! Three phases on one QD-128 closed-loop rig (4 queue pairs, 2 shards):
+//!
+//! * **Quiesce** — close admission under full load and measure the
+//!   virtual time until every in-flight request has answered its guest;
+//! * **Snapshot/restore** — serialize the quiesced engine through the
+//!   versioned byte format and assemble a fresh engine from it, measuring
+//!   the wall-clock cost of both directions and the state size;
+//! * **Reshard** — alternate `shards: 2↔4` mid-flight, repeatedly, and
+//!   measure how long each reshard takes to drain the requests that were
+//!   outstanding at the cut (quarantine + replay), p50/p99 over cycles.
+//!
+//! Bars enforced here:
+//! * the books balance end to end — every submitted command answered
+//!   exactly once across quiesce, restore, and every reshard (zero-drop);
+//! * at least one reshard cycle actually replayed in-flight requests;
+//! * the reshard drain p99 stays under 5 ms of virtual time.
+//!
+//! ```sh
+//! cargo run --release -p nvmetro-bench --bin servicing_smoke
+//! ```
+
+use nvmetro_core::engine::{Engine, EngineVm, QueueBinding, RouterBuilder};
+use nvmetro_core::{passthrough_program, Classifier, Partition, ServiceState};
+use nvmetro_device::{CompletionMode, SimSsd, SsdConfig};
+use nvmetro_mem::GuestMemory;
+use nvmetro_nvme::{CqConsumer, CqPair, SqPair, SqProducer, SubmissionEntry};
+use nvmetro_sim::cost::CostModel;
+use nvmetro_sim::{Actor, Ns, MS, US};
+use nvmetro_telemetry::{Metric, Telemetry};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+const QPS: usize = 4;
+const QD: usize = 32; // per queue pair; 128 aggregate
+
+/// Closed-loop reader on one queue pair, driven by hand.
+struct Driver {
+    sq: SqProducer,
+    cq: CqConsumer,
+    outstanding: usize,
+    next_cid: u16,
+    submitted: u64,
+    counts: HashMap<u16, u32>,
+    lba_base: u64,
+}
+
+impl Driver {
+    fn new(sq: SqProducer, cq: CqConsumer, lba_base: u64) -> Self {
+        Driver {
+            sq,
+            cq,
+            outstanding: 0,
+            next_cid: 0,
+            submitted: 0,
+            counts: HashMap::new(),
+            lba_base,
+        }
+    }
+
+    fn pump(&mut self, open: bool) {
+        while let Some(cqe) = self.cq.pop() {
+            self.outstanding -= 1;
+            *self.counts.entry(cqe.cid).or_insert(0) += 1;
+        }
+        if !open {
+            return;
+        }
+        while self.outstanding < QD {
+            let mut cmd = SubmissionEntry::read(
+                1,
+                self.lba_base + (self.next_cid as u64 % 256) * 8,
+                8,
+                0x1000,
+                0,
+            );
+            cmd.cid = self.next_cid;
+            if self.sq.push(cmd).is_err() {
+                break;
+            }
+            self.next_cid = self.next_cid.wrapping_add(1);
+            self.outstanding += 1;
+            self.submitted += 1;
+        }
+    }
+
+    /// Every cid below `mark` answered (reshard drain criterion).
+    fn drained_to(&self, mark: u16) -> bool {
+        (0..mark).all(|cid| self.counts.contains_key(&cid))
+    }
+}
+
+fn percentile(sorted: &[Ns], p: f64) -> Ns {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[((sorted.len() - 1) as f64 * p) as usize]
+}
+
+fn main() {
+    let duration = std::env::var("NVMETRO_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(20)
+        * MS;
+    let telemetry = Telemetry::enabled();
+    let cost = CostModel {
+        ssd_jitter: 0.0,
+        ..Default::default()
+    };
+    let mut ssd = SimSsd::new(
+        "ssd",
+        SsdConfig {
+            capacity_lbas: 1 << 20,
+            cost: cost.clone(),
+            move_data: false,
+            seed: 11,
+            ..Default::default()
+        },
+    );
+    let mem = Arc::new(GuestMemory::new(1 << 20));
+    let mut queues = Vec::new();
+    let mut drivers = Vec::new();
+    for qp in 0..QPS {
+        let (vsq_p, vsq_c) = SqPair::new(256);
+        let (vcq_p, vcq_c) = CqPair::new(256);
+        let (hsq_p, hsq_c) = SqPair::new(256);
+        let (hcq_p, hcq_c) = CqPair::new(256);
+        ssd.add_queue(hsq_c, hcq_p, mem.clone(), CompletionMode::Polled);
+        queues.push(QueueBinding {
+            vsqs: vec![vsq_c],
+            vcqs: vec![vcq_p],
+            hsq: hsq_p,
+            hcq: hcq_c,
+            kernel: None,
+            notify: None,
+            classifier: Classifier::Bpf(passthrough_program()),
+        });
+        drivers.push(Driver::new(vsq_p, vcq_c, (qp as u64) << 14));
+    }
+    let mut engine = RouterBuilder::new("router")
+        .cost(cost)
+        .shards(2)
+        .table_capacity(2048)
+        .telemetry(&telemetry)
+        .vm(EngineVm {
+            vm_id: 0,
+            mem,
+            partition: Partition::whole(1 << 20),
+            queues,
+        })
+        .build();
+
+    let step = 2 * US;
+    let mut now: Ns = 0;
+    let warmup = duration / 4;
+    while now < warmup {
+        engine.poll_all(now);
+        ssd.poll(now);
+        for d in drivers.iter_mut() {
+            d.pump(true);
+        }
+        now += step;
+    }
+
+    // Phase 1: quiesce latency under full QD-128 load.
+    engine.begin_quiesce();
+    let quiesce_start = now;
+    while !engine.quiesced() {
+        engine.poll_all(now);
+        ssd.poll(now);
+        for d in drivers.iter_mut() {
+            d.pump(false);
+        }
+        now += step;
+        assert!(now < quiesce_start + 100 * MS, "quiesce never drained");
+    }
+    let quiesce_ns = now - quiesce_start;
+
+    // Phase 2: snapshot → bytes → parse → restore, wall-clock timed.
+    let t0 = Instant::now();
+    let (state, parts) = engine.snapshot(now);
+    let bytes = state.to_bytes();
+    let snapshot_us = t0.elapsed().as_micros() as u64;
+    let snapshot_bytes = bytes.len();
+    let t1 = Instant::now();
+    let decoded = ServiceState::from_bytes(&bytes).expect("snapshot must parse");
+    let mut engine = Engine::restore(parts, &decoded, now).expect("restore");
+    let restore_us = t1.elapsed().as_micros() as u64;
+
+    // Phase 3: alternate 2↔4 shards mid-flight; measure each cycle's
+    // drain — virtual time until every request outstanding at the cut
+    // (quarantined + replayed on its new shard) has answered its guest —
+    // while the load keeps running.
+    let cycles = 12usize;
+    let mut drains: Vec<Ns> = Vec::new();
+    let window = (duration / 2 / cycles as u64).max(200 * US);
+    for c in 0..cycles {
+        let until = now + window;
+        while now < until {
+            engine.poll_all(now);
+            ssd.poll(now);
+            for d in drivers.iter_mut() {
+                d.pump(true);
+            }
+            now += step;
+        }
+        let marks: Vec<u16> = drivers.iter().map(|d| d.next_cid).collect();
+        let to = if c % 2 == 0 { 4 } else { 2 };
+        engine = engine.reshard(to, now).expect("reshard");
+        let cut = now;
+        while !drivers.iter().zip(&marks).all(|(d, &m)| d.drained_to(m)) {
+            engine.poll_all(now);
+            ssd.poll(now);
+            for d in drivers.iter_mut() {
+                d.pump(true);
+            }
+            now += step;
+            assert!(now < cut + 100 * MS, "reshard {c} never drained");
+        }
+        drains.push(now - cut);
+    }
+
+    // Wind down: stop submitting, drain everything, settle the books.
+    while drivers.iter().any(|d| d.outstanding > 0) {
+        engine.poll_all(now);
+        ssd.poll(now);
+        for d in drivers.iter_mut() {
+            d.pump(false);
+        }
+        now += step;
+    }
+
+    let mut submitted = 0u64;
+    let mut completed = 0u64;
+    let mut zero_drop = true;
+    for d in &drivers {
+        submitted += d.submitted;
+        completed += d.counts.len() as u64;
+        zero_drop &= d.counts.len() as u64 == d.submitted && d.counts.values().all(|&n| n == 1);
+    }
+    let snap = telemetry.snapshot();
+    let replayed = snap.get(Metric::ReplayedRequests);
+    let reshards = snap.get(Metric::Reshards);
+    drains.sort_unstable();
+    let p50 = percentile(&drains, 0.50);
+    let p99 = percentile(&drains, 0.99);
+
+    println!(
+        "quiesce {quiesce_ns}ns  snapshot {snapshot_bytes}B/{snapshot_us}us  restore {restore_us}us"
+    );
+    println!(
+        "reshards {reshards} replayed {replayed} drain p50 {p50}ns p99 {p99}ns  completed {completed}/{submitted}"
+    );
+
+    let json = format!(
+        "{{\n  \"duration_ms\": {},\n  \"aggregate_qd\": {},\n  \"quiesce_ns\": {},\n  \"snapshot_bytes\": {},\n  \"snapshot_wall_us\": {},\n  \"restore_wall_us\": {},\n  \"reshard_cycles\": {},\n  \"reshard_drain_p50_ns\": {},\n  \"reshard_drain_p99_ns\": {},\n  \"replayed\": {},\n  \"submitted\": {},\n  \"completed\": {},\n  \"zero_drop\": {}\n}}\n",
+        duration / MS,
+        QPS * QD,
+        quiesce_ns,
+        snapshot_bytes,
+        snapshot_us,
+        restore_us,
+        cycles,
+        p50,
+        p99,
+        replayed,
+        submitted,
+        completed,
+        zero_drop,
+    );
+    std::fs::write("BENCH_servicing.json", &json).expect("write BENCH_servicing.json");
+    println!("{json}");
+
+    assert!(zero_drop, "a command was lost or answered twice");
+    assert!(
+        replayed >= 1,
+        "QD-128 reshards must replay in-flight requests"
+    );
+    assert_eq!(reshards, cycles as u64);
+    assert!(quiesce_ns > 0);
+    assert!(p99 < 5 * MS, "reshard drain p99 {p99}ns above the 5 ms bar");
+    println!("servicing smoke OK: quiesce {quiesce_ns}ns, reshard drain p99 {p99}ns");
+}

@@ -29,13 +29,18 @@ use crate::classify::Classifier;
 use crate::controller::Partition;
 use crate::recovery::RecoveryConfig;
 use crate::router::{KernelPath, NotifyBinding, Router, RouterStats, VmBinding, DEFAULT_BATCH};
+use crate::servicing::{
+    SavedBreaker, SavedCqe, SavedGroup, SavedRequest, SavedRetry, SavedTenant, ServiceError,
+    ServiceState,
+};
 use crate::threading::Pool;
 use nvmetro_fleet::{CoalesceConfig, FleetConfig, TenantView};
 use nvmetro_mem::GuestMemory;
-use nvmetro_nvme::{CqConsumer, CqProducer, SqConsumer, SqProducer};
+use nvmetro_nvme::{CompletionEntry, CqConsumer, CqProducer, SqConsumer, SqProducer, Status};
 use nvmetro_sim::cost::CostModel;
-use nvmetro_sim::Executor;
-use nvmetro_telemetry::Telemetry;
+use nvmetro_sim::{Actor, Executor, Ns, Progress};
+use nvmetro_telemetry::{Metric, Telemetry, TelemetryHandle};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// One shard-assignable queue group of a VM: a set of virtual queues plus
@@ -242,75 +247,40 @@ impl RouterBuilder {
 
     /// Builds the shards and partitions every queue group across them.
     pub fn build(self) -> Engine {
-        let shard_count = self.shards;
-        let mut shards: Vec<Router> = (0..shard_count)
-            .map(|i| {
-                // A single-shard engine keeps the bare name so CPU reports
-                // and existing expectations (`cpu_of("router")`) line up.
-                let name = if shard_count == 1 {
-                    self.name.clone()
-                } else {
-                    format!("{}.{}", self.name, i)
-                };
-                let mut r =
-                    Router::new(&name, self.cost.clone(), self.workers, self.table_capacity);
-                r.configure_batch(self.batch);
-                // Named registration: the worker id stamped into this
-                // shard's trace events maps back to the shard name in
-                // snapshots and trace exports (one Chrome "process" per
-                // shard).
-                r.configure_telemetry(self.telemetry.register_worker_named(&name));
-                if let Some(cfg) = self.recovery {
-                    r.configure_recovery(cfg);
-                }
-                if let Some(cfg) = &self.fleet {
-                    r.configure_fleet(cfg);
-                }
-                if let Some(cfg) = self.coalesce {
-                    r.configure_coalesce(cfg);
-                }
-                r
-            })
-            .collect();
-        let mut placements = Vec::new();
-        let mut group = 0usize;
-        for vm in self.vms {
-            let EngineVm {
-                vm_id,
-                mem,
-                partition,
-                queues,
-            } = vm;
-            for (queue_group, mut q) in queues.into_iter().enumerate() {
-                let shard = group % shard_count;
-                if let Some(capacity) = self.memo_capacity {
-                    if let Some(vm) = q.classifier.bpf_vm_mut() {
-                        vm.set_memo_capacity(capacity);
-                    }
-                }
-                let slot = shards[shard].bind_vm(VmBinding {
-                    vm_id,
-                    mem: mem.clone(),
-                    partition,
-                    vsqs: q.vsqs,
-                    vcqs: q.vcqs,
-                    hsq: q.hsq,
-                    hcq: q.hcq,
-                    kernel: q.kernel,
-                    notify: q.notify,
-                    classifier: q.classifier,
-                });
-                placements.push(Placement {
-                    vm_id,
-                    queue_group,
-                    shard,
-                    slot,
-                });
-                group += 1;
-            }
-        }
-        Engine { shards, placements }
+        let spec = EngineSpec {
+            name: self.name,
+            cost: self.cost,
+            shards: self.shards,
+            workers: self.workers,
+            batch: self.batch,
+            table_capacity: self.table_capacity,
+            recovery: self.recovery,
+            telemetry: self.telemetry,
+            memo_capacity: self.memo_capacity,
+            fleet: self.fleet,
+            coalesce: self.coalesce,
+        };
+        Engine::assemble(spec, self.vms, 1)
     }
+}
+
+/// Everything needed to build the engine's shards again from scratch —
+/// the builder's knobs, minus the (unclonable) VM bindings. A servicing
+/// restore re-runs shard construction from this, possibly with a
+/// different shard count.
+#[derive(Clone)]
+pub(crate) struct EngineSpec {
+    name: String,
+    cost: CostModel,
+    shards: usize,
+    workers: usize,
+    batch: usize,
+    table_capacity: usize,
+    recovery: Option<RecoveryConfig>,
+    telemetry: Telemetry,
+    memo_capacity: Option<usize>,
+    fleet: Option<FleetConfig>,
+    coalesce: Option<CoalesceConfig>,
 }
 
 /// Per-VM breaker state as seen from outside the shards.
@@ -353,8 +323,13 @@ pub struct EngineStats {
     /// Every (shard, tenant) fleet-scheduler slot, in shard-then-tenant
     /// order (empty when fleet mode is off).
     pub tenants: Vec<TenantState>,
-    /// Highest routing-table occupancy any shard reached.
+    /// Highest routing-table occupancy any shard reached (across restores:
+    /// includes the pre-snapshot peak carried by servicing).
     pub high_water: usize,
+    /// Requests currently occupying routing-table slots across all shards
+    /// (incl. quarantined tags), read in the same pass as the counters and
+    /// breaker states.
+    pub occupancy: usize,
 }
 
 impl EngineStats {
@@ -420,13 +395,138 @@ impl EngineStats {
 }
 
 /// The sharded datapath: a pool of [`Router`] shards plus the record of
-/// where every queue group landed.
+/// where every queue group landed, the spec to rebuild the shards from
+/// (servicing), and the counters carried over from pre-restore epochs.
 pub struct Engine {
     shards: Vec<Router>,
     placements: Vec<Placement>,
+    spec: EngineSpec,
+    /// Global queue-group counter: hot attach continues the round-robin
+    /// where the last bind left off instead of restarting at shard 0.
+    next_group: usize,
+    /// Engine generation (starts at 1; restore/reshard bump it).
+    generation: u32,
+    /// Lifetime counters accumulated by pre-restore epochs; `stats()`
+    /// reports these plus what the current shards have seen.
+    carried: RouterStats,
+    /// Peak table occupancy across pre-restore epochs.
+    carried_high_water: usize,
+    /// Telemetry worker for engine-level servicing events (snapshots,
+    /// restores, reshards, attach/detach).
+    svc: TelemetryHandle,
+}
+
+/// The non-serializable remains of a snapshotted engine: the construction
+/// spec plus the live queue endpoints, one [`VmBinding`] per queue group
+/// in the snapshot's group order. Hand them to [`Engine::restore`] (or
+/// [`Engine::restore_with_shards`]) together with the [`ServiceState`].
+pub struct EngineParts {
+    spec: EngineSpec,
+    bindings: Vec<VmBinding>,
+}
+
+impl EngineParts {
+    /// Queue groups held, in the snapshot's group order.
+    pub fn group_count(&self) -> usize {
+        self.bindings.len()
+    }
 }
 
 impl Engine {
+    /// Builds shards from `spec` and binds `vms` round-robin — the single
+    /// construction path shared by [`RouterBuilder::build`] and the
+    /// servicing restore.
+    fn assemble(spec: EngineSpec, vms: Vec<EngineVm>, generation: u32) -> Engine {
+        let shard_count = spec.shards;
+        let shards: Vec<Router> = (0..shard_count)
+            .map(|i| {
+                // A single-shard engine keeps the bare name so CPU reports
+                // and existing expectations (`cpu_of("router")`) line up.
+                let name = if shard_count == 1 {
+                    spec.name.clone()
+                } else {
+                    format!("{}.{}", spec.name, i)
+                };
+                let mut r =
+                    Router::new(&name, spec.cost.clone(), spec.workers, spec.table_capacity);
+                r.configure_batch(spec.batch);
+                // Named registration: the worker id stamped into this
+                // shard's trace events maps back to the shard name in
+                // snapshots and trace exports (one Chrome "process" per
+                // shard).
+                r.configure_telemetry(spec.telemetry.register_worker_named(&name));
+                if let Some(cfg) = spec.recovery {
+                    r.configure_recovery(cfg);
+                }
+                if let Some(cfg) = &spec.fleet {
+                    r.configure_fleet(cfg);
+                }
+                if let Some(cfg) = spec.coalesce {
+                    r.configure_coalesce(cfg);
+                }
+                r.set_generation(generation);
+                r
+            })
+            .collect();
+        let svc = spec.telemetry.register_worker_named("servicing");
+        let mut engine = Engine {
+            shards,
+            placements: Vec::new(),
+            spec,
+            next_group: 0,
+            generation,
+            carried: RouterStats::default(),
+            carried_high_water: 0,
+            svc,
+        };
+        for vm in vms {
+            engine.bind_engine_vm(vm);
+        }
+        engine
+    }
+
+    /// Binds every queue group of `vm`, continuing the engine's global
+    /// round-robin. Returns how many groups were bound.
+    fn bind_engine_vm(&mut self, vm: EngineVm) -> usize {
+        let EngineVm {
+            vm_id,
+            mem,
+            partition,
+            queues,
+        } = vm;
+        let shard_count = self.shards.len();
+        let mut bound = 0;
+        for (queue_group, mut q) in queues.into_iter().enumerate() {
+            let shard = self.next_group % shard_count;
+            self.next_group += 1;
+            if let Some(capacity) = self.spec.memo_capacity {
+                if let Some(vm) = q.classifier.bpf_vm_mut() {
+                    vm.set_memo_capacity(capacity);
+                }
+            }
+            let slot = self.shards[shard].bind_vm(VmBinding {
+                vm_id,
+                mem: mem.clone(),
+                partition,
+                vsqs: q.vsqs,
+                vcqs: q.vcqs,
+                hsq: q.hsq,
+                hcq: q.hcq,
+                kernel: q.kernel,
+                notify: q.notify,
+                classifier: q.classifier,
+            });
+            self.placements.push(Placement {
+                vm_id,
+                queue_group,
+                shard,
+                slot,
+            });
+            bound += 1;
+        }
+        bound
+    }
+
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
@@ -447,25 +547,33 @@ impl Engine {
         &self.placements
     }
 
-    /// Aggregated counters, breaker states, and high-water marks.
+    /// Aggregated counters, breaker states, occupancy, and high-water
+    /// marks. Each shard contributes one [`ShardSnapshot`] taken in a
+    /// single pass, so a shard's counters, its table marks, and its
+    /// breaker states all describe the same instant — the old
+    /// field-by-field reads could pair counters with breaker state from a
+    /// different poll.
+    ///
+    /// [`ShardSnapshot`]: crate::router::ShardSnapshot
     pub fn stats(&self) -> EngineStats {
         let mut stats = EngineStats::default();
+        stats.total.merge(&self.carried);
+        stats.high_water = self.carried_high_water;
         for (i, shard) in self.shards.iter().enumerate() {
-            let s = shard.stats();
-            stats.total.merge(&s);
-            stats.per_shard.push(s);
-            stats.high_water = stats.high_water.max(shard.high_water());
-            if shard.recovery_enabled() {
-                for (vm_id, breaker) in shard.breaker_view() {
-                    stats.breakers.push(BreakerState {
-                        shard: i,
-                        vm_id,
-                        open: breaker.is_open(),
-                        opens: breaker.opens(),
-                    });
-                }
+            let snap = shard.stats_snapshot();
+            stats.total.merge(&snap.stats);
+            stats.per_shard.push(snap.stats);
+            stats.high_water = stats.high_water.max(snap.high_water);
+            stats.occupancy += snap.in_flight;
+            for (vm_id, open, opens) in snap.breakers {
+                stats.breakers.push(BreakerState {
+                    shard: i,
+                    vm_id,
+                    open,
+                    opens,
+                });
             }
-            for view in shard.fleet_view() {
+            for view in snap.tenants {
                 stats.tenants.push(TenantState { shard: i, view });
             }
         }
@@ -495,5 +603,410 @@ impl Engine {
     /// poll loop by hand).
     pub fn into_shards(self) -> Vec<Router> {
         self.shards
+    }
+
+    // ------------------------------------------------------------------
+    // Live servicing: quiesce / snapshot / restore, hot attach/detach,
+    // online resharding.
+    // ------------------------------------------------------------------
+
+    /// Current engine generation (starts at 1; every restore or reshard
+    /// bumps it — requests admitted under older generations can never be
+    /// satisfied by their stale completions).
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// Closes every shard's admission gate: no new guest command is
+    /// drained, while completions, recovery timers, and retries keep
+    /// running so in-flight work converges. The quiesce protocol's first
+    /// step; drive the rig until [`Engine::quiesced`] or a deadline, then
+    /// [`Engine::snapshot`] — anything still in flight is quarantined and
+    /// replayed by the restore.
+    pub fn begin_quiesce(&mut self) {
+        for s in &mut self.shards {
+            s.set_admitting(false);
+        }
+    }
+
+    /// Reopens admission on every shard (a quiesce that decided not to
+    /// snapshot after all).
+    pub fn resume_admission(&mut self) {
+        for s in &mut self.shards {
+            s.set_admitting(true);
+        }
+    }
+
+    /// True once every shard has drained: all admitted requests have
+    /// answered their guests and no internal work is queued. Quarantined
+    /// zombie tags don't block this — they are serialized by the snapshot.
+    pub fn quiesced(&self) -> bool {
+        self.shards.iter().all(|s| s.is_drained())
+    }
+
+    /// Live (guest-answer-owing) requests across all shards.
+    pub fn live_in_flight(&self) -> usize {
+        self.shards.iter().map(|s| s.live_in_flight()).sum()
+    }
+
+    /// Polls every shard once at `now`; true if any made progress
+    /// (manual-drive harnesses: quiesce loops, servicing tests).
+    pub fn poll_all(&mut self, now: Ns) -> bool {
+        let mut any = false;
+        for s in &mut self.shards {
+            any |= matches!(s.poll(now), Progress::Busy);
+        }
+        any
+    }
+
+    /// Earliest future event any shard has scheduled.
+    pub fn next_event_all(&self) -> Option<Ns> {
+        self.shards.iter().filter_map(|s| s.next_event()).min()
+    }
+
+    /// Consumes the (ideally quiesced) engine into a serializable
+    /// [`ServiceState`] plus the non-serializable [`EngineParts`]. Station
+    /// work still queued inside a shard is force-applied first, so every
+    /// accepted command is either serialized as in-flight or as an
+    /// undelivered CQE — nothing is lost. In-flight requests are
+    /// serialized with their tags and dispatch masks; the restore pins
+    /// quarantines at the old tags and replays the requests under a new
+    /// generation, which is what makes a mid-flight snapshot safe.
+    pub fn snapshot(self, _now: Ns) -> (ServiceState, EngineParts) {
+        self.svc.count(Metric::SnapshotsTaken);
+        // Group ordinal = index into `placements` (bind order). Map each
+        // shard's VM slots back to ordinals; slots without a placement are
+        // detached tombstones and contribute nothing.
+        let mut slot_to_group: Vec<HashMap<usize, usize>> = vec![HashMap::new(); self.shards.len()];
+        for (g, p) in self.placements.iter().enumerate() {
+            slot_to_group[p.shard].insert(p.slot, g);
+        }
+        let groups: Vec<SavedGroup> = self
+            .placements
+            .iter()
+            .map(|p| SavedGroup {
+                vm_id: p.vm_id,
+                queue_group: p.queue_group as u32,
+            })
+            .collect();
+        let tenants: Vec<SavedTenant> = self
+            .spec
+            .fleet
+            .as_ref()
+            .map(|f| {
+                f.governor
+                    .snapshot()
+                    .into_iter()
+                    .map(|v| SavedTenant {
+                        tenant: v.tenant,
+                        throttle_permille: v.throttle_permille,
+                        admitted: v.admitted,
+                        throttled: v.throttled,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let recovery_on = self.spec.recovery.is_some();
+        let mut carried = self.carried;
+        let mut carried_high_water = self.carried_high_water;
+        let mut next_seq = 0u64;
+        let mut requests = Vec::new();
+        let mut retries = Vec::new();
+        let mut cqes = Vec::new();
+        let mut breakers = Vec::new();
+        let mut bindings: Vec<Option<VmBinding>> = Vec::new();
+        bindings.resize_with(groups.len(), || None);
+        for (shard_idx, shard) in self.shards.into_iter().enumerate() {
+            let (export, vms) = shard.into_service();
+            carried.merge(&export.stats);
+            carried_high_water = carried_high_water.max(export.high_water);
+            next_seq = next_seq.max(export.next_seq);
+            // Tag → owning slot, for attributing retry entries to groups.
+            let mut tag_slot: HashMap<u16, usize> = HashMap::new();
+            for (slot, tag, state) in export.entries {
+                let Some(&g) = slot_to_group[shard_idx].get(&slot) else {
+                    continue; // lingering quarantine of a detached VM
+                };
+                tag_slot.insert(tag, slot);
+                requests.push(SavedRequest {
+                    group: g as u32,
+                    tag,
+                    state,
+                });
+            }
+            for (tag, at) in export.retries {
+                let Some(&g) = tag_slot
+                    .get(&tag)
+                    .and_then(|slot| slot_to_group[shard_idx].get(slot))
+                else {
+                    continue;
+                };
+                retries.push(SavedRetry {
+                    group: g as u32,
+                    tag,
+                    at,
+                });
+            }
+            for (slot, vsq, cqe) in export.cqes {
+                let Some(&g) = slot_to_group[shard_idx].get(&slot) else {
+                    continue;
+                };
+                cqes.push(SavedCqe {
+                    group: g as u32,
+                    vsq,
+                    cid: cqe.cid,
+                    status: cqe.status().0,
+                });
+            }
+            if recovery_on {
+                for (slot, snap) in export.breakers.into_iter().enumerate() {
+                    let Some(&g) = slot_to_group[shard_idx].get(&slot) else {
+                        continue;
+                    };
+                    breakers.push(SavedBreaker {
+                        group: g as u32,
+                        snap,
+                    });
+                }
+            }
+            for (slot, binding) in vms.into_iter().enumerate() {
+                let (Some(binding), Some(&g)) = (binding, slot_to_group[shard_idx].get(&slot))
+                else {
+                    continue;
+                };
+                bindings[g] = Some(binding);
+            }
+        }
+        let state = ServiceState {
+            generation: self.generation,
+            shards: self.spec.shards as u32,
+            next_seq,
+            carried,
+            carried_high_water: carried_high_water as u64,
+            groups,
+            requests,
+            retries,
+            cqes,
+            breakers,
+            tenants,
+        };
+        let parts = EngineParts {
+            spec: self.spec,
+            bindings: bindings
+                .into_iter()
+                .map(|b| b.expect("every placement has a live binding"))
+                .collect(),
+        };
+        (state, parts)
+    }
+
+    /// Restores a fresh engine from a snapshot at the snapshot's shard
+    /// count. See [`Engine::restore_with_shards`].
+    pub fn restore(
+        parts: EngineParts,
+        state: &ServiceState,
+        now: Ns,
+    ) -> Result<Engine, ServiceError> {
+        let shards = parts.spec.shards;
+        Self::restore_with_shards(parts, state, shards, now)
+    }
+
+    /// Restores a fresh engine from a snapshot onto `shards` shards
+    /// (online resharding when it differs from the snapshot's count).
+    ///
+    /// Queue groups are rebound round-robin in their saved order. The new
+    /// engine runs at `state.generation + 1`; for every saved request
+    /// with legs still in flight, the old tag is pinned as an
+    /// old-generation quarantine on the group's **new** owner shard (that
+    /// shard now polls the group's completion queues, so the stale legs
+    /// arrive there), and every request whose guest was not yet answered
+    /// is replayed as a fresh attempt. Exactly-once: the stale leg can
+    /// only hit the quarantine (dropped as epoch-late), the guest's
+    /// answer can only come from the replay.
+    pub fn restore_with_shards(
+        mut parts: EngineParts,
+        state: &ServiceState,
+        shards: usize,
+        now: Ns,
+    ) -> Result<Engine, ServiceError> {
+        if parts.bindings.len() != state.groups.len() {
+            return Err(ServiceError::Mismatch("queue-group count"));
+        }
+        for (b, g) in parts.bindings.iter().zip(&state.groups) {
+            if b.vm_id != g.vm_id {
+                return Err(ServiceError::Mismatch("queue-group vm identity"));
+            }
+        }
+        parts.spec.shards = shards.max(1);
+        let generation = state.generation.wrapping_add(1).max(1);
+        let mut engine = Engine::assemble(parts.spec, Vec::new(), generation);
+        // Rebind each group round-robin, preserving its saved identity.
+        let shard_count = engine.shards.len();
+        for (g, binding) in parts.bindings.into_iter().enumerate() {
+            let shard = engine.next_group % shard_count;
+            engine.next_group += 1;
+            let vm_id = binding.vm_id;
+            let slot = engine.shards[shard].bind_vm(binding);
+            engine.placements.push(Placement {
+                vm_id,
+                queue_group: state.groups[g].queue_group as usize,
+                shard,
+                slot,
+            });
+        }
+        engine.carried = state.carried;
+        engine.carried_high_water = state.carried_high_water as usize;
+        for s in &mut engine.shards {
+            s.set_next_seq(state.next_seq);
+        }
+        // Per-tenant governor cells (throttle knob + admission counters)
+        // carry over; a fresh governor instance starts where the old one
+        // stopped, a shared instance sees idempotent writes.
+        if let Some(f) = &engine.spec.fleet {
+            for t in &state.tenants {
+                f.governor
+                    .restore_cell(t.tenant, t.throttle_permille, t.admitted, t.throttled);
+            }
+        }
+        for b in &state.breakers {
+            if let Some(p) = engine.placements.get(b.group as usize).copied() {
+                engine.shards[p.shard].restore_breaker(p.slot, &b.snap);
+            }
+        }
+        // Quarantines first: they pin exact tags, so they must win every
+        // slot they need before replays allocate freely around them.
+        for q in &state.requests {
+            let p = engine.placements[q.group as usize];
+            if q.state.pending | q.state.orphaned != 0 {
+                engine.shards[p.shard].inject_quarantine(q.tag, &q.state, now);
+            }
+        }
+        let retry_at: HashMap<(u32, u16), u64> = state
+            .retries
+            .iter()
+            .map(|r| ((r.group, r.tag), r.at))
+            .collect();
+        for q in &state.requests {
+            if q.state.zombie {
+                continue; // guest was answered before the snapshot
+            }
+            let p = engine.placements[q.group as usize];
+            let at = retry_at.get(&(q.group, q.tag)).copied();
+            engine.shards[p.shard].inject_replay(p.slot, &q.state, at, now);
+        }
+        for c in &state.cqes {
+            let p = engine.placements[c.group as usize];
+            engine.shards[p.shard].requeue_vcq(
+                p.slot,
+                c.vsq,
+                CompletionEntry::new(c.cid, Status(c.status)),
+            );
+        }
+        engine.svc.count(Metric::Restores);
+        Ok(engine)
+    }
+
+    /// Online resharding: snapshot + restore onto `shards` shards in one
+    /// step. Every queue group is rebound round-robin; every outstanding
+    /// tag either completed on its old shard before the snapshot or is
+    /// replayed on its new one — never both (the old tag is quarantined
+    /// under the old generation).
+    pub fn reshard(self, shards: usize, now: Ns) -> Result<Engine, ServiceError> {
+        let (state, parts) = self.snapshot(now);
+        let engine = Self::restore_with_shards(parts, &state, shards, now)?;
+        engine.svc.count(Metric::Reshards);
+        Ok(engine)
+    }
+
+    /// Hot-attaches a VM to the running engine: its queue groups continue
+    /// the engine's global round-robin placement; no existing binding
+    /// moves and no other tenant's queues are touched. Returns the new
+    /// placements.
+    pub fn attach_vm(&mut self, vm: impl Into<EngineVm>) -> Vec<Placement> {
+        let start = self.placements.len();
+        self.bind_engine_vm(vm.into());
+        self.svc.count(Metric::VmAttaches);
+        self.placements[start..].to_vec()
+    }
+
+    /// Closes admission for one VM's queue groups only (hot detach step
+    /// 1); every other tenant keeps flowing. `Err` if the VM is unknown.
+    pub fn pause_vm(&mut self, vm_id: u32) -> Result<(), ServiceError> {
+        self.set_vm_admission(vm_id, false)
+    }
+
+    /// Reopens admission for one VM's queue groups.
+    pub fn resume_vm(&mut self, vm_id: u32) -> Result<(), ServiceError> {
+        self.set_vm_admission(vm_id, true)
+    }
+
+    fn set_vm_admission(&mut self, vm_id: u32, on: bool) -> Result<(), ServiceError> {
+        let mut found = false;
+        for p in &self.placements {
+            if p.vm_id == vm_id {
+                self.shards[p.shard].set_vm_admitting(p.slot, on);
+                found = true;
+            }
+        }
+        if found {
+            Ok(())
+        } else {
+            Err(ServiceError::UnknownVm(vm_id))
+        }
+    }
+
+    /// Whether every admitted request of `vm_id` has answered its guest
+    /// and no work for it is queued inside any shard (detach safety).
+    pub fn vm_quiesced(&self, vm_id: u32) -> bool {
+        self.placements
+            .iter()
+            .filter(|p| p.vm_id == vm_id)
+            .all(|p| self.shards[p.shard].vm_quiesced(p.slot))
+    }
+
+    /// Hot-detaches a quiesced VM, returning its queue groups (in
+    /// queue-group order) for migration or teardown. The VM's slots stay
+    /// behind as inert tombstones so no other binding's slot index moves;
+    /// lingering zombie quarantines of the departed VM are reaped by
+    /// their timers. Call [`Engine::pause_vm`] and drain first — a VM
+    /// with work in flight is refused with [`ServiceError::VmBusy`].
+    pub fn detach_vm(&mut self, vm_id: u32) -> Result<EngineVm, ServiceError> {
+        let mut placs: Vec<Placement> = self
+            .placements
+            .iter()
+            .copied()
+            .filter(|p| p.vm_id == vm_id)
+            .collect();
+        if placs.is_empty() {
+            return Err(ServiceError::UnknownVm(vm_id));
+        }
+        if !self.vm_quiesced(vm_id) {
+            return Err(ServiceError::VmBusy(vm_id));
+        }
+        placs.sort_by_key(|p| p.queue_group);
+        let mut queues = Vec::new();
+        let mut identity: Option<(Arc<GuestMemory>, Partition)> = None;
+        for p in &placs {
+            let b = self.shards[p.shard].detach_slot(p.slot);
+            identity.get_or_insert_with(|| (b.mem.clone(), b.partition));
+            queues.push(QueueBinding {
+                vsqs: b.vsqs,
+                vcqs: b.vcqs,
+                hsq: b.hsq,
+                hcq: b.hcq,
+                kernel: b.kernel,
+                notify: b.notify,
+                classifier: b.classifier,
+            });
+        }
+        self.placements.retain(|p| p.vm_id != vm_id);
+        self.svc.count(Metric::VmDetaches);
+        let (mem, partition) = identity.expect("at least one placement");
+        Ok(EngineVm {
+            vm_id,
+            mem,
+            partition,
+            queues,
+        })
     }
 }

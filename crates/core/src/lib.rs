@@ -34,6 +34,7 @@ pub mod guest;
 pub mod recovery;
 pub mod router;
 pub mod routing;
+pub mod servicing;
 pub mod threading;
 pub mod uif;
 
@@ -44,11 +45,15 @@ pub use classify::{
 };
 pub use controller::{Partition, VirtualController, VmConfig};
 pub use engine::{
-    BreakerState, Engine, EngineStats, EngineVm, Placement, QueueBinding, RouterBuilder,
-    TenantState,
+    BreakerState, Engine, EngineParts, EngineStats, EngineVm, Placement, QueueBinding,
+    RouterBuilder, TenantState,
 };
 pub use guest::{GuestDriver, GuestError, GuestInfo};
-pub use recovery::{CircuitBreaker, Gate, RecoveryConfig};
-pub use router::{KernelPath, Router, RouterStats, VmBinding};
+pub use recovery::{BreakerSnap, CircuitBreaker, Gate, RecoveryConfig};
+pub use router::{KernelPath, Router, RouterStats, ShardSnapshot, VmBinding};
 pub use routing::RoutingTable;
+pub use servicing::{
+    SavedBreaker, SavedCqe, SavedGroup, SavedRequest, SavedRetry, SavedTenant, ServiceError,
+    ServiceState, SERVICE_MAGIC, SERVICE_VERSION,
+};
 pub use uif::{Uif, UifDisposition, UifIoHandle, UifRequest, UifRunner};

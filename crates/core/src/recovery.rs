@@ -151,6 +151,62 @@ impl CircuitBreaker {
     pub fn opens(&self) -> u64 {
         self.opens
     }
+
+    /// Serializable view of the breaker's full state (live servicing).
+    pub fn save(&self) -> BreakerSnap {
+        let (state, until) = match self.state {
+            BreakerState::Closed => (BreakerSnap::CLOSED, 0),
+            BreakerState::Open { until } => (BreakerSnap::OPEN, until),
+            // An in-flight probe does not survive a snapshot (its command
+            // is quarantined and replayed like any other leg), so a
+            // restored half-open breaker is always ready to probe again.
+            BreakerState::HalfOpen { .. } => (BreakerSnap::HALF_OPEN, 0),
+        };
+        BreakerSnap {
+            state,
+            until,
+            consecutive_failures: self.consecutive_failures,
+            opens: self.opens,
+        }
+    }
+
+    /// Rebuilds a breaker from a [`BreakerSnap`] taken by [`save`].
+    ///
+    /// [`save`]: CircuitBreaker::save
+    pub fn restore(&mut self, snap: &BreakerSnap) {
+        self.consecutive_failures = snap.consecutive_failures;
+        self.opens = snap.opens;
+        self.state = match snap.state {
+            BreakerSnap::OPEN => BreakerState::Open { until: snap.until },
+            BreakerSnap::HALF_OPEN => BreakerState::HalfOpen { probing: false },
+            _ => BreakerState::Closed,
+        };
+    }
+}
+
+/// Wire-friendly breaker state: the private state machine flattened to a
+/// tag byte plus the open deadline. Produced by [`CircuitBreaker::save`],
+/// consumed by [`CircuitBreaker::restore`] on the restored engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BreakerSnap {
+    /// State tag: one of [`BreakerSnap::CLOSED`] / [`BreakerSnap::OPEN`] /
+    /// [`BreakerSnap::HALF_OPEN`].
+    pub state: u8,
+    /// Absolute end of the cooldown when `state == OPEN` (0 otherwise).
+    pub until: Ns,
+    /// Consecutive fast-path failures observed so far.
+    pub consecutive_failures: u32,
+    /// Times the breaker has tripped open.
+    pub opens: u64,
+}
+
+impl BreakerSnap {
+    /// Closed: fast path flows normally.
+    pub const CLOSED: u8 = 0;
+    /// Open: fast path denied until `until`.
+    pub const OPEN: u8 = 1;
+    /// Half-open: the next send probes the path.
+    pub const HALF_OPEN: u8 = 2;
 }
 
 #[cfg(test)]
@@ -205,6 +261,50 @@ mod tests {
         b.on_success();
         assert_eq!(b.gate(1002), Gate::Pass);
         assert!(!b.is_open());
+    }
+
+    #[test]
+    fn breaker_save_restore_round_trips_every_state() {
+        // Open mid-cooldown: the restored breaker must still deny, then
+        // probe once the saved deadline passes.
+        let mut b = CircuitBreaker::new(2, 1000);
+        b.on_failure(0);
+        b.on_failure(10);
+        assert!(b.is_open());
+        let snap = b.save();
+        let mut r = CircuitBreaker::new(2, 1000);
+        r.restore(&snap);
+        assert!(r.is_open());
+        assert_eq!(r.opens(), 1);
+        assert_eq!(r.gate(500), Gate::Deny, "cooldown must survive restore");
+        assert_eq!(r.gate(1010), Gate::Probe);
+
+        // Half-open with a probe in flight: the probe is lost to the
+        // snapshot, so the restored breaker re-probes.
+        let snap = b.save(); // b's gate was never consulted: still Open
+        let mut hb = CircuitBreaker::new(2, 1000);
+        hb.on_failure(0);
+        hb.on_failure(1);
+        assert_eq!(hb.gate(5000), Gate::Probe, "enter half-open");
+        let hsnap = hb.save();
+        let mut hr = CircuitBreaker::new(2, 1000);
+        hr.restore(&hsnap);
+        assert_eq!(hr.gate(5001), Gate::Probe, "restored half-open re-probes");
+
+        // Closed round-trips to closed.
+        let mut c = CircuitBreaker::new(2, 1000);
+        c.on_failure(0);
+        c.on_success();
+        let csnap = c.save();
+        let mut cr = CircuitBreaker::new(2, 1000);
+        cr.restore(&csnap);
+        assert!(!cr.is_open());
+        assert_eq!(cr.gate(0), Gate::Pass);
+        assert_eq!(
+            csnap.consecutive_failures, 0,
+            "success resets the streak before the save"
+        );
+        let _ = snap;
     }
 
     #[test]

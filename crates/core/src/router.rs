@@ -20,11 +20,11 @@
 //! guest memory.
 
 use crate::classify::{
-    path_bits, Classifier, MediatedFields, RequestCtx, Verdict, HOOK_HCQ, HOOK_KCQ, HOOK_NCQ,
-    HOOK_VSQ,
+    path_bits, verdict_bits, Classifier, MediatedFields, NativeClassifier, RequestCtx, Verdict,
+    HOOK_HCQ, HOOK_KCQ, HOOK_NCQ, HOOK_VSQ,
 };
 use crate::controller::Partition;
-use crate::recovery::{CircuitBreaker, Gate, RecoveryConfig};
+use crate::recovery::{BreakerSnap, CircuitBreaker, Gate, RecoveryConfig};
 use crate::routing::{RequestState, RoutingTable};
 use nvmetro_fleet::{
     Admit, CoalesceConfig, CoalesceStats, CoalesceWindow, FleetConfig, Join, TenantScheduler,
@@ -32,10 +32,11 @@ use nvmetro_fleet::{
 };
 use nvmetro_mem::GuestMemory;
 use nvmetro_nvme::{
-    CompletionEntry, CqConsumer, CqProducer, SqConsumer, SqProducer, Status, SubmissionEntry,
+    CompletionEntry, CqConsumer, CqPair, CqProducer, SqConsumer, SqPair, SqProducer, Status,
+    SubmissionEntry,
 };
 use nvmetro_sim::cost::CostModel;
-use nvmetro_sim::{Actor, CpuMode, Ns, Progress, Station, US};
+use nvmetro_sim::{Actor, CpuMode, Ns, Progress, Station, MS, US};
 use nvmetro_telemetry::{Depth, Metric, PathKind, Route, Segment, Stage, TelemetryHandle, Tier};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -134,6 +135,13 @@ pub struct RouterStats {
     /// Tenant drain visits cut short by DRR deficit exhaustion (fleet
     /// scheduler).
     pub sched_preemptions: u64,
+    /// Requests re-admitted by a servicing restore/reshard and dispatched
+    /// as a fresh attempt (new tag, new generation).
+    pub replayed: u64,
+    /// Completions dropped because their slot carried an older engine
+    /// generation than the router's — pre-snapshot legs answering a
+    /// post-restore engine (never delivered to the guest).
+    pub epoch_late_drops: u64,
 }
 
 impl RouterStats {
@@ -160,6 +168,8 @@ impl RouterStats {
         self.coalesce_fanout += other.coalesce_fanout;
         self.sched_throttled += other.sched_throttled;
         self.sched_preemptions += other.sched_preemptions;
+        self.replayed += other.replayed;
+        self.epoch_late_drops += other.epoch_late_drops;
     }
 }
 
@@ -225,6 +235,24 @@ pub struct Router {
     sched_recheck: Option<Ns>,
     /// Cross-VM read coalescing window (None = no coalescing).
     coalesce: Option<CoalesceWindow>,
+    /// Engine generation this shard admits under. Bumped by every
+    /// restore/reshard; a completion landing on a slot with an older
+    /// generation is an epoch-late straggler and is quarantined.
+    generation: u32,
+    /// Shard-wide admission gate (live servicing quiesce): while false, no
+    /// VSQ is drained but completions, timers, and retries keep running so
+    /// in-flight work converges.
+    admitting: bool,
+    /// Per-VM-slot liveness, parallel to `vms`. A detached slot holds an
+    /// inert tombstone binding and is skipped by ingest and views.
+    vm_active: Vec<bool>,
+    /// Per-VM-slot admission gate (hot detach pauses one tenant's VSQs
+    /// without disturbing anyone else's).
+    vm_admitting: Vec<bool>,
+    /// Station work items queued per VM slot (parallel to `vms`): lets
+    /// `vm_quiesced` answer per-tenant without requiring the whole
+    /// station to be empty.
+    vm_work: Vec<usize>,
     /// Stage-coverage audit (debug builds only): sequence numbers that
     /// already emitted their terminal `VcqComplete`, to debug-assert that
     /// no request terminates twice.
@@ -262,6 +290,11 @@ impl Router {
             drain_cursor: 0,
             sched_recheck: None,
             coalesce: None,
+            generation: 1,
+            admitting: true,
+            vm_active: Vec::new(),
+            vm_admitting: Vec::new(),
+            vm_work: Vec::new(),
             #[cfg(debug_assertions)]
             finished_seqs: std::collections::HashSet::new(),
         }
@@ -294,10 +327,17 @@ impl Router {
         self.breakers.get(vm)
     }
 
-    /// `(vm_id, breaker)` for every bound VM, in bind order (used by the
-    /// engine's aggregated stats).
+    /// `(vm_id, breaker)` for every live bound VM, in bind order (used by
+    /// the engine's aggregated stats). Detached tombstone slots are
+    /// skipped.
     pub(crate) fn breaker_view(&self) -> impl Iterator<Item = (u32, &CircuitBreaker)> {
-        self.vms.iter().map(|v| v.vm_id).zip(self.breakers.iter())
+        self.vms
+            .iter()
+            .map(|v| v.vm_id)
+            .zip(self.breakers.iter())
+            .zip(self.vm_active.iter())
+            .filter(|&(_, &active)| active)
+            .map(|(pair, _)| pair)
     }
 
     /// Feeds one failure to a VM's breaker, counting the Closed→Open
@@ -373,6 +413,9 @@ impl Router {
             cfg.breaker_threshold,
             cfg.breaker_cooldown,
         ));
+        self.vm_active.push(true);
+        self.vm_admitting.push(true);
+        self.vm_work.push(0);
         self.vms.len() - 1
     }
 
@@ -396,6 +439,9 @@ impl Router {
         let mut any = false;
         let batch = self.batch;
         for vm in 0..self.vms.len() {
+            if !self.vm_active[vm] {
+                continue; // detached tombstone: nothing to drain
+            }
             // Fast-path completions (bounded: leftovers keep the poll Busy,
             // so the next visit continues where this one stopped).
             for _ in 0..batch {
@@ -404,6 +450,7 @@ impl Router {
                 };
                 let tag = cqe.cid;
                 let cost = self.completion_cost(tag, path_bits::HQ);
+                self.vm_work[vm] += 1;
                 self.station.push(
                     Work::PathDone {
                         vm,
@@ -423,6 +470,7 @@ impl Router {
                 let done: Vec<(u16, Status)> = self.kernel_out.drain(..).collect();
                 for (tag, status) in done {
                     let cost = self.completion_cost(tag, path_bits::KQ);
+                    self.vm_work[vm] += 1;
                     self.station.push(
                         Work::PathDone {
                             vm,
@@ -443,6 +491,7 @@ impl Router {
                 };
                 let tag = cqe.cid;
                 let cost = self.completion_cost(tag, path_bits::NQ);
+                self.vm_work[vm] += 1;
                 self.station.push(
                     Work::PathDone {
                         vm,
@@ -460,14 +509,16 @@ impl Router {
             // queue cannot starve its neighbours: the round-robin moves on
             // and returns once every other queue has had its turn. In
             // fleet mode admission is the scheduler's call instead — see
-            // `drain_vsqs_scheduled`.
-            if self.fleet.is_none() {
+            // `drain_vsqs_scheduled`. Quiesce (shard-wide or per-VM) stops
+            // exactly here: completions above keep draining.
+            if self.fleet.is_none() && self.admitting && self.vm_admitting[vm] {
                 for vsq in 0..self.vms[vm].vsqs.len() {
                     let mut drained = 0u64;
                     for _ in 0..batch {
                         let Some((cmd, _)) = self.vms[vm].vsqs[vsq].pop() else {
                             break;
                         };
+                        self.vm_work[vm] += 1;
                         self.station.push(
                             Work::Ingress {
                                 vm,
@@ -486,7 +537,7 @@ impl Router {
                 }
             }
         }
-        if self.fleet.is_some() {
+        if self.fleet.is_some() && self.admitting {
             any |= self.drain_vsqs_scheduled(now);
         }
         if any && self.telemetry.enabled() {
@@ -517,6 +568,9 @@ impl Router {
         sched.new_round();
         for k in 0..n {
             let vm = (start + k) % n;
+            if !self.vm_active[vm] || !self.vm_admitting[vm] {
+                continue; // detached or individually quiesced tenant
+            }
             let slot = self.fleet_slots[vm];
             let mut served = 0u64;
             let mut denied = false;
@@ -549,6 +603,7 @@ impl Router {
                         }
                     }
                     let (cmd, _) = self.vms[vm].vsqs[vsq].pop().expect("checked non-empty");
+                    self.vm_work[vm] += 1;
                     self.station.push(
                         Work::Ingress {
                             vm,
@@ -591,6 +646,8 @@ impl Router {
     }
 
     fn apply(&mut self, work: Work, t: Ns) {
+        let (Work::Ingress { vm, .. } | Work::PathDone { vm, .. }) = work;
+        self.vm_work[vm] = self.vm_work[vm].saturating_sub(1);
         match work {
             Work::Ingress { vm, vsq, cmd } => self.apply_ingress(vm, vsq, cmd, t),
             Work::PathDone {
@@ -608,6 +665,7 @@ impl Router {
         self.next_seq += 1;
         let state = RequestState {
             vm: self.vms[vm].vm_id,
+            slot: vm as u16,
             vsq,
             guest_cid: cmd.cid,
             cmd,
@@ -629,6 +687,7 @@ impl Router {
             orphaned: 0,
             zombie: false,
             first_fault_at: 0,
+            generation: self.generation,
         };
         let tag = match self.table.insert(state) {
             Some(tag) => tag,
@@ -657,6 +716,26 @@ impl Router {
     }
 
     fn apply_path_done(&mut self, vm: usize, path: u8, tag: u16, status: Status, t: Ns) {
+        // Epoch fence (servicing): a slot admitted under an older engine
+        // generation is a pre-snapshot attempt whose guest answer comes
+        // (or came) from the replay. Its legs are dropped here however the
+        // shard is configured — recovery on or off — so a stale completion
+        // can never satisfy, or corrupt, a post-restore command.
+        if let Some(state) = self.table.get(tag) {
+            if state.generation != self.generation {
+                let state = self.table.get_mut(tag).expect("present");
+                state.orphaned &= !path;
+                let drained = state.pending == 0 && state.orphaned == 0;
+                self.stats.late_completions += 1;
+                self.stats.epoch_late_drops += 1;
+                self.telemetry.count(Metric::LateCompletions);
+                self.telemetry.count(Metric::EpochLateDrops);
+                if drained {
+                    self.table.remove(tag);
+                }
+                return;
+            }
+        }
         if self.recovery.is_some() {
             let Some(state) = self.table.get(tag) else {
                 self.stats.spurious += 1;
@@ -1381,6 +1460,352 @@ impl Router {
     }
 }
 
+/// Quarantine linger for restored tags on shards without a recovery
+/// config (with one, its `zombie_linger` is used instead).
+const DEFAULT_ZOMBIE_LINGER: Ns = 50 * MS;
+
+/// A detached slot's placeholder classifier: a stray invocation (which
+/// should never happen — detached slots are skipped by ingest) completes
+/// immediately with an internal error instead of routing anywhere.
+struct TombstoneClassifier;
+
+impl NativeClassifier for TombstoneClassifier {
+    fn classify(&mut self, _ctx: &mut RequestCtx) -> Verdict {
+        Verdict(verdict_bits::COMPLETE | Status::INTERNAL.0 as u64)
+    }
+}
+
+/// One-pass snapshot of a shard's observable state: counters, table
+/// marks, breaker states, and tenant views collected together, so an
+/// aggregated view can never pair counters from one instant with breaker
+/// state from another.
+pub struct ShardSnapshot {
+    /// The shard's counters.
+    pub stats: RouterStats,
+    /// Peak routing-table occupancy.
+    pub high_water: usize,
+    /// Current routing-table occupancy (incl. quarantined tags).
+    pub in_flight: usize,
+    /// `(vm_id, open, opens)` per live VM slot (empty when recovery is
+    /// off).
+    pub breakers: Vec<(u32, bool, u64)>,
+    /// Per-tenant scheduler views (empty without fleet mode).
+    pub tenants: Vec<TenantView>,
+}
+
+/// Everything one shard contributes to a servicing snapshot, extracted by
+/// [`Router::into_service`].
+pub struct RouterExport {
+    /// Highest request sequence number this shard issued.
+    pub next_seq: u64,
+    /// The shard's lifetime counters.
+    pub stats: RouterStats,
+    /// Peak routing-table occupancy.
+    pub high_water: usize,
+    /// `(vm_slot, tag, state)` for every live routing-table entry.
+    pub entries: Vec<(usize, u16, RequestState)>,
+    /// `(tag, at)` for every still-valid retry-backoff entry.
+    pub retries: Vec<(u16, Ns)>,
+    /// Undelivered guest CQEs as `(vm_slot, vsq, cqe)`, oldest first.
+    pub cqes: Vec<(usize, u16, CompletionEntry)>,
+    /// Breaker snapshot per VM slot (parallel to the shard's bind order).
+    pub breakers: Vec<BreakerSnap>,
+}
+
+/// Live-servicing surface: quiesce gates, drain predicates, snapshot
+/// extraction, and restore injection. The engine drives these; they are
+/// exposed on the shard so manual-poll rigs can exercise them too.
+impl Router {
+    /// Engine generation this shard admits under.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    pub(crate) fn set_generation(&mut self, generation: u32) {
+        self.generation = generation;
+    }
+
+    /// Raises the sequence floor so replayed requests never reuse a
+    /// pre-snapshot sequence number.
+    pub(crate) fn set_next_seq(&mut self, seq: u64) {
+        self.next_seq = self.next_seq.max(seq);
+    }
+
+    /// Opens/closes the shard-wide admission gate. Closed, the shard
+    /// drains no VSQ but keeps processing completions, timers, and
+    /// retries — the quiesce protocol's "stop admitting, keep converging".
+    pub fn set_admitting(&mut self, on: bool) {
+        self.admitting = on;
+    }
+
+    /// Whether the shard-wide admission gate is open.
+    pub fn admitting(&self) -> bool {
+        self.admitting
+    }
+
+    /// Gates one VM slot's admission (hot detach quiesces a single tenant
+    /// without touching anyone else's queues).
+    pub(crate) fn set_vm_admitting(&mut self, slot: usize, on: bool) {
+        self.vm_admitting[slot] = on;
+    }
+
+    /// In-flight requests that still owe their guest an answer
+    /// (quarantined zombie tags excluded — their guests were answered).
+    pub fn live_in_flight(&self) -> usize {
+        self.table.iter().filter(|(_, s)| !s.zombie).count()
+    }
+
+    /// True once every admitted request has answered its guest and no
+    /// work is parked inside the shard. Quarantined tags and undelivered
+    /// VCQ retries do not block a drain: both are serialized by the
+    /// snapshot.
+    pub fn is_drained(&self) -> bool {
+        self.live_in_flight() == 0 && self.station.is_empty() && self.cq_batch.is_empty()
+    }
+
+    /// Whether `slot` has fully drained: no station work queued for it
+    /// and no live table entry admitted through it (detach safety; other
+    /// tenants' backlogs don't matter here).
+    pub(crate) fn vm_quiesced(&self, slot: usize) -> bool {
+        self.vm_work[slot] == 0
+            && !self
+                .table
+                .iter()
+                .any(|(_, s)| s.slot as usize == slot && !s.zombie)
+    }
+
+    /// One-pass observable snapshot (see [`ShardSnapshot`]).
+    pub fn stats_snapshot(&self) -> ShardSnapshot {
+        let breakers = if self.recovery.is_some() {
+            self.breaker_view()
+                .map(|(vm_id, b)| (vm_id, b.is_open(), b.opens()))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        ShardSnapshot {
+            stats: self.stats,
+            high_water: self.table.high_water(),
+            in_flight: self.table.in_flight(),
+            breakers,
+            tenants: self.fleet_view(),
+        }
+    }
+
+    /// Consumes the shard into its serializable remains plus the VM
+    /// bindings to rebind (`None` marks a detached tombstone slot).
+    ///
+    /// Station work still queued is force-applied first — accepted
+    /// commands either dispatch (and serialize as in-flight) or complete
+    /// (and serialize as undelivered CQEs); nothing is lost to the
+    /// snapshot.
+    pub(crate) fn into_service(mut self) -> (RouterExport, Vec<Option<VmBinding>>) {
+        while let Some((work, t)) = self.station.pop_done_timed(Ns::MAX) {
+            self.apply(work, t);
+        }
+        self.flush_cq_batch();
+        let entries: Vec<(usize, u16, RequestState)> = self
+            .table
+            .iter()
+            .map(|(tag, s)| (s.slot as usize, tag, s.clone()))
+            .collect();
+        // The retry heap keeps stale entries by design (seq-checked on
+        // fire); only entries that still name a live, waiting request are
+        // worth carrying.
+        let retries: Vec<(u16, Ns)> = self
+            .retryq
+            .iter()
+            .filter_map(|&Reverse((at, tag, seq, _))| {
+                let s = self.table.get(tag)?;
+                (s.seq == seq && !s.zombie && s.pending == 0).then_some((tag, at))
+            })
+            .collect();
+        let cqes: Vec<(usize, u16, CompletionEntry)> = self.vcq_retry.drain(..).collect();
+        let export = RouterExport {
+            next_seq: self.next_seq,
+            stats: self.stats,
+            high_water: self.table.high_water(),
+            entries,
+            retries,
+            cqes,
+            breakers: self.breakers.iter().map(|b| b.save()).collect(),
+        };
+        let active = self.vm_active;
+        let vms = self
+            .vms
+            .into_iter()
+            .zip(active)
+            .map(|(v, live)| live.then_some(v))
+            .collect();
+        (export, vms)
+    }
+
+    /// Pins a pre-snapshot request at its old tag as a quarantined zombie
+    /// carrying its **old** generation. The guest's answer comes from the
+    /// replayed attempt (or already came, for snapshot-time zombies); this
+    /// slot exists so the old engine's in-flight legs — which carry this
+    /// CID — land on an old-generation entry and are dropped as epoch-late
+    /// stragglers instead of touching whatever reuses the tag. A reap
+    /// timer bounds the quarantine. Fails (false) if the tag is taken.
+    pub(crate) fn inject_quarantine(&mut self, tag: u16, saved: &RequestState, now: Ns) -> bool {
+        let linger = self
+            .recovery
+            .map(|c| c.zombie_linger)
+            .unwrap_or(DEFAULT_ZOMBIE_LINGER);
+        if let Some(existing) = self.table.get_mut(tag) {
+            // Resharding down can land two old shards' quarantines on the
+            // same tag of one new shard. Both groups' stale legs will
+            // arrive here carrying this CID; merging the orphan masks
+            // keeps the tag pinned until every leg is accounted for.
+            if existing.zombie && existing.generation != self.generation {
+                existing.orphaned |= saved.pending | saved.orphaned;
+                return true;
+            }
+            return false;
+        }
+        let mut state = saved.clone();
+        state.orphaned |= state.pending;
+        state.pending = 0;
+        state.hooks = 0;
+        state.will_complete = 0;
+        state.deadline = 0;
+        state.zombie = true;
+        let seq = state.seq;
+        if !self.table.insert_at(tag, state) {
+            return false;
+        }
+        self.timers
+            .push(Reverse((now + linger, tag, seq, 0, TIMER_REAP)));
+        true
+    }
+
+    /// Re-admits a snapshotted request as a fresh attempt: new tag, new
+    /// sequence, **current** generation. The replay re-dispatches the
+    /// masks of the request's latest dispatch (or a plain fast-path read
+    /// for a parked coalesce follower that never dispatched); a saved
+    /// backoff (`retry_at`) is honoured instead of dispatching at once.
+    /// Exactly-once holds because the pre-snapshot attempt's legs land on
+    /// the quarantined old tag, never here.
+    pub(crate) fn inject_replay(
+        &mut self,
+        slot: usize,
+        saved: &RequestState,
+        retry_at: Option<Ns>,
+        now: Ns,
+    ) {
+        let (send, hooks, wc) = if saved.dispatch_send != 0 {
+            (saved.dispatch_send, saved.dispatch_hooks, saved.dispatch_wc)
+        } else {
+            (path_bits::HQ, 0, path_bits::HQ)
+        };
+        self.next_seq += 1;
+        let seq = self.next_seq;
+        let state = RequestState {
+            vm: self.vms[slot].vm_id,
+            slot: slot as u16,
+            vsq: saved.vsq,
+            guest_cid: saved.guest_cid,
+            cmd: saved.cmd,
+            pending: 0,
+            hooks: 0,
+            will_complete: 0,
+            status: Status::SUCCESS,
+            user_tag: saved.user_tag,
+            accepted_at: now,
+            sent_paths: 0,
+            dispatched_at: 0,
+            serviced_at: 0,
+            seq,
+            retries: saved.retries,
+            deadline: 0,
+            dispatch_send: 0,
+            dispatch_hooks: 0,
+            dispatch_wc: 0,
+            orphaned: 0,
+            zombie: false,
+            first_fault_at: 0,
+            generation: self.generation,
+        };
+        let vsq = saved.vsq;
+        let tag = match self.table.insert(state) {
+            Some(tag) => tag,
+            None => {
+                // Table exhausted on the restore target (e.g. resharding
+                // down concentrated too many groups): surface a transient
+                // internal error rather than silently dropping the guest's
+                // command.
+                let cqe = CompletionEntry::new(saved.guest_cid, Status::INTERNAL);
+                self.post_vcq(slot, vsq, cqe, now);
+                return;
+            }
+        };
+        self.stats.replayed += 1;
+        self.telemetry.count(Metric::ReplayedRequests);
+        let (vm_id, gen) = (self.vms[slot].vm_id, Self::gen_of(seq));
+        // A replay opens a *new* span: VsqFetch starts it (the old span's
+        // trace lives in the pre-snapshot engine), Replayed marks why.
+        self.telemetry
+            .request_event(now, vm_id, vsq, tag, gen, Stage::VsqFetch, PathKind::None);
+        self.telemetry
+            .request_event(now, vm_id, vsq, tag, gen, Stage::Replayed, PathKind::None);
+        match retry_at {
+            Some(at) if at > now => {
+                let state = self.table.get_mut(tag).expect("just inserted");
+                state.dispatch_send = send;
+                state.dispatch_hooks = hooks;
+                state.dispatch_wc = wc;
+                self.retryq.push(Reverse((at, tag, seq, slot as u16)));
+            }
+            _ => self.dispatch(slot, tag, send, hooks, wc, now),
+        }
+    }
+
+    /// Re-buffers an undelivered pre-snapshot guest CQE; the poll loop's
+    /// retry path delivers it in order. Not re-counted — its request was
+    /// counted completed before the snapshot.
+    pub(crate) fn requeue_vcq(&mut self, slot: usize, vsq: u16, cqe: CompletionEntry) {
+        self.vcq_retry.push((slot, vsq, cqe));
+    }
+
+    /// Restores one VM slot's circuit breaker from a snapshot.
+    pub(crate) fn restore_breaker(&mut self, slot: usize, snap: &BreakerSnap) {
+        if let Some(b) = self.breakers.get_mut(slot) {
+            b.restore(snap);
+        }
+    }
+
+    /// Swaps `slot`'s binding for an inert tombstone and returns the real
+    /// binding. The caller guarantees the slot is quiesced
+    /// ([`Router::vm_quiesced`]). The tombstone keeps every other
+    /// binding's slot index stable, so no other tenant's queues move.
+    /// Quarantined zombie tags of the departed VM are left to their reap
+    /// timers — the reap path never touches the binding.
+    pub(crate) fn detach_slot(&mut self, slot: usize) -> VmBinding {
+        self.vm_active[slot] = false;
+        self.vm_admitting[slot] = false;
+        // Parked completions for the departing binding are undeliverable
+        // once its queues leave; drop them, counted.
+        let before = self.vcq_retry.len();
+        self.vcq_retry.retain(|&(v, _, _)| v != slot);
+        let dropped = (before - self.vcq_retry.len()) as u64;
+        self.stats.vcq_retry_drops += dropped;
+        let old = &self.vms[slot];
+        let tombstone = VmBinding {
+            vm_id: u32::MAX,
+            mem: old.mem.clone(),
+            partition: old.partition,
+            vsqs: Vec::new(),
+            vcqs: Vec::new(),
+            hsq: SqPair::new(2).0,
+            hcq: CqPair::new(2).1,
+            kernel: None,
+            notify: None,
+            classifier: Classifier::Native(Box::new(TombstoneClassifier)),
+        };
+        std::mem::replace(&mut self.vms[slot], tombstone)
+    }
+}
+
 impl Actor for Router {
     fn name(&self) -> &str {
         &self.name
@@ -1417,10 +1842,11 @@ impl Actor for Router {
             self.telemetry
                 .add(Metric::CqNotifies, notified.len() as u64);
         }
-        if self.recovery.is_some() {
-            progressed |= self.fire_timers(now);
-            progressed |= self.fire_retries(now);
-        }
+        // Timers and retries run unconditionally: even with recovery off, a
+        // servicing restore can arm quarantine reap timers and carried-over
+        // retry backoffs on this shard.
+        progressed |= self.fire_timers(now);
+        progressed |= self.fire_retries(now);
         progressed |= self.ingest(now);
         while let Some((work, t)) = self.station.pop_done_timed(now) {
             self.apply(work, t);

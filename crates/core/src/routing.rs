@@ -15,6 +15,11 @@ use nvmetro_nvme::{Status, SubmissionEntry};
 pub struct RequestState {
     /// Originating VM.
     pub vm: u32,
+    /// Router VM-slot (binding index) the request entered through. Two
+    /// queue groups of one VM can share a shard, so `vm` alone does not
+    /// identify the owning binding; servicing snapshots map this slot back
+    /// to the global queue-group ordinal.
+    pub slot: u16,
     /// VSQ index within the VM.
     pub vsq: u16,
     /// Guest-assigned command identifier (restored on completion).
@@ -64,6 +69,11 @@ pub struct RequestState {
     /// Time the first fault was observed (0 = none); recovery latency runs
     /// from here to final completion.
     pub first_fault_at: u64,
+    /// Engine generation the request was admitted under. Bumped on every
+    /// restore/reshard; a completion whose slot carries an older generation
+    /// than the router's is an epoch-late straggler and is quarantined, so
+    /// a pre-snapshot leg can never satisfy a post-restore command.
+    pub generation: u32,
 }
 
 impl RequestState {
@@ -129,6 +139,60 @@ impl RoutingTable {
         }
     }
 
+    /// Reserves a *specific* slot for `state` (live servicing: a restored
+    /// engine pins a quarantined request to the exact tag its old shard
+    /// stamped on the in-flight command, so the late completion still maps
+    /// back by CID). O(capacity): the free list is unlinked by walking it.
+    /// Fails if `tag` is out of range or the slot is already busy.
+    pub fn insert_at(&mut self, tag: u16, state: RequestState) -> bool {
+        if tag as usize >= self.slots.len() || matches!(self.slots[tag as usize], Slot::Busy(_)) {
+            return false;
+        }
+        // Unlink `tag` from the free list.
+        if self.free_head == Some(tag) {
+            let Slot::Free { next_free } = self.slots[tag as usize] else {
+                unreachable!("checked free above");
+            };
+            self.free_head = next_free;
+        } else {
+            let mut cur = self.free_head;
+            loop {
+                let Some(idx) = cur else {
+                    return false; // free slot not on the free list: corrupt
+                };
+                let Slot::Free { next_free } = self.slots[idx as usize] else {
+                    unreachable!("free list points at busy slot");
+                };
+                if next_free == Some(tag) {
+                    let Slot::Free {
+                        next_free: tag_next,
+                    } = self.slots[tag as usize]
+                    else {
+                        unreachable!("checked free above");
+                    };
+                    self.slots[idx as usize] = Slot::Free {
+                        next_free: tag_next,
+                    };
+                    break;
+                }
+                cur = next_free;
+            }
+        }
+        self.slots[tag as usize] = Slot::Busy(Box::new(state));
+        self.in_flight += 1;
+        self.high_water = self.high_water.max(self.in_flight);
+        true
+    }
+
+    /// Iterates every live request as `(tag, state)`, in slot order
+    /// (servicing snapshots walk the table with this).
+    pub fn iter(&self) -> impl Iterator<Item = (u16, &RequestState)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| match s {
+            Slot::Busy(state) => Some((i as u16, state.as_ref())),
+            Slot::Free { .. } => None,
+        })
+    }
+
     /// Accesses a request by tag.
     pub fn get(&self, tag: u16) -> Option<&RequestState> {
         match self.slots.get(tag as usize) {
@@ -188,6 +252,7 @@ mod tests {
     fn state() -> RequestState {
         RequestState {
             vm: 0,
+            slot: 0,
             vsq: 0,
             guest_cid: 7,
             cmd: SubmissionEntry::flush(1),
@@ -209,6 +274,7 @@ mod tests {
             orphaned: 0,
             zombie: false,
             first_fault_at: 0,
+            generation: 0,
         }
     }
 
@@ -269,6 +335,26 @@ mod tests {
         assert_eq!(t.in_flight(), 0);
         assert_eq!(t.high_water(), 2);
         assert_eq!(t.capacity(), 8);
+    }
+
+    #[test]
+    fn insert_at_pins_tags_and_keeps_the_free_list_sound() {
+        let mut t = RoutingTable::new(8);
+        // Pin a mid-list slot, the head, and the tail.
+        assert!(t.insert_at(3, state()));
+        assert!(t.insert_at(0, state()));
+        assert!(t.insert_at(7, state()));
+        assert!(!t.insert_at(3, state()), "busy slot must be refused");
+        assert!(!t.insert_at(8, state()), "out of range must be refused");
+        assert_eq!(t.in_flight(), 3);
+        // The remaining 5 slots must still allocate, never colliding with
+        // the pinned tags.
+        let rest: Vec<u16> = (0..5).map(|_| t.insert(state()).unwrap()).collect();
+        assert!(rest.iter().all(|&tag| ![0, 3, 7].contains(&tag)));
+        assert!(t.insert(state()).is_none(), "table must now be full");
+        assert_eq!(t.iter().count(), 8);
+        t.remove(3).unwrap();
+        assert_eq!(t.insert(state()).unwrap(), 3, "freed pin must recycle");
     }
 
     #[test]

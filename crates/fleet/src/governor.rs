@@ -70,6 +70,14 @@ impl TenantCell {
     pub fn throttled(&self) -> u64 {
         self.throttled.load(Ordering::Relaxed)
     }
+
+    /// Overwrites the admission counters with absolute values (live
+    /// servicing: a restored engine carries the pre-snapshot totals into
+    /// the fresh governor so per-tenant accounting survives a restore).
+    pub fn restore_counters(&self, admitted: u64, throttled: u64) {
+        self.admitted.store(admitted, Ordering::Relaxed);
+        self.throttled.store(throttled, Ordering::Relaxed);
+    }
 }
 
 /// Point-in-time view of one tenant's control-plane state.
@@ -111,6 +119,16 @@ impl TenantGovernor {
     /// Sets the throttle scale for `tenant` (registering it if needed).
     pub fn set_throttle(&self, tenant: u32, permille: u32) {
         self.cell(tenant).set_throttle(permille);
+    }
+
+    /// Restores one tenant's full control-plane cell from a servicing
+    /// snapshot: throttle knob plus absolute admission counters. A no-op
+    /// write when the same governor instance is reused across the restore
+    /// (the values are already identical).
+    pub fn restore_cell(&self, tenant: u32, throttle_permille: u32, admitted: u64, throttled: u64) {
+        let cell = self.cell(tenant);
+        cell.set_throttle(throttle_permille);
+        cell.restore_counters(admitted, throttled);
     }
 
     /// Current throttle scale for `tenant`; `FULL_RATE` if unknown.

@@ -201,6 +201,44 @@ impl Executor {
         self.report()
     }
 
+    /// Pause point: polls every actor at the current time until quiescent
+    /// and returns without leaping the clock. Live-servicing drivers call
+    /// this between steps so they can quiesce/snapshot the datapath at a
+    /// well-defined instant where no actor has unprocessed work at `now`.
+    pub fn settle_now(&mut self) {
+        self.settle();
+    }
+
+    /// Pause point: one settle-then-leap step. Settles the current
+    /// timestamp, then advances the clock to the earliest future event not
+    /// past `deadline`. Returns `false` when no such event exists (the
+    /// system is drained up to the deadline), leaving `now` unchanged —
+    /// callers interleave servicing operations (quiesce checks, snapshot,
+    /// attach/detach) between steps.
+    pub fn step(&mut self, deadline: Ns) -> bool {
+        self.settle();
+        let now = self.now;
+        let next = self
+            .slots
+            .iter()
+            .filter_map(|s| s.actor.next_event())
+            .filter(|&t| t > now)
+            .min();
+        match next {
+            Some(t) if t <= deadline => {
+                self.now = t;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The CPU report as of the current virtual time (also usable
+    /// mid-run, between [`Executor::step`] pause points).
+    pub fn report_now(&self) -> RunReport {
+        self.report()
+    }
+
     /// Polls every actor at the current time until quiescent.
     fn settle(&mut self) {
         const MAX_CASCADES: u32 = 100_000;
@@ -362,6 +400,34 @@ mod tests {
         // charged 40 + 3 inter-event gaps * 100; trailing gap is 0 because
         // the run ends exactly at the last event.
         assert_eq!(cpu, 40 + 300);
+    }
+
+    #[test]
+    fn step_pause_points_reach_the_same_schedule_as_run() {
+        let mut ex = Executor::new();
+        ex.add(Box::new(Ticker::new(1_000, 5, CpuMode::EventDriven)));
+        let mut pauses = Vec::new();
+        while ex.step(u64::MAX) {
+            pauses.push(ex.now());
+        }
+        ex.settle_now(); // the final event still needs its settle pass
+        assert_eq!(pauses, vec![1_000, 2_000, 3_000, 4_000, 5_000]);
+        let report = ex.report_now();
+        assert_eq!(report.duration, 5_000);
+        assert_eq!(report.actor_cpu[0].1, 50);
+        assert!(!ex.step(u64::MAX), "drained executor must not step");
+    }
+
+    #[test]
+    fn step_honours_the_deadline() {
+        let mut ex = Executor::new();
+        ex.add(Box::new(Ticker::new(1_000, 10, CpuMode::EventDriven)));
+        let mut steps = 0;
+        while ex.step(3_500) {
+            steps += 1;
+        }
+        assert_eq!(steps, 3, "events past the deadline must not fire");
+        assert_eq!(ex.now(), 3_000);
     }
 
     #[test]

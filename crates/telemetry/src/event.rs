@@ -44,11 +44,14 @@ pub enum Stage {
     Retry = 9,
     /// The breaker diverted a fast-path send to the kernel path.
     Failover = 10,
+    /// The request was re-dispatched on a fresh engine after a
+    /// snapshot/restore or reshard (servicing replay, new generation).
+    Replayed = 11,
 }
 
 impl Stage {
     /// All stages, in lifecycle order (recovery stages last).
-    pub const ALL: [Stage; 11] = [
+    pub const ALL: [Stage; 12] = [
         Stage::VsqFetch,
         Stage::Classified,
         Stage::Dispatched,
@@ -60,6 +63,7 @@ impl Stage {
         Stage::Abort,
         Stage::Retry,
         Stage::Failover,
+        Stage::Replayed,
     ];
 
     /// Stable lowercase name for tables and JSON export.
@@ -76,6 +80,7 @@ impl Stage {
             Stage::Abort => "abort",
             Stage::Retry => "retry",
             Stage::Failover => "failover",
+            Stage::Replayed => "replayed",
         }
     }
 }

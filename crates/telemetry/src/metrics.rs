@@ -106,11 +106,26 @@ pub enum Metric {
     /// Tenant drain-loop preemptions: the fleet scheduler cut a tenant's
     /// round short because its DRR deficit ran dry with work still queued.
     SchedulerPreemptions = 41,
+    /// Live-servicing snapshots taken of a quiesced engine.
+    SnapshotsTaken = 42,
+    /// Engines restored from a servicing snapshot.
+    Restores = 43,
+    /// Online reshard operations (shard count changed under load).
+    Reshards = 44,
+    /// Unanswered in-flight requests re-dispatched on a restored engine.
+    ReplayedRequests = 45,
+    /// Completions from a pre-snapshot engine generation dropped at the
+    /// quarantine instead of re-entering a live request's state machine.
+    EpochLateDrops = 46,
+    /// VMs hot-attached to a running engine.
+    VmAttaches = 47,
+    /// VMs hot-detached from a running engine.
+    VmDetaches = 48,
 }
 
 impl Metric {
     /// Number of metric slots.
-    pub const COUNT: usize = 42;
+    pub const COUNT: usize = 49;
 
     /// All metrics in slot order.
     pub const ALL: [Metric; Metric::COUNT] = [
@@ -156,6 +171,13 @@ impl Metric {
         Metric::CoalesceFanout,
         Metric::ThrottleApplied,
         Metric::SchedulerPreemptions,
+        Metric::SnapshotsTaken,
+        Metric::Restores,
+        Metric::Reshards,
+        Metric::ReplayedRequests,
+        Metric::EpochLateDrops,
+        Metric::VmAttaches,
+        Metric::VmDetaches,
     ];
 
     /// Stable snake_case name for tables and JSON export.
@@ -203,6 +225,13 @@ impl Metric {
             Metric::CoalesceFanout => "coalesce_fanout",
             Metric::ThrottleApplied => "throttle_applied",
             Metric::SchedulerPreemptions => "scheduler_preemptions",
+            Metric::SnapshotsTaken => "snapshots_taken",
+            Metric::Restores => "restores",
+            Metric::Reshards => "reshards",
+            Metric::ReplayedRequests => "replayed_requests",
+            Metric::EpochLateDrops => "epoch_late_drops",
+            Metric::VmAttaches => "vm_attaches",
+            Metric::VmDetaches => "vm_detaches",
         }
     }
 }
