@@ -25,10 +25,12 @@
 //! classifier instances, circuit breakers, retry/timer state, and telemetry
 //! worker cell — the scaling claim of the sharded design.
 
+use crate::adaptive::PollMode;
 use crate::classify::Classifier;
 use crate::controller::Partition;
+use crate::policy::{BatchPolicy, EnginePolicy};
 use crate::recovery::RecoveryConfig;
-use crate::router::{KernelPath, NotifyBinding, Router, RouterStats, VmBinding, DEFAULT_BATCH};
+use crate::router::{KernelPath, NotifyBinding, Router, RouterStats, VmBinding};
 use crate::servicing::{
     SavedBreaker, SavedCqe, SavedGroup, SavedRequest, SavedRetry, SavedTenant, ServiceError,
     ServiceState,
@@ -128,8 +130,7 @@ pub struct RouterBuilder {
     name: String,
     cost: CostModel,
     shards: usize,
-    workers: usize,
-    batch: usize,
+    policy: EnginePolicy,
     table_capacity: usize,
     recovery: Option<RecoveryConfig>,
     telemetry: Telemetry,
@@ -140,16 +141,16 @@ pub struct RouterBuilder {
 }
 
 impl RouterBuilder {
-    /// Starts a builder with the defaults: one shard, one worker per
-    /// shard, default cost model, batch of [`DEFAULT_BATCH`], a 1024-entry
-    /// routing table, no recovery, disabled telemetry.
+    /// Starts a builder with the defaults: one shard, the default
+    /// [`EnginePolicy`] (always-spin polling, fixed batch, round-robin
+    /// placement, one worker), a 1024-entry routing table, no recovery,
+    /// disabled telemetry.
     pub fn new(name: &str) -> Self {
         RouterBuilder {
             name: name.to_string(),
             cost: CostModel::default(),
             shards: 1,
-            workers: 1,
-            batch: DEFAULT_BATCH,
+            policy: EnginePolicy::default(),
             table_capacity: 1024,
             recovery: None,
             telemetry: Telemetry::disabled(),
@@ -173,17 +174,32 @@ impl RouterBuilder {
         self
     }
 
+    /// The engine's datapath policy in one typed value: poll governor,
+    /// batch sizing, shard placement, and per-shard workers. Replaces the
+    /// old scalar `workers`/`batch` knobs; the policy survives servicing
+    /// snapshot/restore and reshard.
+    pub fn policy(mut self, policy: EnginePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
     /// Worker threads modeled *inside* each shard's station (the paper's
     /// scalability evaluation uses one).
+    #[deprecated(since = "0.8.0", note = "use `policy(EnginePolicy::new().workers(n))`")]
     pub fn workers(mut self, workers: usize) -> Self {
-        self.workers = workers.max(1);
+        self.policy.workers = workers.max(1);
         self
     }
 
     /// Entries drained per SQ visit and the unit of CQ doorbell
     /// coalescing.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use `policy(EnginePolicy::new().batch(BatchPolicy::Fixed(n)))` \
+                or `BatchPolicy::auto()`"
+    )]
     pub fn batch(mut self, batch: usize) -> Self {
-        self.batch = batch.max(1);
+        self.policy.batch = BatchPolicy::Fixed(batch.max(1));
         self
     }
 
@@ -251,8 +267,7 @@ impl RouterBuilder {
             name: self.name,
             cost: self.cost,
             shards: self.shards,
-            workers: self.workers,
-            batch: self.batch,
+            policy: self.policy,
             table_capacity: self.table_capacity,
             recovery: self.recovery,
             telemetry: self.telemetry,
@@ -273,8 +288,7 @@ pub(crate) struct EngineSpec {
     name: String,
     cost: CostModel,
     shards: usize,
-    workers: usize,
-    batch: usize,
+    pub(crate) policy: EnginePolicy,
     table_capacity: usize,
     recovery: Option<RecoveryConfig>,
     telemetry: Telemetry,
@@ -330,6 +344,15 @@ pub struct EngineStats {
     /// (incl. quarantined tags), read in the same pass as the counters and
     /// breaker states.
     pub occupancy: usize,
+    /// Each shard's poll-governor mode at snapshot time, in shard order
+    /// ([`PollMode::Spin`] everywhere when the poll policy is `Spin`).
+    pub poll_modes: Vec<PollMode>,
+    /// Each shard's batch bound currently in force, in shard order (moves
+    /// under [`BatchPolicy::Auto`], constant under `Fixed`).
+    pub batch_sizes: Vec<usize>,
+    /// Core each shard is pinned to by the placement policy, in shard
+    /// order.
+    pub shard_cores: Vec<usize>,
 }
 
 impl EngineStats {
@@ -399,6 +422,9 @@ impl EngineStats {
 /// (servicing), and the counters carried over from pre-restore epochs.
 pub struct Engine {
     shards: Vec<Router>,
+    /// Core each shard is pinned to, per the placement policy (identity
+    /// order for [`PlacementPolicy::RoundRobin`](crate::policy::PlacementPolicy)).
+    shard_cores: Vec<usize>,
     placements: Vec<Placement>,
     spec: EngineSpec,
     /// Global queue-group counter: hot attach continues the round-robin
@@ -438,6 +464,11 @@ impl Engine {
     /// servicing restore.
     fn assemble(spec: EngineSpec, vms: Vec<EngineVm>, generation: u32) -> Engine {
         let shard_count = spec.shards;
+        // Placement decides both where each shard runs (core pinning,
+        // surfaced via `shard_cores`) and what it costs it to field device
+        // completions from there (cross-NUMA penalty folded into the
+        // shard's completion cost).
+        let (shard_cores, penalties) = spec.policy.placement.place(shard_count);
         let shards: Vec<Router> = (0..shard_count)
             .map(|i| {
                 // A single-shard engine keeps the bare name so CPU reports
@@ -447,9 +478,13 @@ impl Engine {
                 } else {
                     format!("{}.{}", spec.name, i)
                 };
-                let mut r =
-                    Router::new(&name, spec.cost.clone(), spec.workers, spec.table_capacity);
-                r.configure_batch(spec.batch);
+                let mut r = Router::new(
+                    &name,
+                    spec.cost.clone(),
+                    spec.policy.workers,
+                    spec.table_capacity,
+                );
+                r.configure_policy(&spec.policy, penalties[i]);
                 // Named registration: the worker id stamped into this
                 // shard's trace events maps back to the shard name in
                 // snapshots and trace exports (one Chrome "process" per
@@ -471,6 +506,7 @@ impl Engine {
         let svc = spec.telemetry.register_worker_named("servicing");
         let mut engine = Engine {
             shards,
+            shard_cores,
             placements: Vec::new(),
             spec,
             next_group: 0,
@@ -576,8 +612,22 @@ impl Engine {
             for view in snap.tenants {
                 stats.tenants.push(TenantState { shard: i, view });
             }
+            stats.poll_modes.push(snap.poll_mode);
+            stats.batch_sizes.push(snap.batch);
         }
+        stats.shard_cores = self.shard_cores.clone();
         stats
+    }
+
+    /// The datapath policy the engine was built with (survives servicing:
+    /// a restored or resharded engine reports the snapshot's policy).
+    pub fn policy(&self) -> &EnginePolicy {
+        &self.spec.policy
+    }
+
+    /// Core each shard is pinned to, per the placement policy.
+    pub fn shard_cores(&self) -> &[usize] {
+        &self.shard_cores
     }
 
     /// Virtual-time deployment: hands every shard to the discrete-event
@@ -659,7 +709,13 @@ impl Engine {
         any
     }
 
-    /// Earliest future event any shard has scheduled.
+    /// Earliest future event any shard has scheduled, in one pass:
+    /// station completions, recovery timers/retries, fleet scheduler
+    /// rechecks, **and parked-shard wakeup deadlines** — a shard that the
+    /// poll governor parked while guest work is visible on its doorbells
+    /// reports `park_instant + wakeup_cost` from its own `next_event`, so
+    /// a manual-drive loop sleeping until `next_event_all` can never sleep
+    /// through a doorbell.
     pub fn next_event_all(&self) -> Option<Ns> {
         self.shards.iter().filter_map(|s| s.next_event()).min()
     }
@@ -780,6 +836,7 @@ impl Engine {
         let state = ServiceState {
             generation: self.generation,
             shards: self.spec.shards as u32,
+            policy: self.spec.policy,
             next_seq,
             carried,
             carried_high_water: carried_high_water as u64,
@@ -838,6 +895,10 @@ impl Engine {
             }
         }
         parts.spec.shards = shards.max(1);
+        // The snapshot's policy is authoritative: a restore on a different
+        // host (or after a reshard) keeps the poll/batch/placement policy
+        // the tenant was admitted under.
+        parts.spec.policy = state.policy;
         let generation = state.generation.wrapping_add(1).max(1);
         let mut engine = Engine::assemble(parts.spec, Vec::new(), generation);
         // Rebind each group round-robin, preserving its saved identity.

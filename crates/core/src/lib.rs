@@ -27,10 +27,12 @@
 //! UIF run under the virtual-time executor (benchmarks) and on real OS
 //! threads ([`threading`], used by the examples).
 
+pub mod adaptive;
 pub mod classify;
 pub mod controller;
 pub mod engine;
 pub mod guest;
+pub mod policy;
 pub mod recovery;
 pub mod router;
 pub mod routing;
@@ -38,6 +40,7 @@ pub mod servicing;
 pub mod threading;
 pub mod uif;
 
+pub use adaptive::{BatchTuner, GovernorCounters, PollGovernor, PollMode};
 pub use classify::{
     offset_program, partition_offset_program, passthrough_program, Classifier, ClassifyOutcome,
     MediatedFields, NativeClassifier, RequestCtx, Verdict, CTX_SIZE, HOOK_HCQ, HOOK_KCQ, HOOK_NCQ,
@@ -49,6 +52,7 @@ pub use engine::{
     RouterBuilder, TenantState,
 };
 pub use guest::{GuestDriver, GuestError, GuestInfo};
+pub use policy::{BatchPolicy, EnginePolicy, PlacementPolicy, PollPolicy};
 pub use recovery::{BreakerSnap, CircuitBreaker, Gate, RecoveryConfig};
 pub use router::{KernelPath, Router, RouterStats, ShardSnapshot, VmBinding};
 pub use routing::RoutingTable;

@@ -19,11 +19,13 @@
 //! Only the 64-byte command block moves between queues; data pages stay in
 //! guest memory.
 
+use crate::adaptive::{BatchTuner, GovernorCounters, PollGovernor, PollMode};
 use crate::classify::{
     path_bits, verdict_bits, Classifier, MediatedFields, NativeClassifier, RequestCtx, Verdict,
     HOOK_HCQ, HOOK_KCQ, HOOK_NCQ, HOOK_VSQ,
 };
 use crate::controller::Partition;
+use crate::policy::{BatchPolicy, EnginePolicy, PollPolicy};
 use crate::recovery::{BreakerSnap, CircuitBreaker, Gate, RecoveryConfig};
 use crate::routing::{RequestState, RoutingTable};
 use nvmetro_fleet::{
@@ -253,6 +255,19 @@ pub struct Router {
     /// `vm_quiesced` answer per-tenant without requiring the whole
     /// station to be empty.
     vm_work: Vec<usize>,
+    /// Poll governor (None = unconditional busy-poll, the legacy mode).
+    governor: Option<PollGovernor>,
+    /// Batch auto-tuner (None = the batch bound is fixed).
+    tuner: Option<BatchTuner>,
+    /// Per-VM-slot arrival tracking, parallel to `vms`: timestamp of the
+    /// last VSQ drain that produced work and the EWMA of the gaps between
+    /// them. The hottest queue's EWMA feeds the governor's park decision.
+    arrivals: Vec<(Ns, Ns)>,
+    /// Wakeup latency owed to the first station push after a park exit.
+    pending_wake_debt: Ns,
+    /// Extra cost per reaped device completion when this shard is pinned
+    /// off the device's NUMA node (PlacementPolicy::Affine).
+    completion_penalty: Ns,
     /// Stage-coverage audit (debug builds only): sequence numbers that
     /// already emitted their terminal `VcqComplete`, to debug-assert that
     /// no request terminates twice.
@@ -295,6 +310,11 @@ impl Router {
             vm_active: Vec::new(),
             vm_admitting: Vec::new(),
             vm_work: Vec::new(),
+            governor: None,
+            tuner: None,
+            arrivals: Vec::new(),
+            pending_wake_debt: 0,
+            completion_penalty: 0,
             #[cfg(debug_assertions)]
             finished_seqs: std::collections::HashSet::new(),
         }
@@ -362,10 +382,93 @@ impl Router {
         self.telemetry = handle;
     }
 
-    /// Bounds how many entries one SQ visit drains and how many CQEs one
-    /// coalesced VCQ flush groups (the builder's `batch` knob).
-    pub(crate) fn configure_batch(&mut self, batch: usize) {
-        self.batch = batch.max(1);
+    /// Applies the engine's typed policy to this shard: poll governor on
+    /// or off, batch fixed or auto-tuned, and the placement's per-device-
+    /// completion penalty for a shard pinned off the device's NUMA node
+    /// (configured via `RouterBuilder::policy`).
+    pub(crate) fn configure_policy(&mut self, policy: &EnginePolicy, completion_penalty: Ns) {
+        self.batch = policy.batch.initial();
+        self.tuner = match policy.batch {
+            BatchPolicy::Auto { min, max } => Some(BatchTuner::new(min, max)),
+            BatchPolicy::Fixed(_) => None,
+        };
+        self.governor = match policy.poll {
+            PollPolicy::Spin => None,
+            PollPolicy::Adaptive {
+                idle_spin,
+                park_after,
+            } => Some(PollGovernor::new(
+                idle_spin,
+                park_after,
+                self.cost.adaptive_wakeup,
+            )),
+        };
+        self.completion_penalty = completion_penalty;
+    }
+
+    /// The shard's current poll mode (Spin without a governor).
+    pub fn poll_mode(&self) -> PollMode {
+        self.governor.as_ref().map_or(PollMode::Spin, |g| g.mode())
+    }
+
+    /// Virtual CPU the governor has burned spinning/yielding while idle
+    /// (0 without a governor: the executor accounts idle burn instead).
+    pub fn governor_burn(&self) -> Ns {
+        self.governor.as_ref().map_or(0, |g| g.burn())
+    }
+
+    /// Batch-size moves the auto-tuner has made (0 with a fixed batch).
+    pub fn batch_retunes(&self) -> u64 {
+        self.tuner.as_ref().map_or(0, |t| t.retunes())
+    }
+
+    /// Whether any guest-visible work is already waiting in this shard's
+    /// queues: device/notify completions to reap, or (gates permitting)
+    /// undrained VSQ entries. This is the doorbell a parked shard must
+    /// not sleep through.
+    fn doorbell_pending(&self) -> bool {
+        for (i, vm) in self.vms.iter().enumerate() {
+            if !self.vm_active[i] {
+                continue;
+            }
+            if !vm.hcq.is_empty() {
+                return true;
+            }
+            if vm.notify.as_ref().is_some_and(|n| !n.ncq.is_empty()) {
+                return true;
+            }
+            if self.admitting && self.vm_admitting[i] && vm.vsqs.iter().any(|q| !q.is_empty()) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consumes the wakeup latency owed by the last park exit (applied to
+    /// the first station push of the waking poll).
+    fn take_wake_debt(&mut self) -> Ns {
+        std::mem::take(&mut self.pending_wake_debt)
+    }
+
+    /// Folds a produced-work observation into the slot's arrival EWMA.
+    fn note_arrival(&mut self, vm: usize, now: Ns) {
+        let (last, gap) = &mut self.arrivals[vm];
+        let g = now.saturating_sub(*last);
+        if *last != 0 && g > 0 {
+            *gap = if *gap == 0 { g } else { (*gap * 7 + g) / 8 };
+        }
+        *last = now;
+    }
+
+    /// The hottest live queue's arrival-gap EWMA (None before any queue
+    /// has two observations).
+    fn min_arrival_gap(&self) -> Option<Ns> {
+        self.arrivals
+            .iter()
+            .zip(&self.vm_active)
+            .filter(|&(&(_, gap), &active)| active && gap > 0)
+            .map(|(&(_, gap), _)| gap)
+            .min()
     }
 
     /// Turns the fleet scheduler on: the VSQ drain switches from
@@ -416,6 +519,7 @@ impl Router {
         self.vm_active.push(true);
         self.vm_admitting.push(true);
         self.vm_work.push(0);
+        self.arrivals.push((0, 0));
         self.vms.len() - 1
     }
 
@@ -449,7 +553,7 @@ impl Router {
                     break;
                 };
                 let tag = cqe.cid;
-                let cost = self.completion_cost(tag, path_bits::HQ);
+                let cost = self.completion_cost(tag, path_bits::HQ) + self.take_wake_debt();
                 self.vm_work[vm] += 1;
                 self.station.push(
                     Work::PathDone {
@@ -469,7 +573,7 @@ impl Router {
                 kernel.poll(now, &mut self.kernel_out);
                 let done: Vec<(u16, Status)> = self.kernel_out.drain(..).collect();
                 for (tag, status) in done {
-                    let cost = self.completion_cost(tag, path_bits::KQ);
+                    let cost = self.completion_cost(tag, path_bits::KQ) + self.take_wake_debt();
                     self.vm_work[vm] += 1;
                     self.station.push(
                         Work::PathDone {
@@ -490,7 +594,7 @@ impl Router {
                     break;
                 };
                 let tag = cqe.cid;
-                let cost = self.completion_cost(tag, path_bits::NQ);
+                let cost = self.completion_cost(tag, path_bits::NQ) + self.take_wake_debt();
                 self.vm_work[vm] += 1;
                 self.station.push(
                     Work::PathDone {
@@ -512,12 +616,15 @@ impl Router {
             // `drain_vsqs_scheduled`. Quiesce (shard-wide or per-VM) stops
             // exactly here: completions above keep draining.
             if self.fleet.is_none() && self.admitting && self.vm_admitting[vm] {
+                let mut vm_drained = 0u64;
                 for vsq in 0..self.vms[vm].vsqs.len() {
                     let mut drained = 0u64;
                     for _ in 0..batch {
                         let Some((cmd, _)) = self.vms[vm].vsqs[vsq].pop() else {
                             break;
                         };
+                        let cost =
+                            self.cost.router_cmd + self.cost.classifier_run + self.take_wake_debt();
                         self.vm_work[vm] += 1;
                         self.station.push(
                             Work::Ingress {
@@ -525,7 +632,7 @@ impl Router {
                                 vsq: vsq as u16,
                                 cmd,
                             },
-                            self.cost.router_cmd + self.cost.classifier_run,
+                            cost,
                             now,
                         );
                         drained += 1;
@@ -533,7 +640,14 @@ impl Router {
                     }
                     if drained > 0 {
                         self.telemetry.depth(Depth::SqBurst, drained);
+                        if let Some(t) = &mut self.tuner {
+                            t.record_visit(drained, batch);
+                        }
+                        vm_drained += drained;
                     }
+                }
+                if vm_drained > 0 {
+                    self.note_arrival(vm, now);
                 }
             }
         }
@@ -603,6 +717,8 @@ impl Router {
                         }
                     }
                     let (cmd, _) = self.vms[vm].vsqs[vsq].pop().expect("checked non-empty");
+                    let cost =
+                        self.cost.router_cmd + self.cost.classifier_run + self.take_wake_debt();
                     self.vm_work[vm] += 1;
                     self.station.push(
                         Work::Ingress {
@@ -610,7 +726,7 @@ impl Router {
                             vsq: vsq as u16,
                             cmd,
                         },
-                        self.cost.router_cmd + self.cost.classifier_run,
+                        cost,
                         now,
                     );
                     drained += 1;
@@ -619,12 +735,16 @@ impl Router {
                 }
                 if drained > 0 {
                     self.telemetry.depth(Depth::SqBurst, drained);
+                    if let Some(t) = &mut self.tuner {
+                        t.record_visit(drained, batch);
+                    }
                 }
             }
             let backlog_empty = !denied && self.vms[vm].vsqs.iter().all(|q| q.is_empty());
             sched.end_visit(slot, backlog_empty);
             if served > 0 {
                 self.telemetry.depth(Depth::TenantServed, served);
+                self.note_arrival(vm, now);
             }
         }
         self.fleet = Some(sched);
@@ -637,7 +757,15 @@ impl Router {
             .get(tag)
             .map(|s| s.hooks & path != 0)
             .unwrap_or(false);
+        // A shard pinned off the device's NUMA node pays the cross-node
+        // penalty to reap a device CQE (remote cacheline + doorbell).
+        let affinity = if path == path_bits::HQ {
+            self.completion_penalty
+        } else {
+            0
+        };
         self.cost.router_cmd
+            + affinity
             + if classify {
                 self.cost.classifier_run
             } else {
@@ -1491,6 +1619,11 @@ pub struct ShardSnapshot {
     pub breakers: Vec<(u32, bool, u64)>,
     /// Per-tenant scheduler views (empty without fleet mode).
     pub tenants: Vec<TenantView>,
+    /// The shard's poll mode at the snapshot instant (Spin without a
+    /// governor).
+    pub poll_mode: PollMode,
+    /// The batch bound in force (auto-tuned shards move this at runtime).
+    pub batch: usize,
 }
 
 /// Everything one shard contributes to a servicing snapshot, extracted by
@@ -1589,6 +1722,8 @@ impl Router {
             in_flight: self.table.in_flight(),
             breakers,
             tenants: self.fleet_view(),
+            poll_mode: self.poll_mode(),
+            batch: self.batch,
         }
     }
 
@@ -1813,6 +1948,22 @@ impl Actor for Router {
 
     fn poll(&mut self, now: Ns) -> Progress {
         self.last_poll = now;
+        // Governor prologue: account idle burn since the previous poll
+        // and, if parked with work already visible, take the doorbell
+        // kick now so this very poll drains it (the wakeup latency rides
+        // on the first station push as wake debt).
+        let doorbell = self.governor.is_some() && self.doorbell_pending();
+        let mut gov_debt = 0;
+        let gov_before: Option<GovernorCounters> = self.governor.as_mut().map(|g| {
+            let before = g.counters();
+            g.begin_poll(now);
+            if doorbell {
+                g.doorbell_wake(now);
+            }
+            gov_debt = g.take_wake_debt();
+            before
+        });
+        self.pending_wake_debt += gov_debt;
         let mut progressed = false;
         // Retry any VCQ posts that found the queue full — in submission
         // order per (vm, vsq): once a queue refuses an entry, later
@@ -1855,6 +2006,46 @@ impl Actor for Router {
         // Doorbell coalescing: everything this poll completed goes out in
         // one flush, one notify per touched (vm, vsq).
         progressed |= self.flush_cq_batch();
+        // Governor epilogue: walk the Spin → Yield → Parked ladder (or
+        // rewind to Spin on progress) and surface what changed.
+        if let Some(before) = gov_before {
+            let queue_gap = self.min_arrival_gap();
+            let g = self.governor.as_mut().expect("checked");
+            if let Some(gap) = queue_gap {
+                g.note_queue_gap(gap);
+            }
+            g.end_poll(now, progressed);
+            // A non-doorbell wake (recovery timer, internal event) owes
+            // its debt to the next poll's first work.
+            self.pending_wake_debt += self.governor.as_mut().expect("checked").take_wake_debt();
+            let after = self.governor.as_ref().expect("checked").counters();
+            let transitions = after.transitions - before.transitions;
+            if transitions > 0 {
+                self.telemetry.add(Metric::PollModeTransitions, transitions);
+            }
+            if after.parks > before.parks {
+                self.telemetry
+                    .add(Metric::ShardParks, after.parks - before.parks);
+                self.telemetry
+                    .tag_event(now, 0, Stage::ShardPark, PathKind::None);
+            }
+            if after.wakes > before.wakes {
+                self.telemetry
+                    .add(Metric::ShardWakes, after.wakes - before.wakes);
+                self.telemetry
+                    .tag_event(now, 0, Stage::ShardWake, PathKind::None);
+            }
+        }
+        // Batch auto-tune: close the observation window if due and adopt
+        // the hill-climb's pick.
+        let occupancy = self.table.in_flight();
+        let capacity = self.table.capacity();
+        if let Some(t) = &mut self.tuner {
+            if let Some(next) = t.maybe_retune(now, occupancy, capacity) {
+                self.batch = next;
+                self.telemetry.count(Metric::BatchRetunes);
+            }
+        }
         if progressed {
             Progress::Busy
         } else {
@@ -1888,6 +2079,16 @@ impl Actor for Router {
         if let Some(at) = self.sched_recheck {
             next = Some(next.map_or(at, |n| n.min(at)));
         }
+        // Parked-shard wakeup deadline: with work already visible in a
+        // queue, the doorbell kick lands one wakeup latency after the
+        // last poll. Without this a manually driven engine
+        // (`next_event_all` loops, thread-drain on stop) would sleep
+        // through the doorbell.
+        if let Some(g) = &self.governor {
+            if let Some(at) = g.next_wake(self.doorbell_pending()) {
+                next = Some(next.map_or(at, |n| n.min(at)));
+            }
+        }
         next
     }
 
@@ -1897,12 +2098,20 @@ impl Actor for Router {
             .iter()
             .filter_map(|v| v.kernel.as_ref().map(|k| k.charged()))
             .sum();
-        self.station.charged() + kernel
+        let governor: Ns = self.governor.as_ref().map_or(0, |g| g.burn());
+        self.station.charged() + kernel + governor
     }
 
     fn cpu_mode(&self) -> CpuMode {
-        CpuMode::Adaptive {
-            idle_timeout: self.cost.adaptive_idle_timeout,
+        if self.governor.is_some() {
+            // The governor self-charges its spin/yield burn into
+            // `charged` and parked time is free, so the executor should
+            // add nothing of its own.
+            CpuMode::EventDriven
+        } else {
+            CpuMode::Adaptive {
+                idle_timeout: self.cost.adaptive_idle_timeout,
+            }
         }
     }
 }

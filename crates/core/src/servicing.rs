@@ -16,15 +16,18 @@
 //! versions it does not know — a servicing blob is either understood
 //! exactly or not at all.
 
+use crate::policy::{BatchPolicy, EnginePolicy, PlacementPolicy, PollPolicy};
 use crate::recovery::BreakerSnap;
 use crate::router::RouterStats;
 use crate::routing::RequestState;
 use nvmetro_nvme::{Status, SubmissionEntry};
+use nvmetro_sim::Topology;
 
 /// Magic prefix of every serialized [`ServiceState`].
 pub const SERVICE_MAGIC: [u8; 4] = *b"NVMS";
-/// Current layout version.
-pub const SERVICE_VERSION: u16 = 1;
+/// Current layout version (v2 added the [`EnginePolicy`] block after the
+/// shard count; v1 blobs are refused, not guessed at).
+pub const SERVICE_VERSION: u16 = 2;
 
 /// Why a servicing operation or deserialization failed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -229,6 +232,11 @@ pub struct ServiceState {
     pub generation: u32,
     /// Shard count at snapshot time (informational; restore may differ).
     pub shards: u32,
+    /// The datapath policy the engine ran under (poll governor, batch
+    /// tuning, placement, workers). The restore side applies it to the new
+    /// engine, so tenants keep the policy they were admitted with across
+    /// snapshot/restore and reshard.
+    pub policy: EnginePolicy,
     /// Highest request sequence number issued by any shard; the restored
     /// shards continue from here so trace generations never collide.
     pub next_seq: u64,
@@ -408,6 +416,104 @@ fn read_stats(r: &mut wire::Reader) -> Result<RouterStats, ServiceError> {
     })
 }
 
+// Policy wire block: each axis is a kind byte followed by fixed-width
+// parameters (zero-padded for parameterless kinds), so every v2 blob has
+// the same policy-block length regardless of which variants are in force.
+fn write_policy(w: &mut wire::Writer, p: &EnginePolicy) {
+    match p.poll {
+        PollPolicy::Spin => {
+            w.u8(0);
+            w.u64(0);
+            w.u64(0);
+        }
+        PollPolicy::Adaptive {
+            idle_spin,
+            park_after,
+        } => {
+            w.u8(1);
+            w.u64(idle_spin);
+            w.u64(park_after);
+        }
+    }
+    match p.batch {
+        BatchPolicy::Fixed(n) => {
+            w.u8(0);
+            w.u64(n as u64);
+            w.u64(0);
+        }
+        BatchPolicy::Auto { min, max } => {
+            w.u8(1);
+            w.u64(min as u64);
+            w.u64(max as u64);
+        }
+    }
+    match p.placement {
+        PlacementPolicy::RoundRobin => {
+            w.u8(0);
+            for _ in 0..4 {
+                w.u64(0);
+            }
+        }
+        PlacementPolicy::Affine(t) => {
+            w.u8(1);
+            w.u64(t.nodes as u64);
+            w.u64(t.cores_per_node as u64);
+            w.u64(t.device_node as u64);
+            w.u64(t.cross_penalty);
+        }
+    }
+    w.u64(p.workers as u64);
+}
+
+fn read_policy(r: &mut wire::Reader) -> Result<EnginePolicy, ServiceError> {
+    let poll = match r.u8()? {
+        0 => {
+            r.u64()?;
+            r.u64()?;
+            PollPolicy::Spin
+        }
+        1 => PollPolicy::Adaptive {
+            idle_spin: r.u64()?,
+            park_after: r.u64()?,
+        },
+        _ => return Err(ServiceError::Corrupt("unknown poll policy")),
+    };
+    let batch = match r.u8()? {
+        0 => {
+            let n = r.u64()? as usize;
+            r.u64()?;
+            BatchPolicy::Fixed(n.max(1))
+        }
+        1 => BatchPolicy::Auto {
+            min: r.u64()? as usize,
+            max: r.u64()? as usize,
+        },
+        _ => return Err(ServiceError::Corrupt("unknown batch policy")),
+    };
+    let placement = match r.u8()? {
+        0 => {
+            for _ in 0..4 {
+                r.u64()?;
+            }
+            PlacementPolicy::RoundRobin
+        }
+        1 => PlacementPolicy::Affine(Topology {
+            nodes: (r.u64()? as usize).max(1),
+            cores_per_node: (r.u64()? as usize).max(1),
+            device_node: r.u64()? as usize,
+            cross_penalty: r.u64()?,
+        }),
+        _ => return Err(ServiceError::Corrupt("unknown placement policy")),
+    };
+    let workers = (r.u64()? as usize).max(1);
+    Ok(EnginePolicy {
+        poll,
+        batch,
+        placement,
+        workers,
+    })
+}
+
 fn read_count(r: &mut wire::Reader) -> Result<usize, ServiceError> {
     let n = r.u32()?;
     if n > MAX_COUNT {
@@ -425,6 +531,7 @@ impl ServiceState {
         w.u16(SERVICE_VERSION);
         w.u32(self.generation);
         w.u32(self.shards);
+        write_policy(&mut w, &self.policy);
         w.u64(self.next_seq);
         write_stats(&mut w, &self.carried);
         w.u64(self.carried_high_water);
@@ -493,6 +600,7 @@ impl ServiceState {
         }
         let generation = r.u32()?;
         let shards = r.u32()?;
+        let policy = read_policy(&mut r)?;
         let next_seq = r.u64()?;
         let carried = read_stats(&mut r)?;
         let carried_high_water = r.u64()?;
@@ -561,6 +669,7 @@ impl ServiceState {
         Ok(ServiceState {
             generation,
             shards,
+            policy,
             next_seq,
             carried,
             carried_high_water,
@@ -616,6 +725,20 @@ mod tests {
         ServiceState {
             generation: 4,
             shards: 2,
+            policy: EnginePolicy {
+                poll: PollPolicy::Adaptive {
+                    idle_spin: 8_000,
+                    park_after: 64_000,
+                },
+                batch: BatchPolicy::Auto { min: 4, max: 256 },
+                placement: PlacementPolicy::Affine(Topology {
+                    nodes: 2,
+                    cores_per_node: 4,
+                    device_node: 1,
+                    cross_penalty: 1_200,
+                }),
+                workers: 2,
+            },
             next_seq: 1000,
             carried,
             carried_high_water: 96,
@@ -670,6 +793,7 @@ mod tests {
         let r = ServiceState::from_bytes(&bytes).expect("round trip");
         assert_eq!(r.generation, 4);
         assert_eq!(r.shards, 2);
+        assert_eq!(r.policy, s.policy);
         assert_eq!(r.next_seq, 1000);
         assert_eq!(r.carried.accepted, 1234);
         assert_eq!(r.carried.epoch_late_drops, 2);

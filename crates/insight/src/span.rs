@@ -300,6 +300,11 @@ impl SpanAssembler {
     pub fn push(&mut self, ev: &TraceEvent) {
         self.stats.events += 1;
         self.max_ts = self.max_ts.max(ev.ts_ns);
+        // Shard-lifecycle markers (poll governor park/wake) describe the
+        // worker, not any request: never match them to a span.
+        if matches!(ev.stage, Stage::ShardPark | Stage::ShardWake) {
+            return;
+        }
         if ev.vm == VM_ANY {
             self.push_below_router(ev);
         } else {

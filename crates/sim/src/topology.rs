@@ -1,0 +1,148 @@
+//! Core/NUMA placement model.
+//!
+//! The paper's testbed pins each router worker to its own core; OpenHCL's
+//! NVMe driver goes further and keeps a queue's submission, completion,
+//! and interrupt handling on the *same* CPU so a completion never crosses
+//! a node boundary. This module gives the simulation the same vocabulary:
+//! a [`Topology`] of NUMA nodes × cores with the device attached to one
+//! node, a per-core completion penalty for shards placed off that node,
+//! and a small placement optimizer that packs the heaviest shards onto
+//! device-local cores first.
+
+use crate::time::{Ns, US};
+
+/// A machine shape: `nodes` NUMA nodes of `cores_per_node` cores each,
+/// with the NVMe device's interrupt/DMA home on `device_node`. A shard
+/// pinned to a core off the device node pays `cross_penalty` extra per
+/// device completion it reaps (remote cacheline bounce + remote doorbell).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Topology {
+    /// NUMA node count (≥ 1).
+    pub nodes: usize,
+    /// Cores per node (≥ 1).
+    pub cores_per_node: usize,
+    /// Node the device's DMA/interrupts land on.
+    pub device_node: usize,
+    /// Extra per-completion cost for shards on any other node.
+    pub cross_penalty: Ns,
+}
+
+impl Default for Topology {
+    /// A small dual-socket shape: 2 nodes × 4 cores, device on node 0,
+    /// ~1.2 µs remote-completion penalty (the order of a cross-socket
+    /// cacheline bounce amortized over a reaped batch).
+    fn default() -> Self {
+        Topology {
+            nodes: 2,
+            cores_per_node: 4,
+            device_node: 0,
+            cross_penalty: US + US / 5,
+        }
+    }
+}
+
+impl Topology {
+    /// Total core count.
+    pub fn cores(&self) -> usize {
+        self.nodes.max(1) * self.cores_per_node.max(1)
+    }
+
+    /// Which node a core belongs to.
+    pub fn node_of(&self, core: usize) -> usize {
+        (core / self.cores_per_node.max(1)) % self.nodes.max(1)
+    }
+
+    /// Per-device-completion penalty for a shard pinned to `core`: zero on
+    /// the device's node, `cross_penalty` anywhere else.
+    pub fn completion_penalty(&self, core: usize) -> Ns {
+        if self.node_of(core) == self.device_node {
+            0
+        } else {
+            self.cross_penalty
+        }
+    }
+
+    /// Places one shard per entry of `loads` (relative load weights; use
+    /// all-equal when unknown) onto cores: heaviest shard first, each
+    /// taking the least-occupied core with device-local cores preferred on
+    /// ties. More shards than cores double up — the optimizer then
+    /// balances aggregate load per core. Returns the core id per shard,
+    /// in shard order.
+    pub fn place(&self, loads: &[u64]) -> Vec<usize> {
+        let cores = self.cores();
+        // Preference order: device-node cores first, then the rest.
+        let mut pref: Vec<usize> = (0..cores).collect();
+        pref.sort_by_key(|&c| (self.node_of(c) != self.device_node, c));
+        let mut by_load: Vec<usize> = (0..loads.len()).collect();
+        by_load.sort_by_key(|&i| std::cmp::Reverse(loads[i]));
+        let mut occupancy = vec![0u64; cores];
+        let mut out = vec![0usize; loads.len()];
+        for &shard in &by_load {
+            // First minimum in preference order wins the tie, so an empty
+            // device-local core always beats an empty remote one.
+            let core = *pref
+                .iter()
+                .min_by_key(|&&c| occupancy[c])
+                .expect("topology has at least one core");
+            occupancy[core] += loads[shard].max(1);
+            out[shard] = core;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn penalty_is_zero_on_device_node() {
+        let t = Topology::default();
+        for core in 0..t.cores_per_node {
+            assert_eq!(t.completion_penalty(core), 0);
+        }
+        assert_eq!(t.completion_penalty(t.cores_per_node), t.cross_penalty);
+    }
+
+    #[test]
+    fn place_prefers_device_local_cores() {
+        let t = Topology::default();
+        let cores = t.place(&[1, 1, 1, 1]);
+        for &c in &cores {
+            assert_eq!(t.node_of(c), t.device_node, "all four fit locally");
+        }
+        // Distinct cores while they last.
+        let mut sorted = cores.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+    }
+
+    #[test]
+    fn heaviest_shard_lands_local_when_spilling() {
+        let t = Topology {
+            nodes: 2,
+            cores_per_node: 1,
+            device_node: 0,
+            cross_penalty: 100,
+        };
+        // Three shards onto two cores: the heavy one must sit alone-first
+        // on the device-local core.
+        let cores = t.place(&[10, 1, 1]);
+        assert_eq!(cores[0], 0, "heaviest shard is placed first, locally");
+        assert!(cores.contains(&1), "spill uses the remote core");
+    }
+
+    #[test]
+    fn spill_balances_aggregate_load() {
+        let t = Topology {
+            nodes: 1,
+            cores_per_node: 2,
+            device_node: 0,
+            cross_penalty: 0,
+        };
+        let cores = t.place(&[4, 4, 4, 4]);
+        let on0 = cores.iter().filter(|&&c| c == 0).count();
+        assert_eq!(on0, 2, "equal shards split evenly across cores");
+    }
+}

@@ -47,11 +47,19 @@ pub enum Stage {
     /// The request was re-dispatched on a fresh engine after a
     /// snapshot/restore or reshard (servicing replay, new generation).
     Replayed = 11,
+    /// A shard's poll governor parked it (event-driven sleep, ~0 CPU).
+    /// Shard lifecycle, not request lifecycle: emitted with `VM_ANY` and
+    /// tag 0, never matched to a span.
+    ShardPark = 12,
+    /// A parked shard was kicked awake; the gap to the preceding
+    /// [`Stage::ShardPark`] plus the wakeup latency is what insight
+    /// attributes to adaptive polling.
+    ShardWake = 13,
 }
 
 impl Stage {
     /// All stages, in lifecycle order (recovery stages last).
-    pub const ALL: [Stage; 12] = [
+    pub const ALL: [Stage; 14] = [
         Stage::VsqFetch,
         Stage::Classified,
         Stage::Dispatched,
@@ -64,6 +72,8 @@ impl Stage {
         Stage::Retry,
         Stage::Failover,
         Stage::Replayed,
+        Stage::ShardPark,
+        Stage::ShardWake,
     ];
 
     /// Stable lowercase name for tables and JSON export.
@@ -81,6 +91,8 @@ impl Stage {
             Stage::Retry => "retry",
             Stage::Failover => "failover",
             Stage::Replayed => "replayed",
+            Stage::ShardPark => "shard_park",
+            Stage::ShardWake => "shard_wake",
         }
     }
 }

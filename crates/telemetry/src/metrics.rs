@@ -121,11 +121,19 @@ pub enum Metric {
     VmAttaches = 47,
     /// VMs hot-detached from a running engine.
     VmDetaches = 48,
+    /// Poll-governor mode changes (Spin→Yield, Yield→Parked, any wake).
+    PollModeTransitions = 49,
+    /// Shards entering Parked (event-driven sleep, ~0 CPU).
+    ShardParks = 50,
+    /// Parked shards kicked awake (doorbell/notify or internal timer).
+    ShardWakes = 51,
+    /// Batch auto-tuner moves (per-shard batch size changed).
+    BatchRetunes = 52,
 }
 
 impl Metric {
     /// Number of metric slots.
-    pub const COUNT: usize = 49;
+    pub const COUNT: usize = 53;
 
     /// All metrics in slot order.
     pub const ALL: [Metric; Metric::COUNT] = [
@@ -178,6 +186,10 @@ impl Metric {
         Metric::EpochLateDrops,
         Metric::VmAttaches,
         Metric::VmDetaches,
+        Metric::PollModeTransitions,
+        Metric::ShardParks,
+        Metric::ShardWakes,
+        Metric::BatchRetunes,
     ];
 
     /// Stable snake_case name for tables and JSON export.
@@ -232,6 +244,10 @@ impl Metric {
             Metric::EpochLateDrops => "epoch_late_drops",
             Metric::VmAttaches => "vm_attaches",
             Metric::VmDetaches => "vm_detaches",
+            Metric::PollModeTransitions => "poll_mode_transitions",
+            Metric::ShardParks => "shard_parks",
+            Metric::ShardWakes => "shard_wakes",
+            Metric::BatchRetunes => "batch_retunes",
         }
     }
 }

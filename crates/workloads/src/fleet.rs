@@ -25,6 +25,7 @@
 use crate::arrivals::{seeded_permutation, zipf_weights, HeavyTailArrivals};
 use nvmetro_core::classify::Classifier;
 use nvmetro_core::engine::{EngineVm, QueueBinding, RouterBuilder};
+use nvmetro_core::policy::EnginePolicy;
 use nvmetro_core::{passthrough_program, Partition};
 use nvmetro_device::{CompletionMode, SimSsd, SsdConfig};
 use nvmetro_fleet::{
@@ -89,6 +90,11 @@ pub struct FleetOptions {
     pub device_channels: usize,
     /// Device flash read latency (ns).
     pub device_read_lat: Ns,
+    /// Engine datapath policy (poll governor / batch tuning / placement).
+    /// The default keeps the legacy always-spin engine so calibrated
+    /// fleet figures are unchanged; a 1000-VM rig with mostly-idle
+    /// tenants is exactly where `EnginePolicy::adaptive()` pays.
+    pub policy: EnginePolicy,
 }
 
 impl Default for FleetOptions {
@@ -110,6 +116,7 @@ impl Default for FleetOptions {
             keep_spans: true,
             device_channels: 64,
             device_read_lat: 5_000,
+            policy: EnginePolicy::new(),
         }
     }
 }
@@ -326,6 +333,7 @@ pub fn run_fleet(opts: &FleetOptions) -> FleetReport {
     let mut builder = RouterBuilder::new("router")
         .cost(cost)
         .shards(opts.shards)
+        .policy(opts.policy)
         .table_capacity(4096)
         .telemetry(&telemetry);
     if opts.fleet {

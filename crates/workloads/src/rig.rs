@@ -5,6 +5,7 @@ use nvmetro_baselines::mdev::MdevTranslate;
 use nvmetro_baselines::{bind_passthrough, build_mdev_router, QemuVirtioBlk, SpdkVhost, VhostScsi};
 use nvmetro_core::classify::Classifier;
 use nvmetro_core::engine::{EngineVm, QueueBinding, RouterBuilder};
+use nvmetro_core::policy::EnginePolicy;
 use nvmetro_core::recovery::RecoveryConfig;
 use nvmetro_core::router::{NotifyBinding, VmBinding};
 use nvmetro_core::uif::UifRunner;
@@ -108,6 +109,11 @@ pub struct RigOptions {
     /// the groups round-robin across shards; `1` (default) reproduces the
     /// single-router wiring used by the calibrated figures.
     pub shards: usize,
+    /// Engine datapath policy: poll governor, batch sizing, placement,
+    /// workers. The default (`EnginePolicy::new()`) is the legacy
+    /// always-spin / fixed-batch / round-robin engine; pass
+    /// `EnginePolicy::adaptive()` for the self-tuning datapath.
+    pub policy: EnginePolicy,
 }
 
 impl Default for RigOptions {
@@ -121,6 +127,7 @@ impl Default for RigOptions {
             fault_plan: FaultPlan::none(),
             recovery: None,
             shards: 1,
+            policy: EnginePolicy::new(),
         }
     }
 }
@@ -280,6 +287,7 @@ where
     builder = builder.map(|b| {
         let mut b = b
             .shards(shards)
+            .policy(opts.policy)
             .table_capacity(table_capacity)
             .telemetry(&telemetry);
         if let Some(recovery) = opts.recovery {
