@@ -24,6 +24,15 @@ for seed in 1 4242 31337; do
   CHAOS_SEED=$seed cargo test -q --test servicing
 done
 
+echo "==> stash committed bench baselines for the perf gate"
+# The smoke benches below overwrite BENCH_*.json in place; keep the
+# committed versions around so the perf gate can diff against them.
+mkdir -p target/bench_baseline
+for f in BENCH_*.json; do
+  git show "HEAD:$f" > "target/bench_baseline/$f" 2>/dev/null \
+    || rm -f "target/bench_baseline/$f"   # new bench, no baseline yet
+done
+
 echo "==> sharding scaling smoke (writes BENCH_sharding.json)"
 cargo run --release -q -p nvmetro-bench --bin scaling_smoke
 
@@ -77,5 +86,26 @@ assert d['idle_adaptive_cpu_ns'] * 10 <= d['idle_spin_cpu_ns'], 'idle burn not w
 assert d['loaded_p99_ratio'] <= 1.05, 'adaptive loaded p99 above 1.05x spin'
 assert d['auto_retunes'] >= 1 and d['auto_vs_best_fixed'] >= 0.95, 'auto batching below bar'
 " || { echo "BENCH_adaptive.json failed validation"; exit 1; }
+
+echo "==> blackbox smoke (writes BENCH_blackbox.json)"
+# Asserts the flight-recorder bars: recorder overhead < 1% on the loaded
+# sharded rig (self-attributed), the manual dump bundle round-trips
+# through its byte format and renders an incident report, and fan-out
+# link coverage on the coalescing rig is 100%.
+NVMETRO_BENCH_MS="${NVMETRO_BENCH_MS:-40}" \
+  cargo run --release -q -p nvmetro-bench --bin blackbox_smoke
+python3 -c "
+import json
+d = json.load(open('BENCH_blackbox.json'))
+assert d['recorder_overhead']['fraction'] < 0.01, 'recorder overhead above 1%'
+assert d['forest']['link_coverage'] == 1.0, 'fan-out link coverage below 100%'
+assert d['forensics']['bundle_bytes'] > 0 and d['forensics']['timeline_events'] > 0
+" || { echo "BENCH_blackbox.json failed validation"; exit 1; }
+
+echo "==> perf-regression gate (headline metrics vs committed baselines)"
+# Direction-aware: each headline metric may only move the wrong way by
+# its tolerance (15% for deterministic virtual-time metrics, wider for
+# wall-clock ones). Baselines were stashed from HEAD above.
+python3 scripts/perf_gate.py target/bench_baseline .
 
 echo "CI OK"

@@ -1,0 +1,410 @@
+//! Blackbox acceptance report: flight-recorder overhead on the loaded
+//! sharded rig, dump-bundle round-trip sizes, and causal-forest link
+//! coverage on the coalescing rig. Written to `BENCH_blackbox.json` for
+//! the CI perf gate.
+//!
+//! Bars enforced here:
+//! * recorder overhead < 1% vs the non-recorder remainder of its own runs
+//!   (self-attributed, same method as the watchdog bar in
+//!   `insight_report`);
+//! * the manual dump round-trips through its byte format and renders a
+//!   non-trivial incident report;
+//! * 100% fan-out link coverage on the coalescing rig.
+//!
+//! ```sh
+//! cargo run --release -p nvmetro-bench --bin blackbox_smoke
+//! ```
+
+use nvmetro_blackbox::{report, Blackbox, DumpBundle, Recorder, RecorderConfig, TriggerReason};
+use nvmetro_core::classify::Classifier;
+use nvmetro_core::engine::{EngineVm, QueueBinding, RouterBuilder};
+use nvmetro_core::{passthrough_program, Partition, RecoveryConfig};
+use nvmetro_device::{CompletionMode, SimSsd, SsdConfig};
+use nvmetro_fleet::CoalesceConfig;
+use nvmetro_insight::{validate_json, StallWatchdog, TraceForest, WatchdogConfig};
+use nvmetro_mem::GuestMemory;
+use nvmetro_nvme::{CqConsumer, CqPair, SqPair, SqProducer, SubmissionEntry};
+use nvmetro_sim::cost::CostModel;
+use nvmetro_sim::{Actor, Executor, Ns, Progress, SimRng, MS, US};
+use nvmetro_telemetry::{Metric, Telemetry, TelemetryConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+const SHARDS: usize = 4;
+const QUEUE_PAIRS: usize = 4;
+const QD: usize = 32;
+const CAPACITY_LBAS: u64 = 1 << 20;
+
+/// Closed-loop read generator (same shape as `insight_report`), with an
+/// optional small hot set for the coalescing leg.
+struct Load {
+    name: String,
+    sq: SqProducer,
+    cq: CqConsumer,
+    qd: usize,
+    outstanding: usize,
+    deadline: Ns,
+    next_cid: u16,
+    rng: SimRng,
+    lba_slots: u64,
+    completed: Arc<AtomicU64>,
+}
+
+impl Actor for Load {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn poll(&mut self, now: Ns) -> Progress {
+        let mut progressed = false;
+        while self.cq.pop().is_some() {
+            self.outstanding -= 1;
+            self.completed.fetch_add(1, Ordering::Relaxed);
+            progressed = true;
+        }
+        if now < self.deadline {
+            while self.outstanding < self.qd {
+                let slot = self.rng.below(self.lba_slots);
+                let mut cmd = SubmissionEntry::read(1, slot * 8, 8, 0x1000, 0);
+                cmd.cid = self.next_cid;
+                if self.sq.push(cmd).is_err() {
+                    break;
+                }
+                self.next_cid = self.next_cid.wrapping_add(1);
+                self.outstanding += 1;
+                progressed = true;
+            }
+        }
+        if progressed {
+            Progress::Busy
+        } else {
+            Progress::Idle
+        }
+    }
+
+    fn next_event(&self) -> Option<Ns> {
+        None
+    }
+}
+
+fn fast_device_cost() -> CostModel {
+    CostModel {
+        ssd_channels: 64,
+        ssd_read_lat: 5_000,
+        ssd_cmd_overhead: 150,
+        ssd_cmd_overhead_write: 300,
+        ssd_jitter: 0.0,
+        ..Default::default()
+    }
+}
+
+fn queue_group(ssd: &mut SimSsd, mem: &Arc<GuestMemory>) -> (QueueBinding, SqProducer, CqConsumer) {
+    let (vsq_p, vsq_c) = SqPair::new(256);
+    let (vcq_p, vcq_c) = CqPair::new(256);
+    let (hsq_p, hsq_c) = SqPair::new(256);
+    let (hcq_p, hcq_c) = CqPair::new(256);
+    ssd.add_queue(hsq_c, hcq_p, mem.clone(), CompletionMode::Polled);
+    let binding = QueueBinding {
+        vsqs: vec![vsq_c],
+        vcqs: vec![vcq_p],
+        hsq: hsq_p,
+        hcq: hcq_c,
+        kernel: None,
+        notify: None,
+        classifier: Classifier::Bpf(passthrough_program()),
+    };
+    (binding, vsq_p, vcq_c)
+}
+
+struct LoadedRun {
+    completed: u64,
+    spent: std::time::Duration,
+    bb: Option<Blackbox>,
+    telemetry: Telemetry,
+    end: Ns,
+}
+
+/// The loaded sharded rig from `insight_report`, with the watchdog always
+/// riding and the flight recorder optionally riding beside it. The
+/// recorder self-attributes its tick time into the shared [`Blackbox`]
+/// handle, which survives the executor consuming the actor.
+fn run_loaded(duration: Ns, with_recorder: bool) -> LoadedRun {
+    let telemetry = Telemetry::with_config(TelemetryConfig {
+        trace_capacity: 16384,
+    });
+    let cost = fast_device_cost();
+    let mut ssd = SimSsd::new(
+        "ssd",
+        SsdConfig {
+            capacity_lbas: CAPACITY_LBAS,
+            cost: cost.clone(),
+            move_data: false,
+            seed: 7,
+            ..Default::default()
+        },
+    );
+    ssd.attach_telemetry(telemetry.register_worker_named("ssd"));
+    let mem = Arc::new(GuestMemory::new(1 << 20));
+
+    let mut ex = Executor::new();
+    let mut queues = Vec::new();
+    let completed = Arc::new(AtomicU64::new(0));
+    for qp in 0..QUEUE_PAIRS {
+        let (binding, sq, cq) = queue_group(&mut ssd, &mem);
+        queues.push(binding);
+        ex.add(Box::new(Load {
+            name: format!("load-{qp}"),
+            sq,
+            cq,
+            qd: QD,
+            outstanding: 0,
+            deadline: duration,
+            next_cid: 0,
+            rng: SimRng::new(qp as u64 + 1),
+            lba_slots: CAPACITY_LBAS / 8 - 1,
+            completed: completed.clone(),
+        }));
+    }
+
+    RouterBuilder::new("router")
+        .cost(cost)
+        .shards(SHARDS)
+        .table_capacity(4096)
+        .telemetry(&telemetry)
+        .vm(EngineVm {
+            vm_id: 0,
+            mem,
+            partition: Partition::whole(CAPACITY_LBAS),
+            queues,
+        })
+        .build()
+        .run_virtual(&mut ex);
+    ex.add(Box::new(ssd));
+
+    let (wd, health) = StallWatchdog::new(
+        &telemetry,
+        WatchdogConfig {
+            interval: 100 * US,
+            ..WatchdogConfig::default()
+        },
+    );
+    ex.add(Box::new(wd));
+
+    let bb = with_recorder.then(|| {
+        // 4x denser than the always-on default interval, so the bar has
+        // margin even for aggressively tuned recorders.
+        let cfg = RecorderConfig {
+            interval: 250 * US,
+            ..RecorderConfig::default()
+        };
+        let bb = Blackbox::new(&cfg);
+        ex.add(Box::new(
+            Recorder::new(&telemetry, bb.clone(), cfg).with_health(health),
+        ));
+        bb
+    });
+
+    let run = ex.run(u64::MAX);
+    LoadedRun {
+        completed: completed.load(Ordering::Relaxed),
+        spent: bb
+            .as_ref()
+            .map(|b| b.spent())
+            .unwrap_or(std::time::Duration::ZERO),
+        bb,
+        telemetry,
+        end: run.duration,
+    }
+}
+
+/// Recorder cost by self-attribution: spent tick time over the
+/// non-recorder remainder of the very runs it rode in, interleaved with
+/// recorder-free legs so absolute times stay comparable.
+fn run_recorder_overhead(duration: Ns) -> (f64, f64, f64) {
+    const RUNS: usize = 8;
+    run_loaded(duration, false);
+    run_loaded(duration, true);
+    let mut base_wall = 0.0;
+    let mut rec_wall = 0.0;
+    let mut spent = 0.0;
+    for _ in 0..RUNS {
+        let t = Instant::now();
+        run_loaded(duration, false);
+        base_wall += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        spent += run_loaded(duration, true).spent.as_secs_f64();
+        rec_wall += t.elapsed().as_secs_f64();
+    }
+    let overhead = spent / (rec_wall - spent);
+    (
+        base_wall / RUNS as f64 * 1e3,
+        rec_wall / RUNS as f64 * 1e3,
+        overhead,
+    )
+}
+
+/// One loaded run with a manual dump at the end: round-trip the bundle
+/// through its byte format and render the incident report.
+fn run_forensics(duration: Ns) -> (u64, usize, usize, usize, usize) {
+    let run = run_loaded(duration, true);
+    let bb = run.bb.expect("recorder leg");
+    let bundle = bb.dump_now(&run.telemetry, TriggerReason::Manual, run.end);
+    let bytes = bundle.to_bytes();
+    let restored = DumpBundle::from_bytes(&bytes).expect("bundle survives its wire format");
+    assert_eq!(restored, bundle, "byte round-trip must be lossless");
+    validate_json(&restored.to_json()).expect("bundle JSON renders valid");
+    let text = report(&restored);
+    assert!(
+        text.contains("blackbox incident report"),
+        "report must render:\n{text}"
+    );
+    (
+        run.completed,
+        bytes.len(),
+        bundle.timeline.len(),
+        bundle.residue.len(),
+        text.lines().count(),
+    )
+}
+
+/// Coalescing rig (8 VMs on a 4-slot hot set): every fan-out link must
+/// resolve into its leader's tree.
+fn run_forest_coverage(duration: Ns) -> (u64, usize, usize, f64) {
+    let telemetry = Telemetry::enabled();
+    let cost = CostModel {
+        ssd_channels: 8,
+        ssd_read_lat: 20_000,
+        ssd_cmd_overhead: 500,
+        ssd_cmd_overhead_write: 500,
+        ssd_jitter: 0.0,
+        ..Default::default()
+    };
+    let mut ssd = SimSsd::new(
+        "ssd",
+        SsdConfig {
+            capacity_lbas: 1 << 16,
+            cost: cost.clone(),
+            move_data: false,
+            seed: 0xB0B,
+            ..Default::default()
+        },
+    );
+    let mem = Arc::new(GuestMemory::new(1 << 20));
+    let mut ex = Executor::new();
+    let completed = Arc::new(AtomicU64::new(0));
+    let mut builder = RouterBuilder::new("router")
+        .cost(cost)
+        .telemetry(&telemetry)
+        .recovery(RecoveryConfig {
+            cmd_timeout: MS,
+            ..Default::default()
+        })
+        .coalesce(CoalesceConfig::default());
+    for vm in 0..8u32 {
+        let (binding, sq, cq) = queue_group(&mut ssd, &mem);
+        builder = builder.vm(EngineVm {
+            vm_id: vm,
+            mem: mem.clone(),
+            partition: Partition::whole(1 << 16),
+            queues: vec![binding],
+        });
+        ex.add(Box::new(Load {
+            name: format!("guest-{vm}"),
+            sq,
+            cq,
+            qd: 8,
+            outstanding: 0,
+            deadline: duration,
+            next_cid: 0,
+            rng: SimRng::new(0xB0B ^ ((vm as u64) << 8)),
+            lba_slots: 4,
+            completed: completed.clone(),
+        }));
+    }
+    builder.build().run_virtual(&mut ex);
+    ex.add(Box::new(ssd));
+
+    let (wd, log) = StallWatchdog::new(
+        &telemetry,
+        WatchdogConfig {
+            interval: 200 * US,
+            keep_spans: true,
+            ..WatchdogConfig::default()
+        },
+    );
+    let shared = wd.shared();
+    ex.add(Box::new(shared.clone()));
+    let run = ex.run(u64::MAX);
+    shared.with(|w| w.flush(run.duration + 1));
+
+    let fanned = telemetry.counter(Metric::CoalesceFanout);
+    assert!(fanned > 0, "the hot set never coalesced");
+    let forest = TraceForest::build(log.spans());
+    assert_eq!(
+        forest.stats.links_seen, fanned as usize,
+        "every fan-out must emit exactly one link"
+    );
+    (
+        completed.load(Ordering::Relaxed),
+        forest.stats.links_seen,
+        forest.stats.links_resolved,
+        forest.stats.link_coverage(),
+    )
+}
+
+fn main() {
+    let duration = std::env::var("NVMETRO_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(40)
+        * MS;
+
+    let (base_ms, rec_ms, overhead) = run_recorder_overhead(duration);
+    println!(
+        "recorder overhead: base {base_ms:.3}ms, with-recorder {rec_ms:.3}ms -> {:.3}%",
+        overhead * 100.0
+    );
+    assert!(
+        overhead < 0.01,
+        "recorder overhead {:.3}% exceeds the 1% bar",
+        overhead * 100.0
+    );
+
+    let (completed, bundle_bytes, timeline_events, residue, report_lines) = run_forensics(duration);
+    println!(
+        "forensics: {completed} requests -> {bundle_bytes}B bundle, {timeline_events} timeline events, {residue} residue spans, {report_lines}-line report"
+    );
+
+    let (co_completed, links_seen, links_resolved, coverage) = run_forest_coverage(duration);
+    println!(
+        "forest: {co_completed} requests, {links_seen} links, {links_resolved} resolved ({:.2}% coverage)",
+        coverage * 100.0
+    );
+    assert!(
+        (coverage - 1.0).abs() < 1e-9,
+        "fan-out link coverage {:.4} below the 1.0 bar",
+        coverage
+    );
+
+    let json = format!(
+        "{{\n  \"duration_ms\": {},\n  \"recorder_overhead\": {{\"base_ms\": {:.3}, \"with_recorder_ms\": {:.3}, \"fraction\": {:.5}}},\n  \"forensics\": {{\"completed\": {}, \"bundle_bytes\": {}, \"timeline_events\": {}, \"residue_spans\": {}, \"report_lines\": {}}},\n  \"forest\": {{\"completed\": {}, \"links_seen\": {}, \"links_resolved\": {}, \"link_coverage\": {:.4}}}\n}}\n",
+        duration / MS,
+        base_ms,
+        rec_ms,
+        overhead,
+        completed,
+        bundle_bytes,
+        timeline_events,
+        residue,
+        report_lines,
+        co_completed,
+        links_seen,
+        links_resolved,
+        coverage,
+    );
+    validate_json(&json).expect("report JSON is valid");
+    std::fs::write("BENCH_blackbox.json", &json).expect("write BENCH_blackbox.json");
+    println!("{json}");
+    println!("blackbox smoke OK");
+}

@@ -256,6 +256,7 @@ fn run_assembly_throughput() -> (u64, f64) {
                 gen: ev_gen,
                 stage,
                 path,
+                ..TraceEvent::default()
             };
         events.push(mk(t, Stage::VsqFetch, PathKind::None, worker, vm, gen));
         events.push(mk(

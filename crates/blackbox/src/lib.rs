@@ -1,0 +1,39 @@
+//! # nvmetro-blackbox — flight recorder and postmortem forensics
+//!
+//! An always-on, bounded, lock-light black-box recorder for the NVMetro
+//! datapath, plus trigger-based postmortem dumps and an offline analyzer:
+//!
+//! - [`Blackbox`] / [`Recorder`] — the rolling ring of high-signal events
+//!   (watchdog verdicts, counter checkpoints, servicing lifecycle, poll
+//!   transitions, breaker/throttle decisions, causal links) fed by a
+//!   simulation actor that mirrors the stall watchdog's tick pattern.
+//!   The hot path is never copied: request-rate traffic is summarized by
+//!   sparse counter-delta checkpoints, and only rare stages (abort,
+//!   retry, failover, replay, park/wake, link fan-out) land verbatim.
+//! - [`DumpBundle`] — the self-contained, versioned (`NVBB`), FNV-1a
+//!   checksummed postmortem bundle: last-window timeline, counters,
+//!   per-shard gauges, active policy, and residue (requests still in
+//!   flight at dump time). Triggers: persistent queue stalls, persistent
+//!   SLO burn, breaker opens, duplicate terminal completions, or an
+//!   explicit [`EngineDump::dump`].
+//! - [`report`] — reconstructs a human-readable incident timeline from a
+//!   bundle alone: the fault's site and window, the policy and gauges in
+//!   force, what moved, and what was left in flight.
+//!
+//! Layering: telemetry records, insight interprets (spans, watchdog,
+//! trace forest), blackbox remembers and explains. This crate sits above
+//! core so it can convert live `EngineStats` into the neutral gauge set
+//! ([`engine_gauges`]) that insight's exports and the bundle share.
+
+#![warn(missing_docs)]
+
+pub mod bundle;
+pub mod engine_ext;
+pub mod recorder;
+
+pub use bundle::{
+    report, BoxEvent, BoxKind, BundleError, DumpBundle, PolicySummary, ResidueSpan, ServicingOp,
+    TriggerReason, BUNDLE_MAGIC, BUNDLE_VERSION,
+};
+pub use engine_ext::{engine_gauges, policy_summary, EngineDump};
+pub use recorder::{Blackbox, Recorder, RecorderConfig, RARE_STAGES};

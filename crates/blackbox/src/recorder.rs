@@ -1,0 +1,712 @@
+//! The always-on flight recorder: a bounded, lock-light rolling window of
+//! high-signal datapath events plus the trigger machinery that turns an
+//! invariant breach into a postmortem [`DumpBundle`].
+//!
+//! The [`Blackbox`] handle is the shared ring (clone it freely; one clone
+//! feeds, others read). The [`Recorder`] is a simulation [`Actor`] that
+//! ticks on virtual time, mirroring the stall watchdog's pattern: a
+//! stage-filtered drain of the telemetry rings (rare stages only — the
+//! hot-path fetch/dispatch/complete traffic is summarized by counter
+//! checkpoints, never copied), a tail of the watchdog's [`HealthLog`], a
+//! tail of the fleet's [`FeedbackLog`], and trigger evaluation with a
+//! cooldown. Its wall-clock cost is self-attributed via
+//! [`Blackbox::spent`], which the overhead bench grades against the <1%
+//! budget.
+
+use crate::bundle::{
+    BoxEvent, BoxKind, DumpBundle, PolicySummary, ResidueSpan, ServicingOp, TriggerReason,
+};
+use nvmetro_fleet::{FeedbackAction, FeedbackLog};
+use nvmetro_insight::span::assemble;
+use nvmetro_insight::watchdog::{HealthLog, HealthVerdict};
+use nvmetro_insight::EngineGauges;
+use nvmetro_sim::{Actor, Ns, Progress};
+use nvmetro_telemetry::{Metric, Stage, Telemetry, TraceCursor};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The stages the recorder copies out of the telemetry rings. Everything
+/// else (the per-request hot path) is only summarized by checkpoints.
+pub const RARE_STAGES: u32 = (1 << Stage::Abort as u32)
+    | (1 << Stage::Retry as u32)
+    | (1 << Stage::Failover as u32)
+    | (1 << Stage::Replayed as u32)
+    | (1 << Stage::ShardPark as u32)
+    | (1 << Stage::ShardWake as u32)
+    | (1 << Stage::LinkFanout as u32);
+
+/// Metrics whose per-tick deltas become [`BoxKind::Servicing`] entries.
+const SERVICING_METRICS: [(Metric, ServicingOp); 5] = [
+    (Metric::SnapshotsTaken, ServicingOp::Snapshot),
+    (Metric::Restores, ServicingOp::Restore),
+    (Metric::Reshards, ServicingOp::Reshard),
+    (Metric::VmAttaches, ServicingOp::Attach),
+    (Metric::VmDetaches, ServicingOp::Detach),
+];
+
+/// Metrics summarized by periodic [`BoxKind::Checkpoint`] deltas. The
+/// servicing lifecycle metrics get their own dedicated entries and the
+/// watchdog's own tick counter is noise, so both are excluded.
+fn checkpointed(m: Metric) -> bool {
+    !matches!(
+        m,
+        Metric::SnapshotsTaken
+            | Metric::Restores
+            | Metric::Reshards
+            | Metric::VmAttaches
+            | Metric::VmDetaches
+            | Metric::WatchdogTicks
+    )
+}
+
+/// Recorder tuning. The defaults keep the recorder invisible on a loaded
+/// rig: millisecond ticks, a few thousand ring slots, and dump cooldown so
+/// a flapping fault cannot dump-storm.
+#[derive(Clone, Copy, Debug)]
+pub struct RecorderConfig {
+    /// Virtual time between recorder ticks.
+    pub interval: Ns,
+    /// Timeline horizon a dump is trimmed to.
+    pub window_ns: Ns,
+    /// Ring capacity in events; the oldest entries are evicted (and
+    /// counted) past this.
+    pub capacity: usize,
+    /// Consecutive stalled watchdog reports before a stall dump fires.
+    pub stall_ticks: u32,
+    /// Consecutive over-budget SLO reports before a burn dump fires.
+    pub slo_ticks: u32,
+    /// Dump when the circuit breaker opens.
+    pub trigger_on_breaker: bool,
+    /// Dump when the span assembler sees a duplicate terminal.
+    pub trigger_on_duplicates: bool,
+    /// Minimum virtual time between automatic dumps.
+    pub cooldown: Ns,
+    /// Produce dumps automatically when triggers fire (otherwise triggers
+    /// are only recorded in the timeline).
+    pub auto_dump: bool,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            interval: 1_000_000,
+            window_ns: 50_000_000,
+            capacity: 4096,
+            stall_ticks: 3,
+            slo_ticks: 5,
+            trigger_on_breaker: true,
+            trigger_on_duplicates: true,
+            cooldown: 10_000_000,
+            auto_dump: true,
+        }
+    }
+}
+
+struct BoxInner {
+    ring: VecDeque<BoxEvent>,
+    capacity: usize,
+    window_ns: Ns,
+    evicted: u64,
+    gauges: Option<EngineGauges>,
+    policy: Option<PolicySummary>,
+    dumps: Vec<DumpBundle>,
+    spent: Duration,
+}
+
+/// Shared, clonable handle to the flight-recorder ring. One clone feeds
+/// (usually via the [`Recorder`] actor), others read or dump.
+#[derive(Clone)]
+pub struct Blackbox(Arc<Mutex<BoxInner>>);
+
+impl Blackbox {
+    /// Builds an empty recorder ring with `config`'s capacity and window.
+    pub fn new(config: &RecorderConfig) -> Self {
+        Blackbox(Arc::new(Mutex::new(BoxInner {
+            ring: VecDeque::with_capacity(config.capacity.min(4096)),
+            capacity: config.capacity.max(1),
+            window_ns: config.window_ns,
+            evicted: 0,
+            gauges: None,
+            policy: None,
+            dumps: Vec::new(),
+            spent: Duration::ZERO,
+        })))
+    }
+
+    fn push_locked(inner: &mut BoxInner, e: BoxEvent) {
+        if inner.ring.len() == inner.capacity {
+            inner.ring.pop_front();
+            inner.evicted += 1;
+        }
+        inner.ring.push_back(e);
+    }
+
+    /// Appends one entry, evicting (and counting) the oldest past capacity.
+    pub fn record(&self, e: BoxEvent) {
+        Self::push_locked(&mut self.0.lock().unwrap(), e);
+    }
+
+    /// Appends a batch under one lock acquisition.
+    pub fn record_batch(&self, events: impl IntoIterator<Item = BoxEvent>) {
+        let mut inner = self.0.lock().unwrap();
+        for e in events {
+            Self::push_locked(&mut inner, e);
+        }
+    }
+
+    /// Feeds the latest per-shard engine gauges; the next dump embeds them.
+    pub fn feed_gauges(&self, g: EngineGauges) {
+        self.0.lock().unwrap().gauges = Some(g);
+    }
+
+    /// Feeds the active engine policy; the next dump embeds it.
+    pub fn feed_policy(&self, p: PolicySummary) {
+        self.0.lock().unwrap().policy = Some(p);
+    }
+
+    /// Current ring contents, oldest first.
+    pub fn timeline(&self) -> Vec<BoxEvent> {
+        self.0.lock().unwrap().ring.iter().cloned().collect()
+    }
+
+    /// Entries in the ring right now.
+    pub fn len(&self) -> usize {
+        self.0.lock().unwrap().ring.len()
+    }
+
+    /// True when nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.0.lock().unwrap().ring.is_empty()
+    }
+
+    /// Entries evicted to capacity so far.
+    pub fn evicted(&self) -> u64 {
+        self.0.lock().unwrap().evicted
+    }
+
+    /// All dump bundles produced so far, oldest first.
+    pub fn dumps(&self) -> Vec<DumpBundle> {
+        self.0.lock().unwrap().dumps.clone()
+    }
+
+    /// The most recent dump bundle, if any.
+    pub fn last_dump(&self) -> Option<DumpBundle> {
+        self.0.lock().unwrap().dumps.last().cloned()
+    }
+
+    /// Wall-clock time self-attributed by the recorder's ticks — the
+    /// number the overhead bench grades against its <1% budget.
+    pub fn spent(&self) -> Duration {
+        self.0.lock().unwrap().spent
+    }
+
+    fn add_spent(&self, d: Duration) {
+        self.0.lock().unwrap().spent += d;
+    }
+
+    /// Produces a dump bundle right now: records the trigger in the
+    /// timeline, trims the ring to the window, captures counters and
+    /// residue (still-in-flight requests) from a one-shot telemetry
+    /// snapshot, and stores the bundle (also returned).
+    pub fn dump_now(&self, telemetry: &Telemetry, reason: TriggerReason, now: Ns) -> DumpBundle {
+        let counters = telemetry.counters();
+        let snapshot = telemetry.snapshot();
+        let report = assemble(&snapshot);
+        let mut residue: Vec<ResidueSpan> = report
+            .spans
+            .iter()
+            .filter(|s| !s.complete)
+            .map(|s| {
+                let last = s.events.last();
+                ResidueSpan {
+                    shard: s.shard,
+                    vm: s.vm,
+                    vsq: s.vsq,
+                    tag: s.tag,
+                    gen: s.gen,
+                    start_ns: s.start_ns,
+                    last_ns: last.map_or(s.start_ns, |e| e.ts_ns),
+                    last_stage: last.map_or(Stage::VsqFetch, |e| e.stage),
+                }
+            })
+            .collect();
+        residue.sort_by_key(|s| s.start_ns);
+
+        let mut inner = self.0.lock().unwrap();
+        Self::push_locked(
+            &mut inner,
+            BoxEvent {
+                at: now,
+                kind: BoxKind::Trigger(reason),
+            },
+        );
+        let horizon = now.saturating_sub(inner.window_ns);
+        let bundle = DumpBundle {
+            reason,
+            at: now,
+            window_ns: inner.window_ns,
+            evicted: inner.evicted,
+            timeline: inner
+                .ring
+                .iter()
+                .filter(|e| e.at >= horizon)
+                .cloned()
+                .collect(),
+            counters,
+            gauges: inner.gauges.clone(),
+            policy: inner.policy.clone(),
+            residue,
+        };
+        inner.dumps.push(bundle.clone());
+        bundle
+    }
+}
+
+type QueueKey = (u16, u32, u16);
+
+/// The recorder actor: ticks on virtual time, feeding the [`Blackbox`]
+/// ring and firing trigger dumps. Build with [`Recorder::new`], attach
+/// the watchdog log with [`Recorder::with_health`] and the fleet feedback
+/// log with [`Recorder::with_feedback`], then hand it to the executor.
+pub struct Recorder {
+    telemetry: Telemetry,
+    bb: Blackbox,
+    cfg: RecorderConfig,
+    health: Option<HealthLog>,
+    feedback: Option<FeedbackLog>,
+    cursor: TraceCursor,
+    last_counters: [u64; Metric::COUNT],
+    report_mark: usize,
+    feedback_mark: usize,
+    next_tick: Ns,
+    pending_armed: bool,
+    last_dump_at: Option<Ns>,
+    stall_streaks: HashMap<QueueKey, (u32, Ns)>,
+    slo_streaks: [u32; nvmetro_telemetry::Route::COUNT],
+    dup_seen: u64,
+    buf: Vec<BoxEvent>,
+}
+
+impl Recorder {
+    /// Builds a recorder ticking over `telemetry`, feeding `bb`.
+    pub fn new(telemetry: &Telemetry, bb: Blackbox, cfg: RecorderConfig) -> Recorder {
+        Recorder {
+            telemetry: telemetry.clone(),
+            bb,
+            cursor: telemetry.cursor(),
+            last_counters: [0; Metric::COUNT],
+            report_mark: 0,
+            feedback_mark: 0,
+            next_tick: cfg.interval,
+            cfg,
+            health: None,
+            feedback: None,
+            pending_armed: false,
+            last_dump_at: None,
+            stall_streaks: HashMap::new(),
+            slo_streaks: [0; nvmetro_telemetry::Route::COUNT],
+            dup_seen: 0,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Tails the watchdog's health log: verdicts land in the timeline and
+    /// persistent stalls / SLO burns / duplicate terminals become triggers.
+    pub fn with_health(mut self, log: HealthLog) -> Recorder {
+        self.health = Some(log);
+        self
+    }
+
+    /// Tails the fleet feedback log: throttle actuations land in the
+    /// timeline.
+    pub fn with_feedback(mut self, log: FeedbackLog) -> Recorder {
+        self.feedback = Some(log);
+        self
+    }
+
+    /// The shared ring this recorder feeds.
+    pub fn blackbox(&self) -> &Blackbox {
+        &self.bb
+    }
+
+    /// Runs one recorder tick at `now` (called automatically from
+    /// [`Actor::poll`]; public for offline/manual use). Wall-clock cost is
+    /// accumulated into [`Blackbox::spent`].
+    pub fn tick(&mut self, now: Ns) {
+        let t0 = std::time::Instant::now();
+        self.tick_inner(now);
+        self.bb.add_spent(t0.elapsed());
+    }
+
+    fn tick_inner(&mut self, now: Ns) {
+        self.buf.clear();
+
+        // 1. Rare-stage drain: aborts, retries, failovers, replays, shard
+        // park/wake, and causal links get copied verbatim. The stage mask
+        // means the hot path costs one byte peek per event, no copy.
+        let buf = &mut self.buf;
+        self.telemetry
+            .drain_stages(&mut self.cursor, RARE_STAGES, |ev| {
+                buf.push(BoxEvent {
+                    at: ev.ts_ns,
+                    kind: BoxKind::Trace(ev),
+                });
+            });
+
+        // 2. Counter checkpoint: sparse deltas only; servicing lifecycle
+        // metrics become dedicated entries.
+        let counters = self.telemetry.counters();
+        let mut deltas = Vec::new();
+        for m in Metric::ALL {
+            let d = counters[m as usize].saturating_sub(self.last_counters[m as usize]);
+            if d > 0 && checkpointed(m) {
+                deltas.push((m, d));
+            }
+        }
+        for (m, op) in SERVICING_METRICS {
+            let d = counters[m as usize].saturating_sub(self.last_counters[m as usize]);
+            if d > 0 {
+                self.buf.push(BoxEvent {
+                    at: now,
+                    kind: BoxKind::Servicing { op, count: d },
+                });
+            }
+        }
+        let breaker_delta = counters[Metric::BreakerOpens as usize]
+            .saturating_sub(self.last_counters[Metric::BreakerOpens as usize]);
+        self.last_counters = counters;
+        if !deltas.is_empty() {
+            self.buf.push(BoxEvent {
+                at: now,
+                kind: BoxKind::Checkpoint { deltas },
+            });
+        }
+
+        // 3. Watchdog tail: verdicts into the timeline, stall/SLO streak
+        // accounting for persistence triggers.
+        let mut duplicate_terminals = self.dup_seen;
+        if let Some(health) = &self.health {
+            let (reports, next) = health.reports_since(self.report_mark);
+            self.report_mark = next;
+            for report in &reports {
+                for v in &report.verdicts {
+                    let kind = match v {
+                        HealthVerdict::QueueStalled {
+                            worker,
+                            vm,
+                            vsq,
+                            open,
+                            oldest_age_ns,
+                        } => BoxKind::Stalled {
+                            worker: *worker,
+                            vm: *vm,
+                            vsq: *vsq,
+                            open: *open as u32,
+                            oldest_age_ns: *oldest_age_ns,
+                        },
+                        HealthVerdict::QueueRecovered { worker, vm, vsq } => BoxKind::Recovered {
+                            worker: *worker,
+                            vm: *vm,
+                            vsq: *vsq,
+                        },
+                        HealthVerdict::BreakerFlap { opens } => {
+                            BoxKind::BreakerFlap { opens: *opens }
+                        }
+                        HealthVerdict::SloBurn { route, burn } => BoxKind::SloBurn {
+                            route: *route,
+                            burn_permille: (burn * 1000.0).min(u32::MAX as f64) as u32,
+                        },
+                    };
+                    self.buf.push(BoxEvent {
+                        at: report.at,
+                        kind,
+                    });
+                }
+                // Streaks come off the per-queue state (present every
+                // report), not the edge-triggered verdicts.
+                self.stall_streaks.retain(|key, _| {
+                    report
+                        .queues
+                        .iter()
+                        .any(|q| (q.worker, q.vm, q.vsq) == *key && q.stalled)
+                });
+                for q in &report.queues {
+                    if q.stalled {
+                        self.stall_streaks
+                            .entry((q.worker, q.vm, q.vsq))
+                            .and_modify(|(n, _)| *n += 1)
+                            .or_insert((1, report.at));
+                    }
+                }
+                for route in nvmetro_telemetry::Route::ALL {
+                    let burning = report.slo.iter().any(|s| s.route == route && s.burn > 1.0);
+                    let streak = &mut self.slo_streaks[route as usize];
+                    *streak = if burning { *streak + 1 } else { 0 };
+                }
+            }
+            duplicate_terminals = health.stats().duplicate_terminals;
+        }
+
+        // 4. Fleet feedback tail.
+        if let Some(feedback) = &self.feedback {
+            let actions = feedback.actions();
+            for a in actions.iter().skip(self.feedback_mark) {
+                let (at, tenant, permille, tighten) = match a {
+                    FeedbackAction::Tighten {
+                        at,
+                        tenant,
+                        permille,
+                    } => (*at, *tenant, *permille, true),
+                    FeedbackAction::Relax {
+                        at,
+                        tenant,
+                        permille,
+                    } => (*at, *tenant, *permille, false),
+                };
+                self.buf.push(BoxEvent {
+                    at,
+                    kind: BoxKind::Throttle {
+                        tenant,
+                        permille,
+                        tighten,
+                    },
+                });
+            }
+            self.feedback_mark = actions.len();
+        }
+
+        if !self.buf.is_empty() {
+            self.buf.sort_by_key(|e| e.at);
+            self.bb.record_batch(self.buf.drain(..));
+        }
+
+        // 5. Trigger evaluation, most severe first, under cooldown.
+        let reason = if self.cfg.trigger_on_duplicates && duplicate_terminals > self.dup_seen {
+            self.dup_seen = duplicate_terminals;
+            Some(TriggerReason::DuplicateTerminal {
+                count: duplicate_terminals,
+            })
+        } else if let Some((key, (ticks, since))) = self
+            .stall_streaks
+            .iter()
+            .find(|(_, (n, _))| *n >= self.cfg.stall_ticks)
+            .map(|(k, v)| (*k, *v))
+        {
+            Some(TriggerReason::StallPersisted {
+                worker: key.0,
+                vm: key.1,
+                vsq: key.2,
+                ticks,
+                since,
+            })
+        } else if self.cfg.trigger_on_breaker && breaker_delta > 0 {
+            Some(TriggerReason::BreakerOpened {
+                delta: breaker_delta,
+            })
+        } else {
+            nvmetro_telemetry::Route::ALL
+                .iter()
+                .find(|r| self.slo_streaks[**r as usize] >= self.cfg.slo_ticks)
+                .map(|r| TriggerReason::SloBurnPersisted {
+                    route: *r,
+                    ticks: self.slo_streaks[*r as usize],
+                    burn_permille: 0,
+                })
+        };
+        if let Some(reason) = reason {
+            let cooled = self
+                .last_dump_at
+                .is_none_or(|t| now.saturating_sub(t) >= self.cfg.cooldown);
+            if self.cfg.auto_dump && cooled {
+                self.last_dump_at = Some(now);
+                self.bb.dump_now(&self.telemetry, reason, now);
+            }
+        }
+    }
+
+    fn watching(&self) -> bool {
+        self.pending_armed || !self.stall_streaks.is_empty()
+    }
+
+    /// Whether events have been published that no tick has drained yet.
+    fn pending(&self) -> bool {
+        self.telemetry.recorded_total() > self.cursor.consumed()
+            || self
+                .health
+                .as_ref()
+                .is_some_and(|h| h.reports().len() > self.report_mark)
+    }
+}
+
+impl Actor for Recorder {
+    fn name(&self) -> &str {
+        "blackbox"
+    }
+
+    fn poll(&mut self, now: Ns) -> Progress {
+        if now < self.next_tick {
+            if !self.watching() && self.pending() {
+                self.pending_armed = true;
+            }
+            return Progress::Idle;
+        }
+        self.pending_armed = false;
+        self.tick(now);
+        self.next_tick = now + self.cfg.interval;
+        Progress::Idle
+    }
+
+    fn next_event(&self) -> Option<Ns> {
+        // Mirror the watchdog: keep scheduling ticks only while there is
+        // something to drain, otherwise an idle simulation never ends.
+        if self.watching() {
+            Some(self.next_tick)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmetro_telemetry::PathKind;
+
+    #[test]
+    fn ring_is_bounded_and_counts_evictions() {
+        let cfg = RecorderConfig {
+            capacity: 4,
+            ..RecorderConfig::default()
+        };
+        let bb = Blackbox::new(&cfg);
+        for i in 0..10u64 {
+            bb.record(BoxEvent {
+                at: i,
+                kind: BoxKind::BreakerFlap { opens: i },
+            });
+        }
+        assert_eq!(bb.len(), 4);
+        assert_eq!(bb.evicted(), 6);
+        let timeline = bb.timeline();
+        assert_eq!(timeline.first().unwrap().at, 6);
+        assert_eq!(timeline.last().unwrap().at, 9);
+    }
+
+    #[test]
+    fn tick_records_rare_stages_and_checkpoints() {
+        let telemetry = Telemetry::enabled();
+        let cfg = RecorderConfig::default();
+        let bb = Blackbox::new(&cfg);
+        let mut rec = Recorder::new(&telemetry, bb.clone(), cfg);
+
+        let h = telemetry.register_worker_named("router0");
+        h.count(Metric::Accepted);
+        h.count(Metric::Accepted);
+        h.count(Metric::Completed);
+        h.request_event(100, 1, 0, 7, 1, Stage::VsqFetch, PathKind::None);
+        h.request_event(200, 1, 0, 7, 1, Stage::Abort, PathKind::None);
+
+        rec.tick(1_000_000);
+        let timeline = bb.timeline();
+        let aborts: Vec<&BoxEvent> = timeline
+            .iter()
+            .filter(|e| matches!(&e.kind, BoxKind::Trace(t) if t.stage == Stage::Abort))
+            .collect();
+        assert_eq!(aborts.len(), 1, "abort copied into the ring");
+        assert!(
+            !timeline
+                .iter()
+                .any(|e| matches!(&e.kind, BoxKind::Trace(t) if t.stage == Stage::VsqFetch)),
+            "hot-path stages are not copied"
+        );
+        let ckpt = timeline
+            .iter()
+            .find_map(|e| match &e.kind {
+                BoxKind::Checkpoint { deltas } => Some(deltas.clone()),
+                _ => None,
+            })
+            .expect("checkpoint recorded");
+        assert!(ckpt.contains(&(Metric::Accepted, 2)));
+        assert!(ckpt.contains(&(Metric::Completed, 1)));
+
+        // Second tick with no movement: no new checkpoint.
+        let before = bb.len();
+        rec.tick(2_000_000);
+        assert_eq!(bb.len(), before, "quiet tick records nothing");
+    }
+
+    #[test]
+    fn breaker_open_triggers_a_dump_with_cooldown() {
+        let telemetry = Telemetry::enabled();
+        let cfg = RecorderConfig {
+            cooldown: 5_000_000,
+            ..RecorderConfig::default()
+        };
+        let bb = Blackbox::new(&cfg);
+        let mut rec = Recorder::new(&telemetry, bb.clone(), cfg);
+        let h = telemetry.register_worker_named("router0");
+
+        h.count(Metric::BreakerOpens);
+        rec.tick(1_000_000);
+        assert_eq!(bb.dumps().len(), 1);
+        assert!(matches!(
+            bb.dumps()[0].reason,
+            TriggerReason::BreakerOpened { delta: 1 }
+        ));
+
+        // A second open inside the cooldown records but does not dump.
+        h.count(Metric::BreakerOpens);
+        rec.tick(2_000_000);
+        assert_eq!(bb.dumps().len(), 1, "cooldown suppresses dump storm");
+
+        // After the cooldown a new open dumps again.
+        h.count(Metric::BreakerOpens);
+        rec.tick(8_000_000);
+        assert_eq!(bb.dumps().len(), 2);
+    }
+
+    #[test]
+    fn manual_dump_embeds_gauges_policy_and_residue() {
+        let telemetry = Telemetry::enabled();
+        let cfg = RecorderConfig::default();
+        let bb = Blackbox::new(&cfg);
+        bb.feed_policy(PolicySummary {
+            poll: "spin".into(),
+            batch: "fixed(16)".into(),
+            placement: "round_robin".into(),
+            workers: 1,
+        });
+        bb.feed_gauges(EngineGauges {
+            poll_modes: vec!["spin"],
+            batch_sizes: vec![16],
+            shard_cores: vec![0],
+            occupancy: 1,
+            high_water: 3,
+            tenants: Vec::new(),
+            breakers: Vec::new(),
+        });
+
+        // One request left open: it must land in the residue.
+        let h = telemetry.register_worker_named("router0");
+        h.request_event(500, 2, 1, 9, 1, Stage::VsqFetch, PathKind::None);
+        h.request_event(700, 2, 1, 9, 1, Stage::Dispatched, PathKind::Fast);
+
+        let bundle = bb.dump_now(&telemetry, TriggerReason::Manual, 1_000_000);
+        assert_eq!(bundle.reason, TriggerReason::Manual);
+        assert_eq!(bundle.policy.as_ref().unwrap().batch, "fixed(16)");
+        assert_eq!(bundle.gauges.as_ref().unwrap().batch_sizes, vec![16]);
+        assert_eq!(bundle.residue.len(), 1);
+        let r = &bundle.residue[0];
+        assert_eq!((r.vm, r.vsq, r.tag), (2, 1, 9));
+        assert_eq!(r.last_stage, Stage::Dispatched);
+        // The dump itself is in the timeline (trigger entry).
+        assert!(bundle
+            .timeline
+            .iter()
+            .any(|e| matches!(e.kind, BoxKind::Trigger(_))));
+        // And the bundle round-trips.
+        let back = DumpBundle::from_bytes(&bundle.to_bytes()).unwrap();
+        assert_eq!(back, bundle);
+    }
+}

@@ -28,7 +28,7 @@
 use crate::adaptive::PollMode;
 use crate::classify::Classifier;
 use crate::controller::Partition;
-use crate::policy::{BatchPolicy, EnginePolicy};
+use crate::policy::EnginePolicy;
 use crate::recovery::RecoveryConfig;
 use crate::router::{KernelPath, NotifyBinding, Router, RouterStats, VmBinding};
 use crate::servicing::{
@@ -180,26 +180,6 @@ impl RouterBuilder {
     /// snapshot/restore and reshard.
     pub fn policy(mut self, policy: EnginePolicy) -> Self {
         self.policy = policy;
-        self
-    }
-
-    /// Worker threads modeled *inside* each shard's station (the paper's
-    /// scalability evaluation uses one).
-    #[deprecated(since = "0.8.0", note = "use `policy(EnginePolicy::new().workers(n))`")]
-    pub fn workers(mut self, workers: usize) -> Self {
-        self.policy.workers = workers.max(1);
-        self
-    }
-
-    /// Entries drained per SQ visit and the unit of CQ doorbell
-    /// coalescing.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use `policy(EnginePolicy::new().batch(BatchPolicy::Fixed(n)))` \
-                or `BatchPolicy::auto()`"
-    )]
-    pub fn batch(mut self, batch: usize) -> Self {
-        self.policy.batch = BatchPolicy::Fixed(batch.max(1));
         self
     }
 
@@ -953,7 +933,7 @@ impl Engine {
             }
             let p = engine.placements[q.group as usize];
             let at = retry_at.get(&(q.group, q.tag)).copied();
-            engine.shards[p.shard].inject_replay(p.slot, &q.state, at, now);
+            engine.shards[p.shard].inject_replay(p.slot, &q.state, q.tag, at, now);
         }
         for c in &state.cqes {
             let p = engine.placements[c.group as usize];

@@ -1104,7 +1104,24 @@ impl Router {
         self.stats.coalesce_fanout += followers.len() as u64;
         self.telemetry
             .add(Metric::CoalesceFanout, followers.len() as u64);
+        // The leader's slot is still resident (`finish` removes it after
+        // this fan-out), so its generation is readable for the causal link.
+        let leader_gen = self.table.get(tag).map_or(0, |s| Self::gen_of(s.seq));
         for w in followers {
+            // Stamp the follower with its leader before the follower's own
+            // terminal event, so the link lands on the still-open span.
+            if let Some(f) = self.table.get(w.tag) {
+                self.telemetry.link_event(
+                    t,
+                    f.vm,
+                    f.vsq,
+                    w.tag,
+                    Self::gen_of(f.seq),
+                    Stage::LinkFanout,
+                    tag,
+                    leader_gen,
+                );
+            }
             self.finish(w.vm, w.tag, status, t);
         }
     }
@@ -1825,6 +1842,7 @@ impl Router {
         &mut self,
         slot: usize,
         saved: &RequestState,
+        old_tag: u16,
         retry_at: Option<Ns>,
         now: Ns,
     ) {
@@ -1878,11 +1896,21 @@ impl Router {
         self.telemetry.count(Metric::ReplayedRequests);
         let (vm_id, gen) = (self.vms[slot].vm_id, Self::gen_of(seq));
         // A replay opens a *new* span: VsqFetch starts it (the old span's
-        // trace lives in the pre-snapshot engine), Replayed marks why.
+        // trace lives in the pre-snapshot engine), Replayed marks why and
+        // names the pre-snapshot attempt (old tag + generation) so the
+        // trace forest can stitch both attempts into one tree.
         self.telemetry
             .request_event(now, vm_id, vsq, tag, gen, Stage::VsqFetch, PathKind::None);
-        self.telemetry
-            .request_event(now, vm_id, vsq, tag, gen, Stage::Replayed, PathKind::None);
+        self.telemetry.link_event(
+            now,
+            vm_id,
+            vsq,
+            tag,
+            gen,
+            Stage::Replayed,
+            old_tag,
+            Self::gen_of(saved.seq),
+        );
         match retry_at {
             Some(at) if at > now => {
                 let state = self.table.get_mut(tag).expect("just inserted");

@@ -253,24 +253,32 @@ mod tests {
                     stage: Stage::VsqFetch,
                     path: PathKind::None,
                     worker: 0,
+                    link_tag: 0,
+                    link_gen: 0,
                 },
                 SpanEvent {
                     ts_ns: start + ingress,
                     stage: Stage::Dispatched,
                     path,
                     worker: 0,
+                    link_tag: 0,
+                    link_gen: 0,
                 },
                 SpanEvent {
                     ts_ns: start + latency * 4 / 5,
                     stage: service_stage,
                     path,
                     worker: 0,
+                    link_tag: 0,
+                    link_gen: 0,
                 },
                 SpanEvent {
                     ts_ns: end,
                     stage: Stage::VcqComplete,
                     path: PathKind::None,
                     worker: 0,
+                    link_tag: 0,
+                    link_gen: 0,
                 },
             ],
         }

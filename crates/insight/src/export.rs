@@ -9,6 +9,7 @@
 //! recovery stages (abort/retry/failover) become instant ("i") markers.
 //! Load the file in `chrome://tracing` or <https://ui.perfetto.dev>.
 
+use crate::forest::TraceForest;
 use crate::span::Span;
 use nvmetro_telemetry::{Metric, Percentiles, Route, Segment, Stage, TelemetrySnapshot, Tier};
 use std::fmt::Write as _;
@@ -40,6 +41,45 @@ fn us(ns: u64) -> f64 {
 /// [`nvmetro_telemetry::Telemetry::worker_names`]); missing names fall
 /// back to `shard-N`.
 pub fn chrome_trace(spans: &[Span], workers: &[String]) -> String {
+    wrap_trace(span_trace_events(spans, workers))
+}
+
+/// Renders a [`TraceForest`] as Chrome `trace_event` JSON: the usual span
+/// records plus one flow arrow ("s"/"f" event pair sharing an `id`) per
+/// resolved causal link, so the viewer draws coalesce fan-out and
+/// cross-generation replay as arrows between the related request slices.
+pub fn chrome_trace_forest(forest: &TraceForest, workers: &[String]) -> String {
+    let mut events = span_trace_events(&forest.spans, workers);
+    for (id, link) in forest.links.iter().enumerate() {
+        let name = link.kind.name();
+        for (ph, span) in [
+            ("s", &forest.spans[link.parent]),
+            ("f", &forest.spans[link.child]),
+        ] {
+            // Clamp the instant into the span's own interval so the flow
+            // event binds to that track's enclosing slice.
+            let ts = link.at.clamp(span.start_ns, span.end_ns.max(span.start_ns));
+            let bp = if ph == "f" { ",\"bp\":\"e\"" } else { "" };
+            let tid = ((span.vm as u64) << 16) | span.vsq as u64;
+            events.push(format!(
+                "{{\"name\":\"{name}\",\"cat\":\"link\",\"ph\":\"{ph}\"{bp},\"id\":{id},\
+                 \"ts\":{:.3},\"pid\":{},\"tid\":{tid}}}",
+                us(ts),
+                span.shard,
+            ));
+        }
+    }
+    wrap_trace(events)
+}
+
+fn wrap_trace(events: Vec<String>) -> String {
+    format!(
+        "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ns\"}}",
+        events.join(",")
+    )
+}
+
+fn span_trace_events(spans: &[Span], workers: &[String]) -> Vec<String> {
     let mut events: Vec<String> = Vec::new();
     let mut seen_pids: Vec<u16> = Vec::new();
     let mut seen_tids: Vec<(u16, u64)> = Vec::new();
@@ -114,10 +154,7 @@ pub fn chrome_trace(spans: &[Span], workers: &[String]) -> String {
         }
     }
 
-    format!(
-        "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ns\"}}",
-        events.join(",")
-    )
+    events
 }
 
 fn prom_hist(out: &mut String, family: &str, label_key: &str, label: &str, p: &Percentiles) {
@@ -140,14 +177,79 @@ fn prom_hist(out: &mut String, family: &str, label_key: &str, label: &str, p: &P
     );
 }
 
+/// One (shard, tenant) fleet-scheduler throttle cell, decoupled from the
+/// core engine types so the exporter stays engine-agnostic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TenantGauge {
+    /// Shard the scheduler slot lives on.
+    pub shard: usize,
+    /// Tenant (VM) id.
+    pub tenant: u32,
+    /// Governor throttle scale in permille (1000 = unthrottled).
+    pub throttle_permille: u32,
+    /// Unspent DRR deficit (requests).
+    pub deficit: u64,
+    /// Requests admitted on this shard.
+    pub admitted: u64,
+    /// Token denials on this shard.
+    pub throttled: u64,
+}
+
+/// One (shard, VM) circuit-breaker cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerGauge {
+    /// Shard the breaker lives on.
+    pub shard: usize,
+    /// Owning VM id.
+    pub vm: u32,
+    /// Whether the breaker is currently open.
+    pub open: bool,
+    /// Times it has opened so far.
+    pub opens: u64,
+}
+
+/// Point-in-time engine gauges for the Prometheus exporter — a neutral
+/// mirror of the engine's `EngineStats` surface (per-shard poll mode,
+/// batch bound, core pin, table occupancy, breaker and tenant-throttle
+/// cells), kept here so insight never depends on the core crate. Populate
+/// it from an `EngineStats` with `blackbox::engine_gauges`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineGauges {
+    /// Each shard's poll-governor mode name ("spin"/"yield"/"parked").
+    pub poll_modes: Vec<&'static str>,
+    /// Each shard's batch bound currently in force.
+    pub batch_sizes: Vec<usize>,
+    /// Core each shard is pinned to.
+    pub shard_cores: Vec<usize>,
+    /// Requests currently occupying routing-table slots across shards.
+    pub occupancy: usize,
+    /// Highest routing-table occupancy any shard reached.
+    pub high_water: usize,
+    /// Every (shard, tenant) throttle cell.
+    pub tenants: Vec<TenantGauge>,
+    /// Every (shard, VM) breaker cell.
+    pub breakers: Vec<BreakerGauge>,
+}
+
 /// Renders a snapshot as Prometheus text exposition (format 0.0.4):
 /// every counter as `nvmetro_<name>_total`, the latency/occupancy
 /// distributions as quantile summaries, and per-ring drop counts labelled
 /// by worker.
 pub fn prometheus_text(snapshot: &TelemetrySnapshot) -> String {
+    prometheus_text_with(snapshot, None)
+}
+
+/// [`prometheus_text`] plus point-in-time engine gauges: per-shard poll
+/// mode / batch bound / core pin, routing-table occupancy, and the
+/// per-(shard, tenant) throttle and per-(shard, VM) breaker cells.
+pub fn prometheus_text_with(snapshot: &TelemetrySnapshot, gauges: Option<&EngineGauges>) -> String {
     let mut out = String::new();
     for m in Metric::ALL {
         let name = m.name();
+        let _ = writeln!(
+            out,
+            "# HELP nvmetro_{name}_total Monotonic datapath counter \"{name}\"."
+        );
         let _ = writeln!(out, "# TYPE nvmetro_{name}_total counter");
         let _ = writeln!(
             out,
@@ -156,22 +258,38 @@ pub fn prometheus_text(snapshot: &TelemetrySnapshot) -> String {
         );
     }
 
+    let _ = writeln!(
+        out,
+        "# HELP nvmetro_route_latency_ns Completion latency by dispatch route."
+    );
     let _ = writeln!(out, "# TYPE nvmetro_route_latency_ns summary");
     for r in Route::ALL {
         let p = Percentiles::of(&snapshot.route_latency[r as usize]);
         prom_hist(&mut out, "nvmetro_route_latency_ns", "route", r.name(), &p);
     }
+    let _ = writeln!(
+        out,
+        "# HELP nvmetro_segment_ns Time spent per request lifecycle segment."
+    );
     let _ = writeln!(out, "# TYPE nvmetro_segment_ns summary");
     for s in Segment::ALL {
         let p = Percentiles::of(&snapshot.segments[s as usize]);
         prom_hist(&mut out, "nvmetro_segment_ns", "segment", s.name(), &p);
     }
+    let _ = writeln!(
+        out,
+        "# HELP nvmetro_tier_latency_ns Service latency by storage tier."
+    );
     let _ = writeln!(out, "# TYPE nvmetro_tier_latency_ns summary");
     for t in Tier::ALL {
         let p = Percentiles::of(&snapshot.tiers[t as usize]);
         prom_hist(&mut out, "nvmetro_tier_latency_ns", "tier", t.name(), &p);
     }
 
+    let _ = writeln!(
+        out,
+        "# HELP nvmetro_trace_ring_dropped_total Trace events lost to ring wrap, per worker."
+    );
     let _ = writeln!(out, "# TYPE nvmetro_trace_ring_dropped_total counter");
     for (i, dropped) in snapshot.ring_dropped.iter().enumerate() {
         let worker = snapshot
@@ -183,6 +301,125 @@ pub fn prometheus_text(snapshot: &TelemetrySnapshot) -> String {
             out,
             "nvmetro_trace_ring_dropped_total{{worker=\"{worker}\"}} {dropped}"
         );
+    }
+
+    if let Some(g) = gauges {
+        let _ = writeln!(
+            out,
+            "# HELP nvmetro_shard_poll_mode Poll-governor state per shard (1 on the active mode)."
+        );
+        let _ = writeln!(out, "# TYPE nvmetro_shard_poll_mode gauge");
+        for (shard, mode) in g.poll_modes.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "nvmetro_shard_poll_mode{{shard=\"{shard}\",mode=\"{}\"}} 1",
+                esc(mode)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP nvmetro_shard_batch_size Batch bound currently in force per shard."
+        );
+        let _ = writeln!(out, "# TYPE nvmetro_shard_batch_size gauge");
+        for (shard, b) in g.batch_sizes.iter().enumerate() {
+            let _ = writeln!(out, "nvmetro_shard_batch_size{{shard=\"{shard}\"}} {b}");
+        }
+        let _ = writeln!(
+            out,
+            "# HELP nvmetro_shard_core Core each shard is pinned to by placement."
+        );
+        let _ = writeln!(out, "# TYPE nvmetro_shard_core gauge");
+        for (shard, c) in g.shard_cores.iter().enumerate() {
+            let _ = writeln!(out, "nvmetro_shard_core{{shard=\"{shard}\"}} {c}");
+        }
+        let _ = writeln!(
+            out,
+            "# HELP nvmetro_table_occupancy Requests currently occupying routing-table slots."
+        );
+        let _ = writeln!(out, "# TYPE nvmetro_table_occupancy gauge");
+        let _ = writeln!(out, "nvmetro_table_occupancy {}", g.occupancy);
+        let _ = writeln!(
+            out,
+            "# HELP nvmetro_table_high_water Highest routing-table occupancy any shard reached."
+        );
+        let _ = writeln!(out, "# TYPE nvmetro_table_high_water gauge");
+        let _ = writeln!(out, "nvmetro_table_high_water {}", g.high_water);
+
+        let _ = writeln!(
+            out,
+            "# HELP nvmetro_tenant_throttle_permille Feedback throttle scale (1000 = unthrottled)."
+        );
+        let _ = writeln!(out, "# TYPE nvmetro_tenant_throttle_permille gauge");
+        for t in &g.tenants {
+            let _ = writeln!(
+                out,
+                "nvmetro_tenant_throttle_permille{{shard=\"{}\",tenant=\"{}\"}} {}",
+                t.shard, t.tenant, t.throttle_permille
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP nvmetro_tenant_deficit Unspent DRR deficit per scheduler cell."
+        );
+        let _ = writeln!(out, "# TYPE nvmetro_tenant_deficit gauge");
+        for t in &g.tenants {
+            let _ = writeln!(
+                out,
+                "nvmetro_tenant_deficit{{shard=\"{}\",tenant=\"{}\"}} {}",
+                t.shard, t.tenant, t.deficit
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP nvmetro_tenant_admitted_total Requests admitted per scheduler cell."
+        );
+        let _ = writeln!(out, "# TYPE nvmetro_tenant_admitted_total counter");
+        for t in &g.tenants {
+            let _ = writeln!(
+                out,
+                "nvmetro_tenant_admitted_total{{shard=\"{}\",tenant=\"{}\"}} {}",
+                t.shard, t.tenant, t.admitted
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP nvmetro_tenant_throttled_total Token denials per scheduler cell."
+        );
+        let _ = writeln!(out, "# TYPE nvmetro_tenant_throttled_total counter");
+        for t in &g.tenants {
+            let _ = writeln!(
+                out,
+                "nvmetro_tenant_throttled_total{{shard=\"{}\",tenant=\"{}\"}} {}",
+                t.shard, t.tenant, t.throttled
+            );
+        }
+
+        let _ = writeln!(
+            out,
+            "# HELP nvmetro_breaker_open Whether the (shard, VM) circuit breaker is open."
+        );
+        let _ = writeln!(out, "# TYPE nvmetro_breaker_open gauge");
+        for b in &g.breakers {
+            let _ = writeln!(
+                out,
+                "nvmetro_breaker_open{{shard=\"{}\",vm=\"{}\"}} {}",
+                b.shard, b.vm, b.open as u32
+            );
+        }
+        // Named apart from the global `nvmetro_breaker_opens_total`
+        // counter family the Metric loop already emits.
+        let _ = writeln!(
+            out,
+            "# HELP nvmetro_breaker_cell_opens_total Times the (shard, VM) breaker has opened."
+        );
+        let _ = writeln!(out, "# TYPE nvmetro_breaker_cell_opens_total counter");
+        for b in &g.breakers {
+            let _ = writeln!(
+                out,
+                "nvmetro_breaker_cell_opens_total{{shard=\"{}\",vm=\"{}\"}} {}",
+                b.shard, b.vm, b.opens
+            );
+        }
     }
     out
 }
@@ -371,6 +608,7 @@ mod tests {
             stage,
             path,
             worker,
+            ..TraceEvent::default()
         };
         let mut a = SpanAssembler::new();
         a.push(&mk(1000, 0, 0, 5, 1, Stage::VsqFetch, PathKind::None, 0));
@@ -425,6 +663,116 @@ mod tests {
         assert!(text.contains("nvmetro_route_latency_ns{route=\"fast\",quantile=\"0.5\"} 1234"));
         assert!(text.contains("nvmetro_route_latency_ns_count{route=\"fast\"} 1"));
         assert!(text.contains("nvmetro_trace_ring_dropped_total{worker=\"router.0\"} 0"));
+    }
+
+    #[test]
+    fn chrome_trace_forest_emits_flow_event_pairs() {
+        use crate::forest::TraceForest;
+        let mk = |ts, vm, tag, stage, link_tag, link_gen| TraceEvent {
+            ts_ns: ts,
+            vm,
+            tag,
+            gen: 1,
+            stage,
+            link_tag,
+            link_gen,
+            ..TraceEvent::default()
+        };
+        let mut a = SpanAssembler::new();
+        a.extend(&[
+            mk(100, 0, 1, Stage::VsqFetch, 0, 0),
+            mk(110, 1, 2, Stage::VsqFetch, 0, 0),
+            mk(500, 1, 2, Stage::LinkFanout, 1, 1),
+            mk(500, 1, 2, Stage::VcqComplete, 0, 0),
+            mk(501, 0, 1, Stage::VcqComplete, 0, 0),
+        ]);
+        let forest = TraceForest::build(a.finish().spans);
+        assert_eq!(forest.stats.links_resolved, 1);
+        let trace = chrome_trace_forest(&forest, &["router".to_string()]);
+        validate_json(&trace).expect("valid JSON");
+        assert!(trace.contains("\"ph\":\"s\""));
+        assert!(trace.contains("\"ph\":\"f\",\"bp\":\"e\""));
+        assert!(trace.contains("\"coalesce_fanout\""));
+        // The pair shares an id.
+        assert_eq!(trace.matches("\"id\":0").count(), 2);
+    }
+
+    #[test]
+    fn prometheus_text_with_gauges_lists_engine_state() {
+        use super::{BreakerGauge, EngineGauges, TenantGauge};
+        let telemetry = Telemetry::enabled();
+        telemetry.register_worker_named("router.0");
+        let gauges = EngineGauges {
+            poll_modes: vec!["spin", "parked"],
+            batch_sizes: vec![8, 16],
+            shard_cores: vec![2, 3],
+            occupancy: 5,
+            high_water: 40,
+            tenants: vec![TenantGauge {
+                shard: 1,
+                tenant: 7,
+                throttle_permille: 500,
+                deficit: 3,
+                admitted: 100,
+                throttled: 9,
+            }],
+            breakers: vec![BreakerGauge {
+                shard: 0,
+                vm: 7,
+                open: true,
+                opens: 2,
+            }],
+        };
+        let text = prometheus_text_with(&telemetry.snapshot(), Some(&gauges));
+        assert!(text.contains("nvmetro_shard_poll_mode{shard=\"1\",mode=\"parked\"} 1"));
+        assert!(text.contains("nvmetro_shard_batch_size{shard=\"1\"} 16"));
+        assert!(text.contains("nvmetro_shard_core{shard=\"0\"} 2"));
+        assert!(text.contains("nvmetro_table_occupancy 5"));
+        assert!(text.contains("nvmetro_table_high_water 40"));
+        assert!(text.contains("nvmetro_tenant_throttle_permille{shard=\"1\",tenant=\"7\"} 500"));
+        assert!(text.contains("nvmetro_tenant_admitted_total{shard=\"1\",tenant=\"7\"} 100"));
+        assert!(text.contains("nvmetro_tenant_throttled_total{shard=\"1\",tenant=\"7\"} 9"));
+        assert!(text.contains("nvmetro_breaker_open{shard=\"0\",vm=\"7\"} 1"));
+        assert!(text.contains("nvmetro_breaker_cell_opens_total{shard=\"0\",vm=\"7\"} 2"));
+    }
+
+    #[test]
+    fn prometheus_exposition_format_conformance() {
+        let telemetry = Telemetry::enabled();
+        // A hostile worker name must be escaped in the label value.
+        telemetry.register_worker_named("router\"0\\x\n");
+        let text = prometheus_text_with(&telemetry.snapshot(), Some(&EngineGauges::default()));
+        for line in text.lines() {
+            assert!(!line.is_empty(), "no blank lines in exposition output");
+        }
+        // Every sample's family has both HELP and TYPE comments, with
+        // HELP immediately before TYPE.
+        let lines: Vec<&str> = text.lines().collect();
+        for w in lines.windows(2) {
+            if let Some(rest) = w[0].strip_prefix("# HELP ") {
+                let family = rest.split_whitespace().next().unwrap();
+                assert!(
+                    w[1].starts_with(&format!("# TYPE {family} ")),
+                    "HELP for {family} not followed by its TYPE line"
+                );
+            }
+        }
+        assert!(text.contains("# HELP nvmetro_accepted_total"));
+        assert!(text.contains("# TYPE nvmetro_accepted_total counter"));
+        assert!(text.contains("# TYPE nvmetro_route_latency_ns summary"));
+        assert!(text.contains("# TYPE nvmetro_shard_poll_mode gauge"));
+        // The escaped worker label: quote, backslash and newline encoded.
+        assert!(text.contains("worker=\"router\\\"0\\\\x\\n\""));
+        // Exactly one TYPE line per family.
+        let mut families: Vec<&str> = lines
+            .iter()
+            .filter_map(|l| l.strip_prefix("# TYPE "))
+            .filter_map(|l| l.split_whitespace().next())
+            .collect();
+        let total = families.len();
+        families.sort_unstable();
+        families.dedup();
+        assert_eq!(total, families.len(), "duplicate # TYPE family");
     }
 
     #[test]

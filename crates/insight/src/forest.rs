@@ -1,0 +1,392 @@
+//! Causal trace forest: stitching linked spans into logical request trees.
+//!
+//! The span assembler reconstructs each *attempt* as its own [`Span`], but
+//! the datapath reshapes requests across spans: a coalescing leader's
+//! device read answers N parked followers ([`Stage::LinkFanout`] on each
+//! follower names the leader), and a servicing replay re-issues a
+//! snapshotted request under a new generation ([`Stage::Replayed`] names
+//! the pre-snapshot predecessor). [`TraceForest`] resolves those link
+//! events into parent→child edges, exposing each logical request as one
+//! tree: the leader with its fan-out, the pre-snapshot attempt with its
+//! replay. [`TraceForest::critical_path`] walks a tree from its root to
+//! the last-completing descendant and names the dominant lifecycle
+//! segment of every hop — the per-tree answer to "where did the time go".
+
+use crate::span::Span;
+use nvmetro_telemetry::{Ns, Segment, Stage};
+use std::collections::HashMap;
+
+/// Why a child span hangs off its parent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkKind {
+    /// The child is a coalescing follower fanned out from the parent
+    /// (leader) request's terminal completion.
+    CoalesceFanout,
+    /// The child is the cross-generation servicing replay of the parent
+    /// (pre-snapshot) request.
+    Replay,
+}
+
+impl LinkKind {
+    /// Stable lowercase name for JSON export.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LinkKind::CoalesceFanout => "coalesce_fanout",
+            LinkKind::Replay => "replay",
+        }
+    }
+}
+
+/// One resolved parent→child edge (indices into [`TraceForest::spans`]).
+#[derive(Clone, Copy, Debug)]
+pub struct TraceLink {
+    /// Span index of the parent (leader / pre-snapshot attempt).
+    pub parent: usize,
+    /// Span index of the child (follower / replay).
+    pub child: usize,
+    /// Edge kind.
+    pub kind: LinkKind,
+    /// When the link event was emitted.
+    pub at: Ns,
+}
+
+/// Link-resolution bookkeeping.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ForestStats {
+    /// Spans fed into the forest.
+    pub spans: usize,
+    /// Link events observed on the spans.
+    pub links_seen: usize,
+    /// Link events resolved to a parent span.
+    pub links_resolved: usize,
+    /// Roots (spans with no parent) — unlinked spans are one-node trees.
+    pub trees: usize,
+}
+
+impl ForestStats {
+    /// Fraction of observed links that resolved (1.0 when none were seen).
+    pub fn link_coverage(&self) -> f64 {
+        if self.links_seen == 0 {
+            return 1.0;
+        }
+        self.links_resolved as f64 / self.links_seen as f64
+    }
+}
+
+/// One hop of a tree's critical path.
+#[derive(Clone, Copy, Debug)]
+pub struct CriticalHop {
+    /// Index of the span this hop crosses.
+    pub span: usize,
+    /// The span's own VSQ→VCQ latency (0 while incomplete).
+    pub latency_ns: u64,
+    /// The lifecycle segment that dominated the span's latency.
+    pub dominant: Segment,
+}
+
+/// The forest itself: spans plus resolved links and tree accessors.
+pub struct TraceForest {
+    /// The spans, in the order they were handed in.
+    pub spans: Vec<Span>,
+    /// Every resolved edge.
+    pub links: Vec<TraceLink>,
+    /// Resolution bookkeeping.
+    pub stats: ForestStats,
+    parent: Vec<Option<usize>>,
+    children: Vec<Vec<usize>>,
+}
+
+impl TraceForest {
+    /// Builds the forest: resolves every [`Stage::LinkFanout`] /
+    /// [`Stage::Replayed`] link event carried by `spans` to its parent
+    /// span. Coalesce links match within the emitting shard (coalescing
+    /// never crosses shards); replay links match by `(tag, gen)` across
+    /// shards, since a reshard may land the replay elsewhere. When tag
+    /// reuse leaves several candidates, the latest one starting at or
+    /// before the link instant wins.
+    pub fn build(spans: Vec<Span>) -> Self {
+        let mut by_shard: HashMap<(u16, u16, u8), Vec<usize>> = HashMap::new();
+        let mut by_tag: HashMap<(u16, u8), Vec<usize>> = HashMap::new();
+        for (i, s) in spans.iter().enumerate() {
+            by_shard.entry((s.shard, s.tag, s.gen)).or_default().push(i);
+            by_tag.entry((s.tag, s.gen)).or_default().push(i);
+        }
+        let mut parent: Vec<Option<usize>> = vec![None; spans.len()];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+        let mut links = Vec::new();
+        let mut seen = 0usize;
+        for (child, span) in spans.iter().enumerate() {
+            for ev in span.links() {
+                let kind = match ev.stage {
+                    Stage::LinkFanout => LinkKind::CoalesceFanout,
+                    Stage::Replayed => LinkKind::Replay,
+                    _ => continue,
+                };
+                seen += 1;
+                let candidates = match kind {
+                    LinkKind::CoalesceFanout => {
+                        by_shard.get(&(span.shard, ev.link_tag, ev.link_gen))
+                    }
+                    LinkKind::Replay => by_tag.get(&(ev.link_tag, ev.link_gen)),
+                };
+                let best =
+                    candidates
+                        .into_iter()
+                        .flatten()
+                        .copied()
+                        .fold(None::<usize>, |best, cand| {
+                            if cand == child || spans[cand].start_ns > ev.ts_ns {
+                                return best;
+                            }
+                            match best {
+                                Some(b) if spans[b].start_ns >= spans[cand].start_ns => Some(b),
+                                _ => Some(cand),
+                            }
+                        });
+                let Some(p) = best else { continue };
+                if parent[child].is_some() || would_cycle(&parent, p, child) {
+                    continue;
+                }
+                parent[child] = Some(p);
+                children[p].push(child);
+                links.push(TraceLink {
+                    parent: p,
+                    child,
+                    kind,
+                    at: ev.ts_ns,
+                });
+            }
+        }
+        let trees = parent.iter().filter(|p| p.is_none()).count();
+        let stats = ForestStats {
+            spans: spans.len(),
+            links_seen: seen,
+            links_resolved: links.len(),
+            trees,
+        };
+        TraceForest {
+            spans,
+            links,
+            stats,
+            parent,
+            children,
+        }
+    }
+
+    /// The parent of a span, if linked.
+    pub fn parent_of(&self, span: usize) -> Option<usize> {
+        self.parent.get(span).copied().flatten()
+    }
+
+    /// Direct children of a span.
+    pub fn children_of(&self, span: usize) -> &[usize] {
+        self.children.get(span).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Indices of every root (spans with no parent).
+    pub fn roots(&self) -> Vec<usize> {
+        (0..self.spans.len())
+            .filter(|&i| self.parent[i].is_none())
+            .collect()
+    }
+
+    /// The root of the tree containing `span`.
+    pub fn root_of(&self, mut span: usize) -> usize {
+        while let Some(p) = self.parent[span] {
+            span = p;
+        }
+        span
+    }
+
+    /// Every span in `root`'s tree (pre-order, root first).
+    pub fn tree(&self, root: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(i) = stack.pop() {
+            out.push(i);
+            stack.extend(self.children[i].iter().rev());
+        }
+        out
+    }
+
+    /// The tree's critical path: root → the child subtree that finishes
+    /// last, one hop per span, each hop naming its dominant lifecycle
+    /// segment. The first hop is the root itself.
+    pub fn critical_path(&self, root: usize) -> Vec<CriticalHop> {
+        let mut path = Vec::new();
+        let mut at = root;
+        loop {
+            let span = &self.spans[at];
+            let segs = span.segments();
+            let dominant = Segment::ALL[segs
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, v)| **v)
+                .map(|(i, _)| i)
+                .unwrap_or(0)];
+            path.push(CriticalHop {
+                span: at,
+                latency_ns: span.latency_ns(),
+                dominant,
+            });
+            // Descend into the child whose subtree ends last.
+            let next = self.children[at]
+                .iter()
+                .copied()
+                .max_by_key(|&c| self.subtree_end(c));
+            match next {
+                Some(c) => at = c,
+                None => return path,
+            }
+        }
+    }
+
+    fn subtree_end(&self, root: usize) -> Ns {
+        self.tree(root)
+            .into_iter()
+            .map(|i| self.spans[i].end_ns)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Whether making `parent` the parent of `child` would close a cycle
+/// (i.e. `child` is already an ancestor of `parent`).
+fn would_cycle(parents: &[Option<usize>], parent: usize, child: usize) -> bool {
+    let mut at = parent;
+    loop {
+        if at == child {
+            return true;
+        }
+        match parents[at] {
+            Some(p) => at = p,
+            None => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanAssembler;
+    use nvmetro_telemetry::{PathKind, TraceEvent};
+
+    fn ev(ts: Ns, vm: u32, tag: u16, gen: u8, stage: Stage, worker: u16) -> TraceEvent {
+        TraceEvent {
+            ts_ns: ts,
+            vm,
+            vsq: 0,
+            tag,
+            gen,
+            stage,
+            path: PathKind::None,
+            worker,
+            ..TraceEvent::default()
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn link(
+        ts: Ns,
+        vm: u32,
+        tag: u16,
+        gen: u8,
+        stage: Stage,
+        worker: u16,
+        link_tag: u16,
+        link_gen: u8,
+    ) -> TraceEvent {
+        TraceEvent {
+            link_tag,
+            link_gen,
+            ..ev(ts, vm, tag, gen, stage, worker)
+        }
+    }
+
+    fn spans(events: &[TraceEvent]) -> Vec<Span> {
+        let mut a = SpanAssembler::new();
+        a.extend(events);
+        a.finish().spans
+    }
+
+    #[test]
+    fn coalesce_fanout_builds_one_tree() {
+        // Leader tag 1; followers tags 2 and 3 fan out from it.
+        let events = vec![
+            ev(100, 0, 1, 1, Stage::VsqFetch, 0),
+            ev(110, 1, 2, 1, Stage::VsqFetch, 0),
+            ev(120, 2, 3, 1, Stage::VsqFetch, 0),
+            link(500, 1, 2, 1, Stage::LinkFanout, 0, 1, 1),
+            ev(500, 1, 2, 1, Stage::VcqComplete, 0),
+            link(500, 2, 3, 1, Stage::LinkFanout, 0, 1, 1),
+            ev(500, 2, 3, 1, Stage::VcqComplete, 0),
+            ev(501, 0, 1, 1, Stage::VcqComplete, 0),
+        ];
+        let f = TraceForest::build(spans(&events));
+        assert_eq!(f.stats.links_seen, 2);
+        assert_eq!(f.stats.links_resolved, 2);
+        assert_eq!(f.stats.trees, 1);
+        assert!((f.stats.link_coverage() - 1.0).abs() < 1e-9);
+        let root = f.roots()[0];
+        assert_eq!(f.spans[root].tag, 1);
+        assert_eq!(f.tree(root).len(), 3);
+        assert_eq!(f.children_of(root).len(), 2);
+    }
+
+    #[test]
+    fn replay_links_across_shards() {
+        // The pre-snapshot attempt ran on shard 0, tag 5 gen 2, never
+        // completed; the replay runs on shard 3 under a new tag/gen.
+        let events = vec![
+            ev(100, 0, 5, 2, Stage::VsqFetch, 0),
+            ev(102, 0, 5, 2, Stage::Dispatched, 0),
+            ev(900, 0, 9, 1, Stage::VsqFetch, 3),
+            link(900, 0, 9, 1, Stage::Replayed, 3, 5, 2),
+            ev(950, 0, 9, 1, Stage::VcqComplete, 3),
+        ];
+        let f = TraceForest::build(spans(&events));
+        assert_eq!(f.stats.links_resolved, 1);
+        assert_eq!(f.stats.trees, 1);
+        let root = f.roots()[0];
+        assert_eq!(f.spans[root].shard, 0, "pre-snapshot attempt is the root");
+        let leaf = f.children_of(root)[0];
+        assert_eq!(f.spans[leaf].shard, 3);
+        assert_eq!(f.root_of(leaf), root);
+        assert_eq!(f.links[0].kind, LinkKind::Replay);
+    }
+
+    #[test]
+    fn unresolved_link_counts_against_coverage() {
+        let events = vec![
+            ev(100, 0, 2, 1, Stage::VsqFetch, 0),
+            link(500, 0, 2, 1, Stage::LinkFanout, 0, 77, 9), // no such leader
+            ev(500, 0, 2, 1, Stage::VcqComplete, 0),
+        ];
+        let f = TraceForest::build(spans(&events));
+        assert_eq!(f.stats.links_seen, 1);
+        assert_eq!(f.stats.links_resolved, 0);
+        assert!(f.stats.link_coverage() < 1.0);
+    }
+
+    #[test]
+    fn critical_path_descends_to_last_finishing_child() {
+        let events = vec![
+            ev(100, 0, 1, 1, Stage::VsqFetch, 0),
+            ev(101, 0, 1, 1, Stage::Dispatched, 0),
+            ev(110, 1, 2, 1, Stage::VsqFetch, 0),
+            ev(120, 2, 3, 1, Stage::VsqFetch, 0),
+            link(400, 1, 2, 1, Stage::LinkFanout, 0, 1, 1),
+            ev(400, 1, 2, 1, Stage::VcqComplete, 0),
+            link(800, 2, 3, 1, Stage::LinkFanout, 0, 1, 1),
+            ev(800, 2, 3, 1, Stage::VcqComplete, 0),
+            ev(401, 0, 1, 1, Stage::VcqComplete, 0),
+        ];
+        let f = TraceForest::build(spans(&events));
+        let root = f.root_of(0);
+        let path = f.critical_path(root);
+        assert_eq!(path.len(), 2);
+        assert_eq!(f.spans[path[0].span].tag, 1);
+        // tag 3 finishes at 800, later than tag 2's 400.
+        assert_eq!(f.spans[path[1].span].tag, 3);
+    }
+}

@@ -14,19 +14,28 @@
 //!   every tick and flags stalled queues, breaker flapping, and SLO
 //!   error-budget burn, surfacing verdicts as telemetry metrics and
 //!   [`HealthReport`]s;
+//! * [`forest`] stitches causally linked spans (coalesce leader→follower
+//!   fan-out, cross-generation servicing replays) into logical request
+//!   trees with per-tree critical-path attribution;
 //! * [`export`] renders spans as Chrome `trace_event` JSON (one process
-//!   per worker, one track per guest queue) and snapshots as Prometheus
-//!   text exposition.
+//!   per worker, one track per guest queue, flow arrows for causal
+//!   links) and snapshots as Prometheus text exposition, optionally with
+//!   point-in-time engine gauges.
 
 #![warn(missing_docs)]
 
 pub mod attrib;
 pub mod export;
+pub mod forest;
 pub mod span;
 pub mod watchdog;
 
 pub use attrib::{ExemplarReservoir, QuantileAttribution, RouteAttribution, TailAttribution};
-pub use export::{chrome_trace, prometheus_text, validate_json};
+pub use export::{
+    chrome_trace, chrome_trace_forest, prometheus_text, prometheus_text_with, validate_json,
+    BreakerGauge, EngineGauges, TenantGauge,
+};
+pub use forest::{CriticalHop, ForestStats, LinkKind, TraceForest, TraceLink};
 pub use span::{assemble, AssemblyStats, Span, SpanAssembler, SpanEvent, SpanReport};
 pub use watchdog::{
     HealthLog, HealthReport, HealthVerdict, QueueHealth, SharedWatchdog, SloConfig, SloStatus,

@@ -28,6 +28,24 @@ pub struct SpanEvent {
     pub path: PathKind,
     /// Worker (ring) that emitted the event.
     pub worker: u16,
+    /// Causal link target tag ([`Stage::LinkFanout`]/[`Stage::Replayed`]
+    /// carry the related request here; 0 with `link_gen == 0` otherwise).
+    pub link_tag: u16,
+    /// Causal link target generation (0 = no link).
+    pub link_gen: u8,
+}
+
+impl SpanEvent {
+    fn of(ev: &TraceEvent) -> Self {
+        SpanEvent {
+            ts_ns: ev.ts_ns,
+            stage: ev.stage,
+            path: ev.path,
+            worker: ev.worker,
+            link_tag: ev.link_tag,
+            link_gen: ev.link_gen,
+        }
+    }
 }
 
 /// One reconstructed request: every lifecycle event between its `VsqFetch`
@@ -66,12 +84,7 @@ impl Span {
             start_ns: ev.ts_ns,
             end_ns: ev.ts_ns,
             complete: false,
-            events: vec![SpanEvent {
-                ts_ns: ev.ts_ns,
-                stage: ev.stage,
-                path: ev.path,
-                worker: ev.worker,
-            }],
+            events: vec![SpanEvent::of(ev)],
         }
     }
 
@@ -97,6 +110,13 @@ impl Span {
     /// Dispatch attempts: the first one plus one per retry.
     pub fn attempts(&self) -> u32 {
         1 + self.count(Stage::Retry) as u32
+    }
+
+    /// Causal link events this span carries ([`Stage::LinkFanout`] names
+    /// the coalesce leader, [`Stage::Replayed`] the pre-snapshot
+    /// predecessor). Empty for an ordinary span.
+    pub fn links(&self) -> impl Iterator<Item = &SpanEvent> {
+        self.events.iter().filter(|e| e.link_gen != 0)
     }
 
     /// The route this span is attributed to — the heaviest path it was
@@ -342,12 +362,7 @@ impl SpanAssembler {
             let dkey = (key.0, key.1, key.2, key.3, ev.gen);
             if let Some(mut span) = self.displaced.remove(&dkey) {
                 span.end_ns = span.end_ns.max(ev.ts_ns);
-                span.events.push(SpanEvent {
-                    ts_ns: ev.ts_ns,
-                    stage: ev.stage,
-                    path: ev.path,
-                    worker: ev.worker,
-                });
+                span.events.push(SpanEvent::of(ev));
                 if ev.stage == Stage::VcqComplete {
                     span.complete = true;
                     self.stats.spans_completed += 1;
@@ -385,12 +400,7 @@ impl SpanAssembler {
         } else {
             span.end_ns = span.end_ns.max(ev.ts_ns);
         }
-        span.events.push(SpanEvent {
-            ts_ns: ev.ts_ns,
-            stage: ev.stage,
-            path: ev.path,
-            worker: ev.worker,
-        });
+        span.events.push(SpanEvent::of(ev));
     }
 
     fn push_below_router(&mut self, ev: &TraceEvent) {
@@ -441,12 +451,7 @@ impl SpanAssembler {
                     self.stats.ambiguous_matches += 1;
                 }
                 let span = self.open.get_mut(&key).expect("candidate is open");
-                span.events.push(SpanEvent {
-                    ts_ns: ev.ts_ns,
-                    stage: ev.stage,
-                    path: ev.path,
-                    worker: ev.worker,
-                });
+                span.events.push(SpanEvent::of(ev));
                 if !span.complete {
                     span.end_ns = span.end_ns.max(ev.ts_ns);
                 }

@@ -174,6 +174,16 @@ impl HealthLog {
         self.0.lock().unwrap().reports.clone()
     }
 
+    /// Reports appended since index `from` (a tail for incremental
+    /// consumers: pass the previous call's returned `next` back in).
+    /// Returns the fresh reports plus the new watermark, so a periodic
+    /// observer never re-copies the whole log.
+    pub fn reports_since(&self, from: usize) -> (Vec<HealthReport>, usize) {
+        let inner = self.0.lock().unwrap();
+        let start = from.min(inner.reports.len());
+        (inner.reports[start..].to_vec(), inner.reports.len())
+    }
+
     /// All retired spans (empty unless [`WatchdogConfig::keep_spans`]).
     pub fn spans(&self) -> Vec<Span> {
         self.0.lock().unwrap().spans.clone()

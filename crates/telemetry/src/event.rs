@@ -55,11 +55,17 @@ pub enum Stage {
     /// [`Stage::ShardPark`] plus the wakeup latency is what insight
     /// attributes to adaptive polling.
     ShardWake = 13,
+    /// Causal link: a coalescing follower's completion was fanned out
+    /// from a leader's terminal completion. Emitted on the *follower's*
+    /// identity with `link_tag`/`link_gen` naming the leader request on
+    /// the same worker; insight's trace forest stitches the two spans
+    /// into one logical tree.
+    LinkFanout = 14,
 }
 
 impl Stage {
     /// All stages, in lifecycle order (recovery stages last).
-    pub const ALL: [Stage; 14] = [
+    pub const ALL: [Stage; 15] = [
         Stage::VsqFetch,
         Stage::Classified,
         Stage::Dispatched,
@@ -74,6 +80,7 @@ impl Stage {
         Stage::Replayed,
         Stage::ShardPark,
         Stage::ShardWake,
+        Stage::LinkFanout,
     ];
 
     /// Stable lowercase name for tables and JSON export.
@@ -93,6 +100,7 @@ impl Stage {
             Stage::Replayed => "replayed",
             Stage::ShardPark => "shard_park",
             Stage::ShardWake => "shard_wake",
+            Stage::LinkFanout => "link_fanout",
         }
     }
 }
@@ -286,6 +294,14 @@ pub struct TraceEvent {
     pub stage: Stage,
     /// Path the stage refers to, if any.
     pub path: PathKind,
+    /// Causal link: the routing-table tag of a *related* request this
+    /// event points at (the coalesce leader for [`Stage::LinkFanout`],
+    /// the pre-snapshot predecessor for [`Stage::Replayed`]). `0` with
+    /// `link_gen == 0` means "no link".
+    pub link_tag: u16,
+    /// Generation of the linked request (disambiguates `link_tag` reuse,
+    /// same encoding as `gen`). `0` means "no link".
+    pub link_gen: u8,
 }
 
 impl Default for TraceEvent {
@@ -299,6 +315,8 @@ impl Default for TraceEvent {
             gen: 0,
             stage: Stage::VsqFetch,
             path: PathKind::None,
+            link_tag: 0,
+            link_gen: 0,
         }
     }
 }

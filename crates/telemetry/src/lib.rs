@@ -421,6 +421,42 @@ impl TelemetryHandle {
                 gen,
                 stage,
                 path,
+                link_tag: 0,
+                link_gen: 0,
+            });
+        }
+    }
+
+    /// Emits one lifecycle trace event that *links* this request to a
+    /// related one (`link_tag`/`link_gen`): the coalesce leader for
+    /// [`Stage::LinkFanout`], the pre-snapshot predecessor for
+    /// [`Stage::Replayed`]. Insight's trace forest resolves the link into
+    /// a parent/child edge of one logical request tree.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn link_event(
+        &self,
+        ts_ns: Ns,
+        vm: u32,
+        vsq: u16,
+        tag: u16,
+        gen: u8,
+        stage: Stage,
+        link_tag: u16,
+        link_gen: u8,
+    ) {
+        if let Some(ring) = &self.ring {
+            ring.push(TraceEvent {
+                ts_ns,
+                vm,
+                vsq,
+                tag,
+                worker: self.worker,
+                gen,
+                stage,
+                path: PathKind::None,
+                link_tag,
+                link_gen,
             });
         }
     }

@@ -302,7 +302,7 @@ impl TelemetrySnapshot {
             };
             let _ = write!(
                 out,
-                "{{\"ts_ns\":{},\"vm\":{},\"vsq\":{},\"tag\":{},\"gen\":{},\"worker\":{},\"stage\":\"{}\",\"path\":\"{}\"}}",
+                "{{\"ts_ns\":{},\"vm\":{},\"vsq\":{},\"tag\":{},\"gen\":{},\"worker\":{},\"stage\":\"{}\",\"path\":\"{}\"",
                 e.ts_ns,
                 vm,
                 e.vsq,
@@ -312,6 +312,14 @@ impl TelemetrySnapshot {
                 e.stage.name(),
                 e.path.name()
             );
+            if e.link_gen != 0 {
+                let _ = write!(
+                    out,
+                    ",\"link_tag\":{},\"link_gen\":{}",
+                    e.link_tag, e.link_gen
+                );
+            }
+            out.push('}');
         }
         out.push_str("]}");
         out

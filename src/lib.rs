@@ -29,6 +29,7 @@
 //! | [`stats`] | histograms and result tables |
 //! | [`telemetry`] | request-lifecycle tracing, sharded metrics, snapshots |
 //! | [`insight`] | span reconstruction, tail attribution, stall watchdog, trace export |
+//! | [`blackbox`] | flight recorder, postmortem dump bundles, incident reports |
 //!
 //! ## Quickstart
 //!
@@ -37,6 +38,7 @@
 
 pub use lsmkv;
 pub use nvmetro_baselines as baselines;
+pub use nvmetro_blackbox as blackbox;
 pub use nvmetro_core as core;
 pub use nvmetro_crypto as crypto;
 pub use nvmetro_device as device;

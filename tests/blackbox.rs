@@ -1,0 +1,555 @@
+//! Black-box flight recorder and causal trace forest integration:
+//!
+//! * **Forensics** — a seeded chaos run with an injected hung completion
+//!   trips the recorder's persistent-stall trigger; the dump bundle
+//!   round-trips through its byte format and `blackbox::report` names the
+//!   injected fault's site and window *from the bundle alone*.
+//! * **Coalesce fan-out trees** — on the chaos coalescing rig, every
+//!   leader→follower fan-out link resolves into one trace tree (100% link
+//!   coverage), exported as valid Chrome-trace flow events.
+//! * **Cross-restore replay trees** — a mid-flight snapshot/restore
+//!   replays requests under a new generation; the replay link stitches the
+//!   old-generation attempt and the replayed span into one tree, and the
+//!   recorder's timeline carries the servicing lifecycle.
+
+use nvmetro::blackbox::{
+    report, Blackbox, BoxKind, DumpBundle, EngineDump, Recorder, RecorderConfig, ServicingOp,
+    TriggerReason,
+};
+use nvmetro::core::classify::Classifier;
+use nvmetro::core::engine::{Engine, EngineVm, QueueBinding, RouterBuilder};
+use nvmetro::core::{passthrough_program, Partition, RecoveryConfig};
+use nvmetro::device::{CompletionMode, SimSsd, SsdConfig};
+use nvmetro::faults::{CmdClass, FaultAction, FaultPlan, FaultRule, FaultSite};
+use nvmetro::fleet::CoalesceConfig;
+use nvmetro::insight::span::assemble;
+use nvmetro::insight::{
+    chrome_trace_forest, validate_json, StallWatchdog, TraceForest, WatchdogConfig,
+};
+use nvmetro::mem::GuestMemory;
+use nvmetro::nvme::{CqConsumer, CqPair, SqPair, SqProducer, SubmissionEntry};
+use nvmetro::sim::cost::CostModel;
+use nvmetro::sim::{Actor, Executor, Ns, Progress, SimRng, MS, US};
+use nvmetro::telemetry::{Metric, Stage, Telemetry};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const NLB: u32 = 8;
+
+/// Closed-loop reader, optionally over a small hot LBA set.
+struct Guest {
+    name: String,
+    sq: SqProducer,
+    cq: CqConsumer,
+    qd: usize,
+    deadline: Ns,
+    outstanding: usize,
+    next_cid: u16,
+    rng: SimRng,
+    lba_slots: u64,
+    submitted: Arc<AtomicU64>,
+    completed: Arc<AtomicU64>,
+}
+
+impl Guest {
+    fn new(
+        name: &str,
+        sq: SqProducer,
+        cq: CqConsumer,
+        qd: usize,
+        deadline: Ns,
+        seed: u64,
+        lba_slots: u64,
+    ) -> Self {
+        Guest {
+            name: name.to_string(),
+            sq,
+            cq,
+            qd,
+            deadline,
+            outstanding: 0,
+            next_cid: 0,
+            rng: SimRng::new(seed),
+            lba_slots,
+            submitted: Arc::new(AtomicU64::new(0)),
+            completed: Arc::new(AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Actor for Guest {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn poll(&mut self, now: Ns) -> Progress {
+        let mut progressed = false;
+        while self.cq.pop().is_some() {
+            self.outstanding -= 1;
+            self.completed.fetch_add(1, Ordering::Relaxed);
+            progressed = true;
+        }
+        if now < self.deadline {
+            while self.outstanding < self.qd {
+                let slot = self.rng.below(self.lba_slots);
+                let mut cmd = SubmissionEntry::read(1, slot * NLB as u64, NLB, 0x1000, 0);
+                cmd.cid = self.next_cid;
+                if self.sq.push(cmd).is_err() {
+                    break;
+                }
+                self.next_cid = self.next_cid.wrapping_add(1);
+                self.outstanding += 1;
+                self.submitted.fetch_add(1, Ordering::Relaxed);
+                progressed = true;
+            }
+        }
+        if progressed {
+            Progress::Busy
+        } else {
+            Progress::Idle
+        }
+    }
+
+    fn next_event(&self) -> Option<Ns> {
+        None
+    }
+}
+
+fn queue_group(ssd: &mut SimSsd, mem: &Arc<GuestMemory>) -> (QueueBinding, SqProducer, CqConsumer) {
+    let (vsq_p, vsq_c) = SqPair::new(256);
+    let (vcq_p, vcq_c) = CqPair::new(256);
+    let (hsq_p, hsq_c) = SqPair::new(256);
+    let (hcq_p, hcq_c) = CqPair::new(256);
+    ssd.add_queue(hsq_c, hcq_p, mem.clone(), CompletionMode::Polled);
+    let binding = QueueBinding {
+        vsqs: vec![vsq_c],
+        vcqs: vec![vcq_p],
+        hsq: hsq_p,
+        hcq: hcq_c,
+        kernel: None,
+        notify: None,
+        classifier: Classifier::Bpf(passthrough_program()),
+    };
+    (binding, vsq_p, vcq_c)
+}
+
+fn deterministic_cost() -> CostModel {
+    CostModel {
+        ssd_jitter: 0.0,
+        ..Default::default()
+    }
+}
+
+/// The forensics proof. A single queue-depth-1 reader has its very first
+/// completion dropped by a seeded fault and no recovery engine to bail it
+/// out: the queue stalls permanently. The watchdog flags it, the recorder
+/// sees the stall persist, dumps, and the analyzer names the injected
+/// fault's site (shard 0, vm 0, vsq 0) and window — working purely from
+/// the bundle after a byte round-trip.
+#[test]
+fn injected_stall_dump_round_trips_and_report_names_the_site() {
+    let telemetry = Telemetry::enabled();
+    let plan = FaultPlan::new(0x5EED).rule(
+        FaultRule::new(FaultSite::Device, FaultAction::DropCompletion)
+            .classes(CmdClass::Read.bit())
+            .max_hits(1),
+    );
+    let mut ssd = SimSsd::new(
+        "ssd",
+        SsdConfig {
+            capacity_lbas: 1 << 16,
+            cost: deterministic_cost(),
+            move_data: false,
+            seed: 0x5EED,
+            faults: plan,
+            ..Default::default()
+        },
+    );
+    let mem = Arc::new(GuestMemory::new(1 << 20));
+    let mut ex = Executor::new();
+    let (binding, sq, cq) = queue_group(&mut ssd, &mem);
+    let guest = Guest::new("guest", sq, cq, 1, 3 * MS, 1, 512);
+    let submitted = guest.submitted.clone();
+    ex.add(Box::new(guest));
+    RouterBuilder::new("router")
+        .cost(deterministic_cost())
+        .telemetry(&telemetry)
+        .vm(EngineVm {
+            vm_id: 0,
+            mem,
+            partition: Partition::whole(1 << 16),
+            queues: vec![binding],
+        })
+        .build()
+        .run_virtual(&mut ex);
+    ex.add(Box::new(ssd));
+
+    let (watchdog, health) = StallWatchdog::new(
+        &telemetry,
+        WatchdogConfig {
+            interval: 100 * US,
+            stall_grace: 100 * US,
+            ..Default::default()
+        },
+    );
+    ex.add(Box::new(watchdog));
+    let cfg = RecorderConfig {
+        interval: 100 * US,
+        stall_ticks: 3,
+        ..Default::default()
+    };
+    let bb = Blackbox::new(&cfg);
+    ex.add(Box::new(
+        Recorder::new(&telemetry, bb.clone(), cfg).with_health(health.clone()),
+    ));
+    ex.run(3 * MS);
+
+    assert_eq!(
+        submitted.load(Ordering::Relaxed),
+        1,
+        "qd-1 rig must wedge on the first read"
+    );
+    assert!(
+        health.saw_stall(),
+        "the dropped completion never stalled the queue"
+    );
+
+    let dumps = bb.dumps();
+    assert!(!dumps.is_empty(), "persistent stall must trigger a dump");
+    let bundle = &dumps[0];
+    let since = match bundle.reason {
+        TriggerReason::StallPersisted {
+            worker,
+            vm,
+            vsq,
+            ticks,
+            since,
+        } => {
+            assert_eq!(
+                (worker, vm, vsq),
+                (0, 0, 0),
+                "trigger must name the wedged queue"
+            );
+            assert!(ticks >= 3);
+            since
+        }
+        ref other => panic!("expected a persistent-stall trigger, got {other:?}"),
+    };
+    assert!(since < bundle.at);
+
+    // Byte round-trip, then forensics from the reconstructed bundle only.
+    let restored =
+        DumpBundle::from_bytes(&bundle.to_bytes()).expect("bundle survives its own wire format");
+    assert_eq!(&restored, bundle);
+    let text = report(&restored);
+    assert!(
+        text.contains("queue stalled on shard 0 vm 0 vsq 0"),
+        "report must name the fault site:\n{text}"
+    );
+    assert!(text.contains("fault site: shard 0 vm 0 vsq 0"), "\n{text}");
+    assert!(
+        text.contains("window"),
+        "report must bound the incident window:\n{text}"
+    );
+    // The hung request is still in flight: the residue must carry it.
+    assert!(
+        restored.residue.iter().any(|r| r.vm == 0 && r.vsq == 0),
+        "residue must list the wedged request"
+    );
+    // The stall verdicts the recorder tailed are on the timeline.
+    assert!(
+        restored
+            .timeline
+            .iter()
+            .any(|e| matches!(e.kind, BoxKind::Stalled { vm: 0, vsq: 0, .. })),
+        "timeline must carry the watchdog's stall verdicts"
+    );
+    // And the rendered JSON form is valid.
+    validate_json(&restored.to_json()).expect("bundle JSON renders valid");
+}
+
+/// Coalesce fan-out on the chaos rig: eight guests hammer a four-slot hot
+/// set through the coalescing window under seeded faults. Every
+/// `LinkFanout` link must resolve to its leader span — 100% link coverage,
+/// leader and followers in one tree — and the flow-event export validates.
+#[test]
+fn coalesce_fanout_reconstructs_single_linked_trees_under_chaos() {
+    for seed in [0xA11CEu64, 0xC0DE] {
+        let duration = 5 * MS;
+        let telemetry = Telemetry::enabled();
+        let cost = CostModel {
+            ssd_channels: 8,
+            ssd_read_lat: 20_000,
+            ssd_cmd_overhead: 500,
+            ssd_cmd_overhead_write: 500,
+            ssd_jitter: 0.0,
+            ..Default::default()
+        };
+        let plan = FaultPlan::new(seed)
+            .rule(
+                FaultRule::new(FaultSite::Device, FaultAction::MediaError { dnr: true })
+                    .classes(CmdClass::Read.bit())
+                    .probability(0.02),
+            )
+            .rule(
+                FaultRule::new(FaultSite::Device, FaultAction::Stall(300 * US))
+                    .classes(CmdClass::Read.bit())
+                    .probability(0.02),
+            );
+        let mut ssd = SimSsd::new(
+            "ssd",
+            SsdConfig {
+                capacity_lbas: 1 << 16,
+                cost: cost.clone(),
+                move_data: false,
+                seed,
+                faults: plan,
+                ..Default::default()
+            },
+        );
+        let mem = Arc::new(GuestMemory::new(1 << 20));
+        let mut ex = Executor::new();
+        let mut builder = RouterBuilder::new("router")
+            .cost(cost)
+            .telemetry(&telemetry)
+            .recovery(RecoveryConfig {
+                cmd_timeout: MS,
+                ..Default::default()
+            })
+            .coalesce(CoalesceConfig::default());
+        for vm in 0..8u32 {
+            let (binding, sq, cq) = queue_group(&mut ssd, &mem);
+            builder = builder.vm(EngineVm {
+                vm_id: vm,
+                mem: mem.clone(),
+                partition: Partition::whole(1 << 16),
+                queues: vec![binding],
+            });
+            // All guests read the same 4 hot slots: maximal duplication.
+            ex.add(Box::new(Guest::new(
+                &format!("guest-{vm}"),
+                sq,
+                cq,
+                8,
+                duration,
+                seed ^ ((vm as u64) << 8),
+                4,
+            )));
+        }
+        builder.build().run_virtual(&mut ex);
+        ex.add(Box::new(ssd));
+
+        let (wd, log) = StallWatchdog::new(
+            &telemetry,
+            WatchdogConfig {
+                interval: 200 * US,
+                keep_spans: true,
+                ..Default::default()
+            },
+        );
+        let shared = wd.shared();
+        ex.add(Box::new(shared.clone()));
+        let run = ex.run(u64::MAX);
+        shared.with(|w| w.flush(run.duration + 1));
+
+        let snap = telemetry.snapshot();
+        let fanned = snap.get(Metric::CoalesceFanout);
+        assert!(fanned > 0, "seed {seed:#x}: the hot set never coalesced");
+        assert_eq!(log.drain_missed(), 0, "seed {seed:#x}: ring overflow");
+
+        let forest = TraceForest::build(log.spans());
+        assert_eq!(
+            forest.stats.links_seen, fanned as usize,
+            "seed {seed:#x}: every fan-out must emit exactly one link"
+        );
+        assert_eq!(
+            forest.stats.links_resolved, forest.stats.links_seen,
+            "seed {seed:#x}: 100% link coverage required"
+        );
+        assert!((forest.stats.link_coverage() - 1.0).abs() < 1e-9);
+        // Followers hang off leaders: fewer trees than spans, and every
+        // resolved link's child shares its root with the leader.
+        assert_eq!(
+            forest.stats.trees,
+            forest.stats.spans - fanned as usize,
+            "seed {seed:#x}: each linked follower must join its leader's tree"
+        );
+        let link = &forest.links[0];
+        assert_eq!(
+            forest.root_of(link.child),
+            forest.root_of(link.parent),
+            "seed {seed:#x}: leader and follower must share one tree"
+        );
+        assert!(forest.tree(forest.root_of(link.parent)).len() >= 2);
+
+        // The flow-event export binds each pair and stays valid JSON.
+        let trace = chrome_trace_forest(&forest, &telemetry.worker_names());
+        validate_json(&trace).expect("forest trace must be valid JSON");
+        assert!(trace.contains("\"ph\":\"s\"") && trace.contains("\"ph\":\"f\""));
+        assert!(trace.contains("coalesce_fanout"));
+    }
+}
+
+/// Cross-restore replay: a mid-flight snapshot/restore replays in-flight
+/// requests under the new generation. The `Replayed` link must stitch the
+/// old-generation attempt and its replay into one tree, and the
+/// recorder's timeline must carry the servicing lifecycle. The manual
+/// `Engine::dump()` path embeds live gauges and policy.
+#[test]
+fn replay_across_restore_links_generations_into_one_tree() {
+    const N: u16 = 32;
+    const QPS: usize = 2;
+    let telemetry = Telemetry::enabled();
+    let mut ssd = SimSsd::new(
+        "ssd",
+        SsdConfig {
+            capacity_lbas: 1 << 20,
+            cost: deterministic_cost(),
+            move_data: false,
+            seed: 11,
+            ..Default::default()
+        },
+    );
+    let mem = Arc::new(GuestMemory::new(1 << 20));
+    let mut guest_ends = Vec::new();
+    let mut queues = Vec::new();
+    for _ in 0..QPS {
+        let (binding, sq, cq) = queue_group(&mut ssd, &mem);
+        queues.push(binding);
+        guest_ends.push((sq, cq));
+    }
+    let mut engine = RouterBuilder::new("router")
+        .cost(deterministic_cost())
+        .shards(2)
+        .table_capacity(2048)
+        .telemetry(&telemetry)
+        .vm(EngineVm {
+            vm_id: 0,
+            mem,
+            partition: Partition::whole(1 << 20),
+            queues,
+        })
+        .build();
+
+    let cfg = RecorderConfig {
+        interval: 50 * US,
+        trigger_on_breaker: false,
+        ..Default::default()
+    };
+    let bb = Blackbox::new(&cfg);
+    let mut rec = Recorder::new(&telemetry, bb.clone(), cfg);
+
+    for (qp, (sq, _)) in guest_ends.iter().enumerate() {
+        for i in 0..N {
+            let mut cmd = SubmissionEntry::read(1, (qp as u64 * 8192) + i as u64 * 8, 8, 0x1000, 0);
+            cmd.cid = i;
+            sq.push(cmd).unwrap();
+        }
+    }
+
+    let mut delivered = 0u64;
+    let mut now: Ns = 0;
+    // Phase 1: run briefly, then snapshot mid-flight.
+    while now < 30 * US {
+        engine.poll_all(now);
+        ssd.poll(now);
+        rec.poll(now);
+        for (_, cq) in &guest_ends {
+            while cq.pop().is_some() {
+                delivered += 1;
+            }
+        }
+        now += 5 * US;
+    }
+    engine.begin_quiesce();
+    let deadline = now + 50 * US;
+    while now < deadline && !engine.quiesced() {
+        engine.poll_all(now);
+        ssd.poll(now);
+        rec.poll(now);
+        for (_, cq) in &guest_ends {
+            while cq.pop().is_some() {
+                delivered += 1;
+            }
+        }
+        now += 5 * US;
+    }
+    assert!(
+        engine.live_in_flight() > 0,
+        "rig drained before the snapshot"
+    );
+    let (state, parts) = engine.snapshot(now);
+    let mut engine = Engine::restore(parts, &state, now).unwrap();
+    assert_eq!(engine.generation(), 2);
+
+    // Phase 2: drain to completion, recorder riding along.
+    let total = (QPS as u64) * N as u64;
+    while delivered < total && now < 100 * MS {
+        engine.poll_all(now);
+        ssd.poll(now);
+        rec.poll(now);
+        for (_, cq) in &guest_ends {
+            while cq.pop().is_some() {
+                delivered += 1;
+            }
+        }
+        now += 5 * US;
+    }
+    assert_eq!(delivered, total, "restore lost completions");
+    rec.tick(now);
+
+    let snap = telemetry.snapshot();
+    let replayed = snap.get(Metric::ReplayedRequests);
+    assert!(replayed >= 1, "a mid-flight snapshot must replay something");
+
+    // The recorder's ring carries the servicing lifecycle and the replay
+    // trace events.
+    let timeline = bb.timeline();
+    for op in [ServicingOp::Snapshot, ServicingOp::Restore] {
+        assert!(
+            timeline
+                .iter()
+                .any(|e| matches!(&e.kind, BoxKind::Servicing { op: o, .. } if *o == op)),
+            "timeline missing servicing op {op:?}"
+        );
+    }
+    assert!(
+        timeline
+            .iter()
+            .any(|e| matches!(&e.kind, BoxKind::Trace(t) if t.stage == Stage::Replayed)),
+        "timeline missing the replay trace link"
+    );
+
+    // The causal forest stitches old and new generations into one tree.
+    let spans = assemble(&telemetry.snapshot()).spans;
+    let forest = TraceForest::build(spans);
+    assert_eq!(
+        forest.stats.links_seen, replayed as usize,
+        "one link per replayed request"
+    );
+    assert_eq!(
+        forest.stats.links_resolved, forest.stats.links_seen,
+        "100% replay link coverage"
+    );
+    let link = forest
+        .links
+        .iter()
+        .find(|l| l.kind == nvmetro::insight::LinkKind::Replay)
+        .expect("a replay link exists");
+    assert_eq!(forest.root_of(link.child), forest.root_of(link.parent));
+    let parent = &forest.spans[link.parent];
+    let child = &forest.spans[link.child];
+    assert!(!parent.complete, "the pre-snapshot attempt must stay open");
+    assert!(child.complete, "the replayed request must complete");
+
+    // Manual dump off the live engine embeds gauges and policy.
+    let bundle = engine.dump(&bb, &telemetry, now);
+    assert_eq!(bundle.reason, TriggerReason::Manual);
+    let gauges = bundle.gauges.as_ref().expect("dump embeds gauges");
+    assert_eq!(gauges.poll_modes.len(), 2, "one poll mode per shard");
+    assert!(bundle.policy.is_some(), "dump embeds the active policy");
+    let text = report(&bundle);
+    assert!(text.contains("explicit dump request"));
+    assert!(text.contains("servicing: snapshot"));
+    assert!(text.contains("servicing: restore"));
+}
